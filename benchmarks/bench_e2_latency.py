@@ -1,0 +1,118 @@
+"""E2 — "must comply with operational latency requirements (i.e. in ms)"
+(paper §4).
+
+Measures per-record latency (p50/p95/p99) of every pipeline stage and of
+the end-to-end path, plus sustained throughput.
+
+Expected shape: every stage's p99 well under 1 ms on commodity hardware;
+the RDF write is the heaviest stage; end-to-end p99 in single-digit ms.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MobilityPipeline
+
+
+def _fresh_pipeline(sample):
+    return MobilityPipeline(
+        bbox=sample.world.bbox,
+        config=PipelineConfig(),
+        registry=sample.registry,
+        zones=sample.world.zones,
+    )
+
+
+def test_e2_per_stage_latency(benchmark, maritime_fleet):
+    pipeline = _fresh_pipeline(maritime_fleet)
+    result = pipeline.run(list(maritime_fleet.reports))
+
+    rows = []
+    for stage, summary in result.stage_latency.items():
+        rows.append([
+            stage,
+            int(summary["count"]),
+            summary["p50_ms"],
+            summary["p95_ms"],
+            summary["p99_ms"],
+        ])
+    rows.append([
+        "END-TO-END",
+        int(result.end_to_end["count"]),
+        result.end_to_end["p50_ms"],
+        result.end_to_end["p95_ms"],
+        result.end_to_end["p99_ms"],
+    ])
+    rows.append(["throughput_rps", int(result.throughput_rps), 0.0, 0.0, 0.0])
+    emit_table(
+        "e2_latency",
+        "E2: per-record latency by stage (ms) and sustained throughput",
+        ["stage", "records", "p50_ms", "p95_ms", "p99_ms"],
+        rows,
+    )
+
+    # The paper's ms-latency requirement, verified.
+    assert result.end_to_end["p99_ms"] < 50.0
+    assert result.throughput_rps > 500.0
+
+    # Benchmark the steady-state per-record path on a warm pipeline.
+    warm = _fresh_pipeline(maritime_fleet)
+    reports = list(maritime_fleet.reports)
+    for report in reports[:2000]:
+        warm.process_report(report)
+    tail = reports[2000:3000] or reports[:1000]
+    index = {"i": 0}
+
+    def one_record():
+        report = tail[index["i"] % len(tail)]
+        index["i"] += 1
+        warm.process_report(report.replace_time(report.t + 10_000.0 + index["i"]))
+
+    benchmark(one_record)
+
+
+def test_e2b_stream_parallelism(benchmark, maritime_fleet):
+    """E2b: simulated task-slot parallelism of the keyed synopses stage.
+
+    The same stream is processed by 1/2/4/8 clones of the synopses
+    operator with hash routing by entity; the table reports routing skew
+    and the simulated makespan speedup over the single-slot run.
+    """
+    from benchmarks.conftest import emit_table
+    from repro.insitu.synopses import SynopsesOperator
+    from repro.streams.parallel import ParallelKeyedRunner
+    from repro.streams.records import Record
+
+    records = [Record(event_time=r.t, value=r) for r in maritime_fleet.reports]
+    rows = []
+    baseline_s = None
+    for n_tasks in (1, 2, 4, 8):
+        runner = ParallelKeyedRunner(
+            SynopsesOperator, n_tasks, key_fn=lambda r: r.entity_id
+        )
+        outputs, report = runner.run(iter(records))
+        if baseline_s is None:
+            baseline_s = report.makespan_s
+        rows.append([
+            n_tasks,
+            report.records_in,
+            len(outputs),
+            report.skew,
+            report.sequential_s * 1000.0,
+            report.makespan_s * 1000.0,
+            baseline_s / report.makespan_s if report.makespan_s > 0 else 1.0,
+        ])
+    emit_table(
+        "e2b_stream_parallel",
+        "E2b: keyed synopses stage under simulated task parallelism",
+        ["tasks", "records", "kept", "skew", "sequential_ms",
+         "makespan_ms", "speedup_vs_1"],
+        rows,
+    )
+    # Outputs are identical regardless of parallelism (keyed state).
+    kept_counts = {row[2] for row in rows}
+    assert len(kept_counts) == 1
+
+    runner = ParallelKeyedRunner(SynopsesOperator, 4, key_fn=lambda r: r.entity_id)
+    benchmark(lambda: runner.run(iter(records[:2000])))

@@ -1,0 +1,79 @@
+"""E3 — "link discovery techniques for automatically computing
+associations between data from heterogeneous sources" (paper §2).
+
+Compares blocked link discovery against the naive all-pairs baseline on
+growing workloads: candidate comparisons, runtime, pruning ratio — with
+recall verified to be exactly 1.0 (blocking is lossless by construction).
+
+Expected shape: ≥10x candidate reduction at recall 1.0; speedup grows
+with workload size (naive is quadratic, blocking near-linear).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.linkage.discovery import (
+    items_from_reports,
+    proximity_links_blocked,
+    proximity_links_naive,
+    zone_links_blocked,
+    zone_links_naive,
+)
+from repro.linkage.evaluation import score_links
+
+RADIUS_M = 3_000.0
+MAX_DT_S = 60.0
+
+
+def test_e3_blocking_vs_naive(benchmark, maritime_fleet):
+    all_items = items_from_reports(maritime_fleet.reports)
+    rows = []
+    for n in (500, 1000, 2000):
+        items = all_items[:n]
+        started = time.perf_counter()
+        naive, candidates_naive = proximity_links_naive(items, RADIUS_M, MAX_DT_S)
+        naive_s = time.perf_counter() - started
+        started = time.perf_counter()
+        blocked, candidates_blocked = proximity_links_blocked(items, RADIUS_M, MAX_DT_S)
+        blocked_s = time.perf_counter() - started
+        score = score_links(blocked, naive, candidates_blocked, candidates_naive)
+        rows.append([
+            n,
+            len(naive),
+            candidates_naive,
+            candidates_blocked,
+            score.pruning_ratio,
+            score.precision,
+            score.recall,
+            naive_s,
+            blocked_s,
+            naive_s / blocked_s if blocked_s > 0 else float("inf"),
+        ])
+        assert score.recall == 1.0
+        assert score.precision == 1.0
+    emit_table(
+        "e3_linkage_proximity",
+        f"E3a: proximity link discovery, radius {RADIUS_M:.0f} m / {MAX_DT_S:.0f} s",
+        ["items", "links", "cand_naive", "cand_blocked", "pruning",
+         "precision", "recall", "naive_s", "blocked_s", "speedup"],
+        rows,
+    )
+
+    # Zone containment linking.
+    items = all_items[:2000]
+    zones = maritime_fleet.world.zones
+    naive_z, cand_naive_z = zone_links_naive(items, zones)
+    blocked_z, cand_blocked_z = zone_links_blocked(items, zones)
+    score_z = score_links(blocked_z, naive_z, cand_blocked_z, cand_naive_z)
+    emit_table(
+        "e3_linkage_zones",
+        "E3b: zone containment linking (bbox pre-filter vs exact-only)",
+        ["items", "zones", "links", "cand_naive", "cand_blocked", "pruning", "recall"],
+        [[len(items), len(zones), len(blocked_z), cand_naive_z,
+          cand_blocked_z, score_z.pruning_ratio, score_z.recall]],
+    )
+    assert score_z.recall == 1.0
+
+    benchmark(proximity_links_blocked, all_items[:1000], RADIUS_M, MAX_DT_S)

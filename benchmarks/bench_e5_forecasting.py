@@ -1,0 +1,140 @@
+"""E5 — "reconstruction and forecasting of moving entities' trajectories
+in the challenging Maritime (2D space) and Aviation (3D space) domains"
+(paper §1).
+
+Horizon sweep over four predictors in both domains. Histories are
+reconstructed from the *noisy report streams* (not ground truth), so the
+table reflects the full path: sensing → reconstruction → prediction.
+
+Expected shape: dead-reckoning/Kalman win at short horizons; the
+pattern-based (route) predictor wins at long horizons on route-following
+traffic; errors grow with horizon everywhere; aviation carries a
+vertical error column.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.forecasting import (
+    DeadReckoningPredictor,
+    EnsemblePredictor,
+    GridMarkovPredictor,
+    KalmanPredictor,
+    RouteBasedPredictor,
+    horizon_sweep,
+)
+from repro.geo.grid import GeoGrid
+from repro.trajectory.reconstruction import reconstruct_all
+
+HORIZONS_S = [60.0, 300.0, 900.0, 1800.0]
+
+
+def _reconstructed(sample, max_tracks=None):
+    rebuilt = reconstruct_all(sample.reports)
+    tracks = [segments[0] for segments in rebuilt.values() if segments]
+    return tracks[:max_tracks] if max_tracks else tracks
+
+
+def _sweep(domain, history_tracks, test_tracks, grid):
+    route_model = RouteBasedPredictor(history_tracks, n_routes=10)
+    predictors = [
+        DeadReckoningPredictor(),
+        KalmanPredictor(measurement_noise_m=25.0),
+        GridMarkovPredictor(grid, history_tracks),
+        route_model,
+        EnsemblePredictor(DeadReckoningPredictor(), route_model),
+    ]
+    sweep = horizon_sweep(
+        predictors, test_tracks, HORIZONS_S, min_history_s=600.0, cuts_per_trajectory=3
+    )
+    rows = []
+    for model, results in sweep.items():
+        for errors in results:
+            rows.append([
+                domain,
+                model,
+                int(errors.horizon_s),
+                errors.n,
+                errors.mean_horizontal_m(),
+                errors.median_horizontal_m(),
+                errors.p90_horizontal_m(),
+                errors.mean_vertical_m(),
+            ])
+    return rows, sweep
+
+
+def test_e5_forecasting_horizon_sweep(benchmark, maritime_fleet, maritime_history, aviation_fleet):
+    maritime_grid = GeoGrid(bbox=maritime_fleet.world.bbox, nx=48, ny=48)
+    history = _reconstructed(maritime_history)
+    test = _reconstructed(maritime_fleet)
+    rows, sweep = _sweep("maritime", history, test, maritime_grid)
+
+    aviation_grid = GeoGrid(bbox=aviation_fleet.world.bbox, nx=48, ny=48)
+    aviation_tracks = _reconstructed(aviation_fleet)
+    av_history, av_test = aviation_tracks[:6], aviation_tracks[6:]
+    av_rows, __ = _sweep("aviation", av_history, av_test, aviation_grid)
+
+    emit_table(
+        "e5_forecasting",
+        "E5: future location prediction error by horizon "
+        "(histories reconstructed from noisy streams)",
+        ["domain", "model", "horizon_s", "n", "mean_m", "median_m", "p90_m", "vert_m"],
+        rows + av_rows,
+    )
+
+    # Shape assertions: errors grow with horizon; route-based beats
+    # dead-reckoning at the longest horizon on maritime route traffic.
+    dr = {e.horizon_s: e.mean_horizontal_m() for e in sweep["dead_reckoning"]}
+    assert dr[60.0] < dr[1800.0]
+    route = {e.horizon_s: e.mean_horizontal_m() for e in sweep["route_based"]}
+    assert route[1800.0] < dr[1800.0]
+
+    predictor = RouteBasedPredictor(history, n_routes=10)
+    sample_history = test[0].slice_time(test[0].start_time, test[0].start_time + 1200.0)
+    benchmark(predictor.predict, sample_history, 900.0)
+
+
+def test_e5b_calibrated_intervals(benchmark, maritime_fleet, maritime_history):
+    """E5b: calibrated prediction intervals — nominal vs empirical
+    coverage.
+
+    The calibrator learns the dead-reckoning error quantiles on one fleet
+    and its radii are scored on a disjoint fleet: a well-calibrated model
+    covers ≈ its nominal fraction.
+    """
+    from repro.forecasting import CalibratedPredictor
+
+    validation = _reconstructed(maritime_history)
+    test = _reconstructed(maritime_fleet)
+    rows = []
+    for coverage in (0.5, 0.9):
+        calibrated = CalibratedPredictor(
+            DeadReckoningPredictor(),
+            validation,
+            horizons_s=(60.0, 300.0, 900.0),
+            coverage=coverage,
+        )
+        for horizon in (60.0, 300.0, 900.0):
+            empirical = calibrated.empirical_coverage(test, horizon)
+            rows.append([
+                coverage,
+                int(horizon),
+                calibrated.radius_for_horizon(horizon),
+                empirical,
+            ])
+    emit_table(
+        "e5b_calibration",
+        "E5b: calibrated interval coverage (trained on a disjoint fleet)",
+        ["nominal", "horizon_s", "radius_m", "empirical"],
+        rows,
+    )
+    # Radii grow with horizon and with nominal coverage; empirical
+    # coverage lands within sampling tolerance of nominal.
+    for nominal, __h, __r, empirical in rows:
+        assert abs(empirical - nominal) < 0.35
+
+    calibrated = CalibratedPredictor(
+        DeadReckoningPredictor(), validation, horizons_s=(300.0,), coverage=0.9
+    )
+    history = test[0].slice_time(test[0].start_time, test[0].start_time + 1200.0)
+    benchmark(calibrated.predict, history, 300.0)

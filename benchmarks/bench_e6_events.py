@@ -1,0 +1,242 @@
+"""E6 — "recognition and forecasting of complex events ... prediction of
+potential collision, capacity demand, hot spots / paths" (paper §1).
+
+Three tables:
+
+- E6a: detection precision/recall/latency per scripted scenario type
+  (collision course, loitering, zone intrusion, rendezvous).
+- E6b: CER engine + detector throughput on the full surveillance stream.
+- E6c: event forecasting — precision/earliness trade-off as the forecast
+  horizon grows (zone-transit pattern, automaton-Markov forecaster).
+
+Expected shape: recall 1.0 on every scripted scenario; throughput in the
+tens of thousands of records/s; forecasting precision falls (and
+forecasts fire earlier) as the horizon grows.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_table
+from repro.cep.detectors import CollisionRiskDetector, LoiteringDetector, RendezvousDetector
+from repro.cep.evaluation import match_events, promote
+from repro.cep.forecast import PatternForecaster
+from repro.cep.nfa import PatternEngine
+from repro.cep.patterns import Atom, Neg, Seq
+from repro.cep.simple import SimpleEventConfig, SimpleEventExtractor
+from repro.model.points import Domain
+from repro.sources.scenarios import (
+    aviation_near_miss_scenario,
+    collision_course_scenario,
+    loitering_scenario,
+    rendezvous_scenario,
+    zone_intrusion_scenario,
+)
+
+
+def _run_detection(scenario):
+    extractor = SimpleEventExtractor(zones=scenario.zones)
+    if scenario.domain is Domain.AVIATION:
+        # ATM-style separation: ~5 NM horizontal / ~1000 ft vertical.
+        collision = CollisionRiskDetector(
+            cpa_threshold_m=9_000.0,
+            vertical_threshold_m=300.0,
+            tcpa_threshold_s=600.0,
+            candidate_radius_m=150_000.0,
+        )
+    else:
+        collision = CollisionRiskDetector()
+    loitering = LoiteringDetector(radius_m=800.0, min_duration_s=900.0)
+    rendezvous = RendezvousDetector(radius_m=600.0, min_duration_s=600.0)
+    detections = []
+    for report in scenario.reports:
+        detections.extend(collision.process(report))
+        detections.extend(loitering.process(report))
+        for event in extractor.process(report):
+            detections.extend(rendezvous.process(event))
+            if event.event_type in ("zone_entry", "zone_exit"):
+                detections.append(promote(event))
+        detections.extend(rendezvous.tick(report.t))
+    scripted = {e for exp in scenario.expected for e in exp.entity_ids}
+    expected_types = {exp.event_type for exp in scenario.expected}
+    # Score only the scripted entities and the scenario's labelled event
+    # types: the converging rendezvous pair, for instance, legitimately
+    # also raises collision warnings, which are a different experiment.
+    scoped = [
+        d for d in detections
+        if set(d.entity_ids) <= scripted and d.event_type in expected_types
+    ]
+    return match_events(scoped, scenario.expected)
+
+
+def test_e6a_scenario_detection(benchmark):
+    scenarios = [
+        collision_course_scenario(),
+        loitering_scenario(),
+        zone_intrusion_scenario(),
+        rendezvous_scenario(),
+        aviation_near_miss_scenario(),
+    ]
+    rows = []
+    for scenario in scenarios:
+        score = _run_detection(scenario)
+        rows.append([
+            scenario.name,
+            len(scenario.expected),
+            score.true_positives,
+            score.false_positives,
+            score.precision,
+            score.recall,
+            score.mean_latency_s,
+        ])
+        assert score.recall == 1.0
+    emit_table(
+        "e6a_detection",
+        "E6a: complex event recognition on scripted scenarios",
+        ["scenario", "expected", "tp", "fp", "precision", "recall", "latency_s"],
+        rows,
+    )
+    benchmark(_run_detection, collision_course_scenario())
+
+
+def test_e6b_cep_throughput(benchmark, maritime_fleet):
+    reports = list(maritime_fleet.reports)
+
+    def full_stack():
+        extractor = SimpleEventExtractor(
+            config=SimpleEventConfig(proximity_radius_m=5_000.0),
+            zones=maritime_fleet.world.zones,
+        )
+        collision = CollisionRiskDetector()
+        loitering = LoiteringDetector()
+        n_events = 0
+        for report in reports:
+            n_events += len(extractor.process(report))
+            n_events += len(collision.process(report))
+            n_events += len(loitering.process(report))
+        return n_events
+
+    started = time.perf_counter()
+    n_events = full_stack()
+    elapsed = time.perf_counter() - started
+    emit_table(
+        "e6b_throughput",
+        "E6b: CER stack throughput on the full surveillance stream",
+        ["reports", "events_out", "wall_s", "reports_per_s"],
+        [[len(reports), n_events, elapsed, len(reports) / elapsed]],
+    )
+    assert len(reports) / elapsed > 1_000
+
+    benchmark(full_stack)
+
+
+def test_e6c_event_forecasting_tradeoff(benchmark, maritime_fleet, maritime_history):
+    pattern = Seq((Atom("zone_entry"), Neg(Atom("gap_start")), Atom("zone_exit")))
+    relevant = {"zone_entry", "zone_exit", "gap_start", "gap_end",
+                "stop_begin", "stop_end"}
+
+    def events_of(sample):
+        extractor = SimpleEventExtractor(zones=sample.world.zones)
+        return [
+            e for e in extractor.process_all(sample.reports)
+            if e.event_type in relevant
+        ]
+
+    train = events_of(maritime_history)
+    test = events_of(maritime_fleet)
+
+    rows = []
+    for horizon in (2, 5, 10, 20):
+        match_engine = PatternEngine(pattern, window_s=3600.0, name="zone_transit")
+        matches = match_engine.process_all(test)
+        engine = PatternEngine(pattern, window_s=3600.0, name="zone_transit")
+        forecaster = PatternForecaster(
+            engine, horizon_events=horizon, threshold=0.35, refractory_events=10
+        ).fit(train)
+        # P(complete | partial match) from state 1 is the forecaster's
+        # working point at this horizon.
+        p_state1 = forecaster.completion_probability(1)
+        forecasts = []
+        for event in test:
+            forecasts.extend(forecaster.process(event))
+        forecast_keys = {f.key for f in forecasts}
+        match_keys = {m.key for m in matches}
+        precision = (
+            len(forecast_keys & match_keys) / len(forecast_keys)
+            if forecast_keys else 1.0
+        )
+        recall = (
+            len(forecast_keys & match_keys) / len(match_keys) if match_keys else 0.0
+        )
+        rows.append([
+            horizon, p_state1, len(forecasts), len(matches), precision, recall,
+        ])
+    emit_table(
+        "e6c_forecasting",
+        "E6c: event forecasting vs horizon (zone-transit pattern, "
+        "threshold 0.35, key-level)",
+        ["horizon_events", "P_state1", "forecasts", "completions",
+         "precision", "recall"],
+        rows,
+    )
+
+    engine = PatternEngine(pattern, window_s=3600.0)
+    forecaster = PatternForecaster(engine, horizon_events=5, threshold=0.15).fit(train)
+    benchmark(lambda: [forecaster.process(e) for e in test[:200]])
+
+
+def test_e6d_capacity_demand_forecast(benchmark, aviation_fleet):
+    """E6d: sector capacity-demand forecasting accuracy vs horizon.
+
+    The forecaster runs per-flight FLP from live tracks and counts
+    predicted positions per sector; accuracy is the mean absolute error
+    of the per-sector occupancy forecast against ground truth, across
+    several "now" instants.
+    """
+    import numpy as np
+
+    from repro.cep.demand_forecast import SectorDemandForecaster, actual_occupancy
+    from repro.forecasting import DeadReckoningPredictor
+
+    sectors = aviation_fleet.world.sectors
+    reports = list(aviation_fleet.reports)
+    nows = (1800.0, 2700.0, 3600.0)
+    rows = []
+    for horizon in (120.0, 300.0, 600.0, 1200.0):
+        errors = []
+        total_forecast = 0
+        for now in nows:
+            forecaster = SectorDemandForecaster(
+                sectors, DeadReckoningPredictor(), capacity=3
+            )
+            forecaster.observe_all(r for r in reports if r.t <= now)
+            forecast = {
+                d.sector: d.expected_count
+                for d in forecaster.forecast(now, horizon)
+            }
+            truth = actual_occupancy(aviation_fleet.truth, sectors, now + horizon)
+            for sector in sectors:
+                predicted = forecast.get(sector.name, 0)
+                actual = len(truth.get(sector.name, set()))
+                errors.append(abs(predicted - actual))
+                total_forecast += predicted
+        rows.append([
+            int(horizon),
+            float(np.mean(errors)),
+            float(np.max(errors)),
+            total_forecast,
+        ])
+    emit_table(
+        "e6d_demand_forecast",
+        "E6d: sector occupancy forecast error vs horizon "
+        "(dead-reckoning FLP, per-sector MAE over 3 instants)",
+        ["horizon_s", "mae", "max_err", "forecast_total"],
+        rows,
+    )
+    # Short-horizon forecasts must be near-exact; error grows with horizon.
+    assert rows[0][1] <= 1.0
+
+    forecaster = SectorDemandForecaster(sectors, DeadReckoningPredictor(), capacity=3)
+    forecaster.observe_all(r for r in reports if r.t <= 2700.0)
+    benchmark(lambda: forecaster.forecast(2700.0, 600.0))

@@ -1,0 +1,61 @@
+"""Shared fixtures and table emission for the experiment benchmarks.
+
+Every benchmark prints the table its experiment reproduces *and* appends
+it to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can be
+refreshed from the files after a run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sources.generators import AviationTrafficGenerator, MaritimeTrafficGenerator
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, headers: list[str], rows: list[list]) -> str:
+    """Format a results table; print it and persist it under results/."""
+    widths = [len(h) for h in headers]
+    str_rows = []
+    for row in rows:
+        cells = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        str_rows.append(cells)
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as fh:
+        fh.write(text + "\n")
+    return text
+
+
+@pytest.fixture(scope="session")
+def maritime_fleet():
+    """The standard maritime workload: 12 vessels, 2 hours."""
+    return MaritimeTrafficGenerator(seed=101).generate(
+        n_vessels=12, max_duration_s=2 * 3600.0
+    )
+
+
+@pytest.fixture(scope="session")
+def maritime_history():
+    """A disjoint historical fleet for training pattern models."""
+    return MaritimeTrafficGenerator(seed=202).generate(
+        n_vessels=16, max_duration_s=2 * 3600.0
+    )
+
+
+@pytest.fixture(scope="session")
+def aviation_fleet():
+    """The standard aviation workload: 10 flights."""
+    return AviationTrafficGenerator(seed=303).generate(n_flights=10)

@@ -1,0 +1,93 @@
+"""Integrated data management: archives + streams + links in one RDF store.
+
+The paper's data-layer story end to end: heterogeneous sources (AIS
+stream, archival voyages, weather grid) are transformed to the common
+RDF representation, interlinked by link discovery, loaded into the
+partitioned parallel store and queried with spatio-temporal operators —
+comparing partitioning strategies on the same workload.
+
+Run:  python examples/integrated_data_management.py
+"""
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.linkage import (
+    items_from_reports,
+    proximity_links_blocked,
+    weather_links,
+    zone_links_blocked,
+)
+from repro.rdf import RdfTransformer, to_ntriples
+from repro.sources import ArchivalStore, MaritimeTrafficGenerator, WeatherGridSource
+from repro.store import (
+    GridPartitioner,
+    HashPartitioner,
+    HilbertPartitioner,
+    ParallelRDFStore,
+)
+from repro.query import QueryExecutor
+
+
+def main() -> None:
+    # -- heterogeneous sources ------------------------------------------------
+    live = MaritimeTrafficGenerator(seed=5).generate(n_vessels=10, max_duration_s=3600.0)
+    historical = MaritimeTrafficGenerator(seed=99).generate(
+        n_vessels=6, max_duration_s=3600.0
+    )
+    archive = ArchivalStore()
+    archive.add_all(historical.truth.values())
+    weather = WeatherGridSource(bbox=live.world.bbox)
+    print(f"sources: {len(live.reports)} streamed reports, "
+          f"{len(archive)} archived voyages, weather grid "
+          f"{weather.grid.nx}x{weather.grid.ny}")
+
+    # -- transformation to the common representation --------------------------
+    grid = GeoGrid(bbox=live.world.bbox, nx=32, ny=32)
+    transformer = RdfTransformer(st_grid=grid)
+    documents = []
+    for entity in live.registry:
+        documents.append(transformer.entity_to_triples(entity))
+    for report in live.reports:
+        documents.append(transformer.report_to_triples(report))
+    for zone in live.world.zones:
+        documents.append(transformer.zone_to_triples(zone))
+    for cell in weather.cells_for_interval(0.0, 3600.0):
+        documents.append(transformer.weather_to_triples(cell))
+    n_triples = sum(len(d) for d in documents)
+    print(f"transformed to {n_triples} triples in {len(documents)} subject documents")
+
+    # -- link discovery ----------------------------------------------------------
+    items = items_from_reports(live.reports)
+    near, n_candidates = proximity_links_blocked(items, radius_m=3_000.0, max_dt_s=60.0)
+    within, __ = zone_links_blocked(items, live.world.zones)
+    enrich = weather_links(items[::20], weather)  # sample for the demo
+    print(f"link discovery: {len(near)} nearTo links "
+          f"({n_candidates} candidate pairs after blocking), "
+          f"{len(within)} withinZone links, {len(enrich)} weather links")
+
+    # -- parallel store: compare partitioners on the same query ------------------
+    query_box = BBox(23.4, 37.5, 24.6, 38.2)
+    print("\npartitioner      triples  imbalance  scanned  pruning  results")
+    for partitioner in (
+        HashPartitioner(8),
+        GridPartitioner(grid, 8),
+        HilbertPartitioner(grid, 8),
+    ):
+        store = ParallelRDFStore(partitioner)
+        for document in documents:
+            store.add_document(document)
+        executor = QueryExecutor(store)
+        nodes, report = executor.range_query(query_box, 0.0, 1800.0)
+        stats = store.stats()
+        print(f"{partitioner.name:<16} {len(store):>7}  {stats.imbalance:>9.2f}  "
+              f"{report.partitions_scanned:>7}  {report.pruning_ratio:>7.0%}  "
+              f"{len(nodes):>7}")
+
+    # -- an N-Triples export of one vessel's document ----------------------------
+    sample_doc = documents[len(live.registry)]  # first position node
+    print("\none position node in the common representation:")
+    print(to_ntriples(sample_doc))
+
+
+if __name__ == "__main__":
+    main()

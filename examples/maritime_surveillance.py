@@ -1,0 +1,99 @@
+"""Maritime Situational Awareness: anomaly detection over a live picture.
+
+The paper's maritime use case: "discovering and characterizing the
+activities of vessels at sea ... detecting anomalous behaviors, enabling
+an effective and quick response to maritime threats and risks."
+
+This example merges background traffic with four scripted threat
+scenarios (collision course, loitering, zone intrusion, rendezvous),
+runs the recognition stack, scores it against the scripted ground truth
+and prints an operator-style event log plus an ASCII traffic map.
+
+Run:  python examples/maritime_surveillance.py
+"""
+
+from repro.cep.detectors import (
+    CollisionRiskDetector,
+    LoiteringDetector,
+    RendezvousDetector,
+)
+from repro.cep.evaluation import match_events, promote
+from repro.cep.simple import SimpleEventConfig, SimpleEventExtractor
+from repro.geo.bbox import BBox
+from repro.sources import (
+    MaritimeTrafficGenerator,
+    collision_course_scenario,
+    loitering_scenario,
+    rendezvous_scenario,
+    zone_intrusion_scenario,
+)
+from repro.viz import ascii_trajectories
+
+
+def main() -> None:
+    background = MaritimeTrafficGenerator(seed=31).generate(
+        n_vessels=8, max_duration_s=3600.0
+    )
+    scenarios = [
+        collision_course_scenario(),
+        loitering_scenario(),
+        zone_intrusion_scenario(),
+        rendezvous_scenario(),
+    ]
+
+    reports = list(background.reports)
+    zones = list(background.world.zones)
+    expected = []
+    for scenario in scenarios:
+        reports.extend(scenario.reports)
+        zones.extend(scenario.zones)
+        expected.extend(scenario.expected)
+    reports.sort(key=lambda r: r.t)
+    print(f"surveillance picture: {len(reports)} reports, "
+          f"{len(scenarios)} scripted threats hidden in background traffic")
+
+    # Recognition stack.
+    extractor = SimpleEventExtractor(
+        config=SimpleEventConfig(proximity_radius_m=8_000.0), zones=zones
+    )
+    collision = CollisionRiskDetector()
+    loitering = LoiteringDetector(radius_m=800.0, min_duration_s=900.0)
+    rendezvous = RendezvousDetector(radius_m=600.0, min_duration_s=600.0)
+
+    detections = []
+    for report in reports:
+        detections.extend(collision.process(report))
+        detections.extend(loitering.process(report))
+        for event in extractor.process(report):
+            detections.extend(rendezvous.process(event))
+            if event.event_type in ("zone_entry", "zone_exit"):
+                detections.append(promote(event))
+        detections.extend(rendezvous.tick(report.t))
+
+    print("\n--- operator event log (first 15) ---")
+    for event in sorted(detections, key=lambda e: e.t_end)[:15]:
+        entities = ",".join(event.entity_ids)
+        print(f"t={event.t_end:7.0f}s  {event.severity.name:<8} "
+              f"{event.event_type:<18} [{entities}]")
+
+    # Score only detections involving scripted entities: the background
+    # fleet produces genuine zone entries of its own, which are correct
+    # detections, not false alarms against the scripted ground truth.
+    scripted = {e for exp in expected for e in exp.entity_ids}
+    scoped = [d for d in detections if set(d.entity_ids) <= scripted]
+    score = match_events(scoped, expected)
+    print("\n--- scoring against scripted ground truth ---")
+    print(f"expected threats : {len(expected)}")
+    print(f"recall           : {score.recall:.2f}")
+    print(f"precision        : {score.precision:.2f} (vs the single labelled event "
+          f"per scenario; converging rendezvous vessels legitimately also "
+          f"raise collision warnings, which count against precision here)")
+    print(f"mean det. latency: {score.mean_latency_s:.0f} s after earliest detectable")
+
+    print("\n--- traffic picture (ASCII, letters = vessels, # = last position) ---")
+    box = BBox(22.5, 35.0, 29.0, 41.0)
+    print(ascii_trajectories(list(background.truth.values()), box, width=72, height=20))
+
+
+if __name__ == "__main__":
+    main()

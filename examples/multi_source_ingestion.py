@@ -1,0 +1,103 @@
+"""Multi-source ingestion: wire formats → fusion → interlinked store.
+
+The paper's premise is "more and more frequent data from many different
+sources ... for each of these entities". This example walks the entire
+ingestion path:
+
+1. the same fleet is observed by two providers — terrestrial AIS
+   (frequent, precise, CSV wire format) and satellite AIS (sparse,
+   noisy, delivered late);
+2. the CSV lines are decoded back into reports (with some corrupted
+   lines thrown in, because real feeds have them);
+3. the provider streams are merged and cross-source near-duplicates
+   suppressed;
+4. the fused stream runs through the pipeline with online interlinking
+   (zones + weather), and the store is asked DISTINCT-style questions.
+
+Run:  python examples/multi_source_ingestion.py
+"""
+
+import numpy as np
+
+from repro.core import MobilityPipeline, PipelineConfig
+from repro.insitu import FusionConfig, fuse_streams
+from repro.model.reports import ReportSource
+from repro.query import parse_query
+from repro.sources import MaritimeTrafficGenerator, WeatherGridSource
+from repro.sources.formats import decode_ais_csv_batch, dump_ais_csv
+from repro.sources.noise import SensorModel
+
+
+def main() -> None:
+    fleet = MaritimeTrafficGenerator(seed=23).generate(
+        n_vessels=10, max_duration_s=2 * 3600.0
+    )
+    rng = np.random.default_rng(1)
+
+    # -- provider 1: terrestrial AIS over a CSV wire -------------------------
+    csv_lines = list(dump_ais_csv(fleet.reports))
+    # A real feed always carries some garbage.
+    csv_lines.insert(100, "!!corrupted,line")
+    csv_lines.insert(200, "205,notatime,37.0,24.0,5.0,90.0,ais_terrestrial")
+    terrestrial, bad = decode_ais_csv_batch(csv_lines)
+    print(f"terrestrial feed: {len(csv_lines)} CSV lines → "
+          f"{len(terrestrial)} reports ({bad} malformed skipped)")
+
+    # -- provider 2: satellite AIS (sparse, noisy) ----------------------------
+    satellite_sensor = SensorModel(report_period_s=45.0, gps_sigma_m=80.0)
+    satellite = []
+    for truth in fleet.truth.values():
+        satellite.extend(
+            satellite_sensor.observe(truth, source=ReportSource.AIS_SATELLITE, rng=rng)
+        )
+    satellite.sort(key=lambda r: r.t)
+    print(f"satellite feed  : {len(satellite)} reports")
+
+    # -- fusion -----------------------------------------------------------------
+    fused, fuser = fuse_streams(
+        [terrestrial, satellite], FusionConfig(window_s=10.0, radius_m=300.0)
+    )
+    total = len(terrestrial) + len(satellite)
+    print(f"fusion          : {total} → {len(fused)} "
+          f"({fuser.suppressed} cross-source echoes suppressed, "
+          f"{fuser.suppressed / total:.0%} of load)")
+
+    # -- pipeline with online interlinking -----------------------------------------
+    weather = WeatherGridSource(bbox=fleet.world.bbox)
+    pipeline = MobilityPipeline(
+        bbox=fleet.world.bbox,
+        config=PipelineConfig(interlink=True),
+        registry=fleet.registry,
+        zones=fleet.world.zones,
+        weather=weather,
+    )
+    result = pipeline.run(fused)
+    print(f"pipeline        : kept {result.reports_kept} of {result.reports_clean} "
+          f"clean reports ({result.compression_ratio:.0%} compression), "
+          f"{result.triples_stored} triples")
+
+    # -- questions over the integrated store --------------------------------------
+    rows, __ = pipeline.executor.execute(parse_query(
+        "SELECT DISTINCT ?o WHERE { ?n dac:ofMovingObject ?o . }"
+    ))
+    print(f"store knows {len(rows)} distinct moving objects")
+
+    rows, __ = pipeline.executor.execute(parse_query(
+        "SELECT DISTINCT ?w WHERE { ?n dac:hasWeatherCondition ?w . }"
+    ))
+    print(f"kept nodes link to {len(rows)} distinct weather cells")
+
+    rows, __ = pipeline.executor.execute(parse_query(
+        "SELECT ?n ?z WHERE { ?n dac:withinZone ?z . } LIMIT 5"
+    ))
+    if rows:
+        print("sample zone containment links:")
+        for row in rows:
+            values = {str(var): str(term) for var, term in row.items()}
+            print(f"  {values.get('?n', '?')}  within  {values.get('?z', '?')}")
+    else:
+        print("no vessel entered a zone of interest this run")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling legacy editable installs (`pip install -e .`).
+
+The offline environment lacks the `wheel` package needed by PEP 660
+editable builds, so this file keeps `pip install -e . --no-use-pep517
+--no-build-isolation` (and plain `python setup.py develop`) working.
+"""
+
+from setuptools import setup
+
+setup()

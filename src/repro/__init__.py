@@ -1,0 +1,117 @@
+"""datAcron reproduction: big data management and analytics for mobility
+forecasting.
+
+A self-contained implementation of the architecture described in
+"Big Data Management and Analytics for Mobility Forecasting in datAcron"
+(Doulkeridis, Pelekis, Theodoridis, Vouros — EDBT/ICDT 2017 workshops):
+in-situ stream compression, a common RDF representation, link discovery,
+a partitioned parallel RDF store with spatio-temporal query answering,
+trajectory reconstruction & forecasting (maritime 2D / aviation 3D),
+complex event recognition & forecasting, and a headless visual-analytics
+backend — plus the synthetic surveillance sources that stand in for the
+project's proprietary feeds.
+
+Quickstart::
+
+    from repro import MaritimeTrafficGenerator, MobilityPipeline
+
+    sample = MaritimeTrafficGenerator(seed=7).generate(n_vessels=10)
+    pipeline = MobilityPipeline(bbox=sample.world.bbox,
+                                registry=sample.registry,
+                                zones=sample.world.zones)
+    result = pipeline.run(sample.reports)
+    print(result.compression_ratio, result.end_to_end["p95_ms"])
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced experiment results.
+"""
+
+from repro.model import (
+    STPoint,
+    Domain,
+    PositionReport,
+    ReportSource,
+    Trajectory,
+    MovingEntity,
+    Vessel,
+    Aircraft,
+    EntityRegistry,
+    SimpleEvent,
+    ComplexEvent,
+    EventSeverity,
+)
+from repro.geo import BBox, GeoGrid, Polygon
+from repro.sources import (
+    MaritimeTrafficGenerator,
+    AviationTrafficGenerator,
+    ArchivalStore,
+    WeatherGridSource,
+)
+from repro.insitu import SynopsesConfig, SynopsesGenerator, compress_trajectory
+from repro.rdf import RdfTransformer
+from repro.store import (
+    ParallelRDFStore,
+    HashPartitioner,
+    GridPartitioner,
+    HilbertPartitioner,
+)
+from repro.query import QueryExecutor, parse_query
+from repro.forecasting import (
+    DeadReckoningPredictor,
+    KalmanPredictor,
+    GridMarkovPredictor,
+    RouteBasedPredictor,
+)
+from repro.cep import (
+    SimpleEventExtractor,
+    CollisionRiskDetector,
+    PatternEngine,
+    PatternForecaster,
+)
+from repro.core import MobilityPipeline, PipelineConfig, PipelineResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "STPoint",
+    "Domain",
+    "PositionReport",
+    "ReportSource",
+    "Trajectory",
+    "MovingEntity",
+    "Vessel",
+    "Aircraft",
+    "EntityRegistry",
+    "SimpleEvent",
+    "ComplexEvent",
+    "EventSeverity",
+    "BBox",
+    "GeoGrid",
+    "Polygon",
+    "MaritimeTrafficGenerator",
+    "AviationTrafficGenerator",
+    "ArchivalStore",
+    "WeatherGridSource",
+    "SynopsesConfig",
+    "SynopsesGenerator",
+    "compress_trajectory",
+    "RdfTransformer",
+    "ParallelRDFStore",
+    "HashPartitioner",
+    "GridPartitioner",
+    "HilbertPartitioner",
+    "QueryExecutor",
+    "parse_query",
+    "DeadReckoningPredictor",
+    "KalmanPredictor",
+    "GridMarkovPredictor",
+    "RouteBasedPredictor",
+    "SimpleEventExtractor",
+    "CollisionRiskDetector",
+    "PatternEngine",
+    "PatternForecaster",
+    "MobilityPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "__version__",
+]

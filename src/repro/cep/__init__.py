@@ -1,0 +1,65 @@
+"""Complex event recognition and forecasting.
+
+"Recognition and forecasting of complex events and patterns due to the
+movement of entities (e.g. prediction of potential collision, capacity
+demand, hot spots / paths)":
+
+- :mod:`repro.cep.simple` — derives simple events from the report stream
+  (zone entry/exit, stop begin/end, speed anomaly, gaps, pairwise
+  proximity).
+- :mod:`repro.cep.patterns` — the pattern algebra: atoms with guards,
+  sequence, disjunction, iteration, negation, time windows.
+- :mod:`repro.cep.nfa` — pattern compilation to NFAs and the runtime
+  engine (skip-till-next-match, per-key runs, window pruning).
+- :mod:`repro.cep.detectors` — domain detectors: collision risk
+  (CPA/TCPA), rendezvous, loitering, zone events, sector capacity demand.
+- :mod:`repro.cep.forecast` — event forecasting: per-state completion
+  probabilities learned from history (Markov over NFA states), and
+  kinematic collision forecasting.
+- :mod:`repro.cep.evaluation` — precision/recall scoring of detections
+  against scripted ground truth (experiment E6).
+"""
+
+from repro.cep.simple import SimpleEventConfig, SimpleEventExtractor
+from repro.cep.patterns import Atom, Seq, Or, Iter, Neg, Pattern
+from repro.cep.nfa import NFA, PatternEngine, PatternMatch
+from repro.cep.detectors import (
+    CollisionRiskDetector,
+    RendezvousDetector,
+    LoiteringDetector,
+    CapacityDemandDetector,
+)
+from repro.cep.aviation import LevelBustDetector, HoldingPatternDetector
+from repro.cep.demand_forecast import SectorDemandForecaster, SectorDemand
+from repro.cep.hotspot_stream import StreamingHotspotDetector
+from repro.cep.forecast import PatternForecaster, EventForecast
+from repro.cep.evaluation import match_events, DetectionScore
+from repro.cep import library
+
+__all__ = [
+    "SimpleEventConfig",
+    "SimpleEventExtractor",
+    "Atom",
+    "Seq",
+    "Or",
+    "Iter",
+    "Neg",
+    "Pattern",
+    "NFA",
+    "PatternEngine",
+    "PatternMatch",
+    "CollisionRiskDetector",
+    "RendezvousDetector",
+    "LoiteringDetector",
+    "CapacityDemandDetector",
+    "LevelBustDetector",
+    "HoldingPatternDetector",
+    "SectorDemandForecaster",
+    "SectorDemand",
+    "StreamingHotspotDetector",
+    "PatternForecaster",
+    "EventForecast",
+    "match_events",
+    "DetectionScore",
+    "library",
+]

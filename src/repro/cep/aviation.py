@@ -1,0 +1,193 @@
+"""Aviation-specific complex event detectors.
+
+The ATM use case needs more than sector capacity: deviations from the
+vertical plan and holding behaviour are the bread-and-butter alerts of a
+controller's toolset.
+
+- :class:`LevelBustDetector` — an aircraft in level flight departs its
+  established altitude by more than a threshold without a sustained
+  climb/descent clearance profile.
+- :class:`HoldingPatternDetector` — an aircraft accumulates heading
+  change (full circles) while staying inside a small area: the racetrack
+  holding signature.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.geo.bbox import BBox
+from repro.geo.geodesy import haversine_m
+from repro.model.events import ComplexEvent, EventSeverity
+from repro.model.reports import PositionReport
+
+
+class LevelBustDetector:
+    """Departure from established level flight.
+
+    An aircraft is *established* at a level after holding altitude within
+    ``level_band_m`` for ``establish_s`` seconds. Leaving the band starts
+    an *excursion*: when the deviation reaches ``bust_threshold_m``
+    within ``grace_s`` of leaving, a ``level_bust`` alarm fires (once per
+    ``refractory_s``) and the detector re-establishes at the new
+    altitude. A drift too slow to reach the threshold inside the grace
+    window re-establishes silently.
+
+    Without flight-plan data, a departure from an established level and
+    a *cleared* level change are observationally identical — a real
+    deployment would join these alarms against clearances; here every
+    sufficiently fast departure alerts, which is the conservative choice
+    for a safety monitor.
+    """
+
+    def __init__(
+        self,
+        level_band_m: float = 60.0,
+        establish_s: float = 120.0,
+        bust_threshold_m: float = 90.0,
+        grace_s: float = 120.0,
+        refractory_s: float = 600.0,
+    ) -> None:
+        if level_band_m <= 0 or bust_threshold_m <= level_band_m:
+            raise ValueError("bust threshold must exceed the level band")
+        if grace_s <= 0:
+            raise ValueError("grace_s must be positive")
+        self.level_band_m = level_band_m
+        self.establish_s = establish_s
+        self.bust_threshold_m = bust_threshold_m
+        self.grace_s = grace_s
+        self.refractory_s = refractory_s
+        self._level: dict[str, float] = {}
+        self._candidate: dict[str, tuple[float, float]] = {}  # (alt, since_t)
+        self._excursion_start: dict[str, float] = {}
+        self._last_alert: dict[str, float] = {}
+
+    def process(self, report: PositionReport) -> list[ComplexEvent]:
+        """Feed one (3D) report; returns any level-bust events."""
+        if report.alt is None:
+            return []
+        entity = report.entity_id
+        established = self._level.get(entity)
+
+        if established is None:
+            self._track_candidate(entity, report)
+            return []
+
+        deviation = report.alt - established
+        if abs(deviation) <= self.level_band_m:
+            self._excursion_start.pop(entity, None)
+            return []
+
+        excursion_start = self._excursion_start.setdefault(entity, report.t)
+        elapsed = report.t - excursion_start
+
+        if abs(deviation) >= self.bust_threshold_m and elapsed <= self.grace_s:
+            self._reset_to(entity, report)
+            last = self._last_alert.get(entity)
+            if last is not None and report.t - last < self.refractory_s:
+                return []
+            self._last_alert[entity] = report.t
+            return [
+                ComplexEvent(
+                    event_type="level_bust",
+                    entity_ids=(entity,),
+                    t_start=excursion_start,
+                    t_end=report.t,
+                    severity=EventSeverity.ALARM,
+                    attributes={
+                        "established_alt_m": established,
+                        "deviation_m": deviation,
+                    },
+                )
+            ]
+        if elapsed > self.grace_s:
+            # Slow drift: a level change, not a bust.
+            self._reset_to(entity, report)
+        return []
+
+    def _reset_to(self, entity: str, report: PositionReport) -> None:
+        self._level.pop(entity, None)
+        self._excursion_start.pop(entity, None)
+        self._candidate[entity] = (report.alt or 0.0, report.t)
+
+    def _track_candidate(self, entity: str, report: PositionReport) -> None:
+        candidate = self._candidate.get(entity)
+        if candidate is None or abs(report.alt - candidate[0]) > self.level_band_m:
+            self._candidate[entity] = (report.alt, report.t)
+            return
+        if report.t - candidate[1] >= self.establish_s:
+            self._level[entity] = candidate[0]
+            del self._candidate[entity]
+
+    def established_level(self, entity_id: str) -> float | None:
+        """The entity's currently established level, if any."""
+        return self._level.get(entity_id)
+
+
+class HoldingPatternDetector:
+    """Racetrack holding: large accumulated turn inside a small area.
+
+    Keeps a sliding window of recent reports per aircraft. A
+    ``holding_pattern`` event fires when, within the window, the
+    accumulated |heading change| exceeds ``min_total_turn_deg`` (≥ one
+    full circuit) while the covered area stays within ``radius_m``.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 900.0,
+        min_total_turn_deg: float = 360.0,
+        radius_m: float = 12_000.0,
+        refractory_s: float = 900.0,
+    ) -> None:
+        if min_total_turn_deg <= 0 or radius_m <= 0:
+            raise ValueError("thresholds must be positive")
+        self.window_s = window_s
+        self.min_total_turn_deg = min_total_turn_deg
+        self.radius_m = radius_m
+        self.refractory_s = refractory_s
+        self._window: dict[str, deque[PositionReport]] = defaultdict(deque)
+        self._last_alert: dict[str, float] = {}
+
+    def process(self, report: PositionReport) -> list[ComplexEvent]:
+        """Feed one report; returns any holding-pattern events."""
+        if report.heading is None:
+            return []
+        window = self._window[report.entity_id]
+        window.append(report)
+        while window and report.t - window[0].t > self.window_s:
+            window.popleft()
+        if len(window) < 8:
+            return []
+
+        total_turn = 0.0
+        reports = list(window)
+        for a, b in zip(reports, reports[1:]):
+            delta = (b.heading - a.heading + 540.0) % 360.0 - 180.0  # type: ignore[operator]
+            total_turn += abs(delta)
+        if total_turn < self.min_total_turn_deg:
+            return []
+
+        box = BBox.from_points((r.lon, r.lat) for r in reports)
+        diagonal = haversine_m(box.min_lon, box.min_lat, box.max_lon, box.max_lat)
+        if diagonal > 2.0 * self.radius_m:
+            return []
+
+        last = self._last_alert.get(report.entity_id)
+        if last is not None and report.t - last < self.refractory_s:
+            return []
+        self._last_alert[report.entity_id] = report.t
+        return [
+            ComplexEvent(
+                event_type="holding_pattern",
+                entity_ids=(report.entity_id,),
+                t_start=reports[0].t,
+                t_end=report.t,
+                severity=EventSeverity.ADVISORY,
+                attributes={
+                    "total_turn_deg": total_turn,
+                    "area_diagonal_m": diagonal,
+                },
+            )
+        ]

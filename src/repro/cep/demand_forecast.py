@@ -1,0 +1,178 @@
+"""Sector capacity-demand forecasting.
+
+The paper names "prediction of ... capacity demand" as a target complex
+event. Detection (``CapacityDemandDetector``) tells a controller the
+sector is *already* overloaded; what ATM actually needs is the forecast:
+"sector S will hold 12 aircraft in 20 minutes".
+
+The forecaster combines the two layers this library already has:
+
+1. per-flight future-location prediction (any :class:`Predictor`) from
+   each aircraft's live track history;
+2. point-in-sector counting of the predicted positions.
+
+Forecast occupancy above a sector's capacity raises a
+``capacity_demand_forecast`` event *ahead of time* — the predictive
+counterpart of the detector's reactive alarm.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geo.polygon import Polygon
+from repro.forecasting.base import Predictor
+from repro.model.events import ComplexEvent, EventSeverity
+from repro.model.reports import PositionReport
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class SectorDemand:
+    """Forecast occupancy of one sector at one future time.
+
+    Attributes:
+        sector: Sector name.
+        t_forecast: The future instant the forecast refers to.
+        expected_count: Aircraft predicted inside the sector.
+        entities: Which aircraft are predicted inside.
+    """
+
+    sector: str
+    t_forecast: float
+    expected_count: int
+    entities: tuple[str, ...]
+
+
+class SectorDemandForecaster:
+    """Forecasts per-sector occupancy from live track histories.
+
+    Args:
+        sectors: The airspace sectors.
+        predictor: The future-location model applied per aircraft.
+        capacity: Demand above this raises a forecast event.
+        min_history_s: Aircraft with shorter histories are skipped (the
+            predictor would extrapolate noise).
+    """
+
+    def __init__(
+        self,
+        sectors: Sequence[Polygon],
+        predictor: Predictor,
+        capacity: int = 10,
+        min_history_s: float = 120.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sectors = list(sectors)
+        self.predictor = predictor
+        self.capacity = capacity
+        self.min_history_s = min_history_s
+        self._tracks: dict[str, list[PositionReport]] = defaultdict(list)
+
+    def observe(self, report: PositionReport) -> None:
+        """Accumulate one live report into the entity's track buffer."""
+        track = self._tracks[report.entity_id]
+        if track and report.t <= track[-1].t:
+            return  # ignore out-of-order for the live picture
+        track.append(report)
+
+    def observe_all(self, reports: Iterable[PositionReport]) -> None:
+        """Accumulate many reports."""
+        for report in reports:
+            self.observe(report)
+
+    def active_entities(self, now: float, staleness_s: float = 300.0) -> list[str]:
+        """Entities with a fresh-enough last report to forecast from."""
+        return [
+            entity_id
+            for entity_id, track in self._tracks.items()
+            if track and now - track[-1].t <= staleness_s
+        ]
+
+    def forecast(self, now: float, horizon_s: float) -> list[SectorDemand]:
+        """Predict per-sector occupancy at ``now + horizon_s``.
+
+        Every active aircraft's history is run through the predictor; the
+        predicted positions are counted per sector. Sectors with zero
+        forecast occupancy are omitted.
+        """
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be >= 0")
+        t_forecast = now + horizon_s
+        per_sector: dict[str, list[str]] = defaultdict(list)
+        for entity_id in self.active_entities(now):
+            track = self._tracks[entity_id]
+            history = self._history(entity_id, track)
+            if history is None:
+                continue
+            outcome = self.predictor.predict(history, t_forecast - history.end_time)
+            for sector in self.sectors:
+                if sector.contains(outcome.point.lon, outcome.point.lat):
+                    per_sector[sector.name].append(entity_id)
+                    break
+        return [
+            SectorDemand(
+                sector=name,
+                t_forecast=t_forecast,
+                expected_count=len(entities),
+                entities=tuple(sorted(entities)),
+            )
+            for name, entities in sorted(per_sector.items())
+        ]
+
+    def forecast_events(self, now: float, horizon_s: float) -> list[ComplexEvent]:
+        """Overload forecasts as complex events (above-capacity sectors)."""
+        out = []
+        for demand in self.forecast(now, horizon_s):
+            if demand.expected_count > self.capacity:
+                out.append(
+                    ComplexEvent(
+                        event_type="capacity_demand_forecast",
+                        entity_ids=demand.entities,
+                        t_start=now,
+                        t_end=demand.t_forecast,
+                        severity=EventSeverity.WARNING,
+                        attributes={
+                            "sector": demand.sector,
+                            "expected_count": demand.expected_count,
+                            "capacity": self.capacity,
+                            "horizon_s": horizon_s,
+                        },
+                    )
+                )
+        return out
+
+    def _history(
+        self, entity_id: str, track: list[PositionReport]
+    ) -> Trajectory | None:
+        if len(track) < 2 or track[-1].t - track[0].t < self.min_history_s:
+            return None
+        alt_ok = all(r.alt is not None for r in track)
+        return Trajectory(
+            entity_id,
+            [r.t for r in track],
+            [r.lon for r in track],
+            [r.lat for r in track],
+            [r.alt for r in track] if alt_ok else None,
+        )
+
+
+def actual_occupancy(
+    truth: dict[str, Trajectory],
+    sectors: Sequence[Polygon],
+    t: float,
+) -> dict[str, set[str]]:
+    """Ground-truth sector occupancy at time ``t`` (evaluation helper)."""
+    out: dict[str, set[str]] = {sector.name: set() for sector in sectors}
+    for entity_id, trajectory in truth.items():
+        if not (trajectory.start_time <= t <= trajectory.end_time):
+            continue
+        point = trajectory.at_time(t)
+        for sector in sectors:
+            if sector.contains(point.lon, point.lat):
+                out[sector.name].add(entity_id)
+                break
+    return out

@@ -1,0 +1,329 @@
+"""Domain-level complex event detectors.
+
+Each detector consumes the report stream (and/or the simple-event stream)
+in event-time order and emits :class:`ComplexEvent` instances for the
+phenomena the paper names: potential collisions, rendezvous/transshipment
+behaviour, loitering, and sector capacity demand. All detectors apply a
+per-subject refractory period so a persisting condition raises one event
+per episode, not one per report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.geo.bbox import BBox
+from repro.geo.cpa import cpa_tcpa
+from repro.geo.geodesy import haversine_m
+from repro.geo.polygon import Polygon
+from repro.model.events import ComplexEvent, EventSeverity, SimpleEvent
+from repro.model.reports import PositionReport
+
+
+def _pair_key(a: str, b: str) -> tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class CollisionRiskDetector:
+    """Potential-collision detection via CPA/TCPA on current kinematics.
+
+    On each report, nearby entities (those with a fresh latest position
+    within ``candidate_radius_m``) are checked: if the projected closest
+    point of approach is under ``cpa_threshold_m`` within
+    ``tcpa_threshold_s``, a ``collision_risk`` event is raised for the
+    pair (once per ``refractory_s``).
+
+    With ``vertical_threshold_m`` set (aviation), the horizontal and
+    vertical separations at CPA are thresholded independently — ATM
+    separation standards style (e.g. 5 NM / 1000 ft): a pair conflicts
+    only when *both* components are lost.
+    """
+
+    def __init__(
+        self,
+        cpa_threshold_m: float = 1_000.0,
+        tcpa_threshold_s: float = 1_200.0,
+        candidate_radius_m: float = 20_000.0,
+        staleness_s: float = 120.0,
+        refractory_s: float = 600.0,
+        vertical_threshold_m: float | None = None,
+    ) -> None:
+        if cpa_threshold_m <= 0 or tcpa_threshold_s <= 0:
+            raise ValueError("thresholds must be positive")
+        if vertical_threshold_m is not None and vertical_threshold_m <= 0:
+            raise ValueError("vertical_threshold_m must be positive")
+        self.cpa_threshold_m = cpa_threshold_m
+        self.tcpa_threshold_s = tcpa_threshold_s
+        self.candidate_radius_m = candidate_radius_m
+        self.staleness_s = staleness_s
+        self.refractory_s = refractory_s
+        self.vertical_threshold_m = vertical_threshold_m
+        self._latest: dict[str, PositionReport] = {}
+        self._last_alert: dict[tuple[str, str], float] = {}
+
+    def process(self, report: PositionReport) -> list[ComplexEvent]:
+        """Feed one report; returns any collision-risk events raised."""
+        events: list[ComplexEvent] = []
+        if report.speed is not None and report.heading is not None:
+            for other_id, other in self._latest.items():
+                if other_id == report.entity_id:
+                    continue
+                if report.t - other.t > self.staleness_s:
+                    continue
+                if other.speed is None or other.heading is None:
+                    continue
+                if (
+                    haversine_m(report.lon, report.lat, other.lon, other.lat)
+                    > self.candidate_radius_m
+                ):
+                    continue
+                event = self._check_pair(report, other)
+                if event is not None:
+                    events.append(event)
+        self._latest[report.entity_id] = report
+        return events
+
+    def _check_pair(
+        self, report: PositionReport, other: PositionReport
+    ) -> ComplexEvent | None:
+        result = cpa_tcpa(
+            report.lon, report.lat, report.speed or 0.0, report.heading or 0.0,
+            other.lon, other.lat, other.speed or 0.0, other.heading or 0.0,
+            alt1=report.alt, alt2=other.alt,
+            vrate1_mps=report.vertical_rate or 0.0,
+            vrate2_mps=other.vertical_rate or 0.0,
+        )
+        if self.vertical_threshold_m is not None and result.vertical_m is not None:
+            # Independent horizontal/vertical separation (ATM style).
+            if result.horizontal_m > self.cpa_threshold_m:
+                return None
+            if result.vertical_m > self.vertical_threshold_m:
+                return None
+        elif result.distance_m > self.cpa_threshold_m:
+            return None
+        if result.tcpa_s > self.tcpa_threshold_s:
+            return None
+        pair = _pair_key(report.entity_id, other.entity_id)
+        last = self._last_alert.get(pair)
+        if last is not None and report.t - last < self.refractory_s:
+            return None
+        self._last_alert[pair] = report.t
+        severity = (
+            EventSeverity.ALARM if result.tcpa_s < self.tcpa_threshold_s / 3.0
+            else EventSeverity.WARNING
+        )
+        return ComplexEvent(
+            event_type="collision_risk",
+            entity_ids=pair,
+            t_start=report.t,
+            t_end=report.t,
+            severity=severity,
+            attributes={
+                "cpa_m": result.distance_m,
+                "tcpa_s": result.tcpa_s,
+                "current_distance_m": result.current_distance_m,
+            },
+        )
+
+
+class RendezvousDetector:
+    """Two entities stopped together: the transshipment signature.
+
+    Tracks which entities are stopped (from ``stop_begin``/``stop_end``
+    simple events) and where; when two stopped entities have been within
+    ``radius_m`` of each other for at least ``min_duration_s``, a
+    ``rendezvous`` event fires for the pair (once per episode).
+    """
+
+    def __init__(self, radius_m: float = 500.0, min_duration_s: float = 600.0) -> None:
+        if radius_m <= 0 or min_duration_s <= 0:
+            raise ValueError("thresholds must be positive")
+        self.radius_m = radius_m
+        self.min_duration_s = min_duration_s
+        self._stopped_since: dict[str, SimpleEvent] = {}
+        self._pair_since: dict[tuple[str, str], float] = {}
+        self._alerted: set[tuple[str, str]] = set()
+
+    def process(self, event: SimpleEvent) -> list[ComplexEvent]:
+        """Feed one simple event; returns any rendezvous events raised."""
+        if event.event_type == "stop_begin":
+            self._stopped_since[event.entity_id] = event
+        elif event.event_type == "stop_end":
+            self._stopped_since.pop(event.entity_id, None)
+            for pair in [p for p in self._pair_since if event.entity_id in p]:
+                del self._pair_since[pair]
+                self._alerted.discard(pair)
+            return []
+        else:
+            return []
+
+        out: list[ComplexEvent] = []
+        me = self._stopped_since.get(event.entity_id)
+        if me is None:
+            return out
+        for other_id, other in self._stopped_since.items():
+            if other_id == event.entity_id:
+                continue
+            distance = haversine_m(me.lon, me.lat, other.lon, other.lat)
+            pair = _pair_key(event.entity_id, other_id)
+            if distance <= self.radius_m:
+                self._pair_since.setdefault(pair, max(me.t, other.t))
+        out.extend(self._mature_pairs(event.t))
+        return out
+
+    def tick(self, now: float) -> list[ComplexEvent]:
+        """Time-driven check: emits pairs whose co-stop matured by ``now``.
+
+        Call periodically (e.g. once per report) because stop events alone
+        do not advance time for already-stopped pairs.
+        """
+        return self._mature_pairs(now)
+
+    def _mature_pairs(self, now: float) -> list[ComplexEvent]:
+        out: list[ComplexEvent] = []
+        for pair, since in self._pair_since.items():
+            if pair in self._alerted:
+                continue
+            if now - since >= self.min_duration_s:
+                self._alerted.add(pair)
+                a = self._stopped_since.get(pair[0])
+                out.append(
+                    ComplexEvent(
+                        event_type="rendezvous",
+                        entity_ids=pair,
+                        t_start=since,
+                        t_end=now,
+                        severity=EventSeverity.WARNING,
+                        attributes={"duration_s": now - since},
+                    )
+                )
+        return out
+
+
+class LoiteringDetector:
+    """An entity dwelling slowly inside a small area for a long time.
+
+    Keeps a sliding window of recent positions per entity; when the
+    window spans at least ``min_duration_s``, fits inside a circle of
+    ``radius_m`` and the average speed stays below ``max_speed_mps``, a
+    ``loitering`` event fires (once per ``refractory_s``).
+    """
+
+    def __init__(
+        self,
+        radius_m: float = 1_000.0,
+        min_duration_s: float = 900.0,
+        max_speed_mps: float = 1.5,
+        refractory_s: float = 1800.0,
+    ) -> None:
+        self.radius_m = radius_m
+        self.min_duration_s = min_duration_s
+        self.max_speed_mps = max_speed_mps
+        self.refractory_s = refractory_s
+        self._window: dict[str, deque[PositionReport]] = defaultdict(deque)
+        self._last_alert: dict[str, float] = {}
+
+    def process(self, report: PositionReport) -> list[ComplexEvent]:
+        """Feed one report; returns any loitering events raised."""
+        window = self._window[report.entity_id]
+        window.append(report)
+        while window and report.t - window[0].t > self.min_duration_s:
+            window.popleft()
+        if not window or window[-1].t - window[0].t < self.min_duration_s * 0.95:
+            return []
+
+        last = self._last_alert.get(report.entity_id)
+        if last is not None and report.t - last < self.refractory_s:
+            return []
+
+        box = BBox.from_points((r.lon, r.lat) for r in window)
+        diagonal = haversine_m(box.min_lon, box.min_lat, box.max_lon, box.max_lat)
+        if diagonal > 2.0 * self.radius_m:
+            return []
+        duration = window[-1].t - window[0].t
+        travelled = sum(
+            haversine_m(a.lon, a.lat, b.lon, b.lat)
+            for a, b in zip(window, list(window)[1:])
+        )
+        if duration <= 0 or travelled / duration > self.max_speed_mps:
+            return []
+
+        self._last_alert[report.entity_id] = report.t
+        return [
+            ComplexEvent(
+                event_type="loitering",
+                entity_ids=(report.entity_id,),
+                t_start=window[0].t,
+                t_end=report.t,
+                severity=EventSeverity.WARNING,
+                attributes={"area_diagonal_m": diagonal, "duration_s": duration},
+            )
+        ]
+
+
+class CapacityDemandDetector:
+    """Sector capacity demand: too many entities in a sector per window.
+
+    Counts distinct entities present in each sector over tumbling windows;
+    when a window's count exceeds the sector's capacity, a
+    ``capacity_overload`` event fires at window close. This is the
+    aviation "hotspot / capacity demand" phenomenon from the paper.
+    """
+
+    def __init__(
+        self,
+        sectors: list[Polygon],
+        capacity: int = 10,
+        window_s: float = 600.0,
+    ) -> None:
+        if capacity <= 0 or window_s <= 0:
+            raise ValueError("capacity and window must be positive")
+        self.sectors = sectors
+        self.capacity = capacity
+        self.window_s = window_s
+        self._current_window: int | None = None
+        self._present: dict[str, set[str]] = defaultdict(set)
+
+    def process(self, report: PositionReport) -> list[ComplexEvent]:
+        """Feed one report; emits overload events when a window closes."""
+        window_idx = int(report.t // self.window_s)
+        out: list[ComplexEvent] = []
+        if self._current_window is not None and window_idx != self._current_window:
+            out = self._close_window(self._current_window)
+        self._current_window = window_idx
+        for sector in self.sectors:
+            if sector.contains(report.lon, report.lat):
+                self._present[sector.name].add(report.entity_id)
+        return out
+
+    def flush(self) -> list[ComplexEvent]:
+        """Close the final window at end of stream."""
+        if self._current_window is None:
+            return []
+        out = self._close_window(self._current_window)
+        self._current_window = None
+        return out
+
+    def _close_window(self, window_idx: int) -> list[ComplexEvent]:
+        t_start = window_idx * self.window_s
+        t_end = t_start + self.window_s
+        out: list[ComplexEvent] = []
+        for sector_name, entities in self._present.items():
+            if len(entities) > self.capacity:
+                out.append(
+                    ComplexEvent(
+                        event_type="capacity_overload",
+                        entity_ids=tuple(sorted(entities)),
+                        t_start=t_start,
+                        t_end=t_end,
+                        severity=EventSeverity.WARNING,
+                        attributes={
+                            "sector": sector_name,
+                            "count": len(entities),
+                            "capacity": self.capacity,
+                        },
+                    )
+                )
+        self._present.clear()
+        return out

@@ -1,0 +1,108 @@
+"""Scoring complex event detections against scripted ground truth (E6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.events import ComplexEvent, SimpleEvent
+from repro.sources.scenarios import ExpectedEvent
+
+
+def promote(event: SimpleEvent) -> ComplexEvent:
+    """Lift a simple event to a complex event for uniform scoring."""
+    return ComplexEvent(
+        event_type=event.event_type,
+        entity_ids=(event.entity_id,),
+        t_start=event.t,
+        t_end=event.t,
+        severity=event.severity,
+        attributes=event.attributes,
+        contributing=(event,),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class DetectionScore:
+    """Precision/recall of a detection run.
+
+    Attributes:
+        true_positives: Expected events matched by >= 1 detection.
+        false_negatives: Expected events never detected.
+        false_positives: Detections matching no expected event.
+        mean_latency_s: Mean of (first detection time − earliest
+            acceptable time) over matched events; smaller is earlier.
+    """
+
+    true_positives: int
+    false_negatives: int
+    false_positives: int
+    mean_latency_s: float
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was detected."""
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when nothing was expected."""
+        expected = self.true_positives + self.false_negatives
+        return self.true_positives / expected if expected else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def match_events(
+    detections: list[ComplexEvent],
+    expected: list[ExpectedEvent],
+) -> DetectionScore:
+    """Greedy matching of detections to expected events.
+
+    A detection matches an expected event when the types agree, the
+    expected entities are a subset of the detection's entities and the
+    detection time (``t_end``) falls in the expected window. Each
+    detection can satisfy one expected event; extra detections of an
+    already-matched expectation are *not* counted as false positives
+    (repeated alerts for one episode are operationally benign).
+    """
+    matched: list[float] = []
+    remaining = list(expected)
+    unmatched_detections = 0
+    satisfied: list[ExpectedEvent] = []
+
+    for detection in sorted(detections, key=lambda d: d.t_end):
+        target = None
+        for exp in remaining:
+            if _matches(detection, exp):
+                target = exp
+                break
+        if target is not None:
+            remaining.remove(target)
+            satisfied.append(target)
+            matched.append(detection.t_end - target.t_from)
+            continue
+        if any(_matches(detection, exp) for exp in satisfied):
+            continue  # repeated alert for an already-matched episode
+        unmatched_detections += 1
+
+    return DetectionScore(
+        true_positives=len(matched),
+        false_negatives=len(remaining),
+        false_positives=unmatched_detections,
+        mean_latency_s=float(np.mean(matched)) if matched else 0.0,
+    )
+
+
+def _matches(detection: ComplexEvent, expected: ExpectedEvent) -> bool:
+    if detection.event_type != expected.event_type:
+        return False
+    if not set(expected.entity_ids).issubset(set(detection.entity_ids)):
+        return False
+    return expected.t_from <= detection.t_end <= expected.t_to

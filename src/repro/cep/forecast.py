@@ -1,0 +1,197 @@
+"""Event forecasting: predicting pattern completion before it happens.
+
+The forecaster treats the recognition NFA as a Markov chain. From a
+training simple-event stream it learns the empirical distribution of
+event types per key-step; combining that with the automaton's structure
+gives, for every NFA state, the probability of reaching an accept state
+within the next ``h`` events. At runtime, a key whose most advanced run
+sits in state ``s`` is forecast to complete the pattern when
+``P_h(s) >= threshold``.
+
+This is the automaton-based event forecasting approach datAcron pursued
+(cf. Wayeb): forecasts become earlier but less precise as the horizon
+``h`` grows — exactly the trade-off experiment E6 charts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.cep.nfa import PatternEngine
+from repro.model.events import SimpleEvent
+
+
+@dataclass(frozen=True, slots=True)
+class EventForecast:
+    """A forecast that a pattern will complete for a key.
+
+    Attributes:
+        pattern_name: The target pattern.
+        key: The run key (entity or pair).
+        t: Forecast emission time.
+        probability: Estimated completion probability within the horizon.
+        horizon_events: The look-ahead horizon, in events.
+        state: The NFA state the forecast was issued from.
+        expected_by: Wall-time estimate of the horizon's end: ``t +
+            horizon_events × mean per-key inter-event interval`` learned
+            from the training stream (``None`` when the training stream
+            had no measurable cadence).
+    """
+
+    pattern_name: str
+    key: Any
+    t: float
+    probability: float
+    horizon_events: int
+    state: int
+    expected_by: float | None = None
+
+
+class PatternForecaster:
+    """Forecasts completions of one :class:`PatternEngine`'s pattern.
+
+    Args:
+        engine: The engine whose NFA (and live runs) are consulted.
+        horizon_events: Look-ahead, counted in events per key.
+        threshold: Minimum completion probability to emit a forecast.
+        refractory_events: Per-key suppression after a forecast so a
+            persisting partial match emits one forecast, not a stream.
+    """
+
+    def __init__(
+        self,
+        engine: PatternEngine,
+        horizon_events: int = 5,
+        threshold: float = 0.5,
+        refractory_events: int = 10,
+    ) -> None:
+        if horizon_events <= 0:
+            raise ValueError("horizon_events must be positive")
+        if not (0.0 < threshold <= 1.0):
+            raise ValueError("threshold must be in (0, 1]")
+        self.engine = engine
+        self.horizon_events = horizon_events
+        self.threshold = threshold
+        self.refractory_events = refractory_events
+        self._type_probs: dict[str, float] = {}
+        self._reach: np.ndarray | None = None
+        self._since_forecast: dict[Any, int] = {}
+        #: Mean per-key inter-event interval learned by :meth:`fit`.
+        self.mean_interevent_s: float | None = None
+
+    # -- training -----------------------------------------------------------
+
+    def fit(self, training_events: Iterable[SimpleEvent]) -> PatternForecaster:
+        """Learn event-type frequencies, per-key cadence, and precompute
+        reach probabilities."""
+        counts: Counter[str] = Counter()
+        last_t: dict[Any, float] = {}
+        gaps: list[float] = []
+        for event in training_events:
+            counts[event.event_type] += 1
+            key = self.engine.key_fn(event)
+            previous = last_t.get(key)
+            if previous is not None and event.t > previous:
+                gaps.append(event.t - previous)
+            last_t[key] = event.t
+        total = sum(counts.values())
+        if total == 0:
+            raise ValueError("training stream is empty")
+        self._type_probs = {etype: c / total for etype, c in counts.items()}
+        self.mean_interevent_s = (sum(gaps) / len(gaps)) if gaps else None
+        self._reach = self._reach_probabilities()
+        return self
+
+    def _atom_prob(self, event_type: str) -> float:
+        """P(next event matches the atom), ignoring guards (upper bound)."""
+        return self._type_probs.get(event_type, 0.0)
+
+    def _reach_probabilities(self) -> np.ndarray:
+        """``reach[k][s]`` = P(accept within k events | state s).
+
+        One DP step: from state ``s`` the next event (i) matches a
+        forbidden atom → dead; (ii) matches an outgoing edge → jump to the
+        target (accept counts immediately); (iii) otherwise stay in ``s``.
+        Outgoing edges are treated as disjoint by event type, which holds
+        for all patterns shipped here.
+        """
+        nfa = self.engine.nfa
+        n = nfa.n_states
+        horizon = self.horizon_events
+        reach = np.zeros((horizon + 1, n))
+        accepts = nfa.accepts
+        for k in range(1, horizon + 1):
+            for state in range(n):
+                if state in accepts:
+                    reach[k, state] = 1.0
+                    continue
+                p_dead = sum(
+                    self._atom_prob(atom.event_type)
+                    for atom in nfa.forbidden.get(state, ())
+                )
+                p_move = 0.0
+                value = 0.0
+                for atom, target in nfa.transitions.get(state, ()):
+                    p = self._atom_prob(atom.event_type)
+                    p_move += p
+                    value += p * (1.0 if target in accepts else reach[k - 1, target])
+                p_stay = max(0.0, 1.0 - p_dead - p_move)
+                value += p_stay * reach[k - 1, state]
+                reach[k, state] = min(1.0, value)
+        return reach
+
+    # -- runtime -------------------------------------------------------------
+
+    def process(self, event: SimpleEvent) -> list[EventForecast]:
+        """Feed one event to the engine, then forecast from the live runs.
+
+        Returns forecasts (not matches; read matches from the engine's
+        return value if needed — this method discards them by design, the
+        typical deployment runs engine and forecaster on the same stream).
+        """
+        self.engine.process(event)
+        return self.forecast_for_key(self.engine.key_fn(event), event.t)
+
+    def forecast_for_key(self, key: Any, now: float) -> list[EventForecast]:
+        """Forecast from a key's current most-advanced run, if any."""
+        if self._reach is None:
+            raise RuntimeError("fit() must be called before forecasting")
+        states = self.engine.partial_states(key)
+        if not states:
+            self._since_forecast.pop(key, None)
+            return []
+        since = self._since_forecast.get(key)
+        if since is not None and since < self.refractory_events:
+            self._since_forecast[key] = since + 1
+            return []
+        best_state = max(states, key=lambda s: self._reach[self.horizon_events, s])
+        probability = float(self._reach[self.horizon_events, best_state])
+        if probability < self.threshold:
+            return []
+        self._since_forecast[key] = 0
+        expected_by = (
+            now + self.horizon_events * self.mean_interevent_s
+            if self.mean_interevent_s is not None
+            else None
+        )
+        return [
+            EventForecast(
+                pattern_name=self.engine.name,
+                key=key,
+                t=now,
+                probability=probability,
+                horizon_events=self.horizon_events,
+                state=best_state,
+                expected_by=expected_by,
+            )
+        ]
+
+    def completion_probability(self, state: int) -> float:
+        """P(accept within the horizon) from an NFA state (introspection)."""
+        if self._reach is None:
+            raise RuntimeError("fit() must be called before forecasting")
+        return float(self._reach[self.horizon_events, state])

@@ -1,0 +1,118 @@
+"""A library of predefined domain patterns built on the pattern algebra.
+
+Each factory returns a configured :class:`PatternEngine` recognizing one
+operationally meaningful behaviour over the simple-event stream. These
+are the "complex events and patterns due to the movement of entities"
+the paper's recognition layer targets, expressed declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cep.nfa import PatternEngine
+from repro.cep.patterns import Atom, Iter, MatchContext, Neg, Or, Seq
+from repro.model.events import SimpleEvent
+
+
+def dark_activity(window_s: float = 3600.0) -> PatternEngine:
+    """A long communication gap bracketed by stops — "going dark".
+
+    ``stop_begin`` then ``gap_start`` then ``gap_end`` with no
+    ``stop_end`` in between: the vessel stopped, switched its transponder
+    off, and reappeared still (or again) stopped — the transshipment /
+    illicit-activity signature for dark periods.
+    """
+    pattern = Seq((
+        Atom("stop_begin"),
+        Neg(Atom("stop_end")),
+        Atom("gap_start"),
+        Atom("gap_end"),
+    ))
+    return PatternEngine(pattern, window_s=window_s, name="dark_activity")
+
+
+def gap_near_zone(zone_prefix: str = "", window_s: float = 1800.0) -> PatternEngine:
+    """Zone entry followed by a communication gap before any exit.
+
+    Entering an area of interest and then going silent — the pattern
+    behind "suspicious gap in protected area" alerts.
+    """
+
+    def in_zone(event: SimpleEvent, __ctx: MatchContext) -> bool:
+        zone = str(event.attributes.get("zone", ""))
+        return zone.startswith(zone_prefix)
+
+    pattern = Seq((
+        Atom("zone_entry", guard=in_zone),
+        Neg(Atom("zone_exit")),
+        Atom("gap_start"),
+    ))
+    return PatternEngine(pattern, window_s=window_s, name="gap_near_zone")
+
+
+def shadowing(max_gap_events: int = 4, window_s: float = 1800.0) -> PatternEngine:
+    """Repeated proximity to the *same* other entity — one vessel
+    following another.
+
+    At least ``max_gap_events`` proximity events against a constant
+    counterpart within the window.
+    """
+
+    def same_other(event: SimpleEvent, context: MatchContext) -> bool:
+        if context.first is None:
+            return True
+        return event.attributes.get("other") == context.first.attributes.get("other")
+
+    pattern = Iter(
+        Atom("proximity", guard=same_other),
+        min_count=max_gap_events,
+        max_count=max_gap_events,
+    )
+    return PatternEngine(pattern, window_s=window_s, name="shadowing")
+
+
+def zigzag(min_turns: int = 4, window_s: float = 1200.0) -> PatternEngine:
+    """Rapid alternating manoeuvres: several stop/turn-class events in a
+    short window — evasive or fishing-like movement.
+
+    Built on ``stop_begin``/``stop_end`` oscillation; trawling vessels
+    alternate slow hauls and accelerations.
+    """
+    step = Or((Atom("stop_begin"), Atom("stop_end")))
+    parts = tuple([step] * max(2, min_turns))
+    return PatternEngine(Seq(parts), window_s=window_s, name="zigzag")
+
+
+def blackout_reappear_elsewhere(
+    min_jump_m: float = 10_000.0, window_s: float = 7200.0
+) -> PatternEngine:
+    """A gap whose end lies far from its start — the entity moved while
+    dark.
+
+    The guard compares the gap-end position against the gap-start
+    position captured earlier in the match.
+    """
+
+    def far_from_start(event: SimpleEvent, context: MatchContext) -> bool:
+        from repro.geo.geodesy import haversine_m
+
+        start = context.first
+        if start is None:
+            return False
+        return haversine_m(start.lon, start.lat, event.lon, event.lat) >= min_jump_m
+
+    pattern = Seq((Atom("gap_start"), Atom("gap_end", guard=far_from_start)))
+    return PatternEngine(pattern, window_s=window_s, name="blackout_reappear_elsewhere")
+
+
+def all_patterns() -> dict[str, PatternEngine]:
+    """Fresh instances of every library pattern, keyed by name."""
+    engines = [
+        dark_activity(),
+        gap_near_zone(),
+        shadowing(),
+        zigzag(),
+        blackout_reappear_elsewhere(),
+    ]
+    return {engine.name: engine for engine in engines}

@@ -1,0 +1,124 @@
+"""Pattern algebra for complex event recognition.
+
+Patterns compose over :class:`SimpleEvent` streams:
+
+- :class:`Atom` — one event of a given type, optionally guarded by a
+  predicate over the event and the partial match so far.
+- :class:`Seq` — components in temporal order (skip-till-next-match:
+  irrelevant events in between are ignored).
+- :class:`Or` — either branch.
+- :class:`Iter` — an atom repeated between ``min_count`` and
+  ``max_count`` times.
+- :class:`Neg` — a sequence component that must *not* occur between its
+  neighbours (evaluated when the following component matches).
+
+A pattern plus a time window compiles to an NFA (:mod:`repro.cep.nfa`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.model.events import SimpleEvent
+
+Guard = Callable[[SimpleEvent, "MatchContext"], bool]
+
+
+@dataclass
+class MatchContext:
+    """The events captured so far by a partial match, in order."""
+
+    events: tuple[SimpleEvent, ...] = ()
+
+    def extended(self, event: SimpleEvent) -> MatchContext:
+        """A new context with one more captured event."""
+        return MatchContext(events=self.events + (event,))
+
+    @property
+    def first(self) -> SimpleEvent | None:
+        """First captured event, if any."""
+        return self.events[0] if self.events else None
+
+    @property
+    def last(self) -> SimpleEvent | None:
+        """Most recent captured event, if any."""
+        return self.events[-1] if self.events else None
+
+
+class Pattern:
+    """Base class for pattern expressions."""
+
+    def then(self, other: Pattern) -> Seq:
+        """``self`` followed by ``other`` (flattens nested sequences)."""
+        left = list(self.parts) if isinstance(self, Seq) else [self]
+        right = list(other.parts) if isinstance(other, Seq) else [other]
+        return Seq(tuple(left + right))
+
+    def __or__(self, other: Pattern) -> Or:
+        return Or((self, other))
+
+
+@dataclass(frozen=True)
+class Atom(Pattern):
+    """One event of ``event_type`` satisfying the optional guard."""
+
+    event_type: str
+    guard: Guard | None = None
+    label: str = ""
+
+    def matches(self, event: SimpleEvent, context: MatchContext) -> bool:
+        """Whether this atom accepts the event given the partial match."""
+        if event.event_type != self.event_type:
+            return False
+        if self.guard is not None and not self.guard(event, context):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class Seq(Pattern):
+    """Components in temporal order with skip-till-next-match semantics."""
+
+    parts: tuple[Pattern, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("Seq needs at least two parts")
+
+
+@dataclass(frozen=True)
+class Or(Pattern):
+    """Either branch matches."""
+
+    branches: tuple[Pattern, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("Or needs at least two branches")
+
+
+@dataclass(frozen=True)
+class Iter(Pattern):
+    """An atom repeated ``min_count``..``max_count`` times (contiguous in
+    match order, skip-till-next-match between repetitions)."""
+
+    atom: Atom
+    min_count: int = 1
+    max_count: int = 16
+
+    def __post_init__(self) -> None:
+        if self.min_count < 1 or self.max_count < self.min_count:
+            raise ValueError("invalid Iter bounds")
+
+
+@dataclass(frozen=True)
+class Neg(Pattern):
+    """Negated component inside a :class:`Seq`.
+
+    ``Seq((a, Neg(b), c))`` matches an ``a ... c`` pair with no ``b``
+    between them. A ``Neg`` may only appear between two positive
+    components (or before the final component).
+    """
+
+    atom: Atom

@@ -1,0 +1,255 @@
+"""Simple event derivation from the position-report stream.
+
+A :class:`SimpleEventExtractor` consumes reports (one call per report, in
+event-time order) and emits :class:`SimpleEvent` instances:
+
+================ ============================================================
+``zone_entry``   entity crossed into a zone of interest (attr ``zone``)
+``zone_exit``    entity left a zone
+``stop_begin``   speed dropped below the stop threshold
+``stop_end``     speed recovered
+``speed_anomaly`` speed exceeded the entity's plausible ceiling fraction
+``gap_start``    retroactive: communication silence began (emitted at
+                 reconnection, timestamped at the last report before it)
+``gap_end``      communication resumed after a long silence
+``proximity``    another entity is within the proximity radius (attr
+                 ``other``, ``distance_m``) — the input to encounter-level
+                 detectors
+================ ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.geo.geodesy import haversine_m
+from repro.geo.grid import GeoGrid, GridIndex
+from repro.geo.polygon import Polygon
+from repro.model.entities import EntityRegistry
+from repro.model.events import EventSeverity, SimpleEvent
+from repro.model.reports import PositionReport
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleEventConfig:
+    """Thresholds for simple event derivation.
+
+    Attributes:
+        stop_speed_mps: Below → stopped.
+        stop_hysteresis: ``stop_end`` requires speed to exceed
+            ``stop_speed_mps × stop_hysteresis`` (Schmitt trigger), so
+            measurement noise around the threshold cannot toggle the stop
+            state on every report.
+        speed_anomaly_factor: Speed above ``factor × max_speed`` of the
+            entity raises an anomaly.
+        gap_threshold_s: Silence longer than this is a communication gap.
+        proximity_radius_m: Pairwise distance that triggers proximity
+            events.
+        proximity_staleness_s: Another entity's last position older than
+            this does not count for proximity.
+    """
+
+    stop_speed_mps: float = 0.8
+    stop_hysteresis: float = 2.0
+    speed_anomaly_factor: float = 1.2
+    gap_threshold_s: float = 600.0
+    proximity_radius_m: float = 5_000.0
+    proximity_staleness_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.stop_speed_mps < 0 or self.speed_anomaly_factor <= 0:
+            raise ValueError("invalid thresholds")
+        if self.gap_threshold_s <= 0 or self.proximity_radius_m <= 0:
+            raise ValueError("invalid thresholds")
+
+
+@dataclass
+class _EntityState:
+    last: PositionReport | None = None
+    stopped: bool = False
+    zones: set[str] = field(default_factory=set)
+
+
+class SimpleEventExtractor:
+    """Stateful extractor of simple events from an ordered report stream."""
+
+    def __init__(
+        self,
+        config: SimpleEventConfig | None = None,
+        zones: Iterable[Polygon] = (),
+        registry: EntityRegistry | None = None,
+        grid: GeoGrid | None = None,
+    ) -> None:
+        self.config = config or SimpleEventConfig()
+        self.zones = list(zones)
+        self.registry = registry
+        self._states: dict[str, _EntityState] = {}
+        # Latest position per entity for proximity checks.
+        self._latest: dict[str, PositionReport] = {}
+        self._grid = grid
+
+    def process(self, report: PositionReport) -> list[SimpleEvent]:
+        """Derive the simple events triggered by one report."""
+        state = self._states.setdefault(report.entity_id, _EntityState())
+        events: list[SimpleEvent] = []
+
+        self._gap_events(report, state, events)
+        self._stop_events(report, state, events)
+        self._speed_anomaly(report, events)
+        self._zone_events(report, state, events)
+        self._proximity_events(report, events)
+
+        state.last = report
+        self._latest[report.entity_id] = report
+        return events
+
+    def process_all(self, reports: Iterable[PositionReport]) -> list[SimpleEvent]:
+        """Batch helper over an event-time-ordered report sequence."""
+        out: list[SimpleEvent] = []
+        for report in reports:
+            out.extend(self.process(report))
+        return out
+
+    # -- detectors ------------------------------------------------------------
+
+    def _gap_events(
+        self, report: PositionReport, state: _EntityState, events: list[SimpleEvent]
+    ) -> None:
+        last = state.last
+        if last is None:
+            return
+        if report.t - last.t > self.config.gap_threshold_s:
+            events.append(
+                SimpleEvent(
+                    event_type="gap_start",
+                    entity_id=report.entity_id,
+                    t=last.t,
+                    lon=last.lon,
+                    lat=last.lat,
+                    severity=EventSeverity.ADVISORY,
+                    attributes={"duration_s": report.t - last.t},
+                )
+            )
+            events.append(
+                SimpleEvent(
+                    event_type="gap_end",
+                    entity_id=report.entity_id,
+                    t=report.t,
+                    lon=report.lon,
+                    lat=report.lat,
+                    severity=EventSeverity.ADVISORY,
+                    attributes={"duration_s": report.t - last.t},
+                )
+            )
+
+    def _stop_events(
+        self, report: PositionReport, state: _EntityState, events: list[SimpleEvent]
+    ) -> None:
+        speed = self._effective_speed(report, state)
+        if speed is None:
+            return
+        if not state.stopped and speed < self.config.stop_speed_mps:
+            state.stopped = True
+            events.append(self._event("stop_begin", report, speed_mps=speed))
+        elif state.stopped and speed >= self.config.stop_speed_mps * self.config.stop_hysteresis:
+            state.stopped = False
+            events.append(self._event("stop_end", report, speed_mps=speed))
+
+    def _effective_speed(
+        self, report: PositionReport, state: _EntityState
+    ) -> float | None:
+        if report.speed is not None:
+            return report.speed
+        if state.last is None:
+            return None
+        dt = report.t - state.last.t
+        if dt <= 0:
+            return None
+        return haversine_m(state.last.lon, state.last.lat, report.lon, report.lat) / dt
+
+    def _speed_anomaly(self, report: PositionReport, events: list[SimpleEvent]) -> None:
+        if report.speed is None or self.registry is None:
+            return
+        entity = self.registry.get_or_none(report.entity_id)
+        if entity is None:
+            return
+        ceiling = entity.max_speed_mps * self.config.speed_anomaly_factor
+        if report.speed > ceiling:
+            events.append(
+                self._event(
+                    "speed_anomaly",
+                    report,
+                    severity=EventSeverity.WARNING,
+                    speed_mps=report.speed,
+                    ceiling_mps=ceiling,
+                )
+            )
+
+    def _zone_events(
+        self, report: PositionReport, state: _EntityState, events: list[SimpleEvent]
+    ) -> None:
+        for zone in self.zones:
+            inside = zone.contains(report.lon, report.lat)
+            was_inside = zone.name in state.zones
+            if inside and not was_inside:
+                state.zones.add(zone.name)
+                events.append(
+                    self._event("zone_entry", report, severity=EventSeverity.WARNING, zone=zone.name)
+                )
+            elif not inside and was_inside:
+                state.zones.discard(zone.name)
+                events.append(
+                    self._event("zone_exit", report, severity=EventSeverity.INFO, zone=zone.name)
+                )
+
+    def _proximity_events(self, report: PositionReport, events: list[SimpleEvent]) -> None:
+        radius = self.config.proximity_radius_m
+        for other_id, other in self._candidates(report):
+            if other_id == report.entity_id:
+                continue
+            if report.t - other.t > self.config.proximity_staleness_s:
+                continue
+            distance = haversine_m(report.lon, report.lat, other.lon, other.lat)
+            if distance <= radius:
+                events.append(
+                    self._event(
+                        "proximity",
+                        report,
+                        severity=EventSeverity.ADVISORY,
+                        other=other_id,
+                        distance_m=distance,
+                    )
+                )
+
+    def _candidates(self, report: PositionReport) -> list[tuple[str, PositionReport]]:
+        """Entities that could be within the proximity radius.
+
+        With a grid configured this uses a spatial index rebuilt lazily;
+        without one it scans all latest positions (fine for small fleets,
+        and always correct).
+        """
+        if self._grid is None:
+            return list(self._latest.items())
+        index = GridIndex(self._grid)
+        for entity_id, last in self._latest.items():
+            index.insert(last.lon, last.lat, entity_id)
+        ids = index.query_radius(report.lon, report.lat, self.config.proximity_radius_m)
+        return [(i, self._latest[i]) for i in ids]
+
+    @staticmethod
+    def _event(
+        event_type: str,
+        report: PositionReport,
+        severity: EventSeverity = EventSeverity.INFO,
+        **attributes,
+    ) -> SimpleEvent:
+        return SimpleEvent(
+            event_type=event_type,
+            entity_id=report.entity_id,
+            t=report.t,
+            lon=report.lon,
+            lat=report.lat,
+            severity=severity,
+            attributes=attributes,
+        )

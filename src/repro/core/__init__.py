@@ -1,0 +1,17 @@
+"""End-to-end orchestration: the datAcron pipeline.
+
+:class:`MobilityPipeline` wires every component of the architecture in
+Section 2 of the paper into one flow:
+
+    sources → in-situ cleaning & synopses → RDF transformation →
+    parallel store   +   simple events → complex event detection →
+    (events also persisted as RDF) → query answering & visual analytics
+
+with per-stage and end-to-end latency accounting so the "operational
+latency requirements (i.e. in ms)" claim is measurable (experiment E2/E7).
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MobilityPipeline, PipelineResult
+
+__all__ = ["PipelineConfig", "MobilityPipeline", "PipelineResult"]

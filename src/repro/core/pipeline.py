@@ -1,0 +1,291 @@
+"""The end-to-end mobility analytics pipeline.
+
+Per report (in event-time order):
+
+1. **in-situ cleaning** — duplicate and plausibility filters;
+2. **synopses** — keep/drop with critical-point annotation;
+3. **transformation + storage** — kept reports become RDF documents in the
+   parallel store (entities and zones are loaded at construction);
+4. **simple events** — derived from every *clean* report (detection runs
+   on the full-rate stream: alerting must not wait for the synopsis);
+5. **complex events** — collision risk, loitering, rendezvous, capacity
+   demand; matches are persisted as RDF too.
+
+Every stage is timed per record; :meth:`MobilityPipeline.run` returns a
+:class:`PipelineResult` with counts, latency summaries and handles to the
+store/query layer for follow-up analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cep.detectors import (
+    CapacityDemandDetector,
+    CollisionRiskDetector,
+    LoiteringDetector,
+    RendezvousDetector,
+)
+from repro.cep.simple import SimpleEventExtractor
+from repro.core.config import PipelineConfig
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.geo.polygon import Polygon
+from repro.insitu.filters import DeduplicateFilter, PlausibilityFilter
+from repro.insitu.synopses import SynopsesGenerator
+from repro.model.entities import EntityRegistry
+from repro.model.events import ComplexEvent, SimpleEvent
+from repro.model.points import Domain
+from repro.model.reports import PositionReport
+from repro.query.executor import QueryExecutor
+from repro.rdf.transform import RdfTransformer
+from repro.store.parallel import ParallelRDFStore
+from repro.sources.weather import WeatherGridSource
+from repro.store.partition import GridPartitioner, HashPartitioner, HilbertPartitioner
+from repro.streams.metrics import LatencyHistogram
+
+
+@dataclass
+class PipelineResult:
+    """Counters and latency summaries of one pipeline run.
+
+    Attributes map 1:1 to the numbers E2/E7 report.
+    """
+
+    reports_in: int = 0
+    reports_clean: int = 0
+    reports_kept: int = 0
+    triples_stored: int = 0
+    simple_events: list[SimpleEvent] = field(default_factory=list)
+    complex_events: list[ComplexEvent] = field(default_factory=list)
+    stage_latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    end_to_end: dict[str, float] = field(default_factory=dict)
+    wall_time_s: float = 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of clean reports dropped by the synopses stage."""
+        if self.reports_clean == 0:
+            return 0.0
+        return 1.0 - self.reports_kept / self.reports_clean
+
+    @property
+    def throughput_rps(self) -> float:
+        """End-to-end reports per wall-clock second."""
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.reports_in / self.wall_time_s
+
+
+class MobilityPipeline:
+    """The full datAcron flow over one geographic world."""
+
+    def __init__(
+        self,
+        bbox: BBox,
+        config: PipelineConfig | None = None,
+        registry: EntityRegistry | None = None,
+        zones: Iterable[Polygon] = (),
+        domain: Domain = Domain.MARITIME,
+        weather: "WeatherGridSource | None" = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.registry = registry or EntityRegistry()
+        self.zones = list(zones)
+        self.domain = domain
+        self.grid = GeoGrid(bbox=bbox, nx=self.config.grid_nx, ny=self.config.grid_ny)
+
+        # In-situ layer.
+        self._dedup = DeduplicateFilter()
+        self._plausibility = PlausibilityFilter(registry=self.registry)
+        if self.config.adaptive_keep_rate is not None:
+            from repro.insitu.adaptive import AdaptiveConfig, AdaptiveSynopsesGenerator
+
+            self._synopses = AdaptiveSynopsesGenerator(
+                base=self.config.synopses,
+                adaptive=AdaptiveConfig(target_keep_rate=self.config.adaptive_keep_rate),
+            )
+        else:
+            self._synopses = SynopsesGenerator(self.config.synopses)
+
+        # Transformation + storage.
+        self.transformer = RdfTransformer(
+            st_grid=self.grid, time_bucket_s=self.config.time_bucket_s
+        )
+        self.store = ParallelRDFStore(self._build_partitioner())
+        self.weather = weather
+        self._stored_weather_cells: set[tuple[int, float]] = set()
+        self.executor = QueryExecutor(self.store)
+        if self.config.persist_rdf:
+            for entity in self.registry:
+                self.store.add_document(self.transformer.entity_to_triples(entity))
+            for zone in self.zones:
+                self.store.add_document(self.transformer.zone_to_triples(zone))
+
+        # Analytics layer.
+        self._extractor = SimpleEventExtractor(
+            config=self.config.simple_events,
+            zones=self.zones,
+            registry=self.registry,
+            grid=None,
+        )
+        self._collision = CollisionRiskDetector(
+            cpa_threshold_m=self.config.collision_cpa_m,
+            tcpa_threshold_s=self.config.collision_tcpa_s,
+        )
+        self._loitering = LoiteringDetector(
+            radius_m=self.config.loitering_radius_m,
+            min_duration_s=self.config.loitering_duration_s,
+        )
+        self._rendezvous = RendezvousDetector(
+            radius_m=self.config.rendezvous_radius_m,
+            min_duration_s=self.config.rendezvous_duration_s,
+        )
+        self._capacity = (
+            CapacityDemandDetector(
+                sectors=self.zones,
+                capacity=self.config.capacity_limit,
+                window_s=self.config.capacity_window_s,
+            )
+            if domain is Domain.AVIATION and self.zones
+            else None
+        )
+        if self.config.hotspots:
+            from repro.cep.hotspot_stream import StreamingHotspotDetector
+
+            self._hotspots = StreamingHotspotDetector(
+                self.grid,
+                window_s=self.config.hotspot_window_s,
+                z_threshold=self.config.hotspot_z_threshold,
+            )
+        else:
+            self._hotspots = None
+
+        self._latency = {
+            stage: LatencyHistogram()
+            for stage in ("clean", "synopses", "rdf", "events", "detectors")
+        }
+        self._end_to_end = LatencyHistogram()
+        self._result = PipelineResult()
+
+    def _build_partitioner(self):
+        n = self.config.n_partitions
+        if self.config.partitioner == "hash":
+            return HashPartitioner(n)
+        if self.config.partitioner == "grid":
+            return GridPartitioner(self.grid, n)
+        return HilbertPartitioner(self.grid, n)
+
+    # -- processing -------------------------------------------------------------
+
+    def process_report(self, report: PositionReport) -> list[ComplexEvent]:
+        """Push one report through every stage; returns new complex events."""
+        result = self._result
+        result.reports_in += 1
+        record_started = time.perf_counter()
+
+        started = record_started
+        ok = self._dedup.accept(report) and self._plausibility.accept(report)
+        self._latency["clean"].record(time.perf_counter() - started)
+        if not ok:
+            self._end_to_end.record(time.perf_counter() - record_started)
+            return []
+        result.reports_clean += 1
+
+        started = time.perf_counter()
+        annotated, keep = self._synopses.process(report)
+        self._latency["synopses"].record(time.perf_counter() - started)
+
+        if keep:
+            result.reports_kept += 1
+            if self.config.persist_rdf:
+                started = time.perf_counter()
+                triples = self.transformer.report_to_triples(annotated)
+                if self.config.interlink:
+                    triples.extend(self._interlink(report, triples[0].s))
+                self.store.add_document(triples)
+                result.triples_stored += len(triples)
+                self._latency["rdf"].record(time.perf_counter() - started)
+        elif self.config.persist_rdf and self.config.persist_raw_reports:
+            started = time.perf_counter()
+            triples = self.transformer.report_to_triples(report)
+            self.store.add_document(triples)
+            result.triples_stored += len(triples)
+            self._latency["rdf"].record(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        simple_events = self._extractor.process(report)
+        result.simple_events.extend(simple_events)
+        self._latency["events"].record(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        new_complex: list[ComplexEvent] = []
+        new_complex.extend(self._collision.process(report))
+        new_complex.extend(self._loitering.process(report))
+        for event in simple_events:
+            new_complex.extend(self._rendezvous.process(event))
+        new_complex.extend(self._rendezvous.tick(report.t))
+        if self._capacity is not None:
+            new_complex.extend(self._capacity.process(report))
+        if self._hotspots is not None:
+            new_complex.extend(self._hotspots.process(report))
+        self._latency["detectors"].record(time.perf_counter() - started)
+
+        for event in new_complex:
+            result.complex_events.append(event)
+            if self.config.persist_rdf:
+                triples = self.transformer.event_to_triples(event)
+                self.store.add_document(triples)
+                result.triples_stored += len(triples)
+
+        self._end_to_end.record(time.perf_counter() - record_started)
+        return new_complex
+
+    def _interlink(self, report: PositionReport, node) -> list:
+        """Online integration: zone containment + weather enrichment links."""
+        from repro.rdf import vocabulary as V
+        from repro.rdf.terms import Triple
+        from repro.rdf.transform import weather_iri, zone_iri
+
+        links = []
+        for zone in self.zones:
+            if zone.contains(report.lon, report.lat):
+                links.append(Triple(node, V.PROP_WITHIN_ZONE, zone_iri(zone.name)))
+        if self.weather is not None:
+            cell = self.weather.observation_at(report.lon, report.lat, report.t)
+            cell_key = (cell.cell_id, cell.t_start)
+            if cell_key not in self._stored_weather_cells:
+                self._stored_weather_cells.add(cell_key)
+                weather_doc = self.transformer.weather_to_triples(cell)
+                self.store.add_document(weather_doc)
+                self._result.triples_stored += len(weather_doc)
+            links.append(
+                Triple(node, V.PROP_HAS_WEATHER, weather_iri(cell.cell_id, cell.t_start))
+            )
+        return links
+
+    def run(self, reports: Iterable[PositionReport]) -> PipelineResult:
+        """Process a whole (event-time ordered) stream and finalize."""
+        run_started = time.perf_counter()
+        for report in reports:
+            self.process_report(report)
+        for detector in (self._capacity, self._hotspots):
+            if detector is None:
+                continue
+            for event in detector.flush():
+                self._result.complex_events.append(event)
+                if self.config.persist_rdf:
+                    self.store.add_document(self.transformer.event_to_triples(event))
+        self._result.wall_time_s = time.perf_counter() - run_started
+        self._result.stage_latency = {
+            stage: hist.summary() for stage, hist in self._latency.items()
+        }
+        self._result.end_to_end = self._end_to_end.summary()
+        return self._result
+
+    @property
+    def result(self) -> PipelineResult:
+        """The (possibly still accumulating) run result."""
+        return self._result

@@ -1,0 +1,47 @@
+"""Future location prediction (FLP) for moving entities.
+
+"Reconstruction and forecasting of moving entities' trajectories in the
+challenging Maritime (2D space) and Aviation (3D space) domains" — this
+package provides the forecasting half: four predictors with one
+interface, plus the horizon-sweep evaluation harness used by E5.
+
+Predictors (in increasing use of history):
+
+- :class:`DeadReckoningPredictor` — constant velocity from the last
+  samples; the operational baseline.
+- :class:`KalmanPredictor` — constant-velocity Kalman filter in a local
+  tangent plane (3D state for aviation); smooths sensor noise.
+- :class:`GridMarkovPredictor` — first-order Markov chain over grid
+  cells learned from history; follows likely turns.
+- :class:`RouteBasedPredictor` — matches the current track to clustered
+  historical routes and advances along the best route (datAcron's
+  pattern-based FLP idea); strongest at long horizons on route traffic.
+"""
+
+from repro.forecasting.base import Predictor, PredictionOutcome
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.forecasting.kalman import KalmanPredictor
+from repro.forecasting.markov import GridMarkovPredictor
+from repro.forecasting.route_based import RouteBasedPredictor
+from repro.forecasting.ensemble import EnsemblePredictor
+from repro.forecasting.calibration import CalibratedOutcome, CalibratedPredictor
+from repro.forecasting.evaluation import (
+    HorizonErrors,
+    evaluate_predictor,
+    horizon_sweep,
+)
+
+__all__ = [
+    "Predictor",
+    "PredictionOutcome",
+    "DeadReckoningPredictor",
+    "KalmanPredictor",
+    "GridMarkovPredictor",
+    "RouteBasedPredictor",
+    "EnsemblePredictor",
+    "CalibratedOutcome",
+    "CalibratedPredictor",
+    "HorizonErrors",
+    "evaluate_predictor",
+    "horizon_sweep",
+]

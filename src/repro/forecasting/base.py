@@ -1,0 +1,55 @@
+"""Predictor interface shared by all future-location models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.points import STPoint
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionOutcome:
+    """A single prediction and its provenance.
+
+    Attributes:
+        point: Predicted position at ``history.end_time + horizon_s``.
+        horizon_s: Lead time of the prediction.
+        model: Predictor name.
+        confidence: Model-specific confidence in [0, 1] (1 when the model
+            does not estimate one).
+    """
+
+    point: STPoint
+    horizon_s: float
+    model: str
+    confidence: float = 1.0
+
+
+class Predictor:
+    """Base class: predict a future position from an observed history.
+
+    Implementations must be pure with respect to the history argument —
+    repeated calls with the same inputs return the same outcome. Models
+    that learn from archives do so at construction / ``fit`` time.
+    """
+
+    #: Short name used in benchmark tables.
+    name: str = "predictor"
+
+    def predict(self, history: Trajectory, horizon_s: float) -> PredictionOutcome:
+        """Predict the position ``horizon_s`` seconds past the history end.
+
+        Raises:
+            EmptyTrajectoryError: If the history has no samples.
+            ValueError: If ``horizon_s`` is negative.
+        """
+        raise NotImplementedError
+
+    def _check(self, history: Trajectory, horizon_s: float) -> None:
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be >= 0")
+        if len(history) == 0:
+            from repro.model.errors import EmptyTrajectoryError
+
+            raise EmptyTrajectoryError("cannot predict from an empty history")

@@ -1,0 +1,130 @@
+"""Calibrated prediction intervals.
+
+An operational FLP answer is a *position plus an uncertainty radius*:
+"the vessel will be here ± 800 m (90%)". The calibrator wraps any
+predictor, measures its error distribution per horizon on validation
+trajectories, and attaches the learned quantile radius (interpolated
+between calibrated horizons) to every prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.forecasting.base import PredictionOutcome, Predictor
+from repro.forecasting.evaluation import evaluate_predictor
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class CalibratedOutcome:
+    """A prediction with its calibrated uncertainty radius.
+
+    Attributes:
+        outcome: The wrapped point prediction.
+        radius_m: Learned error quantile at the requested coverage.
+        coverage: The nominal coverage level (e.g. 0.9).
+    """
+
+    outcome: PredictionOutcome
+    radius_m: float
+    coverage: float
+
+
+class CalibratedPredictor:
+    """Wraps a predictor with empirical error-quantile calibration.
+
+    Args:
+        predictor: The model to calibrate.
+        validation: Trajectories used to measure the error distribution
+            (they must be disjoint from anything the model trained on).
+        horizons_s: Calibration horizons; radii for other horizons are
+            linearly interpolated (clamped at the ends).
+        coverage: Quantile to learn (0.9 → the 90th error percentile).
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        validation: Sequence[Trajectory],
+        horizons_s: Sequence[float] = (60.0, 300.0, 900.0, 1800.0),
+        coverage: float = 0.9,
+        min_history_s: float = 600.0,
+    ) -> None:
+        if not (0.0 < coverage < 1.0):
+            raise ValueError("coverage must be in (0, 1)")
+        if not horizons_s:
+            raise ValueError("need at least one calibration horizon")
+        self.predictor = predictor
+        self.coverage = coverage
+        self._horizons = np.asarray(sorted(horizons_s), dtype=float)
+        self._radii = self._calibrate(validation, min_history_s)
+
+    @property
+    def name(self) -> str:
+        """The wrapped predictor's name with a calibration suffix."""
+        return f"{self.predictor.name}+cal"
+
+    def _calibrate(
+        self, validation: Sequence[Trajectory], min_history_s: float
+    ) -> np.ndarray:
+        results = evaluate_predictor(
+            self.predictor,
+            validation,
+            horizons_s=list(self._horizons),
+            min_history_s=min_history_s,
+        )
+        radii = []
+        for errors in results:
+            if errors.horizontal_m:
+                radii.append(
+                    float(np.percentile(errors.horizontal_m, self.coverage * 100.0))
+                )
+            else:
+                radii.append(float("nan"))
+        radii_arr = np.asarray(radii)
+        if np.isnan(radii_arr).all():
+            raise ValueError("validation produced no calibration samples")
+        # Fill unmeasurable horizons from the nearest measured one.
+        valid = ~np.isnan(radii_arr)
+        radii_arr = np.interp(
+            self._horizons, self._horizons[valid], radii_arr[valid]
+        )
+        return radii_arr
+
+    def radius_for_horizon(self, horizon_s: float) -> float:
+        """The calibrated radius at any horizon (interpolated, clamped)."""
+        return float(np.interp(horizon_s, self._horizons, self._radii))
+
+    def predict(self, history: Trajectory, horizon_s: float) -> CalibratedOutcome:
+        """Predict with an attached uncertainty radius."""
+        outcome = self.predictor.predict(history, horizon_s)
+        return CalibratedOutcome(
+            outcome=outcome,
+            radius_m=self.radius_for_horizon(horizon_s),
+            coverage=self.coverage,
+        )
+
+    def empirical_coverage(
+        self,
+        test: Sequence[Trajectory],
+        horizon_s: float,
+        min_history_s: float = 600.0,
+    ) -> float:
+        """Fraction of test predictions whose truth falls inside the radius.
+
+        A well-calibrated model returns ≈ ``coverage`` (sampling noise
+        aside); systematically lower means the validation set was easier
+        than the test traffic.
+        """
+        results = evaluate_predictor(
+            self.predictor, test, horizons_s=[horizon_s], min_history_s=min_history_s
+        )
+        errors = results[0].horizontal_m
+        if not errors:
+            raise ValueError("test set produced no predictions")
+        radius = self.radius_for_horizon(horizon_s)
+        return float(np.mean([e <= radius for e in errors]))

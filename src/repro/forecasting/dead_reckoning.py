@@ -1,0 +1,56 @@
+"""Dead-reckoning predictor: constant speed and course extrapolation."""
+
+from __future__ import annotations
+
+from repro.geo.geodesy import destination_point, haversine_m, initial_bearing_deg
+from repro.forecasting.base import PredictionOutcome, Predictor
+from repro.model.points import STPoint
+from repro.model.trajectory import Trajectory
+
+
+class DeadReckoningPredictor(Predictor):
+    """Extrapolate along the current course at the current speed.
+
+    Speed and course are estimated over the last ``window_s`` seconds of
+    history (more robust to sensor noise than the final segment alone).
+    Altitude, when present, extrapolates the recent vertical rate.
+    """
+
+    name = "dead_reckoning"
+
+    def __init__(self, window_s: float = 60.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+
+    def predict(self, history: Trajectory, horizon_s: float) -> PredictionOutcome:
+        self._check(history, horizon_s)
+        last = history[len(history) - 1]
+        if len(history) == 1 or horizon_s == 0:
+            return PredictionOutcome(
+                point=last.with_time(last.t + horizon_s),
+                horizon_s=horizon_s,
+                model=self.name,
+            )
+        anchor = history.at_time(last.t - self.window_s)
+        dt = last.t - anchor.t
+        if dt <= 0:
+            return PredictionOutcome(
+                point=last.with_time(last.t + horizon_s),
+                horizon_s=horizon_s,
+                model=self.name,
+            )
+        dist = haversine_m(anchor.lon, anchor.lat, last.lon, last.lat)
+        speed = dist / dt
+        bearing = (
+            initial_bearing_deg(anchor.lon, anchor.lat, last.lon, last.lat)
+            if dist > 1.0
+            else 0.0
+        )
+        lon, lat = destination_point(last.lon, last.lat, bearing, speed * horizon_s)
+        alt = None
+        if last.alt is not None and anchor.alt is not None:
+            vrate = (last.alt - anchor.alt) / dt
+            alt = max(0.0, last.alt + vrate * horizon_s)
+        point = STPoint(t=last.t + horizon_s, lon=lon, lat=lat, alt=alt)
+        return PredictionOutcome(point=point, horizon_s=horizon_s, model=self.name)

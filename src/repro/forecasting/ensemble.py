@@ -1,0 +1,89 @@
+"""Horizon-aware ensemble predictor.
+
+E5 shows a clean crossover: kinematic models win short horizons, the
+route-based model wins long ones. The ensemble exploits it directly —
+blend the kinematic and pattern predictions with a weight that shifts
+toward the route model as the horizon grows, modulated by the route
+match confidence (a badly matched route should not dominate even at long
+horizons).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.geodesy import destination_point, haversine_m, initial_bearing_deg
+from repro.forecasting.base import PredictionOutcome, Predictor
+from repro.model.points import STPoint
+from repro.model.trajectory import Trajectory
+
+
+class EnsemblePredictor(Predictor):
+    """Blend a short-horizon and a long-horizon predictor.
+
+    The blend weight for the long-horizon model is::
+
+        w(h) = sigmoid((h - crossover_s) / softness_s) * long_confidence
+
+    and the prediction interpolates between the two predicted points
+    along the great circle connecting them.
+
+    Args:
+        short_model: Kinematic predictor (wins small horizons).
+        long_model: Pattern predictor (wins large horizons).
+        crossover_s: Horizon at which the two get equal weight (before
+            confidence modulation).
+        softness_s: Transition width of the sigmoid.
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        short_model: Predictor,
+        long_model: Predictor,
+        crossover_s: float = 420.0,
+        softness_s: float = 240.0,
+    ) -> None:
+        if crossover_s <= 0 or softness_s <= 0:
+            raise ValueError("crossover and softness must be positive")
+        self.short_model = short_model
+        self.long_model = long_model
+        self.crossover_s = crossover_s
+        self.softness_s = softness_s
+
+    def predict(self, history: Trajectory, horizon_s: float) -> PredictionOutcome:
+        self._check(history, horizon_s)
+        short = self.short_model.predict(history, horizon_s)
+        long = self.long_model.predict(history, horizon_s)
+
+        base_weight = 1.0 / (1.0 + math.exp(-(horizon_s - self.crossover_s) / self.softness_s))
+        weight = base_weight * long.confidence
+        point = self._blend(short.point, long.point, weight)
+        confidence = (1.0 - weight) * short.confidence + weight * long.confidence
+        return PredictionOutcome(
+            point=point, horizon_s=horizon_s, model=self.name, confidence=confidence
+        )
+
+    @staticmethod
+    def _blend(a: STPoint, b: STPoint, weight_b: float) -> STPoint:
+        """Interpolate between two predicted points along the great circle."""
+        weight_b = min(max(weight_b, 0.0), 1.0)
+        if weight_b <= 0.0:
+            return a
+        if weight_b >= 1.0:
+            return b
+        gap = haversine_m(a.lon, a.lat, b.lon, b.lat)
+        if gap < 1.0:
+            blended = (a.lon, a.lat)
+        else:
+            bearing = initial_bearing_deg(a.lon, a.lat, b.lon, b.lat)
+            blended = destination_point(a.lon, a.lat, bearing, gap * weight_b)
+        alt = None
+        if a.alt is not None and b.alt is not None:
+            alt = (1.0 - weight_b) * a.alt + weight_b * b.alt
+        elif a.alt is not None:
+            alt = a.alt
+        elif b.alt is not None:
+            alt = b.alt
+        return STPoint(t=a.t, lon=blended[0], lat=blended[1], alt=alt)

@@ -1,0 +1,113 @@
+"""Horizon-sweep evaluation of future-location predictors (experiment E5).
+
+For each evaluation trajectory, several cut points are chosen; the history
+up to the cut is handed to each predictor for each horizon, and the
+prediction is compared to the ground-truth position at cut + horizon.
+Errors are horizontal metres (plus vertical metres for 3D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m
+from repro.forecasting.base import Predictor
+from repro.model.trajectory import Trajectory
+
+
+@dataclass
+class HorizonErrors:
+    """Error samples for one (predictor, horizon) pair."""
+
+    model: str
+    horizon_s: float
+    horizontal_m: list[float] = field(default_factory=list)
+    vertical_m: list[float] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        """Number of predictions scored."""
+        return len(self.horizontal_m)
+
+    def mean_horizontal_m(self) -> float:
+        """Mean horizontal error."""
+        return float(np.mean(self.horizontal_m)) if self.horizontal_m else float("nan")
+
+    def median_horizontal_m(self) -> float:
+        """Median horizontal error."""
+        return float(np.median(self.horizontal_m)) if self.horizontal_m else float("nan")
+
+    def p90_horizontal_m(self) -> float:
+        """90th-percentile horizontal error."""
+        return float(np.percentile(self.horizontal_m, 90)) if self.horizontal_m else float("nan")
+
+    def mean_vertical_m(self) -> float:
+        """Mean |altitude error| (NaN for 2D)."""
+        return float(np.mean(self.vertical_m)) if self.vertical_m else float("nan")
+
+
+def evaluate_predictor(
+    predictor: Predictor,
+    trajectories: Iterable[Trajectory],
+    horizons_s: Sequence[float],
+    min_history_s: float = 600.0,
+    cuts_per_trajectory: int = 3,
+) -> list[HorizonErrors]:
+    """Score one predictor over trajectories and horizons.
+
+    Args:
+        min_history_s: A cut point is valid only if at least this much
+            history precedes it.
+        cuts_per_trajectory: Evenly spaced cut points per trajectory
+            (those whose cut+horizon exceeds the trajectory are skipped
+            per-horizon).
+
+    Returns:
+        One :class:`HorizonErrors` per horizon, in input order.
+    """
+    if not horizons_s:
+        raise ValueError("need at least one horizon")
+    results = [HorizonErrors(model=predictor.name, horizon_s=h) for h in horizons_s]
+    max_horizon = max(horizons_s)
+
+    for trajectory in trajectories:
+        duration = trajectory.duration
+        if duration < min_history_s + min(horizons_s):
+            continue
+        lo = trajectory.start_time + min_history_s
+        hi = trajectory.end_time - min(horizons_s)
+        if hi <= lo:
+            continue
+        cuts = np.linspace(lo, hi, cuts_per_trajectory + 2)[1:-1]
+        for cut in cuts:
+            history = trajectory.slice_time(trajectory.start_time, float(cut))
+            if len(history) < 2:
+                continue
+            for errors, horizon in zip(results, horizons_s):
+                target_t = history.end_time + horizon
+                if target_t > trajectory.end_time:
+                    continue
+                outcome = predictor.predict(history, horizon)
+                truth = trajectory.at_time(target_t)
+                errors.horizontal_m.append(
+                    haversine_m(outcome.point.lon, outcome.point.lat, truth.lon, truth.lat)
+                )
+                if truth.alt is not None and outcome.point.alt is not None:
+                    errors.vertical_m.append(abs(outcome.point.alt - truth.alt))
+    return results
+
+
+def horizon_sweep(
+    predictors: Sequence[Predictor],
+    trajectories: Sequence[Trajectory],
+    horizons_s: Sequence[float],
+    **kwargs,
+) -> dict[str, list[HorizonErrors]]:
+    """Evaluate several predictors on the same data; keyed by model name."""
+    return {
+        predictor.name: evaluate_predictor(predictor, trajectories, horizons_s, **kwargs)
+        for predictor in predictors
+    }

@@ -1,0 +1,133 @@
+"""Constant-velocity Kalman filter predictor in a local tangent plane.
+
+The filter runs over the observed history (positions projected to
+east/north metres around the first sample), estimating position and
+velocity under a constant-velocity motion model; prediction propagates the
+final state forward by the horizon. Aviation histories get an independent
+1D filter on altitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.geodesy import EARTH_RADIUS_M, enu_offset_m
+from repro.forecasting.base import PredictionOutcome, Predictor
+from repro.model.points import STPoint
+from repro.model.trajectory import Trajectory
+
+_RAD2DEG = 180.0 / np.pi
+
+
+class KalmanPredictor(Predictor):
+    """Kalman filter with a constant-velocity model.
+
+    Args:
+        process_noise: Acceleration-noise intensity q (m²/s³); larger
+            values track manoeuvres faster but smooth less.
+        measurement_noise_m: Position measurement standard deviation.
+    """
+
+    name = "kalman_cv"
+
+    def __init__(self, process_noise: float = 0.05, measurement_noise_m: float = 20.0) -> None:
+        if process_noise <= 0 or measurement_noise_m <= 0:
+            raise ValueError("noise parameters must be positive")
+        self.q = process_noise
+        self.r = measurement_noise_m
+
+    def predict(self, history: Trajectory, horizon_s: float) -> PredictionOutcome:
+        self._check(history, horizon_s)
+        last = history[len(history) - 1]
+        if len(history) == 1:
+            return PredictionOutcome(
+                point=last.with_time(last.t + horizon_s), horizon_s=horizon_s, model=self.name
+            )
+
+        ref_lon, ref_lat = float(history.lon[0]), float(history.lat[0])
+        state, cov = self._run_filter(history, ref_lon, ref_lat)
+
+        # Propagate the final state by the horizon.
+        transition = np.eye(4)
+        transition[0, 2] = transition[1, 3] = horizon_s
+        state = transition @ state
+
+        lon, lat = self._to_lonlat(float(state[0]), float(state[1]), ref_lon, ref_lat)
+        alt = self._predict_altitude(history, horizon_s)
+        point = STPoint(
+            t=last.t + horizon_s,
+            lon=min(max(lon, -180.0), 180.0),
+            lat=min(max(lat, -90.0), 90.0),
+            alt=alt,
+        )
+        # Confidence decays with predicted position variance.
+        pos_var = float(cov[0, 0] + cov[1, 1]) + self.q * horizon_s**3 / 3.0
+        confidence = 1.0 / (1.0 + np.sqrt(max(pos_var, 0.0)) / 1000.0)
+        return PredictionOutcome(
+            point=point, horizon_s=horizon_s, model=self.name, confidence=float(confidence)
+        )
+
+    def _run_filter(
+        self, history: Trajectory, ref_lon: float, ref_lat: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        measurement_matrix = np.zeros((2, 4))
+        measurement_matrix[0, 0] = measurement_matrix[1, 1] = 1.0
+        measurement_cov = np.eye(2) * self.r**2
+
+        x0, y0 = enu_offset_m(ref_lon, ref_lat, float(history.lon[0]), float(history.lat[0]))
+        state = np.array([x0, y0, 0.0, 0.0])
+        cov = np.diag([self.r**2, self.r**2, 100.0, 100.0])
+
+        prev_t = float(history.t[0])
+        for i in range(1, len(history)):
+            t = float(history.t[i])
+            dt = t - prev_t
+            prev_t = t
+            transition = np.eye(4)
+            transition[0, 2] = transition[1, 3] = dt
+            process_cov = self._process_cov(dt)
+            state = transition @ state
+            cov = transition @ cov @ transition.T + process_cov
+
+            zx, zy = enu_offset_m(ref_lon, ref_lat, float(history.lon[i]), float(history.lat[i]))
+            innovation = np.array([zx, zy]) - measurement_matrix @ state
+            innovation_cov = measurement_matrix @ cov @ measurement_matrix.T + measurement_cov
+            gain = cov @ measurement_matrix.T @ np.linalg.inv(innovation_cov)
+            state = state + gain @ innovation
+            cov = (np.eye(4) - gain @ measurement_matrix) @ cov
+        return (state, cov)
+
+    def _process_cov(self, dt: float) -> np.ndarray:
+        dt2, dt3 = dt * dt, dt * dt * dt
+        q = self.q
+        return np.array(
+            [
+                [q * dt3 / 3.0, 0.0, q * dt2 / 2.0, 0.0],
+                [0.0, q * dt3 / 3.0, 0.0, q * dt2 / 2.0],
+                [q * dt2 / 2.0, 0.0, q * dt, 0.0],
+                [0.0, q * dt2 / 2.0, 0.0, q * dt],
+            ]
+        )
+
+    @staticmethod
+    def _to_lonlat(east: float, north: float, ref_lon: float, ref_lat: float) -> tuple[float, float]:
+        lat = ref_lat + (north / EARTH_RADIUS_M) * _RAD2DEG
+        lon = ref_lon + (east / (EARTH_RADIUS_M * np.cos(np.radians(ref_lat)))) * _RAD2DEG
+        return (lon, lat)
+
+    @staticmethod
+    def _predict_altitude(history: Trajectory, horizon_s: float) -> float | None:
+        if history.alt is None:
+            return None
+        alt = history.alt
+        t = history.t
+        if len(history) < 3:
+            return float(alt[-1])
+        # Least-squares vertical rate over the last 60 s (or 5 samples).
+        idx = max(0, len(history) - max(5, int(np.searchsorted(t, t[-1] - 60.0))))
+        window_t = t[idx:] - t[idx]
+        window_alt = alt[idx:]
+        if len(window_t) < 2 or window_t[-1] == 0:
+            return float(alt[-1])
+        rate = float(np.polyfit(window_t, window_alt, 1)[0])
+        return max(0.0, float(alt[-1]) + rate * horizon_s)

@@ -1,0 +1,113 @@
+"""Grid-based first-order Markov predictor.
+
+Historical trajectories are discretised into grid-cell sequences. The
+model learns, per cell, the distribution of next cells and the mean
+transit time through the cell. Prediction walks the most likely
+transitions until the horizon's time budget is spent, then places the
+prediction at the final cell centre (blended with dead reckoning inside
+the first cell, which dominates short horizons).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.geo.grid import GeoGrid
+from repro.forecasting.base import PredictionOutcome, Predictor
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.model.points import STPoint
+from repro.model.trajectory import Trajectory
+
+
+class GridMarkovPredictor(Predictor):
+    """First-order Markov chain over grid cells.
+
+    Args:
+        grid: Discretisation grid (cell size sets the model's resolution).
+        history: Trajectories to learn transitions from.
+    """
+
+    name = "grid_markov"
+
+    def __init__(self, grid: GeoGrid, history: Iterable[Trajectory] = ()) -> None:
+        self.grid = grid
+        self._transitions: dict[int, Counter[int]] = defaultdict(Counter)
+        self._transit_time: dict[int, float] = {}
+        self._transit_samples: dict[int, list[float]] = defaultdict(list)
+        self._fallback = DeadReckoningPredictor()
+        self.fit(history)
+
+    def fit(self, trajectories: Iterable[Trajectory]) -> GridMarkovPredictor:
+        """Accumulate transitions from more historical trajectories."""
+        for trajectory in trajectories:
+            cells = self._cell_sequence(trajectory)
+            for (cell_a, t_enter), (cell_b, t_exit) in zip(cells, cells[1:]):
+                self._transitions[cell_a][cell_b] += 1
+                self._transit_samples[cell_a].append(t_exit - t_enter)
+        for cell, samples in self._transit_samples.items():
+            if samples:
+                self._transit_time[cell] = sum(samples) / len(samples)
+        return self
+
+    @property
+    def n_states(self) -> int:
+        """Number of cells with learned outgoing transitions."""
+        return len(self._transitions)
+
+    def _cell_sequence(self, trajectory: Trajectory) -> list[tuple[int, float]]:
+        """Deduplicated (cell_id, entry_time) sequence of a trajectory."""
+        out: list[tuple[int, float]] = []
+        for i in range(len(trajectory)):
+            cell = self.grid.cell_id(float(trajectory.lon[i]), float(trajectory.lat[i]))
+            if not out or out[-1][0] != cell:
+                out.append((cell, float(trajectory.t[i])))
+        return out
+
+    def predict(self, history: Trajectory, horizon_s: float) -> PredictionOutcome:
+        self._check(history, horizon_s)
+        last = history[len(history) - 1]
+        current_cell = self.grid.cell_id(last.lon, last.lat)
+
+        # Short horizons: the entity stays within its current cell — the
+        # Markov model has no information there, so defer to dead reckoning.
+        first_transit = self._transit_time.get(current_cell)
+        if first_transit is None or horizon_s <= first_transit / 2.0:
+            fallback = self._fallback.predict(history, horizon_s)
+            return PredictionOutcome(
+                point=fallback.point, horizon_s=horizon_s, model=self.name,
+                confidence=0.5,
+            )
+
+        budget = horizon_s
+        cell = current_cell
+        confidence = 1.0
+        visited = {cell}
+        while budget > 0:
+            transit = self._transit_time.get(cell)
+            nexts = self._transitions.get(cell)
+            if transit is None or not nexts:
+                break
+            if budget < transit / 2.0:
+                break
+            budget -= transit
+            total = sum(nexts.values())
+            # Most likely unvisited successor; revisits mean a loop in the
+            # learned graph, which a point prediction cannot express.
+            for candidate, count in nexts.most_common():
+                if candidate not in visited:
+                    cell = candidate
+                    confidence *= count / total
+                    visited.add(cell)
+                    break
+            else:
+                break
+
+        cx = cell % self.grid.nx
+        cy = cell // self.grid.nx
+        lon, lat = self.grid.cell_bbox(cx, cy).center
+        alt = last.alt
+        point = STPoint(t=last.t + horizon_s, lon=lon, lat=lat, alt=alt)
+        return PredictionOutcome(
+            point=point, horizon_s=horizon_s, model=self.name, confidence=confidence
+        )

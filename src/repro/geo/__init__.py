@@ -1,0 +1,53 @@
+"""Geospatial substrate: geodesy, geometry, spatial indexes, space-filling curves.
+
+This package has no dependencies on the rest of the system so every other
+layer (model, in-situ, linkage, store, analytics) can build on it.
+"""
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    haversine_m,
+    haversine_m_arrays,
+    initial_bearing_deg,
+    destination_point,
+    cross_track_distance_m,
+    distance_3d_m,
+    enu_offset_m,
+    normalize_heading_deg,
+    heading_difference_deg,
+    knots_to_mps,
+    mps_to_knots,
+)
+from repro.geo.bbox import BBox
+from repro.geo.polygon import Polygon, point_in_polygon
+from repro.geo.grid import GeoGrid, GridIndex
+from repro.geo.rtree import RTree, RTreeEntry
+from repro.geo.quadtree import QuadTree
+from repro.geo.hilbert import hilbert_d2xy, hilbert_xy2d
+from repro.geo.cpa import cpa_tcpa
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "haversine_m",
+    "haversine_m_arrays",
+    "initial_bearing_deg",
+    "destination_point",
+    "cross_track_distance_m",
+    "distance_3d_m",
+    "enu_offset_m",
+    "normalize_heading_deg",
+    "heading_difference_deg",
+    "knots_to_mps",
+    "mps_to_knots",
+    "BBox",
+    "Polygon",
+    "point_in_polygon",
+    "GeoGrid",
+    "GridIndex",
+    "RTree",
+    "RTreeEntry",
+    "QuadTree",
+    "hilbert_d2xy",
+    "hilbert_xy2d",
+    "cpa_tcpa",
+]

@@ -1,0 +1,114 @@
+"""Axis-aligned geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class BBox:
+    """An axis-aligned lon/lat bounding box.
+
+    Degenerate boxes (a point or a line) are allowed. Boxes never wrap the
+    antimeridian; the synthetic worlds used in this reproduction stay well
+    inside a hemisphere.
+    """
+
+    min_lon: float
+    min_lat: float
+    max_lon: float
+    max_lat: float
+
+    def __post_init__(self) -> None:
+        if self.min_lon > self.max_lon or self.min_lat > self.max_lat:
+            raise ValueError(f"inverted bbox: {self!r}")
+
+    @classmethod
+    def from_points(cls, points: Iterable[tuple[float, float]]) -> BBox:
+        """Smallest box covering an iterable of ``(lon, lat)`` pairs."""
+        it: Iterator[tuple[float, float]] = iter(points)
+        try:
+            lon, lat = next(it)
+        except StopIteration:
+            raise ValueError("cannot build a bbox from zero points") from None
+        min_lon = max_lon = lon
+        min_lat = max_lat = lat
+        for lon, lat in it:
+            min_lon = min(min_lon, lon)
+            max_lon = max(max_lon, lon)
+            min_lat = min(min_lat, lat)
+            max_lat = max(max_lat, lat)
+        return cls(min_lon, min_lat, max_lon, max_lat)
+
+    @property
+    def width(self) -> float:
+        """Longitudinal extent in degrees."""
+        return self.max_lon - self.min_lon
+
+    @property
+    def height(self) -> float:
+        """Latitudinal extent in degrees."""
+        return self.max_lat - self.min_lat
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """``(lon, lat)`` of the box centre."""
+        return ((self.min_lon + self.max_lon) / 2.0, (self.min_lat + self.max_lat) / 2.0)
+
+    @property
+    def area(self) -> float:
+        """Area in square degrees (for balance heuristics, not geodesy)."""
+        return self.width * self.height
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """Whether a point lies inside the box (borders inclusive)."""
+        return self.min_lon <= lon <= self.max_lon and self.min_lat <= lat <= self.max_lat
+
+    def intersects(self, other: BBox) -> bool:
+        """Whether two boxes share at least one point."""
+        return not (
+            other.min_lon > self.max_lon
+            or other.max_lon < self.min_lon
+            or other.min_lat > self.max_lat
+            or other.max_lat < self.min_lat
+        )
+
+    def intersection(self, other: BBox) -> BBox | None:
+        """The overlapping box, or ``None`` when disjoint."""
+        if not self.intersects(other):
+            return None
+        return BBox(
+            max(self.min_lon, other.min_lon),
+            max(self.min_lat, other.min_lat),
+            min(self.max_lon, other.max_lon),
+            min(self.max_lat, other.max_lat),
+        )
+
+    def union(self, other: BBox) -> BBox:
+        """Smallest box covering both boxes."""
+        return BBox(
+            min(self.min_lon, other.min_lon),
+            min(self.min_lat, other.min_lat),
+            max(self.max_lon, other.max_lon),
+            max(self.max_lat, other.max_lat),
+        )
+
+    def expanded(self, margin_deg: float) -> BBox:
+        """Box grown by ``margin_deg`` on every side (clamped to valid range)."""
+        return BBox(
+            max(-180.0, self.min_lon - margin_deg),
+            max(-90.0, self.min_lat - margin_deg),
+            min(180.0, self.max_lon + margin_deg),
+            min(90.0, self.max_lat + margin_deg),
+        )
+
+    def split4(self) -> tuple[BBox, BBox, BBox, BBox]:
+        """Split into four quadrants (SW, SE, NW, NE) — quadtree helper."""
+        cx, cy = self.center
+        return (
+            BBox(self.min_lon, self.min_lat, cx, cy),
+            BBox(cx, self.min_lat, self.max_lon, cy),
+            BBox(self.min_lon, cy, cx, self.max_lat),
+            BBox(cx, cy, self.max_lon, self.max_lat),
+        )

@@ -1,0 +1,173 @@
+"""Great-circle geodesy on the WGS84 sphere approximation.
+
+All distances are in metres, all angles in degrees unless stated otherwise.
+A spherical Earth (mean radius) is accurate to ~0.5% which is far below the
+sensor noise the surveillance sources carry, so the analytics are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+EARTH_RADIUS_M = 6_371_008.8
+"""Mean Earth radius in metres (IUGG)."""
+
+_DEG2RAD = math.pi / 180.0
+_RAD2DEG = 180.0 / math.pi
+
+
+def haversine_m(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance between two WGS84 points, in metres."""
+    phi1 = lat1 * _DEG2RAD
+    phi2 = lat2 * _DEG2RAD
+    dphi = (lat2 - lat1) * _DEG2RAD
+    dlam = (lon2 - lon1) * _DEG2RAD
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_m_arrays(
+    lon1: np.ndarray, lat1: np.ndarray, lon2: np.ndarray, lat2: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`haversine_m` over numpy arrays of coordinates."""
+    phi1 = np.radians(lat1)
+    phi2 = np.radians(lat2)
+    dphi = np.radians(lat2 - lat1)
+    dlam = np.radians(lon2 - lon1)
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def distance_3d_m(
+    lon1: float,
+    lat1: float,
+    alt1: float | None,
+    lon2: float,
+    lat2: float,
+    alt2: float | None,
+) -> float:
+    """Distance combining great-circle horizontal and vertical separation.
+
+    When either altitude is ``None`` the result is purely horizontal.
+    """
+    horizontal = haversine_m(lon1, lat1, lon2, lat2)
+    if alt1 is None or alt2 is None:
+        return horizontal
+    return math.hypot(horizontal, alt2 - alt1)
+
+
+def initial_bearing_deg(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Initial great-circle bearing from point 1 to point 2, in [0, 360)."""
+    phi1 = lat1 * _DEG2RAD
+    phi2 = lat2 * _DEG2RAD
+    dlam = (lon2 - lon1) * _DEG2RAD
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(dlam)
+    theta = math.atan2(y, x) * _RAD2DEG
+    return normalize_heading_deg(theta)
+
+
+def destination_point(
+    lon: float, lat: float, bearing_deg: float, distance_m: float
+) -> tuple[float, float]:
+    """Point reached by travelling ``distance_m`` along ``bearing_deg``.
+
+    Returns:
+        ``(lon, lat)`` in decimal degrees, longitude normalised to [-180, 180].
+    """
+    delta = distance_m / EARTH_RADIUS_M
+    theta = bearing_deg * _DEG2RAD
+    phi1 = lat * _DEG2RAD
+    lam1 = lon * _DEG2RAD
+    sin_phi2 = math.sin(phi1) * math.cos(delta) + math.cos(phi1) * math.sin(delta) * math.cos(theta)
+    sin_phi2 = max(-1.0, min(1.0, sin_phi2))
+    phi2 = math.asin(sin_phi2)
+    y = math.sin(theta) * math.sin(delta) * math.cos(phi1)
+    x = math.cos(delta) - math.sin(phi1) * sin_phi2
+    lam2 = lam1 + math.atan2(y, x)
+    lon2 = (lam2 * _RAD2DEG + 540.0) % 360.0 - 180.0
+    return (lon2, phi2 * _RAD2DEG)
+
+
+def cross_track_distance_m(
+    lon: float,
+    lat: float,
+    seg_lon1: float,
+    seg_lat1: float,
+    seg_lon2: float,
+    seg_lat2: float,
+) -> float:
+    """Distance from a point to the great-circle *segment* (1 → 2), in metres.
+
+    Unlike the textbook cross-track formula this clamps to the segment: when
+    the point's along-track projection falls before the start or after the
+    end, the distance to the nearest endpoint is returned. That is the
+    quantity trajectory simplification cares about.
+    """
+    d13 = haversine_m(seg_lon1, seg_lat1, lon, lat)
+    if d13 == 0.0:
+        return 0.0
+    d12 = haversine_m(seg_lon1, seg_lat1, seg_lon2, seg_lat2)
+    if d12 == 0.0:
+        return d13
+    theta13 = initial_bearing_deg(seg_lon1, seg_lat1, lon, lat) * _DEG2RAD
+    theta12 = initial_bearing_deg(seg_lon1, seg_lat1, seg_lon2, seg_lat2) * _DEG2RAD
+    delta13 = d13 / EARTH_RADIUS_M
+    sin_xt = math.sin(delta13) * math.sin(theta13 - theta12)
+    sin_xt = max(-1.0, min(1.0, sin_xt))
+    xt = math.asin(sin_xt) * EARTH_RADIUS_M
+    # Along-track distance from segment start to the projection of the point.
+    cos_delta13 = math.cos(delta13)
+    cos_xt = math.cos(xt / EARTH_RADIUS_M)
+    if cos_xt == 0.0:
+        return abs(xt)
+    ratio = max(-1.0, min(1.0, cos_delta13 / cos_xt))
+    at = math.acos(ratio) * EARTH_RADIUS_M
+    if math.cos(theta13 - theta12) < 0.0:
+        at = -at
+    if at < 0.0:
+        return d13
+    if at > d12:
+        return haversine_m(seg_lon2, seg_lat2, lon, lat)
+    return abs(xt)
+
+
+def enu_offset_m(
+    ref_lon: float, ref_lat: float, lon: float, lat: float
+) -> tuple[float, float]:
+    """Local east/north offsets (m) of a point relative to a reference.
+
+    An equirectangular local-tangent-plane approximation, valid for the
+    distances over which it is used (kinematics over seconds to minutes).
+    """
+    east = (lon - ref_lon) * _DEG2RAD * EARTH_RADIUS_M * math.cos(ref_lat * _DEG2RAD)
+    north = (lat - ref_lat) * _DEG2RAD * EARTH_RADIUS_M
+    return (east, north)
+
+
+def normalize_heading_deg(heading: float) -> float:
+    """Normalise any angle to [0, 360).
+
+    Guards the floating-point edge where ``x % 360.0`` returns exactly
+    360.0 for tiny negative ``x``.
+    """
+    wrapped = heading % 360.0
+    return 0.0 if wrapped >= 360.0 else wrapped
+
+
+def heading_difference_deg(h1: float, h2: float) -> float:
+    """Smallest absolute angular difference between two headings, in [0, 180]."""
+    diff = abs(h1 - h2) % 360.0
+    return 360.0 - diff if diff > 180.0 else diff
+
+
+def knots_to_mps(knots: float) -> float:
+    """Convert speed in knots to metres per second."""
+    return knots * 0.514444
+
+
+def mps_to_knots(mps: float) -> float:
+    """Convert speed in metres per second to knots."""
+    return mps / 0.514444

@@ -1,0 +1,154 @@
+"""Uniform geographic grids and a grid-based point index.
+
+The grid is the workhorse of three layers: blocking in link discovery,
+spatial partitioning in the RDF store, and density surfaces in visual
+analytics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator
+
+from repro.geo.bbox import BBox
+from repro.geo.geodesy import haversine_m
+
+
+@dataclass(frozen=True, slots=True)
+class GeoGrid:
+    """A uniform nx × ny grid over a bounding box.
+
+    Cells are addressed either by ``(ix, iy)`` pairs or by a flat integer id
+    ``iy * nx + ix``. Points outside the box are clamped to the border cells
+    so that every point always maps to exactly one cell.
+    """
+
+    bbox: BBox
+    nx: int
+    ny: int
+
+    def __post_init__(self) -> None:
+        if self.nx <= 0 or self.ny <= 0:
+            raise ValueError(f"grid must have positive dimensions: {self.nx}x{self.ny}")
+        if self.bbox.width <= 0 or self.bbox.height <= 0:
+            raise ValueError("grid bbox must have positive area")
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells."""
+        return self.nx * self.ny
+
+    @property
+    def cell_width(self) -> float:
+        """Cell width in degrees of longitude."""
+        return self.bbox.width / self.nx
+
+    @property
+    def cell_height(self) -> float:
+        """Cell height in degrees of latitude."""
+        return self.bbox.height / self.ny
+
+    def cell_of(self, lon: float, lat: float) -> tuple[int, int]:
+        """Grid coordinates of the cell containing (clamping) a point."""
+        ix = int((lon - self.bbox.min_lon) / self.cell_width)
+        iy = int((lat - self.bbox.min_lat) / self.cell_height)
+        ix = min(max(ix, 0), self.nx - 1)
+        iy = min(max(iy, 0), self.ny - 1)
+        return (ix, iy)
+
+    def cell_id(self, lon: float, lat: float) -> int:
+        """Flat integer id of the cell containing a point."""
+        ix, iy = self.cell_of(lon, lat)
+        return iy * self.nx + ix
+
+    def cell_bbox(self, ix: int, iy: int) -> BBox:
+        """Bounding box of cell ``(ix, iy)``."""
+        if not (0 <= ix < self.nx and 0 <= iy < self.ny):
+            raise IndexError(f"cell ({ix},{iy}) outside {self.nx}x{self.ny} grid")
+        return BBox(
+            self.bbox.min_lon + ix * self.cell_width,
+            self.bbox.min_lat + iy * self.cell_height,
+            self.bbox.min_lon + (ix + 1) * self.cell_width,
+            self.bbox.min_lat + (iy + 1) * self.cell_height,
+        )
+
+    def cells_intersecting(self, query: BBox) -> Iterator[tuple[int, int]]:
+        """Yield (ix, iy) of every cell whose box intersects ``query``."""
+        lo_x = int((query.min_lon - self.bbox.min_lon) / self.cell_width)
+        hi_x = int((query.max_lon - self.bbox.min_lon) / self.cell_width)
+        lo_y = int((query.min_lat - self.bbox.min_lat) / self.cell_height)
+        hi_y = int((query.max_lat - self.bbox.min_lat) / self.cell_height)
+        lo_x = min(max(lo_x, 0), self.nx - 1)
+        hi_x = min(max(hi_x, 0), self.nx - 1)
+        lo_y = min(max(lo_y, 0), self.ny - 1)
+        hi_y = min(max(hi_y, 0), self.ny - 1)
+        for iy in range(lo_y, hi_y + 1):
+            for ix in range(lo_x, hi_x + 1):
+                yield (ix, iy)
+
+    def neighbors(self, ix: int, iy: int, radius: int = 1) -> Iterator[tuple[int, int]]:
+        """Yield the cells within ``radius`` rings, including the cell itself."""
+        for dy in range(-radius, radius + 1):
+            for dx in range(-radius, radius + 1):
+                jx, jy = ix + dx, iy + dy
+                if 0 <= jx < self.nx and 0 <= jy < self.ny:
+                    yield (jx, jy)
+
+
+class GridIndex:
+    """A point index over a :class:`GeoGrid` supporting radius queries.
+
+    Items of any hashable type are inserted with a position; range and
+    radius queries return candidate items with exact distance filtering
+    applied for radius queries.
+    """
+
+    def __init__(self, grid: GeoGrid) -> None:
+        self.grid = grid
+        self._cells: dict[tuple[int, int], list[tuple[float, float, Hashable]]]
+        self._cells = defaultdict(list)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, lon: float, lat: float, item: Hashable) -> None:
+        """Insert an item at a position."""
+        self._cells[self.grid.cell_of(lon, lat)].append((lon, lat, item))
+        self._count += 1
+
+    def insert_many(self, entries: Iterable[tuple[float, float, Hashable]]) -> None:
+        """Bulk-insert ``(lon, lat, item)`` tuples."""
+        for lon, lat, item in entries:
+            self.insert(lon, lat, item)
+
+    def query_bbox(self, query: BBox) -> list[Hashable]:
+        """All items whose position lies inside the query box."""
+        out: list[Hashable] = []
+        for cell in self.grid.cells_intersecting(query):
+            for lon, lat, item in self._cells.get(cell, ()):
+                if query.contains(lon, lat):
+                    out.append(item)
+        return out
+
+    def query_radius(self, lon: float, lat: float, radius_m: float) -> list[Hashable]:
+        """All items within ``radius_m`` metres of a point (exact-filtered)."""
+        # Convert the radius into a conservative ring count around the cell.
+        cell_m = max(
+            1.0,
+            haversine_m(0.0, lat, self.grid.cell_width, lat),
+            haversine_m(lon, lat, lon, min(90.0, lat + self.grid.cell_height)),
+        )
+        rings = int(radius_m / cell_m) + 1
+        ix, iy = self.grid.cell_of(lon, lat)
+        out: list[Hashable] = []
+        for cell in self.grid.neighbors(ix, iy, radius=rings):
+            for clon, clat, item in self._cells.get(cell, ()):
+                if haversine_m(lon, lat, clon, clat) <= radius_m:
+                    out.append(item)
+        return out
+
+    def cell_counts(self) -> dict[tuple[int, int], int]:
+        """Number of items per non-empty cell (density surface input)."""
+        return {cell: len(items) for cell, items in self._cells.items() if items}

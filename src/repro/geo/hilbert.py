@@ -1,0 +1,63 @@
+"""Hilbert space-filling curve on a 2^order × 2^order grid.
+
+Used by the RDF store's Hilbert partitioner: mapping 2D cells to 1D curve
+positions yields partitions that are both spatially local and easy to
+balance by splitting the curve into equal-count ranges.
+"""
+
+from __future__ import annotations
+
+
+def hilbert_xy2d(order: int, x: int, y: int) -> int:
+    """Map grid coordinates to the Hilbert curve index.
+
+    Args:
+        order: Curve order; the grid is ``2**order`` cells per side.
+        x: Column in ``[0, 2**order)``.
+        y: Row in ``[0, 2**order)``.
+
+    Returns:
+        Distance along the curve, in ``[0, 4**order)``.
+    """
+    n = 1 << order
+    if not (0 <= x < n and 0 <= y < n):
+        raise ValueError(f"({x},{y}) outside 2^{order} grid")
+    rx = ry = 0
+    d = 0
+    s = n >> 1
+    while s > 0:
+        rx = 1 if (x & s) > 0 else 0
+        ry = 1 if (y & s) > 0 else 0
+        d += s * s * ((3 * rx) ^ ry)
+        x, y = _rotate(s, x, y, rx, ry)
+        s >>= 1
+    return d
+
+
+def hilbert_d2xy(order: int, d: int) -> tuple[int, int]:
+    """Inverse of :func:`hilbert_xy2d`: curve index to grid coordinates."""
+    n = 1 << order
+    if not (0 <= d < n * n):
+        raise ValueError(f"distance {d} outside curve of order {order}")
+    x = y = 0
+    t = d
+    s = 1
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        x, y = _rotate(s, x, y, rx, ry)
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return (x, y)
+
+
+def _rotate(s: int, x: int, y: int, rx: int, ry: int) -> tuple[int, int]:
+    """Rotate/flip a quadrant appropriately (Hilbert curve helper)."""
+    if ry == 0:
+        if rx == 1:
+            x = s - 1 - x
+            y = s - 1 - y
+        x, y = y, x
+    return (x, y)

@@ -1,0 +1,78 @@
+"""Simple polygons for geographic areas (zones, sectors, port regions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.geo.bbox import BBox
+
+
+def point_in_polygon(lon: float, lat: float, ring: Sequence[tuple[float, float]]) -> bool:
+    """Ray-casting point-in-polygon test for a closed ring of (lon, lat).
+
+    The ring does not need an explicit closing vertex. Points exactly on an
+    edge may land on either side; the sources never place entities exactly
+    on zone borders, and the CER thresholds include hysteresis.
+    """
+    inside = False
+    n = len(ring)
+    if n < 3:
+        return False
+    j = n - 1
+    for i in range(n):
+        xi, yi = ring[i]
+        xj, yj = ring[j]
+        if (yi > lat) != (yj > lat):
+            x_cross = (xj - xi) * (lat - yi) / (yj - yi) + xi
+            if lon < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A named simple polygon (no holes) over lon/lat coordinates.
+
+    Used for zones of interest: protected maritime areas, traffic separation
+    schemes, ATC sectors, airport terminal areas.
+    """
+
+    name: str
+    ring: tuple[tuple[float, float], ...]
+    _bbox: BBox = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.ring) < 3:
+            raise ValueError(f"polygon {self.name!r} needs >= 3 vertices")
+        object.__setattr__(self, "_bbox", BBox.from_points(self.ring))
+
+    @classmethod
+    def rectangle(cls, name: str, bbox: BBox) -> Polygon:
+        """Axis-aligned rectangular zone from a bounding box."""
+        ring = (
+            (bbox.min_lon, bbox.min_lat),
+            (bbox.max_lon, bbox.min_lat),
+            (bbox.max_lon, bbox.max_lat),
+            (bbox.min_lon, bbox.max_lat),
+        )
+        return cls(name=name, ring=ring)
+
+    @property
+    def bbox(self) -> BBox:
+        """Cached bounding box of the ring."""
+        return self._bbox
+
+    def contains(self, lon: float, lat: float) -> bool:
+        """Point-in-polygon with a bbox fast-reject."""
+        if not self._bbox.contains(lon, lat):
+            return False
+        return point_in_polygon(lon, lat, self.ring)
+
+    def centroid(self) -> tuple[float, float]:
+        """Arithmetic-mean centroid of the vertices (adequate for labels)."""
+        n = len(self.ring)
+        lon = sum(p[0] for p in self.ring) / n
+        lat = sum(p[1] for p in self.ring) / n
+        return (lon, lat)

@@ -1,0 +1,123 @@
+"""Adaptive quadtree over geographic points.
+
+Where the uniform grid wastes resolution on empty ocean and under-splits
+hotspots, the quadtree splits exactly where the data is: every leaf holds
+at most ``capacity`` points (until ``max_depth``). Used as a point index
+and as the basis of the load-adaptive spatial partitioner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.geo.bbox import BBox
+
+
+@dataclass
+class _Node:
+    bbox: BBox
+    depth: int
+    points: list[tuple[float, float, Any]]
+    children: "list[_Node] | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """A point quadtree with bbox queries and leaf enumeration."""
+
+    def __init__(self, bbox: BBox, capacity: int = 32, max_depth: int = 12) -> None:
+        if capacity <= 0 or max_depth <= 0:
+            raise ValueError("capacity and max_depth must be positive")
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _Node(bbox=bbox, depth=0, points=[])
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, lon: float, lat: float, item: Any = None) -> None:
+        """Insert a point; positions outside the root box are clamped in."""
+        lon = min(max(lon, self._root.bbox.min_lon), self._root.bbox.max_lon)
+        lat = min(max(lat, self._root.bbox.min_lat), self._root.bbox.max_lat)
+        self._insert(self._root, lon, lat, item)
+        self._size += 1
+
+    def _insert(self, node: _Node, lon: float, lat: float, item: Any) -> None:
+        while not node.is_leaf:
+            node = self._child_for(node, lon, lat)
+        node.points.append((lon, lat, item))
+        if len(node.points) > self.capacity and node.depth < self.max_depth:
+            self._split(node)
+
+    @staticmethod
+    def _child_for(node: _Node, lon: float, lat: float) -> _Node:
+        assert node.children is not None
+        cx, cy = node.bbox.center
+        index = (1 if lon >= cx else 0) | (2 if lat >= cy else 0)
+        return node.children[index]
+
+    def _split(self, node: _Node) -> None:
+        sw, se, nw, ne = node.bbox.split4()
+        node.children = [
+            _Node(bbox=box, depth=node.depth + 1, points=[])
+            for box in (sw, se, nw, ne)
+        ]
+        points, node.points = node.points, []
+        for lon, lat, item in points:
+            self._child_for(node, lon, lat).points.append((lon, lat, item))
+        # A pathological all-equal-point split can leave one child over
+        # capacity; it will split again on the next insert (bounded by
+        # max_depth), which is acceptable.
+
+    def query_bbox(self, query: BBox) -> list[Any]:
+        """Items whose position lies inside the query box."""
+        out: list[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.bbox.intersects(query):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    item for lon, lat, item in node.points if query.contains(lon, lat)
+                )
+            else:
+                stack.extend(node.children or ())
+        return out
+
+    def leaf_bbox(self, lon: float, lat: float) -> BBox:
+        """The bounding box of the leaf containing a (clamped) point."""
+        lon = min(max(lon, self._root.bbox.min_lon), self._root.bbox.max_lon)
+        lat = min(max(lat, self._root.bbox.min_lat), self._root.bbox.max_lat)
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_for(node, lon, lat)
+        return node.bbox
+
+    def leaves(self) -> Iterator[tuple[BBox, int]]:
+        """Yield ``(bbox, point_count)`` for every leaf."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield (node.bbox, len(node.points))
+            else:
+                stack.extend(node.children or ())
+
+    @property
+    def depth(self) -> int:
+        """Maximum leaf depth reached."""
+        best = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                stack.extend(node.children or ())
+        return best

@@ -1,0 +1,173 @@
+"""A small in-memory R-tree over geographic bounding boxes.
+
+Quadratic-split insertion, bbox search. Used for indexing zone polygons and
+trajectory segment MBRs where a uniform grid would waste memory on skewed
+extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.geo.bbox import BBox
+
+_DEFAULT_MAX_ENTRIES = 8
+
+
+@dataclass(slots=True)
+class RTreeEntry:
+    """A leaf payload: a bounding box and its associated item."""
+
+    bbox: BBox
+    item: Any
+
+
+@dataclass(slots=True)
+class _Node:
+    leaf: bool
+    entries: list[Any] = field(default_factory=list)  # RTreeEntry | _Node
+    bbox: BBox | None = None
+
+    def recompute_bbox(self) -> None:
+        boxes = [e.bbox for e in self.entries if e.bbox is not None]
+        if not boxes:
+            self.bbox = None
+            return
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        self.bbox = box
+
+
+class RTree:
+    """R-tree with quadratic split, supporting insert and box queries."""
+
+    def __init__(self, max_entries: int = _DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self._max = max_entries
+        self._min = max(2, max_entries // 2)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, bbox: BBox, item: Any) -> None:
+        """Insert an item with its bounding box."""
+        entry = RTreeEntry(bbox=bbox, item=item)
+        split = self._insert(self._root, entry)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(leaf=False, entries=[old_root, split])
+            self._root.recompute_bbox()
+        self._size += 1
+
+    def query(self, query: BBox) -> list[Any]:
+        """Items whose bounding box intersects the query box."""
+        out: list[Any] = []
+        self._query(self._root, query, out)
+        return out
+
+    def all_items(self) -> Iterator[Any]:
+        """Iterate all stored items."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                for entry in node.entries:
+                    yield entry.item
+            else:
+                stack.extend(node.entries)
+
+    def _insert(self, node: _Node, entry: RTreeEntry) -> _Node | None:
+        if node.leaf:
+            node.entries.append(entry)
+        else:
+            child = self._choose_child(node, entry.bbox)
+            split = self._insert(child, entry)
+            if split is not None:
+                node.entries.append(split)
+        node.bbox = entry.bbox if node.bbox is None else node.bbox.union(entry.bbox)
+        if len(node.entries) > self._max:
+            return self._split(node)
+        return None
+
+    @staticmethod
+    def _enlargement(box: BBox, other: BBox) -> float:
+        union = box.union(other)
+        return union.area - box.area
+
+    def _choose_child(self, node: _Node, bbox: BBox) -> _Node:
+        best = None
+        best_key = None
+        for child in node.entries:
+            child_box = child.bbox
+            if child_box is None:
+                key = (0.0, 0.0)
+            else:
+                key = (self._enlargement(child_box, bbox), child_box.area)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = child
+        assert best is not None
+        return best
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: move roughly half the entries into a new node."""
+        entries = node.entries
+        seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        rest = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        box_a = group_a[0].bbox
+        box_b = group_b[0].bbox
+        for entry in rest:
+            # Force balance when one group must absorb all remaining entries.
+            remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+            if len(group_a) + remaining <= self._min:
+                group_a.append(entry)
+                box_a = box_a.union(entry.bbox)
+                continue
+            if len(group_b) + remaining <= self._min:
+                group_b.append(entry)
+                box_b = box_b.union(entry.bbox)
+                continue
+            grow_a = self._enlargement(box_a, entry.bbox)
+            grow_b = self._enlargement(box_b, entry.bbox)
+            if grow_a <= grow_b:
+                group_a.append(entry)
+                box_a = box_a.union(entry.bbox)
+            else:
+                group_b.append(entry)
+                box_b = box_b.union(entry.bbox)
+        node.entries = group_a
+        node.recompute_bbox()
+        sibling = _Node(leaf=node.leaf, entries=group_b)
+        sibling.recompute_bbox()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(entries: list[Any]) -> tuple[int, int]:
+        worst = -1.0
+        pair = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                union = entries[i].bbox.union(entries[j].bbox)
+                waste = union.area - entries[i].bbox.area - entries[j].bbox.area
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    def _query(self, node: _Node, query: BBox, out: list[Any]) -> None:
+        if node.bbox is None or not node.bbox.intersects(query):
+            return
+        if node.leaf:
+            for entry in node.entries:
+                if entry.bbox.intersects(query):
+                    out.append(entry.item)
+        else:
+            for child in node.entries:
+                self._query(child, query, out)

@@ -1,0 +1,65 @@
+"""Offline Douglas-Peucker trajectory simplification (batch baseline).
+
+The synopses generator is online; Douglas-Peucker sees the whole
+trajectory and is therefore the natural upper bound on compression at a
+given spatial tolerance — the E1 benchmark reports both.
+"""
+
+from __future__ import annotations
+
+from repro.geo.geodesy import cross_track_distance_m
+from repro.model.trajectory import Trajectory
+
+
+def douglas_peucker(trajectory: Trajectory, tolerance_m: float) -> Trajectory:
+    """Simplify a trajectory to within ``tolerance_m`` of the original.
+
+    Classic recursive split on the point of maximum deviation from the
+    chord, using great-circle cross-track distance. Endpoints are always
+    kept. Runs iteratively (explicit stack) to avoid recursion limits on
+    long tracks.
+    """
+    if tolerance_m < 0:
+        raise ValueError("tolerance_m must be >= 0")
+    n = len(trajectory)
+    if n <= 2:
+        return trajectory
+
+    lon = trajectory.lon
+    lat = trajectory.lat
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+
+    stack = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        if last - first < 2:
+            continue
+        max_dist = -1.0
+        max_idx = -1
+        for i in range(first + 1, last):
+            dist = cross_track_distance_m(
+                float(lon[i]), float(lat[i]),
+                float(lon[first]), float(lat[first]),
+                float(lon[last]), float(lat[last]),
+            )
+            if dist > max_dist:
+                max_dist = dist
+                max_idx = i
+        if max_dist > tolerance_m:
+            keep[max_idx] = True
+            stack.append((first, max_idx))
+            stack.append((max_idx, last))
+
+    import numpy as np
+
+    mask = np.asarray(keep)
+    alt = None if trajectory.alt is None else trajectory.alt[mask]
+    return Trajectory(
+        trajectory.entity_id,
+        trajectory.t[mask],
+        lon[mask],
+        lat[mask],
+        alt,
+        domain=trajectory.domain,
+    )

@@ -1,0 +1,108 @@
+"""Primitive cleaning operators applied directly on the report stream.
+
+These are the first "primitive operators ... applied directly on the data
+streams": stateless or per-entity-stateful record filters that remove
+records no downstream component should ever see.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geo.geodesy import haversine_m
+from repro.model.entities import EntityRegistry
+from repro.model.reports import PositionReport
+
+
+class PlausibilityFilter:
+    """Rejects physically impossible reports.
+
+    A report is rejected when the implied speed from the entity's previous
+    accepted report exceeds the entity's physical ceiling (with a tolerance
+    factor), or when its own speed field exceeds the ceiling. Reports that
+    go backwards in time relative to the entity's last accepted report are
+    rejected too (the stream layer handles bounded lateness; an entity's
+    *own* history must stay ordered for kinematic checks to make sense).
+    """
+
+    def __init__(
+        self,
+        registry: EntityRegistry | None = None,
+        default_max_speed_mps: float = 350.0,
+        tolerance: float = 1.5,
+    ) -> None:
+        if tolerance < 1.0:
+            raise ValueError("tolerance must be >= 1")
+        self._registry = registry
+        self._default_max = default_max_speed_mps
+        self._tolerance = tolerance
+        self._last: dict[str, PositionReport] = {}
+        self.rejected = 0
+
+    def _ceiling(self, entity_id: str) -> float:
+        if self._registry is not None:
+            entity = self._registry.get_or_none(entity_id)
+            if entity is not None:
+                return entity.max_speed_mps * self._tolerance
+        return self._default_max * self._tolerance
+
+    def accept(self, report: PositionReport) -> bool:
+        """Decide one report; accepted reports update the per-entity state."""
+        ceiling = self._ceiling(report.entity_id)
+        if report.speed is not None and report.speed > ceiling:
+            self.rejected += 1
+            return False
+        last = self._last.get(report.entity_id)
+        if last is not None:
+            dt = report.t - last.t
+            if dt <= 0:
+                self.rejected += 1
+                return False
+            implied = haversine_m(last.lon, last.lat, report.lon, report.lat) / dt
+            if implied > ceiling:
+                self.rejected += 1
+                return False
+        self._last[report.entity_id] = report
+        return True
+
+    def __call__(self, report: PositionReport) -> bool:
+        return self.accept(report)
+
+
+class DeduplicateFilter:
+    """Drops exact duplicates: same entity, timestamp and position.
+
+    Keeps a bounded per-entity memory of recent (t, lon, lat) keys.
+    """
+
+    def __init__(self, memory: int = 64) -> None:
+        if memory <= 0:
+            raise ValueError("memory must be positive")
+        self._memory = memory
+        self._seen: dict[str, list[tuple[float, float, float]]] = {}
+        self.dropped = 0
+
+    def accept(self, report: PositionReport) -> bool:
+        """Decide one report; new reports are remembered."""
+        key = (report.t, report.lon, report.lat)
+        recent = self._seen.setdefault(report.entity_id, [])
+        if key in recent:
+            self.dropped += 1
+            return False
+        recent.append(key)
+        if len(recent) > self._memory:
+            del recent[: len(recent) - self._memory]
+        return True
+
+    def __call__(self, report: PositionReport) -> bool:
+        return self.accept(report)
+
+
+def clean_reports(
+    reports: Iterable[PositionReport],
+    registry: EntityRegistry | None = None,
+) -> list[PositionReport]:
+    """Batch helper: dedupe + plausibility-filter a report sequence."""
+    dedup = DeduplicateFilter()
+    plausible = PlausibilityFilter(registry=registry)
+    return [r for r in reports if dedup.accept(r) and plausible.accept(r)]

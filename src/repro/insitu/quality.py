@@ -1,0 +1,117 @@
+"""Compression-quality metrics: does the synopsis preserve the analytics?
+
+The paper claims "high rates of data compression without affecting the
+quality of analytics". These metrics quantify both halves: the compression
+ratio on one side, and on the other (a) pointwise reconstruction error and
+(b) fidelity of derived quantities (travelled distance, speed profile)
+that downstream analytics consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m
+from repro.model.trajectory import Trajectory
+
+
+def reconstruction_errors_m(original: Trajectory, compressed: Trajectory) -> np.ndarray:
+    """Distance from each original sample to the compressed reconstruction.
+
+    The compressed trajectory is linearly interpolated at every original
+    timestamp; the result is the per-sample horizontal error in metres.
+    """
+    if len(compressed) == 0:
+        raise ValueError("compressed trajectory is empty")
+    errors = np.empty(len(original))
+    for i in range(len(original)):
+        point = original[i]
+        approx = compressed.at_time(point.t)
+        errors[i] = haversine_m(point.lon, point.lat, approx.lon, approx.lat)
+    return errors
+
+
+@dataclass(frozen=True, slots=True)
+class CompressionQuality:
+    """Summary of one compression run.
+
+    Attributes:
+        compression_ratio: Fraction of points dropped, in [0, 1].
+        rmse_m: Root-mean-square reconstruction error.
+        max_error_m: Worst-case reconstruction error.
+        mean_error_m: Mean reconstruction error.
+        length_error_ratio: ``|len(compressed) - len(original)| /
+            len(original)`` of travelled distances — analytics like
+            distance-sailed must survive compression.
+        speed_rmse_mps: RMSE between original and reconstructed speed
+            profiles sampled on a common 30 s lattice.
+        heading_rmse_deg: RMSE between original and reconstructed heading
+            profiles on the same lattice (wrap-aware; 0 for static or
+            too-short tracks).
+    """
+
+    compression_ratio: float
+    rmse_m: float
+    max_error_m: float
+    mean_error_m: float
+    length_error_ratio: float
+    speed_rmse_mps: float
+    heading_rmse_deg: float = 0.0
+
+
+def evaluate_compression(original: Trajectory, compressed: Trajectory) -> CompressionQuality:
+    """Compute the full quality summary for one (original, synopsis) pair."""
+    errors = reconstruction_errors_m(original, compressed)
+    ratio = 1.0 - (len(compressed) / len(original)) if len(original) else 0.0
+
+    orig_len = original.length_m()
+    comp_len = compressed.length_m()
+    length_error = abs(comp_len - orig_len) / orig_len if orig_len > 0 else 0.0
+
+    speed_rmse = _speed_profile_rmse(original, compressed, period_s=30.0)
+    heading_rmse = _heading_profile_rmse(original, compressed, period_s=30.0)
+
+    return CompressionQuality(
+        compression_ratio=ratio,
+        rmse_m=float(np.sqrt(np.mean(errors**2))),
+        max_error_m=float(errors.max()),
+        mean_error_m=float(errors.mean()),
+        length_error_ratio=length_error,
+        speed_rmse_mps=speed_rmse,
+        heading_rmse_deg=heading_rmse,
+    )
+
+
+def _speed_profile_rmse(
+    original: Trajectory, compressed: Trajectory, period_s: float
+) -> float:
+    """RMSE between speed profiles resampled on a shared lattice."""
+    if original.duration <= period_s or len(compressed) < 2:
+        return 0.0
+    orig = original.resample(period_s)
+    comp = compressed.resample(period_s)
+    n = min(len(orig) - 1, len(comp) - 1)
+    if n <= 0:
+        return 0.0
+    vo = orig.speeds_mps()[:n]
+    vc = comp.speeds_mps()[:n]
+    return float(np.sqrt(np.mean((vo - vc) ** 2)))
+
+
+def _heading_profile_rmse(
+    original: Trajectory, compressed: Trajectory, period_s: float
+) -> float:
+    """Wrap-aware heading RMSE on a shared lattice (degrees)."""
+    if original.duration <= period_s or len(compressed) < 2:
+        return 0.0
+    orig = original.resample(period_s)
+    comp = compressed.resample(period_s)
+    n = min(len(orig) - 1, len(comp) - 1)
+    if n <= 0:
+        return 0.0
+    ho = orig.headings_deg()[:n]
+    hc = comp.headings_deg()[:n]
+    diff = (ho - hc + 180.0) % 360.0 - 180.0
+    return float(np.sqrt(np.mean(diff**2)))

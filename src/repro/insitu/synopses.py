@@ -1,0 +1,273 @@
+"""The synopses generator: online, error-bounded trajectory compression.
+
+Decision rule per report (per entity):
+
+1. keep every critical point (from :class:`CriticalPointDetector`);
+2. otherwise keep the report iff dead-reckoning from the last *kept* report
+   (constant speed and heading) mispredicts the current position by more
+   than ``dr_error_threshold_m``;
+3. drop everything else.
+
+Rule 2 bounds the reconstruction error of the synopsis: any dropped report
+was within the threshold of the linear motion model anchored at a kept
+report, so linear interpolation between kept reports stays within a small
+factor of the threshold. Rule 1 preserves the semantic structure (stops,
+turns, gaps) that downstream analytics — and the paper's event detection —
+depend on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
+
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.insitu.critical import AnnotatedReport, CriticalPointDetector, CriticalPointType
+from repro.model.reports import PositionReport
+from repro.model.trajectory import Trajectory
+from repro.streams.operators import KeyedProcessOperator
+from repro.streams.records import Record
+
+
+@dataclass(frozen=True)
+class SynopsesConfig:
+    """Tuning knobs of the synopses generator.
+
+    Attributes:
+        dr_error_threshold_m: Dead-reckoning error bound; the main
+            compression-vs-fidelity dial (experiment E1 sweeps it).
+        max_silence_s: A report is always kept when this much time passed
+            since the last kept one (bounds worst-case reconstruction gaps).
+        stop_speed_mps / turn_threshold_deg / speed_change_ratio /
+        gap_threshold_s: forwarded to :class:`CriticalPointDetector`.
+        enabled_critical: Detector subset (ablation hook, experiment E9).
+    """
+
+    dr_error_threshold_m: float = 120.0
+    max_silence_s: float = 600.0
+    stop_speed_mps: float = 0.8
+    turn_threshold_deg: float = 12.0
+    speed_change_ratio: float = 0.25
+    gap_threshold_s: float = 300.0
+    enabled_critical: frozenset[CriticalPointType] = frozenset(CriticalPointType)
+
+    def __post_init__(self) -> None:
+        if self.dr_error_threshold_m < 0:
+            raise ValueError("dr_error_threshold_m must be >= 0")
+        if self.max_silence_s <= 0:
+            raise ValueError("max_silence_s must be positive")
+
+    def detector(self) -> CriticalPointDetector:
+        """Build the matching critical-point detector."""
+        return CriticalPointDetector(
+            stop_speed_mps=self.stop_speed_mps,
+            turn_threshold_deg=self.turn_threshold_deg,
+            speed_change_ratio=self.speed_change_ratio,
+            gap_threshold_s=self.gap_threshold_s,
+            enabled=self.enabled_critical,
+        )
+
+
+@dataclass
+class _KeptState:
+    report: PositionReport
+    speed: float | None
+    heading: float | None
+
+
+class SynopsesGenerator:
+    """Online keep/drop decisions over a report stream.
+
+    Call :meth:`process` per report; it returns the annotated report plus
+    the keep decision. :attr:`seen` / :attr:`kept` track the compression
+    ratio achieved so far.
+    """
+
+    def __init__(self, config: SynopsesConfig | None = None) -> None:
+        self.config = config or SynopsesConfig()
+        self._detector = self.config.detector()
+        self._last_kept: dict[str, _KeptState] = {}
+        self._last_seen: dict[str, PositionReport] = {}
+        self.seen = 0
+        self.kept = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Fraction of reports *dropped* so far (0 before any input)."""
+        if self.seen == 0:
+            return 0.0
+        return 1.0 - (self.kept / self.seen)
+
+    def process(self, report: PositionReport) -> tuple[AnnotatedReport, bool]:
+        """Decide one report. Returns ``(annotated, keep)``."""
+        self.seen += 1
+        annotated = self._detector.process(report)
+        keep = self._decide(annotated)
+        self._last_seen[report.entity_id] = report
+        if keep:
+            self.kept += 1
+            self._last_kept[report.entity_id] = _KeptState(
+                report=report, speed=report.speed, heading=report.heading
+            )
+        return (annotated, keep)
+
+    def finish(self, entity_id: str) -> PositionReport | None:
+        """Close an entity's track at end of stream.
+
+        Returns the entity's last seen report when it was dropped by the
+        online rule — the synopsis must include the track's final position
+        or reconstruction error past the last kept point is unbounded.
+        Counts the late keep toward the compression statistics.
+        """
+        last_seen = self._last_seen.get(entity_id)
+        if last_seen is None:
+            return None
+        last_kept = self._last_kept.get(entity_id)
+        if last_kept is not None and last_kept.report.t >= last_seen.t:
+            return None
+        self.kept += 1
+        self._last_kept[entity_id] = _KeptState(
+            report=last_seen, speed=last_seen.speed, heading=last_seen.heading
+        )
+        return last_seen
+
+    def finish_all(self) -> list[PositionReport]:
+        """Close every entity's track; returns the late-kept reports."""
+        out = []
+        for entity_id in list(self._last_seen):
+            report = self.finish(entity_id)
+            if report is not None:
+                out.append(report)
+        return out
+
+    def _decide(self, annotated: AnnotatedReport) -> bool:
+        if annotated.is_critical:
+            return True
+        report = annotated.report
+        kept = self._last_kept.get(report.entity_id)
+        if kept is None:
+            return True
+        dt = report.t - kept.report.t
+        if dt >= self.config.max_silence_s:
+            return True
+        predicted = self._dead_reckon(kept, dt)
+        if predicted is None:
+            # No kinematic state to predict with: fall back to displacement.
+            error = haversine_m(kept.report.lon, kept.report.lat, report.lon, report.lat)
+        else:
+            error = haversine_m(predicted[0], predicted[1], report.lon, report.lat)
+        return error > self.config.dr_error_threshold_m
+
+    @staticmethod
+    def _dead_reckon(kept: _KeptState, dt: float) -> tuple[float, float] | None:
+        if kept.speed is None or kept.heading is None:
+            return None
+        return destination_point(
+            kept.report.lon, kept.report.lat, kept.heading, kept.speed * dt
+        )
+
+    def reset(self) -> None:
+        """Forget all state and counters."""
+        self._detector.reset()
+        self._last_kept.clear()
+        self._last_seen.clear()
+        self.seen = 0
+        self.kept = 0
+
+
+class SynopsesOperator(KeyedProcessOperator):
+    """Streaming wrapper: emits only kept (annotated) reports.
+
+    Keyed by entity id; the value type changes from :class:`PositionReport`
+    to :class:`AnnotatedReport` downstream.
+    """
+
+    def __init__(self, config: SynopsesConfig | None = None, name: str = "synopses") -> None:
+        super().__init__(key_fn=lambda r: r.entity_id, name=name)
+        self.generator = SynopsesGenerator(config)
+
+    def process_keyed(self, record: Record, state: dict[str, Any]) -> Iterable[Record]:
+        annotated, keep = self.generator.process(record.value)
+        if keep:
+            return (record.with_value(annotated),)
+        return ()
+
+    def flush_key(self, key: Any, state: dict[str, Any]) -> Iterable[Record]:
+        report = self.generator.finish(key)
+        if report is None:
+            return ()
+        return (
+            Record(
+                event_time=report.t,
+                value=AnnotatedReport(report=report, critical=()),
+                key=key,
+            ),
+        )
+
+
+def compress_trajectory(
+    trajectory: Trajectory,
+    config: SynopsesConfig | None = None,
+    reports: list[PositionReport] | None = None,
+) -> tuple[Trajectory, float]:
+    """Batch helper: compress a trajectory through the synopses generator.
+
+    Args:
+        trajectory: The (dense) input trajectory.
+        config: Synopses configuration.
+        reports: When given, these reports are compressed instead of
+            synthesizing reports from the trajectory samples (used when the
+            caller has the original measured stream).
+
+    Returns:
+        ``(compressed trajectory, compression ratio)`` where the ratio is
+        the fraction of samples dropped.
+    """
+    generator = SynopsesGenerator(config)
+    if reports is None:
+        reports = _reports_from_trajectory(trajectory)
+    kept_points = []
+    for report in reports:
+        annotated, keep = generator.process(report)
+        if keep:
+            kept_points.append(report.point())
+    final = generator.finish(trajectory.entity_id)
+    if final is not None:
+        kept_points.append(final.point())
+    compressed = Trajectory.from_points(
+        trajectory.entity_id, kept_points, domain=trajectory.domain
+    )
+    return (compressed, generator.compression_ratio)
+
+
+def _reports_from_trajectory(trajectory: Trajectory) -> list[PositionReport]:
+    """Synthesize reports (with derived speed/heading) from samples."""
+    from repro.geo.geodesy import initial_bearing_deg
+
+    reports: list[PositionReport] = []
+    n = len(trajectory)
+    for i in range(n):
+        point = trajectory[i]
+        speed = heading = None
+        if i + 1 < n:
+            nxt = trajectory[i + 1]
+            dt = nxt.t - point.t
+            dist = haversine_m(point.lon, point.lat, nxt.lon, nxt.lat)
+            if dt > 0:
+                speed = dist / dt
+            if dist > 1.0:
+                heading = initial_bearing_deg(point.lon, point.lat, nxt.lon, nxt.lat)
+        reports.append(
+            PositionReport(
+                entity_id=trajectory.entity_id,
+                t=point.t,
+                lon=point.lon,
+                lat=point.lat,
+                alt=point.alt,
+                speed=speed,
+                heading=heading,
+                domain=trajectory.domain,
+            )
+        )
+    return reports

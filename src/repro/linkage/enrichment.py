@@ -1,0 +1,98 @@
+"""Trajectory enrichment: attaching context data along a track.
+
+Interlinking's analytical payoff: once positions link to weather cells,
+a trajectory can be *enriched* — every sample annotated with the
+conditions it sailed through — and summarised ("mean wind experienced",
+"hours in rough sea"). These summaries feed both the VA layer and
+voyage-level analytics (weather-normalised performance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.trajectory import Trajectory
+from repro.sources.weather import WeatherCell, WeatherGridSource
+
+
+@dataclass(frozen=True, slots=True)
+class EnrichedSample:
+    """One trajectory sample with its weather context."""
+
+    t: float
+    lon: float
+    lat: float
+    weather: WeatherCell
+
+
+@dataclass(frozen=True, slots=True)
+class WeatherExposure:
+    """Voyage-level weather summary.
+
+    Attributes:
+        mean_wind_mps / max_wind_mps: Wind experienced along the track.
+        mean_wave_m / max_wave_m: Significant wave height experienced.
+        rough_fraction: Fraction of samples with waves above the
+            roughness threshold.
+        n_samples: Samples the summary is computed over.
+    """
+
+    mean_wind_mps: float
+    max_wind_mps: float
+    mean_wave_m: float
+    max_wave_m: float
+    rough_fraction: float
+    n_samples: int
+
+
+def enrich_trajectory(
+    trajectory: Trajectory,
+    weather: WeatherGridSource,
+    sample_period_s: float = 300.0,
+) -> list[EnrichedSample]:
+    """Annotate a trajectory with the weather cell at each (resampled)
+    position.
+
+    Args:
+        sample_period_s: Enrichment resolution; weather varies on
+            hour/cell scales, so 5-minute sampling loses nothing.
+    """
+    if len(trajectory) == 0:
+        return []
+    track = (
+        trajectory.resample(sample_period_s)
+        if trajectory.duration > sample_period_s
+        else trajectory
+    )
+    out: list[EnrichedSample] = []
+    for i in range(len(track)):
+        lon = float(track.lon[i])
+        lat = float(track.lat[i])
+        t = float(track.t[i])
+        out.append(
+            EnrichedSample(
+                t=t, lon=lon, lat=lat, weather=weather.observation_at(lon, lat, t)
+            )
+        )
+    return out
+
+
+def weather_exposure(
+    samples: list[EnrichedSample],
+    rough_wave_m: float = 2.5,
+) -> WeatherExposure:
+    """Summarise the conditions a voyage was exposed to."""
+    if not samples:
+        raise ValueError("cannot summarise an empty enrichment")
+    winds = np.array([s.weather.wind_speed_mps for s in samples])
+    waves = np.array([s.weather.wave_height_m for s in samples])
+    return WeatherExposure(
+        mean_wind_mps=float(winds.mean()),
+        max_wind_mps=float(winds.max()),
+        mean_wave_m=float(waves.mean()),
+        max_wave_m=float(waves.max()),
+        rough_fraction=float((waves >= rough_wave_m).mean()),
+        n_samples=len(samples),
+    )

@@ -1,0 +1,64 @@
+"""Scoring discovered links against a reference set (experiment E3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.linkage.relations import Link
+
+
+@dataclass(frozen=True, slots=True)
+class LinkScore:
+    """Precision/recall of a link set against a reference.
+
+    Attributes:
+        true_positives / false_positives / false_negatives: Set counts
+            after canonicalisation (symmetric relations deduplicated).
+        candidates_compared: Pair comparisons the method performed.
+        candidates_baseline: Pair comparisons the naive method performs.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    candidates_compared: int = 0
+    candidates_baseline: int = 0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 for empty output."""
+        found = self.true_positives + self.false_positives
+        return self.true_positives / found if found else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 for empty reference."""
+        expected = self.true_positives + self.false_negatives
+        return self.true_positives / expected if expected else 1.0
+
+    @property
+    def pruning_ratio(self) -> float:
+        """Fraction of baseline comparisons avoided (0 when unknown)."""
+        if self.candidates_baseline <= 0:
+            return 0.0
+        return 1.0 - self.candidates_compared / self.candidates_baseline
+
+
+def score_links(
+    found: Iterable[Link],
+    reference: Iterable[Link],
+    candidates_compared: int = 0,
+    candidates_baseline: int = 0,
+) -> LinkScore:
+    """Set-compare two link collections (canonicalised)."""
+    found_set = {link.canonical() for link in found}
+    reference_set = {link.canonical() for link in reference}
+    tp = len(found_set & reference_set)
+    return LinkScore(
+        true_positives=tp,
+        false_positives=len(found_set) - tp,
+        false_negatives=len(reference_set) - tp,
+        candidates_compared=candidates_compared,
+        candidates_baseline=candidates_baseline,
+    )

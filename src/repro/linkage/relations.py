@@ -1,0 +1,55 @@
+"""Link model: discovered associations between resources."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI
+
+
+class LinkRelation(enum.Enum):
+    """The association types the discoverer computes."""
+
+    NEAR = "near"
+    WITHIN_ZONE = "within_zone"
+    HAS_WEATHER = "has_weather"
+
+    @property
+    def predicate(self) -> IRI:
+        """The RDF predicate this relation materialises as."""
+        if self is LinkRelation.NEAR:
+            return V.PROP_NEAR
+        if self is LinkRelation.WITHIN_ZONE:
+            return V.PROP_WITHIN_ZONE
+        return V.PROP_HAS_WEATHER
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """One discovered association.
+
+    Attributes:
+        source_id: Application-level id of the source resource.
+        target_id: Application-level id of the target resource.
+        relation: The association type.
+        value: Relation-specific measure (distance in metres for NEAR,
+            0.0 for containment relations).
+    """
+
+    source_id: str
+    target_id: str
+    relation: LinkRelation
+    value: float = 0.0
+
+    def canonical(self) -> Link:
+        """Symmetric relations ordered so (a,b) == (b,a) for scoring."""
+        if self.relation is LinkRelation.NEAR and self.target_id < self.source_id:
+            return Link(
+                source_id=self.target_id,
+                target_id=self.source_id,
+                relation=self.relation,
+                value=self.value,
+            )
+        return self

@@ -1,0 +1,116 @@
+"""Trajectory-level link discovery: same-route and co-movement links.
+
+Beyond position-level associations, the integration layer can link whole
+trajectories: two voyages following the same route (``sameRouteAs``), or
+two entities moving together in time (``coMovesWith``). Both feed the
+knowledge graph the same way position links do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m_arrays
+from repro.linkage.relations import Link, LinkRelation
+from repro.model.trajectory import Trajectory
+from repro.trajectory.similarity import euclidean_resampled_m
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryLink:
+    """A discovered trajectory-level association.
+
+    Attributes:
+        source_id / target_id: Entity ids (canonical: source <= target).
+        relation: ``"same_route"`` or ``"co_movement"``.
+        score: Relation-specific strength (metres for same_route — lower
+            is stronger; overlap fraction for co_movement — higher is
+            stronger).
+    """
+
+    source_id: str
+    target_id: str
+    relation: str
+    score: float
+
+
+def same_route_links(
+    trajectories: Sequence[Trajectory],
+    max_shape_distance_m: float = 5_000.0,
+) -> list[TrajectoryLink]:
+    """Pairs of trajectories whose *shapes* match within a threshold.
+
+    Shape comparison is time-normalised (resampled Euclidean), so two
+    voyages along the same lane hours apart still link — exactly what
+    route mining wants. Direction matters: reciprocal lanes do not link
+    (their resampled sequences run opposite ways).
+    """
+    out: list[TrajectoryLink] = []
+    n = len(trajectories)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = trajectories[i], trajectories[j]
+            if a.entity_id == b.entity_id:
+                continue
+            distance = euclidean_resampled_m(a, b, n_samples=24)
+            if distance <= max_shape_distance_m:
+                source, target = sorted((a.entity_id, b.entity_id))
+                out.append(
+                    TrajectoryLink(source, target, "same_route", distance)
+                )
+    return out
+
+
+def co_movement_links(
+    trajectories: Sequence[Trajectory],
+    radius_m: float = 2_000.0,
+    min_overlap_fraction: float = 0.6,
+    sample_period_s: float = 60.0,
+) -> list[TrajectoryLink]:
+    """Pairs of entities that travelled *together in time*.
+
+    For each pair with overlapping time spans, positions are compared on
+    a shared time lattice; the pair links when at least
+    ``min_overlap_fraction`` of the shared lattice points lie within
+    ``radius_m`` of each other.
+    """
+    out: list[TrajectoryLink] = []
+    n = len(trajectories)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = trajectories[i], trajectories[j]
+            if a.entity_id == b.entity_id:
+                continue
+            t_from = max(a.start_time, b.start_time)
+            t_to = min(a.end_time, b.end_time)
+            if t_to - t_from < sample_period_s:
+                continue
+            times = np.arange(t_from, t_to, sample_period_s)
+            lon_a = np.interp(times, a.t, a.lon)
+            lat_a = np.interp(times, a.t, a.lat)
+            lon_b = np.interp(times, b.t, b.lon)
+            lat_b = np.interp(times, b.t, b.lat)
+            distances = haversine_m_arrays(lon_a, lat_a, lon_b, lat_b)
+            fraction = float((distances <= radius_m).mean())
+            if fraction >= min_overlap_fraction:
+                source, target = sorted((a.entity_id, b.entity_id))
+                out.append(
+                    TrajectoryLink(source, target, "co_movement", fraction)
+                )
+    return out
+
+
+def to_rdf_links(links: Sequence[TrajectoryLink]) -> list[Link]:
+    """Lower trajectory links onto the generic link model for RDF export."""
+    return [
+        Link(
+            source_id=link.source_id,
+            target_id=link.target_id,
+            relation=LinkRelation.NEAR,
+            value=link.score,
+        )
+        for link in links
+    ]

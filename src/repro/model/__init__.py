@@ -1,0 +1,45 @@
+"""Core data model shared across all datAcron components.
+
+The model package defines the vocabulary of the whole system:
+
+- :class:`STPoint` — a spatio-temporal sample (t, lon, lat[, alt]).
+- :class:`PositionReport` — one raw surveillance record (AIS / ADS-B like).
+- :class:`Trajectory` — an ordered, numpy-backed sequence of samples for a
+  single moving entity.
+- :class:`MovingEntity`, :class:`Vessel`, :class:`Aircraft` — static entity
+  descriptions.
+- :class:`SimpleEvent`, :class:`ComplexEvent` — outputs of the event
+  recognition layer.
+- :class:`Domain` — maritime (2D) vs aviation (3D).
+"""
+
+from repro.model.errors import (
+    ModelError,
+    EmptyTrajectoryError,
+    TimeOrderError,
+    UnknownEntityError,
+)
+from repro.model.points import STPoint, Domain
+from repro.model.reports import PositionReport, ReportSource
+from repro.model.trajectory import Trajectory
+from repro.model.entities import MovingEntity, Vessel, Aircraft, EntityRegistry
+from repro.model.events import SimpleEvent, ComplexEvent, EventSeverity
+
+__all__ = [
+    "ModelError",
+    "EmptyTrajectoryError",
+    "TimeOrderError",
+    "UnknownEntityError",
+    "STPoint",
+    "Domain",
+    "PositionReport",
+    "ReportSource",
+    "Trajectory",
+    "MovingEntity",
+    "Vessel",
+    "Aircraft",
+    "EntityRegistry",
+    "SimpleEvent",
+    "ComplexEvent",
+    "EventSeverity",
+]

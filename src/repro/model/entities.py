@@ -1,0 +1,110 @@
+"""Static descriptions of moving entities and the registry that holds them.
+
+Entity metadata is one of the "archival" (data-at-rest) sources the paper
+integrates with streaming positions: vessel particulars (type, dimensions)
+and aircraft descriptions both feed the RDF common representation and the
+event-recognition thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.model.errors import UnknownEntityError
+from repro.model.points import Domain
+
+
+@dataclass(frozen=True)
+class MovingEntity:
+    """Base static description of a moving entity.
+
+    Attributes:
+        entity_id: Stable identifier (MMSI-like for vessels, ICAO-like for
+            aircraft).
+        name: Human-readable name or callsign.
+        domain: Maritime or aviation.
+        max_speed_mps: Physical speed ceiling used for plausibility checks.
+    """
+
+    entity_id: str
+    name: str
+    domain: Domain = Domain.MARITIME
+    max_speed_mps: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.entity_id:
+            raise ValueError("entity_id must be non-empty")
+        if self.max_speed_mps <= 0:
+            raise ValueError("max_speed_mps must be positive")
+
+
+@dataclass(frozen=True)
+class Vessel(MovingEntity):
+    """A maritime entity (AIS-carrying ship)."""
+
+    domain: Domain = field(default=Domain.MARITIME)
+    max_speed_mps: float = 13.0
+    vessel_type: str = "cargo"
+    length_m: float = 100.0
+    draught_m: float = 8.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.domain is not Domain.MARITIME:
+            raise ValueError("a Vessel is always a maritime entity")
+        if self.length_m <= 0 or self.draught_m <= 0:
+            raise ValueError("vessel dimensions must be positive")
+
+
+@dataclass(frozen=True)
+class Aircraft(MovingEntity):
+    """An aviation entity (ADS-B-carrying aircraft)."""
+
+    domain: Domain = field(default=Domain.AVIATION)
+    max_speed_mps: float = 260.0
+    aircraft_type: str = "A320"
+    cruise_alt_m: float = 10_000.0
+    climb_rate_mps: float = 10.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.domain is not Domain.AVIATION:
+            raise ValueError("an Aircraft is always an aviation entity")
+        if self.cruise_alt_m <= 0 or self.climb_rate_mps <= 0:
+            raise ValueError("aircraft performance figures must be positive")
+
+
+class EntityRegistry:
+    """In-memory registry of entity metadata, keyed by entity id."""
+
+    def __init__(self, entities: Mapping[str, MovingEntity] | None = None) -> None:
+        self._entities: dict[str, MovingEntity] = dict(entities or {})
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def __iter__(self) -> Iterator[MovingEntity]:
+        return iter(self._entities.values())
+
+    def add(self, entity: MovingEntity) -> None:
+        """Register (or replace) an entity description."""
+        self._entities[entity.entity_id] = entity
+
+    def get(self, entity_id: str) -> MovingEntity:
+        """Look up an entity; raises :class:`UnknownEntityError` when absent."""
+        try:
+            return self._entities[entity_id]
+        except KeyError:
+            raise UnknownEntityError(entity_id) from None
+
+    def get_or_none(self, entity_id: str) -> MovingEntity | None:
+        """Look up an entity, returning ``None`` when absent."""
+        return self._entities.get(entity_id)
+
+    def by_domain(self, domain: Domain) -> list[MovingEntity]:
+        """All registered entities of a domain."""
+        return [e for e in self._entities.values() if e.domain is domain]

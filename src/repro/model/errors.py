@@ -1,0 +1,17 @@
+"""Exceptions raised by the data model layer."""
+
+
+class ModelError(Exception):
+    """Base class for all data-model errors."""
+
+
+class EmptyTrajectoryError(ModelError):
+    """Raised when an operation requires a non-empty trajectory."""
+
+
+class TimeOrderError(ModelError):
+    """Raised when samples violate the strictly-increasing-time invariant."""
+
+
+class UnknownEntityError(ModelError, KeyError):
+    """Raised when an entity id is not present in a registry."""

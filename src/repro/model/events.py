@@ -1,0 +1,88 @@
+"""Event model: outputs of the complex event recognition layer.
+
+Simple events are per-entity instantaneous observations (zone entry,
+speed anomaly, gap start); complex events are pattern matches over one or
+more entities' simple-event histories (collision risk, rendezvous,
+capacity overload). Both carry enough provenance to be transformed into the
+RDF common representation and rendered by visual analytics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+class EventSeverity(enum.IntEnum):
+    """Operational severity of a detected event."""
+
+    INFO = 0
+    ADVISORY = 1
+    WARNING = 2
+    ALARM = 3
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleEvent:
+    """An instantaneous, per-entity event derived from the stream.
+
+    Attributes:
+        event_type: Machine-readable type, e.g. ``"zone_entry"``.
+        entity_id: The entity the event concerns.
+        t: Event time in seconds.
+        lon: Longitude of the entity at event time.
+        lat: Latitude at event time.
+        severity: Operational severity.
+        attributes: Type-specific payload (zone name, measured speed, ...).
+    """
+
+    event_type: str
+    entity_id: str
+    t: float
+    lon: float
+    lat: float
+    severity: EventSeverity = EventSeverity.INFO
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.event_type:
+            raise ValueError("event_type must be non-empty")
+        if not self.entity_id:
+            raise ValueError("entity_id must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexEvent:
+    """A recognized pattern over one or more entities.
+
+    Attributes:
+        event_type: Pattern name, e.g. ``"collision_risk"``.
+        entity_ids: Entities participating in the match, in pattern order.
+        t_start: Time of the first contributing observation.
+        t_end: Time of the match completion (detection time basis).
+        severity: Operational severity.
+        attributes: Pattern-specific payload (cpa distance, zone, counts...).
+        contributing: The simple events that produced the match, in order.
+    """
+
+    event_type: str
+    entity_ids: tuple[str, ...]
+    t_start: float
+    t_end: float
+    severity: EventSeverity = EventSeverity.WARNING
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    contributing: tuple[SimpleEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.event_type:
+            raise ValueError("event_type must be non-empty")
+        if not self.entity_ids:
+            raise ValueError("complex event needs at least one entity")
+        if self.t_end < self.t_start:
+            raise ValueError("t_end must be >= t_start")
+
+    @property
+    def duration(self) -> float:
+        """Span of the match in seconds."""
+        return self.t_end - self.t_start

@@ -1,0 +1,69 @@
+"""Spatio-temporal point primitives.
+
+A point is the atom of the whole system: a timestamped position on (or above)
+the Earth. Maritime entities move in 2D (altitude is ``None``); aviation
+entities move in 3D (altitude in metres above mean sea level).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class Domain(enum.Enum):
+    """Application domain of a moving entity, as defined by the paper.
+
+    The paper targets "the challenging Maritime (2D space) and Aviation
+    (3D space) domains"; the domain determines dimensionality and the
+    defaults used by analytics (e.g. speed ranges, event thresholds).
+    """
+
+    MARITIME = "maritime"
+    AVIATION = "aviation"
+
+    @property
+    def is_3d(self) -> bool:
+        """Whether positions in this domain carry an altitude."""
+        return self is Domain.AVIATION
+
+
+@dataclass(frozen=True, slots=True)
+class STPoint:
+    """A spatio-temporal sample: time plus WGS84 position.
+
+    Attributes:
+        t: Timestamp in seconds (monotonic epoch within a scenario).
+        lon: Longitude in decimal degrees, range [-180, 180].
+        lat: Latitude in decimal degrees, range [-90, 90].
+        alt: Altitude in metres MSL, or ``None`` for 2D (maritime) points.
+    """
+
+    t: float
+    lon: float
+    lat: float
+    alt: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.t):
+            raise ValueError(f"non-finite timestamp: {self.t!r}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"longitude out of range: {self.lon!r}")
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"latitude out of range: {self.lat!r}")
+        if self.alt is not None and not math.isfinite(self.alt):
+            raise ValueError(f"non-finite altitude: {self.alt!r}")
+
+    @property
+    def is_3d(self) -> bool:
+        """True when the point carries an altitude."""
+        return self.alt is not None
+
+    def with_time(self, t: float) -> STPoint:
+        """Return a copy of this point at a different timestamp."""
+        return STPoint(t=t, lon=self.lon, lat=self.lat, alt=self.alt)
+
+    def as_tuple(self) -> tuple[float, float, float, float | None]:
+        """Return ``(t, lon, lat, alt)``; ``alt`` may be ``None``."""
+        return (self.t, self.lon, self.lat, self.alt)

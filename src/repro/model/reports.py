@@ -1,0 +1,93 @@
+"""Raw surveillance records as emitted by heterogeneous data sources.
+
+A :class:`PositionReport` is the wire-level record the in-situ layer consumes:
+it mirrors the union of the fields found in AIS position messages (maritime)
+and ADS-B / radar-track messages (aviation). The paper's "multiple streaming
+as well as archival data" sources all produce this record type, tagged with a
+:class:`ReportSource` so downstream integration can tell providers apart.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.model.points import STPoint, Domain
+
+
+class ReportSource(enum.Enum):
+    """Provenance of a position report."""
+
+    AIS_TERRESTRIAL = "ais_terrestrial"
+    AIS_SATELLITE = "ais_satellite"
+    ADSB = "adsb"
+    RADAR = "radar"
+    ARCHIVE = "archive"
+    SYNTHETIC = "synthetic"
+
+
+@dataclass(frozen=True, slots=True)
+class PositionReport:
+    """One raw position record for a moving entity.
+
+    Attributes:
+        entity_id: Stable identifier of the moving entity (MMSI / ICAO-like).
+        t: Event time in seconds.
+        lon: Longitude, decimal degrees.
+        lat: Latitude, decimal degrees.
+        alt: Altitude in metres MSL (``None`` for maritime).
+        speed: Speed over ground in m/s, or ``None`` if not reported.
+        heading: Course over ground in degrees [0, 360), or ``None``.
+        vertical_rate: Climb/descent rate in m/s (aviation), or ``None``.
+        source: Which provider produced the record.
+        domain: Maritime or aviation.
+        extras: Provider-specific payload (e.g. navigational status).
+    """
+
+    entity_id: str
+    t: float
+    lon: float
+    lat: float
+    alt: float | None = None
+    speed: float | None = None
+    heading: float | None = None
+    vertical_rate: float | None = None
+    source: ReportSource = ReportSource.SYNTHETIC
+    domain: Domain = Domain.MARITIME
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.entity_id:
+            raise ValueError("entity_id must be non-empty")
+        if not math.isfinite(self.t):
+            raise ValueError(f"non-finite timestamp: {self.t!r}")
+        if not (-180.0 <= self.lon <= 180.0):
+            raise ValueError(f"longitude out of range: {self.lon!r}")
+        if not (-90.0 <= self.lat <= 90.0):
+            raise ValueError(f"latitude out of range: {self.lat!r}")
+        if self.heading is not None and not (0.0 <= self.heading < 360.0):
+            raise ValueError(f"heading out of range: {self.heading!r}")
+        if self.speed is not None and (not math.isfinite(self.speed) or self.speed < 0):
+            raise ValueError(f"invalid speed: {self.speed!r}")
+
+    def point(self) -> STPoint:
+        """Project the report onto its spatio-temporal point."""
+        return STPoint(t=self.t, lon=self.lon, lat=self.lat, alt=self.alt)
+
+    def replace_time(self, t: float) -> PositionReport:
+        """Return a copy of the report shifted to a new event time."""
+        return PositionReport(
+            entity_id=self.entity_id,
+            t=t,
+            lon=self.lon,
+            lat=self.lat,
+            alt=self.alt,
+            speed=self.speed,
+            heading=self.heading,
+            vertical_rate=self.vertical_rate,
+            source=self.source,
+            domain=self.domain,
+            extras=self.extras,
+        )

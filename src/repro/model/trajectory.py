@@ -1,0 +1,331 @@
+"""Numpy-backed trajectory of a single moving entity.
+
+A :class:`Trajectory` is an immutable, time-ordered sequence of samples.
+It is the unit of work for reconstruction, compression-quality evaluation,
+similarity, clustering and forecasting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m, haversine_m_arrays, initial_bearing_deg
+from repro.geo.bbox import BBox
+from repro.model.errors import EmptyTrajectoryError, TimeOrderError
+from repro.model.points import Domain, STPoint
+
+
+class Trajectory:
+    """An ordered sequence of spatio-temporal samples for one entity.
+
+    Internally stores parallel numpy arrays (t, lon, lat, and optionally
+    alt) for efficient vectorised analytics. Timestamps must be strictly
+    increasing; construction validates the invariant once so every consumer
+    can rely on it.
+    """
+
+    __slots__ = ("entity_id", "domain", "_t", "_lon", "_lat", "_alt")
+
+    def __init__(
+        self,
+        entity_id: str,
+        t: Sequence[float] | np.ndarray,
+        lon: Sequence[float] | np.ndarray,
+        lat: Sequence[float] | np.ndarray,
+        alt: Sequence[float] | np.ndarray | None = None,
+        domain: Domain = Domain.MARITIME,
+    ) -> None:
+        self.entity_id = entity_id
+        self.domain = domain
+        self._t = np.asarray(t, dtype=np.float64)
+        self._lon = np.asarray(lon, dtype=np.float64)
+        self._lat = np.asarray(lat, dtype=np.float64)
+        self._alt = None if alt is None else np.asarray(alt, dtype=np.float64)
+        n = len(self._t)
+        if len(self._lon) != n or len(self._lat) != n:
+            raise ValueError("t, lon, lat must have equal lengths")
+        if self._alt is not None and len(self._alt) != n:
+            raise ValueError("alt must match the length of t")
+        if n > 1 and not np.all(np.diff(self._t) > 0):
+            raise TimeOrderError(f"timestamps not strictly increasing for {entity_id!r}")
+        for arr in (self._t, self._lon, self._lat):
+            arr.setflags(write=False)
+        if self._alt is not None:
+            self._alt.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_points(
+        cls,
+        entity_id: str,
+        points: Iterable[STPoint],
+        domain: Domain = Domain.MARITIME,
+    ) -> Trajectory:
+        """Build a trajectory from an iterable of :class:`STPoint`.
+
+        Altitude arrays are attached only when *every* point carries one.
+        """
+        pts = list(points)
+        t = [p.t for p in pts]
+        lon = [p.lon for p in pts]
+        lat = [p.lat for p in pts]
+        alts = [p.alt for p in pts]
+        alt = alts if pts and all(a is not None for a in alts) else None
+        return cls(entity_id, t, lon, lat, alt, domain=domain)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def __iter__(self) -> Iterator[STPoint]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __getitem__(self, index: int) -> STPoint:
+        if isinstance(index, slice):
+            raise TypeError("use .slice_index() for sub-trajectories")
+        alt = None if self._alt is None else float(self._alt[index])
+        return STPoint(
+            t=float(self._t[index]),
+            lon=float(self._lon[index]),
+            lat=float(self._lat[index]),
+            alt=alt,
+        )
+
+    def __repr__(self) -> str:
+        span = f"[{self._t[0]:.0f}..{self._t[-1]:.0f}]" if len(self) else "[]"
+        return f"Trajectory({self.entity_id!r}, n={len(self)}, t={span})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        if self.entity_id != other.entity_id or len(self) != len(other):
+            return False
+        same_alt = (self._alt is None) == (other._alt is None)
+        if not same_alt:
+            return False
+        eq = (
+            np.array_equal(self._t, other._t)
+            and np.array_equal(self._lon, other._lon)
+            and np.array_equal(self._lat, other._lat)
+        )
+        if self._alt is not None and other._alt is not None:
+            eq = eq and np.array_equal(self._alt, other._alt)
+        return eq
+
+    # ------------------------------------------------------------------
+    # Array views
+    # ------------------------------------------------------------------
+
+    @property
+    def t(self) -> np.ndarray:
+        """Timestamps, seconds (read-only view)."""
+        return self._t
+
+    @property
+    def lon(self) -> np.ndarray:
+        """Longitudes, degrees (read-only view)."""
+        return self._lon
+
+    @property
+    def lat(self) -> np.ndarray:
+        """Latitudes, degrees (read-only view)."""
+        return self._lat
+
+    @property
+    def alt(self) -> np.ndarray | None:
+        """Altitudes, metres, or ``None`` for 2D trajectories."""
+        return self._alt
+
+    @property
+    def is_3d(self) -> bool:
+        """Whether altitude samples are present."""
+        return self._alt is not None
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def _require_nonempty(self) -> None:
+        if len(self) == 0:
+            raise EmptyTrajectoryError(f"trajectory {self.entity_id!r} is empty")
+
+    @property
+    def start_time(self) -> float:
+        """First timestamp."""
+        self._require_nonempty()
+        return float(self._t[0])
+
+    @property
+    def end_time(self) -> float:
+        """Last timestamp."""
+        self._require_nonempty()
+        return float(self._t[-1])
+
+    @property
+    def duration(self) -> float:
+        """Total time span in seconds (0 for single-sample trajectories)."""
+        self._require_nonempty()
+        return float(self._t[-1] - self._t[0])
+
+    def length_m(self) -> float:
+        """Total travelled great-circle distance, in metres."""
+        if len(self) < 2:
+            return 0.0
+        return float(
+            np.sum(
+                haversine_m_arrays(
+                    self._lon[:-1], self._lat[:-1], self._lon[1:], self._lat[1:]
+                )
+            )
+        )
+
+    def segment_distances_m(self) -> np.ndarray:
+        """Per-segment great-circle distances (length ``n - 1``)."""
+        if len(self) < 2:
+            return np.zeros(0)
+        return haversine_m_arrays(self._lon[:-1], self._lat[:-1], self._lon[1:], self._lat[1:])
+
+    def speeds_mps(self) -> np.ndarray:
+        """Per-segment average ground speeds in m/s (length ``n - 1``)."""
+        if len(self) < 2:
+            return np.zeros(0)
+        dt = np.diff(self._t)
+        return self.segment_distances_m() / dt
+
+    def headings_deg(self) -> np.ndarray:
+        """Per-segment initial bearings in degrees (length ``n - 1``)."""
+        n = len(self)
+        if n < 2:
+            return np.zeros(0)
+        out = np.empty(n - 1)
+        for i in range(n - 1):
+            out[i] = initial_bearing_deg(
+                float(self._lon[i]), float(self._lat[i]),
+                float(self._lon[i + 1]), float(self._lat[i + 1]),
+            )
+        return out
+
+    def bbox(self) -> BBox:
+        """Spatial bounding box of the trajectory."""
+        self._require_nonempty()
+        return BBox(
+            float(self._lon.min()),
+            float(self._lat.min()),
+            float(self._lon.max()),
+            float(self._lat.max()),
+        )
+
+    # ------------------------------------------------------------------
+    # Temporal operations
+    # ------------------------------------------------------------------
+
+    def at_time(self, t: float) -> STPoint:
+        """Linearly interpolated position at time ``t``.
+
+        Clamps to the endpoints outside the trajectory's span: extrapolation
+        is the forecaster's job, not the container's.
+        """
+        self._require_nonempty()
+        if t <= self._t[0]:
+            return self[0]
+        if t >= self._t[-1]:
+            return self[len(self) - 1]
+        i = int(np.searchsorted(self._t, t, side="right")) - 1
+        t0, t1 = self._t[i], self._t[i + 1]
+        frac = (t - t0) / (t1 - t0)
+        lon = self._lon[i] + frac * (self._lon[i + 1] - self._lon[i])
+        lat = self._lat[i] + frac * (self._lat[i + 1] - self._lat[i])
+        alt = None
+        if self._alt is not None:
+            alt = float(self._alt[i] + frac * (self._alt[i + 1] - self._alt[i]))
+        return STPoint(t=t, lon=float(lon), lat=float(lat), alt=alt)
+
+    def slice_time(self, t_from: float, t_to: float) -> Trajectory:
+        """Sub-trajectory of samples with ``t_from <= t <= t_to``."""
+        mask = (self._t >= t_from) & (self._t <= t_to)
+        return self._masked(mask)
+
+    def slice_index(self, start: int, stop: int) -> Trajectory:
+        """Sub-trajectory of samples ``[start, stop)`` by index."""
+        alt = None if self._alt is None else self._alt[start:stop]
+        return Trajectory(
+            self.entity_id,
+            self._t[start:stop],
+            self._lon[start:stop],
+            self._lat[start:stop],
+            alt,
+            domain=self.domain,
+        )
+
+    def resample(self, period_s: float) -> Trajectory:
+        """Uniformly resampled copy with one sample every ``period_s``.
+
+        Interpolates linearly; the last original sample is always included
+        so the resampled trajectory spans the same interval.
+        """
+        self._require_nonempty()
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if len(self) == 1:
+            return self
+        times = np.arange(self._t[0], self._t[-1], period_s)
+        if len(times) == 0 or times[-1] < self._t[-1]:
+            times = np.append(times, self._t[-1])
+        points = [self.at_time(float(tt)) for tt in times]
+        return Trajectory.from_points(self.entity_id, points, domain=self.domain)
+
+    def gaps(self, min_gap_s: float) -> list[tuple[float, float]]:
+        """Time intervals between consecutive samples longer than a threshold."""
+        if len(self) < 2:
+            return []
+        dt = np.diff(self._t)
+        idx = np.nonzero(dt > min_gap_s)[0]
+        return [(float(self._t[i]), float(self._t[i + 1])) for i in idx]
+
+    def append(self, other: Trajectory) -> Trajectory:
+        """Concatenate another trajectory that starts strictly after this one."""
+        if other.entity_id != self.entity_id:
+            raise ValueError("cannot append trajectory of a different entity")
+        if len(self) == 0:
+            return other
+        if len(other) == 0:
+            return self
+        if other._t[0] <= self._t[-1]:
+            raise TimeOrderError("appended trajectory must start after this one ends")
+        if (self._alt is None) != (other._alt is None):
+            raise ValueError("cannot mix 2D and 3D trajectories")
+        alt = None
+        if self._alt is not None and other._alt is not None:
+            alt = np.concatenate([self._alt, other._alt])
+        return Trajectory(
+            self.entity_id,
+            np.concatenate([self._t, other._t]),
+            np.concatenate([self._lon, other._lon]),
+            np.concatenate([self._lat, other._lat]),
+            alt,
+            domain=self.domain,
+        )
+
+    def distance_to_point_m(self, lon: float, lat: float) -> float:
+        """Minimum sample-wise distance from the trajectory to a point."""
+        self._require_nonempty()
+        d = haversine_m_arrays(
+            self._lon, self._lat, np.full(len(self), lon), np.full(len(self), lat)
+        )
+        return float(d.min())
+
+    def _masked(self, mask: np.ndarray) -> Trajectory:
+        alt = None if self._alt is None else self._alt[mask]
+        return Trajectory(
+            self.entity_id, self._t[mask], self._lon[mask], self._lat[mask], alt,
+            domain=self.domain,
+        )

@@ -1,0 +1,155 @@
+"""Query model: variables, patterns, filters and SELECT queries."""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from repro.geo.bbox import BBox
+from repro.rdf.terms import IRI, Literal, Term
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A query variable, e.g. ``Variable("n")`` for ``?n``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+PatternTerm = Union[Variable, Term]
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple pattern: each position is a constant term or a variable."""
+
+    s: PatternTerm
+    p: PatternTerm
+    o: PatternTerm
+
+    def variables(self) -> set[Variable]:
+        """The variables appearing in the pattern."""
+        return {x for x in (self.s, self.p, self.o) if isinstance(x, Variable)}
+
+    def bound_count(self) -> int:
+        """Number of constant positions (selectivity proxy)."""
+        return sum(1 for x in (self.s, self.p, self.o) if not isinstance(x, Variable))
+
+    def __str__(self) -> str:
+        return f"{self.s} {self.p} {self.o} ."
+
+
+@dataclass(frozen=True, slots=True)
+class STWithinFilter:
+    """Spatio-temporal range filter on a position-node variable.
+
+    Keeps bindings where the node's (lon, lat) lies in ``bbox`` and its
+    timestamp lies in ``[t_from, t_to]``.
+    """
+
+    var: Variable
+    bbox: BBox
+    t_from: float = float("-inf")
+    t_to: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.t_to < self.t_from:
+            raise ValueError("t_to must be >= t_from")
+
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "!=": operator.ne,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CompareFilter:
+    """A numeric comparison filter, e.g. ``FILTER(?v > 10.0)``.
+
+    The variable must bind to a numeric :class:`Literal`.
+    """
+
+    var: Variable
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unsupported comparator {self.op!r}")
+
+    def test(self, term: Term) -> bool:
+        """Evaluate the filter against a bound term."""
+        if not isinstance(term, Literal):
+            return False
+        try:
+            return _COMPARATORS[self.op](float(term.value), self.value)
+        except (TypeError, ValueError):
+            return False
+
+
+Filter = Union[STWithinFilter, CompareFilter]
+
+
+@dataclass(frozen=True, slots=True)
+class OrderBy:
+    """Result ordering on one variable.
+
+    Numeric literals order numerically, other terms lexically by their
+    N-Triples form; unbound rows sort last.
+    """
+
+    var: Variable
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A SELECT query: projection, basic graph pattern, filters and
+    solution modifiers (DISTINCT / ORDER BY / LIMIT)."""
+
+    select: tuple[Variable, ...]
+    patterns: tuple[TriplePattern, ...]
+    filters: tuple[Filter, ...] = ()
+    order_by: OrderBy | None = None
+    limit: int | None = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValueError("a query needs at least one pattern")
+        if self.limit is not None and self.limit < 0:
+            raise ValueError("LIMIT must be >= 0")
+        pattern_vars: set[Variable] = set()
+        for pattern in self.patterns:
+            pattern_vars |= pattern.variables()
+        missing = [v for v in self.select if v not in pattern_vars]
+        if missing:
+            raise ValueError(f"projected variables not in patterns: {missing}")
+        if self.order_by is not None and self.order_by.var not in pattern_vars:
+            raise ValueError(f"ORDER BY variable not in patterns: {self.order_by.var}")
+
+    def is_subject_star(self) -> Variable | None:
+        """The shared subject variable if every pattern has the same one.
+
+        Subject-star queries evaluate partition-locally (placement
+        guarantees a subject's triples are colocated).
+        """
+        subjects = {p.s for p in self.patterns}
+        if len(subjects) == 1:
+            subject = next(iter(subjects))
+            if isinstance(subject, Variable):
+                return subject
+        return None

@@ -1,0 +1,96 @@
+"""Selectivity-based pattern ordering.
+
+The join strategy is index-nested-loops with backtracking; its cost is
+dominated by the order patterns are evaluated in. The planner greedily
+picks, at each step, the pattern with the smallest estimated cardinality
+given already-bound variables (bound variables count as constants).
+
+Two estimators are provided: the shape-based default (no statistics
+needed) and :class:`StatisticsEstimator`, which asks the store for
+actual match counts of the constant-only positions — the classic
+cardinality-from-statistics planner, at dictionary-lookup cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.query.ast import TriplePattern, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.parallel import ParallelRDFStore
+
+CardinalityEstimator = Callable[[TriplePattern, set[Variable]], float]
+
+
+def default_estimator(pattern: TriplePattern, bound: set[Variable]) -> float:
+    """A shape-based cardinality estimate when no statistics are available.
+
+    Fully bound → 1; each free variable multiplies the estimate, with the
+    subject position weighted highest (most subjects in mobility data).
+    """
+    cost = 1.0
+    if isinstance(pattern.s, Variable) and pattern.s not in bound:
+        cost *= 1000.0
+    if isinstance(pattern.p, Variable) and pattern.p not in bound:
+        cost *= 50.0
+    if isinstance(pattern.o, Variable) and pattern.o not in bound:
+        cost *= 200.0
+    return cost
+
+
+class StatisticsEstimator:
+    """Cardinality estimates from actual store match counts.
+
+    For each pattern, positions holding constants are counted against the
+    store's indexes (cheap for the common shapes); bound-variable
+    positions cannot be counted without executing, so they divide the
+    estimate by a fixed selectivity factor instead. Unknown constants
+    estimate to 0 — the planner then evaluates that dead pattern first
+    and the join short-circuits immediately.
+    """
+
+    def __init__(self, store: "ParallelRDFStore", bound_selectivity: float = 20.0) -> None:
+        if bound_selectivity <= 1.0:
+            raise ValueError("bound_selectivity must exceed 1")
+        self._store = store
+        self._bound_selectivity = bound_selectivity
+        self._cache: dict[tuple, float] = {}
+
+    def __call__(self, pattern: TriplePattern, bound: set[Variable]) -> float:
+        constants = tuple(
+            term if not isinstance(term, Variable) else None
+            for term in (pattern.s, pattern.p, pattern.o)
+        )
+        key = constants
+        base = self._cache.get(key)
+        if base is None:
+            base = float(self._store.count(*constants))
+            self._cache[key] = base
+        divisor = 1.0
+        for term in (pattern.s, pattern.p, pattern.o):
+            if isinstance(term, Variable) and term in bound:
+                divisor *= self._bound_selectivity
+        return base / divisor
+
+
+def order_patterns(
+    patterns: tuple[TriplePattern, ...],
+    estimator: CardinalityEstimator = default_estimator,
+) -> list[TriplePattern]:
+    """Greedy ordering: cheapest-first given the variables bound so far.
+
+    Connectivity is respected implicitly: once a pattern binds variables,
+    any pattern sharing them becomes much cheaper and is preferred, so the
+    plan tends to stay connected (avoiding Cartesian products) whenever
+    the query graph is connected.
+    """
+    remaining = list(patterns)
+    bound: set[Variable] = set()
+    ordered: list[TriplePattern] = []
+    while remaining:
+        best = min(remaining, key=lambda p: estimator(p, bound))
+        remaining.remove(best)
+        ordered.append(best)
+        bound |= best.variables()
+    return ordered

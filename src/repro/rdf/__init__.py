@@ -1,0 +1,41 @@
+"""The common RDF representation and data-transformation components.
+
+The paper's "data transformation components convert data from disparate
+data sources as well as analytical results from the datAcron higher-level
+components to a common representation". This package provides:
+
+- :mod:`repro.rdf.terms` — the RDF term and triple model.
+- :mod:`repro.rdf.vocabulary` — the datAcron-style ontology vocabulary
+  (namespaces, classes, properties).
+- :mod:`repro.rdf.transform` — transformers from every source record type
+  and analytics result to triples (and back, for positions).
+- :mod:`repro.rdf.ntriples` — N-Triples serialization and parsing.
+"""
+
+from repro.rdf.terms import IRI, Literal, BlankNode, Triple, Term
+from repro.rdf.vocabulary import DATACRON, GEO, TIME, RDF, XSD, UNIPI
+from repro.rdf.transform import (
+    RdfTransformer,
+    position_node_iri,
+    entity_iri,
+)
+from repro.rdf.ntriples import to_ntriples, parse_ntriples
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "Term",
+    "DATACRON",
+    "GEO",
+    "TIME",
+    "RDF",
+    "XSD",
+    "UNIPI",
+    "RdfTransformer",
+    "position_node_iri",
+    "entity_iri",
+    "to_ntriples",
+    "parse_ntriples",
+]

@@ -1,0 +1,68 @@
+"""N-Triples serialization and a small parser.
+
+The common representation needs an interchange format for archival dumps;
+N-Triples is line-oriented which suits streaming exports. The parser covers
+exactly the subset the serializer emits (IRIs, typed/plain literals, blank
+nodes) — it is a round-trip format, not a general RDF reader.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, Triple
+from repro.rdf import vocabulary as V
+
+_IRI_RE = r"<([^>]*)>"
+_BNODE_RE = r"_:([A-Za-z0-9]+)"
+_LITERAL_RE = r'"((?:[^"\\]|\\.)*)"(?:\^\^<([^>]*)>)?'
+
+_LINE_RE = re.compile(
+    rf"^\s*(?:{_IRI_RE}|{_BNODE_RE})\s+{_IRI_RE}\s+"
+    rf"(?:{_IRI_RE}|{_BNODE_RE}|{_LITERAL_RE})\s*\.\s*$"
+)
+
+
+def to_ntriples(triples: Iterable[Triple]) -> str:
+    """Serialize triples to N-Triples text (one statement per line)."""
+    return "\n".join(str(t) for t in triples) + "\n"
+
+
+def parse_ntriples(text: str) -> Iterator[Triple]:
+    """Parse N-Triples text produced by :func:`to_ntriples`.
+
+    Raises:
+        ValueError: On any non-empty line that does not parse.
+    """
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: cannot parse N-Triples: {line!r}")
+        (s_iri, s_bnode, p_iri, o_iri, o_bnode, o_lit, o_dt) = match.groups()
+        subject = IRI(s_iri) if s_iri is not None else BlankNode(s_bnode)
+        predicate = IRI(p_iri)
+        obj: Term
+        if o_iri is not None:
+            obj = IRI(o_iri)
+        elif o_bnode is not None:
+            obj = BlankNode(o_bnode)
+        else:
+            obj = _parse_literal(o_lit, o_dt)
+        yield Triple(subject, predicate, obj)
+
+
+def _parse_literal(lexical: str, datatype: str | None) -> Literal:
+    """Revive a literal's native Python value from its lexical form."""
+    unescaped = (
+        lexical.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+    if datatype == V.XSD_LONG:
+        return Literal(int(unescaped), datatype)
+    if datatype == V.XSD_DOUBLE:
+        return Literal(float(unescaped), datatype)
+    if datatype == V.XSD_BOOLEAN:
+        return Literal(unescaped == "true", datatype)
+    return Literal(unescaped, datatype)

@@ -1,0 +1,117 @@
+"""RDF terms and triples.
+
+A deliberately small but standards-shaped model: IRIs, typed literals and
+blank nodes, combined into subject-predicate-object triples. Everything is
+immutable and hashable so triples can live in set-based indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class IRI:
+    """An IRI reference, e.g. ``IRI("http://datacron.eu/ont#Vessel")``."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.value:
+            raise ValueError("IRI must be non-empty")
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A literal value with an optional datatype IRI.
+
+    Values are stored in their native Python type (str, int, float, bool);
+    the datatype string records the xsd type for serialization.
+    """
+
+    value: Union[str, int, float, bool]
+    datatype: str | None = None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            lexical = "true" if self.value else "false"
+        else:
+            lexical = str(self.value)
+        escaped = lexical.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        if self.datatype:
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+
+@dataclass(frozen=True, slots=True)
+class BlankNode:
+    """A blank node with a local label."""
+
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("blank node label must be non-empty")
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+Term = Union[IRI, Literal, BlankNode]
+
+
+@dataclass(frozen=True, slots=True)
+class Triple:
+    """A subject-predicate-object statement.
+
+    Subjects may be IRIs or blank nodes, predicates must be IRIs, and
+    objects may be any term.
+    """
+
+    s: Union[IRI, BlankNode]
+    p: IRI
+    o: Term
+
+    def __post_init__(self) -> None:
+        if isinstance(self.s, Literal):
+            raise TypeError("a literal cannot be a triple subject")
+        if not isinstance(self.p, IRI):
+            raise TypeError("a predicate must be an IRI")
+
+    def __str__(self) -> str:
+        return f"{self.s} {self.p} {self.o} ."
+
+
+class Namespace:
+    """A namespace helper: ``NS = Namespace("http://x#"); NS.term``."""
+
+    def __init__(self, base: str) -> None:
+        if not base:
+            raise ValueError("namespace base must be non-empty")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        """The namespace base IRI string."""
+        return self._base
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return IRI(self._base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    def __contains__(self, iri: IRI) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self._base)
+
+    def local(self, iri: IRI) -> str:
+        """The local name of an IRI under this namespace."""
+        if iri not in self:
+            raise ValueError(f"{iri} is not in namespace {self._base}")
+        return iri.value[len(self._base):]

@@ -1,0 +1,254 @@
+"""Transformers: every record type → the common RDF representation.
+
+One :class:`RdfTransformer` instance is configured once (optionally with a
+spatio-temporal encoding grid) and then converts surveillance reports,
+entity metadata, analytics outputs (events), weather observations, zones
+and discovered links into triples.
+
+The *spatio-temporal key* is the store-level design choice the paper hints
+at with "sophisticated RDF partitioning algorithms": every position node
+carries an encoded ``(grid cell, time bucket)`` integer literal, letting
+the parallel store route and prune by space/time without decoding
+geometry. Experiment E8 ablates it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geo.grid import GeoGrid
+from repro.geo.polygon import Polygon
+from repro.insitu.critical import AnnotatedReport
+from repro.model.entities import Aircraft, MovingEntity, Vessel
+from repro.model.events import ComplexEvent, SimpleEvent
+from repro.model.points import Domain
+from repro.model.reports import PositionReport
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.sources.weather import WeatherCell
+
+_TIME_BUCKET_BITS = 20
+_TIME_BUCKET_MASK = (1 << _TIME_BUCKET_BITS) - 1
+
+
+def entity_iri(entity_id: str) -> IRI:
+    """IRI of a moving object individual."""
+    return V.UNIPI[f"obj/{entity_id}"]
+
+
+def position_node_iri(entity_id: str, t: float) -> IRI:
+    """IRI of a semantic (position) node of an entity at a time."""
+    return V.UNIPI[f"node/{entity_id}/{t:.3f}"]
+
+
+def event_iri(event_type: str, t: float, entity_ids: Iterable[str]) -> IRI:
+    """IRI of an event individual."""
+    tag = "+".join(entity_ids)
+    return V.UNIPI[f"event/{event_type}/{tag}/{t:.3f}"]
+
+
+def zone_iri(name: str) -> IRI:
+    """IRI of a zone individual."""
+    return V.UNIPI[f"zone/{name}"]
+
+
+def weather_iri(cell_id: int, t_start: float) -> IRI:
+    """IRI of a weather observation individual."""
+    return V.UNIPI[f"weather/{cell_id}/{t_start:.0f}"]
+
+
+class RdfTransformer:
+    """Converts system records to triples of the common representation.
+
+    Args:
+        st_grid: Grid used for the spatio-temporal key encoding. When
+            ``None`` (ablation), no key triples are produced.
+        time_bucket_s: Temporal bucket width of the key encoding.
+    """
+
+    def __init__(self, st_grid: GeoGrid | None = None, time_bucket_s: float = 3600.0) -> None:
+        if time_bucket_s <= 0:
+            raise ValueError("time_bucket_s must be positive")
+        self.st_grid = st_grid
+        self.time_bucket_s = time_bucket_s
+
+    # -- spatio-temporal key ------------------------------------------------
+
+    def st_key(self, lon: float, lat: float, t: float) -> int:
+        """Encode (cell, time bucket) into one integer.
+
+        Layout: ``cell_id << 20 | (bucket & 0xFFFFF)`` — the high bits give
+        spatial locality (used by spatial partitioners), the low bits allow
+        temporal pruning.
+        """
+        if self.st_grid is None:
+            raise ValueError("transformer has no st_grid configured")
+        cell = self.st_grid.cell_id(lon, lat)
+        bucket = int(t // self.time_bucket_s) & _TIME_BUCKET_MASK
+        return (cell << _TIME_BUCKET_BITS) | bucket
+
+    @staticmethod
+    def decode_st_key(key: int) -> tuple[int, int]:
+        """Decode a key back to ``(cell_id, time_bucket)``."""
+        return (key >> _TIME_BUCKET_BITS, key & _TIME_BUCKET_MASK)
+
+    # -- transformers ---------------------------------------------------------
+
+    def report_to_triples(self, item: PositionReport | AnnotatedReport) -> list[Triple]:
+        """Triples for one (possibly annotated) position report."""
+        if isinstance(item, AnnotatedReport):
+            report = item.report
+            node_types = [c.value for c in item.critical]
+        else:
+            report = item
+            node_types = []
+        node = position_node_iri(report.entity_id, report.t)
+        obj = entity_iri(report.entity_id)
+        triples = [
+            Triple(node, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE),
+            Triple(node, V.PROP_OF_MOVING_OBJECT, obj),
+            Triple(node, V.PROP_LON, Literal(report.lon, V.XSD_DOUBLE)),
+            Triple(node, V.PROP_LAT, Literal(report.lat, V.XSD_DOUBLE)),
+            Triple(node, V.PROP_TIMESTAMP, Literal(report.t, V.XSD_DOUBLE)),
+            Triple(node, V.PROP_SOURCE, Literal(report.source.value, V.XSD_STRING)),
+        ]
+        if report.alt is not None:
+            triples.append(Triple(node, V.PROP_ALT, Literal(report.alt, V.XSD_DOUBLE)))
+        if report.speed is not None:
+            triples.append(Triple(node, V.PROP_SPEED, Literal(report.speed, V.XSD_DOUBLE)))
+        if report.heading is not None:
+            triples.append(Triple(node, V.PROP_HEADING, Literal(report.heading, V.XSD_DOUBLE)))
+        if report.vertical_rate is not None:
+            triples.append(
+                Triple(node, V.PROP_VERTICAL_RATE, Literal(report.vertical_rate, V.XSD_DOUBLE))
+            )
+        for node_type in node_types:
+            triples.append(Triple(node, V.PROP_NODE_TYPE, Literal(node_type, V.XSD_STRING)))
+        if self.st_grid is not None:
+            key = self.st_key(report.lon, report.lat, report.t)
+            triples.append(Triple(node, V.PROP_ST_KEY, Literal(key, V.XSD_LONG)))
+        return triples
+
+    def entity_to_triples(self, entity: MovingEntity) -> list[Triple]:
+        """Triples for one entity's static description."""
+        obj = entity_iri(entity.entity_id)
+        if isinstance(entity, Vessel):
+            klass = V.CLASS_VESSEL
+            kind = entity.vessel_type
+        elif isinstance(entity, Aircraft):
+            klass = V.CLASS_AIRCRAFT
+            kind = entity.aircraft_type
+        else:
+            klass = V.CLASS_MOVING_OBJECT
+            kind = entity.domain.value
+        return [
+            Triple(obj, V.PROP_TYPE, klass),
+            Triple(obj, V.PROP_NAME, Literal(entity.name, V.XSD_STRING)),
+            Triple(obj, V.PROP_ENTITY_TYPE, Literal(kind, V.XSD_STRING)),
+            Triple(obj, V.PROP_MAX_SPEED, Literal(entity.max_speed_mps, V.XSD_DOUBLE)),
+        ]
+
+    def event_to_triples(self, event: SimpleEvent | ComplexEvent) -> list[Triple]:
+        """Triples for one analytics result (simple or complex event)."""
+        if isinstance(event, SimpleEvent):
+            iri = event_iri(event.event_type, event.t, (event.entity_id,))
+            triples = [
+                Triple(iri, V.PROP_TYPE, V.CLASS_EVENT),
+                Triple(iri, V.PROP_EVENT_TYPE, Literal(event.event_type, V.XSD_STRING)),
+                Triple(iri, V.PROP_TIMESTAMP, Literal(event.t, V.XSD_DOUBLE)),
+                Triple(iri, V.PROP_SEVERITY, Literal(int(event.severity), V.XSD_LONG)),
+                Triple(iri, V.PROP_INVOLVES, entity_iri(event.entity_id)),
+                Triple(iri, V.PROP_LON, Literal(event.lon, V.XSD_DOUBLE)),
+                Triple(iri, V.PROP_LAT, Literal(event.lat, V.XSD_DOUBLE)),
+            ]
+            if self.st_grid is not None:
+                key = self.st_key(event.lon, event.lat, event.t)
+                triples.append(Triple(iri, V.PROP_ST_KEY, Literal(key, V.XSD_LONG)))
+            return triples
+
+        iri = event_iri(event.event_type, event.t_end, event.entity_ids)
+        triples = [
+            Triple(iri, V.PROP_TYPE, V.CLASS_EVENT),
+            Triple(iri, V.PROP_EVENT_TYPE, Literal(event.event_type, V.XSD_STRING)),
+            Triple(iri, V.PROP_T_START, Literal(event.t_start, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_T_END, Literal(event.t_end, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_SEVERITY, Literal(int(event.severity), V.XSD_LONG)),
+        ]
+        for eid in event.entity_ids:
+            triples.append(Triple(iri, V.PROP_INVOLVES, entity_iri(eid)))
+        return triples
+
+    def weather_to_triples(self, cell: WeatherCell) -> list[Triple]:
+        """Triples for one weather observation."""
+        iri = weather_iri(cell.cell_id, cell.t_start)
+        lon, lat = cell.bbox.center
+        return [
+            Triple(iri, V.PROP_TYPE, V.CLASS_WEATHER_CONDITION),
+            Triple(iri, V.PROP_T_START, Literal(cell.t_start, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_T_END, Literal(cell.t_end, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_LON, Literal(lon, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_LAT, Literal(lat, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_WIND_SPEED, Literal(cell.wind_speed_mps, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_WIND_DIR, Literal(cell.wind_dir_deg, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_WAVE_HEIGHT, Literal(cell.wave_height_m, V.XSD_DOUBLE)),
+        ]
+
+    def zone_to_triples(self, zone: Polygon) -> list[Triple]:
+        """Triples for one zone of interest (centroid + name)."""
+        iri = zone_iri(zone.name)
+        lon, lat = zone.centroid()
+        return [
+            Triple(iri, V.PROP_TYPE, V.CLASS_ZONE),
+            Triple(iri, V.PROP_NAME, Literal(zone.name, V.XSD_STRING)),
+            Triple(iri, V.PROP_LON, Literal(lon, V.XSD_DOUBLE)),
+            Triple(iri, V.PROP_LAT, Literal(lat, V.XSD_DOUBLE)),
+        ]
+
+    def link_to_triples(self, subject: IRI, predicate: IRI, obj: IRI) -> list[Triple]:
+        """A discovered association as one triple (interlinking output)."""
+        return [Triple(subject, predicate, obj)]
+
+
+def parse_position_node(triples: Iterable[Triple]) -> PositionReport:
+    """Inverse transform for tests: rebuild a report from its node triples.
+
+    Requires the minimum set produced by
+    :meth:`RdfTransformer.report_to_triples`; extra triples are ignored.
+    """
+    from repro.model.reports import ReportSource
+
+    by_pred: dict[str, list[Triple]] = {}
+    subject = None
+    for triple in triples:
+        by_pred.setdefault(triple.p.value, []).append(triple)
+        subject = triple.s
+
+    def value(prop: IRI, default=None):
+        items = by_pred.get(prop.value)
+        if not items:
+            return default
+        obj = items[0].o
+        return obj.value if isinstance(obj, Literal) else obj
+
+    entity_ref = value(V.PROP_OF_MOVING_OBJECT)
+    if entity_ref is None or subject is None:
+        raise ValueError("not a position node: missing ofMovingObject")
+    entity_id = V.UNIPI.local(entity_ref).removeprefix("obj/")
+
+    alt = value(V.PROP_ALT)
+    source = value(V.PROP_SOURCE, "synthetic")
+    return PositionReport(
+        entity_id=entity_id,
+        t=float(value(V.PROP_TIMESTAMP)),
+        lon=float(value(V.PROP_LON)),
+        lat=float(value(V.PROP_LAT)),
+        alt=None if alt is None else float(alt),
+        speed=_opt_float(value(V.PROP_SPEED)),
+        heading=_opt_float(value(V.PROP_HEADING)),
+        source=ReportSource(source),
+        domain=Domain.AVIATION if alt is not None else Domain.MARITIME,
+    )
+
+
+def _opt_float(value) -> float | None:
+    return None if value is None else float(value)

@@ -1,0 +1,81 @@
+"""The datAcron-style ontology vocabulary.
+
+Namespaces and the classes/properties used by the transformers. The names
+follow the published datAcron ontology's spirit (moving objects, semantic
+trajectory nodes, events, weather conditions) without importing it
+verbatim — the reproduction needs a stable, self-contained vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import Namespace
+
+DATACRON = Namespace("http://www.datacron-project.eu/datAcron#")
+"""Core ontology: moving objects, trajectories, events."""
+
+UNIPI = Namespace("http://www.datacron-project.eu/resource/")
+"""Resource namespace for minted individuals (entities, nodes, events)."""
+
+GEO = Namespace("http://www.w3.org/2003/01/geo/wgs84_pos#")
+"""WGS84 vocabulary: lon / lat / alt."""
+
+TIME = Namespace("http://www.w3.org/2006/time#")
+"""OWL-Time-ish vocabulary: instants and seconds."""
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+"""RDF core (rdf:type)."""
+
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+"""XML Schema datatypes for literals."""
+
+
+# Classes ------------------------------------------------------------------
+
+CLASS_MOVING_OBJECT = DATACRON.MovingObject
+CLASS_VESSEL = DATACRON.Vessel
+CLASS_AIRCRAFT = DATACRON.Aircraft
+CLASS_SEMANTIC_NODE = DATACRON.SemanticNode
+CLASS_TRAJECTORY = DATACRON.Trajectory
+CLASS_EVENT = DATACRON.Event
+CLASS_WEATHER_CONDITION = DATACRON.WeatherCondition
+CLASS_ZONE = DATACRON.Zone
+
+# Properties ---------------------------------------------------------------
+
+PROP_TYPE = RDF.type
+PROP_OF_MOVING_OBJECT = DATACRON.ofMovingObject
+PROP_HAS_NODE = DATACRON.hasSemanticNode
+PROP_SPEED = DATACRON.speed
+PROP_HEADING = DATACRON.heading
+PROP_VERTICAL_RATE = DATACRON.verticalRate
+PROP_NODE_TYPE = DATACRON.nodeType
+PROP_SOURCE = DATACRON.reportedBy
+PROP_ST_KEY = DATACRON.spatioTemporalKey
+PROP_NAME = DATACRON.name
+PROP_ENTITY_TYPE = DATACRON.entityType
+PROP_MAX_SPEED = DATACRON.maxSpeed
+PROP_EVENT_TYPE = DATACRON.eventType
+PROP_SEVERITY = DATACRON.severity
+PROP_INVOLVES = DATACRON.involves
+PROP_OCCURRED_IN = DATACRON.occurredIn
+PROP_WIND_SPEED = DATACRON.windSpeed
+PROP_WIND_DIR = DATACRON.windDirection
+PROP_WAVE_HEIGHT = DATACRON.waveHeight
+PROP_WITHIN_ZONE = DATACRON.withinZone
+PROP_NEAR = DATACRON.nearTo
+PROP_HAS_WEATHER = DATACRON.hasWeatherCondition
+
+PROP_LON = GEO.long
+PROP_LAT = GEO.lat
+PROP_ALT = GEO.alt
+
+PROP_TIMESTAMP = TIME.inSeconds
+PROP_T_START = TIME.hasBeginning
+PROP_T_END = TIME.hasEnd
+
+# Datatypes ----------------------------------------------------------------
+
+XSD_DOUBLE = XSD.double.value
+XSD_LONG = XSD.long.value
+XSD_STRING = XSD.string.value
+XSD_BOOLEAN = XSD.boolean.value

@@ -1,0 +1,75 @@
+"""Synthetic heterogeneous data sources (streaming and archival).
+
+The paper's data layer ingests "multiple streaming as well as archival data"
+from real surveillance providers. Those feeds are proprietary, so this
+package provides faithful synthetic equivalents with known ground truth:
+
+- :mod:`repro.sources.world` — geographic worlds: ports, shipping lanes and
+  maritime zones; airports, airways and ATC sectors.
+- :mod:`repro.sources.kinematics` — waypoint-following motion simulation
+  (turn-rate limited, with climb/descent profiles for aviation).
+- :mod:`repro.sources.noise` — sensor models: report-interval jitter, GPS
+  noise, dropouts, long communication gaps, duplicates, out-of-order
+  delivery.
+- :mod:`repro.sources.generators` — fleet-level traffic generators that
+  produce ground-truth trajectories plus the noisy report streams.
+- :mod:`repro.sources.archive` — the data-at-rest store of historical
+  trajectories.
+- :mod:`repro.sources.weather` — a synthetic weather-grid source used by
+  link discovery.
+- :mod:`repro.sources.scenarios` — scripted encounter/anomaly scenarios
+  with ground-truth event labels for CER evaluation.
+"""
+
+from repro.sources.world import MaritimeWorld, AviationWorld, RouteSpec
+from repro.sources.routing import RouteNetwork
+from repro.sources.kinematics import simulate_route, FlightProfile
+from repro.sources.noise import SensorModel, DeliveryModel
+from repro.sources.generators import (
+    MaritimeTrafficGenerator,
+    AviationTrafficGenerator,
+    TrafficSample,
+)
+from repro.sources.archive import ArchivalStore
+from repro.sources.weather import WeatherGridSource, WeatherCell
+from repro.sources.formats import (
+    decode_ais_csv,
+    encode_ais_csv,
+    decode_adsb_json,
+    encode_adsb_json,
+)
+from repro.sources.scenarios import (
+    ScriptedScenario,
+    collision_course_scenario,
+    loitering_scenario,
+    zone_intrusion_scenario,
+    rendezvous_scenario,
+    aviation_near_miss_scenario,
+)
+
+__all__ = [
+    "MaritimeWorld",
+    "AviationWorld",
+    "RouteSpec",
+    "RouteNetwork",
+    "simulate_route",
+    "FlightProfile",
+    "SensorModel",
+    "DeliveryModel",
+    "MaritimeTrafficGenerator",
+    "AviationTrafficGenerator",
+    "TrafficSample",
+    "ArchivalStore",
+    "WeatherGridSource",
+    "WeatherCell",
+    "decode_ais_csv",
+    "encode_ais_csv",
+    "decode_adsb_json",
+    "encode_adsb_json",
+    "ScriptedScenario",
+    "collision_course_scenario",
+    "loitering_scenario",
+    "zone_intrusion_scenario",
+    "rendezvous_scenario",
+    "aviation_near_miss_scenario",
+]

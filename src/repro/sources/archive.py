@@ -1,0 +1,80 @@
+"""The data-at-rest store: historical trajectories.
+
+The archival store is the "data-at-rest (archival)" half of the paper's
+integrated data layer. It holds completed trajectories, supports time and
+space queries, and feeds the pattern-based forecasting models with
+historical routes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.geo.bbox import BBox
+from repro.model.errors import UnknownEntityError
+from repro.model.points import Domain
+from repro.model.trajectory import Trajectory
+
+
+class ArchivalStore:
+    """In-memory archive of historical trajectories.
+
+    Trajectories accumulate per entity (multiple voyages append as separate
+    records). Queries cover the axes the analytics need: by entity, by time
+    interval, by spatial range and by domain.
+    """
+
+    def __init__(self) -> None:
+        self._by_entity: dict[str, list[Trajectory]] = defaultdict(list)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, trajectory: Trajectory) -> None:
+        """Archive one completed trajectory."""
+        if len(trajectory) == 0:
+            raise ValueError("refusing to archive an empty trajectory")
+        self._by_entity[trajectory.entity_id].append(trajectory)
+        self._count += 1
+
+    def add_all(self, trajectories: Iterable[Trajectory]) -> None:
+        """Archive several trajectories."""
+        for trajectory in trajectories:
+            self.add(trajectory)
+
+    def entity_ids(self) -> list[str]:
+        """All entity ids with archived history."""
+        return list(self._by_entity)
+
+    def for_entity(self, entity_id: str) -> list[Trajectory]:
+        """All archived trajectories of an entity (raises when unknown)."""
+        if entity_id not in self._by_entity:
+            raise UnknownEntityError(entity_id)
+        return list(self._by_entity[entity_id])
+
+    def all(self) -> Iterator[Trajectory]:
+        """Iterate every archived trajectory."""
+        for trajectories in self._by_entity.values():
+            yield from trajectories
+
+    def query_time(self, t_from: float, t_to: float) -> list[Trajectory]:
+        """Trajectories overlapping the closed interval ``[t_from, t_to]``."""
+        out = []
+        for trajectory in self.all():
+            if trajectory.start_time <= t_to and trajectory.end_time >= t_from:
+                out.append(trajectory)
+        return out
+
+    def query_bbox(self, bbox: BBox) -> list[Trajectory]:
+        """Trajectories whose bounding box intersects ``bbox``.
+
+        Bounding-box intersection over-approximates actual overlap; callers
+        needing exact containment filter the samples themselves.
+        """
+        return [t for t in self.all() if t.bbox().intersects(bbox)]
+
+    def query_domain(self, domain: Domain) -> list[Trajectory]:
+        """Trajectories of entities in one domain."""
+        return [t for t in self.all() if t.domain is domain]

@@ -1,0 +1,170 @@
+"""Wire formats: the heterogeneous raw encodings providers actually send.
+
+The transformation layer's job is to convert "data from disparate data
+sources ... to a common representation". Disparate starts at the wire:
+AIS aggregators ship CSV-ish lines, ADS-B feeds ship JSON. This module
+implements both directions for two realistic formats so the ingestion
+path can be exercised end to end:
+
+- :func:`encode_ais_csv` / :func:`decode_ais_csv` — a CSV line per
+  report: ``mmsi,unix_ts,lat,lon,sog_knots,cog_deg,source``
+  (note the lat-before-lon and knots conventions of real AIS feeds).
+- :func:`encode_adsb_json` / :func:`decode_adsb_json` — a JSON object
+  per report with ICAO-style fields (``icao24``, ``baro_altitude`` in
+  feet, ``velocity`` in knots, ``vertical_rate`` in ft/min).
+
+Malformed lines raise :class:`FormatError` with the offending payload;
+batch decoders count and skip them, because a production feed always
+contains garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from repro.geo.geodesy import knots_to_mps, mps_to_knots
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+
+_FT_PER_M = 3.280839895
+_FPM_PER_MPS = 196.8503937
+
+
+class FormatError(ValueError):
+    """Raised when a wire payload cannot be decoded."""
+
+
+# -- AIS-like CSV -------------------------------------------------------------
+
+AIS_CSV_HEADER = "mmsi,unix_ts,lat,lon,sog_knots,cog_deg,source"
+
+
+def encode_ais_csv(report: PositionReport) -> str:
+    """One report as an AIS-aggregator-style CSV line."""
+    sog = "" if report.speed is None else f"{mps_to_knots(report.speed):.2f}"
+    cog = "" if report.heading is None else f"{report.heading:.1f}"
+    return (
+        f"{report.entity_id},{report.t:.3f},{report.lat:.6f},{report.lon:.6f},"
+        f"{sog},{cog},{report.source.value}"
+    )
+
+
+def decode_ais_csv(line: str) -> PositionReport:
+    """Parse one AIS CSV line (see :data:`AIS_CSV_HEADER`)."""
+    parts = line.strip().split(",")
+    if len(parts) != 7:
+        raise FormatError(f"expected 7 fields, got {len(parts)}: {line!r}")
+    mmsi, ts, lat, lon, sog, cog, source = parts
+    if not mmsi:
+        raise FormatError(f"empty mmsi: {line!r}")
+    try:
+        return PositionReport(
+            entity_id=mmsi,
+            t=float(ts),
+            lat=float(lat),
+            lon=float(lon),
+            speed=knots_to_mps(float(sog)) if sog else None,
+            heading=float(cog) % 360.0 if cog else None,
+            source=ReportSource(source) if source else ReportSource.AIS_TERRESTRIAL,
+            domain=Domain.MARITIME,
+        )
+    except (ValueError, KeyError) as error:
+        raise FormatError(f"cannot decode AIS line {line!r}: {error}") from error
+
+
+def decode_ais_csv_batch(
+    lines: Iterable[str],
+) -> tuple[list[PositionReport], int]:
+    """Decode many lines, skipping (and counting) malformed ones.
+
+    Header lines and blank lines are skipped silently.
+    """
+    reports: list[PositionReport] = []
+    bad = 0
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped == AIS_CSV_HEADER:
+            continue
+        try:
+            reports.append(decode_ais_csv(stripped))
+        except FormatError:
+            bad += 1
+    return (reports, bad)
+
+
+# -- ADS-B-like JSON ------------------------------------------------------------
+
+
+def encode_adsb_json(report: PositionReport) -> str:
+    """One report as an ADS-B-feed-style JSON object."""
+    payload = {
+        "icao24": report.entity_id,
+        "time": report.t,
+        "lat": report.lat,
+        "lon": report.lon,
+        "baro_altitude_ft": None if report.alt is None else report.alt * _FT_PER_M,
+        "velocity_kt": None if report.speed is None else mps_to_knots(report.speed),
+        "true_track": report.heading,
+        "vertical_rate_fpm": (
+            None if report.vertical_rate is None
+            else report.vertical_rate * _FPM_PER_MPS
+        ),
+    }
+    return json.dumps(payload, separators=(",", ":"))
+
+
+def decode_adsb_json(line: str) -> PositionReport:
+    """Parse one ADS-B JSON object back into a report."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise FormatError(f"invalid JSON: {line!r}") from error
+    if not isinstance(payload, dict):
+        raise FormatError(f"expected a JSON object: {line!r}")
+    try:
+        icao = str(payload["icao24"])
+        if not icao:
+            raise KeyError("icao24")
+        alt_ft = payload.get("baro_altitude_ft")
+        velocity = payload.get("velocity_kt")
+        vrate = payload.get("vertical_rate_fpm")
+        heading = payload.get("true_track")
+        return PositionReport(
+            entity_id=icao,
+            t=float(payload["time"]),
+            lat=float(payload["lat"]),
+            lon=float(payload["lon"]),
+            alt=None if alt_ft is None else float(alt_ft) / _FT_PER_M,
+            speed=None if velocity is None else knots_to_mps(float(velocity)),
+            heading=None if heading is None else float(heading) % 360.0,
+            vertical_rate=None if vrate is None else float(vrate) / _FPM_PER_MPS,
+            source=ReportSource.ADSB,
+            domain=Domain.AVIATION,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise FormatError(f"cannot decode ADS-B object {line!r}: {error}") from error
+
+
+def decode_adsb_json_batch(
+    lines: Iterable[str],
+) -> tuple[list[PositionReport], int]:
+    """Decode many JSON lines, skipping (and counting) malformed ones."""
+    reports: list[PositionReport] = []
+    bad = 0
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            reports.append(decode_adsb_json(stripped))
+        except FormatError:
+            bad += 1
+    return (reports, bad)
+
+
+def dump_ais_csv(reports: Iterable[PositionReport]) -> Iterator[str]:
+    """Header + one CSV line per report (file-writing helper)."""
+    yield AIS_CSV_HEADER
+    for report in reports:
+        yield encode_ais_csv(report)

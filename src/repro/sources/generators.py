@@ -1,0 +1,229 @@
+"""Fleet-level traffic generators for the maritime and aviation domains.
+
+A generator builds a fleet of entities, assigns each a route from the
+world, simulates ground truth and applies the sensor/delivery models,
+returning a :class:`TrafficSample` with everything an experiment needs:
+truth, noisy streams, entity metadata and the world itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.entities import Aircraft, EntityRegistry, Vessel
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+from repro.model.trajectory import Trajectory
+from repro.sources.kinematics import FlightProfile, simulate_route
+from repro.sources.noise import DeliveryModel, SensorModel
+from repro.sources.world import AviationWorld, MaritimeWorld
+
+
+@dataclass
+class TrafficSample:
+    """Everything produced by one traffic generation run.
+
+    Attributes:
+        domain: Which domain the sample belongs to.
+        registry: Static entity metadata.
+        truth: Ground-truth trajectory per entity id.
+        reports: All noisy reports, sorted by event time.
+        deliveries: ``(delivery_time, report)`` pairs sorted by delivery
+            time (what a live system would actually see).
+        world: The geographic world used.
+        routes_by_entity: Which route each entity followed (forecast ground
+            truth for pattern-based prediction experiments).
+    """
+
+    domain: Domain
+    registry: EntityRegistry
+    truth: dict[str, Trajectory]
+    reports: list[PositionReport]
+    deliveries: list[tuple[float, PositionReport]]
+    world: object
+    routes_by_entity: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def n_entities(self) -> int:
+        """Number of entities in the sample."""
+        return len(self.truth)
+
+
+_VESSEL_TYPES = ("cargo", "tanker", "passenger", "fishing")
+_AIRCRAFT_TYPES = ("A320", "B738", "A332", "E190")
+
+
+class MaritimeTrafficGenerator:
+    """Generates an AIS-like vessel traffic sample over a maritime world."""
+
+    def __init__(
+        self,
+        world: MaritimeWorld | None = None,
+        sensor: SensorModel | None = None,
+        delivery: DeliveryModel | None = None,
+        seed: int = 7,
+        multi_leg: bool = False,
+    ) -> None:
+        """Args:
+            multi_leg: Assign vessels multi-port voyages routed over the
+                world's waypoint graph (PIR → MYK → CHI style) instead of
+                single point-to-point lanes — richer structure for the
+                pattern-learning analytics.
+        """
+        self.world = world or MaritimeWorld.aegean()
+        self.sensor = sensor or SensorModel(report_period_s=10.0, gps_sigma_m=15.0)
+        self.delivery = delivery or DeliveryModel()
+        self.multi_leg = multi_leg
+        self._network = None
+        if multi_leg:
+            from repro.sources.routing import RouteNetwork
+
+            self._network = RouteNetwork.from_world(self.world)
+        self._rng = np.random.default_rng(seed)
+
+    def _pick_route(self):
+        if self._network is not None:
+            return self._network.random_voyage(self._rng, min_legs=2)
+        return self.world.routes[int(self._rng.integers(len(self.world.routes)))]
+
+    def generate(
+        self,
+        n_vessels: int = 20,
+        start_time: float = 0.0,
+        max_duration_s: float | None = 4 * 3600.0,
+        dt_s: float = 5.0,
+        departure_spread_s: float = 1800.0,
+    ) -> TrafficSample:
+        """Generate a fleet sample.
+
+        Args:
+            n_vessels: Fleet size.
+            start_time: Earliest departure.
+            max_duration_s: Trajectories are truncated to this duration so
+                dense fleets stay affordable (``None`` keeps full voyages).
+            dt_s: Ground-truth integration step.
+            departure_spread_s: Departures are uniform in
+                ``[start_time, start_time + spread]``.
+        """
+        registry = EntityRegistry()
+        truth: dict[str, Trajectory] = {}
+        all_reports: list[PositionReport] = []
+        routes_by_entity: dict[str, str] = {}
+
+        for i in range(n_vessels):
+            entity_id = f"V{i:04d}"
+            vtype = _VESSEL_TYPES[int(self._rng.integers(len(_VESSEL_TYPES)))]
+            registry.add(
+                Vessel(
+                    entity_id=entity_id,
+                    name=f"MV {entity_id}",
+                    vessel_type=vtype,
+                    length_m=float(self._rng.uniform(40, 300)),
+                )
+            )
+            route = self._pick_route()
+            routes_by_entity[entity_id] = route.name
+            depart = start_time + float(self._rng.uniform(0, departure_spread_s))
+            trajectory = simulate_route(
+                entity_id,
+                route,
+                start_time=depart,
+                dt_s=dt_s,
+                turn_rate_deg_s=0.8,
+                speed_jitter=0.05,
+                rng=self._rng,
+            )
+            if max_duration_s is not None and trajectory.duration > max_duration_s:
+                trajectory = trajectory.slice_time(depart, depart + max_duration_s)
+            truth[entity_id] = trajectory
+            all_reports.extend(
+                self.sensor.observe(trajectory, source=ReportSource.AIS_TERRESTRIAL, rng=self._rng)
+            )
+
+        all_reports.sort(key=lambda r: r.t)
+        deliveries = self.delivery.deliver(all_reports, rng=self._rng)
+        return TrafficSample(
+            domain=Domain.MARITIME,
+            registry=registry,
+            truth=truth,
+            reports=all_reports,
+            deliveries=deliveries,
+            world=self.world,
+            routes_by_entity=routes_by_entity,
+        )
+
+
+class AviationTrafficGenerator:
+    """Generates an ADS-B-like flight traffic sample over an airspace."""
+
+    def __init__(
+        self,
+        world: AviationWorld | None = None,
+        sensor: SensorModel | None = None,
+        delivery: DeliveryModel | None = None,
+        seed: int = 11,
+    ) -> None:
+        self.world = world or AviationWorld.core_europe()
+        self.sensor = sensor or SensorModel(
+            report_period_s=4.0, gps_sigma_m=25.0, alt_sigma_m=12.0
+        )
+        self.delivery = delivery or DeliveryModel()
+        self._rng = np.random.default_rng(seed)
+
+    def generate(
+        self,
+        n_flights: int = 20,
+        start_time: float = 0.0,
+        dt_s: float = 5.0,
+        departure_spread_s: float = 1800.0,
+    ) -> TrafficSample:
+        """Generate a flight sample with climb/cruise/descent profiles."""
+        registry = EntityRegistry()
+        truth: dict[str, Trajectory] = {}
+        all_reports: list[PositionReport] = []
+        routes_by_entity: dict[str, str] = {}
+
+        for i in range(n_flights):
+            entity_id = f"F{i:04d}"
+            atype = _AIRCRAFT_TYPES[int(self._rng.integers(len(_AIRCRAFT_TYPES)))]
+            cruise = float(self._rng.uniform(9_000, 12_000))
+            registry.add(
+                Aircraft(
+                    entity_id=entity_id,
+                    name=f"FLT{i:04d}",
+                    aircraft_type=atype,
+                    cruise_alt_m=cruise,
+                )
+            )
+            route = self.world.routes[int(self._rng.integers(len(self.world.routes)))]
+            routes_by_entity[entity_id] = route.name
+            depart = start_time + float(self._rng.uniform(0, departure_spread_s))
+            profile = FlightProfile(cruise_alt_m=cruise)
+            trajectory = simulate_route(
+                entity_id,
+                route,
+                start_time=depart,
+                dt_s=dt_s,
+                turn_rate_deg_s=3.0,
+                speed_jitter=0.03,
+                profile=profile,
+                rng=self._rng,
+            )
+            truth[entity_id] = trajectory
+            all_reports.extend(
+                self.sensor.observe(trajectory, source=ReportSource.ADSB, rng=self._rng)
+            )
+
+        all_reports.sort(key=lambda r: r.t)
+        deliveries = self.delivery.deliver(all_reports, rng=self._rng)
+        return TrafficSample(
+            domain=Domain.AVIATION,
+            registry=registry,
+            truth=truth,
+            reports=all_reports,
+            deliveries=deliveries,
+            world=self.world,
+            routes_by_entity=routes_by_entity,
+        )

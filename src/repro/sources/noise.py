@@ -1,0 +1,188 @@
+"""Sensor and delivery models turning ground truth into realistic streams.
+
+Two orthogonal models:
+
+- :class:`SensorModel` — what the sensor reports: sampling period (with
+  jitter), GPS position noise, speed/heading measurement noise, dropouts
+  and long communication gaps.
+- :class:`DeliveryModel` — how the records reach the system: network delay,
+  out-of-order arrival, duplication. Delivery order is what the streaming
+  layer sees; event times stay truthful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.geodesy import destination_point, haversine_m, initial_bearing_deg
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class SensorModel:
+    """Parameters of the measurement process.
+
+    Attributes:
+        report_period_s: Nominal time between reports.
+        period_jitter: Relative jitter on the period (0.2 → ±20% uniform).
+        gps_sigma_m: Standard deviation of the position error, metres.
+        speed_sigma_mps: Stddev of speed-over-ground measurement noise.
+        heading_sigma_deg: Stddev of course measurement noise.
+        alt_sigma_m: Stddev of altitude noise (3D only).
+        dropout_prob: Probability that any single report is lost.
+        gap_prob_per_report: Probability a long communication gap starts at
+            a given report.
+        gap_duration_s: Mean duration of a long gap (exponential).
+    """
+
+    report_period_s: float = 10.0
+    period_jitter: float = 0.1
+    gps_sigma_m: float = 15.0
+    speed_sigma_mps: float = 0.3
+    heading_sigma_deg: float = 2.0
+    alt_sigma_m: float = 10.0
+    dropout_prob: float = 0.02
+    gap_prob_per_report: float = 0.0
+    gap_duration_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.report_period_s <= 0:
+            raise ValueError("report period must be positive")
+        if not (0 <= self.dropout_prob < 1):
+            raise ValueError("dropout_prob must be in [0, 1)")
+        if not (0 <= self.gap_prob_per_report < 1):
+            raise ValueError("gap_prob_per_report must be in [0, 1)")
+
+    def observe(
+        self,
+        truth: Trajectory,
+        source: ReportSource = ReportSource.SYNTHETIC,
+        rng: np.random.Generator | None = None,
+    ) -> list[PositionReport]:
+        """Sample noisy reports from a ground-truth trajectory.
+
+        Returns reports in event-time order (delivery reordering is the
+        :class:`DeliveryModel`'s job).
+        """
+        rng = rng or np.random.default_rng(0)
+        if len(truth) == 0:
+            return []
+        reports: list[PositionReport] = []
+        t = truth.start_time
+        end = truth.end_time
+        gap_until = -np.inf
+        while t <= end:
+            period = self.report_period_s
+            if self.period_jitter > 0:
+                period *= 1.0 + self.period_jitter * float(rng.uniform(-1, 1))
+            if t < gap_until or (self.dropout_prob > 0 and rng.random() < self.dropout_prob):
+                t += period
+                continue
+            if self.gap_prob_per_report > 0 and rng.random() < self.gap_prob_per_report:
+                gap_until = t + float(rng.exponential(self.gap_duration_s))
+                t += period
+                continue
+            reports.append(self._measure(truth, t, source, rng))
+            t += period
+        return reports
+
+    def _measure(
+        self,
+        truth: Trajectory,
+        t: float,
+        source: ReportSource,
+        rng: np.random.Generator,
+    ) -> PositionReport:
+        """One noisy measurement of the trajectory at time ``t``."""
+        pos = truth.at_time(t)
+        # Position noise: displace by a Rayleigh-distributed distance.
+        if self.gps_sigma_m > 0:
+            bearing = float(rng.uniform(0, 360))
+            offset = abs(float(rng.normal(0, self.gps_sigma_m)))
+            lon, lat = destination_point(pos.lon, pos.lat, bearing, offset)
+        else:
+            lon, lat = pos.lon, pos.lat
+
+        speed, heading = _true_kinematics(truth, t)
+        if speed is not None and self.speed_sigma_mps > 0:
+            speed = max(0.0, speed + float(rng.normal(0, self.speed_sigma_mps)))
+        if heading is not None and self.heading_sigma_deg > 0:
+            heading = (heading + float(rng.normal(0, self.heading_sigma_deg))) % 360.0
+
+        alt = pos.alt
+        if alt is not None and self.alt_sigma_m > 0:
+            alt = alt + float(rng.normal(0, self.alt_sigma_m))
+
+        domain = Domain.AVIATION if truth.is_3d else Domain.MARITIME
+        return PositionReport(
+            entity_id=truth.entity_id,
+            t=t,
+            lon=lon,
+            lat=lat,
+            alt=alt,
+            speed=speed,
+            heading=heading,
+            source=source,
+            domain=domain,
+        )
+
+
+def _true_kinematics(truth: Trajectory, t: float) -> tuple[float | None, float | None]:
+    """Ground-truth speed (m/s) and heading (deg) around time ``t``."""
+    if len(truth) < 2:
+        return (None, None)
+    half = 2.5  # seconds; small symmetric window around t
+    p0 = truth.at_time(t - half)
+    p1 = truth.at_time(t + half)
+    dt = p1.t - p0.t
+    if dt <= 0:
+        return (0.0, None)
+    dist = haversine_m(p0.lon, p0.lat, p1.lon, p1.lat)
+    speed = dist / dt
+    heading = initial_bearing_deg(p0.lon, p0.lat, p1.lon, p1.lat) if dist > 0.1 else None
+    return (speed, heading)
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryModel:
+    """Network-side effects: delay, reordering, duplication.
+
+    Attributes:
+        mean_delay_s: Mean delivery delay (exponential distribution).
+        duplicate_prob: Probability a report is delivered twice.
+    """
+
+    mean_delay_s: float = 0.0
+    duplicate_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_delay_s < 0:
+            raise ValueError("mean_delay_s must be >= 0")
+        if not (0 <= self.duplicate_prob < 1):
+            raise ValueError("duplicate_prob must be in [0, 1)")
+
+    def deliver(
+        self,
+        reports: list[PositionReport],
+        rng: np.random.Generator | None = None,
+    ) -> list[tuple[float, PositionReport]]:
+        """Assign delivery times and return ``(delivery_time, report)``
+        sorted by delivery time.
+
+        With a positive ``mean_delay_s``, delivery order differs from event
+        order — this is what exercises the watermarking path.
+        """
+        rng = rng or np.random.default_rng(0)
+        out: list[tuple[float, PositionReport]] = []
+        for report in reports:
+            delay = float(rng.exponential(self.mean_delay_s)) if self.mean_delay_s > 0 else 0.0
+            out.append((report.t + delay, report))
+            if self.duplicate_prob > 0 and rng.random() < self.duplicate_prob:
+                extra = float(rng.exponential(self.mean_delay_s + 1.0))
+                out.append((report.t + delay + extra, report))
+        out.sort(key=lambda pair: pair[0])
+        return out

@@ -1,0 +1,128 @@
+"""Route networks: multi-leg voyages over a waypoint graph.
+
+The basic worlds ship fixed point-to-point lanes. Real traffic chains
+legs: Piraeus → Mykonos → Chios in one voyage. This module lifts a
+world's routes into a networkx graph of ports and waypoints and
+generates multi-leg voyages as shortest paths between port pairs —
+giving the pattern-learning layers (route clustering, Markov grids,
+hot paths) the richer structure they exist for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.geo.geodesy import haversine_m
+from repro.sources.world import AviationWorld, MaritimeWorld, RouteSpec
+
+
+@dataclass(frozen=True)
+class RouteNetwork:
+    """A waypoint graph over a world's ports/airports and lanes."""
+
+    graph: nx.Graph
+    terminals: tuple[str, ...]
+
+    @classmethod
+    def from_world(cls, world: MaritimeWorld | AviationWorld) -> "RouteNetwork":
+        """Build the graph: nodes are positions, edges are lane segments.
+
+        Ports/airports become named terminal nodes; intermediate
+        waypoints become anonymous position nodes shared across lanes
+        that pass through them. Edge weights are great-circle metres.
+        """
+        terminals = (
+            world.ports if isinstance(world, MaritimeWorld) else world.airports
+        )
+        position_name = {pos: name for name, pos in terminals.items()}
+        graph = nx.Graph()
+        for name, pos in terminals.items():
+            graph.add_node(name, pos=pos, terminal=True)
+
+        def node_for(pos: tuple[float, float]) -> str:
+            if pos in position_name:
+                return position_name[pos]
+            name = f"wp{pos[0]:.3f},{pos[1]:.3f}"
+            if name not in graph:
+                graph.add_node(name, pos=pos, terminal=False)
+            return name
+
+        for route in world.routes:
+            for a, b in zip(route.waypoints, route.waypoints[1:]):
+                node_a, node_b = node_for(a), node_for(b)
+                weight = haversine_m(a[0], a[1], b[0], b[1])
+                graph.add_edge(node_a, node_b, weight=weight, speed=route.speed_mps)
+        return cls(graph=graph, terminals=tuple(sorted(terminals)))
+
+    def shortest_route(
+        self, origin: str, destination: str, name: str | None = None
+    ) -> RouteSpec:
+        """The shortest waypoint path between two terminals as a RouteSpec.
+
+        Raises:
+            nx.NetworkXNoPath: When the terminals are not connected.
+            KeyError: When a terminal name is unknown.
+        """
+        if origin not in self.graph or destination not in self.graph:
+            raise KeyError(f"unknown terminal: {origin!r} or {destination!r}")
+        path = nx.shortest_path(self.graph, origin, destination, weight="weight")
+        waypoints = tuple(self.graph.nodes[node]["pos"] for node in path)
+        speeds = [
+            self.graph.edges[a, b]["speed"] for a, b in zip(path, path[1:])
+        ]
+        speed = float(np.mean(speeds)) if speeds else 8.0
+        return RouteSpec(
+            name=name or f"{origin}->{destination}",
+            waypoints=waypoints,
+            speed_mps=speed,
+        )
+
+    def random_voyage(
+        self,
+        rng: np.random.Generator,
+        min_legs: int = 2,
+        max_attempts: int = 20,
+    ) -> RouteSpec:
+        """A multi-leg voyage through ``min_legs``+ distinct terminals.
+
+        Chains shortest paths through randomly drawn intermediate
+        terminals (e.g. PIR → MYK → CHI), skipping unreachable draws.
+        """
+        if min_legs < 1:
+            raise ValueError("min_legs must be >= 1")
+        for __ in range(max_attempts):
+            stops = list(
+                rng.choice(self.terminals, size=min_legs + 1, replace=False)
+            )
+            try:
+                legs = [
+                    self.shortest_route(a, b)
+                    for a, b in zip(stops, stops[1:])
+                ]
+            except nx.NetworkXNoPath:
+                continue
+            waypoints: list[tuple[float, float]] = []
+            for leg in legs:
+                start = 1 if waypoints else 0  # avoid duplicating junctions
+                waypoints.extend(leg.waypoints[start:])
+            speed = float(np.mean([leg.speed_mps for leg in legs]))
+            return RouteSpec(
+                name="->".join(stops),
+                waypoints=tuple(waypoints),
+                speed_mps=speed,
+            )
+        raise RuntimeError("could not find a connected multi-leg voyage")
+
+    def connectivity(self) -> float:
+        """Fraction of terminal pairs with a path (sanity metric)."""
+        terminals = list(self.terminals)
+        total = reachable = 0
+        for i, a in enumerate(terminals):
+            for b in terminals[i + 1:]:
+                total += 1
+                if nx.has_path(self.graph, a, b):
+                    reachable += 1
+        return reachable / total if total else 1.0

@@ -1,0 +1,350 @@
+"""Scripted scenarios with ground-truth event labels.
+
+Each scenario constructs hand-designed trajectories that *provably* contain
+(or avoid) a target behaviour, so the complex event recognition layer can be
+scored with exact precision/recall (experiment E6). The expected events
+carry approximate time windows; a detection within the window counts as a
+true positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.geodesy import destination_point
+from repro.geo.polygon import Polygon
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+from repro.model.trajectory import Trajectory
+from repro.sources.noise import SensorModel
+from repro.sources.world import RouteSpec
+from repro.sources.kinematics import simulate_route
+
+
+@dataclass(frozen=True, slots=True)
+class ExpectedEvent:
+    """Ground-truth label: an event the recognizer must find.
+
+    Attributes:
+        event_type: Event type the CER engine should report.
+        entity_ids: Participating entities (order-insensitive for scoring).
+        t_from: Earliest acceptable detection time.
+        t_to: Latest acceptable detection time.
+    """
+
+    event_type: str
+    entity_ids: tuple[str, ...]
+    t_from: float
+    t_to: float
+
+
+@dataclass
+class ScriptedScenario:
+    """A scenario bundle: trajectories, streams, zones and labels."""
+
+    name: str
+    domain: Domain
+    truth: dict[str, Trajectory]
+    reports: list[PositionReport]
+    zones: list[Polygon] = field(default_factory=list)
+    expected: list[ExpectedEvent] = field(default_factory=list)
+
+
+def _observe_all(
+    truth: dict[str, Trajectory],
+    sensor: SensorModel,
+    seed: int,
+) -> list[PositionReport]:
+    rng = np.random.default_rng(seed)
+    reports: list[PositionReport] = []
+    for trajectory in truth.values():
+        reports.extend(
+            sensor.observe(trajectory, source=ReportSource.AIS_TERRESTRIAL, rng=rng)
+        )
+    reports.sort(key=lambda r: r.t)
+    return reports
+
+
+def collision_course_scenario(
+    separation_km: float = 18.0,
+    speed_mps: float = 8.0,
+    duration_s: float = 2400.0,
+    seed: int = 3,
+) -> ScriptedScenario:
+    """Two vessels head straight at each other along one parallel.
+
+    They start ``separation_km`` apart on the same latitude, sailing
+    east/west toward each other; CPA → ~0 at ``separation / (2 * speed)``.
+    """
+    lat = 37.2
+    lon_mid = 24.8
+    half = separation_km * 500.0  # metres each side of the midpoint
+    lon_a, __ = destination_point(lon_mid, lat, 270.0, half)
+    lon_b, __ = destination_point(lon_mid, lat, 90.0, half)
+
+    route_a = RouteSpec("A->B", ((lon_a, lat), (lon_b, lat)), speed_mps)
+    route_b = RouteSpec("B->A", ((lon_b, lat), (lon_a, lat)), speed_mps)
+    truth = {
+        "CC01": simulate_route("CC01", route_a, dt_s=5.0, arrival_radius_m=100.0),
+        "CC02": simulate_route("CC02", route_b, dt_s=5.0, arrival_radius_m=100.0),
+    }
+    truth = {k: v.slice_time(0.0, duration_s) for k, v in truth.items()}
+    t_meet = (separation_km * 1000.0) / (2.0 * speed_mps)
+    expected = [
+        ExpectedEvent(
+            event_type="collision_risk",
+            entity_ids=("CC01", "CC02"),
+            # The risk is detectable well before the meeting point.
+            t_from=max(0.0, t_meet - 1200.0),
+            t_to=t_meet + 120.0,
+        )
+    ]
+    sensor = SensorModel(report_period_s=10.0, gps_sigma_m=10.0, dropout_prob=0.0)
+    return ScriptedScenario(
+        name="collision_course",
+        domain=Domain.MARITIME,
+        truth=truth,
+        reports=_observe_all(truth, sensor, seed),
+        expected=expected,
+    )
+
+
+def loitering_scenario(
+    loiter_duration_s: float = 1800.0,
+    seed: int = 5,
+) -> ScriptedScenario:
+    """One vessel transits, then loiters (drifts slowly) in a small area.
+
+    Phase 1: normal transit at 8 m/s for 20 minutes. Phase 2: drift at
+    0.4 m/s in a tight circle for ``loiter_duration_s``. Phase 3: resume.
+    """
+    rng = np.random.default_rng(seed)
+    t, lon, lat = 0.0, 24.0, 37.0
+    times, lons, lats = [t], [lon], [lat]
+    # Phase 1: transit east at 8 m/s.
+    transit_end = 1200.0
+    while t < transit_end:
+        t += 10.0
+        lon, lat = destination_point(lon, lat, 90.0, 80.0)
+        times.append(t)
+        lons.append(lon)
+        lats.append(lat)
+    loiter_start = t
+    # Phase 2: slow drift with a random walk in heading.
+    heading = 0.0
+    while t < loiter_start + loiter_duration_s:
+        t += 10.0
+        heading = (heading + float(rng.uniform(-60, 60))) % 360.0
+        lon, lat = destination_point(lon, lat, heading, 4.0)
+        times.append(t)
+        lons.append(lon)
+        lats.append(lat)
+    loiter_end = t
+    # Phase 3: resume transit.
+    while t < loiter_end + 1200.0:
+        t += 10.0
+        lon, lat = destination_point(lon, lat, 90.0, 80.0)
+        times.append(t)
+        lons.append(lon)
+        lats.append(lat)
+
+    truth = {"LT01": Trajectory("LT01", times, lons, lats, domain=Domain.MARITIME)}
+    expected = [
+        ExpectedEvent(
+            event_type="loitering",
+            entity_ids=("LT01",),
+            t_from=loiter_start + 120.0,
+            t_to=loiter_end + 300.0,
+        )
+    ]
+    sensor = SensorModel(report_period_s=10.0, gps_sigma_m=8.0, dropout_prob=0.0)
+    return ScriptedScenario(
+        name="loitering",
+        domain=Domain.MARITIME,
+        truth=truth,
+        reports=_observe_all(truth, sensor, seed),
+        expected=expected,
+    )
+
+
+def zone_intrusion_scenario(seed: int = 9) -> ScriptedScenario:
+    """A vessel sails straight through a protected zone.
+
+    The zone is a 0.2° square centred on the vessel's path; entry and exit
+    times follow from the geometry.
+    """
+    zone = Polygon(
+        "protected_zone",
+        ((24.4, 36.95), (24.6, 36.95), (24.6, 37.15), (24.4, 37.15)),
+    )
+    route = RouteSpec("W->E", ((24.0, 37.05), (25.0, 37.05)), speed_mps=10.0)
+    trajectory = simulate_route("ZI01", route, dt_s=5.0)
+    truth = {"ZI01": trajectory}
+    # Find ground-truth entry time by scanning the truth samples.
+    entry_t = exit_t = None
+    inside_prev = False
+    for point in trajectory:
+        inside = zone.contains(point.lon, point.lat)
+        if inside and not inside_prev:
+            entry_t = point.t
+        if not inside and inside_prev:
+            exit_t = point.t
+        inside_prev = inside
+    if entry_t is None:
+        raise RuntimeError("scenario bug: vessel never entered the zone")
+    expected = [
+        ExpectedEvent(
+            event_type="zone_entry",
+            entity_ids=("ZI01",),
+            t_from=entry_t - 60.0,
+            t_to=entry_t + 120.0,
+        ),
+        ExpectedEvent(
+            event_type="zone_exit",
+            entity_ids=("ZI01",),
+            t_from=(exit_t or entry_t) - 60.0,
+            t_to=(exit_t or trajectory.end_time) + 120.0,
+        ),
+    ]
+    sensor = SensorModel(report_period_s=10.0, gps_sigma_m=8.0, dropout_prob=0.0)
+    return ScriptedScenario(
+        name="zone_intrusion",
+        domain=Domain.MARITIME,
+        truth=truth,
+        reports=_observe_all(truth, sensor, seed),
+        zones=[zone],
+        expected=expected,
+    )
+
+
+def aviation_near_miss_scenario(
+    vertical_separation_m: float = 0.0,
+    seed: int = 17,
+) -> ScriptedScenario:
+    """Two aircraft converge on the same point at the same flight level;
+    a third crosses the same point safely 600 m *below* everyone.
+
+    With ``vertical_separation_m`` = 0 the converging pair conflicts
+    (expected ``collision_risk``); raising it above the alert threshold
+    separates the pair vertically and turns the scenario into a negative
+    control (the third aircraft stays 600 m under the lowest of the pair
+    either way).
+    """
+    cross_lon, cross_lat = 10.0, 46.0
+    speed = 220.0  # m/s
+    approach_m = 150_000.0
+
+    def straight_flight(entity_id, bearing_in, alt):
+        start_lon, start_lat = destination_point(
+            cross_lon, cross_lat, (bearing_in + 180.0) % 360.0, approach_m
+        )
+        end_lon, end_lat = destination_point(cross_lon, cross_lat, bearing_in, approach_m)
+        route = RouteSpec(
+            f"{entity_id}-leg", ((start_lon, start_lat), (end_lon, end_lat)), speed
+        )
+        track = simulate_route(
+            entity_id, route, dt_s=5.0, turn_rate_deg_s=3.0, arrival_radius_m=200.0
+        )
+        alts = np.full(len(track), alt)
+        return Trajectory(
+            entity_id, track.t, track.lon, track.lat, alts, domain=Domain.AVIATION
+        )
+
+    conflict_alt = 10_000.0
+    truth = {
+        "NM01": straight_flight("NM01", 90.0, conflict_alt),
+        "NM02": straight_flight("NM02", 0.0, conflict_alt + vertical_separation_m),
+        "NM03": straight_flight("NM03", 45.0, conflict_alt - 600.0),
+    }
+    t_cross = approach_m / speed
+    expected = []
+    if vertical_separation_m < 300.0:
+        expected.append(
+            ExpectedEvent(
+                event_type="collision_risk",
+                entity_ids=("NM01", "NM02"),
+                t_from=max(0.0, t_cross - 1200.0),
+                t_to=t_cross + 60.0,
+            )
+        )
+    sensor = SensorModel(
+        report_period_s=4.0, gps_sigma_m=20.0, alt_sigma_m=8.0, dropout_prob=0.0
+    )
+    rng = np.random.default_rng(seed)
+    reports: list[PositionReport] = []
+    for trajectory in truth.values():
+        reports.extend(sensor.observe(trajectory, source=ReportSource.ADSB, rng=rng))
+    reports.sort(key=lambda r: r.t)
+    return ScriptedScenario(
+        name="aviation_near_miss",
+        domain=Domain.AVIATION,
+        truth=truth,
+        reports=reports,
+        expected=expected,
+    )
+
+
+def rendezvous_scenario(seed: int = 13) -> ScriptedScenario:
+    """Two vessels meet mid-sea, stop together, then part ways.
+
+    The classic transshipment signature: both entities slow to near-zero
+    speed within a few hundred metres of each other for ~15 minutes.
+    """
+    meet_lon, meet_lat = 25.0, 36.8
+    approach_m = 12_000.0
+    lon_a, lat_a = destination_point(meet_lon, meet_lat, 225.0, approach_m)
+    lon_b, lat_b = destination_point(meet_lon, meet_lat, 45.0, approach_m)
+
+    def build(entity_id: str, start: tuple[float, float], bearing_in: float) -> Trajectory:
+        t, (lon, lat) = 0.0, start
+        times, lons, lats = [t], [lon], [lat]
+        # Approach at 7 m/s until within 150 m of the meeting point.
+        from repro.geo.geodesy import haversine_m, initial_bearing_deg
+
+        while haversine_m(lon, lat, meet_lon, meet_lat) > 150.0:
+            t += 10.0
+            bearing = initial_bearing_deg(lon, lat, meet_lon, meet_lat)
+            lon, lat = destination_point(lon, lat, bearing, 70.0)
+            times.append(t)
+            lons.append(lon)
+            lats.append(lat)
+        hold_until = t + 900.0
+        rng = np.random.default_rng(seed + hash(entity_id) % 100)
+        while t < hold_until:
+            t += 10.0
+            lon, lat = destination_point(lon, lat, float(rng.uniform(0, 360)), 1.5)
+            times.append(t)
+            lons.append(lon)
+            lats.append(lat)
+        # Depart on the reciprocal of the arrival bearing.
+        for __ in range(90):
+            t += 10.0
+            lon, lat = destination_point(lon, lat, (bearing_in + 180.0) % 360.0, 70.0)
+            times.append(t)
+            lons.append(lon)
+            lats.append(lat)
+        return Trajectory(entity_id, times, lons, lats, domain=Domain.MARITIME)
+
+    truth = {
+        "RV01": build("RV01", (lon_a, lat_a), 45.0),
+        "RV02": build("RV02", (lon_b, lat_b), 225.0),
+    }
+    arrive = approach_m / 7.0  # both approach at effectively 7 m/s
+    expected = [
+        ExpectedEvent(
+            event_type="rendezvous",
+            entity_ids=("RV01", "RV02"),
+            t_from=arrive - 60.0,
+            t_to=arrive + 1500.0,
+        )
+    ]
+    sensor = SensorModel(report_period_s=10.0, gps_sigma_m=8.0, dropout_prob=0.0)
+    return ScriptedScenario(
+        name="rendezvous",
+        domain=Domain.MARITIME,
+        truth=truth,
+        reports=_observe_all(truth, sensor, seed),
+        expected=expected,
+    )

@@ -1,0 +1,178 @@
+"""Synthetic geographic worlds for the two target domains.
+
+The maritime world models an Aegean-like sea area with ports, shipping
+lanes between them and zones of interest; the aviation world models a
+European-scale airspace with airports, airways and ATC sectors. Both give
+the traffic generators realistic route structure — which is exactly what
+pattern-based forecasting and hot-path analytics exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geo.bbox import BBox
+from repro.geo.polygon import Polygon
+
+
+@dataclass(frozen=True, slots=True)
+class RouteSpec:
+    """A named route: an ordered list of waypoints plus a nominal speed.
+
+    Attributes:
+        name: Route identifier, e.g. ``"PIR->HER"``.
+        waypoints: ``(lon, lat)`` sequence from origin to destination.
+        speed_mps: Nominal cruising speed over ground.
+    """
+
+    name: str
+    waypoints: tuple[tuple[float, float], ...]
+    speed_mps: float
+
+    def __post_init__(self) -> None:
+        if len(self.waypoints) < 2:
+            raise ValueError(f"route {self.name!r} needs at least 2 waypoints")
+        if self.speed_mps <= 0:
+            raise ValueError("route speed must be positive")
+
+    def reversed(self) -> RouteSpec:
+        """The same route in the opposite direction."""
+        origin, __, dest = self.name.partition("->")
+        name = f"{dest}->{origin}" if dest else f"{self.name}(rev)"
+        return RouteSpec(
+            name=name, waypoints=tuple(reversed(self.waypoints)), speed_mps=self.speed_mps
+        )
+
+
+@dataclass
+class MaritimeWorld:
+    """An Aegean-like sea area: ports, lanes between them, zones of interest."""
+
+    bbox: BBox = field(default_factory=lambda: BBox(22.5, 35.8, 27.5, 39.4))
+    ports: dict[str, tuple[float, float]] = field(default_factory=dict)
+    routes: list[RouteSpec] = field(default_factory=list)
+    zones: list[Polygon] = field(default_factory=list)
+
+    @classmethod
+    def aegean(cls) -> MaritimeWorld:
+        """The default world: 6 ports, bidirectional lanes, 3 zones."""
+        ports = {
+            "PIR": (23.62, 37.94),  # Piraeus
+            "HER": (25.15, 35.35),  # Heraklion
+            "RHO": (28.22, 36.45),  # Rhodes (just outside bbox: clamped uses)
+            "THE": (22.94, 40.62),  # Thessaloniki-like, north
+            "MYK": (25.33, 37.45),  # Mykonos
+            "CHI": (26.14, 38.37),  # Chios
+        }
+        # Keep every port inside the bbox so grids cover all traffic.
+        bbox = BBox(22.2, 34.9, 28.6, 41.0)
+        routes = []
+        speed_by_leg = {
+            ("PIR", "HER"): 9.0,
+            ("PIR", "MYK"): 11.0,
+            ("PIR", "CHI"): 8.5,
+            ("THE", "MYK"): 9.5,
+            ("HER", "RHO"): 8.0,
+            ("MYK", "CHI"): 10.0,
+        }
+        via = {
+            ("PIR", "HER"): ((24.0, 37.3), (24.6, 36.3)),
+            ("PIR", "MYK"): ((24.3, 37.6),),
+            ("PIR", "CHI"): ((24.6, 37.9), (25.4, 38.2)),
+            ("THE", "MYK"): ((24.2, 39.2), (24.9, 38.2)),
+            ("HER", "RHO"): ((26.4, 35.7), (27.5, 36.0)),
+            ("MYK", "CHI"): ((25.7, 37.9),),
+        }
+        for (a, b), speed in speed_by_leg.items():
+            waypoints = (ports[a],) + via[(a, b)] + (ports[b],)
+            route = RouteSpec(name=f"{a}->{b}", waypoints=waypoints, speed_mps=speed)
+            routes.append(route)
+            routes.append(route.reversed())
+        zones = [
+            Polygon(
+                "natura_protected",
+                ((24.8, 36.6), (25.5, 36.6), (25.5, 37.1), (24.8, 37.1)),
+            ),
+            Polygon(
+                "anchorage_piraeus",
+                ((23.45, 37.80), (23.75, 37.80), (23.75, 37.99), (23.45, 37.99)),
+            ),
+            Polygon(
+                "traffic_separation",
+                ((24.4, 37.4), (24.9, 37.4), (24.9, 37.75), (24.4, 37.75)),
+            ),
+        ]
+        return cls(bbox=bbox, ports=ports, routes=routes, zones=zones)
+
+    def zone(self, name: str) -> Polygon:
+        """Look up a zone by name."""
+        for zone in self.zones:
+            if zone.name == name:
+                return zone
+        raise KeyError(f"no zone named {name!r}")
+
+
+@dataclass
+class AviationWorld:
+    """A European-scale airspace: airports, airways and ATC sectors."""
+
+    bbox: BBox = field(default_factory=lambda: BBox(-5.0, 36.0, 25.0, 55.0))
+    airports: dict[str, tuple[float, float]] = field(default_factory=dict)
+    routes: list[RouteSpec] = field(default_factory=list)
+    sectors: list[Polygon] = field(default_factory=list)
+
+    @classmethod
+    def core_europe(cls) -> AviationWorld:
+        """Default airspace: 6 airports, airways, a 3x3 sector tiling."""
+        airports = {
+            "ATH": (23.94, 37.94),
+            "FRA": (8.57, 50.03),
+            "CDG": (2.55, 49.01),
+            "MAD": (-3.57, 40.47),
+            "FCO": (12.24, 41.80),
+            "VIE": (16.57, 48.11),
+        }
+        bbox = BBox(-5.0, 36.0, 25.0, 55.0)
+        legs = {
+            ("ATH", "FRA"): 230.0,
+            ("ATH", "CDG"): 235.0,
+            ("MAD", "VIE"): 228.0,
+            ("CDG", "FCO"): 225.0,
+            ("FRA", "MAD"): 232.0,
+            ("FCO", "VIE"): 220.0,
+        }
+        via = {
+            ("ATH", "FRA"): ((19.0, 42.0), (13.5, 46.5)),
+            ("ATH", "CDG"): ((18.0, 41.5), (9.0, 45.8)),
+            ("MAD", "VIE"): ((2.0, 43.0), (9.5, 45.8)),
+            ("CDG", "FCO"): ((6.5, 45.8),),
+            ("FRA", "MAD"): ((4.0, 47.0), (0.0, 43.5)),
+            ("FCO", "VIE"): ((14.3, 45.2),),
+        }
+        routes = []
+        for (a, b), speed in legs.items():
+            waypoints = (airports[a],) + via[(a, b)] + (airports[b],)
+            route = RouteSpec(name=f"{a}->{b}", waypoints=waypoints, speed_mps=speed)
+            routes.append(route)
+            routes.append(route.reversed())
+        sectors = []
+        xs = np.linspace(bbox.min_lon, bbox.max_lon, 4)
+        ys = np.linspace(bbox.min_lat, bbox.max_lat, 4)
+        for iy in range(3):
+            for ix in range(3):
+                sectors.append(
+                    Polygon.rectangle(
+                        f"sector_{ix}{iy}",
+                        BBox(float(xs[ix]), float(ys[iy]), float(xs[ix + 1]), float(ys[iy + 1])),
+                    )
+                )
+        return cls(bbox=bbox, airports=airports, routes=routes, sectors=sectors)
+
+    def sector(self, name: str) -> Polygon:
+        """Look up a sector by name."""
+        for sector in self.sectors:
+            if sector.name == name:
+                return sector
+        raise KeyError(f"no sector named {name!r}")

@@ -1,0 +1,53 @@
+"""Term dictionary: bidirectional mapping between RDF terms and integers.
+
+Triple stores never index raw terms — they encode every term once and
+work on dense integer ids. The dictionary is shared across partitions so
+ids are globally consistent (a real deployment would shard it; a single
+dict preserves the semantics).
+"""
+
+from __future__ import annotations
+
+from repro.rdf.terms import Term
+
+
+class TermDictionary:
+    """Assigns stable integer ids to RDF terms.
+
+    Ids are dense, starting at 0, in first-seen order. Terms must be
+    hashable (all :mod:`repro.rdf.terms` types are).
+    """
+
+    def __init__(self) -> None:
+        self._by_term: dict[Term, int] = {}
+        self._by_id: list[Term] = []
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._by_term
+
+    def encode(self, term: Term) -> int:
+        """Id of a term, assigning a new id on first sight."""
+        existing = self._by_term.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._by_id)
+        self._by_term[term] = new_id
+        self._by_id.append(term)
+        return new_id
+
+    def try_encode(self, term: Term) -> int | None:
+        """Id of a term, or ``None`` if the term was never seen.
+
+        Used on the query path: an unseen constant means zero matches, so
+        queries must not pollute the dictionary.
+        """
+        return self._by_term.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        """The term for an id; raises ``IndexError`` for unknown ids."""
+        if term_id < 0:
+            raise IndexError(f"invalid term id {term_id}")
+        return self._by_id[term_id]

@@ -1,0 +1,242 @@
+"""The multi-partition RDF store with subject-document routing.
+
+Placement contract: *all triples of a subject land in one partition*
+(chosen by the subject's spatio-temporal key when it has one, or by
+subject hash otherwise). Star-shaped query fragments therefore evaluate
+partition-locally, and spatially selective queries touch only the
+partitions whose key ranges intersect the query region.
+
+Parallelism is simulated: partitions are plain in-process structures, and
+the executor measures per-partition work to model the makespan a real
+cluster would see (max over partitions + coordination overhead). The
+paper's claims under test — partition balance, pruning power, relative
+speedup — survive this substitution; absolute cluster numbers do not,
+and EXPERIMENTS.md says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.geo.bbox import BBox
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import Literal, Term, Triple
+from repro.store.dictionary import TermDictionary
+from repro.store.partition import Partitioner
+from repro.store.triple_store import TripleStore
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionStats:
+    """Balance statistics over the partitions.
+
+    Attributes:
+        triples_per_partition: Triple count per partition.
+        subjects_per_partition: Distinct routed subjects per partition.
+        imbalance: max/mean triple count (1.0 = perfectly balanced).
+    """
+
+    triples_per_partition: tuple[int, ...]
+    subjects_per_partition: tuple[int, ...]
+    imbalance: float
+
+
+class ParallelRDFStore:
+    """A dictionary-encoded triple store sharded over N partitions."""
+
+    def __init__(self, partitioner: Partitioner) -> None:
+        self.partitioner = partitioner
+        self.dictionary = TermDictionary()
+        self.partitions = [TripleStore() for __ in range(partitioner.n_partitions)]
+        self._subject_partition: dict[int, int] = {}
+        # Spatial pruning is sound only while every *position* document
+        # (one carrying geo coordinates) was routed by its st-key. A single
+        # keyless position document could land anywhere, so pruning must
+        # be disabled from then on.
+        self._spatial_pruning_sound = True
+
+    @property
+    def n_partitions(self) -> int:
+        """Number of partitions."""
+        return len(self.partitions)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    # -- loading -------------------------------------------------------------
+
+    def add_document(self, triples: Iterable[Triple]) -> int:
+        """Insert all triples of one subject document; returns the partition.
+
+        The document's subject is taken from its first triple; mixing
+        subjects in one document is an error. Repeated documents for the
+        same subject stay on the subject's original partition (placement
+        stability), regardless of key drift.
+        """
+        doc = list(triples)
+        if not doc:
+            raise ValueError("empty document")
+        subject = doc[0].s
+        subject_id = self.dictionary.encode(subject)
+        if any(t.s != subject for t in doc):
+            raise ValueError("a document must contain a single subject")
+
+        partition_idx = self._subject_partition.get(subject_id)
+        if partition_idx is None:
+            st_key = self._extract_st_key(doc) if self.partitioner.uses_spatial_key else None
+            if st_key is not None:
+                partition_idx = self.partitioner.partition_for_key(st_key)
+            else:
+                partition_idx = self.partitioner.partition_for_subject(subject_id)
+                if self.partitioner.uses_spatial_key and self._is_position_doc(doc):
+                    self._spatial_pruning_sound = False
+            self._subject_partition[subject_id] = partition_idx
+
+        store = self.partitions[partition_idx]
+        for triple in doc:
+            store.add(
+                subject_id,
+                self.dictionary.encode(triple.p),
+                self.dictionary.encode(triple.o),
+            )
+        return partition_idx
+
+    def add_documents(self, documents: Iterable[Iterable[Triple]]) -> None:
+        """Bulk-insert many subject documents."""
+        for document in documents:
+            self.add_document(document)
+
+    @staticmethod
+    def _extract_st_key(doc: list[Triple]) -> int | None:
+        for triple in doc:
+            if triple.p == V.PROP_ST_KEY and isinstance(triple.o, Literal):
+                return int(triple.o.value)
+        return None
+
+    @staticmethod
+    def _is_position_doc(doc: list[Triple]) -> bool:
+        """Whether the document carries geo coordinates (prunable data)."""
+        return any(triple.p == V.PROP_LON for triple in doc)
+
+    # -- matching --------------------------------------------------------------
+
+    def match(
+        self,
+        s: Term | None = None,
+        p: Term | None = None,
+        o: Term | None = None,
+        partitions: Iterable[int] | None = None,
+    ) -> Iterator[Triple]:
+        """Iterate decoded triples matching a term pattern.
+
+        Args:
+            partitions: Restrict the scan to these partitions (pruning);
+                default scans all.
+        """
+        ids = []
+        for term in (s, p, o):
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self.dictionary.try_encode(term)
+                if term_id is None:
+                    return
+                ids.append(term_id)
+        targets = range(self.n_partitions) if partitions is None else partitions
+        decode = self.dictionary.decode
+        for idx in targets:
+            for ss, pp, oo in self.partitions[idx].match(*ids):
+                yield Triple(decode(ss), decode(pp), decode(oo))
+
+    def count(self, s: Term | None = None, p: Term | None = None, o: Term | None = None) -> int:
+        """Count matches of a term pattern across all partitions."""
+        ids = []
+        for term in (s, p, o):
+            if term is None:
+                ids.append(None)
+            else:
+                term_id = self.dictionary.try_encode(term)
+                if term_id is None:
+                    return 0
+                ids.append(term_id)
+        return sum(p_.count_matches(*ids) for p_ in self.partitions)
+
+    # -- deletion & retention ---------------------------------------------------
+
+    def remove_subject(self, subject: Term) -> int:
+        """Delete every triple of one subject; returns triples removed.
+
+        The subject's placement record is dropped too, so a re-inserted
+        document is routed afresh.
+        """
+        subject_id = self.dictionary.try_encode(subject)
+        if subject_id is None:
+            return 0
+        partition_idx = self._subject_partition.get(subject_id)
+        candidates = (
+            [partition_idx] if partition_idx is not None else range(self.n_partitions)
+        )
+        removed = 0
+        for idx in candidates:
+            doomed = list(self.partitions[idx].match(s=subject_id))
+            for s, p, o in doomed:
+                self.partitions[idx].remove(s, p, o)
+            removed += len(doomed)
+        self._subject_partition.pop(subject_id, None)
+        return removed
+
+    def expire_before(self, t: float) -> tuple[int, int]:
+        """Data retention: delete position nodes with timestamp < ``t``.
+
+        Only subjects carrying a ``time:inSeconds`` literal are eligible —
+        entity metadata, zones and interval-timestamped events survive.
+
+        Returns:
+            ``(subjects removed, triples removed)``.
+        """
+        timestamp_id = self.dictionary.try_encode(V.PROP_TIMESTAMP)
+        if timestamp_id is None:
+            return (0, 0)
+        doomed: list[Term] = []
+        for partition in self.partitions:
+            for s, __p, o in partition.match(p=timestamp_id):
+                term = self.dictionary.decode(o)
+                if isinstance(term, Literal):
+                    try:
+                        if float(term.value) < t:
+                            doomed.append(self.dictionary.decode(s))
+                    except (TypeError, ValueError):
+                        continue
+        triples_removed = 0
+        for subject in doomed:
+            triples_removed += self.remove_subject(subject)
+        return (len(doomed), triples_removed)
+
+    # -- pruning & statistics --------------------------------------------------
+
+    def partitions_for_bbox(self, bbox: BBox) -> set[int]:
+        """Partitions that can hold position documents inside the box.
+
+        Falls back to *all* partitions when any position document was
+        routed without a spatio-temporal key (pruning would be unsound).
+        """
+        if not self._spatial_pruning_sound:
+            return set(range(self.n_partitions))
+        return self.partitioner.partitions_for_bbox(bbox)
+
+    def stats(self) -> PartitionStats:
+        """Balance statistics for experiment E4."""
+        triples = tuple(len(p) for p in self.partitions)
+        subjects: list[int] = [0] * self.n_partitions
+        for partition_idx in self._subject_partition.values():
+            subjects[partition_idx] += 1
+        mean = float(np.mean(triples)) if triples else 0.0
+        imbalance = (max(triples) / mean) if mean > 0 else 1.0
+        return PartitionStats(
+            triples_per_partition=triples,
+            subjects_per_partition=tuple(subjects),
+            imbalance=imbalance,
+        )

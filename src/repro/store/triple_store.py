@@ -1,0 +1,137 @@
+"""One partition: an in-memory triple store with three orderings.
+
+Triples are stored as integer id tuples in nested-dict indexes — SPO, POS
+and OSP — so every triple-pattern shape (bound/unbound combinations of
+subject, predicate, object) has an index-backed access path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+_WILDCARD = None
+
+
+class TripleStore:
+    """An id-encoded triple store for one partition.
+
+    All methods speak integer ids; the owning :class:`ParallelRDFStore`
+    translates terms through the shared dictionary.
+    """
+
+    def __init__(self) -> None:
+        # s -> p -> set[o]
+        self._spo: dict[int, dict[int, set[int]]] = {}
+        # p -> o -> set[s]
+        self._pos: dict[int, dict[int, set[int]]] = {}
+        # o -> s -> set[p]
+        self._osp: dict[int, dict[int, set[int]]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, s: int, p: int, o: int) -> bool:
+        """Insert one triple; returns False when it already existed."""
+        objects = self._spo.setdefault(s, {}).setdefault(p, set())
+        if o in objects:
+            return False
+        objects.add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self._count += 1
+        return True
+
+    def remove(self, s: int, p: int, o: int) -> bool:
+        """Delete one triple; returns False when it was absent."""
+        objects = self._spo.get(s, {}).get(p)
+        if objects is None or o not in objects:
+            return False
+        objects.discard(o)
+        self._pos[p][o].discard(s)
+        self._osp[o][s].discard(p)
+        self._count -= 1
+        return True
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        """Membership test for a fully bound triple."""
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def match(
+        self,
+        s: int | None = _WILDCARD,
+        p: int | None = _WILDCARD,
+        o: int | None = _WILDCARD,
+    ) -> Iterator[tuple[int, int, int]]:
+        """Iterate triples matching a pattern; ``None`` is a wildcard.
+
+        Picks the best index for the bound positions:
+
+        ========= =========
+        pattern   index
+        ========= =========
+        s p o     SPO probe
+        s p ?     SPO
+        s ? o     OSP
+        s ? ?     SPO
+        ? p o     POS
+        ? p ?     POS
+        ? ? o     OSP
+        ? ? ?     SPO scan
+        ========= =========
+        """
+        if s is not None:
+            if p is not None:
+                objects = self._spo.get(s, {}).get(p, ())
+                if o is not None:
+                    if o in objects:
+                        yield (s, p, o)
+                else:
+                    for oo in objects:
+                        yield (s, p, oo)
+            elif o is not None:
+                for pp in self._osp.get(o, {}).get(s, ()):
+                    yield (s, pp, o)
+            else:
+                for pp, objects in self._spo.get(s, {}).items():
+                    for oo in objects:
+                        yield (s, pp, oo)
+        elif p is not None:
+            by_o = self._pos.get(p, {})
+            if o is not None:
+                for ss in by_o.get(o, ()):
+                    yield (ss, p, o)
+            else:
+                for oo, subjects in by_o.items():
+                    for ss in subjects:
+                        yield (ss, p, oo)
+        elif o is not None:
+            for ss, predicates in self._osp.get(o, {}).items():
+                for pp in predicates:
+                    yield (ss, pp, o)
+        else:
+            for ss, by_p in self._spo.items():
+                for pp, objects in by_p.items():
+                    for oo in objects:
+                        yield (ss, pp, oo)
+
+    def count_matches(
+        self,
+        s: int | None = _WILDCARD,
+        p: int | None = _WILDCARD,
+        o: int | None = _WILDCARD,
+    ) -> int:
+        """Number of triples matching a pattern (cheap for common shapes)."""
+        if s is None and p is None and o is None:
+            return self._count
+        if s is not None and p is not None and o is None:
+            return len(self._spo.get(s, {}).get(p, ()))
+        if s is None and p is not None and o is not None:
+            return len(self._pos.get(p, {}).get(o, ()))
+        if s is None and p is not None and o is None:
+            return sum(len(subs) for subs in self._pos.get(p, {}).values())
+        return sum(1 for __ in self.match(s, p, o))
+
+    def subjects(self) -> Iterator[int]:
+        """All distinct subject ids."""
+        return iter(self._spo)

@@ -1,0 +1,64 @@
+"""A single-process streaming dataflow engine with event-time semantics.
+
+This is the substrate standing in for the distributed stream platform
+(Flink/Kafka) the datAcron project deployed on. It provides:
+
+- push-based operators (:class:`MapOperator`, :class:`FilterOperator`,
+  :class:`FlatMapOperator`, :class:`KeyedOperator`, stateful
+  :class:`KeyedProcessOperator`),
+- event-time watermarks with bounded out-of-orderness,
+- tumbling / sliding / session windows with event-time triggering,
+- a :class:`Topology` builder plus :class:`StreamRunner` executor,
+- per-operator metrics (throughput, latency percentiles) so the paper's
+  "latency in ms" requirement is measurable at every stage.
+"""
+
+from repro.streams.records import Record, Watermark
+from repro.streams.metrics import Counter, LatencyHistogram, OperatorMetrics
+from repro.streams.operators import (
+    Operator,
+    MapOperator,
+    FilterOperator,
+    FlatMapOperator,
+    KeyedProcessOperator,
+    SinkOperator,
+    CollectSink,
+)
+from repro.streams.watermarks import BoundedOutOfOrdernessWatermarks
+from repro.streams.windows import (
+    TumblingWindowAssigner,
+    SlidingWindowAssigner,
+    SessionWindowAssigner,
+    WindowedAggregateOperator,
+    WindowPane,
+)
+from repro.streams.topology import Topology, StreamRunner
+from repro.streams.replay import replay, replay_instant
+from repro.streams.parallel import ParallelKeyedRunner, ParallelRunReport
+
+__all__ = [
+    "Record",
+    "Watermark",
+    "Counter",
+    "LatencyHistogram",
+    "OperatorMetrics",
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KeyedProcessOperator",
+    "SinkOperator",
+    "CollectSink",
+    "BoundedOutOfOrdernessWatermarks",
+    "TumblingWindowAssigner",
+    "SlidingWindowAssigner",
+    "SessionWindowAssigner",
+    "WindowedAggregateOperator",
+    "WindowPane",
+    "Topology",
+    "StreamRunner",
+    "replay",
+    "replay_instant",
+    "ParallelKeyedRunner",
+    "ParallelRunReport",
+]

@@ -1,0 +1,129 @@
+"""Operator metrics: counters and latency histograms.
+
+The paper states the methods "must comply with operational latency
+requirements (i.e. in ms)"; these metrics make that measurable per
+operator and end-to-end (experiment E2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Increase the counter by ``n`` (must be non-negative)."""
+        if n < 0:
+            raise ValueError("counters only increase")
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+
+class LatencyHistogram:
+    """Records individual latency samples and reports percentiles.
+
+    Samples are kept in a bounded reservoir (uniformly thinned) so long
+    benchmark runs do not grow memory without bound.
+    """
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self._max = max_samples
+        self._samples: list[float] = []
+        self._seen = 0
+
+    def record(self, latency_s: float) -> None:
+        """Record one latency sample, in seconds."""
+        self._seen += 1
+        if len(self._samples) < self._max:
+            self._samples.append(latency_s)
+        else:
+            # Reservoir sampling keeps the sample uniform over all records.
+            import random
+
+            j = random.randrange(self._seen)
+            if j < self._max:
+                self._samples[j] = latency_s
+        return None
+
+    @property
+    def count(self) -> int:
+        """Total number of samples recorded (including thinned-out ones)."""
+        return self._seen
+
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th percentile latency in milliseconds (q in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q)) * 1000.0
+
+    def mean_ms(self) -> float:
+        """Mean latency in milliseconds."""
+        if not self._samples:
+            return 0.0
+        return float(np.mean(np.asarray(self._samples))) * 1000.0
+
+    def summary(self) -> dict[str, float]:
+        """p50/p95/p99/mean in milliseconds plus the count."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean_ms(),
+            "p50_ms": self.percentile_ms(50),
+            "p95_ms": self.percentile_ms(95),
+            "p99_ms": self.percentile_ms(99),
+        }
+
+
+@dataclass
+class OperatorMetrics:
+    """Per-operator metric bundle collected by the runner."""
+
+    name: str
+    records_in: Counter = field(default_factory=Counter)
+    records_out: Counter = field(default_factory=Counter)
+    processing_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    _started_at: float | None = None
+    _ended_at: float | None = None
+
+    def mark_start(self) -> None:
+        """Record wall-clock start of processing."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def mark_end(self) -> None:
+        """Record wall-clock end of processing."""
+        self._ended_at = time.perf_counter()
+
+    def throughput_rps(self) -> float:
+        """Records-in per wall-clock second over the run."""
+        if self._started_at is None or self._ended_at is None:
+            return 0.0
+        elapsed = self._ended_at - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.records_in.value / elapsed
+
+    def summary(self) -> dict[str, float]:
+        """Flat metric summary for reporting."""
+        out = {
+            "records_in": float(self.records_in.value),
+            "records_out": float(self.records_out.value),
+            "throughput_rps": self.throughput_rps(),
+        }
+        out.update(self.processing_latency.summary())
+        return out

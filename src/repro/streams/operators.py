@@ -1,0 +1,138 @@
+"""Dataflow operators.
+
+Operators are push-based: the runner calls :meth:`Operator.process` for each
+record and :meth:`Operator.on_watermark` for each watermark; both return the
+elements to forward downstream. Stateful keyed operators keep per-key state
+dictionaries, mirroring the keyed-state model of production stream engines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, TypeVar
+
+from repro.streams.records import Record, Watermark
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+Element = "Record | Watermark"
+
+
+class Operator:
+    """Base class for all dataflow operators."""
+
+    #: Name used in topology metrics; subclasses or instances may override.
+    name: str = "operator"
+
+    def process(self, record: Record) -> Iterable[Record]:
+        """Handle one record, returning records to emit downstream."""
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: Watermark) -> Iterable[Record]:
+        """Handle a watermark; may flush state and emit records.
+
+        The runner forwards the watermark itself downstream after this call;
+        operators only return the *records* they want to emit.
+        """
+        return ()
+
+    def on_end(self) -> Iterable[Record]:
+        """Called once when the input is exhausted; may flush final state."""
+        return ()
+
+
+class MapOperator(Operator, Generic[T, U]):
+    """Applies a function to each record's value."""
+
+    def __init__(self, fn: Callable[[T], U], name: str = "map") -> None:
+        self._fn = fn
+        self.name = name
+
+    def process(self, record: Record) -> Iterable[Record]:
+        return (record.with_value(self._fn(record.value)),)
+
+
+class FilterOperator(Operator, Generic[T]):
+    """Keeps records whose value satisfies a predicate."""
+
+    def __init__(self, predicate: Callable[[T], bool], name: str = "filter") -> None:
+        self._predicate = predicate
+        self.name = name
+
+    def process(self, record: Record) -> Iterable[Record]:
+        if self._predicate(record.value):
+            return (record,)
+        return ()
+
+
+class FlatMapOperator(Operator, Generic[T, U]):
+    """Expands each record into zero or more records."""
+
+    def __init__(self, fn: Callable[[T], Iterable[U]], name: str = "flat_map") -> None:
+        self._fn = fn
+        self.name = name
+
+    def process(self, record: Record) -> Iterable[Record]:
+        return tuple(record.with_value(v) for v in self._fn(record.value))
+
+
+class KeyedProcessOperator(Operator, Generic[T]):
+    """Stateful operator with per-key state.
+
+    Subclasses implement :meth:`process_keyed`, receiving the record and a
+    mutable per-key state dict. The key is extracted by ``key_fn``.
+    """
+
+    def __init__(self, key_fn: Callable[[T], Any], name: str = "keyed_process") -> None:
+        self._key_fn = key_fn
+        self.name = name
+        self._state: dict[Any, dict[str, Any]] = {}
+
+    def process(self, record: Record) -> Iterable[Record]:
+        key = self._key_fn(record.value)
+        state = self._state.setdefault(key, {})
+        return self.process_keyed(record.with_key(key), state)
+
+    def process_keyed(self, record: Record, state: dict[str, Any]) -> Iterable[Record]:
+        """Handle one record with its per-key state."""
+        raise NotImplementedError
+
+    def on_end(self) -> Iterable[Record]:
+        out: list[Record] = []
+        for key, state in self._state.items():
+            out.extend(self.flush_key(key, state))
+        return out
+
+    def flush_key(self, key: Any, state: dict[str, Any]) -> Iterable[Record]:
+        """Flush a key's state at end of stream; default emits nothing."""
+        return ()
+
+    @property
+    def keys(self) -> list[Any]:
+        """Keys with live state (for tests and introspection)."""
+        return list(self._state)
+
+
+class SinkOperator(Operator):
+    """Terminal operator calling a function for each record (emits nothing)."""
+
+    def __init__(self, fn: Callable[[Record], None], name: str = "sink") -> None:
+        self._fn = fn
+        self.name = name
+
+    def process(self, record: Record) -> Iterable[Record]:
+        self._fn(record)
+        return ()
+
+
+class CollectSink(SinkOperator):
+    """Sink collecting all record values into a list, for tests and demos."""
+
+    def __init__(self, name: str = "collect") -> None:
+        self.items: list[Any] = []
+        self.records: list[Record] = []
+        super().__init__(self._collect, name=name)
+
+    def _collect(self, record: Record) -> None:
+        self.items.append(record.value)
+        self.records.append(record)

@@ -1,0 +1,42 @@
+"""Stream elements: data records and watermarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class Record(Generic[T]):
+    """A stream element carrying a value and its event time.
+
+    Attributes:
+        event_time: Event time in seconds (domain time, not wall clock).
+        value: The payload.
+        key: Optional partitioning key assigned by keyed operators.
+    """
+
+    event_time: float
+    value: T
+    key: Any = None
+
+    def with_value(self, value: Any) -> Record:
+        """Copy with a new value, preserving time and key."""
+        return Record(event_time=self.event_time, value=value, key=self.key)
+
+    def with_key(self, key: Any) -> Record[T]:
+        """Copy with a new key."""
+        return Record(event_time=self.event_time, value=self.value, key=key)
+
+
+@dataclass(frozen=True, slots=True)
+class Watermark:
+    """Assertion that no record with event time <= ``time`` will follow.
+
+    Watermarks flow through the topology in-band with records and drive
+    event-time window firing.
+    """
+
+    time: float

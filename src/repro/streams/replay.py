@@ -1,0 +1,53 @@
+"""Replay sources: turning recorded data back into streams.
+
+The latency experiments need a stream that arrives *over time* rather
+than as fast as Python can iterate. :func:`replay` yields records paced
+against the wall clock at a configurable speedup; :func:`replay_instant`
+is the un-paced variant used everywhere pacing does not matter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Iterator
+
+from repro.streams.records import Record
+
+
+def replay_instant(
+    timed_values: Iterable[tuple[float, Any]],
+) -> Iterator[Record]:
+    """Wrap ``(event_time, value)`` pairs as records with no pacing."""
+    for event_time, value in timed_values:
+        yield Record(event_time=event_time, value=value)
+
+
+def replay(
+    timed_values: Iterable[tuple[float, Any]],
+    speedup: float = 60.0,
+    max_sleep_s: float = 1.0,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> Iterator[Record]:
+    """Yield records paced so event time advances ``speedup``× wall time.
+
+    Args:
+        speedup: 60 → one event-time minute per wall second.
+        max_sleep_s: Individual sleeps are capped (long silences in the
+            data don't stall a demo).
+        clock / sleep: Injectable for tests.
+    """
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    started_wall = None
+    started_event = None
+    for event_time, value in timed_values:
+        if started_wall is None:
+            started_wall = clock()
+            started_event = event_time
+        else:
+            due_wall = started_wall + (event_time - started_event) / speedup
+            delay = due_wall - clock()
+            if delay > 0:
+                sleep(min(delay, max_sleep_s))
+        yield Record(event_time=event_time, value=value)

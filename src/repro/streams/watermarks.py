@@ -1,0 +1,43 @@
+"""Watermark generation strategies.
+
+Surveillance feeds deliver out-of-order records (satellite AIS batches,
+multi-sensor fusion); bounded-out-of-orderness watermarks let event-time
+windows tolerate a configurable lateness before firing.
+"""
+
+from __future__ import annotations
+
+
+class BoundedOutOfOrdernessWatermarks:
+    """Emits watermarks lagging the max seen event time by a fixed bound.
+
+    A record with event time ``t`` advances the watermark to
+    ``max_seen - max_out_of_orderness`` — records later than that are
+    considered late and dropped (counted) by windowed operators.
+    """
+
+    def __init__(self, max_out_of_orderness_s: float) -> None:
+        if max_out_of_orderness_s < 0:
+            raise ValueError("out-of-orderness bound must be >= 0")
+        self.bound = max_out_of_orderness_s
+        self._max_seen = float("-inf")
+        self._last_emitted = float("-inf")
+
+    def observe(self, event_time: float) -> float | None:
+        """Observe a record's event time; return a new watermark or ``None``.
+
+        A watermark is returned only when it advances past the previously
+        emitted one, keeping watermark traffic sparse.
+        """
+        if event_time > self._max_seen:
+            self._max_seen = event_time
+        candidate = self._max_seen - self.bound
+        if candidate > self._last_emitted:
+            self._last_emitted = candidate
+            return candidate
+        return None
+
+    @property
+    def current(self) -> float:
+        """The last emitted watermark (-inf before any emission)."""
+        return self._last_emitted

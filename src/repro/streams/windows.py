@@ -1,0 +1,173 @@
+"""Event-time windows: assigners and the windowed aggregation operator.
+
+Windows fire on watermarks. Late records (event time at or below the current
+watermark, landing only in already-fired windows) are dropped and counted —
+the same contract production engines default to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.streams.operators import Operator
+from repro.streams.records import Record, Watermark
+
+
+@dataclass(frozen=True, slots=True)
+class WindowPane:
+    """One fired window for one key.
+
+    Attributes:
+        key: The grouping key.
+        start: Window start (inclusive), event time seconds.
+        end: Window end (exclusive).
+        values: The record values that fell in the window, in arrival order.
+    """
+
+    key: Any
+    start: float
+    end: float
+    values: tuple[Any, ...]
+
+
+class TumblingWindowAssigner:
+    """Fixed-size, non-overlapping windows aligned to multiples of the size."""
+
+    def __init__(self, size_s: float) -> None:
+        if size_s <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size_s
+
+    def assign(self, event_time: float) -> list[tuple[float, float]]:
+        """Windows (start, end) containing the event time — exactly one."""
+        start = (event_time // self.size) * self.size
+        return [(start, start + self.size)]
+
+
+class SlidingWindowAssigner:
+    """Fixed-size windows sliding by a step; each event lands in several."""
+
+    def __init__(self, size_s: float, slide_s: float) -> None:
+        if size_s <= 0 or slide_s <= 0:
+            raise ValueError("size and slide must be positive")
+        if slide_s > size_s:
+            raise ValueError("slide must not exceed size")
+        self.size = size_s
+        self.slide = slide_s
+
+    def assign(self, event_time: float) -> list[tuple[float, float]]:
+        """All (start, end) windows containing the event time."""
+        last_start = (event_time // self.slide) * self.slide
+        out = []
+        start = last_start
+        while start > event_time - self.size:
+            out.append((start, start + self.size))
+            start -= self.slide
+        out.reverse()
+        return out
+
+
+class SessionWindowAssigner:
+    """Gap-based session windows (merged dynamically by the operator).
+
+    The assigner only proposes a seed window ``[t, t + gap)``; the windowed
+    operator merges overlapping sessions per key.
+    """
+
+    def __init__(self, gap_s: float) -> None:
+        if gap_s <= 0:
+            raise ValueError("session gap must be positive")
+        self.gap = gap_s
+        self.merging = True
+
+    def assign(self, event_time: float) -> list[tuple[float, float]]:
+        """Seed session window for one event."""
+        return [(event_time, event_time + self.gap)]
+
+
+class WindowedAggregateOperator(Operator):
+    """Keyed event-time windowing with an aggregate applied on firing.
+
+    Args:
+        key_fn: Extracts the grouping key from a record value.
+        assigner: One of the assigners in this module.
+        aggregate_fn: Maps a :class:`WindowPane` to the emitted value.
+            Defaults to emitting the pane itself.
+    """
+
+    def __init__(
+        self,
+        key_fn: Callable[[Any], Any],
+        assigner: Any,
+        aggregate_fn: Callable[[WindowPane], Any] | None = None,
+        name: str = "window",
+    ) -> None:
+        self._key_fn = key_fn
+        self._assigner = assigner
+        self._aggregate = aggregate_fn or (lambda pane: pane)
+        self.name = name
+        # (key, start, end) -> list of values
+        self._panes: dict[tuple[Any, float, float], list[Any]] = {}
+        #: Records dropped because every window they belong to had already
+        #: fired when they arrived (event time at or below the watermark).
+        self.late_records = 0
+        self._watermark = float("-inf")
+        self._merging = bool(getattr(assigner, "merging", False))
+
+    def process(self, record: Record) -> Iterable[Record]:
+        key = self._key_fn(record.value)
+        assigned = self._assigner.assign(record.event_time)
+        live = [(start, end) for start, end in assigned if end > self._watermark]
+        if not live:
+            # Every target window already fired: the record is late.
+            self.late_records += 1
+            return ()
+        for start, end in live:
+            pane_key = (key, start, end)
+            if self._merging:
+                pane_key = self._merge_sessions(key, start, end)
+            self._panes.setdefault(pane_key, []).append(record.value)
+        return ()
+
+    def _merge_sessions(self, key: Any, start: float, end: float) -> tuple[Any, float, float]:
+        """Merge a new session seed with overlapping existing sessions."""
+        merged_values: list[Any] = []
+        merged_start, merged_end = start, end
+        to_delete = []
+        for (k, s, e), values in self._panes.items():
+            if k != key:
+                continue
+            if s <= merged_end and merged_start <= e:
+                merged_start = min(merged_start, s)
+                merged_end = max(merged_end, e)
+                merged_values.extend(values)
+                to_delete.append((k, s, e))
+        for pane_key in to_delete:
+            del self._panes[pane_key]
+        new_key = (key, merged_start, merged_end)
+        self._panes[new_key] = merged_values
+        return new_key
+
+    def on_watermark(self, watermark: Watermark) -> Iterable[Record]:
+        self._watermark = max(self._watermark, watermark.time)
+        return self._fire(watermark.time)
+
+    def on_end(self) -> Iterable[Record]:
+        return self._fire(float("inf"))
+
+    def _fire(self, up_to: float) -> list[Record]:
+        fired: list[Record] = []
+        ready = [pk for pk in self._panes if pk[2] <= up_to]
+        # Deterministic firing order: by end time, then start, then key repr.
+        ready.sort(key=lambda pk: (pk[2], pk[1], repr(pk[0])))
+        for key, start, end in ready:
+            values = self._panes.pop((key, start, end))
+            pane = WindowPane(key=key, start=start, end=end, values=tuple(values))
+            fired.append(Record(event_time=end, value=self._aggregate(pane), key=key))
+        return fired
+
+    @property
+    def open_panes(self) -> int:
+        """Number of panes not yet fired (for tests)."""
+        return len(self._panes)

@@ -1,0 +1,77 @@
+"""Trajectory analytics: reconstruction, similarity, clustering, hot spots.
+
+The paper's analytics layer begins with "reconstruction ... of moving
+entities' trajectories" from the (compressed, noisy, gappy) streams; on
+top of reconstructed trajectories sit similarity search, route clustering
+(the substrate of pattern-based forecasting) and hot-spot / hot-path
+detection (one of the paper's named complex phenomena).
+
+- :mod:`repro.trajectory.reconstruction` — report streams → clean
+  per-entity trajectories (ordering, deduplication, gap-aware splitting,
+  optional smoothing), in batch and streaming forms.
+- :mod:`repro.trajectory.similarity` — DTW, discrete Fréchet, LCSS, EDR
+  and resampled-Euclidean distances.
+- :mod:`repro.trajectory.clustering` — distance-matrix k-medoids and
+  agglomerative clustering for route discovery.
+- :mod:`repro.trajectory.hotspots` — grid-density hot spots (Getis-Ord
+  style z-scores) and frequent-transition hot paths.
+"""
+
+from repro.trajectory.reconstruction import (
+    ReconstructionConfig,
+    TrajectoryReconstructor,
+    reconstruct_all,
+)
+from repro.trajectory.similarity import (
+    dtw_distance_m,
+    frechet_distance_m,
+    hausdorff_distance_m,
+    lcss_similarity,
+    edr_distance,
+    euclidean_resampled_m,
+)
+from repro.trajectory.clustering import (
+    distance_matrix,
+    KMedoids,
+    agglomerative_clusters,
+)
+from repro.trajectory.hotspots import (
+    density_grid,
+    hotspot_cells,
+    hot_paths,
+)
+from repro.trajectory.stay_points import StayPoint, detect_stay_points, split_voyages
+from repro.trajectory.semantic import (
+    Episode,
+    EpisodeType,
+    SemanticTrajectory,
+    build_semantic_trajectory,
+)
+from repro.trajectory.anomaly import AnomalyScore, RouteAnomalyModel
+
+__all__ = [
+    "ReconstructionConfig",
+    "TrajectoryReconstructor",
+    "reconstruct_all",
+    "dtw_distance_m",
+    "frechet_distance_m",
+    "hausdorff_distance_m",
+    "lcss_similarity",
+    "edr_distance",
+    "euclidean_resampled_m",
+    "distance_matrix",
+    "KMedoids",
+    "agglomerative_clusters",
+    "density_grid",
+    "hotspot_cells",
+    "hot_paths",
+    "StayPoint",
+    "detect_stay_points",
+    "split_voyages",
+    "Episode",
+    "EpisodeType",
+    "SemanticTrajectory",
+    "build_semantic_trajectory",
+    "AnomalyScore",
+    "RouteAnomalyModel",
+]

@@ -1,0 +1,130 @@
+"""Route-deviation anomaly detection.
+
+"Detecting anomalous behaviors" is one of the paper's maritime goals.
+The dominant pattern-based approach: learn the normal routes from
+history, then score live trajectories by how far they stray from every
+learned route. A track whose off-route distance exceeds a threshold for
+a sustained stretch is anomalous — smuggling detours, drift, spoofing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m
+from repro.model.trajectory import Trajectory
+from repro.trajectory.clustering import KMedoids, distance_matrix
+from repro.trajectory.similarity import euclidean_resampled_m
+
+
+@dataclass(frozen=True, slots=True)
+class AnomalyScore:
+    """Off-route assessment of one trajectory.
+
+    Attributes:
+        entity_id: The scored entity.
+        mean_off_route_m: Mean distance of samples to the nearest route.
+        max_off_route_m: Worst single-sample off-route distance.
+        off_route_fraction: Fraction of samples beyond the threshold.
+        is_anomalous: The final verdict at the model's thresholds.
+    """
+
+    entity_id: str
+    mean_off_route_m: float
+    max_off_route_m: float
+    off_route_fraction: float
+    is_anomalous: bool
+
+
+class RouteAnomalyModel:
+    """Learns normal routes; scores trajectories by route deviation.
+
+    Args:
+        history: Normal-behaviour trajectories (the training corpus).
+        n_routes: Route clusters learned from the corpus.
+        off_route_threshold_m: A sample farther than this from *every*
+            route counts as off-route.
+        anomaly_fraction: Verdict threshold: a trajectory is anomalous
+            when more than this fraction of its samples are off-route.
+        samples_per_track: Scoring resolution (resampled positions).
+    """
+
+    def __init__(
+        self,
+        history: Sequence[Trajectory],
+        n_routes: int = 8,
+        off_route_threshold_m: float = 5_000.0,
+        anomaly_fraction: float = 0.3,
+        samples_per_track: int = 48,
+        seed: int = 0,
+    ) -> None:
+        if not history:
+            raise ValueError("anomaly model needs historical trajectories")
+        if not (0.0 < anomaly_fraction <= 1.0):
+            raise ValueError("anomaly_fraction must be in (0, 1]")
+        self.off_route_threshold_m = off_route_threshold_m
+        self.anomaly_fraction = anomaly_fraction
+        self.samples_per_track = samples_per_track
+        self.routes = self._learn_routes(list(history), n_routes, seed)
+        # Precompute route sample arrays once for fast point scoring.
+        self._route_points = np.concatenate(
+            [np.stack([r.lon, r.lat], axis=1) for r in self.routes]
+        )
+
+    @staticmethod
+    def _learn_routes(
+        history: list[Trajectory], n_routes: int, seed: int
+    ) -> list[Trajectory]:
+        k = min(n_routes, len(history))
+        resampled = [
+            t.resample(max(30.0, t.duration / 64.0)) if t.duration > 0 else t
+            for t in history
+        ]
+        if k == len(resampled):
+            return resampled
+        matrix = distance_matrix(resampled, metric=euclidean_resampled_m)
+        model = KMedoids(k=k, seed=seed).fit(matrix)
+        assert model.medoids is not None
+        return [resampled[i] for i in model.medoids]
+
+    def off_route_distance_m(self, lon: float, lat: float) -> float:
+        """Distance from a point to the nearest learned route sample."""
+        from repro.geo.geodesy import haversine_m_arrays
+
+        lons = self._route_points[:, 0]
+        lats = self._route_points[:, 1]
+        distances = haversine_m_arrays(
+            np.full(len(lons), lon), np.full(len(lats), lat), lons, lats
+        )
+        return float(distances.min())
+
+    def score(self, trajectory: Trajectory) -> AnomalyScore:
+        """Score one trajectory against the learned normalcy model."""
+        if len(trajectory) == 0:
+            raise ValueError("cannot score an empty trajectory")
+        track = (
+            trajectory.resample(max(30.0, trajectory.duration / self.samples_per_track))
+            if trajectory.duration > 0
+            else trajectory
+        )
+        distances = np.array([
+            self.off_route_distance_m(float(track.lon[i]), float(track.lat[i]))
+            for i in range(len(track))
+        ])
+        off_fraction = float((distances > self.off_route_threshold_m).mean())
+        return AnomalyScore(
+            entity_id=trajectory.entity_id,
+            mean_off_route_m=float(distances.mean()),
+            max_off_route_m=float(distances.max()),
+            off_route_fraction=off_fraction,
+            is_anomalous=off_fraction > self.anomaly_fraction,
+        )
+
+    def score_all(self, trajectories: Sequence[Trajectory]) -> list[AnomalyScore]:
+        """Score several trajectories, most anomalous first."""
+        scores = [self.score(t) for t in trajectories]
+        scores.sort(key=lambda s: -s.off_route_fraction)
+        return scores

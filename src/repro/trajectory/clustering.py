@@ -1,0 +1,129 @@
+"""Route clustering over trajectory distance matrices.
+
+Clustering historical trajectories into routes is the substrate of
+pattern-based forecasting: a new partial trajectory is matched to its
+nearest route cluster and the cluster's medoid continuation is the
+prediction. Two standard algorithms over a precomputed distance matrix:
+k-medoids (PAM-style) and bottom-up agglomerative with average linkage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.model.trajectory import Trajectory
+from repro.trajectory.similarity import euclidean_resampled_m
+
+DistanceFn = Callable[[Trajectory, Trajectory], float]
+
+
+def distance_matrix(
+    trajectories: Sequence[Trajectory],
+    metric: DistanceFn = euclidean_resampled_m,
+) -> np.ndarray:
+    """Symmetric pairwise distance matrix under ``metric``."""
+    n = len(trajectories)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = metric(trajectories[i], trajectories[j])
+            matrix[i, j] = matrix[j, i] = d
+    return matrix
+
+
+@dataclass
+class KMedoids:
+    """PAM-style k-medoids over a precomputed distance matrix.
+
+    Attributes:
+        k: Number of clusters.
+        max_iter: Swap iterations bound.
+        seed: RNG seed for the initial medoids.
+
+    After :meth:`fit`: ``labels`` (cluster per item), ``medoids`` (item
+    indexes of the cluster centres), ``inertia`` (sum of distances to the
+    assigned medoid).
+    """
+
+    k: int
+    max_iter: int = 50
+    seed: int = 0
+    labels: np.ndarray | None = None
+    medoids: list[int] | None = None
+    inertia: float | None = None
+
+    def fit(self, matrix: np.ndarray) -> KMedoids:
+        """Cluster items given their pairwise distances."""
+        n = matrix.shape[0]
+        if self.k <= 0 or self.k > n:
+            raise ValueError(f"k={self.k} invalid for {n} items")
+        rng = np.random.default_rng(self.seed)
+        medoids = list(rng.choice(n, size=self.k, replace=False))
+
+        for __ in range(self.max_iter):
+            labels = np.argmin(matrix[:, medoids], axis=1)
+            improved = False
+            for ci in range(self.k):
+                members = np.nonzero(labels == ci)[0]
+                if len(members) == 0:
+                    continue
+                # The best medoid of a cluster minimises intra-cluster cost.
+                costs = matrix[np.ix_(members, members)].sum(axis=0)
+                best = members[int(np.argmin(costs))]
+                if best != medoids[ci]:
+                    medoids[ci] = int(best)
+                    improved = True
+            if not improved:
+                break
+
+        self.labels = np.argmin(matrix[:, medoids], axis=1)
+        self.medoids = medoids
+        self.inertia = float(matrix[np.arange(n), [medoids[c] for c in self.labels]].sum())
+        return self
+
+    def cluster_members(self, cluster: int) -> np.ndarray:
+        """Item indexes assigned to one cluster."""
+        if self.labels is None:
+            raise RuntimeError("fit() has not been called")
+        return np.nonzero(self.labels == cluster)[0]
+
+
+def agglomerative_clusters(
+    matrix: np.ndarray,
+    threshold: float,
+) -> np.ndarray:
+    """Average-linkage agglomerative clustering cut at ``threshold``.
+
+    Merges the closest pair of clusters (by mean inter-cluster distance)
+    until no pair lies within the threshold. Returns a label per item.
+    Intended for modest n (route sets), not millions of items.
+    """
+    n = matrix.shape[0]
+    clusters: list[list[int]] = [[i] for i in range(n)]
+
+    def linkage(a: list[int], b: list[int]) -> float:
+        return float(matrix[np.ix_(a, b)].mean())
+
+    while len(clusters) > 1:
+        best_pair = None
+        best_dist = threshold
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                d = linkage(clusters[i], clusters[j])
+                if d <= best_dist:
+                    best_dist = d
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        clusters[i] = clusters[i] + clusters[j]
+        del clusters[j]
+
+    labels = np.empty(n, dtype=np.int64)
+    for label, members in enumerate(clusters):
+        for item in members:
+            labels[item] = label
+    return labels

@@ -1,0 +1,132 @@
+"""Hot-spot and hot-path detection over trajectory collections.
+
+"Hot spots / paths" are among the complex phenomena the paper names. A
+hot spot is a grid cell whose visit density is anomalously high relative
+to its neighbourhood (a Getis-Ord-style z-score); a hot path is a
+frequent cell-to-cell transition chain.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.grid import GeoGrid
+from repro.model.trajectory import Trajectory
+
+
+def density_grid(
+    trajectories: Iterable[Trajectory],
+    grid: GeoGrid,
+    per_entity: bool = True,
+) -> np.ndarray:
+    """Visit counts per cell, shaped (ny, nx).
+
+    Args:
+        per_entity: When true, an entity contributes at most 1 per cell
+            (presence density); when false every sample counts (dwell
+            density).
+    """
+    counts = np.zeros((grid.ny, grid.nx), dtype=np.float64)
+    for trajectory in trajectories:
+        seen: set[tuple[int, int]] = set()
+        for i in range(len(trajectory)):
+            cell = grid.cell_of(float(trajectory.lon[i]), float(trajectory.lat[i]))
+            if per_entity:
+                if cell in seen:
+                    continue
+                seen.add(cell)
+            counts[cell[1], cell[0]] += 1.0
+    return counts
+
+
+def hotspot_cells(
+    density: np.ndarray,
+    z_threshold: float = 2.0,
+) -> list[tuple[int, int, float]]:
+    """Cells whose local Getis-Ord-style z-score exceeds the threshold.
+
+    For each cell the statistic compares the 3×3 neighbourhood sum against
+    its expectation under the global mean, normalised by the global std.
+    Returns ``(ix, iy, z)`` sorted by descending z.
+    """
+    ny, nx = density.shape
+    total_mean = float(density.mean())
+    total_std = float(density.std())
+    if total_std == 0:
+        return []
+    out: list[tuple[int, int, float]] = []
+    for iy in range(ny):
+        for ix in range(nx):
+            y0, y1 = max(0, iy - 1), min(ny, iy + 2)
+            x0, x1 = max(0, ix - 1), min(nx, ix + 2)
+            window = density[y0:y1, x0:x1]
+            n_cells = window.size
+            z = (float(window.sum()) - total_mean * n_cells) / (
+                total_std * np.sqrt(n_cells)
+            )
+            if z >= z_threshold:
+                out.append((ix, iy, float(z)))
+    out.sort(key=lambda item: -item[2])
+    return out
+
+
+def hot_paths(
+    trajectories: Iterable[Trajectory],
+    grid: GeoGrid,
+    min_support: int = 3,
+    max_length: int = 6,
+) -> list[tuple[tuple[int, ...], int]]:
+    """Frequent cell-sequence paths with at least ``min_support`` entities.
+
+    Each trajectory is mapped to its deduplicated cell-id sequence; paths
+    are contiguous subsequences up to ``max_length`` cells. Support counts
+    distinct entities (a loop by one vessel is not a hot path). Returns
+    ``(cell_id_sequence, support)`` pairs, longest and most supported
+    first, with subsumed (shorter, same-support prefix/suffix) paths
+    removed.
+    """
+    sequences: list[tuple[str, tuple[int, ...]]] = []
+    for trajectory in trajectories:
+        cells: list[int] = []
+        for i in range(len(trajectory)):
+            cid = grid.cell_id(float(trajectory.lon[i]), float(trajectory.lat[i]))
+            if not cells or cells[-1] != cid:
+                cells.append(cid)
+        sequences.append((trajectory.entity_id, tuple(cells)))
+
+    support: dict[tuple[int, ...], set[str]] = defaultdict(set)
+    for entity_id, cells in sequences:
+        n = len(cells)
+        for length in range(2, max_length + 1):
+            for start in range(0, n - length + 1):
+                support[cells[start:start + length]].add(entity_id)
+
+    frequent = [
+        (path, len(entities))
+        for path, entities in support.items()
+        if len(entities) >= min_support
+    ]
+    frequent.sort(key=lambda item: (-len(item[0]), -item[1]))
+
+    # Drop paths strictly contained in an already-kept path with >= support.
+    kept: list[tuple[tuple[int, ...], int]] = []
+    for path, count in frequent:
+        contained = any(
+            count <= kept_count and _is_subsequence(path, kept_path)
+            for kept_path, kept_count in kept
+        )
+        if not contained:
+            kept.append((path, count))
+    return kept
+
+
+def _is_subsequence(needle: Sequence[int], haystack: Sequence[int]) -> bool:
+    """Whether ``needle`` appears contiguously inside ``haystack``."""
+    n, m = len(needle), len(haystack)
+    if n > m:
+        return False
+    needle_t = tuple(needle)
+    return any(tuple(haystack[i:i + n]) == needle_t for i in range(m - n + 1))

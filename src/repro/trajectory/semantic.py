@@ -1,0 +1,149 @@
+"""Semantic trajectories: episode-structured movement.
+
+datAcron's trajectory model is *semantic*: a raw track becomes an
+alternating sequence of STOP and MOVE episodes, each annotated with the
+context it happened in (the port/zone of a stop, the heading regime of a
+move). Semantic trajectories are what the RDF layer ultimately describes
+and what human analysts read in the VA frontend.
+
+Episodes are derived from stay points (stops) and the samples between
+them (moves); zone annotation uses the world's polygons.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.polygon import Polygon
+from repro.model.trajectory import Trajectory
+from repro.trajectory.stay_points import StayPoint, detect_stay_points
+
+
+class EpisodeType(enum.Enum):
+    """The two episode kinds of a semantic trajectory."""
+
+    STOP = "stop"
+    MOVE = "move"
+
+
+@dataclass(frozen=True, slots=True)
+class Episode:
+    """One annotated episode of a semantic trajectory.
+
+    Attributes:
+        kind: STOP or MOVE.
+        t_start / t_end: Episode interval.
+        lon / lat: Representative position (stay centroid, or move
+            midpoint).
+        tags: Annotations — zone names for stops, ``heading=<octant>``
+            and ``mean_speed=<m/s>`` for moves.
+    """
+
+    kind: EpisodeType
+    t_start: float
+    t_end: float
+    lon: float
+    lat: float
+    tags: tuple[str, ...] = ()
+
+    @property
+    def duration(self) -> float:
+        """Episode length in seconds."""
+        return self.t_end - self.t_start
+
+
+@dataclass(frozen=True)
+class SemanticTrajectory:
+    """A raw trajectory lifted to its episode structure."""
+
+    entity_id: str
+    episodes: tuple[Episode, ...]
+
+    def stops(self) -> list[Episode]:
+        """The STOP episodes."""
+        return [e for e in self.episodes if e.kind is EpisodeType.STOP]
+
+    def moves(self) -> list[Episode]:
+        """The MOVE episodes."""
+        return [e for e in self.episodes if e.kind is EpisodeType.MOVE]
+
+    def describe(self) -> str:
+        """A one-episode-per-line, analyst-readable rendering."""
+        lines = [f"semantic trajectory of {self.entity_id}:"]
+        for episode in self.episodes:
+            tags = f" [{', '.join(episode.tags)}]" if episode.tags else ""
+            lines.append(
+                f"  {episode.kind.value:<4} {episode.t_start:8.0f}s → "
+                f"{episode.t_end:8.0f}s ({episode.duration / 60:5.1f} min)"
+                f" @ ({episode.lon:.3f}, {episode.lat:.3f}){tags}"
+            )
+        return "\n".join(lines)
+
+
+_OCTANTS = ("N", "NE", "E", "SE", "S", "SW", "W", "NW")
+
+
+def _heading_octant(heading_deg: float) -> str:
+    return _OCTANTS[int(((heading_deg + 22.5) % 360.0) / 45.0)]
+
+
+def build_semantic_trajectory(
+    trajectory: Trajectory,
+    zones: Sequence[Polygon] = (),
+    stay_radius_m: float = 500.0,
+    stay_min_duration_s: float = 1200.0,
+) -> SemanticTrajectory:
+    """Lift a raw trajectory into STOP/MOVE episodes.
+
+    Stops come from stay-point detection and are tagged with every zone
+    containing their centroid (``zone:<name>``); the intervals between
+    them become moves tagged with the dominant heading octant and mean
+    speed.
+    """
+    stays = detect_stay_points(trajectory, stay_radius_m, stay_min_duration_s)
+    episodes: list[Episode] = []
+    cursor = trajectory.start_time
+
+    def add_move(t_from: float, t_to: float) -> None:
+        segment = trajectory.slice_time(t_from, t_to)
+        if len(segment) < 2:
+            return
+        speeds = segment.speeds_mps()
+        headings = segment.headings_deg()
+        mean_speed = float(speeds.mean()) if len(speeds) else 0.0
+        octant = _heading_octant(float(np.median(headings))) if len(headings) else "?"
+        mid = segment.at_time((t_from + t_to) / 2.0)
+        episodes.append(
+            Episode(
+                kind=EpisodeType.MOVE,
+                t_start=segment.start_time,
+                t_end=segment.end_time,
+                lon=mid.lon,
+                lat=mid.lat,
+                tags=(f"heading={octant}", f"mean_speed={mean_speed:.1f}"),
+            )
+        )
+
+    for stay in stays:
+        add_move(cursor, stay.t_start)
+        tags = tuple(
+            f"zone:{zone.name}" for zone in zones if zone.contains(stay.lon, stay.lat)
+        )
+        episodes.append(
+            Episode(
+                kind=EpisodeType.STOP,
+                t_start=stay.t_start,
+                t_end=stay.t_end,
+                lon=stay.lon,
+                lat=stay.lat,
+                tags=tags,
+            )
+        )
+        cursor = stay.t_end
+    add_move(cursor, trajectory.end_time)
+
+    return SemanticTrajectory(entity_id=trajectory.entity_id, episodes=tuple(episodes))

@@ -1,0 +1,152 @@
+"""Trajectory similarity measures.
+
+All measures work on the spatial shape of trajectories (time is used only
+for optional resampling). Point-to-point distances are great-circle
+metres. Dynamic-programming measures accept trajectories of different
+lengths; for long inputs use :meth:`Trajectory.resample` first — the DP
+tables are O(n·m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo.geodesy import haversine_m_arrays
+from repro.model.trajectory import Trajectory
+
+
+def _pairwise_m(a: Trajectory, b: Trajectory) -> np.ndarray:
+    """n×m matrix of great-circle distances between samples."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("similarity needs non-empty trajectories")
+    lon_a = np.repeat(a.lon, m)
+    lat_a = np.repeat(a.lat, m)
+    lon_b = np.tile(b.lon, n)
+    lat_b = np.tile(b.lat, n)
+    return haversine_m_arrays(lon_a, lat_a, lon_b, lat_b).reshape(n, m)
+
+
+def dtw_distance_m(a: Trajectory, b: Trajectory, band: int | None = None) -> float:
+    """Dynamic time warping distance in metres (sum of matched distances).
+
+    Args:
+        band: Sakoe-Chiba band half-width in samples; ``None`` disables the
+            constraint. A band turns O(n·m) into O(n·band) useful work and
+            regularises pathological warpings.
+    """
+    dist = _pairwise_m(a, b)
+    n, m = dist.shape
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        if band is None:
+            j_lo, j_hi = 1, m
+        else:
+            centre = int(round(i * m / n))
+            j_lo = max(1, centre - band)
+            j_hi = min(m, centre + band)
+        for j in range(j_lo, j_hi + 1):
+            best_prev = min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+            acc[i, j] = dist[i - 1, j - 1] + best_prev
+    return float(acc[n, m])
+
+
+def frechet_distance_m(a: Trajectory, b: Trajectory) -> float:
+    """Discrete Fréchet distance in metres (min over walks of max leash)."""
+    dist = _pairwise_m(a, b)
+    n, m = dist.shape
+    acc = np.full((n, m), np.inf)
+    acc[0, 0] = dist[0, 0]
+    for i in range(1, n):
+        acc[i, 0] = max(acc[i - 1, 0], dist[i, 0])
+    for j in range(1, m):
+        acc[0, j] = max(acc[0, j - 1], dist[0, j])
+    for i in range(1, n):
+        for j in range(1, m):
+            reach = min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+            acc[i, j] = max(reach, dist[i, j])
+    return float(acc[n - 1, m - 1])
+
+
+def lcss_similarity(a: Trajectory, b: Trajectory, eps_m: float = 500.0) -> float:
+    """Longest-common-subsequence similarity in [0, 1].
+
+    Two samples "match" when within ``eps_m`` metres; the score is the LCSS
+    length normalised by the shorter trajectory. Robust to outliers —
+    unmatched noise samples simply drop out.
+    """
+    dist = _pairwise_m(a, b)
+    n, m = dist.shape
+    table = np.zeros((n + 1, m + 1), dtype=np.int64)
+    match = dist <= eps_m
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            if match[i - 1, j - 1]:
+                table[i, j] = table[i - 1, j - 1] + 1
+            else:
+                table[i, j] = max(table[i - 1, j], table[i, j - 1])
+    return float(table[n, m]) / float(min(n, m))
+
+
+def edr_distance(a: Trajectory, b: Trajectory, eps_m: float = 500.0) -> float:
+    """Edit distance on real sequences, normalised to [0, 1].
+
+    Count of edit operations (insert/delete/substitute with match
+    tolerance ``eps_m``) divided by the longer length.
+    """
+    dist = _pairwise_m(a, b)
+    n, m = dist.shape
+    table = np.zeros((n + 1, m + 1), dtype=np.int64)
+    table[:, 0] = np.arange(n + 1)
+    table[0, :] = np.arange(m + 1)
+    match = dist <= eps_m
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            sub_cost = 0 if match[i - 1, j - 1] else 1
+            table[i, j] = min(
+                table[i - 1, j - 1] + sub_cost,
+                table[i - 1, j] + 1,
+                table[i, j - 1] + 1,
+            )
+    return float(table[n, m]) / float(max(n, m))
+
+
+def hausdorff_distance_m(a: Trajectory, b: Trajectory) -> float:
+    """Symmetric Hausdorff distance in metres.
+
+    ``max(sup_a inf_b d, sup_b inf_a d)`` over sample points: how far the
+    two shapes can diverge anywhere, ignoring time and direction. Unlike
+    Fréchet it permits re-ordering, so reciprocal lanes score close —
+    use it for "same corridor" questions, Fréchet for "same path walked
+    the same way".
+    """
+    dist = _pairwise_m(a, b)
+    forward = float(dist.min(axis=1).max())
+    backward = float(dist.min(axis=0).max())
+    return max(forward, backward)
+
+
+def euclidean_resampled_m(a: Trajectory, b: Trajectory, n_samples: int = 32) -> float:
+    """Mean distance between trajectories resampled to ``n_samples`` points.
+
+    The cheapest measure: resample both to the same index lattice (by
+    normalised arc time) and average the pointwise distances. Sensitive to
+    time shifts, so use it for shape-aligned comparisons only.
+    """
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    pa = _resample_by_fraction(a, n_samples)
+    pb = _resample_by_fraction(b, n_samples)
+    d = haversine_m_arrays(pa[0], pa[1], pb[0], pb[1])
+    return float(d.mean())
+
+
+def _resample_by_fraction(t: Trajectory, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """(lon, lat) arrays at n evenly spaced fractions of the time span."""
+    if len(t) == 1:
+        return (np.full(n, float(t.lon[0])), np.full(n, float(t.lat[0])))
+    times = np.linspace(t.start_time, t.end_time, n)
+    lons = np.interp(times, t.t, t.lon)
+    lats = np.interp(times, t.t, t.lat)
+    return (lons, lats)

@@ -1,0 +1,124 @@
+"""Stay-point detection and voyage segmentation.
+
+A *stay point* is a maximal interval during which an entity remains
+within a small radius — a port call, an anchorage wait, a holding
+pattern. Stay points split a raw track into *voyages* (the movement
+episodes between stays), the unit the archival layer and route-based
+forecasting actually want.
+
+The detector is the classic Li/Zheng sliding scheme adapted to
+great-circle distances: grow a window while every sample stays within
+``radius_m`` of the window's anchor; emit a stay when the window spans at
+least ``min_duration_s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.geodesy import haversine_m
+from repro.model.trajectory import Trajectory
+
+
+@dataclass(frozen=True, slots=True)
+class StayPoint:
+    """One detected stay.
+
+    Attributes:
+        entity_id: The staying entity.
+        lon / lat: Centroid of the stay's samples.
+        t_start / t_end: The stay interval.
+        n_samples: Samples contributing to the stay.
+    """
+
+    entity_id: str
+    lon: float
+    lat: float
+    t_start: float
+    t_end: float
+    n_samples: int
+
+    @property
+    def duration(self) -> float:
+        """Stay length in seconds."""
+        return self.t_end - self.t_start
+
+
+def detect_stay_points(
+    trajectory: Trajectory,
+    radius_m: float = 500.0,
+    min_duration_s: float = 1200.0,
+) -> list[StayPoint]:
+    """Find all stay points of a trajectory.
+
+    Args:
+        radius_m: Maximum distance from the stay anchor.
+        min_duration_s: Minimum dwell time for a window to count.
+    """
+    if radius_m <= 0 or min_duration_s <= 0:
+        raise ValueError("radius and duration must be positive")
+    n = len(trajectory)
+    stays: list[StayPoint] = []
+    i = 0
+    while i < n:
+        j = i + 1
+        while j < n:
+            dist = haversine_m(
+                float(trajectory.lon[i]), float(trajectory.lat[i]),
+                float(trajectory.lon[j]), float(trajectory.lat[j]),
+            )
+            if dist > radius_m:
+                break
+            j += 1
+        span = float(trajectory.t[j - 1] - trajectory.t[i])
+        if span >= min_duration_s:
+            lon = float(trajectory.lon[i:j].mean())
+            lat = float(trajectory.lat[i:j].mean())
+            stays.append(
+                StayPoint(
+                    entity_id=trajectory.entity_id,
+                    lon=lon,
+                    lat=lat,
+                    t_start=float(trajectory.t[i]),
+                    t_end=float(trajectory.t[j - 1]),
+                    n_samples=j - i,
+                )
+            )
+            i = j
+        else:
+            i += 1
+    return stays
+
+
+def split_voyages(
+    trajectory: Trajectory,
+    stays: list[StayPoint] | None = None,
+    radius_m: float = 500.0,
+    min_duration_s: float = 1200.0,
+    min_voyage_points: int = 4,
+) -> list[Trajectory]:
+    """Cut a trajectory into voyages at its stay points.
+
+    Args:
+        stays: Precomputed stay points; detected when ``None``.
+        min_voyage_points: Shorter movement fragments are dropped.
+
+    Returns:
+        The movement segments between (and around) stays, in time order.
+    """
+    if stays is None:
+        stays = detect_stay_points(trajectory, radius_m, min_duration_s)
+    if not stays:
+        return [trajectory] if len(trajectory) >= min_voyage_points else []
+
+    voyages: list[Trajectory] = []
+    cursor = trajectory.start_time
+    for stay in stays:
+        segment = trajectory.slice_time(cursor, stay.t_start)
+        if len(segment) >= min_voyage_points:
+            voyages.append(segment)
+        cursor = stay.t_end
+    tail = trajectory.slice_time(cursor, trajectory.end_time)
+    if len(tail) >= min_voyage_points:
+        voyages.append(tail)
+    return voyages

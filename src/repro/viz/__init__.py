@@ -1,0 +1,22 @@
+"""Visual analytics backend (headless).
+
+The paper's fourth analytics pillar is "interactive Visual Analytics for
+supporting human exploration and interpretation". This package is the
+data/rendering backend a VA frontend would sit on: aggregation layers
+(density surfaces, temporal profiles) plus renderers producing standalone
+SVG files and terminal (ASCII) maps — no GUI toolkit required.
+"""
+
+from repro.viz.density import density_from_reports, temporal_profile
+from repro.viz.svg import SvgMap
+from repro.viz.ascii_map import ascii_density, ascii_trajectories
+from repro.viz.report import HtmlReport
+
+__all__ = [
+    "density_from_reports",
+    "temporal_profile",
+    "SvgMap",
+    "ascii_density",
+    "ascii_trajectories",
+    "HtmlReport",
+]

@@ -1,0 +1,71 @@
+"""Terminal (ASCII) maps for quick interactive exploration."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.trajectory import Trajectory
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_density(density: np.ndarray, max_width: int = 72) -> str:
+    """Render a density array (ny, nx) as shaded text, north at the top."""
+    ny, nx = density.shape
+    if nx > max_width:
+        # Downsample columns to fit the terminal.
+        factor = int(np.ceil(nx / max_width))
+        trimmed = density[:, : (nx // factor) * factor]
+        density = trimmed.reshape(ny, -1, factor).sum(axis=2)
+        ny, nx = density.shape
+    peak = float(density.max())
+    if peak <= 0:
+        return "\n".join(" " * nx for __ in range(ny))
+    log_peak = np.log1p(peak)
+    lines = []
+    for iy in range(ny - 1, -1, -1):  # top row = north
+        chars = []
+        for ix in range(nx):
+            value = float(density[iy, ix])
+            level = int(np.log1p(value) / log_peak * (len(_SHADES) - 1)) if value > 0 else 0
+            chars.append(_SHADES[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def ascii_trajectories(
+    trajectories: Iterable[Trajectory],
+    bbox: BBox,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Plot trajectories as characters on a text canvas.
+
+    Each trajectory uses a distinct letter (A, B, C, ...); overlaps show
+    the most recent writer. The final position of each is uppercase '#'.
+    """
+    canvas = [[" "] * width for __ in range(height)]
+    letters = "abcdefghijklmnopqrstuvwxyz"
+
+    def place(lon: float, lat: float) -> tuple[int, int] | None:
+        if not bbox.contains(lon, lat):
+            return None
+        x = int((lon - bbox.min_lon) / bbox.width * (width - 1))
+        y = int((bbox.max_lat - lat) / bbox.height * (height - 1))
+        return (x, y)
+
+    for index, trajectory in enumerate(trajectories):
+        letter = letters[index % len(letters)]
+        for i in range(len(trajectory)):
+            spot = place(float(trajectory.lon[i]), float(trajectory.lat[i]))
+            if spot is not None:
+                canvas[spot[1]][spot[0]] = letter
+        if len(trajectory):
+            spot = place(float(trajectory.lon[-1]), float(trajectory.lat[-1]))
+            if spot is not None:
+                canvas[spot[1]][spot[0]] = "#"
+    return "\n".join("".join(row) for row in canvas)

@@ -1,0 +1,39 @@
+"""Aggregation layers for visual analytics."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.geo.grid import GeoGrid
+from repro.model.reports import PositionReport
+
+
+def density_from_reports(
+    reports: Iterable[PositionReport],
+    grid: GeoGrid,
+) -> np.ndarray:
+    """Report counts per grid cell, shaped (ny, nx)."""
+    counts = np.zeros((grid.ny, grid.nx))
+    for report in reports:
+        ix, iy = grid.cell_of(report.lon, report.lat)
+        counts[iy, ix] += 1.0
+    return counts
+
+
+def temporal_profile(
+    reports: Iterable[PositionReport],
+    bucket_s: float = 600.0,
+) -> list[tuple[float, int]]:
+    """Report counts per time bucket: ``(bucket_start, count)`` sorted.
+
+    The VA frontend renders this as the activity timeline under the map.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    counts: dict[float, int] = {}
+    for report in reports:
+        bucket = (report.t // bucket_s) * bucket_s
+        counts[bucket] = counts.get(bucket, 0) + 1
+    return sorted(counts.items())

@@ -1,0 +1,180 @@
+"""Standalone SVG map rendering (no external dependencies).
+
+:class:`SvgMap` accumulates layers — density heatmap, zone polygons,
+trajectories, event markers — over a geographic bounding box and renders
+one self-contained SVG document.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.geo.polygon import Polygon
+from repro.model.events import ComplexEvent, SimpleEvent
+from repro.model.trajectory import Trajectory
+
+_TRAJECTORY_COLORS = (
+    "#1b6ca8", "#c0392b", "#27ae60", "#8e44ad", "#d35400",
+    "#16a085", "#7f8c8d", "#2c3e50", "#e67e22", "#2980b9",
+)
+
+
+class SvgMap:
+    """Builds an SVG map of a geographic area layer by layer."""
+
+    def __init__(self, bbox: BBox, width_px: int = 900) -> None:
+        if width_px <= 0:
+            raise ValueError("width_px must be positive")
+        if bbox.width <= 0 or bbox.height <= 0:
+            raise ValueError("bbox must have positive extent")
+        self.bbox = bbox
+        self.width = width_px
+        self.height = max(1, int(width_px * bbox.height / bbox.width))
+        self._elements: list[str] = []
+
+    # -- projection -----------------------------------------------------------
+
+    def _xy(self, lon: float, lat: float) -> tuple[float, float]:
+        x = (lon - self.bbox.min_lon) / self.bbox.width * self.width
+        y = (self.bbox.max_lat - lat) / self.bbox.height * self.height
+        return (round(x, 2), round(y, 2))
+
+    # -- layers -----------------------------------------------------------------
+
+    def add_density(self, density: np.ndarray, grid: GeoGrid, opacity: float = 0.7) -> None:
+        """A heatmap layer: one rect per non-empty cell, log-scaled blue."""
+        if density.shape != (grid.ny, grid.nx):
+            raise ValueError("density shape must be (ny, nx) of the grid")
+        peak = float(density.max())
+        if peak <= 0:
+            return
+        log_peak = np.log1p(peak)
+        for iy in range(grid.ny):
+            for ix in range(grid.nx):
+                value = float(density[iy, ix])
+                if value <= 0:
+                    continue
+                cell = grid.cell_bbox(ix, iy)
+                x, y = self._xy(cell.min_lon, cell.max_lat)
+                x2, y2 = self._xy(cell.max_lon, cell.min_lat)
+                intensity = np.log1p(value) / log_peak
+                self._elements.append(
+                    f'<rect x="{x}" y="{y}" width="{round(x2 - x, 2)}" '
+                    f'height="{round(y2 - y, 2)}" fill="#08519c" '
+                    f'fill-opacity="{round(opacity * intensity, 3)}"/>'
+                )
+
+    def add_zone(self, zone: Polygon, color: str = "#c0392b") -> None:
+        """A zone polygon layer with its name as a tooltip."""
+        points = " ".join(f"{x},{y}" for x, y in (self._xy(*p) for p in zone.ring))
+        name = html.escape(zone.name)
+        self._elements.append(
+            f'<polygon points="{points}" fill="{color}" fill-opacity="0.15" '
+            f'stroke="{color}" stroke-width="1.5"><title>{name}</title></polygon>'
+        )
+
+    def add_trajectory(self, trajectory: Trajectory, color: str | None = None) -> None:
+        """A trajectory polyline with a dot at its final position."""
+        if len(trajectory) == 0:
+            return
+        if color is None:
+            color = _TRAJECTORY_COLORS[hash(trajectory.entity_id) % len(_TRAJECTORY_COLORS)]
+        points = " ".join(
+            f"{x},{y}"
+            for x, y in (
+                self._xy(float(trajectory.lon[i]), float(trajectory.lat[i]))
+                for i in range(len(trajectory))
+            )
+        )
+        name = html.escape(trajectory.entity_id)
+        self._elements.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            f'stroke-width="1.2" stroke-opacity="0.85"><title>{name}</title></polyline>'
+        )
+        x, y = self._xy(float(trajectory.lon[-1]), float(trajectory.lat[-1]))
+        self._elements.append(f'<circle cx="{x}" cy="{y}" r="2.5" fill="{color}"/>')
+
+    def add_trajectories(self, trajectories: Iterable[Trajectory]) -> None:
+        """Several trajectories with automatic colours."""
+        for trajectory in trajectories:
+            self.add_trajectory(trajectory)
+
+    def add_event(self, event: SimpleEvent | ComplexEvent, color: str = "#e74c3c") -> None:
+        """An event marker (circle with type tooltip)."""
+        if isinstance(event, SimpleEvent):
+            lon, lat = event.lon, event.lat
+            label = f"{event.event_type} @ {event.t:.0f}s"
+        else:
+            first = event.contributing[0] if event.contributing else None
+            if first is None:
+                return
+            lon, lat = first.lon, first.lat
+            label = f"{event.event_type} [{', '.join(event.entity_ids)}] @ {event.t_end:.0f}s"
+        x, y = self._xy(lon, lat)
+        self._elements.append(
+            f'<circle cx="{x}" cy="{y}" r="5" fill="none" stroke="{color}" '
+            f'stroke-width="2"><title>{html.escape(label)}</title></circle>'
+        )
+
+    def add_prediction(
+        self,
+        lon: float,
+        lat: float,
+        radius_m: float,
+        label: str = "",
+        color: str = "#8e44ad",
+    ) -> None:
+        """A predicted position with its uncertainty ring.
+
+        The ring radius is converted from metres to pixels through the
+        map's longitudinal scale at the prediction's latitude.
+        """
+        import math
+
+        from repro.geo.geodesy import EARTH_RADIUS_M
+
+        x, y = self._xy(lon, lat)
+        metres_per_deg = (
+            math.pi / 180.0 * EARTH_RADIUS_M * max(0.1, math.cos(math.radians(lat)))
+        )
+        px_per_deg = self.width / self.bbox.width
+        radius_px = max(2.0, radius_m / metres_per_deg * px_per_deg)
+        title = html.escape(label or f"prediction ±{radius_m:.0f} m")
+        self._elements.append(
+            f'<circle cx="{x}" cy="{y}" r="{radius_px:.1f}" fill="{color}" '
+            f'fill-opacity="0.12" stroke="{color}" stroke-dasharray="4 3" '
+            f'stroke-width="1.2"><title>{title}</title></circle>'
+        )
+        self._elements.append(
+            f'<circle cx="{x}" cy="{y}" r="3" fill="{color}"/>'
+        )
+
+    def add_label(self, lon: float, lat: float, text: str, size_px: int = 11) -> None:
+        """A text label anchored at a position."""
+        x, y = self._xy(lon, lat)
+        self._elements.append(
+            f'<text x="{x}" y="{y}" font-size="{size_px}" '
+            f'font-family="sans-serif" fill="#333">{html.escape(text)}</text>'
+        )
+
+    # -- output -----------------------------------------------------------------
+
+    def render(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="{self.width}" height="{self.height}" fill="#f7fbff"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        """Write the SVG document to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render())

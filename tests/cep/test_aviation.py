@@ -1,0 +1,136 @@
+"""Aviation-specific detectors: level bust and holding pattern."""
+
+import math
+
+import pytest
+
+from repro.cep.aviation import HoldingPatternDetector, LevelBustDetector
+from repro.model.reports import PositionReport
+
+
+def flight_report(entity="F1", t=0.0, lon=5.0, lat=45.0, alt=10_000.0, heading=None):
+    return PositionReport(
+        entity_id=entity, t=t, lon=lon, lat=lat, alt=alt, heading=heading
+    )
+
+
+def level_then_ramp(detector, rate_m_per_10s, level_samples=40, ramp_samples=40):
+    events = []
+    for i in range(level_samples + ramp_samples):
+        if i < level_samples:
+            alt = 10_000.0
+        else:
+            alt = 10_000.0 + rate_m_per_10s * (i - level_samples)
+        events.extend(
+            detector.process(flight_report(t=10.0 * i, lon=5.0 + 0.01 * i, alt=alt))
+        )
+    return events
+
+
+class TestLevelBust:
+    def test_rapid_departure_alerts(self):
+        events = level_then_ramp(LevelBustDetector(), rate_m_per_10s=15.0)
+        assert [e.event_type for e in events] == ["level_bust"]
+        assert abs(events[0].attributes["deviation_m"]) >= 90.0
+
+    def test_noise_within_band_silent(self):
+        detector = LevelBustDetector(level_band_m=60.0)
+        events = []
+        for i in range(80):
+            alt = 10_000.0 + (25.0 if i % 2 else -25.0)  # ±25 m jitter
+            events.extend(
+                detector.process(flight_report(t=10.0 * i, lon=5.0 + 0.01 * i, alt=alt))
+            )
+        assert events == []
+
+    def test_very_slow_drift_is_level_change(self):
+        # 1 m per 10 s: reaching the 90 m threshold takes 300 s after
+        # leaving the 60 m band — beyond the 120 s grace → no alarm.
+        events = level_then_ramp(
+            LevelBustDetector(grace_s=120.0), rate_m_per_10s=1.0, ramp_samples=400
+        )
+        assert events == []
+
+    def test_reestablishes_after_change(self):
+        detector = LevelBustDetector(establish_s=100.0)
+        level_then_ramp(detector, rate_m_per_10s=15.0, ramp_samples=20)
+        # Hold the new altitude; the detector should re-establish there.
+        base_t = 600.0
+        for i in range(30):
+            detector.process(
+                flight_report(t=base_t + 10.0 * i, lon=6.0 + 0.01 * i, alt=10_300.0)
+            )
+        assert detector.established_level("F1") == pytest.approx(10_300.0, abs=60.0)
+
+    def test_refractory(self):
+        detector = LevelBustDetector(refractory_s=1e9, establish_s=50.0)
+        events = level_then_ramp(detector, rate_m_per_10s=20.0)
+        # Re-established and busted again would be suppressed by refractory.
+        more = level_then_ramp(detector, rate_m_per_10s=20.0)
+        assert len(events) + len(more) == 1
+
+    def test_2d_reports_ignored(self):
+        detector = LevelBustDetector()
+        assert detector.process(flight_report(alt=None)) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LevelBustDetector(level_band_m=100.0, bust_threshold_m=50.0)
+
+
+def circling_reports(entity="F2", n=80, deg_per_step=12.0, radius_deg=0.02):
+    out = []
+    for i in range(n):
+        angle = i * deg_per_step
+        lon = 8.0 + radius_deg * math.cos(math.radians(angle))
+        lat = 47.0 + radius_deg * math.sin(math.radians(angle))
+        out.append(
+            flight_report(
+                entity=entity, t=10.0 * i, lon=lon, lat=lat,
+                heading=(angle + 90.0) % 360.0,
+            )
+        )
+    return out
+
+
+class TestHoldingPattern:
+    def test_circling_detected(self):
+        detector = HoldingPatternDetector(window_s=600.0, min_total_turn_deg=300.0)
+        events = []
+        for report in circling_reports():
+            events.extend(detector.process(report))
+        assert events
+        assert events[0].event_type == "holding_pattern"
+        assert events[0].attributes["total_turn_deg"] >= 300.0
+
+    def test_straight_flight_silent(self):
+        detector = HoldingPatternDetector()
+        events = []
+        for i in range(100):
+            events.extend(
+                detector.process(
+                    flight_report(t=10.0 * i, lon=5.0 + 0.02 * i, heading=90.0)
+                )
+            )
+        assert events == []
+
+    def test_turning_but_covering_ground_silent(self):
+        # A big sweeping turn across a wide area is not a hold.
+        detector = HoldingPatternDetector(radius_m=5_000.0)
+        events = []
+        for report in circling_reports(radius_deg=1.5, deg_per_step=6.0):
+            events.extend(detector.process(report))
+        assert events == []
+
+    def test_refractory_limits_alerts(self):
+        detector = HoldingPatternDetector(
+            window_s=600.0, min_total_turn_deg=300.0, refractory_s=1e9
+        )
+        events = []
+        for report in circling_reports(n=200):
+            events.extend(detector.process(report))
+        assert len(events) == 1
+
+    def test_heading_required(self):
+        detector = HoldingPatternDetector()
+        assert detector.process(flight_report(heading=None)) == []

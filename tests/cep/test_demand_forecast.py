@@ -1,0 +1,123 @@
+"""Sector capacity-demand forecasting."""
+
+import pytest
+
+from repro.cep.demand_forecast import SectorDemandForecaster, actual_occupancy
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.geo.bbox import BBox
+from repro.geo.polygon import Polygon
+from repro.model.reports import PositionReport
+from repro.model.trajectory import Trajectory
+
+
+EAST_SECTOR = Polygon.rectangle("east", BBox(24.5, 36.5, 26.0, 38.0))
+WEST_SECTOR = Polygon.rectangle("west", BBox(22.0, 36.5, 24.5, 38.0))
+
+
+def eastbound_reports(entity, n=20, lon0=24.0, t0=0.0):
+    """~8.9 m/s east: crosses from west into the east sector at lon 24.5."""
+    return [
+        PositionReport(
+            entity_id=entity, t=t0 + 10.0 * i, lon=lon0 + 0.001 * i, lat=37.0,
+            speed=8.9, heading=90.0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestForecast:
+    def test_predicts_sector_crossing(self):
+        forecaster = SectorDemandForecaster(
+            [EAST_SECTOR, WEST_SECTOR], DeadReckoningPredictor(), capacity=1
+        )
+        # At lon ~24.42 after 20 reports; the east boundary (24.5) is
+        # ~7.1 km ahead → ~800 s at 8.9 m/s.
+        forecaster.observe_all(eastbound_reports("F1", n=20, lon0=24.4))
+        now = 190.0
+        short = forecaster.forecast(now, 60.0)
+        assert {d.sector for d in short} == {"west"}
+        long = forecaster.forecast(now, 1800.0)
+        assert {d.sector for d in long} == {"east"}
+
+    def test_overload_event_raised_ahead(self):
+        forecaster = SectorDemandForecaster(
+            [EAST_SECTOR, WEST_SECTOR], DeadReckoningPredictor(), capacity=2
+        )
+        for i in range(4):
+            forecaster.observe_all(eastbound_reports(f"F{i}", n=20, lon0=24.4))
+        events = forecaster.forecast_events(190.0, 1800.0)
+        assert len(events) == 1
+        event = events[0]
+        assert event.event_type == "capacity_demand_forecast"
+        assert event.attributes["sector"] == "east"
+        assert event.attributes["expected_count"] == 4
+        assert len(event.entity_ids) == 4
+
+    def test_under_capacity_no_event(self):
+        forecaster = SectorDemandForecaster(
+            [EAST_SECTOR], DeadReckoningPredictor(), capacity=10
+        )
+        forecaster.observe_all(eastbound_reports("F1"))
+        assert forecaster.forecast_events(190.0, 600.0) == []
+
+    def test_stale_entities_excluded(self):
+        forecaster = SectorDemandForecaster(
+            [EAST_SECTOR, WEST_SECTOR], DeadReckoningPredictor(), capacity=1
+        )
+        forecaster.observe_all(eastbound_reports("OLD", n=20, t0=0.0))
+        now = 10_000.0  # far past the last report
+        assert forecaster.active_entities(now) == []
+        assert forecaster.forecast(now, 600.0) == []
+
+    def test_short_history_skipped(self):
+        forecaster = SectorDemandForecaster(
+            [WEST_SECTOR], DeadReckoningPredictor(), capacity=1, min_history_s=300.0
+        )
+        forecaster.observe_all(eastbound_reports("F1", n=3))  # 20 s of history
+        assert forecaster.forecast(25.0, 60.0) == []
+
+    def test_out_of_order_reports_ignored(self):
+        forecaster = SectorDemandForecaster(
+            [WEST_SECTOR], DeadReckoningPredictor(), capacity=1
+        )
+        reports = eastbound_reports("F1", n=10)
+        forecaster.observe_all(reports)
+        forecaster.observe(reports[0])  # stale replay
+        assert len(forecaster._tracks["F1"]) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SectorDemandForecaster([EAST_SECTOR], DeadReckoningPredictor(), capacity=0)
+        forecaster = SectorDemandForecaster(
+            [EAST_SECTOR], DeadReckoningPredictor(), capacity=1
+        )
+        with pytest.raises(ValueError):
+            forecaster.forecast(0.0, -1.0)
+
+
+class TestActualOccupancy:
+    def test_ground_truth_counting(self):
+        truth = {
+            "A": Trajectory("A", [0, 100], [24.6, 24.7], [37.0, 37.0]),
+            "B": Trajectory("B", [0, 100], [23.0, 23.1], [37.0, 37.0]),
+            "C": Trajectory("C", [500, 600], [24.6, 24.7], [37.0, 37.0]),  # later
+        }
+        occupancy = actual_occupancy(truth, [EAST_SECTOR, WEST_SECTOR], t=50.0)
+        assert occupancy["east"] == {"A"}
+        assert occupancy["west"] == {"B"}
+
+    def test_forecast_agrees_with_truth_on_fleet(self, aviation_sample):
+        forecaster = SectorDemandForecaster(
+            aviation_sample.world.sectors, DeadReckoningPredictor(), capacity=3
+        )
+        now = 2400.0
+        forecaster.observe_all(r for r in aviation_sample.reports if r.t <= now)
+        horizon = 300.0
+        forecast = {
+            d.sector: d.expected_count for d in forecaster.forecast(now, horizon)
+        }
+        truth = actual_occupancy(
+            aviation_sample.truth, aviation_sample.world.sectors, now + horizon
+        )
+        for sector, count in forecast.items():
+            assert abs(count - len(truth.get(sector, set()))) <= 1

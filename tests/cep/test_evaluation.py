@@ -1,0 +1,84 @@
+"""Detection scoring against scripted ground truth."""
+
+import pytest
+
+from repro.cep.evaluation import DetectionScore, match_events, promote
+from repro.model.events import ComplexEvent, SimpleEvent
+from repro.sources.scenarios import ExpectedEvent
+
+
+def detection(event_type="collision_risk", entities=("A", "B"), t=100.0):
+    return ComplexEvent(event_type, tuple(entities), t, t)
+
+
+def expected(event_type="collision_risk", entities=("A", "B"), t_from=50.0, t_to=150.0):
+    return ExpectedEvent(event_type, tuple(entities), t_from, t_to)
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        score = match_events([detection()], [expected()])
+        assert score.true_positives == 1
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert score.mean_latency_s == pytest.approx(50.0)
+
+    def test_type_mismatch(self):
+        score = match_events([detection(event_type="rendezvous")], [expected()])
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+
+    def test_time_window_enforced(self):
+        score = match_events([detection(t=500.0)], [expected()])
+        assert score.true_positives == 0
+
+    def test_entity_subset_allowed(self):
+        # Detection may include extra entities (e.g. a convoy) as long as
+        # the expected pair is covered.
+        score = match_events(
+            [detection(entities=("A", "B", "C"))], [expected(entities=("A", "B"))]
+        )
+        assert score.true_positives == 1
+
+    def test_missing_entity_fails(self):
+        score = match_events([detection(entities=("A",))], [expected()])
+        assert score.true_positives == 0
+
+    def test_repeated_alerts_not_false_positives(self):
+        repeats = [detection(t=t) for t in (100.0, 110.0, 120.0)]
+        score = match_events(repeats, [expected()])
+        assert score.true_positives == 1
+        assert score.false_positives == 0
+
+    def test_each_expectation_needs_own_detection(self):
+        two_expected = [expected(), expected(entities=("C", "D"))]
+        score = match_events([detection()], two_expected)
+        assert score.true_positives == 1
+        assert score.false_negatives == 1
+
+    def test_empty_both(self):
+        score = match_events([], [])
+        assert score.precision == 1.0 and score.recall == 1.0
+
+
+class TestScoreProperties:
+    def test_f1(self):
+        score = DetectionScore(
+            true_positives=2, false_negatives=1, false_positives=1, mean_latency_s=0.0
+        )
+        assert score.precision == pytest.approx(2 / 3)
+        assert score.recall == pytest.approx(2 / 3)
+        assert score.f1 == pytest.approx(2 / 3)
+
+    def test_f1_degenerate(self):
+        score = DetectionScore(0, 0, 0, 0.0)
+        assert score.f1 > 0  # P=R=1 by convention
+
+
+class TestPromote:
+    def test_simple_to_complex(self):
+        simple = SimpleEvent("zone_entry", "V1", 10.0, 24.0, 37.0)
+        lifted = promote(simple)
+        assert lifted.event_type == "zone_entry"
+        assert lifted.entity_ids == ("V1",)
+        assert lifted.t_start == lifted.t_end == 10.0
+        assert lifted.contributing == (simple,)

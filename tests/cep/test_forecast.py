@@ -1,0 +1,135 @@
+"""Automaton-based event forecasting."""
+
+import pytest
+
+from repro.cep.forecast import PatternForecaster
+from repro.cep.nfa import PatternEngine
+from repro.cep.patterns import Atom, Neg, Seq
+from repro.model.events import SimpleEvent
+
+
+def ev(event_type, t, entity="X"):
+    return SimpleEvent(event_type, entity, t, 24.0, 37.0)
+
+
+def training_stream(pattern_frac=0.5, n=200):
+    """A stream where 'a' is often followed by 'b' (completion prob high)."""
+    out = []
+    t = 0.0
+    for i in range(n):
+        t += 1.0
+        if i % 2 == 0:
+            out.append(ev("a", t))
+        elif (i // 2) % int(1 / pattern_frac) == 0:
+            out.append(ev("b", t))
+        else:
+            out.append(ev("noise", t))
+    return out
+
+
+@pytest.fixture()
+def ab_engine():
+    return PatternEngine(Atom("a").then(Atom("b")), window_s=1e6, name="ab")
+
+
+class TestTraining:
+    def test_fit_required(self, ab_engine):
+        forecaster = PatternForecaster(ab_engine)
+        with pytest.raises(RuntimeError):
+            forecaster.forecast_for_key("X", 0.0)
+
+    def test_empty_training_rejected(self, ab_engine):
+        with pytest.raises(ValueError):
+            PatternForecaster(ab_engine).fit([])
+
+    def test_parameter_validation(self, ab_engine):
+        with pytest.raises(ValueError):
+            PatternForecaster(ab_engine, horizon_events=0)
+        with pytest.raises(ValueError):
+            PatternForecaster(ab_engine, threshold=0.0)
+
+
+class TestReachProbabilities:
+    def test_accept_state_probability_one(self, ab_engine):
+        forecaster = PatternForecaster(ab_engine, horizon_events=3).fit(training_stream())
+        accept = next(iter(ab_engine.nfa.accepts))
+        assert forecaster.completion_probability(accept) == 1.0
+
+    def test_probability_increases_with_horizon(self):
+        engine_short = PatternEngine(Atom("a").then(Atom("b")), window_s=1e6)
+        engine_long = PatternEngine(Atom("a").then(Atom("b")), window_s=1e6)
+        stream = training_stream()
+        near = PatternForecaster(engine_short, horizon_events=1).fit(stream)
+        far = PatternForecaster(engine_long, horizon_events=10).fit(stream)
+        # State 1 = after 'a', waiting for 'b'.
+        assert far.completion_probability(1) >= near.completion_probability(1)
+
+    def test_rare_event_low_probability(self):
+        engine = PatternEngine(Atom("a").then(Atom("rare")), window_s=1e6)
+        stream = training_stream() + [ev("rare", 9_999.0)]
+        forecaster = PatternForecaster(engine, horizon_events=2).fit(stream)
+        assert forecaster.completion_probability(1) < 0.05
+
+    def test_negation_reduces_probability(self):
+        plain_engine = PatternEngine(Atom("a").then(Atom("b")), window_s=1e6)
+        negated = Seq((Atom("a"), Neg(Atom("noise")), Atom("b")))
+        neg_engine = PatternEngine(negated, window_s=1e6)
+        stream = training_stream()
+        p_plain = PatternForecaster(plain_engine, horizon_events=5).fit(stream)
+        p_neg = PatternForecaster(neg_engine, horizon_events=5).fit(stream)
+        assert p_neg.completion_probability(1) < p_plain.completion_probability(1)
+
+
+class TestRuntimeForecasts:
+    def test_forecast_after_partial_match(self, ab_engine):
+        forecaster = PatternForecaster(
+            ab_engine, horizon_events=5, threshold=0.3
+        ).fit(training_stream())
+        forecasts = forecaster.process(ev("a", 1.0, entity="Y"))
+        assert len(forecasts) == 1
+        forecast = forecasts[0]
+        assert forecast.pattern_name == "ab"
+        assert forecast.key == "Y"
+        assert 0.3 <= forecast.probability <= 1.0
+
+    def test_no_forecast_without_partial_match(self, ab_engine):
+        forecaster = PatternForecaster(ab_engine, threshold=0.1).fit(training_stream())
+        assert forecaster.process(ev("noise", 1.0, entity="Z")) == []
+
+    def test_threshold_suppresses(self):
+        engine = PatternEngine(Atom("a").then(Atom("rare")), window_s=1e6)
+        stream = training_stream() + [ev("rare", 9_999.0)]
+        forecaster = PatternForecaster(engine, threshold=0.9).fit(stream)
+        assert forecaster.process(ev("a", 1.0, entity="Q")) == []
+
+    def test_expected_by_derived_from_cadence(self, ab_engine):
+        # Training events for key X arrive 1 s apart (see training_stream),
+        # so horizon×1s is the expected completion window.
+        forecaster = PatternForecaster(
+            ab_engine, horizon_events=5, threshold=0.2
+        ).fit(training_stream())
+        (forecast,) = forecaster.process(ev("a", 100.0, entity="Y"))
+        assert forecaster.mean_interevent_s == pytest.approx(1.0)
+        assert forecast.expected_by == pytest.approx(105.0)
+
+    def test_expected_by_none_without_cadence(self, ab_engine):
+        # One training event per key: types are learnable but no key has
+        # two timestamps, so there is no measurable cadence.
+        training = [
+            ev("a" if i % 2 else "b", 0.0, entity=f"K{i}") for i in range(20)
+        ]
+        forecaster = PatternForecaster(
+            ab_engine, horizon_events=5, threshold=0.2
+        ).fit(training)
+        assert forecaster.mean_interevent_s is None
+        (forecast,) = forecaster.process(ev("a", 1.0, entity="Z"))
+        assert forecast.expected_by is None
+
+    def test_refractory_suppresses_repeats(self, ab_engine):
+        forecaster = PatternForecaster(
+            ab_engine, threshold=0.2, refractory_events=100
+        ).fit(training_stream())
+        first = forecaster.process(ev("a", 1.0, entity="R"))
+        assert len(first) == 1
+        again = forecaster.process(ev("noise", 2.0, entity="R"))
+        assert again == []

@@ -1,0 +1,135 @@
+"""The predefined domain pattern library."""
+
+import pytest
+
+from repro.cep.library import (
+    all_patterns,
+    blackout_reappear_elsewhere,
+    dark_activity,
+    gap_near_zone,
+    shadowing,
+    zigzag,
+)
+from repro.geo.geodesy import destination_point
+from repro.model.events import SimpleEvent
+
+
+def ev(event_type, t, entity="X", lon=24.0, lat=37.0, **attrs):
+    return SimpleEvent(event_type, entity, t, lon, lat, attributes=attrs)
+
+
+class TestDarkActivity:
+    def test_full_signature_matches(self):
+        engine = dark_activity()
+        matches = engine.process_all([
+            ev("stop_begin", 0.0),
+            ev("gap_start", 100.0),
+            ev("gap_end", 900.0),
+        ])
+        assert len(matches) == 1
+        assert matches[0].pattern_name == "dark_activity"
+
+    def test_movement_before_gap_blocks(self):
+        engine = dark_activity()
+        matches = engine.process_all([
+            ev("stop_begin", 0.0),
+            ev("stop_end", 50.0),   # resumed movement: not dark activity
+            ev("gap_start", 100.0),
+            ev("gap_end", 900.0),
+        ])
+        assert matches == []
+
+
+class TestGapNearZone:
+    def test_entry_then_gap(self):
+        engine = gap_near_zone()
+        matches = engine.process_all([
+            ev("zone_entry", 0.0, zone="natura_protected"),
+            ev("gap_start", 500.0),
+        ])
+        assert len(matches) == 1
+
+    def test_exit_before_gap_blocks(self):
+        engine = gap_near_zone()
+        matches = engine.process_all([
+            ev("zone_entry", 0.0, zone="natura_protected"),
+            ev("zone_exit", 100.0, zone="natura_protected"),
+            ev("gap_start", 500.0),
+        ])
+        assert matches == []
+
+    def test_zone_prefix_filter(self):
+        engine = gap_near_zone(zone_prefix="natura")
+        matches = engine.process_all([
+            ev("zone_entry", 0.0, zone="anchorage"),
+            ev("gap_start", 500.0),
+        ])
+        assert matches == []
+
+
+class TestShadowing:
+    def test_constant_counterpart_matches(self):
+        engine = shadowing(max_gap_events=3)
+        matches = engine.process_all([
+            ev("proximity", t, other="TARGET") for t in (0.0, 100.0, 200.0)
+        ])
+        assert len(matches) == 1
+
+    def test_different_counterparts_do_not_match(self):
+        engine = shadowing(max_gap_events=3)
+        matches = engine.process_all([
+            ev("proximity", 0.0, other="A"),
+            ev("proximity", 100.0, other="B"),
+            ev("proximity", 200.0, other="C"),
+        ])
+        assert matches == []
+
+    def test_window_expiry(self):
+        engine = shadowing(max_gap_events=3, window_s=150.0)
+        matches = engine.process_all([
+            ev("proximity", t, other="TARGET") for t in (0.0, 100.0, 400.0)
+        ])
+        assert matches == []
+
+
+class TestZigzag:
+    def test_alternating_stops(self):
+        engine = zigzag(min_turns=4)
+        events = []
+        for i in range(4):
+            etype = "stop_begin" if i % 2 == 0 else "stop_end"
+            events.append(ev(etype, 100.0 * i))
+        matches = engine.process_all(events)
+        assert matches
+
+
+class TestBlackoutReappearElsewhere:
+    def test_long_jump_matches(self):
+        engine = blackout_reappear_elsewhere(min_jump_m=10_000.0)
+        far_lon, far_lat = destination_point(24.0, 37.0, 90.0, 20_000.0)
+        matches = engine.process_all([
+            ev("gap_start", 0.0, lon=24.0, lat=37.0),
+            ev("gap_end", 3600.0, lon=far_lon, lat=far_lat),
+        ])
+        assert len(matches) == 1
+
+    def test_short_jump_does_not(self):
+        engine = blackout_reappear_elsewhere(min_jump_m=10_000.0)
+        near_lon, near_lat = destination_point(24.0, 37.0, 90.0, 500.0)
+        matches = engine.process_all([
+            ev("gap_start", 0.0, lon=24.0, lat=37.0),
+            ev("gap_end", 3600.0, lon=near_lon, lat=near_lat),
+        ])
+        assert matches == []
+
+
+class TestRegistry:
+    def test_all_patterns_fresh_and_named(self):
+        patterns = all_patterns()
+        assert set(patterns) == {
+            "dark_activity", "gap_near_zone", "shadowing", "zigzag",
+            "blackout_reappear_elsewhere",
+        }
+        # Fresh engines: no shared run state between calls.
+        again = all_patterns()
+        assert patterns["dark_activity"] is not again["dark_activity"]

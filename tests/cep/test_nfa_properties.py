@@ -1,0 +1,94 @@
+"""Property tests: the NFA engine against brute-force reference models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cep.nfa import PatternEngine
+from repro.cep.patterns import Atom, Neg, Seq
+from repro.model.events import SimpleEvent
+
+TYPES = ("a", "b", "c", "x")
+
+
+def stream(type_indices):
+    return [
+        SimpleEvent(TYPES[idx], "K", float(t), 24.0, 37.0)
+        for t, idx in enumerate(type_indices)
+    ]
+
+
+def reference_seq_match(events, wanted, window):
+    """Brute force: does any in-order, within-window assignment exist?"""
+    n = len(events)
+
+    def search(start, need, anchor_t):
+        if not need:
+            return True
+        for i in range(start, n):
+            event = events[i]
+            if anchor_t is not None and event.t - anchor_t > window:
+                return False
+            if event.event_type == need[0]:
+                first_t = event.t if anchor_t is None else anchor_t
+                if search(i + 1, need[1:], first_t):
+                    return True
+        return False
+
+    return search(0, list(wanted), None)
+
+
+def reference_neg_match(events, first, forbidden, last, window):
+    """Brute force for Seq((first, Neg(forbidden), last))."""
+    n = len(events)
+    for i in range(n):
+        if events[i].event_type != first:
+            continue
+        for j in range(i + 1, n):
+            if events[j].t - events[i].t > window:
+                break
+            if events[j].event_type == forbidden:
+                break  # this anchor is dead from here on
+            if events[j].event_type == last:
+                return True
+    return False
+
+
+class TestSequenceAgainstReference:
+    @given(
+        type_indices=st.lists(st.integers(0, 3), min_size=0, max_size=24),
+        wanted=st.lists(st.integers(0, 2), min_size=2, max_size=3),
+        window=st.integers(2, 30),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_match_existence_agrees(self, type_indices, wanted, window):
+        events = stream(type_indices)
+        wanted_types = [TYPES[i] for i in wanted]
+        pattern = Seq(tuple(Atom(t) for t in wanted_types))
+        engine = PatternEngine(pattern, window_s=float(window))
+        matches = engine.process_all(events)
+        expected = reference_seq_match(events, wanted_types, float(window))
+        assert bool(matches) == expected
+
+    @given(
+        type_indices=st.lists(st.integers(0, 3), min_size=0, max_size=20),
+        window=st.integers(2, 25),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_negation_agrees(self, type_indices, window):
+        events = stream(type_indices)
+        pattern = Seq((Atom("a"), Neg(Atom("x")), Atom("b")))
+        engine = PatternEngine(pattern, window_s=float(window))
+        matches = engine.process_all(events)
+        expected = reference_neg_match(events, "a", "x", "b", float(window))
+        assert bool(matches) == expected
+
+    @given(type_indices=st.lists(st.integers(0, 3), min_size=0, max_size=24))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_are_well_formed(self, type_indices):
+        events = stream(type_indices)
+        pattern = Seq((Atom("a"), Atom("b")))
+        engine = PatternEngine(pattern, window_s=10.0)
+        for match in engine.process_all(events):
+            assert [e.event_type for e in match.events] == ["a", "b"]
+            assert match.events[0].t < match.events[1].t
+            assert match.t_end - match.t_start <= 10.0

@@ -1,0 +1,179 @@
+"""Pattern algebra and the NFA engine."""
+
+import pytest
+
+from repro.cep.nfa import NFA, PatternEngine
+from repro.cep.patterns import Atom, Iter, MatchContext, Neg, Or, Seq
+from repro.model.events import SimpleEvent
+
+
+def ev(event_type, t, entity="X", **attrs):
+    return SimpleEvent(event_type, entity, t, 24.0, 37.0, attributes=attrs)
+
+
+class TestPatternAlgebra:
+    def test_seq_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            Seq((Atom("a"),))
+
+    def test_then_flattens(self):
+        p = Atom("a").then(Atom("b")).then(Atom("c"))
+        assert isinstance(p, Seq)
+        assert len(p.parts) == 3
+
+    def test_or_operator(self):
+        p = Atom("a") | Atom("b")
+        assert isinstance(p, Or)
+
+    def test_iter_bounds(self):
+        with pytest.raises(ValueError):
+            Iter(Atom("a"), min_count=0)
+        with pytest.raises(ValueError):
+            Iter(Atom("a"), min_count=3, max_count=2)
+
+    def test_atom_guard(self):
+        atom = Atom("a", guard=lambda e, ctx: e.attributes.get("v", 0) > 5)
+        assert atom.matches(ev("a", 0.0, v=10), MatchContext())
+        assert not atom.matches(ev("a", 0.0, v=1), MatchContext())
+        assert not atom.matches(ev("b", 0.0, v=10), MatchContext())
+
+
+class TestCompilation:
+    def test_atom_nfa(self):
+        nfa = NFA.compile(Atom("a"))
+        assert nfa.n_states == 2
+        assert nfa.accepts
+
+    def test_neg_outside_seq_rejected(self):
+        with pytest.raises(ValueError):
+            NFA.compile(Neg(Atom("a")))
+
+    def test_seq_starting_with_neg_rejected(self):
+        with pytest.raises(ValueError):
+            NFA.compile(Seq((Neg(Atom("a")), Atom("b"))))
+
+    def test_seq_ending_with_neg_rejected(self):
+        with pytest.raises(ValueError):
+            NFA.compile(Seq((Atom("a"), Neg(Atom("b")))))
+
+
+class TestSequenceMatching:
+    def test_simple_sequence(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=100.0, name="ab")
+        matches = engine.process_all([ev("a", 1.0), ev("b", 2.0)])
+        assert len(matches) == 1
+        assert matches[0].pattern_name == "ab"
+        assert [e.event_type for e in matches[0].events] == ["a", "b"]
+
+    def test_skip_till_next_match(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=100.0)
+        matches = engine.process_all([ev("a", 1.0), ev("x", 2.0), ev("b", 3.0)])
+        assert len(matches) == 1
+
+    def test_window_expiry(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=10.0)
+        matches = engine.process_all([ev("a", 1.0), ev("b", 50.0)])
+        assert matches == []
+
+    def test_keys_isolated(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=100.0)
+        matches = engine.process_all(
+            [ev("a", 1.0, entity="P"), ev("b", 2.0, entity="Q")]
+        )
+        assert matches == []
+
+    def test_multiple_matches_same_key(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=100.0)
+        matches = engine.process_all(
+            [ev("a", 1.0), ev("b", 2.0), ev("a", 3.0), ev("b", 4.0)]
+        )
+        assert len(matches) == 2
+
+
+class TestDisjunction:
+    def test_or_either_branch(self):
+        pattern = Seq((Atom("start"), Or((Atom("x"), Atom("y")))))
+        engine = PatternEngine(pattern, window_s=100.0)
+        m1 = engine.process_all([ev("start", 1.0), ev("x", 2.0)])
+        assert len(m1) == 1
+        engine2 = PatternEngine(pattern, window_s=100.0)
+        m2 = engine2.process_all([ev("start", 1.0), ev("y", 2.0)])
+        assert len(m2) == 1
+
+
+class TestIteration:
+    def test_min_count_required(self):
+        pattern = Seq((Atom("go"), Iter(Atom("ping"), min_count=3, max_count=5)))
+        engine = PatternEngine(pattern, window_s=100.0)
+        matches = engine.process_all(
+            [ev("go", 0.0), ev("ping", 1.0), ev("ping", 2.0)]
+        )
+        assert matches == []
+        matches = engine.process(ev("ping", 3.0))
+        assert len(matches) == 1
+        assert len(matches[0].events) == 4
+
+    def test_iteration_emits_each_accept(self):
+        engine = PatternEngine(Iter(Atom("p"), min_count=2, max_count=3), window_s=100.0)
+        matches = engine.process_all([ev("p", 1.0), ev("p", 2.0), ev("p", 3.0)])
+        # Accepts at length 2 (twice: events 1-2 and 2-3) and at length 3.
+        assert len(matches) >= 2
+
+
+class TestNegation:
+    def test_negation_blocks(self):
+        pattern = Seq((Atom("gap_start"), Neg(Atom("reappear")), Atom("gap_end")))
+        engine = PatternEngine(pattern, window_s=100.0)
+        matches = engine.process_all(
+            [ev("gap_start", 1.0), ev("reappear", 2.0), ev("gap_end", 3.0)]
+        )
+        assert matches == []
+
+    def test_negation_allows_when_absent(self):
+        pattern = Seq((Atom("gap_start"), Neg(Atom("reappear")), Atom("gap_end")))
+        engine = PatternEngine(pattern, window_s=100.0)
+        matches = engine.process_all([ev("gap_start", 1.0), ev("gap_end", 3.0)])
+        assert len(matches) == 1
+
+
+class TestGuardsAndContext:
+    def test_guard_sees_previous_events(self):
+        # Second event must concern a *different* zone than the first.
+        def different_zone(event, context):
+            return event.attributes["zone"] != context.events[0].attributes["zone"]
+
+        pattern = Seq((Atom("zone_entry"), Atom("zone_entry", guard=different_zone)))
+        engine = PatternEngine(pattern, window_s=100.0)
+        matches = engine.process_all(
+            [
+                ev("zone_entry", 1.0, zone="A"),
+                ev("zone_entry", 2.0, zone="A"),  # same zone: guard blocks
+                ev("zone_entry", 3.0, zone="B"),
+            ]
+        )
+        # Both partial runs (anchored at t=1 and t=2) complete on zone B;
+        # neither completed on the same-zone event at t=2.
+        assert len(matches) == 2
+        assert all(m.events[-1].attributes["zone"] == "B" for m in matches)
+        assert all(m.events[0].attributes["zone"] == "A" for m in matches)
+
+
+class TestMatchAndConversion:
+    def test_match_to_complex_event(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=100.0, name="pair")
+        (match,) = engine.process_all([ev("a", 1.0), ev("b", 5.0)])
+        complex_event = match.to_complex_event()
+        assert complex_event.event_type == "pair"
+        assert complex_event.t_start == 1.0
+        assert complex_event.t_end == 5.0
+        assert complex_event.entity_ids == ("X",)
+
+    def test_active_runs_introspection(self):
+        engine = PatternEngine(Atom("a").then(Atom("b")), window_s=100.0)
+        engine.process(ev("a", 1.0))
+        assert engine.active_runs("X") == 1
+        assert engine.partial_states("X")
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            PatternEngine(Atom("a"), window_s=0.0)

@@ -1,0 +1,132 @@
+"""Simple event extraction."""
+
+import pytest
+
+from repro.cep.simple import SimpleEventConfig, SimpleEventExtractor
+from repro.geo.polygon import Polygon
+from repro.model.entities import EntityRegistry, Vessel
+from repro.model.reports import PositionReport
+
+
+def report(entity="V1", t=0.0, lon=24.0, lat=37.0, speed=5.0):
+    return PositionReport(entity_id=entity, t=t, lon=lon, lat=lat, speed=speed)
+
+
+ZONE = Polygon("z", ((24.4, 36.9), (24.6, 36.9), (24.6, 37.1), (24.4, 37.1)))
+
+
+class TestZoneEvents:
+    def test_entry_and_exit(self):
+        extractor = SimpleEventExtractor(zones=[ZONE])
+        events = extractor.process_all(
+            [
+                report(t=0.0, lon=24.2),
+                report(t=10.0, lon=24.5),   # inside
+                report(t=20.0, lon=24.55),  # still inside (no repeat)
+                report(t=30.0, lon=24.8),   # out
+            ]
+        )
+        zone_events = [e for e in events if e.event_type.startswith("zone")]
+        assert [e.event_type for e in zone_events] == ["zone_entry", "zone_exit"]
+        assert zone_events[0].attributes["zone"] == "z"
+
+    def test_no_events_outside(self):
+        extractor = SimpleEventExtractor(zones=[ZONE])
+        events = extractor.process_all([report(t=0.0, lon=23.0), report(t=10.0, lon=23.1)])
+        assert [e for e in events if e.event_type.startswith("zone")] == []
+
+
+class TestStopEvents:
+    def test_stop_begin_end_with_hysteresis(self):
+        config = SimpleEventConfig(stop_speed_mps=1.0, stop_hysteresis=2.0)
+        extractor = SimpleEventExtractor(config=config)
+        events = extractor.process_all(
+            [
+                report(t=0.0, speed=5.0),
+                report(t=10.0, speed=0.5),   # stop_begin
+                report(t=20.0, speed=1.5),   # within hysteresis: still stopped
+                report(t=30.0, speed=2.5),   # stop_end
+            ]
+        )
+        stops = [e.event_type for e in events if e.event_type.startswith("stop")]
+        assert stops == ["stop_begin", "stop_end"]
+
+    def test_derived_speed_when_field_missing(self):
+        extractor = SimpleEventExtractor()
+        events = extractor.process_all(
+            [
+                report(t=0.0, speed=None),
+                report(t=10.0, speed=None),  # same position → derived 0 m/s
+            ]
+        )
+        assert any(e.event_type == "stop_begin" for e in events)
+
+
+class TestGapEvents:
+    def test_gap_pair_emitted(self):
+        config = SimpleEventConfig(gap_threshold_s=300.0)
+        extractor = SimpleEventExtractor(config=config)
+        events = extractor.process_all([report(t=0.0), report(t=1000.0, lon=24.01)])
+        kinds = [e.event_type for e in events if "gap" in e.event_type]
+        assert kinds == ["gap_start", "gap_end"]
+        start = next(e for e in events if e.event_type == "gap_start")
+        assert start.t == 0.0  # timestamped at the silence's beginning
+        assert start.attributes["duration_s"] == pytest.approx(1000.0)
+
+
+class TestSpeedAnomaly:
+    def test_anomaly_against_registry_ceiling(self):
+        registry = EntityRegistry()
+        registry.add(Vessel("V1", "x", max_speed_mps=10.0))
+        config = SimpleEventConfig(speed_anomaly_factor=1.2)
+        extractor = SimpleEventExtractor(config=config, registry=registry)
+        events = extractor.process_all([report(speed=15.0)])
+        assert [e.event_type for e in events if e.event_type == "speed_anomaly"]
+
+    def test_no_registry_no_anomaly(self):
+        extractor = SimpleEventExtractor()
+        events = extractor.process_all([report(speed=500.0)])
+        assert not [e for e in events if e.event_type == "speed_anomaly"]
+
+
+class TestProximity:
+    def test_pairwise_proximity(self):
+        config = SimpleEventConfig(proximity_radius_m=5000.0)
+        extractor = SimpleEventExtractor(config=config)
+        events = extractor.process_all(
+            [
+                report(entity="A", t=0.0, lon=24.0),
+                report(entity="B", t=10.0, lon=24.01),  # ~890 m away
+            ]
+        )
+        prox = [e for e in events if e.event_type == "proximity"]
+        assert len(prox) == 1
+        assert prox[0].entity_id == "B"
+        assert prox[0].attributes["other"] == "A"
+        assert prox[0].attributes["distance_m"] < 1000.0
+
+    def test_staleness_suppresses(self):
+        config = SimpleEventConfig(proximity_radius_m=5000.0, proximity_staleness_s=60.0)
+        extractor = SimpleEventExtractor(config=config)
+        events = extractor.process_all(
+            [
+                report(entity="A", t=0.0, lon=24.0),
+                report(entity="B", t=500.0, lon=24.01),  # A's position too old
+            ]
+        )
+        assert [e for e in events if e.event_type == "proximity"] == []
+
+    def test_far_entities_no_event(self):
+        extractor = SimpleEventExtractor()
+        events = extractor.process_all(
+            [report(entity="A", lon=24.0), report(entity="B", t=1.0, lon=25.0)]
+        )
+        assert [e for e in events if e.event_type == "proximity"] == []
+
+
+class TestConfigValidation:
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            SimpleEventConfig(stop_speed_mps=-1.0)
+        with pytest.raises(ValueError):
+            SimpleEventConfig(gap_threshold_s=0.0)

@@ -1,0 +1,65 @@
+"""Shared fixtures: small, deterministic traffic samples and worlds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.trajectory import Trajectory
+from repro.sources.generators import (
+    AviationTrafficGenerator,
+    MaritimeTrafficGenerator,
+    TrafficSample,
+)
+
+
+@pytest.fixture(scope="session")
+def maritime_sample() -> TrafficSample:
+    """A small deterministic maritime sample shared across tests."""
+    generator = MaritimeTrafficGenerator(seed=42)
+    return generator.generate(n_vessels=6, max_duration_s=3600.0)
+
+
+@pytest.fixture(scope="session")
+def aviation_sample() -> TrafficSample:
+    """A small deterministic aviation sample shared across tests."""
+    generator = AviationTrafficGenerator(seed=43)
+    return generator.generate(n_flights=4)
+
+
+@pytest.fixture(scope="session")
+def aegean_grid(maritime_sample: TrafficSample) -> GeoGrid:
+    """A 16x16 grid over the maritime world."""
+    return GeoGrid(bbox=maritime_sample.world.bbox, nx=16, ny=16)
+
+
+@pytest.fixture()
+def straight_track() -> Trajectory:
+    """A simple eastbound 2D track: 10 samples, 60 s apart, ~0.01° steps."""
+    n = 10
+    return Trajectory(
+        "T1",
+        [60.0 * i for i in range(n)],
+        [24.0 + 0.01 * i for i in range(n)],
+        [37.0] * n,
+    )
+
+
+@pytest.fixture()
+def climb_track() -> Trajectory:
+    """A 3D track climbing 100 m per sample."""
+    n = 8
+    return Trajectory(
+        "F1",
+        [30.0 * i for i in range(n)],
+        [10.0 + 0.02 * i for i in range(n)],
+        [45.0 + 0.01 * i for i in range(n)],
+        [1000.0 + 100.0 * i for i in range(n)],
+    )
+
+
+@pytest.fixture()
+def unit_bbox() -> BBox:
+    """A 1°x1° box used by geometry tests."""
+    return BBox(24.0, 37.0, 25.0, 38.0)

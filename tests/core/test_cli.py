@@ -1,0 +1,51 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--vessels", "3", "--hours", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "compression" in out
+        assert "throughput" in out
+
+
+class TestQuery:
+    def test_valid_query(self, capsys):
+        code = main([
+            "query",
+            "SELECT ?n WHERE { ?n rdf:type dac:SemanticNode . }",
+            "--vessels", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows" in out
+
+    def test_invalid_query_exit_code(self, capsys):
+        code = main(["query", "THIS IS NOT A QUERY", "--vessels", "2"])
+        assert code == 2
+        assert "query error" in capsys.readouterr().err
+
+
+class TestScenarios:
+    def test_scorecard(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("collision_course", "loitering", "zone_intrusion", "rendezvous"):
+            assert name in out
+
+
+class TestReport:
+    def test_writes_html(self, tmp_path, capsys):
+        out_file = tmp_path / "situation.html"
+        assert main(["report", "--out", str(out_file), "--vessels", "3"]) == 0
+        assert out_file.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,73 @@
+"""Calibrated prediction intervals."""
+
+import pytest
+
+from repro.forecasting.calibration import CalibratedPredictor
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.sources.generators import MaritimeTrafficGenerator
+
+
+@pytest.fixture(scope="module")
+def fleets():
+    validation = MaritimeTrafficGenerator(seed=71).generate(
+        n_vessels=6, max_duration_s=5400.0
+    )
+    test = MaritimeTrafficGenerator(seed=72).generate(
+        n_vessels=4, max_duration_s=5400.0
+    )
+    return (list(validation.truth.values()), list(test.truth.values()))
+
+
+@pytest.fixture(scope="module")
+def calibrated(fleets):
+    validation, __ = fleets
+    return CalibratedPredictor(
+        DeadReckoningPredictor(),
+        validation,
+        horizons_s=(60.0, 300.0, 900.0),
+        coverage=0.9,
+    )
+
+
+class TestCalibration:
+    def test_radius_grows_with_horizon(self, calibrated):
+        r60 = calibrated.radius_for_horizon(60.0)
+        r900 = calibrated.radius_for_horizon(900.0)
+        assert 0.0 < r60 < r900
+
+    def test_interpolation_between_horizons(self, calibrated):
+        r300 = calibrated.radius_for_horizon(300.0)
+        r600 = calibrated.radius_for_horizon(600.0)
+        r900 = calibrated.radius_for_horizon(900.0)
+        assert r300 <= r600 <= r900
+
+    def test_clamped_outside_range(self, calibrated):
+        assert calibrated.radius_for_horizon(10.0) == calibrated.radius_for_horizon(60.0)
+        assert calibrated.radius_for_horizon(9_999.0) == calibrated.radius_for_horizon(900.0)
+
+    def test_prediction_carries_radius(self, calibrated, fleets):
+        __, test = fleets
+        history = test[0].slice_time(test[0].start_time, test[0].start_time + 1200.0)
+        result = calibrated.predict(history, 300.0)
+        assert result.radius_m == calibrated.radius_for_horizon(300.0)
+        assert result.coverage == 0.9
+        assert result.outcome.model == "dead_reckoning"
+        assert calibrated.name == "dead_reckoning+cal"
+
+    def test_empirical_coverage_near_nominal(self, calibrated, fleets):
+        __, test = fleets
+        coverage = calibrated.empirical_coverage(test, 300.0)
+        # Same traffic distribution: the learned quantile should cover
+        # roughly its nominal fraction (wide tolerance for small n).
+        assert coverage >= 0.6
+
+    def test_validation_required(self):
+        with pytest.raises(ValueError):
+            CalibratedPredictor(DeadReckoningPredictor(), [], horizons_s=(60.0,))
+
+    def test_coverage_bounds(self, fleets):
+        validation, __ = fleets
+        with pytest.raises(ValueError):
+            CalibratedPredictor(
+                DeadReckoningPredictor(), validation, coverage=1.5
+            )

@@ -1,0 +1,147 @@
+"""Horizon-aware ensemble predictor."""
+
+import pytest
+
+from repro.geo.geodesy import haversine_m
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.forecasting.ensemble import EnsemblePredictor
+from repro.forecasting.route_based import RouteBasedPredictor
+from repro.forecasting.base import PredictionOutcome, Predictor
+from repro.model.points import STPoint
+from repro.model.trajectory import Trajectory
+from repro.sources.kinematics import simulate_route
+from repro.sources.world import RouteSpec
+
+
+class _FixedPredictor(Predictor):
+    """Test double: always predicts the same point with set confidence."""
+
+    def __init__(self, name, lon, lat, confidence=1.0):
+        self.name = name
+        self._lon = lon
+        self._lat = lat
+        self._confidence = confidence
+
+    def predict(self, history, horizon_s):
+        last = history[len(history) - 1]
+        return PredictionOutcome(
+            point=STPoint(t=last.t + horizon_s, lon=self._lon, lat=self._lat),
+            horizon_s=horizon_s,
+            model=self.name,
+            confidence=self._confidence,
+        )
+
+
+@pytest.fixture()
+def history():
+    return Trajectory(
+        "V1", [10.0 * i for i in range(20)],
+        [24.0 + 0.001 * i for i in range(20)], [37.0] * 20,
+    )
+
+
+class TestBlending:
+    def test_short_horizon_tracks_short_model(self, history):
+        ensemble = EnsemblePredictor(
+            _FixedPredictor("short", 24.0, 37.0),
+            _FixedPredictor("long", 25.0, 38.0),
+            crossover_s=600.0,
+            softness_s=100.0,
+        )
+        outcome = ensemble.predict(history, 30.0)
+        assert haversine_m(outcome.point.lon, outcome.point.lat, 24.0, 37.0) < 2_000.0
+
+    def test_long_horizon_tracks_long_model(self, history):
+        ensemble = EnsemblePredictor(
+            _FixedPredictor("short", 24.0, 37.0),
+            _FixedPredictor("long", 25.0, 38.0),
+            crossover_s=600.0,
+            softness_s=100.0,
+        )
+        outcome = ensemble.predict(history, 3600.0)
+        assert haversine_m(outcome.point.lon, outcome.point.lat, 25.0, 38.0) < 2_000.0
+
+    def test_crossover_midpoint(self, history):
+        ensemble = EnsemblePredictor(
+            _FixedPredictor("short", 24.0, 37.0),
+            _FixedPredictor("long", 24.2, 37.0),
+            crossover_s=600.0,
+            softness_s=100.0,
+        )
+        outcome = ensemble.predict(history, 600.0)
+        to_short = haversine_m(outcome.point.lon, outcome.point.lat, 24.0, 37.0)
+        to_long = haversine_m(outcome.point.lon, outcome.point.lat, 24.2, 37.0)
+        assert to_short == pytest.approx(to_long, rel=0.1)
+
+    def test_low_long_confidence_suppresses_long_model(self, history):
+        ensemble = EnsemblePredictor(
+            _FixedPredictor("short", 24.0, 37.0),
+            _FixedPredictor("long", 25.0, 38.0, confidence=0.05),
+            crossover_s=600.0,
+            softness_s=100.0,
+        )
+        outcome = ensemble.predict(history, 3600.0)
+        # With an untrusted long model, stay near the kinematic answer.
+        assert haversine_m(outcome.point.lon, outcome.point.lat, 24.0, 37.0) < 15_000.0
+
+
+class TestRealModels:
+    def test_ensemble_never_much_worse_than_either(self):
+        route = RouteSpec(
+            "L", ((24.0, 37.0), (24.4, 37.0), (24.4, 37.4)), speed_mps=10.0
+        )
+        history_tracks = [
+            simulate_route(f"H{i}", route, dt_s=10.0) for i in range(4)
+        ]
+        target = history_tracks[0]
+        cut = target.duration * 0.4
+        history = target.slice_time(0.0, cut)
+        horizon = 1200.0
+        truth = target.at_time(history.end_time + horizon)
+
+        short = DeadReckoningPredictor()
+        long = RouteBasedPredictor(history_tracks, n_routes=2)
+        ensemble = EnsemblePredictor(short, long)
+
+        def error(predictor):
+            outcome = predictor.predict(history, horizon)
+            return haversine_m(outcome.point.lon, outcome.point.lat, truth.lon, truth.lat)
+
+        worst = max(error(short), error(long))
+        assert error(ensemble) <= worst * 1.05
+
+    def test_validation(self, history):
+        with pytest.raises(ValueError):
+            EnsemblePredictor(
+                _FixedPredictor("a", 24.0, 37.0),
+                _FixedPredictor("b", 24.0, 37.0),
+                crossover_s=0.0,
+            )
+
+    def test_altitude_blended(self, history):
+        short = _FixedPredictor("short", 24.0, 37.0)
+        long = _FixedPredictor("long", 24.0, 37.0)
+        # Attach altitudes via a thin wrapper.
+        def with_alt(predictor, alt):
+            original = predictor.predict
+
+            def patched(history, horizon_s):
+                outcome = original(history, horizon_s)
+                point = STPoint(
+                    t=outcome.point.t, lon=outcome.point.lon,
+                    lat=outcome.point.lat, alt=alt,
+                )
+                return PredictionOutcome(
+                    point=point, horizon_s=horizon_s, model=outcome.model,
+                    confidence=outcome.confidence,
+                )
+
+            predictor.predict = patched
+            return predictor
+
+        ensemble = EnsemblePredictor(
+            with_alt(short, 1000.0), with_alt(long, 3000.0),
+            crossover_s=600.0, softness_s=100.0,
+        )
+        outcome = ensemble.predict(history, 600.0)
+        assert 1000.0 < outcome.point.alt < 3000.0

@@ -1,0 +1,94 @@
+"""Forecasting evaluation harness."""
+
+import pytest
+
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.forecasting.evaluation import HorizonErrors, evaluate_predictor, horizon_sweep
+from repro.model.trajectory import Trajectory
+
+
+def long_track(entity="V1", n=400, dt=10.0):
+    return Trajectory(
+        entity,
+        [dt * i for i in range(n)],
+        [24.0 + 0.0005 * i for i in range(n)],
+        [37.0] * n,
+    )
+
+
+class TestHorizonErrors:
+    def test_statistics(self):
+        errors = HorizonErrors(model="m", horizon_s=60.0, horizontal_m=[10, 20, 30])
+        assert errors.n == 3
+        assert errors.mean_horizontal_m() == pytest.approx(20.0)
+        assert errors.median_horizontal_m() == pytest.approx(20.0)
+        assert errors.p90_horizontal_m() == pytest.approx(28.0)
+
+    def test_empty_is_nan(self):
+        import math
+
+        errors = HorizonErrors(model="m", horizon_s=60.0)
+        assert math.isnan(errors.mean_horizontal_m())
+        assert math.isnan(errors.mean_vertical_m())
+
+
+class TestEvaluatePredictor:
+    def test_straight_line_near_zero_error(self):
+        results = evaluate_predictor(
+            DeadReckoningPredictor(),
+            [long_track()],
+            horizons_s=[60.0, 300.0],
+            min_history_s=300.0,
+        )
+        assert [r.horizon_s for r in results] == [60.0, 300.0]
+        for r in results:
+            assert r.n > 0
+            assert r.mean_horizontal_m() < 50.0
+
+    def test_too_short_trajectory_skipped(self):
+        short = long_track(n=5)
+        results = evaluate_predictor(
+            DeadReckoningPredictor(), [short], horizons_s=[60.0], min_history_s=600.0
+        )
+        assert results[0].n == 0
+
+    def test_horizon_beyond_end_skipped_per_horizon(self):
+        track = long_track(n=100)  # 990 s
+        results = evaluate_predictor(
+            DeadReckoningPredictor(),
+            [track],
+            horizons_s=[30.0, 10_000.0],
+            min_history_s=300.0,
+        )
+        assert results[0].n > 0
+        assert results[1].n == 0
+
+    def test_vertical_errors_for_3d(self):
+        n = 300
+        track = Trajectory(
+            "F1",
+            [10.0 * i for i in range(n)],
+            [24.0 + 0.0005 * i for i in range(n)],
+            [37.0] * n,
+            [5000.0] * n,
+        )
+        results = evaluate_predictor(
+            DeadReckoningPredictor(), [track], horizons_s=[60.0], min_history_s=300.0
+        )
+        assert len(results[0].vertical_m) == results[0].n
+        assert results[0].mean_vertical_m() < 10.0
+
+    def test_requires_horizons(self):
+        with pytest.raises(ValueError):
+            evaluate_predictor(DeadReckoningPredictor(), [long_track()], horizons_s=[])
+
+
+class TestHorizonSweep:
+    def test_keyed_by_model(self):
+        sweep = horizon_sweep(
+            [DeadReckoningPredictor()],
+            [long_track()],
+            horizons_s=[60.0],
+            min_history_s=300.0,
+        )
+        assert set(sweep) == {"dead_reckoning"}

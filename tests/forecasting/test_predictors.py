@@ -1,0 +1,226 @@
+"""Future-location predictors."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geodesy import haversine_m
+from repro.geo.grid import GeoGrid
+from repro.forecasting.base import Predictor
+from repro.forecasting.dead_reckoning import DeadReckoningPredictor
+from repro.forecasting.kalman import KalmanPredictor
+from repro.forecasting.markov import GridMarkovPredictor
+from repro.forecasting.route_based import RouteBasedPredictor
+from repro.model.errors import EmptyTrajectoryError
+from repro.model.trajectory import Trajectory
+from repro.sources.kinematics import simulate_route
+from repro.sources.world import RouteSpec
+
+
+def eastbound(n=60, dt=10.0, speed_deg=0.001, entity="V1"):
+    """~8.9 m/s eastbound straight track."""
+    return Trajectory(
+        entity,
+        [dt * i for i in range(n)],
+        [24.0 + speed_deg * i for i in range(n)],
+        [37.0] * n,
+    )
+
+
+class TestDeadReckoning:
+    def test_straight_track_extrapolated(self):
+        history = eastbound()
+        outcome = DeadReckoningPredictor().predict(history, 300.0)
+        truth = eastbound(n=120).at_time(history.end_time + 300.0)
+        error = haversine_m(outcome.point.lon, outcome.point.lat, truth.lon, truth.lat)
+        assert error < 100.0
+
+    def test_zero_horizon_is_last_position(self):
+        history = eastbound()
+        outcome = DeadReckoningPredictor().predict(history, 0.0)
+        last = history[len(history) - 1]
+        assert outcome.point.lon == pytest.approx(last.lon)
+        assert outcome.point.t == last.t
+
+    def test_single_sample_history_stays_put(self):
+        dot = Trajectory("V1", [0.0], [24.0], [37.0])
+        outcome = DeadReckoningPredictor().predict(dot, 600.0)
+        assert outcome.point.lon == pytest.approx(24.0)
+        assert outcome.point.t == 600.0
+
+    def test_empty_history_raises(self):
+        empty = Trajectory("V1", [], [], [])
+        with pytest.raises(EmptyTrajectoryError):
+            DeadReckoningPredictor().predict(empty, 60.0)
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            DeadReckoningPredictor().predict(eastbound(), -1.0)
+
+    def test_altitude_extrapolated(self):
+        n = 20
+        climb = Trajectory(
+            "F1",
+            [10.0 * i for i in range(n)],
+            [24.0 + 0.001 * i for i in range(n)],
+            [37.0] * n,
+            [1000.0 + 20.0 * i for i in range(n)],  # 2 m/s climb
+        )
+        outcome = DeadReckoningPredictor().predict(climb, 100.0)
+        assert outcome.point.alt == pytest.approx(1380.0 + 200.0, rel=0.05)
+
+
+class TestKalman:
+    def test_tracks_straight_motion(self):
+        history = eastbound()
+        outcome = KalmanPredictor().predict(history, 300.0)
+        truth = eastbound(n=120).at_time(history.end_time + 300.0)
+        error = haversine_m(outcome.point.lon, outcome.point.lat, truth.lon, truth.lat)
+        assert error < 150.0
+
+    def test_beats_dead_reckoning_under_noise(self):
+        rng = np.random.default_rng(11)
+        clean = eastbound(n=120)
+        noisy = Trajectory(
+            "V1",
+            clean.t,
+            clean.lon + rng.normal(0, 0.0004, len(clean)),
+            clean.lat + rng.normal(0, 0.0004, len(clean)),
+        )
+        horizon = 300.0
+        truth = eastbound(n=240).at_time(noisy.end_time + horizon)
+
+        def error(predictor):
+            outcome = predictor.predict(noisy, horizon)
+            return haversine_m(outcome.point.lon, outcome.point.lat, truth.lon, truth.lat)
+
+        # DR reads only the last minute of a very noisy track; the Kalman
+        # filter averages over the whole history.
+        assert error(KalmanPredictor(measurement_noise_m=40.0)) < error(
+            DeadReckoningPredictor(window_s=60.0)
+        )
+
+    def test_confidence_decays_with_horizon(self):
+        history = eastbound()
+        near = KalmanPredictor().predict(history, 60.0)
+        far = KalmanPredictor().predict(history, 3600.0)
+        assert far.confidence < near.confidence
+
+    def test_altitude_rate_fit(self):
+        n = 30
+        climb = Trajectory(
+            "F1",
+            [10.0 * i for i in range(n)],
+            [24.0 + 0.001 * i for i in range(n)],
+            [37.0] * n,
+            [5000.0 + 30.0 * i for i in range(n)],  # 3 m/s
+        )
+        outcome = KalmanPredictor().predict(climb, 100.0)
+        expected = 5000.0 + 30.0 * (n - 1) + 3.0 * 100.0
+        assert outcome.point.alt == pytest.approx(expected, rel=0.05)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            KalmanPredictor(process_noise=0.0)
+
+
+class TestGridMarkov:
+    @pytest.fixture()
+    def corridor_history(self):
+        """Many entities following the same L-shaped route."""
+        route = RouteSpec(
+            "L", ((24.0, 37.0), (24.4, 37.0), (24.4, 37.4)), speed_mps=10.0
+        )
+        return [
+            simulate_route(f"H{i}", route, dt_s=10.0, start_time=float(i))
+            for i in range(6)
+        ]
+
+    def test_learns_transitions(self, corridor_history):
+        from repro.geo.bbox import BBox
+
+        grid = GeoGrid(bbox=BBox(23.8, 36.8, 24.8, 37.8), nx=20, ny=20)
+        model = GridMarkovPredictor(grid, corridor_history)
+        assert model.n_states > 3
+
+    def test_follows_the_turn(self, corridor_history):
+        from repro.geo.bbox import BBox
+
+        grid = GeoGrid(bbox=BBox(23.8, 36.8, 24.8, 37.8), nx=20, ny=20)
+        model = GridMarkovPredictor(grid, corridor_history)
+        test_track = corridor_history[0]
+        # Cut shortly before the corner; predict past it.
+        corner_time = test_track.duration * 0.45
+        history = test_track.slice_time(0.0, corner_time)
+        horizon = 900.0
+        outcome = model.predict(history, horizon)
+        truth = test_track.at_time(history.end_time + horizon)
+        markov_error = haversine_m(outcome.point.lon, outcome.point.lat, truth.lon, truth.lat)
+        dr = DeadReckoningPredictor().predict(history, horizon)
+        dr_error = haversine_m(dr.point.lon, dr.point.lat, truth.lon, truth.lat)
+        assert markov_error < dr_error
+
+    def test_short_horizon_falls_back_to_dr(self, corridor_history):
+        from repro.geo.bbox import BBox
+
+        grid = GeoGrid(bbox=BBox(23.8, 36.8, 24.8, 37.8), nx=20, ny=20)
+        model = GridMarkovPredictor(grid, corridor_history)
+        history = corridor_history[0].slice_time(0.0, 600.0)
+        outcome = model.predict(history, 10.0)
+        dr = DeadReckoningPredictor().predict(history, 10.0)
+        assert haversine_m(
+            outcome.point.lon, outcome.point.lat, dr.point.lon, dr.point.lat
+        ) < 1.0
+
+    def test_unseen_region_falls_back(self, corridor_history):
+        from repro.geo.bbox import BBox
+
+        grid = GeoGrid(bbox=BBox(23.8, 36.8, 24.8, 37.8), nx=20, ny=20)
+        model = GridMarkovPredictor(grid, corridor_history)
+        elsewhere = Trajectory("X", [0, 10], [23.85, 23.86], [37.7, 37.7])
+        outcome = model.predict(elsewhere, 600.0)
+        assert outcome.point is not None  # fallback, no crash
+
+
+class TestRouteBased:
+    @pytest.fixture()
+    def fleet_history(self):
+        routes = [
+            RouteSpec("R1", ((24.0, 37.0), (24.5, 37.0), (24.5, 37.5)), 10.0),
+            RouteSpec("R2", ((24.0, 37.5), (24.5, 37.5), (24.5, 37.0)), 10.0),
+        ]
+        out = []
+        for i, route in enumerate(routes * 3):
+            out.append(simulate_route(f"H{i}", route, dt_s=10.0))
+        return out
+
+    def test_long_horizon_beats_dead_reckoning(self, fleet_history):
+        model = RouteBasedPredictor(fleet_history, n_routes=4)
+        target = fleet_history[0]
+        history = target.slice_time(0.0, target.duration * 0.4)
+        horizon = 1500.0
+        truth = target.at_time(history.end_time + horizon)
+        route_outcome = model.predict(history, horizon)
+        dr_outcome = DeadReckoningPredictor().predict(history, horizon)
+        route_error = haversine_m(
+            route_outcome.point.lon, route_outcome.point.lat, truth.lon, truth.lat
+        )
+        dr_error = haversine_m(
+            dr_outcome.point.lon, dr_outcome.point.lat, truth.lon, truth.lat
+        )
+        assert route_error < dr_error
+
+    def test_off_route_falls_back(self, fleet_history):
+        model = RouteBasedPredictor(fleet_history, max_match_distance_m=2000.0)
+        stray = Trajectory(
+            "S", [0, 60, 120], [26.0, 26.01, 26.02], [39.0, 39.0, 39.0]
+        )
+        outcome = model.predict(stray, 300.0)
+        assert outcome.confidence <= 0.5  # fallback marker
+
+    def test_requires_history(self):
+        with pytest.raises(ValueError):
+            RouteBasedPredictor([], n_routes=2)
+
+    def test_name_attribute(self, fleet_history):
+        assert RouteBasedPredictor(fleet_history).name == "route_based"
+        assert isinstance(RouteBasedPredictor(fleet_history), Predictor)

@@ -1,0 +1,100 @@
+"""BBox geometry operations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+
+
+def boxes():
+    return st.builds(
+        lambda lon, lat, w, h: BBox(lon, lat, lon + w, lat + h),
+        st.floats(-170, 160),
+        st.floats(-80, 70),
+        st.floats(0.01, 10),
+        st.floats(0.01, 10),
+    )
+
+
+class TestConstruction:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            BBox(25.0, 37.0, 24.0, 38.0)
+
+    def test_degenerate_point_allowed(self):
+        box = BBox(24.0, 37.0, 24.0, 37.0)
+        assert box.area == 0.0
+        assert box.contains(24.0, 37.0)
+
+    def test_from_points(self):
+        box = BBox.from_points([(24.0, 37.0), (25.0, 36.5), (24.5, 38.0)])
+        assert box == BBox(24.0, 36.5, 25.0, 38.0)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox.from_points([])
+
+
+class TestPredicates:
+    def test_contains_border(self, unit_bbox):
+        assert unit_bbox.contains(24.0, 37.0)
+        assert unit_bbox.contains(25.0, 38.0)
+        assert not unit_bbox.contains(25.0001, 37.5)
+
+    def test_intersects_overlap(self, unit_bbox):
+        other = BBox(24.5, 37.5, 25.5, 38.5)
+        assert unit_bbox.intersects(other)
+        assert other.intersects(unit_bbox)
+
+    def test_intersects_touching_edge(self, unit_bbox):
+        other = BBox(25.0, 37.0, 26.0, 38.0)
+        assert unit_bbox.intersects(other)
+
+    def test_disjoint(self, unit_bbox):
+        other = BBox(26.0, 37.0, 27.0, 38.0)
+        assert not unit_bbox.intersects(other)
+        assert unit_bbox.intersection(other) is None
+
+
+class TestOperations:
+    def test_intersection_shape(self, unit_bbox):
+        other = BBox(24.5, 37.5, 25.5, 38.5)
+        inter = unit_bbox.intersection(other)
+        assert inter == BBox(24.5, 37.5, 25.0, 38.0)
+
+    def test_union_covers_both(self, unit_bbox):
+        other = BBox(26.0, 39.0, 27.0, 40.0)
+        union = unit_bbox.union(other)
+        assert union.contains(24.5, 37.5)
+        assert union.contains(26.5, 39.5)
+
+    def test_expanded_clamps_at_poles(self):
+        box = BBox(-179.5, -89.5, 179.5, 89.5)
+        grown = box.expanded(1.0)
+        assert grown == BBox(-180.0, -90.0, 180.0, 90.0)
+
+    def test_split4_partitions_area(self, unit_bbox):
+        quads = unit_bbox.split4()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(unit_bbox.area)
+        cx, cy = unit_bbox.center
+        for quad in quads:
+            assert quad.contains(cx, cy)
+
+    @given(a=boxes(), b=boxes())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_symmetric_and_inside_union(self, a, b):
+        inter_ab = a.intersection(b)
+        inter_ba = b.intersection(a)
+        assert inter_ab == inter_ba
+        if inter_ab is not None:
+            union = a.union(b)
+            assert union.intersects(inter_ab)
+            assert inter_ab.area <= min(a.area, b.area) + 1e-9
+
+    @given(a=boxes())
+    @settings(max_examples=50, deadline=None)
+    def test_center_inside(self, a):
+        cx, cy = a.center
+        assert a.contains(cx, cy)

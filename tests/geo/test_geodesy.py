@@ -1,0 +1,167 @@
+"""Geodesy: correctness against known values and metric invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    cross_track_distance_m,
+    destination_point,
+    distance_3d_m,
+    enu_offset_m,
+    haversine_m,
+    haversine_m_arrays,
+    heading_difference_deg,
+    initial_bearing_deg,
+    knots_to_mps,
+    mps_to_knots,
+    normalize_heading_deg,
+)
+
+lons = st.floats(min_value=-179.0, max_value=179.0)
+lats = st.floats(min_value=-85.0, max_value=85.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_m(23.0, 37.0, 23.0, 37.0) == 0.0
+
+    def test_one_degree_latitude_is_about_111km(self):
+        d = haversine_m(0.0, 0.0, 0.0, 1.0)
+        assert d == pytest.approx(111_195, rel=0.01)
+
+    def test_equator_quarter_circumference(self):
+        d = haversine_m(0.0, 0.0, 90.0, 0.0)
+        assert d == pytest.approx(math.pi * EARTH_RADIUS_M / 2.0, rel=1e-6)
+
+    def test_known_city_pair(self):
+        # Piraeus to Heraklion, roughly 300 km.
+        d = haversine_m(23.62, 37.94, 25.15, 35.35)
+        assert 280_000 < d < 330_000
+
+    @given(lon1=lons, lat1=lats, lon2=lons, lat2=lats)
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry(self, lon1, lat1, lon2, lat2):
+        d1 = haversine_m(lon1, lat1, lon2, lat2)
+        d2 = haversine_m(lon2, lat2, lon1, lat1)
+        assert d1 == pytest.approx(d2, abs=1e-6)
+
+    @given(lon1=lons, lat1=lats, lon2=lons, lat2=lats, lon3=lons, lat3=lats)
+    @settings(max_examples=100, deadline=None)
+    def test_triangle_inequality(self, lon1, lat1, lon2, lat2, lon3, lat3):
+        d12 = haversine_m(lon1, lat1, lon2, lat2)
+        d23 = haversine_m(lon2, lat2, lon3, lat3)
+        d13 = haversine_m(lon1, lat1, lon3, lat3)
+        assert d13 <= d12 + d23 + 1e-6
+
+    def test_array_version_matches_scalar(self):
+        lon1 = np.array([23.0, 24.0, 25.0])
+        lat1 = np.array([37.0, 36.5, 38.0])
+        lon2 = np.array([23.5, 24.5, 25.5])
+        lat2 = np.array([37.5, 36.0, 38.5])
+        arr = haversine_m_arrays(lon1, lat1, lon2, lat2)
+        for i in range(3):
+            scalar = haversine_m(lon1[i], lat1[i], lon2[i], lat2[i])
+            assert arr[i] == pytest.approx(scalar, rel=1e-12)
+
+
+class TestDestinationPoint:
+    @given(lon=lons, lat=lats, bearing=st.floats(0, 360), dist=st.floats(1.0, 500_000))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_distance(self, lon, lat, bearing, dist):
+        lon2, lat2 = destination_point(lon, lat, bearing, dist)
+        back = haversine_m(lon, lat, lon2, lat2)
+        assert back == pytest.approx(dist, rel=1e-6, abs=0.1)
+
+    def test_due_north(self):
+        lon2, lat2 = destination_point(10.0, 50.0, 0.0, 111_195)
+        assert lon2 == pytest.approx(10.0, abs=1e-6)
+        assert lat2 == pytest.approx(51.0, abs=0.01)
+
+    def test_bearing_recovered(self):
+        lon2, lat2 = destination_point(24.0, 37.0, 45.0, 50_000)
+        bearing = initial_bearing_deg(24.0, 37.0, lon2, lat2)
+        assert bearing == pytest.approx(45.0, abs=0.5)
+
+
+class TestBearing:
+    def test_cardinal_directions(self):
+        assert initial_bearing_deg(0.0, 0.0, 0.0, 1.0) == pytest.approx(0.0, abs=1e-9)
+        assert initial_bearing_deg(0.0, 0.0, 1.0, 0.0) == pytest.approx(90.0, abs=1e-9)
+        assert initial_bearing_deg(0.0, 1.0, 0.0, 0.0) == pytest.approx(180.0, abs=1e-9)
+        assert initial_bearing_deg(1.0, 0.0, 0.0, 0.0) == pytest.approx(270.0, abs=1e-9)
+
+    @given(lon1=lons, lat1=lats, lon2=lons, lat2=lats)
+    @settings(max_examples=100, deadline=None)
+    def test_range(self, lon1, lat1, lon2, lat2):
+        bearing = initial_bearing_deg(lon1, lat1, lon2, lat2)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestCrossTrack:
+    def test_point_on_segment(self):
+        # The equator is a great circle, so a point on it has zero
+        # cross-track distance (a constant-latitude line at 37° would not:
+        # the great circle bulges poleward between its endpoints).
+        d = cross_track_distance_m(0.5, 0.0, 0.0, 0.0, 1.0, 0.0)
+        assert d == pytest.approx(0.0, abs=1.0)
+
+    def test_midlatitude_parallel_bulge(self):
+        # Documenting the great-circle bulge: ~100 m over a 1° chord at 37°.
+        d = cross_track_distance_m(24.5, 37.0, 24.0, 37.0, 25.0, 37.0)
+        assert 50.0 < d < 200.0
+
+    def test_point_north_of_segment(self):
+        d = cross_track_distance_m(24.5, 37.1, 24.0, 37.0, 25.0, 37.0)
+        assert d == pytest.approx(haversine_m(24.5, 37.1, 24.5, 37.0), rel=0.02)
+
+    def test_clamps_before_start(self):
+        d = cross_track_distance_m(23.0, 37.0, 24.0, 37.0, 25.0, 37.0)
+        assert d == pytest.approx(haversine_m(23.0, 37.0, 24.0, 37.0), rel=1e-6)
+
+    def test_clamps_after_end(self):
+        d = cross_track_distance_m(26.0, 37.0, 24.0, 37.0, 25.0, 37.0)
+        assert d == pytest.approx(haversine_m(26.0, 37.0, 25.0, 37.0), rel=1e-6)
+
+    def test_degenerate_segment(self):
+        d = cross_track_distance_m(24.5, 37.0, 24.0, 37.0, 24.0, 37.0)
+        assert d == pytest.approx(haversine_m(24.5, 37.0, 24.0, 37.0), rel=1e-9)
+
+
+class TestHeadingHelpers:
+    def test_normalize(self):
+        assert normalize_heading_deg(370.0) == pytest.approx(10.0)
+        assert normalize_heading_deg(-10.0) == pytest.approx(350.0)
+
+    def test_difference_wraps(self):
+        assert heading_difference_deg(350.0, 10.0) == pytest.approx(20.0)
+        assert heading_difference_deg(0.0, 180.0) == pytest.approx(180.0)
+
+    @given(h1=st.floats(0, 360), h2=st.floats(0, 360))
+    @settings(max_examples=50, deadline=None)
+    def test_difference_range_and_symmetry(self, h1, h2):
+        d = heading_difference_deg(h1, h2)
+        assert 0.0 <= d <= 180.0
+        assert d == pytest.approx(heading_difference_deg(h2, h1))
+
+
+class TestUnitsAndEnu:
+    def test_knots_roundtrip(self):
+        assert mps_to_knots(knots_to_mps(12.5)) == pytest.approx(12.5)
+
+    def test_enu_east_matches_haversine(self):
+        east, north = enu_offset_m(24.0, 37.0, 24.1, 37.0)
+        assert north == pytest.approx(0.0, abs=1e-9)
+        assert east == pytest.approx(haversine_m(24.0, 37.0, 24.1, 37.0), rel=0.001)
+
+    def test_distance_3d_vertical_component(self):
+        d = distance_3d_m(24.0, 37.0, 0.0, 24.0, 37.0, 3000.0)
+        assert d == pytest.approx(3000.0)
+
+    def test_distance_3d_none_altitude_is_horizontal(self):
+        d = distance_3d_m(24.0, 37.0, None, 24.1, 37.0, 5000.0)
+        assert d == pytest.approx(haversine_m(24.0, 37.0, 24.1, 37.0))

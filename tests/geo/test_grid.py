@@ -1,0 +1,100 @@
+"""GeoGrid cell mapping and GridIndex queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.geodesy import haversine_m
+from repro.geo.grid import GeoGrid, GridIndex
+
+
+@pytest.fixture()
+def grid(unit_bbox):
+    return GeoGrid(bbox=unit_bbox, nx=10, ny=10)
+
+
+class TestGeoGrid:
+    def test_invalid_dimensions(self, unit_bbox):
+        with pytest.raises(ValueError):
+            GeoGrid(bbox=unit_bbox, nx=0, ny=5)
+
+    def test_cell_of_corners(self, grid):
+        assert grid.cell_of(24.0, 37.0) == (0, 0)
+        assert grid.cell_of(25.0, 38.0) == (9, 9)  # clamped upper edge
+
+    def test_cell_of_clamps_outside(self, grid):
+        assert grid.cell_of(23.0, 36.0) == (0, 0)
+        assert grid.cell_of(26.0, 39.0) == (9, 9)
+
+    def test_cell_id_flat_layout(self, grid):
+        ix, iy = grid.cell_of(24.55, 37.25)
+        assert grid.cell_id(24.55, 37.25) == iy * grid.nx + ix
+
+    def test_cell_bbox_contains_cell_points(self, grid):
+        box = grid.cell_bbox(3, 7)
+        assert grid.cell_of(*box.center) == (3, 7)
+
+    def test_cell_bbox_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_bbox(10, 0)
+
+    def test_cells_intersecting_subregion(self, grid):
+        cells = list(grid.cells_intersecting(BBox(24.0, 37.0, 24.25, 37.15)))
+        assert (0, 0) in cells
+        assert all(ix <= 2 and iy <= 1 for ix, iy in cells)
+
+    def test_neighbors_center(self, grid):
+        cells = list(grid.neighbors(5, 5, radius=1))
+        assert len(cells) == 9
+        assert (5, 5) in cells
+
+    def test_neighbors_corner_truncated(self, grid):
+        cells = list(grid.neighbors(0, 0, radius=1))
+        assert len(cells) == 4
+
+    @given(lon=st.floats(24.0, 25.0), lat=st.floats(37.0, 38.0))
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_maps_to_containing_cell(self, lon, lat):
+        fresh_grid = GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=10, ny=10)
+        ix, iy = fresh_grid.cell_of(lon, lat)
+        box = fresh_grid.cell_bbox(ix, iy)
+        assert box.contains(lon, lat)
+
+
+class TestGridIndex:
+    def test_insert_and_bbox_query(self, grid):
+        index = GridIndex(grid)
+        index.insert(24.1, 37.1, "a")
+        index.insert(24.9, 37.9, "b")
+        found = index.query_bbox(BBox(24.0, 37.0, 24.5, 37.5))
+        assert found == ["a"]
+
+    def test_radius_query_exact_filtering(self, grid):
+        index = GridIndex(grid)
+        index.insert(24.5, 37.5, "near")
+        index.insert(24.6, 37.5, "mid")  # ~8.8 km east
+        index.insert(24.9, 37.5, "far")
+        found = index.query_radius(24.5, 37.5, 10_000.0)
+        assert set(found) == {"near", "mid"}
+
+    def test_radius_query_crosses_cells(self, grid):
+        index = GridIndex(grid)
+        # Two points in different cells but within 3 km of each other.
+        index.insert(24.499, 37.5, "left")
+        index.insert(24.501, 37.5, "right")
+        assert haversine_m(24.499, 37.5, 24.501, 37.5) < 3000
+        found = index.query_radius(24.499, 37.5, 3000.0)
+        assert set(found) == {"left", "right"}
+
+    def test_len_and_insert_many(self, grid):
+        index = GridIndex(grid)
+        index.insert_many([(24.1, 37.1, i) for i in range(5)])
+        assert len(index) == 5
+
+    def test_cell_counts(self, grid):
+        index = GridIndex(grid)
+        index.insert(24.05, 37.05, "x")
+        index.insert(24.06, 37.06, "y")
+        counts = index.cell_counts()
+        assert counts[grid.cell_of(24.05, 37.05)] == 2

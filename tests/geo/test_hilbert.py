@@ -1,0 +1,48 @@
+"""Hilbert curve: bijectivity and locality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.hilbert import hilbert_d2xy, hilbert_xy2d
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_full_roundtrip(self, order):
+        n = 1 << order
+        seen = set()
+        for x in range(n):
+            for y in range(n):
+                d = hilbert_xy2d(order, x, y)
+                assert 0 <= d < n * n
+                assert d not in seen
+                seen.add(d)
+                assert hilbert_d2xy(order, d) == (x, y)
+        assert len(seen) == n * n
+
+    @given(order=st.integers(1, 8), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_random_roundtrip(self, order, data):
+        n = 1 << order
+        d = data.draw(st.integers(0, n * n - 1))
+        x, y = hilbert_d2xy(order, d)
+        assert hilbert_xy2d(order, x, y) == d
+
+
+class TestBoundsAndLocality:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_xy2d(2, 4, 0)
+        with pytest.raises(ValueError):
+            hilbert_d2xy(2, 16)
+
+    @pytest.mark.parametrize("order", [3, 5])
+    def test_consecutive_curve_points_are_grid_neighbors(self, order):
+        n = 1 << order
+        prev = hilbert_d2xy(order, 0)
+        for d in range(1, n * n):
+            cur = hilbert_d2xy(order, d)
+            manhattan = abs(cur[0] - prev[0]) + abs(cur[1] - prev[1])
+            assert manhattan == 1  # the defining Hilbert property
+            prev = cur

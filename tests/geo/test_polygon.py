@@ -1,0 +1,56 @@
+"""Polygon containment."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.polygon import Polygon, point_in_polygon
+
+
+SQUARE = ((24.0, 37.0), (25.0, 37.0), (25.0, 38.0), (24.0, 38.0))
+
+
+class TestPointInPolygon:
+    def test_inside(self):
+        assert point_in_polygon(24.5, 37.5, SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon(25.5, 37.5, SQUARE)
+        assert not point_in_polygon(24.5, 38.5, SQUARE)
+
+    def test_too_few_vertices(self):
+        assert not point_in_polygon(24.0, 37.0, ((24.0, 37.0), (25.0, 37.0)))
+
+    def test_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        ring = (
+            (0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0),
+            (1.0, 3.0), (4.0, 3.0), (4.0, 4.0), (0.0, 4.0),
+        )
+        assert point_in_polygon(0.5, 2.0, ring)
+        assert not point_in_polygon(2.5, 2.0, ring)  # in the notch
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon("bad", ((0.0, 0.0), (1.0, 1.0)))
+
+    def test_bbox_fast_reject(self):
+        zone = Polygon("z", SQUARE)
+        assert zone.bbox == BBox(24.0, 37.0, 25.0, 38.0)
+        assert not zone.contains(30.0, 37.5)
+
+    def test_contains_center(self):
+        zone = Polygon("z", SQUARE)
+        assert zone.contains(24.5, 37.5)
+
+    def test_rectangle_factory(self):
+        zone = Polygon.rectangle("r", BBox(1.0, 2.0, 3.0, 4.0))
+        assert zone.contains(2.0, 3.0)
+        assert not zone.contains(0.5, 3.0)
+
+    def test_centroid_of_square(self):
+        zone = Polygon("z", SQUARE)
+        lon, lat = zone.centroid()
+        assert lon == pytest.approx(24.5)
+        assert lat == pytest.approx(37.5)

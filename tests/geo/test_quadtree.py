@@ -1,0 +1,102 @@
+"""Adaptive quadtree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.quadtree import QuadTree
+
+
+@pytest.fixture()
+def box():
+    return BBox(0.0, 0.0, 10.0, 10.0)
+
+
+class TestInsertAndQuery:
+    def test_empty(self, box):
+        tree = QuadTree(box)
+        assert len(tree) == 0
+        assert tree.query_bbox(box) == []
+
+    def test_query_matches_brute_force(self, box):
+        rng = np.random.default_rng(3)
+        points = [
+            (float(rng.uniform(0, 10)), float(rng.uniform(0, 10)), i)
+            for i in range(300)
+        ]
+        tree = QuadTree(box, capacity=8)
+        for lon, lat, item in points:
+            tree.insert(lon, lat, item)
+        for __ in range(20):
+            qx, qy = float(rng.uniform(0, 8)), float(rng.uniform(0, 8))
+            query = BBox(qx, qy, qx + 2.0, qy + 2.0)
+            expected = sorted(i for x, y, i in points if query.contains(x, y))
+            assert sorted(tree.query_bbox(query)) == expected
+
+    def test_outside_points_clamped(self, box):
+        tree = QuadTree(box)
+        tree.insert(-5.0, 20.0, "x")
+        assert len(tree) == 1
+        assert tree.query_bbox(box) == ["x"]
+
+    def test_validation(self, box):
+        with pytest.raises(ValueError):
+            QuadTree(box, capacity=0)
+
+
+class TestAdaptivity:
+    def test_splits_only_where_dense(self, box):
+        tree = QuadTree(box, capacity=4)
+        rng = np.random.default_rng(5)
+        for __ in range(200):  # all in one corner
+            tree.insert(float(rng.uniform(0, 1)), float(rng.uniform(0, 1)))
+        leaves = list(tree.leaves())
+        # Deep subdivision near the corner, coarse elsewhere.
+        assert tree.depth >= 3
+        corner_leaves = [
+            (b, c) for b, c in leaves if b.intersects(BBox(0, 0, 1, 1))
+        ]
+        far_leaves = [
+            (b, c) for b, c in leaves if b.contains(9.0, 9.0)
+        ]
+        assert len(corner_leaves) > len(far_leaves)
+
+    def test_leaf_counts_sum_to_size(self, box):
+        tree = QuadTree(box, capacity=4)
+        rng = np.random.default_rng(6)
+        for __ in range(150):
+            tree.insert(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        assert sum(count for __, count in tree.leaves()) == 150
+
+    def test_max_depth_respected(self, box):
+        tree = QuadTree(box, capacity=1, max_depth=3)
+        for __ in range(50):  # identical points cannot split further
+            tree.insert(5.0, 5.0)
+        assert tree.depth <= 3
+
+    def test_leaf_bbox_contains_point(self, box):
+        tree = QuadTree(box, capacity=4)
+        rng = np.random.default_rng(7)
+        for __ in range(100):
+            tree.insert(float(rng.uniform(0, 10)), float(rng.uniform(0, 10)))
+        for __ in range(20):
+            x, y = float(rng.uniform(0, 10)), float(rng.uniform(0, 10))
+            leaf = tree.leaf_bbox(x, y)
+            assert leaf.contains(x, y)
+
+    @given(
+        points=st.lists(
+            st.tuples(st.floats(0, 10), st.floats(0, 10)), min_size=1, max_size=80
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_leaves_partition_space(self, points):
+        tree = QuadTree(BBox(0.0, 0.0, 10.0, 10.0), capacity=4)
+        for x, y in points:
+            tree.insert(x, y)
+        # Every point maps to exactly one leaf and total counts add up.
+        assert sum(c for __, c in tree.leaves()) == len(points)
+        for x, y in points:
+            assert tree.leaf_bbox(x, y).contains(x, y)

@@ -1,0 +1,62 @@
+"""R-tree insertion and query correctness (vs brute force)."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.rtree import RTree
+
+
+def random_boxes(n, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        lon = float(rng.uniform(-10, 10))
+        lat = float(rng.uniform(-10, 10))
+        w = float(rng.uniform(0.01, 1.0))
+        h = float(rng.uniform(0.01, 1.0))
+        out.append((BBox(lon, lat, lon + w, lat + h), i))
+    return out
+
+
+class TestRTree:
+    def test_min_entries_validation(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=3)
+
+    def test_empty_query(self):
+        tree = RTree()
+        assert tree.query(BBox(0, 0, 1, 1)) == []
+
+    def test_single_item(self):
+        tree = RTree()
+        tree.insert(BBox(0, 0, 1, 1), "x")
+        assert tree.query(BBox(0.5, 0.5, 2, 2)) == ["x"]
+        assert tree.query(BBox(2, 2, 3, 3)) == []
+        assert len(tree) == 1
+
+    @pytest.mark.parametrize("n", [10, 100, 300])
+    def test_matches_brute_force(self, n):
+        boxes = random_boxes(n, seed=n)
+        tree = RTree()
+        for box, item in boxes:
+            tree.insert(box, item)
+        assert len(tree) == n
+        for query, __ in random_boxes(20, seed=999):
+            expected = sorted(i for b, i in boxes if b.intersects(query))
+            got = sorted(tree.query(query))
+            assert got == expected
+
+    def test_all_items_complete(self):
+        boxes = random_boxes(50, seed=7)
+        tree = RTree()
+        for box, item in boxes:
+            tree.insert(box, item)
+        assert sorted(tree.all_items()) == list(range(50))
+
+    def test_duplicate_boxes_allowed(self):
+        tree = RTree()
+        box = BBox(0, 0, 1, 1)
+        for i in range(20):
+            tree.insert(box, i)
+        assert sorted(tree.query(box)) == list(range(20))

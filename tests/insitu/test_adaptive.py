@@ -1,0 +1,97 @@
+"""Adaptive synopses: the keep-rate controller."""
+
+import numpy as np
+import pytest
+
+from repro.insitu.adaptive import AdaptiveConfig, AdaptiveSynopsesGenerator
+from repro.insitu.synopses import SynopsesConfig
+from repro.model.reports import PositionReport
+
+
+def noisy_walk(n=3000, sigma_deg=0.0003, seed=0, entity="V1"):
+    """A jittery eastbound track: lots of DR-threshold triggers."""
+    rng = np.random.default_rng(seed)
+    reports = []
+    for i in range(n):
+        reports.append(
+            PositionReport(
+                entity_id=entity,
+                t=10.0 * i,
+                lon=24.0 + 0.0005 * i + float(rng.normal(0, sigma_deg)),
+                lat=37.0 + float(rng.normal(0, sigma_deg)),
+                speed=4.5,
+                heading=90.0,
+            )
+        )
+    return reports
+
+
+class TestController:
+    def test_converges_to_target(self):
+        target = 0.10
+        generator = AdaptiveSynopsesGenerator(
+            base=SynopsesConfig(dr_error_threshold_m=120.0, max_silence_s=1e9),
+            adaptive=AdaptiveConfig(target_keep_rate=target, adjust_every=200),
+        )
+        reports = noisy_walk()
+        kept_tail = 0
+        for i, report in enumerate(reports):
+            __, keep = generator.process(report)
+            if i >= len(reports) // 2 and keep:
+                kept_tail += 1
+        tail_rate = kept_tail / (len(reports) // 2)
+        assert tail_rate == pytest.approx(target, abs=0.06)
+
+    def test_threshold_moves_in_right_direction(self):
+        # Target far below what the base threshold achieves → threshold rises.
+        generator = AdaptiveSynopsesGenerator(
+            base=SynopsesConfig(dr_error_threshold_m=20.0, max_silence_s=1e9),
+            adaptive=AdaptiveConfig(target_keep_rate=0.02, adjust_every=100),
+        )
+        for report in noisy_walk(n=1000):
+            generator.process(report)
+        assert generator.current_threshold_m > 20.0
+
+    def test_threshold_clamped(self):
+        config = AdaptiveConfig(
+            target_keep_rate=0.001, adjust_every=50,
+            min_threshold_m=10.0, max_threshold_m=200.0,
+        )
+        generator = AdaptiveSynopsesGenerator(
+            base=SynopsesConfig(dr_error_threshold_m=100.0, max_silence_s=1e9),
+            adaptive=config,
+        )
+        for report in noisy_walk(n=2000):
+            generator.process(report)
+        assert all(10.0 <= t <= 200.0 for t in generator.threshold_history)
+
+    def test_history_recorded(self):
+        generator = AdaptiveSynopsesGenerator(
+            adaptive=AdaptiveConfig(target_keep_rate=0.1, adjust_every=100)
+        )
+        for report in noisy_walk(n=500):
+            generator.process(report)
+        assert len(generator.threshold_history) == 1 + 500 // 100
+
+    def test_finish_all_passthrough(self):
+        generator = AdaptiveSynopsesGenerator()
+        for report in noisy_walk(n=50):
+            generator.process(report)
+        finals = generator.finish_all()
+        assert len(finals) <= 1  # one entity
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(target_keep_rate=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(adjust_every=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(min_threshold_m=100.0, max_threshold_m=50.0)
+
+    def test_counters_match_inner(self):
+        generator = AdaptiveSynopsesGenerator()
+        reports = noisy_walk(n=300)
+        kept = sum(1 for r in reports if generator.process(r)[1])
+        assert generator.seen == 300
+        assert generator.kept == kept
+        assert generator.compression_ratio == pytest.approx(1.0 - kept / 300)

@@ -1,0 +1,125 @@
+"""Critical point detection."""
+
+import pytest
+
+from repro.insitu.critical import CriticalPointDetector, CriticalPointType
+from repro.model.reports import PositionReport
+
+
+def report(entity="V1", t=0.0, lon=24.0, lat=37.0, speed=5.0, heading=90.0):
+    return PositionReport(
+        entity_id=entity, t=t, lon=lon, lat=lat, speed=speed, heading=heading
+    )
+
+
+class TestTrackStart:
+    def test_first_report_is_track_start(self):
+        det = CriticalPointDetector()
+        annotated = det.process(report())
+        assert CriticalPointType.TRACK_START in annotated.critical
+
+    def test_second_report_not_track_start(self):
+        det = CriticalPointDetector()
+        det.process(report(t=0.0))
+        annotated = det.process(report(t=10.0, lon=24.001))
+        assert CriticalPointType.TRACK_START not in annotated.critical
+
+
+class TestStops:
+    def test_stop_start_and_end(self):
+        det = CriticalPointDetector(stop_speed_mps=1.0)
+        det.process(report(t=0.0, speed=5.0))
+        stopping = det.process(report(t=10.0, speed=0.2))
+        assert CriticalPointType.STOP_START in stopping.critical
+        still = det.process(report(t=20.0, speed=0.1))
+        assert CriticalPointType.STOP_START not in still.critical
+        moving = det.process(report(t=30.0, speed=4.0))
+        assert CriticalPointType.STOP_END in moving.critical
+
+    def test_speed_derived_when_missing(self):
+        det = CriticalPointDetector(stop_speed_mps=1.0)
+        det.process(report(t=0.0, speed=None, heading=None))
+        # Same position => derived speed 0 => stop.
+        annotated = det.process(report(t=10.0, speed=None, heading=None))
+        assert CriticalPointType.STOP_START in annotated.critical
+
+
+class TestTurns:
+    def test_turn_detected(self):
+        det = CriticalPointDetector(turn_threshold_deg=15.0)
+        det.process(report(t=0.0, heading=90.0))
+        det.process(report(t=10.0, lon=24.001, heading=92.0))
+        turned = det.process(report(t=20.0, lon=24.002, heading=120.0))
+        assert CriticalPointType.TURN in turned.critical
+
+    def test_gradual_drift_below_threshold(self):
+        det = CriticalPointDetector(turn_threshold_deg=15.0)
+        det.process(report(t=0.0, heading=90.0))
+        for i in range(1, 5):
+            annotated = det.process(
+                report(t=10.0 * i, lon=24.0 + 0.001 * i, heading=90.0 + 2.0 * i)
+            )
+            assert CriticalPointType.TURN not in annotated.critical
+
+    def test_no_turn_while_stopped(self):
+        det = CriticalPointDetector(turn_threshold_deg=10.0, stop_speed_mps=1.0)
+        det.process(report(t=0.0, speed=0.1, heading=0.0))
+        annotated = det.process(report(t=10.0, speed=0.1, heading=170.0))
+        assert CriticalPointType.TURN not in annotated.critical
+
+
+class TestSpeedChange:
+    def test_speed_change_detected(self):
+        det = CriticalPointDetector(speed_change_ratio=0.25)
+        det.process(report(t=0.0, speed=8.0))
+        changed = det.process(report(t=10.0, lon=24.001, speed=5.0))
+        assert CriticalPointType.SPEED_CHANGE in changed.critical
+
+    def test_small_change_ignored(self):
+        det = CriticalPointDetector(speed_change_ratio=0.25)
+        det.process(report(t=0.0, speed=8.0))
+        same = det.process(report(t=10.0, lon=24.001, speed=7.5))
+        assert CriticalPointType.SPEED_CHANGE not in same.critical
+
+    def test_reference_updates_after_event(self):
+        det = CriticalPointDetector(speed_change_ratio=0.25)
+        det.process(report(t=0.0, speed=8.0))
+        det.process(report(t=10.0, lon=24.001, speed=5.0))  # event; ref=5
+        again = det.process(report(t=20.0, lon=24.002, speed=5.5))
+        assert CriticalPointType.SPEED_CHANGE not in again.critical
+
+
+class TestGaps:
+    def test_gap_end_annotated(self):
+        det = CriticalPointDetector(gap_threshold_s=300.0)
+        det.process(report(t=0.0))
+        after_gap = det.process(report(t=1000.0, lon=24.01))
+        assert CriticalPointType.GAP_END in after_gap.critical
+
+    def test_normal_cadence_no_gap(self):
+        det = CriticalPointDetector(gap_threshold_s=300.0)
+        det.process(report(t=0.0))
+        normal = det.process(report(t=10.0, lon=24.001))
+        assert CriticalPointType.GAP_END not in normal.critical
+
+
+class TestAblation:
+    def test_disabled_detector_never_fires(self):
+        enabled = frozenset(CriticalPointType) - {CriticalPointType.TURN}
+        det = CriticalPointDetector(turn_threshold_deg=5.0, enabled=enabled)
+        det.process(report(t=0.0, heading=90.0))
+        annotated = det.process(report(t=10.0, lon=24.001, heading=180.0))
+        assert CriticalPointType.TURN not in annotated.critical
+
+    def test_reset_clears_state(self):
+        det = CriticalPointDetector()
+        det.process(report(t=0.0))
+        det.reset()
+        annotated = det.process(report(t=10.0))
+        assert CriticalPointType.TRACK_START in annotated.critical
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CriticalPointDetector(speed_change_ratio=1.5)
+        with pytest.raises(ValueError):
+            CriticalPointDetector(gap_threshold_s=0.0)

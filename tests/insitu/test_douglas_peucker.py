@@ -1,0 +1,62 @@
+"""Douglas-Peucker batch simplification."""
+
+import pytest
+
+from repro.insitu.douglas_peucker import douglas_peucker
+from repro.insitu.quality import reconstruction_errors_m
+from repro.model.trajectory import Trajectory
+from repro.sources.kinematics import simulate_route
+from repro.sources.world import RouteSpec
+
+
+@pytest.fixture()
+def dogleg():
+    route = RouteSpec(
+        "dogleg", ((24.0, 37.0), (24.3, 37.0), (24.3, 37.3)), speed_mps=9.0
+    )
+    return simulate_route("V1", route, dt_s=10.0)
+
+
+class TestDouglasPeucker:
+    def test_keeps_endpoints(self, dogleg):
+        simplified = douglas_peucker(dogleg, 100.0)
+        assert simplified[0] == dogleg[0]
+        assert simplified[len(simplified) - 1] == dogleg[len(dogleg) - 1]
+
+    def test_straight_line_collapses_to_two_points(self):
+        track = Trajectory(
+            "V1", [0, 10, 20, 30], [0.0, 0.001, 0.002, 0.003], [0.0, 0.0, 0.0, 0.0]
+        )
+        simplified = douglas_peucker(track, 50.0)
+        assert len(simplified) == 2
+
+    def test_corner_preserved(self, dogleg):
+        simplified = douglas_peucker(dogleg, 200.0)
+        # The dogleg corner at (24.3, 37.0) must survive simplification.
+        assert simplified.distance_to_point_m(24.3, 37.0) < 1000.0
+        assert len(simplified) >= 3
+
+    def test_error_bound_holds(self, dogleg):
+        tolerance = 150.0
+        simplified = douglas_peucker(dogleg, tolerance)
+        errors = reconstruction_errors_m(dogleg, simplified)
+        # DP bounds the *spatial* deviation; temporal interpolation adds a
+        # modest factor on the time axis.
+        assert float(errors.max()) < tolerance * 3.0
+
+    def test_zero_tolerance_keeps_everything_noncollinear(self, dogleg):
+        simplified = douglas_peucker(dogleg, 0.0)
+        assert len(simplified) >= len(dogleg) * 0.9
+
+    def test_short_input_passthrough(self):
+        track = Trajectory("V1", [0, 10], [24.0, 24.1], [37.0, 37.0])
+        assert douglas_peucker(track, 10.0) is track
+
+    def test_negative_tolerance_rejected(self, dogleg):
+        with pytest.raises(ValueError):
+            douglas_peucker(dogleg, -1.0)
+
+    def test_monotone_in_tolerance(self, dogleg):
+        fine = douglas_peucker(dogleg, 20.0)
+        coarse = douglas_peucker(dogleg, 500.0)
+        assert len(coarse) <= len(fine)

@@ -1,0 +1,93 @@
+"""In-situ cleaning filters."""
+
+import pytest
+
+from repro.insitu.filters import DeduplicateFilter, PlausibilityFilter, clean_reports
+from repro.model.entities import EntityRegistry, Vessel
+from repro.model.reports import PositionReport
+
+
+def report(entity="V1", t=0.0, lon=24.0, lat=37.0, speed=None):
+    return PositionReport(entity_id=entity, t=t, lon=lon, lat=lat, speed=speed)
+
+
+class TestPlausibilityFilter:
+    def test_accepts_normal_motion(self):
+        flt = PlausibilityFilter()
+        assert flt.accept(report(t=0.0))
+        assert flt.accept(report(t=10.0, lon=24.001))  # ~9 m/s
+
+    def test_rejects_teleport(self):
+        flt = PlausibilityFilter(default_max_speed_mps=20.0)
+        assert flt.accept(report(t=0.0))
+        # 1 degree (~89 km) in 10 s is far beyond 20 m/s.
+        assert not flt.accept(report(t=10.0, lon=25.0))
+        assert flt.rejected == 1
+
+    def test_rejects_backwards_time(self):
+        flt = PlausibilityFilter()
+        assert flt.accept(report(t=100.0))
+        assert not flt.accept(report(t=50.0))
+
+    def test_rejects_reported_overspeed(self):
+        registry = EntityRegistry()
+        registry.add(Vessel("V1", "x", max_speed_mps=10.0))
+        flt = PlausibilityFilter(registry=registry, tolerance=1.5)
+        assert not flt.accept(report(speed=16.0))
+        assert flt.accept(report(speed=14.0))
+
+    def test_registry_ceiling_used_for_implied_speed(self):
+        registry = EntityRegistry()
+        registry.add(Vessel("V1", "x", max_speed_mps=5.0))
+        flt = PlausibilityFilter(registry=registry)
+        assert flt.accept(report(t=0.0))
+        # ~9 m/s implied beats a 5 m/s vessel even with 1.5 tolerance.
+        assert not flt.accept(report(t=10.0, lon=24.001))
+
+    def test_entities_isolated(self):
+        flt = PlausibilityFilter(default_max_speed_mps=20.0)
+        assert flt.accept(report(entity="A", t=0.0, lon=24.0))
+        assert flt.accept(report(entity="B", t=1.0, lon=25.0))
+
+    def test_rejection_does_not_pollute_state(self):
+        flt = PlausibilityFilter(default_max_speed_mps=20.0)
+        assert flt.accept(report(t=0.0))
+        assert not flt.accept(report(t=10.0, lon=25.0))  # teleport rejected
+        # Next report consistent with the *accepted* state passes.
+        assert flt.accept(report(t=20.0, lon=24.002))
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            PlausibilityFilter(tolerance=0.5)
+
+
+class TestDeduplicateFilter:
+    def test_drops_exact_duplicate(self):
+        flt = DeduplicateFilter()
+        assert flt.accept(report(t=0.0))
+        assert not flt.accept(report(t=0.0))
+        assert flt.dropped == 1
+
+    def test_different_positions_kept(self):
+        flt = DeduplicateFilter()
+        assert flt.accept(report(t=0.0, lon=24.0))
+        assert flt.accept(report(t=0.0, lon=24.1))
+
+    def test_memory_bound(self):
+        flt = DeduplicateFilter(memory=2)
+        for i in range(5):
+            assert flt.accept(report(t=float(i)))
+        # t=0 fell out of the memory window: duplicate passes (bounded state).
+        assert flt.accept(report(t=0.0))
+
+
+class TestCleanReports:
+    def test_pipeline_composition(self):
+        reports = [
+            report(t=0.0),
+            report(t=0.0),           # duplicate
+            report(t=10.0, lon=24.001),
+            report(t=20.0, lon=25.0),  # teleport
+        ]
+        cleaned = clean_reports(reports)
+        assert len(cleaned) == 2

@@ -1,0 +1,124 @@
+"""Cross-source stream fusion."""
+
+import numpy as np
+import pytest
+
+from repro.insitu.fusion import (
+    CrossSourceFuser,
+    FusionConfig,
+    fuse_streams,
+    merge_streams,
+)
+from repro.model.reports import PositionReport, ReportSource
+
+
+def report(entity="V1", t=0.0, lon=24.0, lat=37.0, source=ReportSource.AIS_TERRESTRIAL):
+    return PositionReport(entity_id=entity, t=t, lon=lon, lat=lat, source=source)
+
+
+class TestMergeStreams:
+    def test_global_time_order(self):
+        a = [report(t=0.0), report(t=20.0), report(t=40.0)]
+        b = [report(t=10.0, source=ReportSource.AIS_SATELLITE),
+             report(t=30.0, source=ReportSource.AIS_SATELLITE)]
+        merged = list(merge_streams([a, b]))
+        assert [r.t for r in merged] == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_unordered_input_rejected(self):
+        bad = [report(t=10.0), report(t=5.0)]
+        with pytest.raises(ValueError):
+            list(merge_streams([bad]))
+
+    def test_empty_streams(self):
+        assert list(merge_streams([[], []])) == []
+
+
+class TestCrossSourceFuser:
+    def test_near_duplicate_from_coarser_source_suppressed(self):
+        fuser = CrossSourceFuser(FusionConfig(window_s=10.0, radius_m=200.0))
+        assert fuser.accept(report(t=0.0, source=ReportSource.AIS_TERRESTRIAL))
+        # Satellite echo of the same position 2 s later: redundant.
+        assert not fuser.accept(
+            report(t=2.0, lon=24.0001, source=ReportSource.AIS_SATELLITE)
+        )
+        assert fuser.suppressed == 1
+
+    def test_higher_precision_source_always_accepted(self):
+        fuser = CrossSourceFuser(FusionConfig(window_s=10.0, radius_m=200.0))
+        assert fuser.accept(report(t=0.0, source=ReportSource.AIS_SATELLITE))
+        assert fuser.accept(report(t=2.0, source=ReportSource.AIS_TERRESTRIAL))
+
+    def test_same_source_cadence_not_suppressed(self):
+        fuser = CrossSourceFuser(FusionConfig(window_s=5.0, radius_m=100.0))
+        assert fuser.accept(report(t=0.0))
+        assert fuser.accept(report(t=10.0, lon=24.001))  # outside window
+
+    def test_distant_simultaneous_reports_kept(self):
+        # Different position at the same instant is information, not echo.
+        fuser = CrossSourceFuser(FusionConfig(window_s=10.0, radius_m=100.0))
+        assert fuser.accept(report(t=0.0))
+        assert fuser.accept(report(t=1.0, lon=24.1, source=ReportSource.AIS_SATELLITE))
+
+    def test_entities_isolated(self):
+        fuser = CrossSourceFuser(FusionConfig(window_s=10.0, radius_m=200.0))
+        assert fuser.accept(report(entity="A", t=0.0))
+        assert fuser.accept(report(entity="B", t=1.0, source=ReportSource.AIS_SATELLITE))
+
+    def test_radar_lowest_precision(self):
+        fuser = CrossSourceFuser(FusionConfig(window_s=10.0, radius_m=200.0))
+        assert fuser.accept(report(t=0.0, source=ReportSource.AIS_SATELLITE))
+        # Radar ranks below satellite: its echo is suppressed.
+        assert not fuser.accept(
+            report(t=1.0, lon=24.0001, source=ReportSource.RADAR)
+        )
+        # But a radar report is accepted when nothing fresher exists.
+        assert fuser.accept(report(entity="R2", t=0.0, source=ReportSource.RADAR))
+
+    def test_unknown_source_defaults_to_mid_rank(self):
+        config = FusionConfig(window_s=10.0, radius_m=200.0, source_rank={})
+        fuser = CrossSourceFuser(config)
+        assert fuser._rank(ReportSource.RADAR) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FusionConfig(window_s=0.0)
+
+
+class TestFuseStreams:
+    def test_dual_provider_fleet(self, maritime_sample):
+        from repro.sources.noise import SensorModel
+
+        rng = np.random.default_rng(5)
+        terrestrial = SensorModel(report_period_s=10.0, gps_sigma_m=10.0)
+        satellite = SensorModel(report_period_s=30.0, gps_sigma_m=60.0)
+        streams = []
+        for truth in maritime_sample.truth.values():
+            streams.append(
+                terrestrial.observe(truth, source=ReportSource.AIS_TERRESTRIAL, rng=rng)
+            )
+            streams.append(
+                satellite.observe(truth, source=ReportSource.AIS_SATELLITE, rng=rng)
+            )
+        fused, fuser = fuse_streams(streams, FusionConfig(window_s=8.0, radius_m=300.0))
+        total = sum(len(s) for s in streams)
+        assert fuser.suppressed > 0
+        assert len(fused) == total - fuser.suppressed
+        times = [r.t for r in fused]
+        assert times == sorted(times)
+
+    def test_fused_stream_feeds_pipeline(self, maritime_sample):
+        """Fusion output is a valid pipeline input (integration)."""
+        from repro.core.pipeline import MobilityPipeline
+        from repro.sources.noise import SensorModel
+
+        rng = np.random.default_rng(6)
+        satellite = SensorModel(report_period_s=30.0, gps_sigma_m=60.0)
+        truth = next(iter(maritime_sample.truth.values()))
+        streams = [
+            [r for r in maritime_sample.reports if r.entity_id == truth.entity_id],
+            satellite.observe(truth, source=ReportSource.AIS_SATELLITE, rng=rng),
+        ]
+        fused, __ = fuse_streams(streams)
+        pipeline = MobilityPipeline(bbox=maritime_sample.world.bbox)
+        result = pipeline.run(fused)
+        assert result.reports_clean > 0

@@ -1,0 +1,119 @@
+"""Cross-module integration tests."""
+
+import pytest
+
+from repro.cep.detectors import CollisionRiskDetector
+from repro.cep.evaluation import match_events
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MobilityPipeline
+from repro.geo.bbox import BBox
+from repro.insitu.synopses import SynopsesConfig, SynopsesGenerator
+from repro.query.parser import parse_query
+from repro.sources.scenarios import collision_course_scenario
+from repro.trajectory.reconstruction import reconstruct_all
+
+
+class TestScenarioThroughPipeline:
+    def test_collision_detected_through_full_pipeline(self):
+        scenario = collision_course_scenario()
+        bbox = BBox(23.0, 36.0, 26.0, 38.0)
+        pipeline = MobilityPipeline(bbox=bbox)
+        result = pipeline.run(scenario.reports)
+        collisions = [
+            e for e in result.complex_events if e.event_type == "collision_risk"
+        ]
+        score = match_events(collisions, scenario.expected)
+        assert score.recall == 1.0
+
+    def test_events_persisted_as_rdf(self):
+        from repro.rdf import vocabulary as V
+        from repro.rdf.terms import Literal
+
+        scenario = collision_course_scenario()
+        bbox = BBox(23.0, 36.0, 26.0, 38.0)
+        pipeline = MobilityPipeline(bbox=bbox)
+        pipeline.run(scenario.reports)
+        stored_events = list(
+            pipeline.store.match(None, V.PROP_EVENT_TYPE, Literal("collision_risk", V.XSD_STRING))
+        )
+        assert stored_events
+
+
+class TestQueryLanguageOverPipeline:
+    def test_textual_query_on_pipeline_store(self, maritime_sample):
+        pipeline = MobilityPipeline(
+            bbox=maritime_sample.world.bbox,
+            registry=maritime_sample.registry,
+        )
+        pipeline.run(maritime_sample.reports)
+        box = maritime_sample.world.bbox
+        query = parse_query(
+            f"SELECT ?n ?t WHERE {{ ?n rdf:type dac:SemanticNode . "
+            f"?n time:inSeconds ?t . "
+            f"FILTER ST_WITHIN(?n, {box.min_lon}, {box.min_lat}, "
+            f"{box.max_lon}, {box.max_lat}, 0, 100000) }}"
+        )
+        rows, info = pipeline.executor.execute(query)
+        assert len(rows) == pipeline.result.reports_kept
+
+
+class TestCompressionAnalyticsParity:
+    def test_collision_still_detected_on_synopsis(self):
+        """The paper's central in-situ claim: compression must not break
+        downstream analytics — the collision scenario stays detectable on
+        the compressed stream."""
+        scenario = collision_course_scenario()
+        generator = SynopsesGenerator(SynopsesConfig(dr_error_threshold_m=150.0))
+        kept = [r for r in scenario.reports if generator.process(r)[1]]
+        assert len(kept) < len(scenario.reports) * 0.7
+
+        detector = CollisionRiskDetector(staleness_s=600.0)
+        detections = []
+        for report in kept:
+            detections.extend(detector.process(report))
+        score = match_events(detections, scenario.expected)
+        assert score.recall == 1.0
+
+    def test_reconstruction_from_synopsis_close_to_truth(self, maritime_sample):
+        from repro.geo.geodesy import haversine_m
+
+        generator = SynopsesGenerator(SynopsesConfig(dr_error_threshold_m=100.0))
+        kept = [r for r in maritime_sample.reports if generator.process(r)[1]]
+        kept.extend(generator.finish_all())
+        kept.sort(key=lambda r: r.t)
+        rebuilt = reconstruct_all(kept)
+        for entity_id, segments in rebuilt.items():
+            truth = maritime_sample.truth[entity_id]
+            track = segments[0]
+            mid = (track.start_time + track.end_time) / 2.0
+            a = track.at_time(mid)
+            b = truth.at_time(mid)
+            assert haversine_m(a.lon, a.lat, b.lon, b.lat) < 600.0
+
+
+class TestArchiveStreamParity:
+    def test_archived_then_queried_equals_streamed(self, maritime_sample):
+        """Data-at-rest and data-in-motion converge to the same store
+        content: loading archived trajectories produces the same nodes as
+        streaming their reports (with persist_raw on, no synopsis)."""
+        from repro.rdf import vocabulary as V
+
+        config = PipelineConfig(
+            persist_raw_reports=True,
+            synopses=SynopsesConfig(dr_error_threshold_m=1e12, max_silence_s=1e12),
+        )
+        streamed = MobilityPipeline(
+            bbox=maritime_sample.world.bbox, config=config,
+            registry=maritime_sample.registry,
+        )
+        streamed.run(maritime_sample.reports[:300])
+
+        batch = MobilityPipeline(
+            bbox=maritime_sample.world.bbox, config=config,
+            registry=maritime_sample.registry,
+        )
+        for report in sorted(maritime_sample.reports[:300], key=lambda r: r.entity_id):
+            batch.process_report(report.replace_time(report.t))
+
+        count = lambda p: p.store.count(None, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE)
+        assert count(streamed) == count(batch) == 300

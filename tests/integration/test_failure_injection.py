@@ -1,0 +1,157 @@
+"""Failure injection: the pipeline under hostile input conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MobilityPipeline
+from repro.model.reports import PositionReport
+from repro.sources.generators import MaritimeTrafficGenerator
+from repro.sources.noise import DeliveryModel, SensorModel
+
+
+@pytest.fixture(scope="module")
+def clean_sample():
+    return MaritimeTrafficGenerator(seed=55).generate(
+        n_vessels=4, max_duration_s=2400.0
+    )
+
+
+class TestDuplicates:
+    def test_delivered_duplicates_removed(self, clean_sample):
+        delivery = DeliveryModel(duplicate_prob=0.3)
+        delivered = delivery.deliver(
+            list(clean_sample.reports), rng=np.random.default_rng(1)
+        )
+        # Feed in delivery order; event times of duplicates are identical.
+        reports = [r for __, r in delivered]
+        pipeline = MobilityPipeline(bbox=clean_sample.world.bbox)
+        result = pipeline.run(sorted(reports, key=lambda r: r.t))
+        assert result.reports_in == len(reports)
+        # Every duplicate died in cleaning.
+        assert result.reports_clean == len(clean_sample.reports)
+
+
+class TestOutOfOrder:
+    def test_delayed_delivery_does_not_crash_or_corrupt(self, clean_sample):
+        delivery = DeliveryModel(mean_delay_s=45.0)
+        delivered = delivery.deliver(
+            list(clean_sample.reports), rng=np.random.default_rng(2)
+        )
+        reports = [r for __, r in delivered]  # delivery order ≠ event order
+        pipeline = MobilityPipeline(bbox=clean_sample.world.bbox)
+        result = pipeline.run(reports)
+        # Per-entity regressions are rejected by the plausibility filter,
+        # so the store only holds forward-moving tracks.
+        entity_id = next(iter(clean_sample.truth))
+        stored = pipeline.executor.entity_trajectory(entity_id)
+        assert list(stored.t) == sorted(stored.t)
+        assert result.reports_clean <= result.reports_in
+
+
+class TestSensorDegradation:
+    def test_heavy_dropout_still_produces_synopsis(self, clean_sample):
+        sensor = SensorModel(report_period_s=10.0, dropout_prob=0.6, gps_sigma_m=30.0)
+        rng = np.random.default_rng(3)
+        reports = []
+        for truth in clean_sample.truth.values():
+            reports.extend(sensor.observe(truth, rng=rng))
+        reports.sort(key=lambda r: r.t)
+        pipeline = MobilityPipeline(bbox=clean_sample.world.bbox)
+        result = pipeline.run(reports)
+        assert result.reports_kept > 0
+        for entity_id in clean_sample.truth:
+            stored = pipeline.executor.entity_trajectory(entity_id)
+            assert len(stored) >= 2
+
+    def test_long_gaps_produce_gap_events(self, clean_sample):
+        sensor = SensorModel(
+            report_period_s=10.0, gap_prob_per_report=0.01, gap_duration_s=900.0,
+            dropout_prob=0.0,
+        )
+        rng = np.random.default_rng(4)
+        reports = []
+        for truth in clean_sample.truth.values():
+            reports.extend(sensor.observe(truth, rng=rng))
+        reports.sort(key=lambda r: r.t)
+        pipeline = MobilityPipeline(bbox=clean_sample.world.bbox)
+        result = pipeline.run(reports)
+        gap_events = [e for e in result.simple_events if "gap" in e.event_type]
+        assert gap_events
+
+
+class TestHostileRecords:
+    def test_teleporting_entity_contained(self, clean_sample):
+        reports = list(clean_sample.reports)
+        # Inject a teleport for one entity mid-stream.
+        victim = reports[len(reports) // 2]
+        teleport = PositionReport(
+            entity_id=victim.entity_id, t=victim.t + 1.0,
+            lon=victim.lon + 3.0, lat=victim.lat, speed=5.0, heading=90.0,
+        )
+        reports.insert(len(reports) // 2 + 1, teleport)
+        reports.sort(key=lambda r: r.t)
+        pipeline = MobilityPipeline(
+            bbox=clean_sample.world.bbox, registry=clean_sample.registry
+        )
+        result = pipeline.run(reports)
+        assert result.reports_clean == len(reports) - 1  # exactly the teleport died
+        stored = pipeline.executor.entity_trajectory(victim.entity_id)
+        assert float(stored.lon.max()) < victim.lon + 1.0
+
+    def test_unknown_entity_uses_default_ceiling(self, clean_sample):
+        pipeline = MobilityPipeline(
+            bbox=clean_sample.world.bbox, registry=clean_sample.registry
+        )
+        ghost = PositionReport(entity_id="GHOST", t=1.0, lon=24.0, lat=37.0, speed=5.0)
+        events = pipeline.process_report(ghost)
+        assert events == []
+        assert pipeline.result.reports_clean == 1
+
+
+class TestInterlinking:
+    def test_zone_and_weather_links_stored(self, clean_sample):
+        from repro.rdf import vocabulary as V
+        from repro.sources.weather import WeatherGridSource
+
+        weather = WeatherGridSource(bbox=clean_sample.world.bbox)
+        pipeline = MobilityPipeline(
+            bbox=clean_sample.world.bbox,
+            config=PipelineConfig(interlink=True),
+            registry=clean_sample.registry,
+            zones=clean_sample.world.zones,
+            weather=weather,
+        )
+        pipeline.run(clean_sample.reports)
+        weather_links = pipeline.store.count(None, V.PROP_HAS_WEATHER, None)
+        assert weather_links == pipeline.result.reports_kept
+        weather_docs = pipeline.store.count(None, V.PROP_WIND_SPEED, None)
+        assert 0 < weather_docs <= weather_links
+
+    def test_interlink_off_no_links(self, clean_sample):
+        from repro.rdf import vocabulary as V
+
+        pipeline = MobilityPipeline(
+            bbox=clean_sample.world.bbox,
+            zones=clean_sample.world.zones,
+        )
+        pipeline.run(clean_sample.reports)
+        assert pipeline.store.count(None, V.PROP_HAS_WEATHER, None) == 0
+        assert pipeline.store.count(None, V.PROP_WITHIN_ZONE, None) == 0
+
+    def test_weather_link_resolvable_to_conditions(self, clean_sample):
+        """Follow a stored hasWeatherCondition link to its wind speed."""
+        from repro.rdf import vocabulary as V
+        from repro.sources.weather import WeatherGridSource
+
+        weather = WeatherGridSource(bbox=clean_sample.world.bbox)
+        pipeline = MobilityPipeline(
+            bbox=clean_sample.world.bbox,
+            config=PipelineConfig(interlink=True),
+            weather=weather,
+        )
+        pipeline.run(clean_sample.reports[:500])
+        link = next(iter(pipeline.store.match(None, V.PROP_HAS_WEATHER, None)))
+        conditions = list(pipeline.store.match(link.o, V.PROP_WIND_SPEED, None))
+        assert len(conditions) == 1
+        assert float(conditions[0].o.value) >= 0.0

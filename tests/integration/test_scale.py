@@ -1,0 +1,32 @@
+"""Scale smoke test: a large fleet through the full pipeline."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import MobilityPipeline
+from repro.sources.generators import MaritimeTrafficGenerator
+
+
+@pytest.mark.slow
+class TestScale:
+    def test_hundred_vessels(self):
+        sample = MaritimeTrafficGenerator(seed=77).generate(
+            n_vessels=100, max_duration_s=1800.0
+        )
+        pipeline = MobilityPipeline(
+            bbox=sample.world.bbox,
+            config=PipelineConfig(n_partitions=8),
+            registry=sample.registry,
+            zones=sample.world.zones,
+        )
+        result = pipeline.run(sample.reports)
+        assert result.reports_in > 10_000
+        assert result.throughput_rps > 300.0
+        assert result.end_to_end["p99_ms"] < 100.0
+        assert result.compression_ratio > 0.8
+        # Every vessel queryable afterwards.
+        for entity_id in list(sample.truth)[:10]:
+            assert len(pipeline.executor.entity_trajectory(entity_id)) >= 2
+        # Partitions reasonably used.
+        stats = pipeline.store.stats()
+        assert sum(1 for n in stats.triples_per_partition if n > 0) >= 4

@@ -1,0 +1,95 @@
+"""Property tests: the parallel store + executor against reference models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.reports import PositionReport
+from repro.query.executor import QueryExecutor
+from repro.rdf import vocabulary as V
+from repro.rdf.transform import RdfTransformer
+from repro.store.parallel import ParallelRDFStore
+from repro.store.partition import (
+    GridPartitioner,
+    HashPartitioner,
+    HilbertPartitioner,
+    QuadTreePartitioner,
+)
+
+WORLD = BBox(22.0, 35.0, 29.0, 41.0)
+
+
+def report_strategy():
+    return st.builds(
+        lambda e, t, lon, lat: PositionReport(
+            entity_id=f"V{e}", t=float(t), lon=lon, lat=lat, speed=5.0, heading=90.0
+        ),
+        e=st.integers(0, 5),
+        t=st.integers(0, 10_000),
+        lon=st.floats(22.0, 29.0),
+        lat=st.floats(35.0, 41.0),
+    )
+
+
+def build_store(reports, partitioner_factory):
+    grid = GeoGrid(bbox=WORLD, nx=16, ny=16)
+    transformer = RdfTransformer(st_grid=grid)
+    partitioner = partitioner_factory(grid, reports, transformer)
+    store = ParallelRDFStore(partitioner)
+    for report in reports:
+        store.add_document(transformer.report_to_triples(report))
+    return store
+
+
+PARTITIONERS = [
+    lambda grid, reports, tx: HashPartitioner(4),
+    lambda grid, reports, tx: GridPartitioner(grid, 4),
+    lambda grid, reports, tx: HilbertPartitioner(grid, 4),
+    lambda grid, reports, tx: QuadTreePartitioner(
+        grid, 4, sample_keys=[tx.st_key(r.lon, r.lat, r.t) for r in reports]
+    ),
+]
+
+
+class TestRangeQueryAgainstReference:
+    @given(
+        reports=st.lists(report_strategy(), min_size=1, max_size=40),
+        qx=st.floats(22.0, 27.0),
+        qy=st.floats(35.0, 39.0),
+        t_hi=st.integers(100, 10_000),
+        partitioner_idx=st.integers(0, 3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_results_match_brute_force(self, reports, qx, qy, t_hi, partitioner_idx):
+        # Deduplicate (entity, t) pairs: same node IRI would merge docs.
+        unique = {}
+        for report in reports:
+            unique[(report.entity_id, report.t)] = report
+        reports = list(unique.values())
+        query = BBox(qx, qy, qx + 2.0, qy + 2.0)
+
+        store = build_store(reports, PARTITIONERS[partitioner_idx])
+        executor = QueryExecutor(store)
+        nodes, info = executor.range_query(query, 0.0, float(t_hi))
+
+        expected = sorted(
+            f"{r.entity_id}@{r.t:.3f}"
+            for r in reports
+            if query.contains(r.lon, r.lat) and 0.0 <= r.t <= t_hi
+        )
+        got = sorted(n.value.rsplit("/node/", 1)[1].replace("/", "@") for n in nodes)
+        assert got == expected
+
+    @given(reports=st.lists(report_strategy(), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_triple_count_invariant_across_partitioners(self, reports):
+        unique = {}
+        for report in reports:
+            unique[(report.entity_id, report.t)] = report
+        reports = list(unique.values())
+        sizes = {
+            len(build_store(reports, factory)) for factory in PARTITIONERS
+        }
+        assert len(sizes) == 1

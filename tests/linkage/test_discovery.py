@@ -1,0 +1,134 @@
+"""Link discovery: blocked methods must match naive baselines exactly."""
+
+import numpy as np
+import pytest
+
+from repro.geo.polygon import Polygon
+from repro.linkage.discovery import (
+    SpatialItem,
+    items_from_reports,
+    proximity_links_blocked,
+    proximity_links_naive,
+    weather_links,
+    zone_links_blocked,
+    zone_links_naive,
+)
+from repro.linkage.evaluation import score_links
+from repro.linkage.relations import Link, LinkRelation
+from repro.model.reports import PositionReport
+
+
+def random_items(n=120, seed=0, spread=0.5):
+    rng = np.random.default_rng(seed)
+    return [
+        SpatialItem(
+            item_id=f"i{k}",
+            entity_id=f"E{k % 15}",
+            lon=24.0 + float(rng.uniform(-spread, spread)),
+            lat=37.0 + float(rng.uniform(-spread, spread)),
+            t=float(rng.uniform(0, 1800)),
+        )
+        for k in range(n)
+    ]
+
+
+class TestItemsFromReports:
+    def test_wrapping(self):
+        reports = [PositionReport(entity_id="V1", t=10.0, lon=24.0, lat=37.0)]
+        (item,) = items_from_reports(reports)
+        assert item.entity_id == "V1"
+        assert item.item_id == "V1@10.000"
+
+
+class TestProximity:
+    def test_same_entity_never_linked(self):
+        items = [
+            SpatialItem("a", "E1", 24.0, 37.0, 0.0),
+            SpatialItem("b", "E1", 24.0, 37.0, 1.0),
+        ]
+        links, __ = proximity_links_naive(items, 1000.0, 60.0)
+        assert links == []
+
+    def test_temporal_window_respected(self):
+        items = [
+            SpatialItem("a", "E1", 24.0, 37.0, 0.0),
+            SpatialItem("b", "E2", 24.0, 37.0, 1000.0),
+        ]
+        links, __ = proximity_links_naive(items, 1000.0, 60.0)
+        assert links == []
+        links, __ = proximity_links_naive(items, 1000.0, 2000.0)
+        assert len(links) == 1
+
+    def test_distance_threshold_respected(self):
+        items = [
+            SpatialItem("a", "E1", 24.0, 37.0, 0.0),
+            SpatialItem("b", "E2", 24.05, 37.0, 0.0),  # ~4.4 km
+        ]
+        links, __ = proximity_links_naive(items, 1000.0, 60.0)
+        assert links == []
+        links, __ = proximity_links_naive(items, 5000.0, 60.0)
+        assert len(links) == 1
+        assert links[0].value == pytest.approx(4430, rel=0.05)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_blocked_equals_naive(self, seed):
+        items = random_items(seed=seed)
+        naive, n_naive = proximity_links_naive(items, 3000.0, 120.0)
+        blocked, n_blocked = proximity_links_blocked(items, 3000.0, 120.0)
+        score = score_links(blocked, naive, n_blocked, n_naive)
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+
+    def test_blocking_prunes(self):
+        items = random_items(n=200, spread=1.5)
+        __, n_naive = proximity_links_naive(items, 2000.0, 60.0)
+        __, n_blocked = proximity_links_blocked(items, 2000.0, 60.0)
+        assert n_blocked < n_naive * 0.5
+
+    def test_canonical_symmetric(self):
+        a = Link("x", "y", LinkRelation.NEAR, 5.0)
+        b = Link("y", "x", LinkRelation.NEAR, 5.0)
+        assert a.canonical() == b.canonical()
+
+    def test_empty_input(self):
+        assert proximity_links_blocked([], 1000.0, 60.0) == ([], 0)
+
+
+class TestZones:
+    ZONES = [
+        Polygon("inner", ((23.9, 36.9), (24.1, 36.9), (24.1, 37.1), (23.9, 37.1))),
+        Polygon("far", ((30.0, 40.0), (30.5, 40.0), (30.5, 40.5), (30.0, 40.5))),
+    ]
+
+    def test_containment_found(self):
+        items = [SpatialItem("a", "E1", 24.0, 37.0, 0.0)]
+        links, __ = zone_links_naive(items, self.ZONES)
+        assert [l.target_id for l in links] == ["inner"]
+
+    def test_blocked_equals_naive(self):
+        items = random_items(n=150)
+        naive, n_naive = zone_links_naive(items, self.ZONES)
+        blocked, n_blocked = zone_links_blocked(items, self.ZONES)
+        score = score_links(blocked, naive, n_blocked, n_naive)
+        assert score.precision == 1.0 and score.recall == 1.0
+        assert n_blocked < n_naive
+
+
+class TestWeather:
+    def test_every_item_gets_exactly_one_link(self, maritime_sample):
+        from repro.sources.weather import WeatherGridSource
+
+        weather = WeatherGridSource(bbox=maritime_sample.world.bbox)
+        items = items_from_reports(maritime_sample.reports[:50])
+        links = weather_links(items, weather)
+        assert len(links) == 50
+        assert all(l.relation is LinkRelation.HAS_WEATHER for l in links)
+
+    def test_link_matches_lookup(self, maritime_sample):
+        from repro.sources.weather import WeatherGridSource
+
+        weather = WeatherGridSource(bbox=maritime_sample.world.bbox)
+        item = items_from_reports(maritime_sample.reports[:1])[0]
+        (link,) = weather_links([item], weather)
+        cell = weather.observation_at(item.lon, item.lat, item.t)
+        assert link.target_id == f"weather/{cell.cell_id}/{cell.t_start:.0f}"

@@ -1,0 +1,69 @@
+"""Trajectory weather enrichment."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.linkage.enrichment import enrich_trajectory, weather_exposure
+from repro.model.trajectory import Trajectory
+from repro.sources.weather import WeatherGridSource
+
+
+@pytest.fixture()
+def weather():
+    return WeatherGridSource(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=8, ny=8)
+
+
+def long_track(n=200):
+    return Trajectory(
+        "V1",
+        [30.0 * i for i in range(n)],
+        [23.0 + 0.01 * i for i in range(n)],
+        [37.0] * n,
+    )
+
+
+class TestEnrichTrajectory:
+    def test_samples_cover_track(self, weather):
+        track = long_track()
+        samples = enrich_trajectory(track, weather, sample_period_s=300.0)
+        assert samples
+        assert samples[0].t == track.start_time
+        assert samples[-1].t == track.end_time
+        # 300 s sampling over ~5970 s ≈ 21 samples.
+        assert 15 <= len(samples) <= 25
+
+    def test_weather_matches_direct_lookup(self, weather):
+        track = long_track()
+        samples = enrich_trajectory(track, weather)
+        mid = samples[len(samples) // 2]
+        direct = weather.observation_at(mid.lon, mid.lat, mid.t)
+        assert mid.weather == direct
+
+    def test_short_track_not_resampled(self, weather):
+        dot = Trajectory("V1", [0.0, 10.0], [23.0, 23.001], [37.0, 37.0])
+        samples = enrich_trajectory(dot, weather)
+        assert len(samples) == 2
+
+    def test_empty_track(self, weather):
+        assert enrich_trajectory(Trajectory("V1", [], [], []), weather) == []
+
+
+class TestWeatherExposure:
+    def test_summary_statistics(self, weather):
+        samples = enrich_trajectory(long_track(), weather)
+        exposure = weather_exposure(samples)
+        assert exposure.n_samples == len(samples)
+        assert 0.0 <= exposure.mean_wind_mps <= exposure.max_wind_mps
+        assert 0.0 <= exposure.mean_wave_m <= exposure.max_wave_m
+        assert 0.0 <= exposure.rough_fraction <= 1.0
+
+    def test_rough_threshold_monotone(self, weather):
+        samples = enrich_trajectory(long_track(), weather)
+        lenient = weather_exposure(samples, rough_wave_m=0.0).rough_fraction
+        strict = weather_exposure(samples, rough_wave_m=10.0).rough_fraction
+        assert lenient == 1.0
+        assert strict <= lenient
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weather_exposure([])

@@ -1,0 +1,50 @@
+"""Link scoring."""
+
+import pytest
+
+from repro.linkage.evaluation import score_links
+from repro.linkage.relations import Link, LinkRelation
+
+
+def near(a, b):
+    return Link(a, b, LinkRelation.NEAR)
+
+
+class TestScoreLinks:
+    def test_perfect(self):
+        links = [near("a", "b"), near("c", "d")]
+        score = score_links(links, links)
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_partial(self):
+        found = [near("a", "b"), near("x", "y")]
+        reference = [near("a", "b"), near("c", "d")]
+        score = score_links(found, reference)
+        assert score.true_positives == 1
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_symmetric_canonicalisation(self):
+        score = score_links([near("b", "a")], [near("a", "b")])
+        assert score.recall == 1.0
+
+    def test_empty_sets(self):
+        score = score_links([], [])
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_pruning_ratio(self):
+        score = score_links([], [], candidates_compared=100, candidates_baseline=1000)
+        assert score.pruning_ratio == pytest.approx(0.9)
+
+    def test_pruning_unknown(self):
+        score = score_links([], [])
+        assert score.pruning_ratio == 0.0
+
+    def test_within_zone_not_canonicalised(self):
+        # Containment is directional: reversed ids are different links.
+        found = [Link("zone1", "item1", LinkRelation.WITHIN_ZONE)]
+        reference = [Link("item1", "zone1", LinkRelation.WITHIN_ZONE)]
+        score = score_links(found, reference)
+        assert score.true_positives == 0

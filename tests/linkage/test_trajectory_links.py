@@ -1,0 +1,77 @@
+"""Trajectory-level link discovery."""
+
+import pytest
+
+from repro.linkage.relations import LinkRelation
+from repro.linkage.trajectory_links import (
+    co_movement_links,
+    same_route_links,
+    to_rdf_links,
+)
+from repro.model.trajectory import Trajectory
+from repro.sources.kinematics import simulate_route
+from repro.sources.world import RouteSpec
+
+ROUTE_A = RouteSpec("A", ((24.0, 37.0), (24.5, 37.0)), speed_mps=10.0)
+ROUTE_B = RouteSpec("B", ((24.0, 38.0), (24.5, 38.0)), speed_mps=10.0)
+
+
+def voyage(entity, route, start=0.0):
+    return simulate_route(entity, route, start_time=start, dt_s=10.0)
+
+
+class TestSameRoute:
+    def test_same_lane_links(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_A, start=5_000.0)  # hours apart, same lane
+        links = same_route_links([a, b])
+        assert len(links) == 1
+        assert links[0].relation == "same_route"
+        assert (links[0].source_id, links[0].target_id) == ("V1", "V2")
+
+    def test_different_lanes_do_not_link(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_B)
+        assert same_route_links([a, b]) == []
+
+    def test_reciprocal_direction_does_not_link(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_A.reversed())
+        assert same_route_links([a, b], max_shape_distance_m=5_000.0) == []
+
+    def test_same_entity_skipped(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V1", ROUTE_A, start=9_999.0)
+        assert same_route_links([a, b]) == []
+
+
+class TestCoMovement:
+    def test_convoy_links(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_A, start=30.0)  # 300 m behind at 10 m/s
+        links = co_movement_links([a, b], radius_m=2_000.0)
+        assert len(links) == 1
+        assert links[0].relation == "co_movement"
+        assert links[0].score > 0.6
+
+    def test_time_disjoint_voyages_do_not_link(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_A, start=a.end_time + 1_000.0)
+        assert co_movement_links([a, b]) == []
+
+    def test_same_lane_hours_apart_not_co_moving(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_A, start=3_000.0)
+        links = co_movement_links([a, b], radius_m=2_000.0,
+                                  min_overlap_fraction=0.6)
+        assert links == []
+
+
+class TestRdfLowering:
+    def test_lowering(self):
+        a = voyage("V1", ROUTE_A)
+        b = voyage("V2", ROUTE_A, start=30.0)
+        links = co_movement_links([a, b], radius_m=2_000.0)
+        lowered = to_rdf_links(links)
+        assert len(lowered) == 1
+        assert lowered[0].relation is LinkRelation.NEAR

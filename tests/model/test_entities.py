@@ -1,0 +1,71 @@
+"""Entities and the registry."""
+
+import pytest
+
+from repro.model.entities import Aircraft, EntityRegistry, MovingEntity, Vessel
+from repro.model.errors import UnknownEntityError
+from repro.model.points import Domain
+
+
+class TestEntities:
+    def test_vessel_defaults(self):
+        v = Vessel("V1", "MV Test")
+        assert v.domain is Domain.MARITIME
+        assert v.vessel_type == "cargo"
+        assert v.max_speed_mps == pytest.approx(13.0)
+
+    def test_aircraft_defaults(self):
+        a = Aircraft("F1", "FLT001")
+        assert a.domain is Domain.AVIATION
+        assert a.cruise_alt_m == pytest.approx(10_000.0)
+
+    def test_vessel_wrong_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Vessel("V1", "x", domain=Domain.AVIATION)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            MovingEntity("", "x", Domain.MARITIME)
+
+    def test_nonpositive_speed_rejected(self):
+        with pytest.raises(ValueError):
+            MovingEntity("e", "x", Domain.MARITIME, max_speed_mps=0.0)
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Vessel("V1", "x", length_m=-5.0)
+
+
+class TestRegistry:
+    def test_add_get_contains(self):
+        reg = EntityRegistry()
+        reg.add(Vessel("V1", "a"))
+        assert "V1" in reg
+        assert reg.get("V1").name == "a"
+        assert len(reg) == 1
+
+    def test_get_unknown_raises(self):
+        reg = EntityRegistry()
+        with pytest.raises(UnknownEntityError):
+            reg.get("nope")
+        assert reg.get_or_none("nope") is None
+
+    def test_replace(self):
+        reg = EntityRegistry()
+        reg.add(Vessel("V1", "old"))
+        reg.add(Vessel("V1", "new"))
+        assert reg.get("V1").name == "new"
+        assert len(reg) == 1
+
+    def test_by_domain(self):
+        reg = EntityRegistry()
+        reg.add(Vessel("V1", "a"))
+        reg.add(Aircraft("F1", "b"))
+        maritime = reg.by_domain(Domain.MARITIME)
+        assert [e.entity_id for e in maritime] == ["V1"]
+
+    def test_iteration(self):
+        reg = EntityRegistry()
+        reg.add(Vessel("V1", "a"))
+        reg.add(Vessel("V2", "b"))
+        assert sorted(e.entity_id for e in reg) == ["V1", "V2"]

@@ -1,0 +1,40 @@
+"""Simple and complex event model."""
+
+import pytest
+
+from repro.model.events import ComplexEvent, EventSeverity, SimpleEvent
+
+
+class TestSimpleEvent:
+    def test_valid(self):
+        e = SimpleEvent("zone_entry", "V1", 10.0, 24.0, 37.0)
+        assert e.severity is EventSeverity.INFO
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleEvent("", "V1", 0.0, 24.0, 37.0)
+
+    def test_empty_entity_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleEvent("x", "", 0.0, 24.0, 37.0)
+
+    def test_attributes_payload(self):
+        e = SimpleEvent("proximity", "V1", 0.0, 24.0, 37.0, attributes={"other": "V2"})
+        assert e.attributes["other"] == "V2"
+
+
+class TestComplexEvent:
+    def test_duration(self):
+        e = ComplexEvent("collision_risk", ("V1", "V2"), 10.0, 40.0)
+        assert e.duration == pytest.approx(30.0)
+
+    def test_time_order_enforced(self):
+        with pytest.raises(ValueError):
+            ComplexEvent("x", ("V1",), 40.0, 10.0)
+
+    def test_needs_entities(self):
+        with pytest.raises(ValueError):
+            ComplexEvent("x", (), 0.0, 1.0)
+
+    def test_severity_ordering(self):
+        assert EventSeverity.ALARM > EventSeverity.WARNING > EventSeverity.INFO

@@ -1,0 +1,56 @@
+"""STPoint and Domain."""
+
+import math
+
+import pytest
+
+from repro.model.points import Domain, STPoint
+
+
+class TestSTPoint:
+    def test_valid_2d(self):
+        p = STPoint(10.0, 24.0, 37.0)
+        assert not p.is_3d
+        assert p.as_tuple() == (10.0, 24.0, 37.0, None)
+
+    def test_valid_3d(self):
+        p = STPoint(0.0, 24.0, 37.0, alt=10_000.0)
+        assert p.is_3d
+
+    @pytest.mark.parametrize("lon", [-180.1, 180.1, float("nan")])
+    def test_bad_longitude(self, lon):
+        with pytest.raises(ValueError):
+            STPoint(0.0, lon, 37.0)
+
+    @pytest.mark.parametrize("lat", [-90.1, 90.1])
+    def test_bad_latitude(self, lat):
+        with pytest.raises(ValueError):
+            STPoint(0.0, 24.0, lat)
+
+    def test_bad_time(self):
+        with pytest.raises(ValueError):
+            STPoint(float("inf"), 24.0, 37.0)
+
+    def test_bad_altitude(self):
+        with pytest.raises(ValueError):
+            STPoint(0.0, 24.0, 37.0, alt=float("nan"))
+
+    def test_with_time(self):
+        p = STPoint(0.0, 24.0, 37.0, alt=5.0)
+        q = p.with_time(99.0)
+        assert q.t == 99.0
+        assert (q.lon, q.lat, q.alt) == (p.lon, p.lat, p.alt)
+
+    def test_frozen(self):
+        p = STPoint(0.0, 24.0, 37.0)
+        with pytest.raises(AttributeError):
+            p.lon = 25.0
+
+    def test_hashable(self):
+        assert len({STPoint(0.0, 24.0, 37.0), STPoint(0.0, 24.0, 37.0)}) == 1
+
+
+class TestDomain:
+    def test_dimensionality(self):
+        assert Domain.AVIATION.is_3d
+        assert not Domain.MARITIME.is_3d

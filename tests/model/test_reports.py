@@ -1,0 +1,59 @@
+"""PositionReport validation and helpers."""
+
+import pytest
+
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+
+
+def make(**kwargs):
+    defaults = dict(entity_id="V1", t=10.0, lon=24.0, lat=37.0)
+    defaults.update(kwargs)
+    return PositionReport(**defaults)
+
+
+class TestValidation:
+    def test_minimal(self):
+        r = make()
+        assert r.source is ReportSource.SYNTHETIC
+        assert r.domain is Domain.MARITIME
+
+    def test_empty_entity_rejected(self):
+        with pytest.raises(ValueError):
+            make(entity_id="")
+
+    def test_heading_range(self):
+        make(heading=0.0)
+        make(heading=359.9)
+        with pytest.raises(ValueError):
+            make(heading=360.0)
+        with pytest.raises(ValueError):
+            make(heading=-1.0)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            make(speed=-0.1)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(ValueError):
+            make(t=float("nan"))
+
+
+class TestHelpers:
+    def test_point_projection(self):
+        r = make(alt=9000.0)
+        p = r.point()
+        assert (p.t, p.lon, p.lat, p.alt) == (10.0, 24.0, 37.0, 9000.0)
+
+    def test_replace_time_preserves_rest(self):
+        r = make(speed=5.0, heading=45.0, extras={"nav": "underway"})
+        shifted = r.replace_time(99.0)
+        assert shifted.t == 99.0
+        assert shifted.speed == 5.0
+        assert shifted.heading == 45.0
+        assert shifted.extras == {"nav": "underway"}
+
+    def test_frozen(self):
+        r = make()
+        with pytest.raises(AttributeError):
+            r.t = 11.0

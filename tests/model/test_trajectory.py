@@ -1,0 +1,158 @@
+"""Trajectory container: invariants, interpolation, slicing, resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.errors import EmptyTrajectoryError, TimeOrderError
+from repro.model.points import Domain, STPoint
+from repro.model.trajectory import Trajectory
+
+
+class TestConstruction:
+    def test_time_order_enforced(self):
+        with pytest.raises(TimeOrderError):
+            Trajectory("x", [0, 10, 5], [24, 24.1, 24.2], [37, 37, 37])
+
+    def test_equal_timestamps_rejected(self):
+        with pytest.raises(TimeOrderError):
+            Trajectory("x", [0, 10, 10], [24, 24.1, 24.2], [37, 37, 37])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Trajectory("x", [0, 10], [24.0], [37.0, 37.1])
+
+    def test_alt_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Trajectory("x", [0, 10], [24, 24.1], [37, 37], [100])
+
+    def test_from_points_mixed_alt_drops_altitude(self):
+        points = [STPoint(0, 24, 37, alt=100.0), STPoint(10, 24.1, 37)]
+        t = Trajectory.from_points("x", points)
+        assert not t.is_3d
+
+    def test_arrays_read_only(self, straight_track):
+        with pytest.raises(ValueError):
+            straight_track.lon[0] = 0.0
+
+    def test_empty_allowed(self):
+        t = Trajectory("x", [], [], [])
+        assert len(t) == 0
+        with pytest.raises(EmptyTrajectoryError):
+            __ = t.start_time
+
+
+class TestDerived:
+    def test_duration_and_span(self, straight_track):
+        assert straight_track.duration == pytest.approx(540.0)
+        assert straight_track.start_time == 0.0
+        assert straight_track.end_time == 540.0
+
+    def test_length_positive_and_additive(self, straight_track):
+        total = straight_track.length_m()
+        assert total > 0
+        first = straight_track.slice_index(0, 5).length_m()
+        second = straight_track.slice_index(4, 10).length_m()
+        assert first + second == pytest.approx(total, rel=1e-9)
+
+    def test_speeds_constant_for_uniform_track(self, straight_track):
+        speeds = straight_track.speeds_mps()
+        assert len(speeds) == len(straight_track) - 1
+        assert np.allclose(speeds, speeds[0], rtol=1e-3)
+
+    def test_headings_eastbound(self, straight_track):
+        headings = straight_track.headings_deg()
+        assert np.allclose(headings, 90.0, atol=0.5)
+
+    def test_bbox_covers_all_samples(self, straight_track):
+        box = straight_track.bbox()
+        for p in straight_track:
+            assert box.contains(p.lon, p.lat)
+
+    def test_equality(self, straight_track):
+        clone = Trajectory(
+            straight_track.entity_id,
+            straight_track.t,
+            straight_track.lon,
+            straight_track.lat,
+        )
+        assert clone == straight_track
+
+
+class TestInterpolation:
+    def test_at_sample_times_exact(self, straight_track):
+        p = straight_track.at_time(120.0)
+        assert p == straight_track[2]
+
+    def test_midpoint_interpolation(self, straight_track):
+        p = straight_track.at_time(30.0)
+        assert p.lon == pytest.approx(24.005)
+        assert p.lat == pytest.approx(37.0)
+
+    def test_clamps_outside_span(self, straight_track):
+        before = straight_track.at_time(-100.0)
+        after = straight_track.at_time(10_000.0)
+        assert before == straight_track[0]
+        assert after == straight_track[len(straight_track) - 1]
+
+    def test_3d_interpolates_altitude(self, climb_track):
+        p = climb_track.at_time(45.0)
+        assert p.alt == pytest.approx(1150.0)
+
+    @given(t=st.floats(0.0, 540.0))
+    @settings(max_examples=50, deadline=None)
+    def test_interpolated_point_within_bbox(self, t):
+        n = 10
+        track = Trajectory(
+            "T1",
+            [60.0 * i for i in range(n)],
+            [24.0 + 0.01 * i for i in range(n)],
+            [37.0] * n,
+        )
+        p = track.at_time(t)
+        assert track.bbox().contains(p.lon, p.lat)
+
+
+class TestSlicingAndResampling:
+    def test_slice_time_inclusive(self, straight_track):
+        part = straight_track.slice_time(60.0, 180.0)
+        assert len(part) == 3
+        assert part.start_time == 60.0
+        assert part.end_time == 180.0
+
+    def test_resample_spans_same_interval(self, straight_track):
+        resampled = straight_track.resample(45.0)
+        assert resampled.start_time == straight_track.start_time
+        assert resampled.end_time == straight_track.end_time
+        dt = np.diff(resampled.t)
+        assert np.all(dt > 0)
+
+    def test_resample_invalid_period(self, straight_track):
+        with pytest.raises(ValueError):
+            straight_track.resample(0.0)
+
+    def test_gaps_detection(self):
+        t = Trajectory("x", [0, 10, 500, 510], [24, 24, 24.1, 24.1], [37] * 4)
+        gaps = t.gaps(min_gap_s=60.0)
+        assert gaps == [(10.0, 500.0)]
+
+    def test_append_happy_path(self, straight_track):
+        later = Trajectory("T1", [600, 660], [24.2, 24.21], [37.0, 37.0])
+        combined = straight_track.append(later)
+        assert len(combined) == len(straight_track) + 2
+        assert combined.end_time == 660
+
+    def test_append_overlapping_rejected(self, straight_track):
+        overlap = Trajectory("T1", [100, 200], [24.0, 24.1], [37.0, 37.0])
+        with pytest.raises(TimeOrderError):
+            straight_track.append(overlap)
+
+    def test_append_other_entity_rejected(self, straight_track):
+        other = Trajectory("OTHER", [600], [24.0], [37.0])
+        with pytest.raises(ValueError):
+            straight_track.append(other)
+
+    def test_distance_to_point(self, straight_track):
+        d = straight_track.distance_to_point_m(24.0, 37.0)
+        assert d == pytest.approx(0.0, abs=1.0)

@@ -1,0 +1,92 @@
+"""Query AST validation."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.query.ast import (
+    CompareFilter,
+    STWithinFilter,
+    SelectQuery,
+    TriplePattern,
+    Variable,
+)
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI, Literal
+
+
+class TestVariable:
+    def test_str(self):
+        assert str(Variable("n")) == "?n"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+class TestTriplePattern:
+    def test_variables_collected(self):
+        p = TriplePattern(Variable("s"), V.PROP_TYPE, Variable("o"))
+        assert p.variables() == {Variable("s"), Variable("o")}
+        assert p.bound_count() == 1
+
+    def test_fully_bound(self):
+        p = TriplePattern(IRI("s"), IRI("p"), Literal(1))
+        assert p.variables() == set()
+        assert p.bound_count() == 3
+
+
+class TestFilters:
+    def test_compare_filter_ops(self):
+        f = CompareFilter(Variable("v"), ">", 10.0)
+        assert f.test(Literal(11.0))
+        assert not f.test(Literal(9.0))
+        assert not f.test(IRI("x"))
+        assert not f.test(Literal("not a number"))
+
+    def test_compare_invalid_op(self):
+        with pytest.raises(ValueError):
+            CompareFilter(Variable("v"), "~", 1.0)
+
+    def test_st_filter_time_order(self):
+        with pytest.raises(ValueError):
+            STWithinFilter(Variable("n"), BBox(0, 0, 1, 1), t_from=10.0, t_to=5.0)
+
+
+class TestSelectQuery:
+    def test_needs_patterns(self):
+        with pytest.raises(ValueError):
+            SelectQuery(select=(Variable("x"),), patterns=())
+
+    def test_projection_must_be_bound(self):
+        pattern = TriplePattern(Variable("s"), V.PROP_TYPE, V.CLASS_VESSEL)
+        with pytest.raises(ValueError):
+            SelectQuery(select=(Variable("zzz"),), patterns=(pattern,))
+
+    def test_subject_star_detection(self):
+        n = Variable("n")
+        star = SelectQuery(
+            select=(n,),
+            patterns=(
+                TriplePattern(n, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE),
+                TriplePattern(n, V.PROP_TIMESTAMP, Variable("t")),
+            ),
+        )
+        assert star.is_subject_star() == n
+
+    def test_non_star_query(self):
+        n, m = Variable("n"), Variable("m")
+        query = SelectQuery(
+            select=(n,),
+            patterns=(
+                TriplePattern(n, V.PROP_OF_MOVING_OBJECT, m),
+                TriplePattern(m, V.PROP_NAME, Variable("name")),
+            ),
+        )
+        assert query.is_subject_star() is None
+
+    def test_constant_subject_not_star(self):
+        query = SelectQuery(
+            select=(Variable("t"),),
+            patterns=(TriplePattern(IRI("s"), V.PROP_TIMESTAMP, Variable("t")),),
+        )
+        assert query.is_subject_star() is None

@@ -1,0 +1,118 @@
+"""The SPARQL-like textual query language."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.query.ast import CompareFilter, STWithinFilter, Variable
+from repro.query.parser import QueryParseError, parse_query
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI, Literal
+
+
+class TestBasicParsing:
+    def test_minimal_query(self):
+        q = parse_query("SELECT ?s WHERE { ?s rdf:type dac:Vessel . }")
+        assert q.select == (Variable("s"),)
+        assert len(q.patterns) == 1
+        assert q.patterns[0].p == V.PROP_TYPE
+        assert q.patterns[0].o == V.CLASS_VESSEL
+
+    def test_multiple_patterns_and_vars(self):
+        q = parse_query(
+            "SELECT ?n ?t WHERE { ?n rdf:type dac:SemanticNode . ?n time:inSeconds ?t . }"
+        )
+        assert len(q.patterns) == 2
+        assert q.is_subject_star() == Variable("n")
+
+    def test_a_shorthand_for_rdf_type(self):
+        q = parse_query("SELECT ?s WHERE { ?s a dac:Vessel . }")
+        assert q.patterns[0].p == V.PROP_TYPE
+
+    def test_explicit_iriref(self):
+        q = parse_query("SELECT ?s WHERE { ?s <http://x/p> <http://x/o> . }")
+        assert q.patterns[0].p == IRI("http://x/p")
+
+    def test_numeric_literals(self):
+        q = parse_query("SELECT ?s WHERE { ?s dac:speed 5.5 . ?s dac:maxSpeed 10 . }")
+        assert q.patterns[0].o == Literal(5.5, V.XSD_DOUBLE)
+        assert q.patterns[1].o == Literal(10, V.XSD_LONG)
+
+    def test_string_literal(self):
+        q = parse_query('SELECT ?s WHERE { ?s dac:name "MV Alpha" . }')
+        assert q.patterns[0].o.value == "MV Alpha"
+
+    def test_custom_prefix(self):
+        q = parse_query(
+            'PREFIX ex: <http://example.org/> '
+            'SELECT ?s WHERE { ?s ex:p ex:o . }'
+        )
+        assert q.patterns[0].p == IRI("http://example.org/p")
+
+
+class TestFilterParsing:
+    def test_st_within_bbox_only(self):
+        q = parse_query(
+            "SELECT ?n WHERE { ?n a dac:SemanticNode . "
+            "FILTER ST_WITHIN(?n, 23.0, 37.0, 25.0, 38.0) }"
+        )
+        (flt,) = q.filters
+        assert isinstance(flt, STWithinFilter)
+        assert flt.bbox == BBox(23.0, 37.0, 25.0, 38.0)
+        assert flt.t_from == float("-inf")
+
+    def test_st_within_with_time(self):
+        q = parse_query(
+            "SELECT ?n WHERE { ?n a dac:SemanticNode . "
+            "FILTER ST_WITHIN(?n, 23.0, 37.0, 25.0, 38.0, 0, 3600) }"
+        )
+        (flt,) = q.filters
+        assert flt.t_from == 0.0 and flt.t_to == 3600.0
+
+    def test_compare_filter(self):
+        q = parse_query(
+            "SELECT ?t WHERE { ?n time:inSeconds ?t . FILTER (?t >= 100) }"
+        )
+        (flt,) = q.filters
+        assert isinstance(flt, CompareFilter)
+        assert flt.op == ">=" and flt.value == 100.0
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "WHERE { ?s ?p ?o . }",                       # missing SELECT
+            "SELECT WHERE { ?s ?p ?o . }",                # no variables
+            "SELECT ?s WHERE { ?s ?p ?o . ",              # unterminated block
+            "SELECT ?s WHERE { ?s unknown:p ?o . }",      # unknown prefix
+            "SELECT ?s WHERE { ?s rdf:type }",            # incomplete pattern
+            "SELECT ?s WHERE { ?s a dac:Vessel . FILTER ST_WITHIN(?s, 1, 2) }",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(QueryParseError):
+            parse_query(text)
+
+    def test_unknown_character(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?s WHERE { ?s € ?o . }")
+
+
+class TestEndToEnd:
+    def test_parsed_query_executes(self, maritime_sample, aegean_grid):
+        from repro.query.executor import QueryExecutor
+        from repro.rdf.transform import RdfTransformer
+        from repro.store.parallel import ParallelRDFStore
+        from repro.store.partition import HilbertPartitioner
+
+        transformer = RdfTransformer(st_grid=aegean_grid)
+        store = ParallelRDFStore(HilbertPartitioner(aegean_grid, 4))
+        for r in maritime_sample.reports[:300]:
+            store.add_document(transformer.report_to_triples(r))
+        executor = QueryExecutor(store)
+        q = parse_query(
+            "SELECT ?n ?t WHERE { ?n rdf:type dac:SemanticNode . "
+            "?n time:inSeconds ?t . FILTER (?t >= 0) }"
+        )
+        rows, info = executor.execute(q)
+        assert len(rows) == 300

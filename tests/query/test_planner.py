@@ -1,0 +1,39 @@
+"""Selectivity-based pattern ordering."""
+
+from repro.query.ast import TriplePattern, Variable
+from repro.query.planner import default_estimator, order_patterns
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI
+
+
+class TestPlanner:
+    def test_most_selective_first(self):
+        n = Variable("n")
+        loose = TriplePattern(n, Variable("p"), Variable("o"))
+        tight = TriplePattern(n, V.PROP_OF_MOVING_OBJECT, IRI("obj"))
+        ordered = order_patterns((loose, tight))
+        assert ordered[0] is tight
+
+    def test_bound_variables_change_cost(self):
+        n = Variable("n")
+        first = TriplePattern(n, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE)
+        dependent = TriplePattern(n, V.PROP_TIMESTAMP, Variable("t"))
+        estimate_before = default_estimator(dependent, set())
+        estimate_after = default_estimator(dependent, {n})
+        assert estimate_after < estimate_before
+
+    def test_connected_plan_preferred(self):
+        n, m = Variable("n"), Variable("m")
+        anchor = TriplePattern(n, V.PROP_OF_MOVING_OBJECT, IRI("obj"))
+        bridge = TriplePattern(n, V.PROP_TIMESTAMP, Variable("t"))
+        island = TriplePattern(m, V.PROP_NAME, Variable("name"))
+        ordered = order_patterns((island, bridge, anchor))
+        assert ordered[0] is anchor
+        assert ordered[1] is bridge  # connected before the island
+
+    def test_all_patterns_kept(self):
+        patterns = tuple(
+            TriplePattern(Variable(f"v{i}"), V.PROP_TYPE, V.CLASS_VESSEL)
+            for i in range(5)
+        )
+        assert sorted(map(id, order_patterns(patterns))) == sorted(map(id, patterns))

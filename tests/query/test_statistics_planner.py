@@ -1,0 +1,106 @@
+"""Statistics-based query planning."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.entities import Vessel
+from repro.model.reports import PositionReport
+from repro.query.ast import SelectQuery, TriplePattern, Variable
+from repro.query.executor import QueryExecutor
+from repro.query.planner import StatisticsEstimator, order_patterns
+from repro.rdf import vocabulary as V
+from repro.rdf.transform import RdfTransformer, entity_iri
+from repro.store.parallel import ParallelRDFStore
+from repro.store.partition import HashPartitioner
+
+
+@pytest.fixture()
+def store():
+    transformer = RdfTransformer(
+        st_grid=GeoGrid(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=8, ny=8)
+    )
+    s = ParallelRDFStore(HashPartitioner(2))
+    # Heavy skew: V1 has 50 nodes, V2 has 1.
+    for v, count in (("V1", 50), ("V2", 1)):
+        s.add_document(transformer.entity_to_triples(Vessel(v, f"MV {v}")))
+        for i in range(count):
+            s.add_document(
+                transformer.report_to_triples(
+                    PositionReport(
+                        entity_id=v, t=float(i * 30), lon=24.0 + 0.01 * i, lat=37.0,
+                        speed=5.0, heading=90.0,
+                    )
+                )
+            )
+    return s
+
+
+class TestStatisticsEstimator:
+    def test_counts_reflect_data(self, store):
+        estimator = StatisticsEstimator(store)
+        n = Variable("n")
+        heavy = TriplePattern(n, V.PROP_OF_MOVING_OBJECT, entity_iri("V1"))
+        light = TriplePattern(n, V.PROP_OF_MOVING_OBJECT, entity_iri("V2"))
+        assert estimator(heavy, set()) == 50.0
+        assert estimator(light, set()) == 1.0
+
+    def test_unknown_constant_estimates_zero(self, store):
+        estimator = StatisticsEstimator(store)
+        ghost = TriplePattern(
+            Variable("n"), V.PROP_OF_MOVING_OBJECT, entity_iri("GHOST")
+        )
+        assert estimator(ghost, set()) == 0.0
+
+    def test_bound_variables_reduce_estimate(self, store):
+        estimator = StatisticsEstimator(store)
+        n, t = Variable("n"), Variable("t")
+        pattern = TriplePattern(n, V.PROP_TIMESTAMP, t)
+        assert estimator(pattern, {n}) < estimator(pattern, set())
+
+    def test_caching(self, store):
+        estimator = StatisticsEstimator(store)
+        pattern = TriplePattern(Variable("n"), V.PROP_TIMESTAMP, Variable("t"))
+        first = estimator(pattern, set())
+        assert estimator(pattern, set()) == first
+        assert len(estimator._cache) == 1
+
+    def test_validation(self, store):
+        with pytest.raises(ValueError):
+            StatisticsEstimator(store, bound_selectivity=1.0)
+
+
+class TestPlanWithStatistics:
+    def test_selective_pattern_first(self, store):
+        estimator = StatisticsEstimator(store)
+        n = Variable("n")
+        broad = TriplePattern(n, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE)   # 51 matches
+        narrow = TriplePattern(n, V.PROP_OF_MOVING_OBJECT, entity_iri("V2"))  # 1
+        ordered = order_patterns((broad, narrow), estimator=estimator)
+        assert ordered[0] is narrow
+
+    def test_executor_results_identical_with_statistics(self, store):
+        n, t = Variable("n"), Variable("t")
+        query = SelectQuery(
+            select=(n, t),
+            patterns=(
+                TriplePattern(n, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE),
+                TriplePattern(n, V.PROP_TIMESTAMP, t),
+            ),
+        )
+        heuristic_rows, __ = QueryExecutor(store).execute(query)
+        statistic_rows, __ = QueryExecutor(store, use_statistics=True).execute(query)
+        key = lambda row: sorted((v.name, str(term)) for v, term in row.items())
+        assert sorted(map(key, heuristic_rows)) == sorted(map(key, statistic_rows))
+
+    def test_dead_pattern_short_circuits(self, store):
+        n, t = Variable("n"), Variable("t")
+        query = SelectQuery(
+            select=(n,),
+            patterns=(
+                TriplePattern(n, V.PROP_TIMESTAMP, t),
+                TriplePattern(n, V.PROP_OF_MOVING_OBJECT, entity_iri("GHOST")),
+            ),
+        )
+        rows, __ = QueryExecutor(store, use_statistics=True).execute(query)
+        assert rows == []

@@ -1,0 +1,77 @@
+"""N-Triples serialization round trip."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import vocabulary as V
+from repro.rdf.ntriples import parse_ntriples, to_ntriples
+from repro.rdf.terms import IRI, BlankNode, Literal, Triple
+
+
+def safe_text():
+    return st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=' _-."\\'
+        ),
+        min_size=0,
+        max_size=30,
+    )
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        triples = [
+            Triple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o")),
+            Triple(IRI("http://x/s"), IRI("http://x/q"), Literal("plain")),
+            Triple(BlankNode("b1"), IRI("http://x/p"), Literal(3.5, V.XSD_DOUBLE)),
+            Triple(IRI("http://x/s"), IRI("http://x/n"), Literal(42, V.XSD_LONG)),
+            Triple(IRI("http://x/s"), IRI("http://x/b"), Literal(True, V.XSD_BOOLEAN)),
+        ]
+        text = to_ntriples(triples)
+        assert list(parse_ntriples(text)) == triples
+
+    def test_datatype_revival(self):
+        text = to_ntriples([Triple(IRI("s"), IRI("p"), Literal(7, V.XSD_LONG))])
+        (back,) = parse_ntriples(text)
+        assert isinstance(back.o.value, int)
+
+    def test_escaped_quotes_and_newlines(self):
+        lit = Literal('line1\nwith "quotes"', V.XSD_STRING)
+        text = to_ntriples([Triple(IRI("s"), IRI("p"), lit)])
+        (back,) = parse_ntriples(text)
+        assert back.o.value == 'line1\nwith "quotes"'
+
+    @given(value=safe_text())
+    @settings(max_examples=100, deadline=None)
+    def test_string_literal_roundtrip(self, value):
+        triple = Triple(IRI("http://x/s"), IRI("http://x/p"), Literal(value, V.XSD_STRING))
+        (back,) = parse_ntriples(to_ntriples([triple]))
+        assert back.o.value == value
+
+    @given(value=st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100, deadline=None)
+    def test_double_literal_roundtrip(self, value):
+        triple = Triple(IRI("s"), IRI("p"), Literal(value, V.XSD_DOUBLE))
+        (back,) = parse_ntriples(to_ntriples([triple]))
+        assert back.o.value == pytest.approx(value, rel=1e-12)
+
+
+class TestParserRobustness:
+    def test_blank_lines_and_comments_skipped(self):
+        text = '\n# a comment\n<s> <p> <o> .\n\n'
+        assert len(list(parse_ntriples(text))) == 1
+
+    def test_garbage_rejected_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            list(parse_ntriples("<s> <p> <o> .\nnot a triple\n"))
+
+    def test_real_transformer_output_parses(self):
+        from repro.model.reports import PositionReport
+        from repro.rdf.transform import RdfTransformer
+
+        transformer = RdfTransformer()
+        triples = transformer.report_to_triples(
+            PositionReport(entity_id="V1", t=10.0, lon=24.0, lat=37.0, speed=5.0)
+        )
+        assert list(parse_ntriples(to_ntriples(triples))) == triples

@@ -1,0 +1,74 @@
+"""RDF terms, triples and namespaces."""
+
+import pytest
+
+from repro.rdf.terms import IRI, BlankNode, Literal, Namespace, Triple
+
+
+class TestTerms:
+    def test_iri_str(self):
+        assert str(IRI("http://x#a")) == "<http://x#a>"
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_literal_plain(self):
+        assert str(Literal("hello")) == '"hello"'
+
+    def test_literal_typed(self):
+        lit = Literal(3.5, "http://www.w3.org/2001/XMLSchema#double")
+        assert str(lit) == '"3.5"^^<http://www.w3.org/2001/XMLSchema#double>'
+
+    def test_literal_escaping(self):
+        lit = Literal('say "hi"\nplease')
+        assert str(lit) == '"say \\"hi\\"\\nplease"'
+
+    def test_literal_boolean_lexical(self):
+        assert str(Literal(True)) == '"true"'
+
+    def test_blank_node(self):
+        assert str(BlankNode("b1")) == "_:b1"
+        with pytest.raises(ValueError):
+            BlankNode("")
+
+    def test_terms_hashable(self):
+        assert len({IRI("a"), IRI("a"), Literal(1), Literal(1)}) == 2
+
+
+class TestTriple:
+    def test_str_form(self):
+        t = Triple(IRI("s"), IRI("p"), Literal("o"))
+        assert str(t) == '<s> <p> "o" .'
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), IRI("p"), IRI("o"))
+
+    def test_non_iri_predicate_rejected(self):
+        with pytest.raises(TypeError):
+            Triple(IRI("s"), BlankNode("b"), IRI("o"))
+
+    def test_blank_subject_allowed(self):
+        Triple(BlankNode("b"), IRI("p"), IRI("o"))
+
+
+class TestNamespace:
+    def test_attribute_and_item_access(self):
+        ns = Namespace("http://x#")
+        assert ns.Thing == IRI("http://x#Thing")
+        assert ns["Thing"] == ns.Thing
+
+    def test_contains_and_local(self):
+        ns = Namespace("http://x#")
+        iri = ns.Vessel
+        assert iri in ns
+        assert ns.local(iri) == "Vessel"
+        assert IRI("http://other#y") not in ns
+        with pytest.raises(ValueError):
+            ns.local(IRI("http://other#y"))
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://x#")
+        with pytest.raises(AttributeError):
+            __ = ns._private

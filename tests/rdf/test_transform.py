@@ -1,0 +1,150 @@
+"""Record → triples transformers and the position round trip."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.geo.polygon import Polygon
+from repro.insitu.critical import AnnotatedReport, CriticalPointType
+from repro.model.entities import Aircraft, Vessel
+from repro.model.events import ComplexEvent, EventSeverity, SimpleEvent
+from repro.model.reports import PositionReport, ReportSource
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import Literal
+from repro.rdf.transform import (
+    RdfTransformer,
+    entity_iri,
+    parse_position_node,
+    position_node_iri,
+)
+from repro.sources.weather import WeatherGridSource
+
+
+@pytest.fixture()
+def grid():
+    return GeoGrid(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=16, ny=16)
+
+
+@pytest.fixture()
+def transformer(grid):
+    return RdfTransformer(st_grid=grid, time_bucket_s=3600.0)
+
+
+def sample_report(**kwargs):
+    defaults = dict(
+        entity_id="V1", t=120.5, lon=24.1, lat=37.2, speed=8.2, heading=45.0,
+        source=ReportSource.AIS_TERRESTRIAL,
+    )
+    defaults.update(kwargs)
+    return PositionReport(**defaults)
+
+
+class TestStKey:
+    def test_roundtrip(self, transformer):
+        key = transformer.st_key(24.1, 37.2, 7250.0)
+        cell, bucket = transformer.decode_st_key(key)
+        assert cell == transformer.st_grid.cell_id(24.1, 37.2)
+        assert bucket == 2
+
+    def test_requires_grid(self):
+        bare = RdfTransformer(st_grid=None)
+        with pytest.raises(ValueError):
+            bare.st_key(24.0, 37.0, 0.0)
+
+    def test_invalid_bucket_width(self, grid):
+        with pytest.raises(ValueError):
+            RdfTransformer(st_grid=grid, time_bucket_s=0.0)
+
+
+class TestReportTransform:
+    def test_core_triples_present(self, transformer):
+        triples = transformer.report_to_triples(sample_report())
+        preds = {t.p for t in triples}
+        assert {V.PROP_TYPE, V.PROP_LON, V.PROP_LAT, V.PROP_TIMESTAMP,
+                V.PROP_OF_MOVING_OBJECT, V.PROP_ST_KEY} <= preds
+
+    def test_one_subject_per_document(self, transformer):
+        triples = transformer.report_to_triples(sample_report())
+        assert len({t.s for t in triples}) == 1
+        assert triples[0].s == position_node_iri("V1", 120.5)
+
+    def test_no_st_key_without_grid(self):
+        bare = RdfTransformer(st_grid=None)
+        triples = bare.report_to_triples(sample_report())
+        assert all(t.p != V.PROP_ST_KEY for t in triples)
+
+    def test_annotated_report_carries_node_types(self, transformer):
+        annotated = AnnotatedReport(
+            report=sample_report(),
+            critical=(CriticalPointType.TURN, CriticalPointType.STOP_START),
+        )
+        triples = transformer.report_to_triples(annotated)
+        node_types = {t.o.value for t in triples if t.p == V.PROP_NODE_TYPE}
+        assert node_types == {"turn", "stop_start"}
+
+    def test_3d_report_has_altitude(self, transformer):
+        triples = transformer.report_to_triples(sample_report(alt=9800.0))
+        alts = [t for t in triples if t.p == V.PROP_ALT]
+        assert len(alts) == 1
+        assert alts[0].o.value == pytest.approx(9800.0)
+
+    def test_roundtrip_parse(self, transformer):
+        report = sample_report(alt=500.0, vertical_rate=3.0)
+        back = parse_position_node(transformer.report_to_triples(report))
+        assert back.entity_id == report.entity_id
+        assert back.t == report.t
+        assert back.lon == pytest.approx(report.lon)
+        assert back.lat == pytest.approx(report.lat)
+        assert back.alt == pytest.approx(500.0)
+        assert back.speed == pytest.approx(report.speed)
+        assert back.source is ReportSource.AIS_TERRESTRIAL
+
+    def test_parse_rejects_non_node(self, transformer):
+        entity_doc = transformer.entity_to_triples(Vessel("V1", "x"))
+        with pytest.raises(ValueError):
+            parse_position_node(entity_doc)
+
+
+class TestEntityAndZoneTransform:
+    def test_vessel_class(self, transformer):
+        triples = transformer.entity_to_triples(Vessel("V1", "MV Alpha"))
+        types = [t.o for t in triples if t.p == V.PROP_TYPE]
+        assert types == [V.CLASS_VESSEL]
+
+    def test_aircraft_class(self, transformer):
+        triples = transformer.entity_to_triples(Aircraft("F1", "FLT1"))
+        types = [t.o for t in triples if t.p == V.PROP_TYPE]
+        assert types == [V.CLASS_AIRCRAFT]
+
+    def test_zone_document(self, transformer):
+        zone = Polygon("z1", ((24.0, 37.0), (25.0, 37.0), (25.0, 38.0)))
+        triples = transformer.zone_to_triples(zone)
+        assert any(t.o == V.CLASS_ZONE for t in triples)
+        names = [t.o.value for t in triples if t.p == V.PROP_NAME]
+        assert names == ["z1"]
+
+
+class TestEventTransform:
+    def test_simple_event(self, transformer):
+        event = SimpleEvent("zone_entry", "V1", 100.0, 24.0, 37.0,
+                            severity=EventSeverity.WARNING)
+        triples = transformer.event_to_triples(event)
+        assert any(t.p == V.PROP_EVENT_TYPE and t.o.value == "zone_entry" for t in triples)
+        assert any(t.p == V.PROP_INVOLVES and t.o == entity_iri("V1") for t in triples)
+        assert any(t.p == V.PROP_ST_KEY for t in triples)
+
+    def test_complex_event_involves_all(self, transformer):
+        event = ComplexEvent("collision_risk", ("V1", "V2"), 10.0, 20.0)
+        triples = transformer.event_to_triples(event)
+        involved = {t.o for t in triples if t.p == V.PROP_INVOLVES}
+        assert involved == {entity_iri("V1"), entity_iri("V2")}
+
+
+class TestWeatherTransform:
+    def test_weather_document(self, transformer, grid):
+        source = WeatherGridSource(bbox=grid.bbox, nx=4, ny=4)
+        cell = source.observation_at(24.0, 37.0, 0.0)
+        triples = transformer.weather_to_triples(cell)
+        assert any(t.o == V.CLASS_WEATHER_CONDITION for t in triples)
+        winds = [t.o.value for t in triples if t.p == V.PROP_WIND_SPEED]
+        assert winds == [pytest.approx(cell.wind_speed_mps)]

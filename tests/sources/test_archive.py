@@ -1,0 +1,67 @@
+"""Archival store queries."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.model.errors import UnknownEntityError
+from repro.model.points import Domain
+from repro.model.trajectory import Trajectory
+from repro.sources.archive import ArchivalStore
+
+
+def track(entity_id, t0, lon0=24.0, n=5, domain=Domain.MARITIME):
+    return Trajectory(
+        entity_id,
+        [t0 + 10.0 * i for i in range(n)],
+        [lon0 + 0.01 * i for i in range(n)],
+        [37.0] * n,
+        domain=domain,
+    )
+
+
+@pytest.fixture()
+def store():
+    s = ArchivalStore()
+    s.add(track("A", 0.0))
+    s.add(track("A", 1000.0, lon0=25.0))
+    s.add(track("B", 500.0, lon0=26.0))
+    return s
+
+
+class TestArchivalStore:
+    def test_len_counts_trajectories(self, store):
+        assert len(store) == 3
+
+    def test_empty_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add(Trajectory("X", [], [], []))
+
+    def test_for_entity(self, store):
+        assert len(store.for_entity("A")) == 2
+        with pytest.raises(UnknownEntityError):
+            store.for_entity("Z")
+
+    def test_entity_ids(self, store):
+        assert sorted(store.entity_ids()) == ["A", "B"]
+
+    def test_query_time_overlap(self, store):
+        hits = store.query_time(30.0, 520.0)
+        ids = sorted((t.entity_id, t.start_time) for t in hits)
+        assert ids == [("A", 0.0), ("B", 500.0)]
+
+    def test_query_time_empty_interval(self, store):
+        assert store.query_time(5000.0, 6000.0) == []
+
+    def test_query_bbox(self, store):
+        hits = store.query_bbox(BBox(25.9, 36.5, 26.5, 37.5))
+        assert [t.entity_id for t in hits] == ["B"]
+
+    def test_query_domain(self, store):
+        store.add(track("F", 0.0, domain=Domain.AVIATION))
+        aviation = store.query_domain(Domain.AVIATION)
+        assert [t.entity_id for t in aviation] == ["F"]
+
+    def test_add_all(self):
+        s = ArchivalStore()
+        s.add_all([track("A", 0.0), track("B", 0.0)])
+        assert len(s) == 2

@@ -1,0 +1,149 @@
+"""Wire format encoding/decoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+from repro.sources.formats import (
+    AIS_CSV_HEADER,
+    FormatError,
+    decode_adsb_json,
+    decode_adsb_json_batch,
+    decode_ais_csv,
+    decode_ais_csv_batch,
+    dump_ais_csv,
+    encode_adsb_json,
+    encode_ais_csv,
+)
+
+
+def vessel_report(**kwargs):
+    defaults = dict(
+        entity_id="205123456", t=1200.5, lon=24.123456, lat=37.654321,
+        speed=6.17, heading=123.4, source=ReportSource.AIS_TERRESTRIAL,
+    )
+    defaults.update(kwargs)
+    return PositionReport(**defaults)
+
+
+def flight_report(**kwargs):
+    defaults = dict(
+        entity_id="abc123", t=300.0, lon=8.5, lat=47.3, alt=10_000.0,
+        speed=230.0, heading=270.0, vertical_rate=5.0,
+        source=ReportSource.ADSB, domain=Domain.AVIATION,
+    )
+    defaults.update(kwargs)
+    return PositionReport(**defaults)
+
+
+class TestAisCsv:
+    def test_roundtrip(self):
+        report = vessel_report()
+        back = decode_ais_csv(encode_ais_csv(report))
+        assert back.entity_id == report.entity_id
+        assert back.t == pytest.approx(report.t, abs=1e-3)
+        assert back.lon == pytest.approx(report.lon, abs=1e-6)
+        assert back.lat == pytest.approx(report.lat, abs=1e-6)
+        assert back.speed == pytest.approx(report.speed, abs=0.02)
+        assert back.heading == pytest.approx(report.heading, abs=0.1)
+        assert back.source is ReportSource.AIS_TERRESTRIAL
+
+    def test_missing_kinematics_roundtrip(self):
+        report = vessel_report(speed=None, heading=None)
+        back = decode_ais_csv(encode_ais_csv(report))
+        assert back.speed is None and back.heading is None
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",                                           # empty
+            "a,b,c",                                      # wrong arity
+            "205,xx,37.0,24.0,5.0,90.0,ais_terrestrial",  # bad timestamp
+            ",100,37.0,24.0,5.0,90.0,ais_terrestrial",    # empty mmsi
+            "205,100,99.0,24.0,5.0,90.0,ais_terrestrial", # invalid latitude
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(FormatError):
+            decode_ais_csv(line)
+
+    def test_batch_skips_garbage_and_header(self):
+        good = encode_ais_csv(vessel_report())
+        lines = [AIS_CSV_HEADER, good, "garbage,line", "", good]
+        reports, bad = decode_ais_csv_batch(lines)
+        assert len(reports) == 2
+        assert bad == 1
+
+    def test_dump_includes_header(self):
+        lines = list(dump_ais_csv([vessel_report()]))
+        assert lines[0] == AIS_CSV_HEADER
+        assert len(lines) == 2
+
+    @given(
+        lon=st.floats(-179.9, 179.9),
+        lat=st.floats(-89.9, 89.9),
+        speed=st.floats(0.0, 25.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip_property(self, lon, lat, speed):
+        report = vessel_report(lon=lon, lat=lat, speed=speed, heading=None)
+        back = decode_ais_csv(encode_ais_csv(report))
+        assert back.lon == pytest.approx(lon, abs=1e-5)
+        assert back.lat == pytest.approx(lat, abs=1e-5)
+        assert back.speed == pytest.approx(speed, abs=0.02)
+
+
+class TestAdsbJson:
+    def test_roundtrip_with_units(self):
+        report = flight_report()
+        back = decode_adsb_json(encode_adsb_json(report))
+        assert back.entity_id == report.entity_id
+        assert back.alt == pytest.approx(report.alt, abs=0.1)
+        assert back.speed == pytest.approx(report.speed, abs=0.1)
+        assert back.vertical_rate == pytest.approx(report.vertical_rate, abs=0.01)
+        assert back.domain is Domain.AVIATION
+
+    def test_null_fields(self):
+        report = flight_report(alt=None, speed=None, heading=None, vertical_rate=None)
+        back = decode_adsb_json(encode_adsb_json(report))
+        assert back.alt is None and back.speed is None
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1,2,3]",
+            '{"time": 5}',                                   # missing icao24
+            '{"icao24": "", "time": 5, "lat": 1, "lon": 2}', # empty id
+            '{"icao24": "x", "time": "late", "lat": 1, "lon": 2}',
+        ],
+    )
+    def test_malformed_rejected(self, line):
+        with pytest.raises(FormatError):
+            decode_adsb_json(line)
+
+    def test_batch(self):
+        good = encode_adsb_json(flight_report())
+        reports, bad = decode_adsb_json_batch([good, "junk", "", good])
+        assert len(reports) == 2
+        assert bad == 1
+
+
+class TestIntoCommonRepresentation:
+    def test_decoded_wire_data_transforms_to_rdf(self):
+        """Wire format → report → triples: the full ingestion path."""
+        from repro.rdf.transform import RdfTransformer
+        from repro.rdf import vocabulary as V
+
+        transformer = RdfTransformer()
+        line = encode_ais_csv(vessel_report())
+        report = decode_ais_csv(line)
+        triples = transformer.report_to_triples(report)
+        assert any(t.p == V.PROP_LON for t in triples)
+
+        obj = encode_adsb_json(flight_report())
+        report = decode_adsb_json(obj)
+        triples = transformer.report_to_triples(report)
+        assert any(t.p == V.PROP_ALT for t in triples)

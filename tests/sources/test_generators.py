@@ -1,0 +1,88 @@
+"""Fleet traffic generators."""
+
+import pytest
+
+from repro.model.points import Domain
+from repro.sources.generators import AviationTrafficGenerator, MaritimeTrafficGenerator
+
+
+class TestMaritimeGenerator:
+    def test_sample_shape(self, maritime_sample):
+        assert maritime_sample.domain is Domain.MARITIME
+        assert maritime_sample.n_entities == 6
+        assert len(maritime_sample.registry) == 6
+        assert len(maritime_sample.reports) > 100
+
+    def test_reports_event_time_ordered(self, maritime_sample):
+        times = [r.t for r in maritime_sample.reports]
+        assert times == sorted(times)
+
+    def test_truth_within_world_bbox(self, maritime_sample):
+        margin = maritime_sample.world.bbox.expanded(0.5)
+        for trajectory in maritime_sample.truth.values():
+            box = trajectory.bbox()
+            assert margin.intersects(box)
+
+    def test_max_duration_respected(self, maritime_sample):
+        for trajectory in maritime_sample.truth.values():
+            assert trajectory.duration <= 3600.0 + 1e-6
+
+    def test_every_entity_has_route_label(self, maritime_sample):
+        assert set(maritime_sample.routes_by_entity) == set(maritime_sample.truth)
+        route_names = {r.name for r in maritime_sample.world.routes}
+        assert set(maritime_sample.routes_by_entity.values()) <= route_names
+
+    def test_deterministic_by_seed(self):
+        a = MaritimeTrafficGenerator(seed=5).generate(n_vessels=2, max_duration_s=600)
+        b = MaritimeTrafficGenerator(seed=5).generate(n_vessels=2, max_duration_s=600)
+        assert [r.t for r in a.reports] == [r.t for r in b.reports]
+        assert [r.lon for r in a.reports] == [r.lon for r in b.reports]
+
+    def test_different_seeds_differ(self):
+        a = MaritimeTrafficGenerator(seed=5).generate(n_vessels=2, max_duration_s=600)
+        b = MaritimeTrafficGenerator(seed=6).generate(n_vessels=2, max_duration_s=600)
+        assert [r.lon for r in a.reports] != [r.lon for r in b.reports]
+
+
+class TestMultiLegGenerator:
+    def test_multi_leg_routes_assigned(self):
+        generator = MaritimeTrafficGenerator(seed=5, multi_leg=True)
+        sample = generator.generate(n_vessels=3, max_duration_s=1800.0)
+        # Multi-leg voyage names chain 3+ ports: "PIR->MYK->CHI".
+        for route_name in sample.routes_by_entity.values():
+            assert route_name.count("->") >= 2
+
+    def test_multi_leg_deterministic(self):
+        a = MaritimeTrafficGenerator(seed=5, multi_leg=True).generate(
+            n_vessels=2, max_duration_s=900.0
+        )
+        b = MaritimeTrafficGenerator(seed=5, multi_leg=True).generate(
+            n_vessels=2, max_duration_s=900.0
+        )
+        assert a.routes_by_entity == b.routes_by_entity
+
+    def test_single_leg_default_unchanged(self, maritime_sample):
+        for route_name in maritime_sample.routes_by_entity.values():
+            assert route_name.count("->") == 1
+
+
+class TestAviationGenerator:
+    def test_sample_is_3d(self, aviation_sample):
+        assert aviation_sample.domain is Domain.AVIATION
+        for trajectory in aviation_sample.truth.values():
+            assert trajectory.is_3d
+        assert all(r.alt is not None for r in aviation_sample.reports)
+
+    def test_flight_levels_realistic(self, aviation_sample):
+        for trajectory in aviation_sample.truth.values():
+            assert 8_000.0 < float(trajectory.alt.max()) < 12_500.0
+
+    def test_registry_entities_are_aircraft(self, aviation_sample):
+        from repro.model.entities import Aircraft
+
+        for entity in aviation_sample.registry:
+            assert isinstance(entity, Aircraft)
+
+    def test_deliveries_sorted_by_delivery_time(self, aviation_sample):
+        delivery_times = [dt for dt, __ in aviation_sample.deliveries]
+        assert delivery_times == sorted(delivery_times)

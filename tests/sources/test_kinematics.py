@@ -1,0 +1,101 @@
+"""Waypoint-following motion simulation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geodesy import haversine_m, heading_difference_deg
+from repro.sources.kinematics import FlightProfile, simulate_route
+from repro.sources.world import RouteSpec
+
+
+@pytest.fixture()
+def simple_route():
+    return RouteSpec("W->E", ((24.0, 37.0), (24.5, 37.0)), speed_mps=10.0)
+
+
+class TestSimulateRoute:
+    def test_starts_at_origin(self, simple_route):
+        track = simulate_route("V1", simple_route, dt_s=5.0)
+        assert track[0].lon == pytest.approx(24.0)
+        assert track[0].lat == pytest.approx(37.0)
+
+    def test_reaches_destination(self, simple_route):
+        track = simulate_route("V1", simple_route, dt_s=5.0)
+        end = track[len(track) - 1]
+        dist = haversine_m(end.lon, end.lat, 24.5, 37.0)
+        assert dist <= 600.0  # arrival radius + one step
+
+    def test_speed_respected(self, simple_route):
+        track = simulate_route("V1", simple_route, dt_s=5.0)
+        speeds = track.speeds_mps()
+        assert np.all(speeds <= 10.5)
+        assert np.median(speeds) == pytest.approx(10.0, rel=0.05)
+
+    def test_duration_matches_distance(self, simple_route):
+        track = simulate_route("V1", simple_route, dt_s=5.0)
+        expected = track.length_m() / 10.0
+        assert track.duration == pytest.approx(expected, rel=0.05)
+
+    def test_turn_rate_limits_heading_change(self):
+        # A 90° dogleg: the turn must be spread over multiple steps.
+        route = RouteSpec(
+            "dogleg", ((24.0, 37.0), (24.2, 37.0), (24.2, 37.2)), speed_mps=10.0
+        )
+        track = simulate_route("V1", route, dt_s=5.0, turn_rate_deg_s=1.0)
+        headings = track.headings_deg()
+        max_step = max(
+            heading_difference_deg(float(headings[i]), float(headings[i + 1]))
+            for i in range(len(headings) - 1)
+        )
+        assert max_step <= 5.5  # 1°/s × 5 s + numeric slack
+
+    def test_speed_jitter_stays_bounded(self, simple_route):
+        rng = np.random.default_rng(1)
+        track = simulate_route("V1", simple_route, dt_s=5.0, speed_jitter=0.1, rng=rng)
+        speeds = track.speeds_mps()
+        assert np.all(speeds <= 10.0 * 1.5 + 0.1)
+        assert np.all(speeds >= 10.0 * 0.5 - 0.1)
+
+    def test_invalid_dt(self, simple_route):
+        with pytest.raises(ValueError):
+            simulate_route("V1", simple_route, dt_s=0.0)
+
+    def test_deterministic_given_seed(self, simple_route):
+        a = simulate_route("V1", simple_route, speed_jitter=0.05, rng=np.random.default_rng(3))
+        b = simulate_route("V1", simple_route, speed_jitter=0.05, rng=np.random.default_rng(3))
+        assert a == b
+
+
+class TestFlightProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightProfile(climb_rate_mps=0.0)
+        with pytest.raises(ValueError):
+            FlightProfile(cruise_alt_m=0.0)
+
+    def test_long_flight_reaches_cruise(self):
+        route = RouteSpec("long", ((5.0, 45.0), (15.0, 45.0)), speed_mps=230.0)
+        profile = FlightProfile(cruise_alt_m=10_000.0)
+        track = simulate_route("F1", route, dt_s=5.0, turn_rate_deg_s=3.0, profile=profile)
+        assert track.is_3d
+        assert float(track.alt.max()) == pytest.approx(10_000.0, rel=0.02)
+        assert float(track.alt[0]) == pytest.approx(0.0, abs=100.0)
+        assert float(track.alt[-1]) == pytest.approx(0.0, abs=150.0)
+
+    def test_short_flight_triangle_profile(self):
+        route = RouteSpec("short", ((5.0, 45.0), (5.6, 45.0)), speed_mps=200.0)
+        profile = FlightProfile(cruise_alt_m=11_000.0)
+        track = simulate_route("F1", route, dt_s=5.0, turn_rate_deg_s=3.0, profile=profile)
+        # Too short to reach cruise: peak strictly below it.
+        assert float(track.alt.max()) < 11_000.0
+
+    def test_altitudes_nonnegative_monotone_phases(self):
+        route = RouteSpec("med", ((5.0, 45.0), (9.0, 45.0)), speed_mps=220.0)
+        track = simulate_route(
+            "F1", route, dt_s=5.0, turn_rate_deg_s=3.0, profile=FlightProfile()
+        )
+        alt = track.alt
+        assert np.all(alt >= -1e-6)
+        peak_idx = int(np.argmax(alt))
+        assert np.all(np.diff(alt[:peak_idx]) >= -1e-6)
+        assert np.all(np.diff(alt[peak_idx:]) <= 1e-6)

@@ -1,0 +1,129 @@
+"""Sensor and delivery models."""
+
+import numpy as np
+import pytest
+
+from repro.model.trajectory import Trajectory
+from repro.sources.noise import DeliveryModel, SensorModel
+
+
+@pytest.fixture()
+def truth():
+    n = 200
+    return Trajectory(
+        "V1",
+        [10.0 * i for i in range(n)],
+        [24.0 + 0.001 * i for i in range(n)],
+        [37.0] * n,
+    )
+
+
+class TestSensorModel:
+    def test_report_count_matches_period(self, truth):
+        sensor = SensorModel(report_period_s=20.0, period_jitter=0.0, dropout_prob=0.0)
+        reports = sensor.observe(truth, rng=np.random.default_rng(0))
+        expected = truth.duration / 20.0
+        assert len(reports) == pytest.approx(expected, rel=0.05)
+
+    def test_event_time_ordered(self, truth):
+        sensor = SensorModel()
+        reports = sensor.observe(truth, rng=np.random.default_rng(1))
+        times = [r.t for r in reports]
+        assert times == sorted(times)
+
+    def test_position_noise_magnitude(self, truth):
+        sigma = 50.0
+        sensor = SensorModel(gps_sigma_m=sigma, dropout_prob=0.0, period_jitter=0.0)
+        reports = sensor.observe(truth, rng=np.random.default_rng(2))
+        from repro.geo.geodesy import haversine_m
+
+        errors = [
+            haversine_m(r.lon, r.lat, truth.at_time(r.t).lon, truth.at_time(r.t).lat)
+            for r in reports
+        ]
+        # Offsets are |N(0, sigma)| (half-normal): mean = sigma * sqrt(2/pi).
+        assert np.mean(errors) == pytest.approx(sigma * np.sqrt(2 / np.pi), rel=0.15)
+        assert max(errors) < sigma * 5
+
+    def test_zero_noise_reproduces_truth(self, truth):
+        sensor = SensorModel(
+            gps_sigma_m=0.0, speed_sigma_mps=0.0, heading_sigma_deg=0.0,
+            dropout_prob=0.0, period_jitter=0.0,
+        )
+        reports = sensor.observe(truth, rng=np.random.default_rng(3))
+        sample = reports[5]
+        ref = truth.at_time(sample.t)
+        assert sample.lon == pytest.approx(ref.lon, abs=1e-12)
+        assert sample.lat == pytest.approx(ref.lat, abs=1e-12)
+
+    def test_dropouts_reduce_count(self, truth):
+        base = SensorModel(dropout_prob=0.0, period_jitter=0.0)
+        lossy = SensorModel(dropout_prob=0.5, period_jitter=0.0)
+        n_base = len(base.observe(truth, rng=np.random.default_rng(4)))
+        n_lossy = len(lossy.observe(truth, rng=np.random.default_rng(4)))
+        assert n_lossy < n_base * 0.7
+
+    def test_gaps_create_long_silences(self, truth):
+        sensor = SensorModel(
+            dropout_prob=0.0, period_jitter=0.0,
+            gap_prob_per_report=0.05, gap_duration_s=300.0,
+        )
+        reports = sensor.observe(truth, rng=np.random.default_rng(5))
+        dts = np.diff([r.t for r in reports])
+        assert dts.max() > 100.0
+
+    def test_speed_heading_estimates(self, truth):
+        sensor = SensorModel(
+            gps_sigma_m=0.0, speed_sigma_mps=0.0, heading_sigma_deg=0.0,
+            dropout_prob=0.0, period_jitter=0.0,
+        )
+        reports = sensor.observe(truth, rng=np.random.default_rng(6))
+        mid = reports[len(reports) // 2]
+        # Truth moves ~8.9 m/s east.
+        assert mid.speed == pytest.approx(8.9, rel=0.1)
+        assert mid.heading == pytest.approx(90.0, abs=2.0)
+
+    def test_empty_trajectory(self):
+        sensor = SensorModel()
+        empty = Trajectory("V1", [], [], [])
+        assert sensor.observe(empty) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorModel(report_period_s=0.0)
+        with pytest.raises(ValueError):
+            SensorModel(dropout_prob=1.0)
+
+
+class TestDeliveryModel:
+    def test_no_delay_keeps_order(self, truth):
+        sensor = SensorModel(period_jitter=0.0, dropout_prob=0.0)
+        reports = sensor.observe(truth, rng=np.random.default_rng(7))
+        delivered = DeliveryModel().deliver(reports)
+        assert [r.t for __, r in delivered] == [r.t for r in reports]
+        assert all(dt == r.t for dt, r in delivered)
+
+    def test_delay_reorders(self, truth):
+        sensor = SensorModel(period_jitter=0.0, dropout_prob=0.0)
+        reports = sensor.observe(truth, rng=np.random.default_rng(8))
+        delivered = DeliveryModel(mean_delay_s=30.0).deliver(
+            reports, rng=np.random.default_rng(9)
+        )
+        delivery_times = [dt for dt, __ in delivered]
+        assert delivery_times == sorted(delivery_times)
+        event_times = [r.t for __, r in delivered]
+        assert event_times != sorted(event_times)  # reordering happened
+
+    def test_duplicates(self, truth):
+        sensor = SensorModel(period_jitter=0.0, dropout_prob=0.0)
+        reports = sensor.observe(truth, rng=np.random.default_rng(10))
+        delivered = DeliveryModel(duplicate_prob=0.5).deliver(
+            reports, rng=np.random.default_rng(11)
+        )
+        assert len(delivered) > len(reports) * 1.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeliveryModel(mean_delay_s=-1.0)
+        with pytest.raises(ValueError):
+            DeliveryModel(duplicate_prob=1.5)

@@ -1,0 +1,77 @@
+"""Route networks over worlds."""
+
+import numpy as np
+import pytest
+
+from repro.sources.kinematics import simulate_route
+from repro.sources.routing import RouteNetwork
+from repro.sources.world import AviationWorld, MaritimeWorld
+
+
+@pytest.fixture(scope="module")
+def network():
+    return RouteNetwork.from_world(MaritimeWorld.aegean())
+
+
+class TestConstruction:
+    def test_terminals_are_ports(self, network):
+        assert set(network.terminals) == set(MaritimeWorld.aegean().ports)
+
+    def test_fully_connected(self, network):
+        assert network.connectivity() == 1.0
+
+    def test_aviation_network(self):
+        net = RouteNetwork.from_world(AviationWorld.core_europe())
+        assert net.connectivity() == 1.0
+        assert len(net.terminals) == 6
+
+    def test_edge_weights_positive(self, network):
+        for __a, __b, data in network.graph.edges(data=True):
+            assert data["weight"] > 0
+            assert data["speed"] > 0
+
+
+class TestShortestRoute:
+    def test_direct_lane(self, network):
+        route = network.shortest_route("PIR", "HER")
+        assert route.waypoints[0] == MaritimeWorld.aegean().ports["PIR"]
+        assert route.waypoints[-1] == MaritimeWorld.aegean().ports["HER"]
+
+    def test_multi_hop_path(self, network):
+        # THE and RHO have no direct lane; the path goes through others.
+        route = network.shortest_route("THE", "RHO")
+        assert len(route.waypoints) > 3
+
+    def test_unknown_terminal(self, network):
+        with pytest.raises(KeyError):
+            network.shortest_route("PIR", "NOWHERE")
+
+    def test_route_is_simulatable(self, network):
+        route = network.shortest_route("THE", "HER")
+        track = simulate_route("V1", route, dt_s=30.0)
+        assert len(track) > 10
+        assert track.length_m() > 100_000
+
+
+class TestRandomVoyage:
+    def test_multi_leg_voyage(self, network):
+        rng = np.random.default_rng(7)
+        voyage = network.random_voyage(rng, min_legs=2)
+        assert voyage.name.count("->") == 2
+        assert len(voyage.waypoints) >= 3
+
+    def test_deterministic_given_rng(self, network):
+        a = network.random_voyage(np.random.default_rng(3), min_legs=2)
+        b = network.random_voyage(np.random.default_rng(3), min_legs=2)
+        assert a.name == b.name
+        assert a.waypoints == b.waypoints
+
+    def test_no_duplicate_junction_waypoints(self, network):
+        rng = np.random.default_rng(11)
+        voyage = network.random_voyage(rng, min_legs=3)
+        for a, b in zip(voyage.waypoints, voyage.waypoints[1:]):
+            assert a != b
+
+    def test_min_legs_validation(self, network):
+        with pytest.raises(ValueError):
+            network.random_voyage(np.random.default_rng(0), min_legs=0)

@@ -1,0 +1,109 @@
+"""Scripted scenarios: internal consistency of the ground truth."""
+
+import pytest
+
+from repro.geo.geodesy import haversine_m
+from repro.sources.scenarios import (
+    collision_course_scenario,
+    loitering_scenario,
+    rendezvous_scenario,
+    zone_intrusion_scenario,
+)
+
+
+class TestCollisionCourse:
+    def test_vessels_actually_meet(self):
+        scenario = collision_course_scenario(separation_km=12.0, speed_mps=8.0)
+        t_meet = 12_000.0 / 16.0
+        a = scenario.truth["CC01"].at_time(t_meet)
+        b = scenario.truth["CC02"].at_time(t_meet)
+        assert haversine_m(a.lon, a.lat, b.lon, b.lat) < 1500.0
+
+    def test_expected_window_covers_meeting(self):
+        scenario = collision_course_scenario()
+        (expected,) = scenario.expected
+        assert expected.event_type == "collision_risk"
+        assert expected.t_from < expected.t_to
+
+    def test_reports_for_both_vessels(self):
+        scenario = collision_course_scenario()
+        ids = {r.entity_id for r in scenario.reports}
+        assert ids == {"CC01", "CC02"}
+
+
+class TestLoitering:
+    def test_slow_phase_exists(self):
+        scenario = loitering_scenario(loiter_duration_s=1200.0)
+        truth = scenario.truth["LT01"]
+        (expected,) = scenario.expected
+        mid = (expected.t_from + expected.t_to) / 2.0
+        window = truth.slice_time(mid - 300.0, mid + 300.0)
+        speeds = window.speeds_mps()
+        assert float(speeds.mean()) < 0.8
+
+    def test_transit_phases_fast(self):
+        scenario = loitering_scenario()
+        truth = scenario.truth["LT01"]
+        early = truth.slice_time(0.0, 600.0).speeds_mps()
+        assert float(early.mean()) > 5.0
+
+
+class TestZoneIntrusion:
+    def test_truth_crosses_zone(self):
+        scenario = zone_intrusion_scenario()
+        zone = scenario.zones[0]
+        truth = scenario.truth["ZI01"]
+        inside = [zone.contains(p.lon, p.lat) for p in truth]
+        assert any(inside)
+        assert not inside[0] and not inside[-1]
+
+    def test_expected_entry_before_exit(self):
+        scenario = zone_intrusion_scenario()
+        entry = next(e for e in scenario.expected if e.event_type == "zone_entry")
+        exit_ = next(e for e in scenario.expected if e.event_type == "zone_exit")
+        assert entry.t_from < exit_.t_from
+
+
+class TestAviationNearMiss:
+    def test_conflicting_pair_meets_at_level(self):
+        from repro.sources.scenarios import aviation_near_miss_scenario
+
+        scenario = aviation_near_miss_scenario()
+        t_cross = 150_000.0 / 220.0
+        a = scenario.truth["NM01"].at_time(t_cross)
+        b = scenario.truth["NM02"].at_time(t_cross)
+        assert haversine_m(a.lon, a.lat, b.lon, b.lat) < 3_000.0
+        assert abs(a.alt - b.alt) < 1.0
+
+    def test_third_aircraft_below(self):
+        from repro.sources.scenarios import aviation_near_miss_scenario
+
+        scenario = aviation_near_miss_scenario()
+        assert float(scenario.truth["NM03"].alt.max()) == pytest.approx(9_400.0)
+
+    def test_negative_control_has_no_expectations(self):
+        from repro.sources.scenarios import aviation_near_miss_scenario
+
+        scenario = aviation_near_miss_scenario(vertical_separation_m=600.0)
+        assert scenario.expected == []
+        alts = {
+            entity: float(track.alt[0]) for entity, track in scenario.truth.items()
+        }
+        values = sorted(alts.values())
+        assert all(b - a >= 590.0 for a, b in zip(values, values[1:]))
+
+
+class TestRendezvous:
+    def test_vessels_converge_and_hold(self):
+        scenario = rendezvous_scenario()
+        a = scenario.truth["RV01"]
+        b = scenario.truth["RV02"]
+        # During the hold both are within a few hundred metres.
+        t_mid = (a.start_time + a.end_time) / 2.0
+        pa, pb = a.at_time(t_mid), b.at_time(t_mid)
+        assert haversine_m(pa.lon, pa.lat, pb.lon, pb.lat) < 800.0
+
+    def test_expected_pair(self):
+        scenario = rendezvous_scenario()
+        (expected,) = scenario.expected
+        assert set(expected.entity_ids) == {"RV01", "RV02"}

@@ -1,0 +1,48 @@
+"""Synthetic weather grid source."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.sources.weather import WeatherGridSource
+
+
+@pytest.fixture()
+def weather():
+    return WeatherGridSource(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=6, ny=6, slot_s=3600.0)
+
+
+class TestWeatherGrid:
+    def test_cells_for_interval_count(self, weather):
+        cells = weather.cells_for_interval(0.0, 7199.0)
+        assert len(cells) == 6 * 6 * 2  # two slots
+
+    def test_observation_lookup_consistent(self, weather):
+        obs = weather.observation_at(24.5, 37.5, 1800.0)
+        assert obs.bbox.contains(24.5, 37.5)
+        assert obs.t_start <= 1800.0 < obs.t_end
+
+    def test_deterministic(self, weather):
+        a = weather.observation_at(24.5, 37.5, 100.0)
+        b = weather.observation_at(24.5, 37.5, 100.0)
+        assert a == b
+
+    def test_physical_ranges(self, weather):
+        for cell in weather.cells_for_interval(0.0, 3 * 3600.0):
+            assert cell.wind_speed_mps >= 0.0
+            assert 0.0 <= cell.wind_dir_deg < 360.0
+            assert cell.wave_height_m >= 0.0
+
+    def test_changes_over_time(self, weather):
+        a = weather.observation_at(24.5, 37.5, 0.0)
+        b = weather.observation_at(24.5, 37.5, 10 * 3600.0)
+        assert a.wind_speed_mps != pytest.approx(b.wind_speed_mps, abs=1e-9)
+
+    def test_spatial_smoothness(self, weather):
+        # Adjacent cells should differ by less than the full dynamic range.
+        a = weather.observation_at(24.5, 37.5, 0.0)
+        b = weather.observation_at(24.5 + weather.grid.cell_width, 37.5, 0.0)
+        assert abs(a.wind_speed_mps - b.wind_speed_mps) < 8.0
+
+    def test_invalid_slot(self):
+        with pytest.raises(ValueError):
+            WeatherGridSource(bbox=BBox(0, 0, 1, 1), slot_s=0.0)

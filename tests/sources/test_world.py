@@ -1,0 +1,72 @@
+"""Geographic worlds and route specs."""
+
+import pytest
+
+from repro.sources.world import AviationWorld, MaritimeWorld, RouteSpec
+
+
+class TestRouteSpec:
+    def test_needs_two_waypoints(self):
+        with pytest.raises(ValueError):
+            RouteSpec("x", ((24.0, 37.0),), 5.0)
+
+    def test_positive_speed(self):
+        with pytest.raises(ValueError):
+            RouteSpec("x", ((24.0, 37.0), (25.0, 37.0)), 0.0)
+
+    def test_reversed_swaps_name_and_waypoints(self):
+        route = RouteSpec("A->B", ((1.0, 2.0), (3.0, 4.0), (5.0, 6.0)), 8.0)
+        rev = route.reversed()
+        assert rev.name == "B->A"
+        assert rev.waypoints == ((5.0, 6.0), (3.0, 4.0), (1.0, 2.0))
+        assert rev.speed_mps == 8.0
+
+
+class TestMaritimeWorld:
+    def test_aegean_structure(self):
+        world = MaritimeWorld.aegean()
+        assert len(world.ports) == 6
+        assert len(world.routes) == 12  # 6 legs, both directions
+        assert len(world.zones) == 3
+
+    def test_ports_inside_bbox(self):
+        world = MaritimeWorld.aegean()
+        for lon, lat in world.ports.values():
+            assert world.bbox.contains(lon, lat)
+
+    def test_route_endpoints_are_ports(self):
+        world = MaritimeWorld.aegean()
+        port_positions = set(world.ports.values())
+        for route in world.routes:
+            assert route.waypoints[0] in port_positions
+            assert route.waypoints[-1] in port_positions
+
+    def test_zone_lookup(self):
+        world = MaritimeWorld.aegean()
+        assert world.zone("natura_protected").name == "natura_protected"
+        with pytest.raises(KeyError):
+            world.zone("nope")
+
+
+class TestAviationWorld:
+    def test_core_europe_structure(self):
+        world = AviationWorld.core_europe()
+        assert len(world.airports) == 6
+        assert len(world.routes) == 12
+        assert len(world.sectors) == 9
+
+    def test_sectors_tile_bbox(self):
+        world = AviationWorld.core_europe()
+        total_area = sum(s.bbox.area for s in world.sectors)
+        assert total_area == pytest.approx(world.bbox.area, rel=1e-6)
+
+    def test_sector_lookup(self):
+        world = AviationWorld.core_europe()
+        assert world.sector("sector_11").name == "sector_11"
+        with pytest.raises(KeyError):
+            world.sector("sector_99")
+
+    def test_airspeed_realistic(self):
+        world = AviationWorld.core_europe()
+        for route in world.routes:
+            assert 150.0 < route.speed_mps < 300.0

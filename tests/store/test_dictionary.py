@@ -1,0 +1,51 @@
+"""Term dictionary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.terms import IRI, Literal
+from repro.store.dictionary import TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_stable(self):
+        d = TermDictionary()
+        a = d.encode(IRI("x"))
+        assert d.encode(IRI("x")) == a
+        assert len(d) == 1
+
+    def test_ids_dense(self):
+        d = TermDictionary()
+        ids = [d.encode(IRI(f"t{i}")) for i in range(10)]
+        assert ids == list(range(10))
+
+    def test_decode_inverse(self):
+        d = TermDictionary()
+        term = Literal(3.5, "dt")
+        assert d.decode(d.encode(term)) == term
+
+    def test_try_encode_does_not_pollute(self):
+        d = TermDictionary()
+        assert d.try_encode(IRI("unseen")) is None
+        assert len(d) == 0
+        assert IRI("unseen") not in d
+
+    def test_decode_unknown_raises(self):
+        d = TermDictionary()
+        with pytest.raises(IndexError):
+            d.decode(0)
+        with pytest.raises(IndexError):
+            d.decode(-1)
+
+    def test_distinct_term_types_distinct_ids(self):
+        d = TermDictionary()
+        assert d.encode(IRI("x")) != d.encode(Literal("x"))
+
+    @given(values=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_many(self, values):
+        d = TermDictionary()
+        terms = [Literal(v) for v in values]
+        ids = [d.encode(t) for t in terms]
+        assert [d.decode(i) for i in ids] == terms

@@ -1,0 +1,128 @@
+"""Parallel RDF store: routing, matching, stats."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.reports import PositionReport
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.rdf.transform import RdfTransformer, position_node_iri
+from repro.store.parallel import ParallelRDFStore
+from repro.store.partition import GridPartitioner, HashPartitioner, HilbertPartitioner
+
+
+@pytest.fixture()
+def grid():
+    return GeoGrid(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=16, ny=16)
+
+
+@pytest.fixture()
+def transformer(grid):
+    return RdfTransformer(st_grid=grid)
+
+
+def report(entity="V1", t=0.0, lon=24.0, lat=37.0):
+    return PositionReport(entity_id=entity, t=t, lon=lon, lat=lat, speed=5.0, heading=90.0)
+
+
+class TestDocumentRouting:
+    def test_single_subject_enforced(self, grid, transformer):
+        store = ParallelRDFStore(HashPartitioner(4))
+        mixed = [
+            Triple(IRI("a"), V.PROP_NAME, Literal("x")),
+            Triple(IRI("b"), V.PROP_NAME, Literal("y")),
+        ]
+        with pytest.raises(ValueError):
+            store.add_document(mixed)
+
+    def test_empty_document_rejected(self):
+        store = ParallelRDFStore(HashPartitioner(4))
+        with pytest.raises(ValueError):
+            store.add_document([])
+
+    def test_spatial_routing_uses_key(self, grid, transformer):
+        store = ParallelRDFStore(GridPartitioner(grid, 4))
+        west = transformer.report_to_triples(report(entity="W", lon=22.2, lat=35.2))
+        east = transformer.report_to_triples(report(entity="E", lon=28.8, lat=40.8))
+        p_west = store.add_document(west)
+        p_east = store.add_document(east)
+        assert p_west != p_east
+
+    def test_placement_stable_for_repeated_subject(self, grid, transformer):
+        store = ParallelRDFStore(GridPartitioner(grid, 4))
+        doc = transformer.report_to_triples(report())
+        first = store.add_document(doc)
+        again = store.add_document(doc)
+        assert first == again
+        # No duplicate triples were added.
+        assert len(store) == len(doc)
+
+    def test_subject_star_colocated(self, grid, transformer):
+        """All triples of one subject live in exactly one partition."""
+        store = ParallelRDFStore(HilbertPartitioner(grid, 4))
+        doc = transformer.report_to_triples(report())
+        store.add_document(doc)
+        node_id = store.dictionary.try_encode(doc[0].s)
+        holding = [
+            i for i, partition in enumerate(store.partitions)
+            if any(True for __ in partition.match(s=node_id))
+        ]
+        assert len(holding) == 1
+
+
+class TestMatching:
+    def test_match_across_partitions(self, grid, transformer):
+        store = ParallelRDFStore(GridPartitioner(grid, 4))
+        for i in range(10):
+            store.add_document(
+                transformer.report_to_triples(
+                    report(entity=f"V{i}", lon=22.5 + i * 0.6, t=float(i))
+                )
+            )
+        nodes = list(store.match(None, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE))
+        assert len(nodes) == 10
+
+    def test_match_unknown_term_empty(self, grid, transformer):
+        store = ParallelRDFStore(HashPartitioner(2))
+        store.add_document(transformer.report_to_triples(report()))
+        assert list(store.match(IRI("http://nowhere/x"), None, None)) == []
+
+    def test_match_restricted_partitions(self, grid, transformer):
+        store = ParallelRDFStore(GridPartitioner(grid, 4))
+        west = transformer.report_to_triples(report(entity="W", lon=22.2, lat=35.2))
+        p_west = store.add_document(west)
+        found = list(
+            store.match(None, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE, partitions=[p_west])
+        )
+        assert len(found) == 1
+        others = [i for i in range(4) if i != p_west]
+        assert list(
+            store.match(None, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE, partitions=others)
+        ) == []
+
+    def test_count(self, grid, transformer):
+        store = ParallelRDFStore(HashPartitioner(3))
+        for i in range(7):
+            store.add_document(transformer.report_to_triples(report(entity=f"V{i}")))
+        assert store.count(None, V.PROP_TYPE, V.CLASS_SEMANTIC_NODE) == 7
+        assert store.count(IRI("http://nowhere/x"), None, None) == 0
+
+
+class TestStats:
+    def test_triples_accounted(self, grid, transformer):
+        store = ParallelRDFStore(HashPartitioner(4))
+        total = 0
+        for i in range(20):
+            doc = transformer.report_to_triples(report(entity=f"V{i}", t=float(i)))
+            store.add_document(doc)
+            total += len(doc)
+        stats = store.stats()
+        assert sum(stats.triples_per_partition) == total == len(store)
+        assert sum(stats.subjects_per_partition) == 20
+        assert stats.imbalance >= 1.0
+
+    def test_bbox_pruning_delegated(self, grid, transformer):
+        store = ParallelRDFStore(GridPartitioner(grid, 8))
+        pruned = store.partitions_for_bbox(BBox(22.5, 35.5, 23.0, 36.0))
+        assert len(pruned) < 8

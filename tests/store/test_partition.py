@@ -1,0 +1,169 @@
+"""Partitioning strategies: routing, balance and pruning."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.rdf.transform import RdfTransformer
+from repro.store.partition import (
+    GridPartitioner,
+    HashPartitioner,
+    HilbertPartitioner,
+    QuadTreePartitioner,
+)
+
+
+@pytest.fixture()
+def grid():
+    return GeoGrid(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=16, ny=16)
+
+
+@pytest.fixture()
+def transformer(grid):
+    return RdfTransformer(st_grid=grid)
+
+
+def keys_uniform(transformer, n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for __ in range(n):
+        lon = float(rng.uniform(22.0, 29.0))
+        lat = float(rng.uniform(35.0, 41.0))
+        out.append(transformer.st_key(lon, lat, float(rng.uniform(0, 7200))))
+    return out
+
+
+def keys_skewed(transformer, n=500, seed=0):
+    """80% of keys in one small corner — the skew that breaks grids."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        if i % 5 == 0:
+            lon = float(rng.uniform(22.0, 29.0))
+            lat = float(rng.uniform(35.0, 41.0))
+        else:
+            lon = float(rng.uniform(23.3, 23.9))
+            lat = float(rng.uniform(37.6, 38.1))
+        out.append(transformer.st_key(lon, lat, 0.0))
+    return out
+
+
+class TestValidation:
+    def test_positive_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_grid_more_partitions_than_cells(self, grid):
+        with pytest.raises(ValueError):
+            GridPartitioner(grid, grid.n_cells + 1)
+
+
+class TestRoutingRange:
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 16])
+    def test_all_strategies_route_in_range(self, grid, transformer, n):
+        keys = keys_uniform(transformer, 200)
+        for partitioner in (
+            HashPartitioner(n),
+            GridPartitioner(grid, n),
+            HilbertPartitioner(grid, n),
+            HilbertPartitioner(grid, n, sample_keys=keys),
+            QuadTreePartitioner(grid, n, sample_keys=keys),
+        ):
+            for key in keys:
+                assert 0 <= partitioner.partition_for_key(key) < n
+            for subject in range(50):
+                assert 0 <= partitioner.partition_for_subject(subject) < n
+
+    def test_routing_deterministic(self, grid, transformer):
+        keys = keys_uniform(transformer, 50)
+        p = HilbertPartitioner(grid, 8, sample_keys=keys)
+        assert [p.partition_for_key(k) for k in keys] == [
+            p.partition_for_key(k) for k in keys
+        ]
+
+
+class TestPruning:
+    def test_hash_never_prunes(self, grid):
+        partitioner = HashPartitioner(8)
+        assert partitioner.partitions_for_bbox(BBox(23.0, 37.0, 23.5, 37.5)) == set(range(8))
+        assert not partitioner.uses_spatial_key
+
+    def test_grid_prunes_small_query(self, grid):
+        partitioner = GridPartitioner(grid, 8)
+        pruned = partitioner.partitions_for_bbox(BBox(23.0, 37.0, 23.4, 37.3))
+        assert 0 < len(pruned) < 8
+
+    def test_hilbert_prunes_small_query(self, grid):
+        partitioner = HilbertPartitioner(grid, 8)
+        pruned = partitioner.partitions_for_bbox(BBox(23.0, 37.0, 23.4, 37.3))
+        assert 0 < len(pruned) < 8
+
+    def test_pruning_sound(self, grid, transformer):
+        """Every key inside the query bbox routes to a returned partition."""
+        query = BBox(24.0, 37.0, 26.0, 39.0)
+        rng = np.random.default_rng(3)
+        sample = keys_uniform(transformer, 400, seed=9)
+        for partitioner in (
+            GridPartitioner(grid, 8),
+            HilbertPartitioner(grid, 8),
+            QuadTreePartitioner(grid, 8, sample_keys=sample),
+        ):
+            allowed = partitioner.partitions_for_bbox(query)
+            for __ in range(300):
+                lon = float(rng.uniform(query.min_lon, query.max_lon))
+                lat = float(rng.uniform(query.min_lat, query.max_lat))
+                key = transformer.st_key(lon, lat, 0.0)
+                assert partitioner.partition_for_key(key) in allowed
+
+
+class TestBalance:
+    @staticmethod
+    def imbalance(partitioner, keys):
+        counts = np.zeros(partitioner.n_partitions)
+        for key in keys:
+            counts[partitioner.partition_for_key(key)] += 1
+        return counts.max() / counts.mean()
+
+    def test_sampled_hilbert_beats_grid_under_skew(self, grid, transformer):
+        keys = keys_skewed(transformer, 1000)
+        grid_imb = self.imbalance(GridPartitioner(grid, 8), keys)
+        hilbert_imb = self.imbalance(
+            HilbertPartitioner(grid, 8, sample_keys=keys), keys
+        )
+        assert hilbert_imb < grid_imb
+
+    def test_quadtree_balances_under_skew(self):
+        # Balance is bounded below by the heaviest single cell (all its
+        # keys share a partition), so use a fine grid where the hotspot
+        # spans many cells and the adaptive tree can actually split it.
+        fine_grid = GeoGrid(bbox=BBox(22.0, 35.0, 29.0, 41.0), nx=64, ny=64)
+        fine_tx = RdfTransformer(st_grid=fine_grid)
+        keys = keys_skewed(fine_tx, 2000)
+        grid_imb = self.imbalance(GridPartitioner(fine_grid, 8), keys)
+        quad_imb = self.imbalance(
+            QuadTreePartitioner(fine_grid, 8, sample_keys=keys), keys
+        )
+        assert quad_imb < grid_imb
+        assert quad_imb < 2.0
+
+    def test_quadtree_prunes(self, grid, transformer):
+        keys = keys_uniform(transformer, 800)
+        partitioner = QuadTreePartitioner(grid, 8, sample_keys=keys)
+        pruned = partitioner.partitions_for_bbox(BBox(23.0, 37.0, 23.6, 37.5))
+        assert 0 < len(pruned) < 8
+
+    def test_quadtree_without_sample_degenerates_safely(self, grid, transformer):
+        partitioner = QuadTreePartitioner(grid, 4, sample_keys=None)
+        keys = keys_uniform(transformer, 50)
+        for key in keys:
+            assert 0 <= partitioner.partition_for_key(key) < 4
+        assert partitioner.partitions_for_bbox(BBox(23.0, 37.0, 23.6, 37.5))
+
+    def test_uniform_traffic_reasonably_balanced(self, grid, transformer):
+        keys = keys_uniform(transformer, 2000)
+        for partitioner in (
+            GridPartitioner(grid, 8),
+            HilbertPartitioner(grid, 8, sample_keys=keys),
+        ):
+            assert self.imbalance(partitioner, keys) < 2.0

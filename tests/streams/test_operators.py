@@ -1,0 +1,90 @@
+"""Dataflow operators."""
+
+import pytest
+
+from repro.streams.operators import (
+    CollectSink,
+    FilterOperator,
+    FlatMapOperator,
+    KeyedProcessOperator,
+    MapOperator,
+)
+from repro.streams.records import Record
+
+
+def run_op(op, values):
+    out = []
+    for t, v in values:
+        out.extend(op.process(Record(event_time=t, value=v)))
+    out.extend(op.on_end())
+    return out
+
+
+class TestStatelessOperators:
+    def test_map(self):
+        out = run_op(MapOperator(lambda x: x * 10), [(0, 1), (1, 2)])
+        assert [r.value for r in out] == [10, 20]
+        assert [r.event_time for r in out] == [0, 1]
+
+    def test_filter(self):
+        out = run_op(FilterOperator(lambda x: x % 2 == 0), [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert [r.value for r in out] == [2, 4]
+
+    def test_flat_map(self):
+        out = run_op(FlatMapOperator(lambda x: range(x)), [(0, 3), (1, 0), (2, 2)])
+        assert [r.value for r in out] == [0, 1, 2, 0, 1]
+
+    def test_map_preserves_key(self):
+        op = MapOperator(lambda x: x + 1)
+        (out,) = op.process(Record(event_time=0, value=1, key="k"))
+        assert out.key == "k"
+
+
+class _Accumulator(KeyedProcessOperator):
+    def __init__(self):
+        super().__init__(key_fn=lambda v: v[0])
+
+    def process_keyed(self, record, state):
+        state["sum"] = state.get("sum", 0) + record.value[1]
+        return ()
+
+    def flush_key(self, key, state):
+        return (Record(event_time=0.0, value=(key, state["sum"])),)
+
+
+class TestKeyedProcess:
+    def test_per_key_state_isolated(self):
+        op = _Accumulator()
+        values = [(0, ("a", 1)), (1, ("b", 10)), (2, ("a", 2)), (3, ("b", 20))]
+        out = run_op(op, values)
+        assert dict(r.value for r in out) == {"a": 3, "b": 30}
+
+    def test_keys_listed(self):
+        op = _Accumulator()
+        run_op(op, [(0, ("a", 1)), (1, ("b", 1))])
+        assert sorted(op.keys) == ["a", "b"]
+
+    def test_record_gets_key(self):
+        class Echo(KeyedProcessOperator):
+            def __init__(self):
+                super().__init__(key_fn=lambda v: v)
+
+            def process_keyed(self, record, state):
+                return (record,)
+
+        op = Echo()
+        (out,) = op.process(Record(event_time=0, value="z"))
+        assert out.key == "z"
+
+
+class TestCollectSink:
+    def test_collects_values_and_records(self):
+        sink = CollectSink()
+        sink.process(Record(event_time=5.0, value="a"))
+        sink.process(Record(event_time=6.0, value="b"))
+        assert sink.items == ["a", "b"]
+        assert [r.event_time for r in sink.records] == [5.0, 6.0]
+
+    def test_sink_emits_nothing(self):
+        sink = CollectSink()
+        assert list(sink.process(Record(event_time=0, value=1))) == []

@@ -1,0 +1,91 @@
+"""Simulated parallel keyed execution."""
+
+import pytest
+
+from repro.streams.operators import KeyedProcessOperator, MapOperator
+from repro.streams.parallel import ParallelKeyedRunner
+from repro.streams.records import Record
+
+
+class _PerKeyCounter(KeyedProcessOperator):
+    """Emits (key, running count) per record — state-dependent output."""
+
+    def __init__(self):
+        super().__init__(key_fn=lambda v: v[0])
+
+    def process_keyed(self, record, state):
+        state["n"] = state.get("n", 0) + 1
+        return (record.with_value((record.value[0], state["n"])),)
+
+
+def records(n=100, n_keys=5):
+    return [
+        Record(event_time=float(i), value=(f"k{i % n_keys}", i)) for i in range(n)
+    ]
+
+
+class TestParallelKeyedRunner:
+    def test_outputs_equal_single_task(self):
+        single, __ = ParallelKeyedRunner(
+            _PerKeyCounter, 1, key_fn=lambda v: v[0]
+        ).run(iter(records()))
+        multi, __ = ParallelKeyedRunner(
+            _PerKeyCounter, 4, key_fn=lambda v: v[0]
+        ).run(iter(records()))
+        assert sorted(r.value for r in single) == sorted(r.value for r in multi)
+
+    def test_keyed_state_not_split(self):
+        """All records of one key see one state instance (correct counts)."""
+        outputs, __ = ParallelKeyedRunner(
+            _PerKeyCounter, 4, key_fn=lambda v: v[0]
+        ).run(iter(records(n=50, n_keys=5)))
+        per_key_max = {}
+        for record in outputs:
+            key, count = record.value
+            per_key_max[key] = max(per_key_max.get(key, 0), count)
+        assert all(count == 10 for count in per_key_max.values())
+
+    def test_report_accounting(self):
+        __, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 4, key_fn=lambda v: v[0]
+        ).run(iter(records(n=200, n_keys=8)))
+        assert report.records_in == 200
+        assert report.records_out == 200
+        assert sum(report.per_task_records) == 200
+        assert report.sequential_s >= max(report.per_task_s)
+        assert report.makespan_s > 0
+
+    def test_skew_single_key(self):
+        __, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 4, key_fn=lambda v: "same"
+        ).run(iter(records(n=40)))
+        assert report.skew == pytest.approx(4.0)
+        assert report.simulated_speedup <= 1.05  # no parallelism available
+
+    def test_even_keys_low_skew(self):
+        __, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 4, key_fn=lambda v: v[1]
+        ).run(iter(records(n=400)))
+        assert report.skew < 1.3
+
+    def test_on_end_flushed_per_task(self):
+        class Flusher(KeyedProcessOperator):
+            def __init__(self):
+                super().__init__(key_fn=lambda v: v)
+
+            def process_keyed(self, record, state):
+                state["last"] = record.value
+                return ()
+
+            def flush_key(self, key, state):
+                return (Record(event_time=0.0, value=("flushed", key)),)
+
+        outputs, __ = ParallelKeyedRunner(Flusher, 3, key_fn=lambda v: v).run(
+            Record(event_time=float(i), value=f"k{i}") for i in range(6)
+        )
+        assert len(outputs) == 6
+        assert all(v[0] == "flushed" for v in (r.value for r in outputs))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelKeyedRunner(lambda: MapOperator(lambda v: v), 0, key_fn=id)

@@ -1,0 +1,65 @@
+"""Replay sources."""
+
+import pytest
+
+from repro.streams.replay import replay, replay_instant
+
+
+class TestReplayInstant:
+    def test_wraps_pairs(self):
+        records = list(replay_instant([(1.0, "a"), (2.0, "b")]))
+        assert [r.event_time for r in records] == [1.0, 2.0]
+        assert [r.value for r in records] == ["a", "b"]
+
+
+class TestReplayPaced:
+    def test_sleeps_proportionally(self):
+        now = [100.0]
+        naps = []
+
+        def clock():
+            return now[0]
+
+        def sleep(duration):
+            naps.append(duration)
+            now[0] += duration
+
+        records = list(
+            replay([(0.0, "a"), (120.0, "b"), (240.0, "c")],
+                   speedup=60.0, max_sleep_s=10.0, clock=clock, sleep=sleep)
+        )
+        assert len(records) == 3
+        # 120 event-seconds at 60x = 2 wall seconds per step.
+        assert naps == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_sleep_capped(self):
+        now = [0.0]
+        naps = []
+
+        def clock():
+            return now[0]
+
+        def sleep(duration):
+            naps.append(duration)
+            now[0] += duration
+
+        list(replay([(0.0, "a"), (36_000.0, "b")], speedup=60.0,
+                    max_sleep_s=1.0, clock=clock, sleep=sleep))
+        assert all(n <= 1.0 for n in naps)
+
+    def test_no_sleep_when_behind(self):
+        now = [0.0]
+        naps = []
+
+        def clock():
+            # Wall clock jumps far ahead: replay is already late.
+            now[0] += 100.0
+            return now[0]
+
+        list(replay([(0.0, "a"), (60.0, "b")], speedup=60.0,
+                    clock=clock, sleep=lambda d: naps.append(d)))
+        assert naps == []
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            list(replay([(0.0, "a")], speedup=0.0))

@@ -1,0 +1,31 @@
+"""Bounded out-of-orderness watermark generation."""
+
+import pytest
+
+from repro.streams.watermarks import BoundedOutOfOrdernessWatermarks
+
+
+class TestWatermarks:
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedOutOfOrdernessWatermarks(-1.0)
+
+    def test_advances_with_max_event_time(self):
+        gen = BoundedOutOfOrdernessWatermarks(5.0)
+        assert gen.observe(10.0) == 5.0
+        assert gen.observe(20.0) == 15.0
+
+    def test_no_regression_on_late_events(self):
+        gen = BoundedOutOfOrdernessWatermarks(5.0)
+        gen.observe(100.0)
+        assert gen.observe(50.0) is None
+        assert gen.current == 95.0
+
+    def test_only_emits_on_advance(self):
+        gen = BoundedOutOfOrdernessWatermarks(0.0)
+        assert gen.observe(10.0) == 10.0
+        assert gen.observe(10.0) is None
+
+    def test_initial_current_is_minus_inf(self):
+        gen = BoundedOutOfOrdernessWatermarks(1.0)
+        assert gen.current == float("-inf")

@@ -1,0 +1,157 @@
+"""Window assigners and windowed aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.records import Record, Watermark
+from repro.streams.windows import (
+    SessionWindowAssigner,
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowedAggregateOperator,
+    WindowPane,
+)
+
+
+class TestTumbling:
+    def test_assignment(self):
+        w = TumblingWindowAssigner(10.0)
+        assert w.assign(0.0) == [(0.0, 10.0)]
+        assert w.assign(9.99) == [(0.0, 10.0)]
+        assert w.assign(10.0) == [(10.0, 20.0)]
+
+    @given(t=st.floats(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_event_inside_its_window(self, t):
+        w = TumblingWindowAssigner(7.5)
+        ((start, end),) = w.assign(t)
+        assert start <= t < end
+        assert end - start == pytest.approx(7.5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            TumblingWindowAssigner(0.0)
+
+
+class TestSliding:
+    def test_assignment_count(self):
+        w = SlidingWindowAssigner(10.0, 5.0)
+        windows = w.assign(12.0)
+        assert windows == [(5.0, 15.0), (10.0, 20.0)]
+
+    @given(t=st.floats(0, 1000))
+    @settings(max_examples=100, deadline=None)
+    def test_every_window_contains_event(self, t):
+        w = SlidingWindowAssigner(30.0, 10.0)
+        windows = w.assign(t)
+        assert len(windows) == 3
+        for start, end in windows:
+            assert start <= t < end
+
+    def test_slide_greater_than_size_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAssigner(10.0, 20.0)
+
+
+class TestSession:
+    def test_seed_window(self):
+        w = SessionWindowAssigner(5.0)
+        assert w.assign(3.0) == [(3.0, 8.0)]
+        assert w.merging
+
+
+def feed(op, timed_values, watermark=None):
+    out = []
+    for t, v in timed_values:
+        out.extend(op.process(Record(event_time=t, value=v)))
+    if watermark is not None:
+        out.extend(op.on_watermark(Watermark(watermark)))
+    else:
+        out.extend(op.on_end())
+    return out
+
+
+class TestWindowedAggregate:
+    def test_tumbling_sums_per_key(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: v[0],
+            assigner=TumblingWindowAssigner(10.0),
+            aggregate_fn=lambda pane: (pane.key, sum(x[1] for x in pane.values)),
+        )
+        out = feed(op, [(1, ("a", 1)), (2, ("b", 5)), (3, ("a", 2)), (11, ("a", 10))])
+        assert set(r.value for r in out) == {("a", 3), ("b", 5), ("a", 10)}
+
+    def test_watermark_fires_only_complete_windows(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k",
+            assigner=TumblingWindowAssigner(10.0),
+            aggregate_fn=lambda pane: len(pane.values),
+        )
+        out = feed(op, [(1, "x"), (12, "y")], watermark=10.0)
+        assert [r.value for r in out] == [1]
+        assert op.open_panes == 1
+
+    def test_pane_metadata(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k", assigner=TumblingWindowAssigner(10.0)
+        )
+        out = feed(op, [(3, "x")])
+        (record,) = out
+        pane = record.value
+        assert isinstance(pane, WindowPane)
+        assert pane.start == 0.0 and pane.end == 10.0
+        assert record.event_time == pane.end
+
+    def test_session_merging(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k",
+            assigner=SessionWindowAssigner(5.0),
+            aggregate_fn=lambda pane: (pane.start, pane.end, len(pane.values)),
+        )
+        out = feed(op, [(1, "a"), (3, "b"), (20, "c")])
+        assert [r.value for r in out] == [(1, 8, 2), (20, 25, 1)]
+
+    def test_sliding_duplicates_events(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k",
+            assigner=SlidingWindowAssigner(20.0, 10.0),
+            aggregate_fn=lambda pane: len(pane.values),
+        )
+        out = feed(op, [(15, "x")])
+        # The event lands in two sliding windows.
+        assert [r.value for r in out] == [1, 1]
+
+    def test_late_records_counted_and_dropped(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k",
+            assigner=TumblingWindowAssigner(10.0),
+            aggregate_fn=lambda pane: len(pane.values),
+        )
+        out = feed(op, [(1, "x")], watermark=10.0)  # window [0,10) fires
+        assert [r.value for r in out] == [1]
+        # A record for the already-fired window is late: dropped + counted.
+        assert list(op.process(Record(event_time=3.0, value="late"))) == []
+        assert op.late_records == 1
+        assert op.open_panes == 0
+
+    def test_sliding_late_record_partially_live(self):
+        # With sliding windows, a record may be late for one window but
+        # live for a later overlapping one: it is NOT late then.
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k",
+            assigner=SlidingWindowAssigner(20.0, 10.0),
+            aggregate_fn=lambda pane: len(pane.values),
+        )
+        op.on_watermark(Watermark(20.0))  # windows ending <= 20 are closed
+        op.process(Record(event_time=15.0, value="x"))  # [10,30) still live
+        assert op.late_records == 0
+        assert op.open_panes == 1
+
+    def test_deterministic_firing_order(self):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: v, assigner=TumblingWindowAssigner(10.0)
+        )
+        out = feed(op, [(1, "b"), (2, "a"), (15, "a")])
+        ends = [r.event_time for r in out]
+        assert ends == sorted(ends)

@@ -1,0 +1,85 @@
+"""Route-deviation anomaly detection."""
+
+import pytest
+
+from repro.model.trajectory import Trajectory
+from repro.sources.kinematics import simulate_route
+from repro.sources.world import RouteSpec
+from repro.trajectory.anomaly import RouteAnomalyModel
+
+LANES = [
+    RouteSpec("L1", ((24.0, 37.0), (24.8, 37.0)), speed_mps=9.0),
+    RouteSpec("L2", ((24.0, 37.8), (24.8, 37.8)), speed_mps=9.0),
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    history = [
+        simulate_route(f"H{i}", LANES[i % 2], dt_s=10.0) for i in range(6)
+    ]
+    return RouteAnomalyModel(
+        history, n_routes=2, off_route_threshold_m=5_000.0, anomaly_fraction=0.3
+    )
+
+
+class TestScoring:
+    def test_on_lane_traffic_normal(self, model):
+        fresh = simulate_route("N1", LANES[0], dt_s=10.0)
+        score = model.score(fresh)
+        assert not score.is_anomalous
+        assert score.mean_off_route_m < 1_000.0
+
+    def test_off_lane_track_anomalous(self, model):
+        # Halfway between the lanes (each ~44 km apart vertically).
+        stray = Trajectory(
+            "STRAY",
+            [60.0 * i for i in range(40)],
+            [24.0 + 0.02 * i for i in range(40)],
+            [37.4] * 40,
+        )
+        score = model.score(stray)
+        assert score.is_anomalous
+        assert score.off_route_fraction > 0.9
+        assert score.mean_off_route_m > 5_000.0
+
+    def test_detour_partially_anomalous(self, model):
+        # Follows lane 1 but detours south mid-way.
+        lons, lats = [], []
+        for i in range(60):
+            lon = 24.0 + 0.8 * i / 59.0
+            lat = 37.0 - (0.3 if 20 <= i <= 40 else 0.0)
+            lons.append(lon)
+            lats.append(lat)
+        detour = Trajectory("D1", [60.0 * i for i in range(60)], lons, lats)
+        score = model.score(detour)
+        assert 0.1 < score.off_route_fraction < 0.9
+        assert score.max_off_route_m > 20_000.0
+
+    def test_score_all_ranked(self, model):
+        normal = simulate_route("N2", LANES[1], dt_s=10.0)
+        stray = Trajectory(
+            "S2", [60.0 * i for i in range(30)],
+            [25.5 + 0.01 * i for i in range(30)], [36.0] * 30,
+        )
+        ranked = model.score_all([normal, stray])
+        assert ranked[0].entity_id == "S2"
+        assert ranked[0].off_route_fraction >= ranked[1].off_route_fraction
+
+    def test_off_route_distance_helper(self, model):
+        on_lane = model.off_route_distance_m(24.4, 37.0)
+        off_lane = model.off_route_distance_m(24.4, 36.2)
+        assert on_lane < 1_000.0
+        assert off_lane > 50_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RouteAnomalyModel([], n_routes=2)
+        with pytest.raises(ValueError):
+            RouteAnomalyModel(
+                [simulate_route("X", LANES[0], dt_s=30.0)], anomaly_fraction=0.0
+            )
+
+    def test_empty_trajectory_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.score(Trajectory("E", [], [], []))

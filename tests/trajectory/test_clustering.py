@@ -1,0 +1,91 @@
+"""Route clustering."""
+
+import numpy as np
+import pytest
+
+from repro.model.trajectory import Trajectory
+from repro.trajectory.clustering import KMedoids, agglomerative_clusters, distance_matrix
+
+
+def track(entity, lat, n=10):
+    return Trajectory(
+        entity, [60.0 * i for i in range(n)], [24.0 + 0.01 * i for i in range(n)], [lat] * n
+    )
+
+
+@pytest.fixture()
+def two_routes():
+    """Six trajectories: three near lat 37, three near lat 39."""
+    return [
+        track("a1", 37.00), track("a2", 37.01), track("a3", 37.02),
+        track("b1", 39.00), track("b2", 39.01), track("b3", 39.02),
+    ]
+
+
+class TestDistanceMatrix:
+    def test_symmetric_zero_diagonal(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_cross_group_larger(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        within = matrix[0, 1]
+        across = matrix[0, 3]
+        assert across > within * 10
+
+
+class TestKMedoids:
+    def test_separates_groups(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        model = KMedoids(k=2, seed=3).fit(matrix)
+        labels = model.labels
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_medoids_are_members(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        model = KMedoids(k=2, seed=3).fit(matrix)
+        for cluster, medoid in enumerate(model.medoids):
+            assert medoid in model.cluster_members(cluster)
+
+    def test_inertia_decreases_with_k(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        inertia_1 = KMedoids(k=1, seed=0).fit(matrix).inertia
+        inertia_3 = KMedoids(k=3, seed=0).fit(matrix).inertia
+        assert inertia_3 <= inertia_1
+
+    def test_k_equals_n_zero_inertia(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        model = KMedoids(k=len(two_routes), seed=0).fit(matrix)
+        assert model.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_k(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        with pytest.raises(ValueError):
+            KMedoids(k=0).fit(matrix)
+        with pytest.raises(ValueError):
+            KMedoids(k=10).fit(matrix)
+
+    def test_unfit_access_raises(self):
+        with pytest.raises(RuntimeError):
+            KMedoids(k=2).cluster_members(0)
+
+
+class TestAgglomerative:
+    def test_threshold_splits_groups(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        labels = agglomerative_clusters(matrix, threshold=50_000.0)
+        assert len(set(labels)) == 2
+        assert len(set(labels[:3])) == 1
+
+    def test_huge_threshold_single_cluster(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        labels = agglomerative_clusters(matrix, threshold=1e9)
+        assert len(set(labels)) == 1
+
+    def test_tiny_threshold_all_singletons(self, two_routes):
+        matrix = distance_matrix(two_routes)
+        labels = agglomerative_clusters(matrix, threshold=0.001)
+        assert len(set(labels)) == len(two_routes)

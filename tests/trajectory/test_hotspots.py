@@ -1,0 +1,105 @@
+"""Hot-spot and hot-path detection."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.trajectory import Trajectory
+from repro.trajectory.hotspots import density_grid, hot_paths, hotspot_cells
+
+
+@pytest.fixture()
+def grid():
+    return GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=10, ny=10)
+
+
+def crossing_track(entity, n=30):
+    """West-to-east track through the middle of the grid."""
+    return Trajectory(
+        entity,
+        [30.0 * i for i in range(n)],
+        list(np.linspace(24.05, 24.95, n)),
+        [37.55] * n,
+    )
+
+
+class TestDensityGrid:
+    def test_shape(self, grid):
+        density = density_grid([crossing_track("A")], grid)
+        assert density.shape == (10, 10)
+
+    def test_per_entity_counts_presence(self, grid):
+        # One entity crossing each cell many times counts once per cell.
+        track = crossing_track("A", n=100)
+        density = density_grid([track], grid, per_entity=True)
+        assert float(density.max()) == 1.0
+
+    def test_dwell_mode_counts_samples(self, grid):
+        track = crossing_track("A", n=100)
+        density = density_grid([track], grid, per_entity=False)
+        assert float(density.sum()) == 100.0
+
+    def test_multiple_entities_accumulate(self, grid):
+        tracks = [crossing_track(f"E{i}") for i in range(4)]
+        density = density_grid(tracks, grid)
+        assert float(density.max()) == 4.0
+
+
+class TestHotspots:
+    def test_corridor_detected(self, grid):
+        tracks = [crossing_track(f"E{i}") for i in range(8)]
+        density = density_grid(tracks, grid)
+        spots = hotspot_cells(density, z_threshold=1.5)
+        assert spots
+        # The 3×3 neighbourhood statistic flags the corridor row and its
+        # immediate neighbours, nothing farther.
+        assert all(abs(iy - 5) <= 1 for __, iy, __z in spots)
+        assert any(iy == 5 for __, iy, __z in spots)
+
+    def test_sorted_by_z(self, grid):
+        tracks = [crossing_track(f"E{i}") for i in range(8)]
+        density = density_grid(tracks, grid)
+        spots = hotspot_cells(density, z_threshold=0.5)
+        zs = [z for __, __i, z in spots]
+        assert zs == sorted(zs, reverse=True)
+
+    def test_uniform_density_no_hotspots(self):
+        density = np.ones((8, 8))
+        assert hotspot_cells(density, z_threshold=2.0) == []
+
+
+class TestHotPaths:
+    def test_shared_corridor_found(self, grid):
+        tracks = [crossing_track(f"E{i}") for i in range(5)]
+        paths = hot_paths(tracks, grid, min_support=3)
+        assert paths
+        best_path, support = paths[0]
+        assert support == 5
+        assert len(best_path) >= 2
+
+    def test_min_support_respected(self, grid):
+        tracks = [crossing_track("only")]
+        assert hot_paths(tracks, grid, min_support=2) == []
+
+    def test_loops_by_one_entity_not_hot(self, grid):
+        # The same vessel going back and forth is support 1, not 10.
+        lons = list(np.linspace(24.05, 24.95, 30)) * 3
+        track = Trajectory(
+            "L", [10.0 * i for i in range(90)], lons, [37.55] * 90
+        )
+        assert hot_paths([track], grid, min_support=2) == []
+
+    def test_subsumed_paths_removed(self, grid):
+        tracks = [crossing_track(f"E{i}") for i in range(4)]
+        paths = hot_paths(tracks, grid, min_support=4, max_length=5)
+        # No kept path may be a contiguous subsequence of another kept
+        # path with at least its support.
+        for i, (path_a, support_a) in enumerate(paths):
+            for j, (path_b, support_b) in enumerate(paths):
+                if i == j:
+                    continue
+                if support_a <= support_b and len(path_a) < len(path_b):
+                    as_str = ",".join(map(str, path_a))
+                    in_str = ",".join(map(str, path_b))
+                    assert as_str not in in_str

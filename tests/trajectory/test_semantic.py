@@ -1,0 +1,90 @@
+"""Semantic trajectories: episode structure and annotations."""
+
+import pytest
+
+from repro.geo.polygon import Polygon
+from repro.trajectory.semantic import (
+    EpisodeType,
+    build_semantic_trajectory,
+)
+from tests.trajectory.test_stay_points import track_with_stop
+
+
+class TestEpisodeStructure:
+    def test_move_stop_move(self):
+        track = track_with_stop()
+        semantic = build_semantic_trajectory(
+            track, stay_radius_m=400.0, stay_min_duration_s=900.0
+        )
+        kinds = [e.kind for e in semantic.episodes]
+        assert kinds == [EpisodeType.MOVE, EpisodeType.STOP, EpisodeType.MOVE]
+
+    def test_episodes_cover_track_in_order(self):
+        track = track_with_stop()
+        semantic = build_semantic_trajectory(
+            track, stay_radius_m=400.0, stay_min_duration_s=900.0
+        )
+        for earlier, later in zip(semantic.episodes, semantic.episodes[1:]):
+            assert earlier.t_end <= later.t_start + 1e-6
+        assert semantic.episodes[0].t_start == track.start_time
+        assert semantic.episodes[-1].t_end == track.end_time
+
+    def test_moving_track_single_move(self):
+        from repro.model.trajectory import Trajectory
+
+        track = Trajectory(
+            "M", [10.0 * i for i in range(100)],
+            [24.0 + 0.001 * i for i in range(100)], [37.0] * 100,
+        )
+        semantic = build_semantic_trajectory(track)
+        assert len(semantic.episodes) == 1
+        assert semantic.episodes[0].kind is EpisodeType.MOVE
+
+    def test_accessors(self):
+        track = track_with_stop()
+        semantic = build_semantic_trajectory(
+            track, stay_radius_m=400.0, stay_min_duration_s=900.0
+        )
+        assert len(semantic.stops()) == 1
+        assert len(semantic.moves()) == 2
+
+
+class TestAnnotations:
+    def test_move_tags(self):
+        track = track_with_stop()
+        semantic = build_semantic_trajectory(
+            track, stay_radius_m=400.0, stay_min_duration_s=900.0
+        )
+        move = semantic.moves()[0]
+        assert any(tag == "heading=E" for tag in move.tags)
+        speed_tag = next(tag for tag in move.tags if tag.startswith("mean_speed="))
+        assert float(speed_tag.split("=")[1]) == pytest.approx(8.0, rel=0.1)
+
+    def test_stop_zone_annotation(self):
+        track = track_with_stop()
+        (stay,) = build_semantic_trajectory(
+            track, stay_radius_m=400.0, stay_min_duration_s=900.0
+        ).stops(),
+        stay = stay[0]
+        zone = Polygon(
+            "anchorage",
+            (
+                (stay.lon - 0.05, stay.lat - 0.05),
+                (stay.lon + 0.05, stay.lat - 0.05),
+                (stay.lon + 0.05, stay.lat + 0.05),
+                (stay.lon - 0.05, stay.lat + 0.05),
+            ),
+        )
+        semantic = build_semantic_trajectory(
+            track, zones=[zone], stay_radius_m=400.0, stay_min_duration_s=900.0
+        )
+        assert "zone:anchorage" in semantic.stops()[0].tags
+
+    def test_describe_renders_every_episode(self):
+        track = track_with_stop()
+        semantic = build_semantic_trajectory(
+            track, stay_radius_m=400.0, stay_min_duration_s=900.0
+        )
+        text = semantic.describe()
+        assert text.count("\n") == len(semantic.episodes)
+        assert "stop" in text and "move" in text

@@ -1,0 +1,148 @@
+"""Similarity measures: identities, symmetry, discrimination."""
+
+import pytest
+
+from repro.geo.geodesy import destination_point
+from repro.model.trajectory import Trajectory
+from repro.trajectory.similarity import (
+    dtw_distance_m,
+    edr_distance,
+    euclidean_resampled_m,
+    frechet_distance_m,
+    hausdorff_distance_m,
+    lcss_similarity,
+)
+
+
+def track(entity="A", lat=37.0, n=20, lon0=24.0, step=0.005, dt=60.0):
+    return Trajectory(
+        entity, [dt * i for i in range(n)], [lon0 + step * i for i in range(n)], [lat] * n
+    )
+
+
+def shifted_track(offset_m, entity="B", n=20):
+    base = track(entity=entity, n=n)
+    lons, lats = [], []
+    for i in range(n):
+        lon, lat = destination_point(float(base.lon[i]), float(base.lat[i]), 0.0, offset_m)
+        lons.append(lon)
+        lats.append(lat)
+    return Trajectory(entity, base.t, lons, lats)
+
+
+@pytest.fixture()
+def a():
+    return track()
+
+
+@pytest.fixture()
+def b():
+    return shifted_track(1000.0)
+
+
+class TestIdentity:
+    def test_dtw_self_zero(self, a):
+        assert dtw_distance_m(a, a) == pytest.approx(0.0, abs=1e-6)
+
+    def test_frechet_self_zero(self, a):
+        assert frechet_distance_m(a, a) == pytest.approx(0.0, abs=1e-6)
+
+    def test_lcss_self_one(self, a):
+        assert lcss_similarity(a, a, eps_m=10.0) == 1.0
+
+    def test_edr_self_zero(self, a):
+        assert edr_distance(a, a, eps_m=10.0) == 0.0
+
+    def test_euclidean_self_zero(self, a):
+        assert euclidean_resampled_m(a, a) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestSymmetry:
+    def test_all_measures_symmetric(self, a, b):
+        assert dtw_distance_m(a, b) == pytest.approx(dtw_distance_m(b, a), rel=1e-9)
+        assert frechet_distance_m(a, b) == pytest.approx(frechet_distance_m(b, a), rel=1e-9)
+        assert lcss_similarity(a, b) == pytest.approx(lcss_similarity(b, a), rel=1e-9)
+        assert edr_distance(a, b) == pytest.approx(edr_distance(b, a), rel=1e-9)
+
+
+class TestDiscrimination:
+    def test_frechet_equals_offset_for_parallel_tracks(self, a, b):
+        assert frechet_distance_m(a, b) == pytest.approx(1000.0, rel=0.02)
+
+    def test_dtw_scales_with_offset(self, a):
+        near = shifted_track(500.0)
+        far = shifted_track(5000.0)
+        assert dtw_distance_m(a, far) > dtw_distance_m(a, near) * 3
+
+    def test_lcss_tolerance_behaviour(self, a, b):
+        assert lcss_similarity(a, b, eps_m=2000.0) == 1.0
+        assert lcss_similarity(a, b, eps_m=100.0) == 0.0
+
+    def test_edr_between_zero_and_one(self, a):
+        far = shifted_track(50_000.0)
+        assert edr_distance(a, far, eps_m=500.0) == 1.0
+
+    def test_euclidean_offset(self, a, b):
+        assert euclidean_resampled_m(a, b) == pytest.approx(1000.0, rel=0.02)
+
+
+class TestHausdorff:
+    def test_self_zero(self, a):
+        assert hausdorff_distance_m(a, a) == pytest.approx(0.0, abs=1e-6)
+
+    def test_symmetric(self, a, b):
+        assert hausdorff_distance_m(a, b) == pytest.approx(
+            hausdorff_distance_m(b, a), rel=1e-9
+        )
+
+    def test_parallel_offset(self, a, b):
+        assert hausdorff_distance_m(a, b) == pytest.approx(1000.0, rel=0.02)
+
+    def test_direction_insensitive_unlike_frechet(self, a):
+        reversed_track = Trajectory(
+            "R", a.t, list(a.lon[::-1]), list(a.lat[::-1])
+        )
+        assert hausdorff_distance_m(a, reversed_track) == pytest.approx(0.0, abs=1.0)
+        assert frechet_distance_m(a, reversed_track) > 1000.0
+
+    def test_at_least_frechet_lower_bound(self, a, b):
+        # Hausdorff never exceeds discrete Fréchet.
+        assert hausdorff_distance_m(a, b) <= frechet_distance_m(a, b) + 1e-6
+
+
+class TestLengthsAndRobustness:
+    def test_different_lengths_accepted(self, a):
+        short = track(n=7)
+        assert dtw_distance_m(a, short) >= 0.0
+        assert frechet_distance_m(a, short) >= 0.0
+        assert 0.0 <= lcss_similarity(a, short) <= 1.0
+
+    def test_lcss_robust_to_outlier(self):
+        base = track(n=20)
+        # One wild outlier sample in the middle.
+        lons = list(base.lon)
+        lats = list(base.lat)
+        lats[10] = 39.0
+        noisy = Trajectory("N", base.t, lons, lats)
+        assert lcss_similarity(base, noisy, eps_m=500.0) >= 0.9
+        # Fréchet, by contrast, is destroyed by the same outlier.
+        assert frechet_distance_m(base, noisy) > 100_000.0
+
+    def test_dtw_band_constrains(self, a):
+        far = shifted_track(2000.0)
+        unbanded = dtw_distance_m(a, far)
+        banded = dtw_distance_m(a, far, band=3)
+        assert banded >= unbanded * 0.99  # band can only restrict warping
+
+    def test_empty_rejected(self, a):
+        empty = Trajectory("E", [], [], [])
+        with pytest.raises(ValueError):
+            dtw_distance_m(a, empty)
+
+    def test_euclidean_needs_two_samples(self, a):
+        with pytest.raises(ValueError):
+            euclidean_resampled_m(a, a, n_samples=1)
+
+    def test_single_point_trajectory(self, a):
+        dot = Trajectory("D", [0.0], [24.0], [37.0])
+        assert euclidean_resampled_m(a, dot) > 0.0

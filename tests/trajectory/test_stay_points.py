@@ -1,0 +1,109 @@
+"""Stay-point detection and voyage segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.geo.geodesy import destination_point, haversine_m
+from repro.model.trajectory import Trajectory
+from repro.trajectory.stay_points import detect_stay_points, split_voyages
+
+
+def track_with_stop(
+    transit_s=1200.0, stop_s=1800.0, speed_m_per_step=80.0, dt=10.0, seed=0
+):
+    """Transit east, dwell in place (small drift), transit east again."""
+    rng = np.random.default_rng(seed)
+    t, lon, lat = 0.0, 24.0, 37.0
+    times, lons, lats = [t], [lon], [lat]
+    while t < transit_s:
+        t += dt
+        lon, lat = destination_point(lon, lat, 90.0, speed_m_per_step)
+        times.append(t)
+        lons.append(lon)
+        lats.append(lat)
+    stop_end = t + stop_s
+    while t < stop_end:
+        t += dt
+        lon, lat = destination_point(lon, lat, float(rng.uniform(0, 360)), 3.0)
+        times.append(t)
+        lons.append(lon)
+        lats.append(lat)
+    final = t + transit_s
+    while t < final:
+        t += dt
+        lon, lat = destination_point(lon, lat, 90.0, speed_m_per_step)
+        times.append(t)
+        lons.append(lon)
+        lats.append(lat)
+    return Trajectory("S1", times, lons, lats)
+
+
+class TestDetectStayPoints:
+    def test_single_stop_found(self):
+        track = track_with_stop()
+        stays = detect_stay_points(track, radius_m=400.0, min_duration_s=900.0)
+        assert len(stays) == 1
+        stay = stays[0]
+        assert 1000.0 < stay.t_start < 1500.0
+        assert stay.duration > 1500.0
+        assert stay.entity_id == "S1"
+
+    def test_centroid_near_stop_location(self):
+        track = track_with_stop()
+        (stay,) = detect_stay_points(track, radius_m=400.0, min_duration_s=900.0)
+        anchor = track.at_time(1300.0)
+        assert haversine_m(stay.lon, stay.lat, anchor.lon, anchor.lat) < 500.0
+
+    def test_moving_track_no_stays(self):
+        track = Trajectory(
+            "M", [10.0 * i for i in range(100)],
+            [24.0 + 0.001 * i for i in range(100)], [37.0] * 100,
+        )
+        assert detect_stay_points(track, radius_m=400.0, min_duration_s=600.0) == []
+
+    def test_short_dwell_ignored(self):
+        track = track_with_stop(stop_s=300.0)
+        assert detect_stay_points(track, radius_m=400.0, min_duration_s=900.0) == []
+
+    def test_two_stops(self):
+        a = track_with_stop()
+        # Shift a second copy after the first, 1 hour later.
+        offset = a.end_time + 40.0
+        b = Trajectory(
+            "S1", a.t + offset, a.lon + 0.5, a.lat, domain=a.domain
+        )
+        combined = a.append(b)
+        stays = detect_stay_points(combined, radius_m=400.0, min_duration_s=900.0)
+        assert len(stays) == 2
+        assert stays[0].t_end < stays[1].t_start
+
+    def test_validation(self):
+        track = track_with_stop()
+        with pytest.raises(ValueError):
+            detect_stay_points(track, radius_m=0.0)
+
+
+class TestSplitVoyages:
+    def test_split_around_stop(self):
+        track = track_with_stop()
+        voyages = split_voyages(track, radius_m=400.0, min_duration_s=900.0)
+        assert len(voyages) == 2
+        assert voyages[0].end_time <= voyages[1].start_time
+        # Both voyages are genuinely moving.
+        for voyage in voyages:
+            assert float(voyage.speeds_mps().mean()) > 3.0
+
+    def test_no_stays_whole_track(self):
+        track = Trajectory(
+            "M", [10.0 * i for i in range(50)],
+            [24.0 + 0.001 * i for i in range(50)], [37.0] * 50,
+        )
+        voyages = split_voyages(track, radius_m=400.0, min_duration_s=600.0)
+        assert voyages == [track]
+
+    def test_min_points_filter(self):
+        track = track_with_stop(transit_s=30.0)  # tiny leading voyage
+        voyages = split_voyages(
+            track, radius_m=400.0, min_duration_s=900.0, min_voyage_points=10
+        )
+        assert all(len(v) >= 10 for v in voyages)

@@ -1,0 +1,54 @@
+"""ASCII map rendering."""
+
+import numpy as np
+
+from repro.geo.bbox import BBox
+from repro.model.trajectory import Trajectory
+from repro.viz.ascii_map import ascii_density, ascii_trajectories
+
+
+class TestAsciiDensity:
+    def test_empty_grid_blank(self):
+        text = ascii_density(np.zeros((4, 6)))
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert all(line == "      " for line in lines)
+
+    def test_peak_uses_darkest_shade(self):
+        density = np.zeros((3, 3))
+        density[1, 1] = 100.0
+        text = ascii_density(density)
+        assert "@" in text
+
+    def test_north_at_top(self):
+        density = np.zeros((2, 2))
+        density[1, 0] = 9.0  # iy=1 is the northern row
+        lines = ascii_density(density).split("\n")
+        assert lines[0][0] != " "
+        assert lines[1][0] == " "
+
+    def test_wide_grid_downsampled(self):
+        density = np.ones((2, 200))
+        text = ascii_density(density, max_width=50)
+        assert max(len(line) for line in text.split("\n")) <= 100
+
+
+class TestAsciiTrajectories:
+    def test_track_and_endpoint_drawn(self):
+        track = Trajectory(
+            "V1", [0, 10, 20], [24.1, 24.5, 24.9], [37.5, 37.5, 37.5]
+        )
+        text = ascii_trajectories([track], BBox(24.0, 37.0, 25.0, 38.0), width=40, height=10)
+        assert "a" in text
+        assert "#" in text
+
+    def test_out_of_bbox_points_skipped(self):
+        track = Trajectory("V1", [0, 10], [30.0, 31.0], [45.0, 45.0])
+        text = ascii_trajectories([track], BBox(24.0, 37.0, 25.0, 38.0), width=20, height=5)
+        assert set(text) <= {" ", "\n"}
+
+    def test_multiple_tracks_distinct_letters(self):
+        a = Trajectory("A", [0, 10], [24.1, 24.2], [37.2, 37.2])
+        b = Trajectory("B", [0, 10], [24.1, 24.2], [37.8, 37.8])
+        text = ascii_trajectories([a, b], BBox(24.0, 37.0, 25.0, 38.0), width=30, height=10)
+        assert "a" in text and "b" in text

@@ -1,0 +1,42 @@
+"""Visual-analytics aggregation layers."""
+
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.model.reports import PositionReport
+from repro.viz.density import density_from_reports, temporal_profile
+
+
+def report(t=0.0, lon=24.5, lat=37.5):
+    return PositionReport(entity_id="V1", t=t, lon=lon, lat=lat)
+
+
+class TestDensityFromReports:
+    def test_counts(self):
+        grid = GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=4, ny=4)
+        density = density_from_reports([report(), report(), report(lon=24.1, lat=37.1)], grid)
+        assert density.sum() == 3.0
+        assert density.max() == 2.0
+
+    def test_shape(self):
+        grid = GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=7, ny=3)
+        density = density_from_reports([], grid)
+        assert density.shape == (3, 7)
+
+
+class TestTemporalProfile:
+    def test_bucketing(self):
+        reports = [report(t=t) for t in (0.0, 100.0, 650.0, 1300.0)]
+        profile = temporal_profile(reports, bucket_s=600.0)
+        assert profile == [(0.0, 2), (600.0, 1), (1200.0, 1)]
+
+    def test_sorted_output(self):
+        reports = [report(t=t) for t in (2000.0, 0.0, 900.0)]
+        profile = temporal_profile(reports, bucket_s=600.0)
+        buckets = [b for b, __ in profile]
+        assert buckets == sorted(buckets)
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            temporal_profile([], bucket_s=0.0)

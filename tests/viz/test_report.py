@@ -1,0 +1,71 @@
+"""HTML situation report generator."""
+
+import pytest
+
+from repro.model.events import ComplexEvent, EventSeverity, SimpleEvent
+from repro.viz.report import HtmlReport
+
+
+class TestHtmlReport:
+    def test_document_structure(self):
+        report = HtmlReport("Morning picture")
+        text = report.render()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<title>Morning picture</title>" in text
+
+    def test_title_escaped(self):
+        report = HtmlReport("<script>alert(1)</script>")
+        assert "<script>alert" not in report.render()
+
+    def test_stats_strip(self):
+        report = HtmlReport("t")
+        report.add_stat("reports", 12345)
+        report.add_stat("compression", 0.973)
+        text = report.render()
+        assert "12345" in text
+        assert "0.973" in text
+
+    def test_event_table_sorted_and_styled(self):
+        report = HtmlReport("t")
+        report.add_events([
+            ComplexEvent("collision_risk", ("A", "B"), 500.0, 500.0,
+                         severity=EventSeverity.ALARM),
+            SimpleEvent("zone_entry", "C", 100.0, 24.0, 37.0),
+        ])
+        text = report.render()
+        assert text.index("zone_entry") < text.index("collision_risk")
+        assert 'class="sev-3"' in text  # alarm styling
+
+    def test_map_embedded(self):
+        report = HtmlReport("t")
+        report.set_map('<svg xmlns="http://www.w3.org/2000/svg"></svg>')
+        assert "<svg" in report.render()
+
+    def test_extra_table_escaped(self):
+        report = HtmlReport("t")
+        report.add_table("Links", ["a & b"], [["<x>", 1.5]])
+        text = report.render()
+        assert "a &amp; b" in text
+        assert "&lt;x&gt;" in text
+        assert "1.500" in text
+
+    def test_timeline_sparkline(self):
+        report = HtmlReport("t")
+        report.add_timeline([(0.0, 5), (600.0, 12), (1200.0, 3)])
+        text = report.render()
+        assert "Activity timeline" in text
+        assert text.count("<rect") == 3
+        assert "t=600s: 12" in text
+
+    def test_empty_timeline_skipped(self):
+        report = HtmlReport("t")
+        before = report.render()
+        report.add_timeline([])
+        report.add_timeline([(0.0, 0)])
+        assert report.render() == before
+
+    def test_save(self, tmp_path):
+        report = HtmlReport("t")
+        path = tmp_path / "report.html"
+        report.save(str(path))
+        assert path.read_text().startswith("<!DOCTYPE html>")

@@ -1,0 +1,103 @@
+"""SVG map rendering."""
+
+import numpy as np
+import pytest
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.geo.polygon import Polygon
+from repro.model.events import ComplexEvent, SimpleEvent
+from repro.model.trajectory import Trajectory
+from repro.viz.svg import SvgMap
+
+
+@pytest.fixture()
+def svg_map():
+    return SvgMap(BBox(24.0, 37.0, 25.0, 38.0), width_px=400)
+
+
+def track(entity="V1", n=5):
+    return Trajectory(
+        entity,
+        [10.0 * i for i in range(n)],
+        [24.1 + 0.1 * i for i in range(n)],
+        [37.5] * n,
+    )
+
+
+class TestSvgMap:
+    def test_document_well_formed(self, svg_map):
+        svg_map.add_trajectory(track())
+        doc = svg_map.render()
+        assert doc.startswith("<svg")
+        assert doc.rstrip().endswith("</svg>")
+        assert "<polyline" in doc
+
+    def test_aspect_ratio(self):
+        tall = SvgMap(BBox(24.0, 37.0, 24.5, 38.0), width_px=300)
+        assert tall.height == 600
+
+    def test_zone_layer(self, svg_map):
+        svg_map.add_zone(Polygon("area<1>", ((24.2, 37.2), (24.4, 37.2), (24.4, 37.4))))
+        doc = svg_map.render()
+        assert "<polygon" in doc
+        assert "area&lt;1&gt;" in doc  # escaped name
+
+    def test_event_markers(self, svg_map):
+        svg_map.add_event(SimpleEvent("zone_entry", "V1", 10.0, 24.5, 37.5))
+        svg_map.add_event(
+            ComplexEvent(
+                "collision_risk", ("A", "B"), 0.0, 1.0,
+                contributing=(SimpleEvent("proximity", "A", 0.0, 24.2, 37.2),),
+            )
+        )
+        doc = svg_map.render()
+        assert doc.count("<circle") >= 2
+
+    def test_density_layer(self, svg_map):
+        grid = GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=4, ny=4)
+        density = np.zeros((4, 4))
+        density[1, 2] = 5.0
+        svg_map.add_density(density, grid)
+        assert "<rect" in svg_map.render()
+
+    def test_density_shape_mismatch(self, svg_map):
+        grid = GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=4, ny=4)
+        with pytest.raises(ValueError):
+            svg_map.add_density(np.zeros((3, 3)), grid)
+
+    def test_empty_density_no_elements(self, svg_map):
+        grid = GeoGrid(bbox=BBox(24.0, 37.0, 25.0, 38.0), nx=4, ny=4)
+        before = svg_map.render()
+        svg_map.add_density(np.zeros((4, 4)), grid)
+        assert svg_map.render() == before
+
+    def test_prediction_with_uncertainty_ring(self, svg_map):
+        svg_map.add_prediction(24.5, 37.5, radius_m=2_000.0, label="V1 +15min")
+        doc = svg_map.render()
+        assert "stroke-dasharray" in doc
+        assert "V1 +15min" in doc
+        assert doc.count("<circle") == 2
+
+    def test_prediction_ring_scales_with_radius(self, svg_map):
+        import re
+
+        svg_map.add_prediction(24.5, 37.5, radius_m=500.0)
+        svg_map.add_prediction(24.5, 37.5, radius_m=5_000.0)
+        radii = [float(m) for m in re.findall(r'r="([\d.]+)" fill="#8e44ad" fill-opacity', svg_map.render())]
+        assert len(radii) == 2
+        assert radii[1] > radii[0] * 5
+
+    def test_save(self, svg_map, tmp_path):
+        svg_map.add_trajectory(track())
+        path = tmp_path / "map.svg"
+        svg_map.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_label(self, svg_map):
+        svg_map.add_label(24.5, 37.5, "Piraeus & co")
+        assert "Piraeus &amp; co" in svg_map.render()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SvgMap(BBox(24.0, 37.0, 25.0, 38.0), width_px=0)
