@@ -18,9 +18,12 @@ store/query layer for follow-up analysis.
 
 from __future__ import annotations
 
+import copy
+import itertools
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.cep.detectors import (
     CapacityDemandDetector,
@@ -44,7 +47,21 @@ from repro.rdf.transform import RdfTransformer
 from repro.store.parallel import ParallelRDFStore
 from repro.sources.weather import WeatherGridSource
 from repro.store.partition import GridPartitioner, HashPartitioner, HilbertPartitioner
+from repro.streams.chaos import (
+    ChaosConfig,
+    DeadLetter,
+    TransientFault,
+    TransientFaultInjector,
+)
+from repro.streams.checkpoint import Checkpoint, CheckpointStore
 from repro.streams.metrics import LatencyHistogram
+from repro.streams.replay import ReplayLog
+
+T = TypeVar("T")
+
+
+class _DeadLettered(Exception):
+    """Internal control flow: the current report exhausted its retries."""
 
 
 @dataclass
@@ -63,6 +80,33 @@ class PipelineResult:
     stage_latency: dict[str, dict[str, float]] = field(default_factory=dict)
     end_to_end: dict[str, float] = field(default_factory=dict)
     wall_time_s: float = 0.0
+    #: Degraded-mode accounting (all zero/empty without a chaos config):
+    #: transient failures observed per stage,
+    stage_failures: dict[str, int] = field(default_factory=dict)
+    #: retries performed per stage,
+    stage_retries: dict[str, int] = field(default_factory=dict)
+    #: reports that exhausted the retry budget,
+    dead_letters: list[DeadLetter] = field(default_factory=list)
+    #: reports that failed at least once but ultimately completed,
+    records_recovered: int = 0
+    #: and the total backoff delay the retries would have waited.
+    simulated_backoff_s: float = 0.0
+
+    @property
+    def dead_letter_count(self) -> int:
+        """Number of reports parked in the dead-letter queue."""
+        return len(self.dead_letters)
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of transiently-failing reports that still completed.
+
+        1.0 when no report ever failed (nothing needed recovering).
+        """
+        troubled = self.records_recovered + len(self.dead_letters)
+        if troubled == 0:
+            return 1.0
+        return self.records_recovered / troubled
 
     @property
     def compression_ratio(self) -> float:
@@ -80,7 +124,14 @@ class PipelineResult:
 
 
 class MobilityPipeline:
-    """The full datAcron flow over one geographic world."""
+    """The full datAcron flow over one geographic world.
+
+    Args:
+        chaos: When given, stage executions fail transiently with the
+            configured probability and are retried with exponential
+            backoff; reports that exhaust the budget land in the result's
+            dead-letter queue instead of killing the run (degraded mode).
+    """
 
     def __init__(
         self,
@@ -90,6 +141,7 @@ class MobilityPipeline:
         zones: Iterable[Polygon] = (),
         domain: Domain = Domain.MARITIME,
         weather: "WeatherGridSource | None" = None,
+        chaos: ChaosConfig | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.registry = registry or EntityRegistry()
@@ -170,6 +222,17 @@ class MobilityPipeline:
         self._end_to_end = LatencyHistogram()
         self._result = PipelineResult()
 
+        # Degraded-mode (chaos) path.
+        self._chaos = chaos
+        if chaos is not None and chaos.fail_prob > 0:
+            self._injector = TransientFaultInjector(
+                chaos.fail_prob, seed=chaos.seed, stages=chaos.stages
+            )
+        else:
+            self._injector = None
+        self._retry_rng = random.Random(chaos.seed + 1) if chaos is not None else None
+        self._record_faulted = False
+
     def _build_partitioner(self):
         n = self.config.n_partitions
         if self.config.partitioner == "hash":
@@ -181,46 +244,139 @@ class MobilityPipeline:
     # -- processing -------------------------------------------------------------
 
     def process_report(self, report: PositionReport) -> list[ComplexEvent]:
-        """Push one report through every stage; returns new complex events."""
+        """Push one report through every stage; returns new complex events.
+
+        Under a chaos config, stage executions may fail transiently and be
+        retried; a report that exhausts its retry budget is parked in the
+        dead-letter queue and dropped (the run continues degraded).
+        """
         result = self._result
         result.reports_in += 1
         record_started = time.perf_counter()
+        self._record_faulted = False
+        try:
+            new_complex = self._process_stages(report)
+        except _DeadLettered:
+            self._end_to_end.record(time.perf_counter() - record_started)
+            return []
+        if self._record_faulted:
+            result.records_recovered += 1
+        self._end_to_end.record(time.perf_counter() - record_started)
+        return new_complex
 
-        started = record_started
-        ok = self._dedup.accept(report) and self._plausibility.accept(report)
+    def _stage_call(self, stage: str, report: PositionReport, fn: Callable[[], T]) -> T:
+        """Run one stage body under the chaos retry policy.
+
+        Faults are injected at stage entry, before ``fn`` executes, so a
+        retried attempt never observes a partially-applied stage. When the
+        retry budget is exhausted, the report is dead-lettered and record
+        processing aborts via :class:`_DeadLettered`.
+        """
+        if self._chaos is None:
+            return fn()
+        result = self._result
+        policy = self._chaos.retry
+        attempt = 0
+        while True:
+            try:
+                if self._injector is not None:
+                    self._injector.maybe_fail(stage)
+                return fn()
+            except TransientFault as exc:
+                self._record_faulted = True
+                result.stage_failures[stage] = result.stage_failures.get(stage, 0) + 1
+                if attempt >= policy.max_retries:
+                    result.dead_letters.append(
+                        DeadLetter(
+                            stage=stage,
+                            value=report,
+                            event_time=report.t,
+                            error=str(exc),
+                            attempts=attempt + 1,
+                        )
+                    )
+                    raise _DeadLettered(stage) from exc
+                result.simulated_backoff_s += policy.backoff_s(attempt, self._retry_rng)
+                result.stage_retries[stage] = result.stage_retries.get(stage, 0) + 1
+                attempt += 1
+
+    def _process_stages(self, report: PositionReport) -> list[ComplexEvent]:
+        result = self._result
+
+        started = time.perf_counter()
+        ok = self._stage_call(
+            "clean",
+            report,
+            lambda: self._dedup.accept(report) and self._plausibility.accept(report),
+        )
         self._latency["clean"].record(time.perf_counter() - started)
         if not ok:
-            self._end_to_end.record(time.perf_counter() - record_started)
             return []
         result.reports_clean += 1
 
         started = time.perf_counter()
-        annotated, keep = self._synopses.process(report)
+        annotated, keep = self._stage_call(
+            "synopses", report, lambda: self._synopses.process(report)
+        )
         self._latency["synopses"].record(time.perf_counter() - started)
 
         if keep:
             result.reports_kept += 1
             if self.config.persist_rdf:
                 started = time.perf_counter()
-                triples = self.transformer.report_to_triples(annotated)
-                if self.config.interlink:
-                    triples.extend(self._interlink(report, triples[0].s))
-                self.store.add_document(triples)
-                result.triples_stored += len(triples)
+                result.triples_stored += self._stage_call(
+                    "rdf",
+                    report,
+                    lambda: self._store_report_doc(
+                        annotated, report, interlink=self.config.interlink
+                    ),
+                )
                 self._latency["rdf"].record(time.perf_counter() - started)
         elif self.config.persist_rdf and self.config.persist_raw_reports:
             started = time.perf_counter()
-            triples = self.transformer.report_to_triples(report)
-            self.store.add_document(triples)
-            result.triples_stored += len(triples)
+            result.triples_stored += self._stage_call(
+                "rdf",
+                report,
+                lambda: self._store_report_doc(report, report, interlink=False),
+            )
             self._latency["rdf"].record(time.perf_counter() - started)
 
         started = time.perf_counter()
-        simple_events = self._extractor.process(report)
+        simple_events = self._stage_call(
+            "events", report, lambda: self._extractor.process(report)
+        )
         result.simple_events.extend(simple_events)
         self._latency["events"].record(time.perf_counter() - started)
 
         started = time.perf_counter()
+        new_complex = self._stage_call(
+            "detectors", report, lambda: self._run_detectors(report, simple_events)
+        )
+        self._latency["detectors"].record(time.perf_counter() - started)
+
+        for event in new_complex:
+            result.complex_events.append(event)
+            if self.config.persist_rdf:
+                triples = self.transformer.event_to_triples(event)
+                self.store.add_document(triples)
+                result.triples_stored += len(triples)
+
+        return new_complex
+
+    def _store_report_doc(
+        self, item, report: PositionReport, interlink: bool
+    ) -> int:
+        """Persist one report document; returns the triple count added."""
+        triples = self.transformer.report_to_triples(item)
+        if interlink:
+            triples.extend(self._interlink(report, triples[0].s))
+        self.store.add_document(triples)
+        return len(triples)
+
+    def _run_detectors(
+        self, report: PositionReport, simple_events: list[SimpleEvent]
+    ) -> list[ComplexEvent]:
+        """Run every complex-event detector over one report."""
         new_complex: list[ComplexEvent] = []
         new_complex.extend(self._collision.process(report))
         new_complex.extend(self._loitering.process(report))
@@ -231,16 +387,6 @@ class MobilityPipeline:
             new_complex.extend(self._capacity.process(report))
         if self._hotspots is not None:
             new_complex.extend(self._hotspots.process(report))
-        self._latency["detectors"].record(time.perf_counter() - started)
-
-        for event in new_complex:
-            result.complex_events.append(event)
-            if self.config.persist_rdf:
-                triples = self.transformer.event_to_triples(event)
-                self.store.add_document(triples)
-                result.triples_stored += len(triples)
-
-        self._end_to_end.record(time.perf_counter() - record_started)
         return new_complex
 
     def _interlink(self, report: PositionReport, node) -> list:
@@ -271,6 +417,10 @@ class MobilityPipeline:
         run_started = time.perf_counter()
         for report in reports:
             self.process_report(report)
+        return self._finalize(run_started)
+
+    def _finalize(self, run_started: float) -> PipelineResult:
+        """Flush windowed detectors and summarize the run."""
         for detector in (self._capacity, self._hotspots):
             if detector is None:
                 continue
@@ -284,6 +434,117 @@ class MobilityPipeline:
         }
         self._result.end_to_end = self._end_to_end.summary()
         return self._result
+
+    # -- checkpoint / recovery --------------------------------------------------
+
+    #: Every attribute holding mutable run state. The transformer and the
+    #: geo/config objects are immutable configuration and are rebuilt by
+    #: the constructor; the executor is rebound to the restored store.
+    _STATEFUL_COMPONENTS: tuple[str, ...] = (
+        "_dedup",
+        "_plausibility",
+        "_synopses",
+        "_extractor",
+        "_collision",
+        "_loitering",
+        "_rendezvous",
+        "_capacity",
+        "_hotspots",
+        "store",
+        "_stored_weather_cells",
+        "_latency",
+        "_end_to_end",
+        "_result",
+        "_injector",
+        "_retry_rng",
+    )
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deep-copy every stateful component into a checkpoint payload."""
+        return {
+            name: copy.deepcopy(getattr(self, name))
+            for name in self._STATEFUL_COMPONENTS
+        }
+
+    def restore(self, states: dict[str, Any]) -> None:
+        """Reinstate a :meth:`snapshot` payload on a compatibly-built pipeline.
+
+        The payload is copied in, so the stored checkpoint stays pristine
+        and can serve further resume attempts.
+        """
+        missing = [n for n in self._STATEFUL_COMPONENTS if n not in states]
+        if missing:
+            raise KeyError(f"checkpoint is missing component state: {missing}")
+        for name in self._STATEFUL_COMPONENTS:
+            setattr(self, name, copy.deepcopy(states[name]))
+        self.executor = QueryExecutor(self.store)
+
+    def run_with_checkpoints(
+        self,
+        reports: Iterable[PositionReport],
+        checkpoint_store: CheckpointStore,
+        checkpoint_interval: int,
+        start_offset: int = 0,
+    ) -> PipelineResult:
+        """Like :meth:`run`, saving a checkpoint every N reports.
+
+        If the source raises mid-stream (a crash), the checkpoints already
+        saved allow :meth:`resume_from_checkpoint` on a *fresh* pipeline to
+        finish the run with results identical to an uninterrupted one.
+        ``start_offset`` is the absolute offset of the first report in
+        ``reports`` (non-zero only on resume).
+        """
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        run_started = time.perf_counter()
+        offset = start_offset
+        for report in reports:
+            self.process_report(report)
+            offset += 1
+            if offset % checkpoint_interval == 0:
+                checkpoint_store.save(
+                    Checkpoint(
+                        checkpoint_id=checkpoint_store.next_id(),
+                        source_offset=offset,
+                        states=self.snapshot(),
+                    )
+                )
+        return self._finalize(run_started)
+
+    def resume_from_checkpoint(
+        self,
+        checkpoint_store: CheckpointStore,
+        reports: "ReplayLog[PositionReport] | Sequence[PositionReport]",
+        checkpoint_interval: int | None = None,
+    ) -> PipelineResult:
+        """Recover from the latest checkpoint and replay the source suffix.
+
+        ``reports`` must be the same full source the crashed run consumed
+        (ideally a :class:`ReplayLog`); the prefix up to the checkpoint's
+        offset is skipped, which deduplicates replayed records. Pass
+        ``checkpoint_interval`` to keep checkpointing during the replay.
+        The returned result's counts match an uninterrupted run (wall-time
+        and latency *values* cover only the resumed suffix).
+        """
+        checkpoint = checkpoint_store.latest()
+        if checkpoint is None:
+            raise ValueError("no checkpoint to resume from")
+        self.restore(checkpoint.states)
+        if isinstance(reports, ReplayLog):
+            suffix: Iterable[PositionReport] = reports.read(checkpoint.source_offset)
+        else:
+            suffix = itertools.islice(iter(reports), checkpoint.source_offset, None)
+        if checkpoint_interval is not None:
+            return self.run_with_checkpoints(
+                suffix,
+                checkpoint_store,
+                checkpoint_interval,
+                start_offset=checkpoint.source_offset,
+            )
+        run_started = time.perf_counter()
+        for report in suffix:
+            self.process_report(report)
+        return self._finalize(run_started)
 
     @property
     def result(self) -> PipelineResult:

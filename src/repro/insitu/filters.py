@@ -7,6 +7,7 @@ records no downstream component should ever see.
 
 from __future__ import annotations
 
+import copy
 from typing import Iterable
 
 from repro.geo.geodesy import haversine_m
@@ -68,6 +69,15 @@ class PlausibilityFilter:
     def __call__(self, report: PositionReport) -> bool:
         return self.accept(report)
 
+    def snapshot(self) -> dict:
+        """Capture per-entity filter state for a checkpoint."""
+        return {"last": dict(self._last), "rejected": self.rejected}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate state captured by :meth:`snapshot`."""
+        self._last = dict(state["last"])
+        self.rejected = state["rejected"]
+
 
 class DeduplicateFilter:
     """Drops exact duplicates: same entity, timestamp and position.
@@ -96,6 +106,15 @@ class DeduplicateFilter:
 
     def __call__(self, report: PositionReport) -> bool:
         return self.accept(report)
+
+    def snapshot(self) -> dict:
+        """Capture duplicate-memory state for a checkpoint."""
+        return {"seen": copy.deepcopy(self._seen), "dropped": self.dropped}
+
+    def restore(self, state: dict) -> None:
+        """Reinstate state captured by :meth:`snapshot`."""
+        self._seen = copy.deepcopy(state["seen"])
+        self.dropped = state["dropped"]
 
 
 def clean_reports(

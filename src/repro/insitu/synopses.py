@@ -18,6 +18,7 @@ depend on.
 
 from __future__ import annotations
 
+import copy
 import math
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
@@ -175,6 +176,24 @@ class SynopsesGenerator:
         self.seen = 0
         self.kept = 0
 
+    def snapshot(self) -> dict:
+        """Capture generator + detector state for a checkpoint."""
+        return {
+            "detector": self._detector.snapshot(),
+            "last_kept": copy.deepcopy(self._last_kept),
+            "last_seen": copy.deepcopy(self._last_seen),
+            "seen": self.seen,
+            "kept": self.kept,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate state captured by :meth:`snapshot`."""
+        self._detector.restore(state["detector"])
+        self._last_kept = copy.deepcopy(state["last_kept"])
+        self._last_seen = copy.deepcopy(state["last_seen"])
+        self.seen = state["seen"]
+        self.kept = state["kept"]
+
 
 class SynopsesOperator(KeyedProcessOperator):
     """Streaming wrapper: emits only kept (annotated) reports.
@@ -204,6 +223,13 @@ class SynopsesOperator(KeyedProcessOperator):
                 key=key,
             ),
         )
+
+    def snapshot(self) -> Any:
+        return {"keyed": super().snapshot(), "generator": self.generator.snapshot()}
+
+    def restore(self, state: Any) -> None:
+        super().restore(state["keyed"])
+        self.generator.restore(state["generator"])
 
 
 def compress_trajectory(

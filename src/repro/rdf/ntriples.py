@@ -23,6 +23,9 @@ _LINE_RE = re.compile(
     rf"(?:{_IRI_RE}|{_BNODE_RE}|{_LITERAL_RE})\s*\.\s*$"
 )
 
+_ESCAPE_RE = re.compile(r"\\(.)")
+_ESCAPES = {"n": "\n", '"': '"', "\\": "\\"}
+
 
 def to_ntriples(triples: Iterable[Triple]) -> str:
     """Serialize triples to N-Triples text (one statement per line)."""
@@ -56,9 +59,9 @@ def parse_ntriples(text: str) -> Iterator[Triple]:
 
 def _parse_literal(lexical: str, datatype: str | None) -> Literal:
     """Revive a literal's native Python value from its lexical form."""
-    unescaped = (
-        lexical.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-    )
+    # Single pass: chained str.replace would misread the escaped backslash
+    # in ``\\n`` (backslash then "n") as a newline escape.
+    unescaped = _ESCAPE_RE.sub(lambda m: _ESCAPES.get(m.group(1), m.group(1)), lexical)
     if datatype == V.XSD_LONG:
         return Literal(int(unescaped), datatype)
     if datatype == V.XSD_DOUBLE:

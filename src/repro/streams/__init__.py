@@ -10,7 +10,11 @@ This is the substrate standing in for the distributed stream platform
 - tumbling / sliding / session windows with event-time triggering,
 - a :class:`Topology` builder plus :class:`StreamRunner` executor,
 - per-operator metrics (throughput, latency percentiles) so the paper's
-  "latency in ms" requirement is measurable at every stage.
+  "latency in ms" requirement is measurable at every stage,
+- checkpoint/recovery (snapshot protocol, checkpoint barriers, offset
+  replay) and a chaos layer (crash/fault injection, retry with backoff,
+  dead-letter queue) so the stream tier survives worker failures without
+  losing or double-counting reports.
 """
 
 from repro.streams.records import Record, Watermark
@@ -33,8 +37,25 @@ from repro.streams.windows import (
     WindowPane,
 )
 from repro.streams.topology import Topology, StreamRunner
-from repro.streams.replay import replay, replay_instant
+from repro.streams.replay import ReplayLog, replay, replay_instant
 from repro.streams.parallel import ParallelKeyedRunner, ParallelRunReport
+from repro.streams.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    FileCheckpointStore,
+    InMemoryCheckpointStore,
+)
+from repro.streams.chaos import (
+    ChaosConfig,
+    CrashInjector,
+    DeadLetter,
+    DeadLetterQueue,
+    InjectedCrash,
+    RetryPolicy,
+    RetryingOperator,
+    TransientFault,
+    TransientFaultInjector,
+)
 
 __all__ = [
     "Record",
@@ -57,8 +78,22 @@ __all__ = [
     "WindowPane",
     "Topology",
     "StreamRunner",
+    "ReplayLog",
     "replay",
     "replay_instant",
     "ParallelKeyedRunner",
     "ParallelRunReport",
+    "Checkpoint",
+    "CheckpointStore",
+    "FileCheckpointStore",
+    "InMemoryCheckpointStore",
+    "ChaosConfig",
+    "CrashInjector",
+    "DeadLetter",
+    "DeadLetterQueue",
+    "InjectedCrash",
+    "RetryPolicy",
+    "RetryingOperator",
+    "TransientFault",
+    "TransientFaultInjector",
 ]

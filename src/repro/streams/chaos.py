@@ -1,0 +1,280 @@
+"""Fault injection and degraded-mode execution for the streaming layer.
+
+Three failure models, matching what surveillance-stream deployments see:
+
+- **crashes** — :class:`CrashInjector` kills a run mid-stream (the
+  checkpoint/recovery path in :mod:`repro.streams.checkpoint` is the
+  counterpart that must make this survivable);
+- **transient faults** — :class:`TransientFaultInjector` makes individual
+  stage executions fail with a seeded probability; the
+  :class:`RetryPolicy` (exponential backoff with jitter) governs how
+  often they are retried;
+- **poison records** — records whose processing keeps failing past the
+  retry budget land in a :class:`DeadLetterQueue` instead of stalling or
+  killing the stream.
+
+Faults are injected at stage *entry*, before any state mutation, so a
+retried attempt never observes a partially-applied stage — the same
+contract a transactional worker restart gives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Collection, Iterable, Iterator
+
+from repro.streams.operators import Operator
+from repro.streams.records import Record, Watermark
+
+
+class InjectedCrash(RuntimeError):
+    """A deliberate, unrecoverable crash raised by the chaos layer."""
+
+
+class TransientFault(RuntimeError):
+    """A retryable failure (network blip, worker hiccup, timeout)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter.
+
+    Attempt ``k`` (0-based) backs off ``base_delay_s * multiplier**k``,
+    capped at ``max_delay_s``, then scaled by a random factor in
+    ``[1 - jitter, 1]`` so synchronized retry storms decorrelate.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.01
+    multiplier: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.max_delay_s, self.base_delay_s * self.multiplier**attempt)
+        if self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
+@dataclass(frozen=True, slots=True)
+class DeadLetter:
+    """One record that exhausted its retry budget."""
+
+    stage: str
+    value: Any
+    event_time: float | None
+    error: str
+    attempts: int
+
+
+class DeadLetterQueue:
+    """Terminal parking lot for records no retry could save."""
+
+    def __init__(self) -> None:
+        self._items: list[DeadLetter] = []
+
+    def append(self, letter: DeadLetter) -> None:
+        """Park one dead letter."""
+        self._items.append(letter)
+
+    @property
+    def items(self) -> tuple[DeadLetter, ...]:
+        """All dead letters in arrival order."""
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def counts_by_stage(self) -> dict[str, int]:
+        """Dead-letter count per originating stage."""
+        out: dict[str, int] = {}
+        for letter in self._items:
+            out[letter.stage] = out.get(letter.stage, 0) + 1
+        return out
+
+
+class CrashInjector:
+    """Iterable wrapper that raises :class:`InjectedCrash` mid-stream.
+
+    Yields exactly ``crash_after`` items, then crashes — simulating a
+    worker dying at a record boundary. Works over any item type (records
+    or raw reports).
+    """
+
+    def __init__(self, items: Iterable[Any], crash_after: int) -> None:
+        if crash_after < 0:
+            raise ValueError("crash_after must be >= 0")
+        self._items = items
+        self.crash_after = crash_after
+        self.delivered = 0
+
+    def __iter__(self) -> Iterator[Any]:
+        for item in self._items:
+            if self.delivered >= self.crash_after:
+                raise InjectedCrash(
+                    f"injected crash after {self.delivered} records"
+                )
+            yield item
+            self.delivered += 1
+
+
+class TransientFaultInjector:
+    """Seeded coin-flip fault source.
+
+    Each :meth:`maybe_fail` call raises :class:`TransientFault` with
+    probability ``fail_prob`` (optionally only for the named stages).
+    Deterministic for a fixed seed and call sequence, so chaos tests are
+    reproducible.
+    """
+
+    def __init__(
+        self,
+        fail_prob: float,
+        seed: int = 0,
+        stages: Collection[str] | None = None,
+    ) -> None:
+        if not 0.0 <= fail_prob <= 1.0:
+            raise ValueError("fail_prob must be in [0, 1]")
+        self.fail_prob = fail_prob
+        self.stages = frozenset(stages) if stages is not None else None
+        self._rng = random.Random(seed)
+        self.faults_injected = 0
+
+    def maybe_fail(self, stage: str) -> None:
+        """Raise a :class:`TransientFault` for this stage execution, or not."""
+        if self.stages is not None and stage not in self.stages:
+            return
+        if self._rng.random() < self.fail_prob:
+            self.faults_injected += 1
+            raise TransientFault(f"injected transient fault in stage {stage!r}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Degraded-mode configuration for :class:`repro.core.pipeline.MobilityPipeline`.
+
+    Attributes:
+        fail_prob: Per-stage-execution transient failure probability.
+        stages: When given, faults hit only these stage names.
+        seed: Seeds both the fault injector and the backoff jitter.
+        retry: Backoff policy applied when a stage raises a transient fault.
+    """
+
+    fail_prob: float = 0.0
+    stages: frozenset[str] | None = None
+    seed: int = 0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+
+class RetryingOperator(Operator):
+    """Wraps an operator with retry-with-backoff and a dead-letter queue.
+
+    A :meth:`process` call that raises one of ``retry_on`` is retried up
+    to ``policy.max_retries`` times with exponential backoff; a record
+    that exhausts the budget is parked in the DLQ and dropped (the stream
+    keeps flowing — degraded, not dead).
+
+    Args:
+        inner: The wrapped operator.
+        policy: Retry/backoff policy.
+        dlq: Shared dead-letter queue (a fresh one is created if omitted).
+        injector: Optional fault source consulted before each attempt.
+        retry_on: Exception types treated as transient.
+        sleep: Called with each backoff delay; ``None`` (the default) only
+            accumulates :attr:`total_backoff_s` — tests and simulations
+            should not actually sleep.
+        seed: Seeds the backoff jitter.
+    """
+
+    def __init__(
+        self,
+        inner: Operator,
+        policy: RetryPolicy | None = None,
+        dlq: DeadLetterQueue | None = None,
+        injector: TransientFaultInjector | None = None,
+        retry_on: tuple[type[BaseException], ...] = (TransientFault,),
+        sleep: Callable[[float], None] | None = None,
+        seed: int = 0,
+        name: str | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy or RetryPolicy()
+        self.dlq = dlq if dlq is not None else DeadLetterQueue()
+        self.injector = injector
+        self.retry_on = retry_on
+        self._sleep = sleep
+        self._rng = random.Random(seed)
+        self.name = name or f"retry({inner.name})"
+        #: Failed attempts observed (including the ones later retried).
+        self.failures = 0
+        #: Retries performed.
+        self.retries = 0
+        #: Records that failed at least once but ultimately succeeded.
+        self.recovered = 0
+        #: Total backoff delay accrued (simulated when ``sleep`` is None).
+        self.total_backoff_s = 0.0
+
+    def process(self, record: Record) -> Iterable[Record]:
+        attempt = 0
+        while True:
+            try:
+                if self.injector is not None:
+                    self.injector.maybe_fail(self.name)
+                out = self.inner.process(record)
+                if attempt:
+                    self.recovered += 1
+                return out
+            except self.retry_on as exc:
+                self.failures += 1
+                if attempt >= self.policy.max_retries:
+                    self.dlq.append(
+                        DeadLetter(
+                            stage=self.name,
+                            value=record.value,
+                            event_time=record.event_time,
+                            error=str(exc),
+                            attempts=attempt + 1,
+                        )
+                    )
+                    return ()
+                delay = self.policy.backoff_s(attempt, self._rng)
+                self.total_backoff_s += delay
+                if self._sleep is not None:
+                    self._sleep(delay)
+                self.retries += 1
+                attempt += 1
+
+    def on_watermark(self, watermark: Watermark) -> Iterable[Record]:
+        return self.inner.on_watermark(watermark)
+
+    def on_end(self) -> Iterable[Record]:
+        return self.inner.on_end()
+
+    def snapshot(self) -> Any:
+        return {
+            "inner": self.inner.snapshot(),
+            "failures": self.failures,
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "total_backoff_s": self.total_backoff_s,
+        }
+
+    def restore(self, state: Any) -> None:
+        self.inner.restore(state["inner"])
+        self.failures = state["failures"]
+        self.retries = state["retries"]
+        self.recovered = state["recovered"]
+        self.total_backoff_s = state["total_backoff_s"]

@@ -7,6 +7,7 @@ operator and end-to-end (experiment E2).
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
@@ -37,15 +38,18 @@ class LatencyHistogram:
     """Records individual latency samples and reports percentiles.
 
     Samples are kept in a bounded reservoir (uniformly thinned) so long
-    benchmark runs do not grow memory without bound.
+    benchmark runs do not grow memory without bound. Thinning uses an
+    instance-owned seeded generator — never the global ``random`` module —
+    so runs are reproducible regardless of what else draws randomness.
     """
 
-    def __init__(self, max_samples: int = 100_000) -> None:
+    def __init__(self, max_samples: int = 100_000, seed: int = 2017) -> None:
         if max_samples <= 0:
             raise ValueError("max_samples must be positive")
         self._max = max_samples
         self._samples: list[float] = []
         self._seen = 0
+        self._rng = random.Random(seed)
 
     def record(self, latency_s: float) -> None:
         """Record one latency sample, in seconds."""
@@ -54,12 +58,15 @@ class LatencyHistogram:
             self._samples.append(latency_s)
         else:
             # Reservoir sampling keeps the sample uniform over all records.
-            import random
-
-            j = random.randrange(self._seen)
+            j = self._rng.randrange(self._seen)
             if j < self._max:
                 self._samples[j] = latency_s
         return None
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The retained reservoir samples (for tests and export)."""
+        return tuple(self._samples)
 
     @property
     def count(self) -> int:

@@ -8,6 +8,7 @@ dictionaries, mirroring the keyed-state model of production stream engines.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Generic, Iterable, TypeVar
 
 from repro.streams.records import Record, Watermark
@@ -39,6 +40,21 @@ class Operator:
     def on_end(self) -> Iterable[Record]:
         """Called once when the input is exhausted; may flush final state."""
         return ()
+
+    def snapshot(self) -> Any:
+        """Capture this operator's mutable state for a checkpoint.
+
+        The returned object must be self-contained (no aliasing of live
+        state) and picklable. Stateless operators return ``None``.
+        """
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Reinstate state captured by :meth:`snapshot`."""
+        if state is not None:
+            raise ValueError(
+                f"{type(self).__name__} is stateless but was handed a snapshot"
+            )
 
 
 class MapOperator(Operator, Generic[T, U]):
@@ -112,6 +128,12 @@ class KeyedProcessOperator(Operator, Generic[T]):
         """Keys with live state (for tests and introspection)."""
         return list(self._state)
 
+    def snapshot(self) -> Any:
+        return copy.deepcopy(self._state)
+
+    def restore(self, state: Any) -> None:
+        self._state = copy.deepcopy(state)
+
 
 class SinkOperator(Operator):
     """Terminal operator calling a function for each record (emits nothing)."""
@@ -136,3 +158,10 @@ class CollectSink(SinkOperator):
     def _collect(self, record: Record) -> None:
         self.items.append(record.value)
         self.records.append(record)
+
+    def snapshot(self) -> Any:
+        return {"items": copy.deepcopy(self.items), "records": list(self.records)}
+
+    def restore(self, state: Any) -> None:
+        self.items = copy.deepcopy(state["items"])
+        self.records = list(state["records"])

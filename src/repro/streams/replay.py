@@ -4,14 +4,51 @@ The latency experiments need a stream that arrives *over time* rather
 than as fast as Python can iterate. :func:`replay` yields records paced
 against the wall clock at a configurable speedup; :func:`replay_instant`
 is the un-paced variant used everywhere pacing does not matter.
+
+:class:`ReplayLog` is the recovery-side source: a materialized log that
+can be re-read from any offset, so a resume-from-checkpoint replays
+exactly the suffix the crashed run never finished (the skipped prefix is
+what deduplicates replayed records).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Iterable, Iterator
+from typing import Any, Generic, Iterable, Iterator, TypeVar
 
 from repro.streams.records import Record
+
+T = TypeVar("T")
+
+
+class ReplayLog(Generic[T]):
+    """A materialized item log supporting offset reads.
+
+    Stands in for a durable, offset-addressable source (a Kafka topic, an
+    archived AIS file): the same log instance feeds the original run and
+    any number of recovery replays. Items may be :class:`Record` instances
+    or raw domain objects (e.g. position reports).
+    """
+
+    def __init__(self, items: Iterable[T]) -> None:
+        self._items: list[T] = list(items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return self.read(0)
+
+    def read(self, offset: int = 0) -> Iterator[T]:
+        """Yield items starting at ``offset`` (0 = the full log)."""
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        yield from self._items[offset:]
+
+    @classmethod
+    def from_timed_values(cls, timed_values: Iterable[tuple[float, Any]]) -> "ReplayLog[Record]":
+        """Build a record log from ``(event_time, value)`` pairs."""
+        return cls(replay_instant(timed_values))
 
 
 def replay_instant(

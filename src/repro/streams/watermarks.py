@@ -41,3 +41,11 @@ class BoundedOutOfOrdernessWatermarks:
     def current(self) -> float:
         """The last emitted watermark (-inf before any emission)."""
         return self._last_emitted
+
+    def snapshot(self) -> tuple[float, float]:
+        """Capture generator state for a checkpoint."""
+        return (self._max_seen, self._last_emitted)
+
+    def restore(self, state: tuple[float, float]) -> None:
+        """Reinstate state captured by :meth:`snapshot`."""
+        self._max_seen, self._last_emitted = state

@@ -7,6 +7,7 @@ the same contract production engines default to.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -171,3 +172,24 @@ class WindowedAggregateOperator(Operator):
     def open_panes(self) -> int:
         """Number of panes not yet fired (for tests)."""
         return len(self._panes)
+
+    def pane_intervals(self) -> dict[Any, list[tuple[float, float]]]:
+        """Open ``[start, end)`` intervals per key (introspection/tests)."""
+        out: dict[Any, list[tuple[float, float]]] = {}
+        for key, start, end in self._panes:
+            out.setdefault(key, []).append((start, end))
+        for intervals in out.values():
+            intervals.sort()
+        return out
+
+    def snapshot(self) -> Any:
+        return {
+            "panes": copy.deepcopy(self._panes),
+            "late_records": self.late_records,
+            "watermark": self._watermark,
+        }
+
+    def restore(self, state: Any) -> None:
+        self._panes = copy.deepcopy(state["panes"])
+        self.late_records = state["late_records"]
+        self._watermark = state["watermark"]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.streams.operators import KeyedProcessOperator, MapOperator
-from repro.streams.parallel import ParallelKeyedRunner
+from repro.streams.parallel import ParallelKeyedRunner, ParallelRunReport
 from repro.streams.records import Record
 
 
@@ -89,3 +89,55 @@ class TestParallelKeyedRunner:
     def test_validation(self):
         with pytest.raises(ValueError):
             ParallelKeyedRunner(lambda: MapOperator(lambda v: v), 0, key_fn=id)
+
+
+class TestReportEdgeCases:
+    """skew / simulated_speedup at the degenerate corners."""
+
+    def test_zero_records(self):
+        outputs, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 4, key_fn=lambda v: v
+        ).run(iter(()))
+        assert outputs == []
+        assert report.records_in == 0
+        assert report.records_out == 0
+        assert report.per_task_records == [0, 0, 0, 0]
+        # No routed records: skew must report perfectly even, not divide by 0.
+        assert report.skew == 1.0
+        assert report.simulated_speedup >= 1.0
+
+    def test_empty_report_defaults(self):
+        report = ParallelRunReport(n_tasks=3)
+        assert report.per_task_records == []
+        assert report.skew == 1.0
+        # makespan 0 → speedup defined as 1.0, never a ZeroDivisionError.
+        assert report.simulated_speedup == 1.0
+
+    def test_single_task(self):
+        outputs, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 1, key_fn=lambda v: v[0]
+        ).run(iter(records(n=100)))
+        assert len(outputs) == 100
+        assert report.n_tasks == 1
+        assert report.per_task_records == [100]
+        assert report.skew == 1.0
+        # One slot cannot beat itself; shuffle overhead makes it slightly worse.
+        assert report.simulated_speedup <= 1.0
+
+    def test_all_records_on_one_key(self):
+        outputs, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 8, key_fn=lambda v: "hot"
+        ).run(iter(records(n=80)))
+        assert len(outputs) == 80
+        # One task got everything: worst-case skew is exactly n_tasks.
+        assert report.skew == pytest.approx(8.0)
+        assert sorted(report.per_task_records, reverse=True)[0] == 80
+        assert sum(1 for n in report.per_task_records if n > 0) == 1
+        assert report.simulated_speedup <= 1.05
+
+    def test_zero_records_single_task(self):
+        __, report = ParallelKeyedRunner(
+            lambda: MapOperator(lambda v: v), 1, key_fn=lambda v: v
+        ).run(iter(()))
+        assert report.skew == 1.0
+        assert report.records_in == 0

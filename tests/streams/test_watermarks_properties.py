@@ -1,0 +1,76 @@
+"""Property-based tests for watermark generation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.streams.watermarks import BoundedOutOfOrdernessWatermarks
+
+finite_times = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestWatermarkProperties:
+    @given(
+        times=st.lists(finite_times, min_size=1, max_size=200),
+        bound=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_emitted_watermarks_strictly_increase(self, times, bound):
+        """Monotonicity under arbitrary out-of-order input."""
+        gen = BoundedOutOfOrdernessWatermarks(bound)
+        emitted = [wm for t in times if (wm := gen.observe(t)) is not None]
+        for prev, cur in zip(emitted, emitted[1:]):
+            assert cur > prev
+
+    @given(
+        times=st.lists(finite_times, min_size=1, max_size=200),
+        bound=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_final_watermark_lags_max_by_bound(self, times, bound):
+        gen = BoundedOutOfOrdernessWatermarks(bound)
+        for t in times:
+            gen.observe(t)
+        assert gen.current == max(times) - bound
+
+    @given(
+        times=st.lists(finite_times, min_size=1, max_size=200),
+        bound=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_no_observed_time_behind_watermark_plus_bound(self, times, bound):
+        """The lateness contract: wm never passes max_seen - bound."""
+        gen = BoundedOutOfOrdernessWatermarks(bound)
+        max_seen = float("-inf")
+        for t in times:
+            max_seen = max(max_seen, t)
+            gen.observe(t)
+            assert gen.current <= max_seen - bound
+
+    @given(
+        times=st.lists(finite_times, min_size=1, max_size=200),
+        bound=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_order_of_prefix_permutation_is_irrelevant_at_the_end(self, times, bound):
+        """The final watermark depends only on the *set* of observed times."""
+        forward = BoundedOutOfOrdernessWatermarks(bound)
+        backward = BoundedOutOfOrdernessWatermarks(bound)
+        for t in times:
+            forward.observe(t)
+        for t in reversed(times):
+            backward.observe(t)
+        assert forward.current == backward.current
+
+    @given(
+        times=st.lists(finite_times, min_size=1, max_size=200),
+        bound=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_snapshot_restore_preserves_behavior(self, times, bound):
+        """A restored generator emits exactly what the original would."""
+        half = len(times) // 2
+        original = BoundedOutOfOrdernessWatermarks(bound)
+        for t in times[:half]:
+            original.observe(t)
+        clone = BoundedOutOfOrdernessWatermarks(bound)
+        clone.restore(original.snapshot())
+        for t in times[half:]:
+            assert original.observe(t) == clone.observe(t)
+        assert original.current == clone.current

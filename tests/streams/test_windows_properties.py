@@ -1,0 +1,123 @@
+"""Property-based tests for window assigners and the windowed operator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.records import Record, Watermark
+from repro.streams.windows import (
+    SessionWindowAssigner,
+    SlidingWindowAssigner,
+    TumblingWindowAssigner,
+    WindowedAggregateOperator,
+)
+
+# Integer event times and integer slide steps keep // arithmetic exact,
+# so coverage-count properties hold with equality, not approximately.
+event_times = st.integers(min_value=-(10**6), max_value=10**6).map(float)
+
+
+class TestTumblingProperties:
+    @given(t=event_times, size=st.integers(min_value=1, max_value=500))
+    def test_exactly_one_window_contains_the_event(self, t, size):
+        windows = TumblingWindowAssigner(float(size)).assign(t)
+        assert len(windows) == 1
+        ((start, end),) = windows
+        assert start <= t < end
+        assert end - start == size
+        assert start % size == 0
+
+
+class TestSlidingProperties:
+    @given(
+        t=event_times,
+        slide=st.integers(min_value=1, max_value=50),
+        factor=st.integers(min_value=1, max_value=10),
+    )
+    def test_event_covered_exactly_size_over_slide_times(self, t, slide, factor):
+        """With slide | size, every event lands in exactly size/slide windows."""
+        size = slide * factor
+        windows = SlidingWindowAssigner(float(size), float(slide)).assign(t)
+        assert len(windows) == factor
+        for start, end in windows:
+            assert start <= t < end
+            assert end - start == size
+            assert start % slide == 0
+        # Windows are distinct and sorted by start.
+        starts = [start for start, __ in windows]
+        assert starts == sorted(set(starts))
+
+    @given(t=event_times, slide=st.integers(min_value=1, max_value=50))
+    def test_slide_equal_size_degenerates_to_tumbling(self, t, slide):
+        sliding = SlidingWindowAssigner(float(slide), float(slide)).assign(t)
+        tumbling = TumblingWindowAssigner(float(slide)).assign(t)
+        assert sliding == tumbling
+
+
+sessions_input = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=2000).map(float),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestSessionProperties:
+    @given(items=sessions_input, gap=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60)
+    def test_open_session_panes_never_overlap_per_key(self, items, gap):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: v[0], assigner=SessionWindowAssigner(float(gap))
+        )
+        for key, t in sorted(items, key=lambda kv: kv[1]):
+            op.process(Record(event_time=t, value=(key, t)))
+        for key, intervals in op.pane_intervals().items():
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2, f"sessions overlap for {key}: {intervals}"
+
+    @given(items=sessions_input, gap=st.integers(min_value=1, max_value=100))
+    @settings(max_examples=60)
+    def test_no_event_lost_or_duplicated_across_sessions(self, items, gap):
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: v[0],
+            assigner=SessionWindowAssigner(float(gap)),
+            aggregate_fn=lambda pane: pane,
+        )
+        ordered = sorted(items, key=lambda kv: kv[1])
+        for key, t in ordered:
+            op.process(Record(event_time=t, value=(key, t)))
+        fired = list(op.on_end())
+        emitted = sorted(v for r in fired for v in r.value.values)
+        assert emitted == sorted(ordered)
+        # Each pane spans its events: every value inside [start, end).
+        for record in fired:
+            pane = record.value
+            for __, t in pane.values:
+                assert pane.start <= t < pane.end
+
+
+class TestWindowedOperatorProperties:
+    @given(
+        times=st.lists(
+            st.integers(min_value=0, max_value=1000).map(float),
+            min_size=1,
+            max_size=80,
+        ),
+        size=st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=60)
+    def test_tumbling_fire_conserves_in_order_events(self, times, size):
+        """In-order input + final flush: every event fires exactly once."""
+        op = WindowedAggregateOperator(
+            key_fn=lambda v: "k", assigner=TumblingWindowAssigner(float(size))
+        )
+        ordered = sorted(times)
+        for t in ordered:
+            op.process(Record(event_time=t, value=t))
+        mid = list(op.on_watermark(Watermark(ordered[len(ordered) // 2])))
+        tail = list(op.on_end())
+        emitted = sorted(v for r in mid + tail for v in r.value.values)
+        assert emitted == ordered
+        assert op.late_records == 0
+        assert op.open_panes == 0
