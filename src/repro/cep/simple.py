@@ -29,6 +29,7 @@ from repro.geo.polygon import Polygon
 from repro.model.entities import EntityRegistry
 from repro.model.events import EventSeverity, SimpleEvent
 from repro.model.reports import PositionReport
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,10 +81,14 @@ class SimpleEventExtractor:
         zones: Iterable[Polygon] = (),
         registry: EntityRegistry | None = None,
         grid: GeoGrid | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.config = config or SimpleEventConfig()
         self.zones = list(zones)
         self.registry = registry
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._obs = self.metrics.enabled
+        self._events_counter = self.metrics.counter("cep.simple_events")
         self._states: dict[str, _EntityState] = {}
         # Latest position per entity for proximity checks.
         self._latest: dict[str, PositionReport] = {}
@@ -102,6 +107,8 @@ class SimpleEventExtractor:
 
         state.last = report
         self._latest[report.entity_id] = report
+        if events and self._obs:
+            self._events_counter.inc(len(events))
         return events
 
     def process_all(self, reports: Iterable[PositionReport]) -> list[SimpleEvent]:

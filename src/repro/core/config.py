@@ -32,6 +32,11 @@ class PipelineConfig:
         adaptive_keep_rate: When set (e.g. 0.05), the synopses threshold
             floats to hold this keep-rate target (load shedding) instead
             of staying fixed.
+        trace_every_n: Trace every Nth record with a full hierarchical
+            span tree (record → stages → per-detector). Sampling keeps
+            the flamegraph representative while bounding instrumentation
+            overhead; ``0`` disables record-level tracing (stage latency
+            histograms are always on when the registry is enabled).
         collision / loitering / rendezvous / capacity thresholds mirror the
         corresponding detector constructor arguments.
     """
@@ -58,6 +63,7 @@ class PipelineConfig:
     hotspot_window_s: float = 1800.0
     hotspot_z_threshold: float = 2.5
     adaptive_keep_rate: float | None = None
+    trace_every_n: int = 100
 
     def __post_init__(self) -> None:
         if self.grid_nx <= 0 or self.grid_ny <= 0:

@@ -42,6 +42,8 @@ from repro.model.entities import EntityRegistry
 from repro.model.events import ComplexEvent, SimpleEvent
 from repro.model.points import Domain
 from repro.model.reports import PositionReport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN
 from repro.query.executor import QueryExecutor
 from repro.rdf.transform import RdfTransformer
 from repro.store.parallel import ParallelRDFStore
@@ -54,7 +56,6 @@ from repro.streams.chaos import (
     TransientFaultInjector,
 )
 from repro.streams.checkpoint import Checkpoint, CheckpointStore
-from repro.streams.metrics import LatencyHistogram
 from repro.streams.replay import ReplayLog
 
 T = TypeVar("T")
@@ -68,7 +69,11 @@ class _DeadLettered(Exception):
 class PipelineResult:
     """Counters and latency summaries of one pipeline run.
 
-    Attributes map 1:1 to the numbers E2/E7 report.
+    Attributes map 1:1 to the numbers E2/E7 report. ``metrics`` is the
+    full observability-registry snapshot (counters, gauges, histogram
+    percentiles, trace stats) in the same schema
+    :class:`repro.query.executor.ExecutionReport` carries — one format
+    for every benchmark and test to read.
     """
 
     reports_in: int = 0
@@ -91,6 +96,9 @@ class PipelineResult:
     records_recovered: int = 0
     #: and the total backoff delay the retries would have waited.
     simulated_backoff_s: float = 0.0
+    #: Snapshot of the pipeline's :class:`~repro.obs.MetricsRegistry`
+    #: at finalize time (``{"counters", "gauges", "histograms", "trace"}``).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def dead_letter_count(self) -> int:
@@ -122,6 +130,35 @@ class PipelineResult:
             return 0.0
         return self.reports_in / self.wall_time_s
 
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary (the common report shape, see as_dict)."""
+        out: dict[str, float] = {
+            "reports_in": float(self.reports_in),
+            "reports_clean": float(self.reports_clean),
+            "reports_kept": float(self.reports_kept),
+            "triples_stored": float(self.triples_stored),
+            "simple_events": float(len(self.simple_events)),
+            "complex_events": float(len(self.complex_events)),
+            "compression_ratio": self.compression_ratio,
+            "throughput_rps": self.throughput_rps,
+            "wall_time_s": self.wall_time_s,
+            "dead_letters": float(self.dead_letter_count),
+            "recovery_rate": self.recovery_rate,
+        }
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            if key in self.end_to_end:
+                out[f"end_to_end_{key}"] = self.end_to_end[key]
+        return out
+
+    def as_dict(self) -> dict:
+        """The common observability report shape.
+
+        ``{"kind", "summary", "metrics"}`` — the same schema as
+        :meth:`repro.query.executor.ExecutionReport.as_dict`, so
+        benchmarks and tests read one format across tiers.
+        """
+        return {"kind": "pipeline", "summary": self.summary(), "metrics": self.metrics}
+
 
 class MobilityPipeline:
     """The full datAcron flow over one geographic world.
@@ -131,6 +168,10 @@ class MobilityPipeline:
             configured probability and are retried with exponential
             backoff; reports that exhaust the budget land in the result's
             dead-letter queue instead of killing the run (degraded mode).
+        metrics: The observability registry shared by every tier of this
+            pipeline (in-situ, store, query, CEP). Defaults to a fresh
+            enabled registry; pass ``MetricsRegistry(enabled=False)`` for
+            a zero-overhead run.
     """
 
     def __init__(
@@ -142,12 +183,14 @@ class MobilityPipeline:
         domain: Domain = Domain.MARITIME,
         weather: "WeatherGridSource | None" = None,
         chaos: ChaosConfig | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.registry = registry or EntityRegistry()
         self.zones = list(zones)
         self.domain = domain
         self.grid = GeoGrid(bbox=bbox, nx=self.config.grid_nx, ny=self.config.grid_ny)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
         # In-situ layer.
         self._dedup = DeduplicateFilter()
@@ -158,18 +201,19 @@ class MobilityPipeline:
             self._synopses = AdaptiveSynopsesGenerator(
                 base=self.config.synopses,
                 adaptive=AdaptiveConfig(target_keep_rate=self.config.adaptive_keep_rate),
+                metrics=self.metrics,
             )
         else:
-            self._synopses = SynopsesGenerator(self.config.synopses)
+            self._synopses = SynopsesGenerator(self.config.synopses, metrics=self.metrics)
 
         # Transformation + storage.
         self.transformer = RdfTransformer(
             st_grid=self.grid, time_bucket_s=self.config.time_bucket_s
         )
-        self.store = ParallelRDFStore(self._build_partitioner())
+        self.store = ParallelRDFStore(self._build_partitioner(), metrics=self.metrics)
         self.weather = weather
         self._stored_weather_cells: set[tuple[int, float]] = set()
-        self.executor = QueryExecutor(self.store)
+        self.executor = QueryExecutor(self.store, metrics=self.metrics)
         if self.config.persist_rdf:
             for entity in self.registry:
                 self.store.add_document(self.transformer.entity_to_triples(entity))
@@ -182,6 +226,7 @@ class MobilityPipeline:
             zones=self.zones,
             registry=self.registry,
             grid=None,
+            metrics=self.metrics,
         )
         self._collision = CollisionRiskDetector(
             cpa_threshold_m=self.config.collision_cpa_m,
@@ -215,11 +260,28 @@ class MobilityPipeline:
         else:
             self._hotspots = None
 
+        # Stage latency histograms live on the shared registry (one
+        # instrument surface across tiers); the dict keeps the short
+        # stage-name view the result reports.
         self._latency = {
-            stage: LatencyHistogram()
+            stage: self.metrics.histogram(f"pipeline.{stage}")
             for stage in ("clean", "synopses", "rdf", "events", "detectors")
         }
-        self._end_to_end = LatencyHistogram()
+        self._end_to_end = self.metrics.histogram("pipeline.end_to_end")
+        # Hot-path discipline: per-record samples go into plain lists
+        # (one bound append each) and land on the histograms in batches —
+        # see _flush_latency. With a disabled registry the whole timing
+        # path is skipped, so no-op mode costs nothing per record.
+        self._obs = self.metrics.enabled
+        self._trace_every = self.config.trace_every_n if self._obs else 0
+        self._lat_buf: dict[str, list[float]] = {
+            stage: []
+            for stage in (
+                "clean", "synopses", "rdf", "events", "detectors", "end_to_end"
+            )
+        }
+        self._trace_this_record = False
+        self._record_end = 0.0
         self._result = PipelineResult()
 
         # Degraded-mode (chaos) path.
@@ -252,17 +314,42 @@ class MobilityPipeline:
         """
         result = self._result
         result.reports_in += 1
-        record_started = time.perf_counter()
+        obs = self._obs
+        record_span = NULL_SPAN
+        record_started = 0.0
+        if obs:
+            every_n = self._trace_every
+            self._trace_this_record = (
+                every_n > 0 and (result.reports_in - 1) % every_n == 0
+            )
+            if self._trace_this_record:
+                record_span = self.metrics.span("pipeline.record", records=1)
+            record_started = time.perf_counter()
         self._record_faulted = False
-        try:
-            new_complex = self._process_stages(report)
-        except _DeadLettered:
-            self._end_to_end.record(time.perf_counter() - record_started)
-            return []
+        with record_span:
+            try:
+                new_complex = self._process_stages(report, record_started)
+            except _DeadLettered:
+                if obs:
+                    self._lat_buf["end_to_end"].append(
+                        time.perf_counter() - record_started
+                    )
+                return []
         if self._record_faulted:
             result.records_recovered += 1
-        self._end_to_end.record(time.perf_counter() - record_started)
+        if obs:
+            # _process_stages leaves its final clock read in _record_end,
+            # so closing the end-to-end sample costs no extra read.
+            self._lat_buf["end_to_end"].append(self._record_end - record_started)
+            if result.reports_in % 4096 == 0:
+                self._flush_latency()
         return new_complex
+
+    def _span(self, name: str, records: int = 0):
+        """A child span when the current record is being traced, else a no-op."""
+        if self._trace_this_record:
+            return self.metrics.span(name, records=records)
+        return NULL_SPAN
 
     def _stage_call(self, stage: str, report: PositionReport, fn: Callable[[], T]) -> T:
         """Run one stage body under the chaos retry policy.
@@ -285,6 +372,7 @@ class MobilityPipeline:
             except TransientFault as exc:
                 self._record_faulted = True
                 result.stage_failures[stage] = result.stage_failures.get(stage, 0) + 1
+                self.metrics.counter(f"pipeline.{stage}.failures").inc()
                 if attempt >= policy.max_retries:
                     result.dead_letters.append(
                         DeadLetter(
@@ -295,64 +383,96 @@ class MobilityPipeline:
                             attempts=attempt + 1,
                         )
                     )
+                    self.metrics.counter(f"pipeline.{stage}.dead_letters").inc()
                     raise _DeadLettered(stage) from exc
                 result.simulated_backoff_s += policy.backoff_s(attempt, self._retry_rng)
                 result.stage_retries[stage] = result.stage_retries.get(stage, 0) + 1
+                self.metrics.counter(f"pipeline.{stage}.retries").inc()
                 attempt += 1
 
-    def _process_stages(self, report: PositionReport) -> list[ComplexEvent]:
+    def _process_stages(
+        self, report: PositionReport, t_start: float = 0.0
+    ) -> list[ComplexEvent]:
         result = self._result
+        obs = self._obs
+        # Chained timestamps: the record start passed by the caller doubles
+        # as the first stage's start and each stage's end doubles as the
+        # next stage's start, so timing all five stages costs one clock
+        # read per stage (inter-stage bookkeeping is charged to the
+        # following stage).
+        if obs:
+            pc = time.perf_counter
+            buf = self._lat_buf
+            t_prev = t_start
 
-        started = time.perf_counter()
-        ok = self._stage_call(
-            "clean",
-            report,
-            lambda: self._dedup.accept(report) and self._plausibility.accept(report),
-        )
-        self._latency["clean"].record(time.perf_counter() - started)
+        with self._span("pipeline.clean", records=1):
+            ok = self._stage_call(
+                "clean",
+                report,
+                lambda: self._dedup.accept(report) and self._plausibility.accept(report),
+            )
+        if obs:
+            t_now = pc()
+            buf["clean"].append(t_now - t_prev)
+            t_prev = t_now
         if not ok:
             return []
         result.reports_clean += 1
 
-        started = time.perf_counter()
-        annotated, keep = self._stage_call(
-            "synopses", report, lambda: self._synopses.process(report)
-        )
-        self._latency["synopses"].record(time.perf_counter() - started)
+        with self._span("pipeline.synopses", records=1):
+            annotated, keep = self._stage_call(
+                "synopses", report, lambda: self._synopses.process(report)
+            )
+        if obs:
+            t_now = pc()
+            buf["synopses"].append(t_now - t_prev)
+            t_prev = t_now
 
         if keep:
             result.reports_kept += 1
             if self.config.persist_rdf:
-                started = time.perf_counter()
+                with self._span("pipeline.rdf", records=1):
+                    result.triples_stored += self._stage_call(
+                        "rdf",
+                        report,
+                        lambda: self._store_report_doc(
+                            annotated, report, interlink=self.config.interlink
+                        ),
+                    )
+                if obs:
+                    t_now = pc()
+                    buf["rdf"].append(t_now - t_prev)
+                    t_prev = t_now
+        elif self.config.persist_rdf and self.config.persist_raw_reports:
+            with self._span("pipeline.rdf", records=1):
                 result.triples_stored += self._stage_call(
                     "rdf",
                     report,
-                    lambda: self._store_report_doc(
-                        annotated, report, interlink=self.config.interlink
-                    ),
+                    lambda: self._store_report_doc(report, report, interlink=False),
                 )
-                self._latency["rdf"].record(time.perf_counter() - started)
-        elif self.config.persist_rdf and self.config.persist_raw_reports:
-            started = time.perf_counter()
-            result.triples_stored += self._stage_call(
-                "rdf",
-                report,
-                lambda: self._store_report_doc(report, report, interlink=False),
+            if obs:
+                t_now = pc()
+                buf["rdf"].append(t_now - t_prev)
+                t_prev = t_now
+
+        with self._span("pipeline.events", records=1):
+            simple_events = self._stage_call(
+                "events", report, lambda: self._extractor.process(report)
             )
-            self._latency["rdf"].record(time.perf_counter() - started)
-
-        started = time.perf_counter()
-        simple_events = self._stage_call(
-            "events", report, lambda: self._extractor.process(report)
-        )
         result.simple_events.extend(simple_events)
-        self._latency["events"].record(time.perf_counter() - started)
+        if obs:
+            t_now = pc()
+            buf["events"].append(t_now - t_prev)
+            t_prev = t_now
 
-        started = time.perf_counter()
-        new_complex = self._stage_call(
-            "detectors", report, lambda: self._run_detectors(report, simple_events)
-        )
-        self._latency["detectors"].record(time.perf_counter() - started)
+        with self._span("pipeline.detectors", records=1):
+            new_complex = self._stage_call(
+                "detectors", report, lambda: self._run_detectors(report, simple_events)
+            )
+        if obs:
+            t_now = pc()
+            buf["detectors"].append(t_now - t_prev)
+            self._record_end = t_now
 
         for event in new_complex:
             result.complex_events.append(event)
@@ -360,6 +480,8 @@ class MobilityPipeline:
                 triples = self.transformer.event_to_triples(event)
                 self.store.add_document(triples)
                 result.triples_stored += len(triples)
+        if new_complex and obs:
+            self._record_end = pc()
 
         return new_complex
 
@@ -378,15 +500,22 @@ class MobilityPipeline:
     ) -> list[ComplexEvent]:
         """Run every complex-event detector over one report."""
         new_complex: list[ComplexEvent] = []
-        new_complex.extend(self._collision.process(report))
-        new_complex.extend(self._loitering.process(report))
-        for event in simple_events:
-            new_complex.extend(self._rendezvous.process(event))
-        new_complex.extend(self._rendezvous.tick(report.t))
+        with self._span("cep.collision"):
+            new_complex.extend(self._collision.process(report))
+        with self._span("cep.loitering"):
+            new_complex.extend(self._loitering.process(report))
+        with self._span("cep.rendezvous", records=len(simple_events)):
+            for event in simple_events:
+                new_complex.extend(self._rendezvous.process(event))
+            new_complex.extend(self._rendezvous.tick(report.t))
         if self._capacity is not None:
-            new_complex.extend(self._capacity.process(report))
+            with self._span("cep.capacity"):
+                new_complex.extend(self._capacity.process(report))
         if self._hotspots is not None:
-            new_complex.extend(self._hotspots.process(report))
+            with self._span("cep.hotspots"):
+                new_complex.extend(self._hotspots.process(report))
+        if new_complex and self._obs:
+            self.metrics.counter("cep.complex_events").inc(len(new_complex))
         return new_complex
 
     def _interlink(self, report: PositionReport, node) -> list:
@@ -427,13 +556,33 @@ class MobilityPipeline:
             for event in detector.flush():
                 self._result.complex_events.append(event)
                 if self.config.persist_rdf:
-                    self.store.add_document(self.transformer.event_to_triples(event))
+                    triples = self.transformer.event_to_triples(event)
+                    self.store.add_document(triples)
+                    self._result.triples_stored += len(triples)
         self._result.wall_time_s = time.perf_counter() - run_started
+        self._flush_latency()
         self._result.stage_latency = {
             stage: hist.summary() for stage, hist in self._latency.items()
         }
         self._result.end_to_end = self._end_to_end.summary()
+        if self.metrics.enabled:
+            self._synopses.publish_metrics()
+            self.metrics.gauge("pipeline.throughput_rps").set(
+                self._result.throughput_rps
+            )
+            self._result.metrics = self.metrics.as_dict()
         return self._result
+
+    def _flush_latency(self) -> None:
+        """Land the buffered per-record samples on the registry histograms."""
+        if not self._obs:
+            return
+        for stage, buf in self._lat_buf.items():
+            if not buf:
+                continue
+            hist = self._end_to_end if stage == "end_to_end" else self._latency[stage]
+            hist.record_many(buf)
+            buf.clear()
 
     # -- checkpoint / recovery --------------------------------------------------
 
@@ -452,6 +601,7 @@ class MobilityPipeline:
         "_hotspots",
         "store",
         "_stored_weather_cells",
+        "metrics",
         "_latency",
         "_end_to_end",
         "_result",
@@ -460,24 +610,42 @@ class MobilityPipeline:
     )
 
     def snapshot(self) -> dict[str, Any]:
-        """Deep-copy every stateful component into a checkpoint payload."""
-        return {
-            name: copy.deepcopy(getattr(self, name))
-            for name in self._STATEFUL_COMPONENTS
-        }
+        """Deep-copy every stateful component into a checkpoint payload.
+
+        One deepcopy call over the whole component dict, so references
+        shared *between* components — notably the observability registry,
+        whose instruments the store, synopses and extractor all hold —
+        stay shared inside the snapshot. Buffered latency samples and
+        deferred synopses counters are flushed first so the checkpointed
+        registry reflects every record processed so far.
+        """
+        self._flush_latency()
+        if self.metrics.enabled:
+            self._synopses.publish_metrics()
+        return copy.deepcopy(
+            {name: getattr(self, name) for name in self._STATEFUL_COMPONENTS}
+        )
 
     def restore(self, states: dict[str, Any]) -> None:
         """Reinstate a :meth:`snapshot` payload on a compatibly-built pipeline.
 
         The payload is copied in, so the stored checkpoint stays pristine
-        and can serve further resume attempts.
+        and can serve further resume attempts. The copy is again a single
+        deepcopy, preserving cross-component sharing (one registry).
         """
         missing = [n for n in self._STATEFUL_COMPONENTS if n not in states]
         if missing:
             raise KeyError(f"checkpoint is missing component state: {missing}")
+        copied = copy.deepcopy(states)
         for name in self._STATEFUL_COMPONENTS:
-            setattr(self, name, copy.deepcopy(states[name]))
-        self.executor = QueryExecutor(self.store)
+            setattr(self, name, copied[name])
+        self.executor = QueryExecutor(self.store, metrics=self.metrics)
+        # Cached obs state follows the restored registry; unflushed samples
+        # from after the checkpoint was taken must not leak into it.
+        self._obs = self.metrics.enabled
+        self._trace_every = self.config.trace_every_n if self._obs else 0
+        for buf in self._lat_buf.values():
+            buf.clear()
 
     def run_with_checkpoints(
         self,

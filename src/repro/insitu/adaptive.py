@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from repro.insitu.critical import AnnotatedReport
 from repro.insitu.synopses import SynopsesConfig, SynopsesGenerator
 from repro.model.reports import PositionReport
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,10 +71,11 @@ class AdaptiveSynopsesGenerator:
         self,
         base: SynopsesConfig | None = None,
         adaptive: AdaptiveConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.base_config = base or SynopsesConfig()
         self.adaptive = adaptive or AdaptiveConfig()
-        self._generator = SynopsesGenerator(self.base_config)
+        self._generator = SynopsesGenerator(self.base_config, metrics=metrics)
         self._window_seen = 0
         self._window_kept = 0
         self.threshold_history: list[float] = [self.base_config.dr_error_threshold_m]
@@ -108,6 +110,10 @@ class AdaptiveSynopsesGenerator:
     def finish_all(self) -> list[PositionReport]:
         """Close all tracks (see :meth:`SynopsesGenerator.finish_all`)."""
         return self._generator.finish_all()
+
+    def publish_metrics(self) -> None:
+        """Flush deferred counters (see :meth:`SynopsesGenerator.publish_metrics`)."""
+        self._generator.publish_metrics()
 
     def _adjust(self) -> None:
         achieved = self._window_kept / self._window_seen

@@ -27,6 +27,7 @@ from repro.geo.geodesy import destination_point, haversine_m
 from repro.insitu.critical import AnnotatedReport, CriticalPointDetector, CriticalPointType
 from repro.model.reports import PositionReport
 from repro.model.trajectory import Trajectory
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.streams.operators import KeyedProcessOperator
 from repro.streams.records import Record
 
@@ -82,16 +83,27 @@ class SynopsesGenerator:
 
     Call :meth:`process` per report; it returns the annotated report plus
     the keep decision. :attr:`seen` / :attr:`kept` track the compression
-    ratio achieved so far.
+    ratio achieved so far. With a ``metrics`` registry, the same numbers
+    land on the shared surface (``insitu.synopses.seen`` / ``kept``
+    counters and the ``insitu.synopses.compression_ratio`` gauge) when
+    :meth:`publish_metrics` runs — publishing is deferred so the per-record
+    hot path stays free of instrument calls.
     """
 
-    def __init__(self, config: SynopsesConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SynopsesConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config or SynopsesConfig()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._detector = self.config.detector()
         self._last_kept: dict[str, _KeptState] = {}
         self._last_seen: dict[str, PositionReport] = {}
         self.seen = 0
         self.kept = 0
+        self._published_seen = 0
+        self._published_kept = 0
 
     @property
     def compression_ratio(self) -> float:
@@ -112,6 +124,23 @@ class SynopsesGenerator:
                 report=report, speed=report.speed, heading=report.heading
             )
         return (annotated, keep)
+
+    def publish_metrics(self) -> None:
+        """Top the registry up to the current seen/kept totals.
+
+        Counters only move by the delta since the last publish, so calling
+        this at every flush point (stream finish, pipeline finalize,
+        checkpoint) never double-counts.
+        """
+        if not self.metrics.enabled:
+            return
+        self.metrics.counter("insitu.synopses.seen").inc(self.seen - self._published_seen)
+        self.metrics.counter("insitu.synopses.kept").inc(self.kept - self._published_kept)
+        self._published_seen = self.seen
+        self._published_kept = self.kept
+        self.metrics.gauge("insitu.synopses.compression_ratio").set(
+            self.compression_ratio
+        )
 
     def finish(self, entity_id: str) -> PositionReport | None:
         """Close an entity's track at end of stream.
@@ -140,6 +169,7 @@ class SynopsesGenerator:
             report = self.finish(entity_id)
             if report is not None:
                 out.append(report)
+        self.publish_metrics()
         return out
 
     def _decide(self, annotated: AnnotatedReport) -> bool:
@@ -175,6 +205,8 @@ class SynopsesGenerator:
         self._last_seen.clear()
         self.seen = 0
         self.kept = 0
+        self._published_seen = 0
+        self._published_kept = 0
 
     def snapshot(self) -> dict:
         """Capture generator + detector state for a checkpoint."""
@@ -184,6 +216,8 @@ class SynopsesGenerator:
             "last_seen": copy.deepcopy(self._last_seen),
             "seen": self.seen,
             "kept": self.kept,
+            "published_seen": self._published_seen,
+            "published_kept": self._published_kept,
         }
 
     def restore(self, state: dict) -> None:
@@ -193,6 +227,8 @@ class SynopsesGenerator:
         self._last_seen = copy.deepcopy(state["last_seen"])
         self.seen = state["seen"]
         self.kept = state["kept"]
+        self._published_seen = state.get("published_seen", 0)
+        self._published_kept = state.get("published_kept", 0)
 
 
 class SynopsesOperator(KeyedProcessOperator):
@@ -202,9 +238,14 @@ class SynopsesOperator(KeyedProcessOperator):
     to :class:`AnnotatedReport` downstream.
     """
 
-    def __init__(self, config: SynopsesConfig | None = None, name: str = "synopses") -> None:
+    def __init__(
+        self,
+        config: SynopsesConfig | None = None,
+        name: str = "synopses",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         super().__init__(key_fn=lambda r: r.entity_id, name=name)
-        self.generator = SynopsesGenerator(config)
+        self.generator = SynopsesGenerator(config, metrics=metrics)
 
     def process_keyed(self, record: Record, state: dict[str, Any]) -> Iterable[Record]:
         annotated, keep = self.generator.process(record.value)

@@ -1,0 +1,183 @@
+"""Pluggable exporters for the observability layer.
+
+Three targets, matching how the numbers are consumed:
+
+- :class:`JsonLinesExporter` — the durable format: one JSON object per
+  line for every counter, gauge, histogram (with its retained reservoir)
+  and completed span. A trace file reloads into a registry whose
+  percentiles are *identical* to the exported ones, so benchmark
+  artifacts are comparable across runs and machines.
+- :class:`PrometheusTextExporter` — a prometheus-style text dump for
+  eyeballing and scraping-shaped tooling.
+- :class:`InMemoryExporter` — collects snapshots for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO
+
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry
+from repro.obs.tracing import SpanRecord
+
+__all__ = ["InMemoryExporter", "JsonLinesExporter", "PrometheusTextExporter"]
+
+
+class InMemoryExporter:
+    """Keeps registry snapshots in memory (for tests)."""
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict] = []
+
+    def export(self, registry: MetricsRegistry) -> dict:
+        """Snapshot the registry; returns (and retains) the snapshot."""
+        snapshot = registry.as_dict()
+        self.snapshots.append(snapshot)
+        return snapshot
+
+
+class JsonLinesExporter:
+    """Writes/reads a registry as JSON-lines.
+
+    Line schema (one object per line, ``type`` discriminated)::
+
+        {"type": "meta", "seed": 2017, "max_samples": 100000}
+        {"type": "counter", "name": "...", "value": 12}
+        {"type": "gauge", "name": "...", "value": 0.97}
+        {"type": "histogram", "name": "...", "count": 8500,
+         "samples": [...], "max_samples": 100000, "seed": 123}
+        {"type": "span", "span_id": 0, "parent_id": null, "name": "...",
+         "start_ms": 0.01, "duration_ms": 1.2, "records": 10, "depth": 0}
+    """
+
+    def export(self, registry: MetricsRegistry, path: str) -> int:
+        """Write the registry to ``path``; returns the line count."""
+        lines = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            lines += self._write(fh, registry)
+        return lines
+
+    def _write(self, fh: IO[str], registry: MetricsRegistry) -> int:
+        def emit(obj: dict) -> None:
+            fh.write(json.dumps(obj, sort_keys=True) + "\n")
+
+        emit({"type": "meta", "seed": registry.seed, "max_samples": registry.max_samples})
+        n = 1
+        for name, value in registry.counters().items():
+            emit({"type": "counter", "name": name, "value": value})
+            n += 1
+        for name, value in registry.gauges().items():
+            emit({"type": "gauge", "name": name, "value": value})
+            n += 1
+        for name in registry.histogram_names():
+            hist = registry.histogram(name)
+            emit(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "count": hist.count,
+                    "samples": list(hist.samples),
+                    "max_samples": hist.max_samples,
+                    "seed": hist.seed,
+                }
+            )
+            n += 1
+        for span in registry.spans:
+            emit(
+                {
+                    "type": "span",
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "name": span.name,
+                    "start_ms": span.start_s * 1000.0,
+                    "duration_ms": span.duration_ms,
+                    "records": span.records,
+                    "depth": span.depth,
+                }
+            )
+            n += 1
+        return n
+
+    def load(self, path: str) -> MetricsRegistry:
+        """Reload a registry from a JSON-lines export.
+
+        Histogram reservoirs are restored verbatim, so every percentile
+        matches the exported registry exactly. Spans are reinstated into
+        the tracer buffer in file order.
+        """
+        registry = MetricsRegistry()
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                obj = json.loads(line)
+                kind = obj.get("type")
+                if kind == "meta":
+                    registry = MetricsRegistry(
+                        seed=obj["seed"], max_samples=obj["max_samples"]
+                    )
+                elif kind == "counter":
+                    registry.counter(obj["name"]).inc(obj["value"])
+                elif kind == "gauge":
+                    registry.gauge(obj["name"]).set(obj["value"])
+                elif kind == "histogram":
+                    registry._histograms[obj["name"]] = LatencyHistogram.from_samples(
+                        obj["samples"],
+                        count=obj["count"],
+                        max_samples=obj["max_samples"],
+                        seed=obj["seed"],
+                    )
+                elif kind == "span":
+                    registry.tracer._spans.append(
+                        SpanRecord(
+                            span_id=obj["span_id"],
+                            parent_id=obj["parent_id"],
+                            name=obj["name"],
+                            start_s=obj["start_ms"] / 1000.0,
+                            duration_s=obj["duration_ms"] / 1000.0,
+                            records=obj["records"],
+                            depth=obj["depth"],
+                        )
+                    )
+                else:
+                    raise ValueError(f"unknown line type {kind!r} in {path}")
+        return registry
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into a prometheus identifier."""
+    return re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+class PrometheusTextExporter:
+    """Renders a registry in the prometheus text exposition format.
+
+    Histograms are exposed as summaries: ``<name>_ms{quantile="0.5"}``
+    lines plus ``_count``, all in milliseconds.
+    """
+
+    def render(self, registry: MetricsRegistry) -> str:
+        """The registry as prometheus-style text."""
+        out: list[str] = []
+        for name, value in registry.counters().items():
+            prom = _prom_name(name)
+            out.append(f"# TYPE {prom} counter")
+            out.append(f"{prom}_total {value}")
+        for name, value in registry.gauges().items():
+            prom = _prom_name(name)
+            out.append(f"# TYPE {prom} gauge")
+            out.append(f"{prom} {value}")
+        for name, summary in registry.histogram_summaries().items():
+            prom = _prom_name(name)
+            out.append(f"# TYPE {prom}_ms summary")
+            for q, key in ((0.5, "p50_ms"), (0.95, "p95_ms"), (0.99, "p99_ms")):
+                out.append(f'{prom}_ms{{quantile="{q}"}} {summary[key]:.6f}')
+            out.append(f"{prom}_ms_count {int(summary['count'])}")
+        return "\n".join(out) + "\n"
+
+    def export(self, registry: MetricsRegistry, path: str) -> None:
+        """Write :meth:`render` output to ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render(registry))

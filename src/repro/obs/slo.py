@@ -1,0 +1,143 @@
+"""Latency-SLO gating: millisecond budgets checked against the registry.
+
+The paper's operational requirement is stated in milliseconds; the
+:class:`SLOChecker` turns it into an executable contract. Each
+:class:`SLOBudget` names one latency histogram and caps chosen
+percentiles; :meth:`SLOChecker.check` evaluates every budget against a
+:class:`~repro.obs.metrics.MetricsRegistry` and reports the violations,
+and :meth:`SLOChecker.assert_ok` raises so tests and CI gate on it
+(experiment E2's measurement harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "DEFAULT_E2_BUDGETS",
+    "SLOBudget",
+    "SLOChecker",
+    "SLOViolation",
+    "SLOViolationError",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SLOBudget:
+    """Millisecond percentile caps for one latency histogram.
+
+    Attributes:
+        metric: Histogram name in the registry (``pipeline.end_to_end``).
+        p50_ms / p95_ms / p99_ms: Caps per percentile; ``None`` skips one.
+        required: When true, a missing or empty histogram is itself a
+            violation (the instrument was never exercised).
+    """
+
+    metric: str
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+
+    required: bool = False
+
+    def caps(self) -> list[tuple[str, float]]:
+        """The configured ``(summary key, cap)`` pairs."""
+        out = []
+        for key, cap in (("p50_ms", self.p50_ms), ("p95_ms", self.p95_ms), ("p99_ms", self.p99_ms)):
+            if cap is not None:
+                out.append((key, cap))
+        return out
+
+
+@dataclass(frozen=True, slots=True)
+class SLOViolation:
+    """One budget breach (or a required metric that never recorded)."""
+
+    metric: str
+    percentile: str
+    observed_ms: float
+    budget_ms: float
+
+    def __str__(self) -> str:
+        if self.percentile == "missing":
+            return f"{self.metric}: required metric missing or empty"
+        return (
+            f"{self.metric} {self.percentile} = {self.observed_ms:.3f} ms "
+            f"exceeds budget {self.budget_ms:.3f} ms"
+        )
+
+
+class SLOViolationError(AssertionError):
+    """Raised by :meth:`SLOChecker.assert_ok`; carries the violations."""
+
+    def __init__(self, violations: list[SLOViolation]) -> None:
+        self.violations = violations
+        lines = "\n".join(f"  - {v}" for v in violations)
+        super().__init__(f"{len(violations)} latency SLO violation(s):\n{lines}")
+
+
+class SLOChecker:
+    """Evaluates a set of :class:`SLOBudget` against a registry."""
+
+    def __init__(self, budgets: Iterable[SLOBudget]) -> None:
+        self.budgets = tuple(budgets)
+
+    def check(self, registry: MetricsRegistry) -> list[SLOViolation]:
+        """All violations of the configured budgets (empty = compliant)."""
+        summaries = registry.histogram_summaries()
+        violations: list[SLOViolation] = []
+        for budget in self.budgets:
+            summary = summaries.get(budget.metric)
+            if summary is None or summary["count"] == 0:
+                if budget.required:
+                    violations.append(
+                        SLOViolation(budget.metric, "missing", 0.0, 0.0)
+                    )
+                continue
+            for key, cap in budget.caps():
+                observed = summary[key]
+                if observed > cap:
+                    violations.append(
+                        SLOViolation(budget.metric, key, observed, cap)
+                    )
+        return violations
+
+    def assert_ok(self, registry: MetricsRegistry) -> None:
+        """Raise :class:`SLOViolationError` unless every budget holds."""
+        violations = self.check(registry)
+        if violations:
+            raise SLOViolationError(violations)
+
+    def report(self, registry: MetricsRegistry) -> dict:
+        """Plain-data check result (for benchmark JSON artifacts)."""
+        violations = self.check(registry)
+        return {
+            "budgets": len(self.budgets),
+            "violations": [
+                {
+                    "metric": v.metric,
+                    "percentile": v.percentile,
+                    "observed_ms": v.observed_ms,
+                    "budget_ms": v.budget_ms,
+                }
+                for v in violations
+            ],
+            "ok": not violations,
+        }
+
+
+#: The default E2 budgets: per-stage and end-to-end caps with generous
+#: headroom over the measured single-process numbers (EXPERIMENTS.md E2),
+#: so regressions of an order of magnitude gate CI without flaking on
+#: machine noise.
+DEFAULT_E2_BUDGETS: tuple[SLOBudget, ...] = (
+    SLOBudget("pipeline.clean", p50_ms=1.0, p99_ms=5.0, required=True),
+    SLOBudget("pipeline.synopses", p50_ms=1.0, p99_ms=5.0, required=True),
+    SLOBudget("pipeline.rdf", p50_ms=5.0, p99_ms=20.0),
+    SLOBudget("pipeline.events", p50_ms=2.0, p99_ms=10.0, required=True),
+    SLOBudget("pipeline.detectors", p50_ms=5.0, p99_ms=25.0, required=True),
+    SLOBudget("pipeline.end_to_end", p50_ms=10.0, p99_ms=50.0, required=True),
+)

@@ -25,6 +25,7 @@ from repro.geo.bbox import BBox
 from repro.geo.geodesy import haversine_m
 from repro.model.trajectory import Trajectory
 from repro.model.points import Domain
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.query.ast import (
     CompareFilter,
     Filter,
@@ -51,6 +52,13 @@ COORDINATION_OVERHEAD_S = 0.0005
 class ExecutionReport:
     """What the executor did and what it would have cost on a cluster.
 
+    Every phase of evaluation is timed — parse (only via
+    :meth:`QueryExecutor.execute_text`), planning (pattern ordering +
+    partition pruning), the partition scans, and result post-processing
+    (order/distinct/limit/projection) — and :attr:`total_s` covers the
+    whole call, so the phase times account for the total (previously
+    parse/plan time was silently dropped).
+
     Attributes:
         n_results: Number of result bindings.
         partitions_total: Partition count of the store.
@@ -61,6 +69,12 @@ class ExecutionReport:
         sequential_s: Sum of per-partition times (single-node cost).
         makespan_s: ``max(per-partition) + overhead`` (cluster cost).
         strategy: ``"partition-local"`` or ``"global"``.
+        parse_s: Text-to-AST time (0 when executing a prebuilt query).
+        plan_s: Pattern ordering + partition pruning time.
+        postprocess_s: Order/distinct/limit/projection time.
+        total_s: Wall time of the whole execute call (including parse).
+        metrics: Snapshot of the executor's observability registry
+            (cumulative across queries; ``{}`` without a registry).
     """
 
     n_results: int = 0
@@ -71,6 +85,11 @@ class ExecutionReport:
     sequential_s: float = 0.0
     makespan_s: float = 0.0
     strategy: str = "global"
+    parse_s: float = 0.0
+    plan_s: float = 0.0
+    postprocess_s: float = 0.0
+    total_s: float = 0.0
+    metrics: dict = field(default_factory=dict)
 
     @property
     def simulated_speedup(self) -> float:
@@ -78,6 +97,44 @@ class ExecutionReport:
         if self.makespan_s <= 0:
             return 1.0
         return self.sequential_s / self.makespan_s
+
+    @property
+    def scan_s(self) -> float:
+        """Total partition-scan time (alias of :attr:`sequential_s`)."""
+        return self.sequential_s
+
+    def phase_times(self) -> dict[str, float]:
+        """Per-phase wall times in seconds (they sum to ≈ :attr:`total_s`)."""
+        return {
+            "parse_s": self.parse_s,
+            "plan_s": self.plan_s,
+            "scan_s": self.scan_s,
+            "postprocess_s": self.postprocess_s,
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary (the common report shape, see as_dict)."""
+        return {
+            "n_results": float(self.n_results),
+            "partitions_total": float(self.partitions_total),
+            "partitions_scanned": float(self.partitions_scanned),
+            "pruning_ratio": self.pruning_ratio,
+            "parse_ms": self.parse_s * 1000.0,
+            "plan_ms": self.plan_s * 1000.0,
+            "scan_ms": self.scan_s * 1000.0,
+            "postprocess_ms": self.postprocess_s * 1000.0,
+            "total_ms": self.total_s * 1000.0,
+            "makespan_ms": self.makespan_s * 1000.0,
+            "simulated_speedup": self.simulated_speedup,
+        }
+
+    def as_dict(self) -> dict:
+        """The common observability report shape.
+
+        ``{"kind", "summary", "metrics"}`` — the same schema as
+        :meth:`repro.core.pipeline.PipelineResult.as_dict`.
+        """
+        return {"kind": "query", "summary": self.summary(), "metrics": self.metrics}
 
 
 class QueryExecutor:
@@ -89,10 +146,21 @@ class QueryExecutor:
             (:class:`repro.query.planner.StatisticsEstimator`) instead of
             the shape heuristic. Pays a few count lookups per query,
             avoids pathological orders on skewed data.
+        metrics: Observability registry; when given (and enabled), every
+            execute is wrapped in ``query.*`` spans, phase latencies land
+            in ``query.parse`` / ``query.plan`` / ``query.scan`` /
+            ``query.postprocess`` / ``query.total`` histograms, and the
+            :class:`ExecutionReport` carries the registry snapshot.
     """
 
-    def __init__(self, store: ParallelRDFStore, use_statistics: bool = False) -> None:
+    def __init__(
+        self,
+        store: ParallelRDFStore,
+        use_statistics: bool = False,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.store = store
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         if use_statistics:
             from repro.query.planner import StatisticsEstimator
 
@@ -105,35 +173,95 @@ class QueryExecutor:
     # -- public API ---------------------------------------------------------
 
     def execute(self, query: SelectQuery) -> tuple[list[Bindings], ExecutionReport]:
-        """Evaluate a query; returns projected bindings and the report."""
+        """Evaluate a query; returns projected bindings and the report.
+
+        Every phase is timed into the report — planning (pattern
+        ordering + pruning), partition scans, and post-processing — and
+        ``report.total_s`` covers the whole call, so phase times account
+        for the total (see :meth:`ExecutionReport.phase_times`).
+        """
+        total_started = time.perf_counter()
         report = ExecutionReport(partitions_total=self.store.n_partitions)
-        star_var = query.is_subject_star()
-        if star_var is not None:
-            rows = self._execute_partition_local(query, star_var, report)
-        else:
-            rows = self._execute_global(query, report)
-        if query.order_by is not None:
-            rows = self._apply_order(rows, query.order_by)
-        if query.distinct:
-            # Deduplicate on the projection (SPARQL DISTINCT semantics),
-            # preserving the (possibly ordered) first occurrence.
-            seen: set = set()
-            deduped: list[Bindings] = []
-            for row in rows:
-                key = tuple(sorted(
-                    (v.name, str(row[v])) for v in query.select if v in row
-                ))
-                if key not in seen:
-                    seen.add(key)
-                    deduped.append(row)
-            rows = deduped
-        if query.limit is not None:
-            rows = rows[: query.limit]
-        projected = [
-            {v: row[v] for v in query.select if v in row} for row in rows
-        ]
-        report.n_results = len(projected)
+        with self.metrics.span("query.execute") as root_span:
+            plan_started = time.perf_counter()
+            with self.metrics.span("query.plan"):
+                star_var = query.is_subject_star()
+                ordered = order_patterns(query.patterns, estimator=self._estimator)
+                partitions = (
+                    sorted(self._prune_partitions(query, star_var))
+                    if star_var is not None
+                    else None
+                )
+            report.plan_s = time.perf_counter() - plan_started
+            with self.metrics.span("query.scan") as scan_span:
+                if star_var is not None and partitions is not None:
+                    rows = self._execute_partition_local(
+                        query, ordered, partitions, report
+                    )
+                else:
+                    rows = self._execute_global(query, ordered, report)
+                scan_span.add_records(len(rows))
+            post_started = time.perf_counter()
+            with self.metrics.span("query.postprocess"):
+                if query.order_by is not None:
+                    rows = self._apply_order(rows, query.order_by)
+                if query.distinct:
+                    # Deduplicate on the projection (SPARQL DISTINCT
+                    # semantics), preserving the (possibly ordered) first
+                    # occurrence.
+                    seen: set = set()
+                    deduped: list[Bindings] = []
+                    for row in rows:
+                        key = tuple(sorted(
+                            (v.name, str(row[v])) for v in query.select if v in row
+                        ))
+                        if key not in seen:
+                            seen.add(key)
+                            deduped.append(row)
+                    rows = deduped
+                if query.limit is not None:
+                    rows = rows[: query.limit]
+                projected = [
+                    {v: row[v] for v in query.select if v in row} for row in rows
+                ]
+            report.postprocess_s = time.perf_counter() - post_started
+            report.n_results = len(projected)
+            root_span.add_records(len(projected))
+        report.total_s = time.perf_counter() - total_started
+        self._record_query_metrics(report)
         return (projected, report)
+
+    def execute_text(self, text: str) -> tuple[list[Bindings], ExecutionReport]:
+        """Parse and evaluate a textual query, timing the parse phase.
+
+        The returned report's ``parse_s`` covers text-to-AST time and is
+        included in ``total_s`` — no phase is dropped from the totals.
+        """
+        from repro.query.parser import parse_query
+
+        parse_started = time.perf_counter()
+        with self.metrics.span("query.parse"):
+            query = parse_query(text)
+        parse_s = time.perf_counter() - parse_started
+        rows, report = self.execute(query)
+        report.parse_s = parse_s
+        report.total_s += parse_s
+        if self.metrics.enabled:
+            self.metrics.histogram("query.parse").record(parse_s)
+            report.metrics = self.metrics.as_dict()
+        return (rows, report)
+
+    def _record_query_metrics(self, report: ExecutionReport) -> None:
+        """Land phase latencies on the registry and snapshot it."""
+        if not self.metrics.enabled:
+            return
+        self.metrics.histogram("query.plan").record(report.plan_s)
+        self.metrics.histogram("query.scan").record(report.scan_s)
+        self.metrics.histogram("query.postprocess").record(report.postprocess_s)
+        self.metrics.histogram("query.total").record(report.total_s)
+        self.metrics.counter("query.executed").inc()
+        self.metrics.counter("query.results").inc(report.n_results)
+        report.metrics = self.metrics.as_dict()
 
     @staticmethod
     def _apply_order(rows: list[Bindings], order: Any) -> list[Bindings]:
@@ -276,15 +404,17 @@ class QueryExecutor:
     # -- strategies ---------------------------------------------------------
 
     def _execute_partition_local(
-        self, query: SelectQuery, star_var: Variable, report: ExecutionReport
+        self,
+        query: SelectQuery,
+        ordered: list[TriplePattern],
+        partitions: list[int],
+        report: ExecutionReport,
     ) -> list[Bindings]:
-        partitions = self._prune_partitions(query, star_var)
         report.strategy = "partition-local"
         report.partitions_scanned = len(partitions)
         report.pruning_ratio = 1.0 - (len(partitions) / max(1, self.store.n_partitions))
-        ordered = order_patterns(query.patterns, estimator=self._estimator)
         rows: list[Bindings] = []
-        for idx in sorted(partitions):
+        for idx in partitions:
             started = time.perf_counter()
             for row in self._join(ordered, {}, partitions=(idx,)):
                 if self._passes_filters(row, query.filters):
@@ -295,10 +425,14 @@ class QueryExecutor:
         report.makespan_s = longest + COORDINATION_OVERHEAD_S * max(1, len(partitions))
         return rows
 
-    def _execute_global(self, query: SelectQuery, report: ExecutionReport) -> list[Bindings]:
+    def _execute_global(
+        self,
+        query: SelectQuery,
+        ordered: list[TriplePattern],
+        report: ExecutionReport,
+    ) -> list[Bindings]:
         report.strategy = "global"
         report.partitions_scanned = self.store.n_partitions
-        ordered = order_patterns(query.patterns, estimator=self._estimator)
         started = time.perf_counter()
         rows = [
             row

@@ -16,12 +16,14 @@ and EXPERIMENTS.md says so.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.geo.bbox import BBox
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.rdf import vocabulary as V
 from repro.rdf.terms import Literal, Term, Triple
 from repro.store.dictionary import TermDictionary
@@ -45,10 +47,28 @@ class PartitionStats:
 
 
 class ParallelRDFStore:
-    """A dictionary-encoded triple store sharded over N partitions."""
+    """A dictionary-encoded triple store sharded over N partitions.
 
-    def __init__(self, partitioner: Partitioner) -> None:
+    Args:
+        partitioner: Subject/key placement policy.
+        metrics: Observability registry; when given (and enabled), inserts
+            are timed into the ``store.add_document`` histogram and
+            ``store.documents`` / ``store.triples`` /
+            ``store.match_calls`` / ``store.partition_scans`` counters
+            track load and pruning effectiveness.
+    """
+
+    def __init__(
+        self, partitioner: Partitioner, metrics: MetricsRegistry | None = None
+    ) -> None:
         self.partitioner = partitioner
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._obs = self.metrics.enabled
+        self._add_latency = self.metrics.histogram("store.add_document")
+        self._docs_counter = self.metrics.counter("store.documents")
+        self._triples_counter = self.metrics.counter("store.triples")
+        self._match_counter = self.metrics.counter("store.match_calls")
+        self._scan_counter = self.metrics.counter("store.partition_scans")
         self.dictionary = TermDictionary()
         self.partitions = [TripleStore() for __ in range(partitioner.n_partitions)]
         self._subject_partition: dict[int, int] = {}
@@ -76,6 +96,8 @@ class ParallelRDFStore:
         same subject stay on the subject's original partition (placement
         stability), regardless of key drift.
         """
+        obs = self._obs
+        insert_started = time.perf_counter() if obs else 0.0
         doc = list(triples)
         if not doc:
             raise ValueError("empty document")
@@ -102,6 +124,10 @@ class ParallelRDFStore:
                 self.dictionary.encode(triple.p),
                 self.dictionary.encode(triple.o),
             )
+        if obs:
+            self._docs_counter.inc()
+            self._triples_counter.inc(len(doc))
+            self._add_latency.record(time.perf_counter() - insert_started)
         return partition_idx
 
     def add_documents(self, documents: Iterable[Iterable[Triple]]) -> None:
@@ -145,7 +171,12 @@ class ParallelRDFStore:
                 if term_id is None:
                     return
                 ids.append(term_id)
-        targets = range(self.n_partitions) if partitions is None else partitions
+        targets = (
+            range(self.n_partitions) if partitions is None else list(partitions)
+        )
+        if self._obs:
+            self._match_counter.inc()
+            self._scan_counter.inc(len(targets))
         decode = self.dictionary.decode
         for idx in targets:
             for ss, pp, oo in self.partitions[idx].match(*ids):

@@ -18,7 +18,7 @@ This is the substrate standing in for the distributed stream platform
 """
 
 from repro.streams.records import Record, Watermark
-from repro.streams.metrics import Counter, LatencyHistogram, OperatorMetrics
+from repro.obs.metrics import Counter, LatencyHistogram, OperatorMetrics
 from repro.streams.operators import (
     Operator,
     MapOperator,

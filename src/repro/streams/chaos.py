@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Collection, Iterable, Iterator
 
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.streams.operators import Operator
 from repro.streams.records import Record, Watermark
 
@@ -197,6 +198,9 @@ class RetryingOperator(Operator):
             accumulates :attr:`total_backoff_s` — tests and simulations
             should not actually sleep.
         seed: Seeds the backoff jitter.
+        metrics: Observability registry; when given, failures/retries/
+            recoveries/dead-letters also land on ``chaos.<op>.*`` counters
+            so the degraded-mode path shows up on the shared surface.
     """
 
     def __init__(
@@ -209,6 +213,7 @@ class RetryingOperator(Operator):
         sleep: Callable[[float], None] | None = None,
         seed: int = 0,
         name: str | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.inner = inner
         self.policy = policy or RetryPolicy()
@@ -218,6 +223,7 @@ class RetryingOperator(Operator):
         self._sleep = sleep
         self._rng = random.Random(seed)
         self.name = name or f"retry({inner.name})"
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         #: Failed attempts observed (including the ones later retried).
         self.failures = 0
         #: Retries performed.
@@ -236,9 +242,11 @@ class RetryingOperator(Operator):
                 out = self.inner.process(record)
                 if attempt:
                     self.recovered += 1
+                    self.metrics.counter(f"chaos.{self.name}.recovered").inc()
                 return out
             except self.retry_on as exc:
                 self.failures += 1
+                self.metrics.counter(f"chaos.{self.name}.failures").inc()
                 if attempt >= self.policy.max_retries:
                     self.dlq.append(
                         DeadLetter(
@@ -249,12 +257,14 @@ class RetryingOperator(Operator):
                             attempts=attempt + 1,
                         )
                     )
+                    self.metrics.counter(f"chaos.{self.name}.dead_letters").inc()
                     return ()
                 delay = self.policy.backoff_s(attempt, self._rng)
                 self.total_backoff_s += delay
                 if self._sleep is not None:
                     self._sleep(delay)
                 self.retries += 1
+                self.metrics.counter(f"chaos.{self.name}.retries").inc()
                 attempt += 1
 
     def on_watermark(self, watermark: Watermark) -> Iterable[Record]:

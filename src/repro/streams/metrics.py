@@ -1,136 +1,36 @@
-"""Operator metrics: counters and latency histograms.
+"""Deprecated: operator metrics moved to :mod:`repro.obs`.
 
-The paper states the methods "must comply with operational latency
-requirements (i.e. in ms)"; these metrics make that measurable per
-operator and end-to-end (experiment E2).
+This module is an import shim kept for backwards compatibility.
+``Counter``, ``Gauge``, ``LatencyHistogram`` and ``OperatorMetrics`` now
+live in :mod:`repro.obs.metrics` — the single metrics surface shared by
+every tier — and importing them from here emits a
+:class:`DeprecationWarning`. Update imports::
+
+    from repro.obs import Counter, LatencyHistogram  # new home
 """
 
 from __future__ import annotations
 
-import random
-import time
-from dataclasses import dataclass, field
+import warnings
 
-import numpy as np
+_MOVED = ("Counter", "Gauge", "LatencyHistogram", "OperatorMetrics")
 
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    __slots__ = ("_value",)
-
-    def __init__(self) -> None:
-        self._value = 0
-
-    def inc(self, n: int = 1) -> None:
-        """Increase the counter by ``n`` (must be non-negative)."""
-        if n < 0:
-            raise ValueError("counters only increase")
-        self._value += n
-
-    @property
-    def value(self) -> int:
-        """Current count."""
-        return self._value
+__all__ = list(_MOVED)
 
 
-class LatencyHistogram:
-    """Records individual latency samples and reports percentiles.
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.streams.metrics.{name} moved to repro.obs.{name}; "
+            "this shim will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.obs import metrics as _obs_metrics
 
-    Samples are kept in a bounded reservoir (uniformly thinned) so long
-    benchmark runs do not grow memory without bound. Thinning uses an
-    instance-owned seeded generator — never the global ``random`` module —
-    so runs are reproducible regardless of what else draws randomness.
-    """
-
-    def __init__(self, max_samples: int = 100_000, seed: int = 2017) -> None:
-        if max_samples <= 0:
-            raise ValueError("max_samples must be positive")
-        self._max = max_samples
-        self._samples: list[float] = []
-        self._seen = 0
-        self._rng = random.Random(seed)
-
-    def record(self, latency_s: float) -> None:
-        """Record one latency sample, in seconds."""
-        self._seen += 1
-        if len(self._samples) < self._max:
-            self._samples.append(latency_s)
-        else:
-            # Reservoir sampling keeps the sample uniform over all records.
-            j = self._rng.randrange(self._seen)
-            if j < self._max:
-                self._samples[j] = latency_s
-        return None
-
-    @property
-    def samples(self) -> tuple[float, ...]:
-        """The retained reservoir samples (for tests and export)."""
-        return tuple(self._samples)
-
-    @property
-    def count(self) -> int:
-        """Total number of samples recorded (including thinned-out ones)."""
-        return self._seen
-
-    def percentile_ms(self, q: float) -> float:
-        """The ``q``-th percentile latency in milliseconds (q in [0, 100])."""
-        if not self._samples:
-            return 0.0
-        return float(np.percentile(np.asarray(self._samples), q)) * 1000.0
-
-    def mean_ms(self) -> float:
-        """Mean latency in milliseconds."""
-        if not self._samples:
-            return 0.0
-        return float(np.mean(np.asarray(self._samples))) * 1000.0
-
-    def summary(self) -> dict[str, float]:
-        """p50/p95/p99/mean in milliseconds plus the count."""
-        return {
-            "count": float(self.count),
-            "mean_ms": self.mean_ms(),
-            "p50_ms": self.percentile_ms(50),
-            "p95_ms": self.percentile_ms(95),
-            "p99_ms": self.percentile_ms(99),
-        }
+        return getattr(_obs_metrics, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-@dataclass
-class OperatorMetrics:
-    """Per-operator metric bundle collected by the runner."""
-
-    name: str
-    records_in: Counter = field(default_factory=Counter)
-    records_out: Counter = field(default_factory=Counter)
-    processing_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
-    _started_at: float | None = None
-    _ended_at: float | None = None
-
-    def mark_start(self) -> None:
-        """Record wall-clock start of processing."""
-        if self._started_at is None:
-            self._started_at = time.perf_counter()
-
-    def mark_end(self) -> None:
-        """Record wall-clock end of processing."""
-        self._ended_at = time.perf_counter()
-
-    def throughput_rps(self) -> float:
-        """Records-in per wall-clock second over the run."""
-        if self._started_at is None or self._ended_at is None:
-            return 0.0
-        elapsed = self._ended_at - self._started_at
-        if elapsed <= 0:
-            return 0.0
-        return self.records_in.value / elapsed
-
-    def summary(self) -> dict[str, float]:
-        """Flat metric summary for reporting."""
-        out = {
-            "records_in": float(self.records_in.value),
-            "records_out": float(self.records_out.value),
-            "throughput_rps": self.throughput_rps(),
-        }
-        out.update(self.processing_latency.summary())
-        return out
+def __dir__() -> list[str]:
+    return sorted(__all__)

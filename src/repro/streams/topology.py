@@ -12,8 +12,9 @@ import itertools
 import time
 from typing import Any, Iterable, Iterator
 
+from repro.obs.metrics import LatencyHistogram, MetricsRegistry, OperatorMetrics
+from repro.obs.tracing import NULL_SPAN
 from repro.streams.checkpoint import Checkpoint, CheckpointStore
-from repro.streams.metrics import LatencyHistogram, OperatorMetrics
 from repro.streams.operators import Operator
 from repro.streams.records import Record, Watermark
 from repro.streams.replay import ReplayLog
@@ -94,6 +95,11 @@ class StreamRunner:
             at record boundaries — the single-process equivalent of an
             aligned checkpoint barrier.
         checkpoint_interval: Take a checkpoint after every N records.
+        metrics: Shared observability registry. When given (and enabled),
+            the run is wrapped in a ``streams.run`` span and every
+            operator's metric bundle is absorbed into the registry at end
+            of run (``streams.<op>.latency`` histograms plus record
+            counters) — zero per-record overhead.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class StreamRunner:
         track_latency: bool = False,
         checkpoint_store: CheckpointStore | None = None,
         checkpoint_interval: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if watermark_interval <= 0:
             raise ValueError("watermark_interval must be positive")
@@ -114,6 +121,7 @@ class StreamRunner:
         self.track_latency = track_latency
         self.checkpoint_store = checkpoint_store
         self.checkpoint_interval = checkpoint_interval
+        self.metrics = metrics
         self._wm_gen = BoundedOutOfOrdernessWatermarks(max_out_of_orderness_s)
         self.end_to_end_latency = LatencyHistogram()
 
@@ -139,28 +147,45 @@ class StreamRunner:
                 records = itertools.islice(iter(records), count, None)
         for stage in self.topology.stages:
             stage.metrics.mark_start()
-        for record in records:
-            ingest_started = time.perf_counter() if self.track_latency else 0.0
-            for source in self.topology._sources:
-                self._push_record(source, record)
-            if self.track_latency:
-                self.end_to_end_latency.record(time.perf_counter() - ingest_started)
-            count += 1
-            if count % self.watermark_interval == 0:
-                wm = self._wm_gen.observe(record.event_time)
-                if wm is not None:
-                    for source in self.topology._sources:
-                        self._push_watermark(source, Watermark(wm))
-            else:
-                self._wm_gen.observe(record.event_time)
-            if (
-                self.checkpoint_store is not None
-                and count % self.checkpoint_interval == 0
-            ):
-                self.save_checkpoint(count)
-        self._flush()
+        run_span = (
+            self.metrics.span("streams.run")
+            if self.metrics is not None
+            else NULL_SPAN
+        )
+        with run_span:
+            for record in records:
+                ingest_started = time.perf_counter() if self.track_latency else 0.0
+                for source in self.topology._sources:
+                    self._push_record(source, record)
+                if self.track_latency:
+                    self.end_to_end_latency.record(time.perf_counter() - ingest_started)
+                count += 1
+                if count % self.watermark_interval == 0:
+                    wm = self._wm_gen.observe(record.event_time)
+                    if wm is not None:
+                        for source in self.topology._sources:
+                            self._push_watermark(source, Watermark(wm))
+                else:
+                    self._wm_gen.observe(record.event_time)
+                if (
+                    self.checkpoint_store is not None
+                    and count % self.checkpoint_interval == 0
+                ):
+                    self.save_checkpoint(count)
+            self._flush()
+            run_span.add_records(count)
         for stage in self.topology.stages:
             stage.metrics.mark_end()
+        self._absorb_metrics()
+
+    def _absorb_metrics(self) -> None:
+        """Fold operator bundles + end-to-end latency into the registry."""
+        if self.metrics is None or not self.metrics.enabled:
+            return
+        for stage in self.topology.stages:
+            self.metrics.absorb_operator(stage.metrics, prefix="streams")
+        if self.end_to_end_latency.count:
+            self.metrics.histogram("streams.end_to_end").merge(self.end_to_end_latency)
 
     # -- checkpointing ----------------------------------------------------------
 

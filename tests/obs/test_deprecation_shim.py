@@ -1,0 +1,39 @@
+"""The repro.streams.metrics import shim warns but keeps working."""
+
+import warnings
+
+import pytest
+
+
+class TestShim:
+    def test_moved_names_warn_and_resolve_to_obs_classes(self):
+        import repro.obs
+        import repro.streams.metrics as shim
+
+        for name in ("Counter", "Gauge", "LatencyHistogram", "OperatorMetrics"):
+            with pytest.warns(DeprecationWarning, match=f"repro.obs.{name}"):
+                moved = getattr(shim, name)
+            assert moved is getattr(repro.obs, name)
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.streams.metrics as shim
+
+        with pytest.raises(AttributeError):
+            shim.DoesNotExist
+
+    def test_internal_streams_imports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import importlib
+
+            import repro.streams
+            import repro.streams.topology
+
+            importlib.reload(repro.streams.topology)
+
+    def test_shimmed_counter_is_functional(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.streams.metrics import Counter
+        c = Counter()
+        c.inc(2)
+        assert c.value == 2

@@ -1,0 +1,100 @@
+"""Exporter round-trips: JSON-lines durability, prometheus text."""
+
+import pytest
+
+from repro.obs import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    PrometheusTextExporter,
+)
+
+
+@pytest.fixture()
+def populated():
+    r = MetricsRegistry(seed=11, max_samples=64)
+    r.counter("store.documents").inc(42)
+    r.gauge("pipeline.throughput_rps").set(1234.5)
+    h = r.histogram("pipeline.end_to_end")
+    for i in range(500):  # overflows the 64-slot reservoir
+        h.record((i % 37 + 1) * 1e-4)
+    with r.span("pipeline.record", records=1):
+        with r.span("pipeline.clean"):
+            pass
+    return r
+
+
+class TestJsonLines:
+    def test_round_trip_identical_percentiles(self, populated, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        JsonLinesExporter().export(populated, path)
+        reloaded = JsonLinesExporter().load(path)
+        original = populated.histogram("pipeline.end_to_end")
+        clone = reloaded.histogram("pipeline.end_to_end")
+        assert clone.count == original.count
+        assert clone.samples == original.samples
+        for q in (50, 90, 95, 99, 99.9):
+            assert clone.percentile_ms(q) == original.percentile_ms(q)
+
+    def test_round_trip_counters_gauges_spans(self, populated, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        JsonLinesExporter().export(populated, path)
+        reloaded = JsonLinesExporter().load(path)
+        assert reloaded.counters() == populated.counters()
+        assert reloaded.gauges() == populated.gauges()
+        assert [s.name for s in reloaded.spans] == [s.name for s in populated.spans]
+        assert [s.parent_id for s in reloaded.spans] == [
+            s.parent_id for s in populated.spans
+        ]
+
+    def test_round_trip_preserves_seed_and_capacity(self, populated, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        JsonLinesExporter().export(populated, path)
+        reloaded = JsonLinesExporter().load(path)
+        assert reloaded.seed == populated.seed
+        hist = reloaded.histogram("pipeline.end_to_end")
+        assert hist.seed == populated.histogram("pipeline.end_to_end").seed
+
+    def test_line_count_matches_contents(self, populated, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        n = JsonLinesExporter().export(populated, path)
+        with open(path) as fh:
+            assert sum(1 for _ in fh) == n
+        # meta + 1 counter + 1 gauge + 1 histogram + 2 spans
+        assert n == 6
+
+    def test_unknown_line_type_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError, match="mystery"):
+            JsonLinesExporter().load(str(path))
+
+
+class TestPrometheusText:
+    def test_render_contains_all_instrument_kinds(self, populated):
+        text = PrometheusTextExporter().render(populated)
+        assert "# TYPE store_documents counter" in text
+        assert "store_documents_total 42" in text
+        assert "pipeline_throughput_rps 1234.5" in text
+        assert 'pipeline_end_to_end_ms{quantile="0.99"}' in text
+        assert "pipeline_end_to_end_ms_count 500" in text
+
+    def test_dots_sanitized(self, populated):
+        text = PrometheusTextExporter().render(populated)
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert "." not in line.split(" ")[0].split("{")[0]
+
+    def test_export_writes_file(self, populated, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        PrometheusTextExporter().export(populated, path)
+        with open(path) as fh:
+            assert fh.read() == PrometheusTextExporter().render(populated)
+
+
+class TestInMemory:
+    def test_retains_snapshots(self, populated):
+        exporter = InMemoryExporter()
+        snap = exporter.export(populated)
+        assert exporter.snapshots == [snap]
+        assert snap["counters"]["store.documents"] == 42

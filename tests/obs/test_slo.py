@@ -1,0 +1,105 @@
+"""Latency-SLO gating against the registry."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_E2_BUDGETS,
+    MetricsRegistry,
+    SLOBudget,
+    SLOChecker,
+    SLOViolationError,
+)
+
+
+def registry_with(name, samples_ms):
+    r = MetricsRegistry(seed=5)
+    h = r.histogram(name)
+    for ms in samples_ms:
+        h.record(ms / 1000.0)
+    return r
+
+
+class TestCheck:
+    def test_compliant_registry_has_no_violations(self):
+        r = registry_with("pipeline.end_to_end", [1.0] * 100)
+        checker = SLOChecker([SLOBudget("pipeline.end_to_end", p50_ms=5.0, p99_ms=10.0)])
+        assert checker.check(r) == []
+
+    def test_exceeded_percentile_is_reported(self):
+        r = registry_with("pipeline.end_to_end", [20.0] * 100)
+        checker = SLOChecker([SLOBudget("pipeline.end_to_end", p50_ms=5.0)])
+        (violation,) = checker.check(r)
+        assert violation.metric == "pipeline.end_to_end"
+        assert violation.percentile == "p50_ms"
+        assert violation.observed_ms == pytest.approx(20.0)
+        assert violation.budget_ms == 5.0
+        assert "exceeds budget" in str(violation)
+
+    def test_tail_only_breach(self):
+        # p50 fine, p99 blown: 99 fast samples and a handful of slow ones.
+        r = registry_with("op", [1.0] * 95 + [100.0] * 5)
+        checker = SLOChecker([SLOBudget("op", p50_ms=5.0, p99_ms=50.0)])
+        (violation,) = checker.check(r)
+        assert violation.percentile == "p99_ms"
+
+    def test_missing_required_metric_is_a_violation(self):
+        r = MetricsRegistry()
+        checker = SLOChecker([SLOBudget("never.recorded", p50_ms=1.0, required=True)])
+        (violation,) = checker.check(r)
+        assert violation.percentile == "missing"
+        assert "missing" in str(violation)
+
+    def test_missing_optional_metric_is_skipped(self):
+        r = MetricsRegistry()
+        checker = SLOChecker([SLOBudget("never.recorded", p50_ms=1.0)])
+        assert checker.check(r) == []
+
+    def test_none_caps_are_not_evaluated(self):
+        r = registry_with("op", [100.0] * 10)
+        checker = SLOChecker([SLOBudget("op", p99_ms=200.0)])  # no p50 cap
+        assert checker.check(r) == []
+
+
+class TestAssertOk:
+    def test_raises_on_violation_and_is_assertion_error(self):
+        r = registry_with("op", [100.0] * 10)
+        checker = SLOChecker([SLOBudget("op", p50_ms=1.0)])
+        with pytest.raises(AssertionError) as excinfo:
+            checker.assert_ok(r)
+        assert isinstance(excinfo.value, SLOViolationError)
+        assert len(excinfo.value.violations) == 1
+
+    def test_passes_silently_when_compliant(self):
+        r = registry_with("op", [0.5] * 10)
+        SLOChecker([SLOBudget("op", p50_ms=1.0)]).assert_ok(r)
+
+
+class TestReport:
+    def test_plain_data_shape(self):
+        r = registry_with("op", [100.0] * 10)
+        report = SLOChecker([SLOBudget("op", p50_ms=1.0)]).report(r)
+        assert report["ok"] is False
+        assert report["budgets"] == 1
+        assert report["violations"][0]["metric"] == "op"
+
+    def test_ok_report(self):
+        r = registry_with("op", [0.5] * 10)
+        report = SLOChecker([SLOBudget("op", p50_ms=1.0)]).report(r)
+        assert report == {"budgets": 1, "violations": [], "ok": True}
+
+
+class TestDefaultBudgets:
+    def test_cover_every_pipeline_stage_and_end_to_end(self):
+        metrics = {b.metric for b in DEFAULT_E2_BUDGETS}
+        assert {
+            "pipeline.clean",
+            "pipeline.synopses",
+            "pipeline.events",
+            "pipeline.detectors",
+            "pipeline.end_to_end",
+        } <= metrics
+
+    def test_end_to_end_budget_is_required(self):
+        (e2e,) = [b for b in DEFAULT_E2_BUDGETS if b.metric == "pipeline.end_to_end"]
+        assert e2e.required
+        assert e2e.p99_ms is not None
