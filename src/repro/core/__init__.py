@@ -12,6 +12,14 @@ latency requirements (i.e. in ms)" claim is measurable (experiment E2/E7).
 """
 
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import MobilityPipeline, PipelineResult
+from repro.hashing import stable_hash, stable_shard
+from repro.core.pipeline import MobilityPipeline, PipelineResult, PipelineSpec
 
-__all__ = ["PipelineConfig", "MobilityPipeline", "PipelineResult"]
+__all__ = [
+    "PipelineConfig",
+    "MobilityPipeline",
+    "PipelineResult",
+    "PipelineSpec",
+    "stable_hash",
+    "stable_shard",
+]

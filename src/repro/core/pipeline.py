@@ -160,6 +160,49 @@ class PipelineResult:
         return {"kind": "pipeline", "summary": self.summary(), "metrics": self.metrics}
 
 
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A picklable recipe for building identical pipelines in any process.
+
+    The shardable run API: the multi-process runtime
+    (:mod:`repro.runtime`) ships one spec to every worker, each worker
+    calls :meth:`build`, and all shards run structurally identical
+    pipelines over their own key-routed substream. Everything in the spec
+    must be picklable and immutable-in-practice (the entity registry and
+    zones are only read by the pipeline).
+
+    ``metrics_seed``/``metrics_enabled`` describe the observability
+    registry each build creates, so per-worker registries are seeded
+    identically and merge deterministically (see
+    :meth:`repro.obs.MetricsRegistry.merge`).
+    """
+
+    bbox: BBox
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    registry: EntityRegistry | None = None
+    zones: tuple[Polygon, ...] = ()
+    domain: Domain = Domain.MARITIME
+    chaos: ChaosConfig | None = None
+    metrics_enabled: bool = True
+    metrics_seed: int = 2017
+
+    def build(self, metrics: MetricsRegistry | None = None) -> "MobilityPipeline":
+        """Construct a fresh pipeline exactly as the spec describes."""
+        if metrics is None:
+            metrics = MetricsRegistry(
+                seed=self.metrics_seed, enabled=self.metrics_enabled
+            )
+        return MobilityPipeline(
+            bbox=self.bbox,
+            config=self.config,
+            registry=self.registry,
+            zones=self.zones,
+            domain=self.domain,
+            chaos=self.chaos,
+            metrics=metrics,
+        )
+
+
 class MobilityPipeline:
     """The full datAcron flow over one geographic world.
 

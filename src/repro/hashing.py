@@ -1,0 +1,51 @@
+"""Stable hashing for routing, seeding and color assignment.
+
+Python's builtin ``hash()`` is salted per interpreter (``PYTHONHASHSEED``),
+so anything derived from it — shard routing, per-entity RNG seeds,
+trajectory colors — silently changes between runs and *between processes
+of the same run*. Every consumer that needs run-to-run or cross-process
+determinism must instead use :func:`stable_hash`, which is a pure
+function of the key's bytes (CRC-32) and therefore identical in every
+interpreter, on every platform, under every hash seed.
+
+The multi-process runtime (:mod:`repro.runtime`) depends on this for
+correctness, not just reproducibility: the parent routes a record to a
+shard and the restarted worker must agree on which records belong to it.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["stable_hash", "stable_shard"]
+
+
+def _key_bytes(key: object) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return b"\x01" if key else b"\x00"
+    if isinstance(key, int):
+        return str(key).encode("ascii")
+    if isinstance(key, tuple):
+        return b"\x1f".join(_key_bytes(part) for part in key)
+    raise TypeError(f"no stable byte encoding for key of type {type(key).__name__}")
+
+
+def stable_hash(key: object) -> int:
+    """A deterministic 32-bit hash of ``key``.
+
+    Accepts ``str``, ``bytes``, ``int``, ``bool`` and (nested) tuples of
+    those. Unlike builtin ``hash()``, the result does not depend on
+    ``PYTHONHASHSEED``, the interpreter, or the platform.
+    """
+    return zlib.crc32(_key_bytes(key))
+
+
+def stable_shard(key: object, n_shards: int) -> int:
+    """Map ``key`` onto one of ``n_shards`` buckets, stably."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    return stable_hash(key) % n_shards

@@ -1,0 +1,108 @@
+"""Admission control for the runtime's ingress boundary.
+
+Bounded per-shard queues give the runtime *backpressure*: a shard that
+cannot keep up blocks its feeder instead of growing memory without
+bound. Under sustained overload an operator may prefer to *shed* load at
+admission instead of stalling the source — the same trade the E9c
+adaptive synopses make one tier further in (fix the budget, float the
+threshold).
+
+:class:`AdmissionController` is the E9c multiplicative controller applied
+at the ingress: it watches what fraction of queue puts inside a window
+hit a full queue ("pressure") and multiplicatively lowers the admit rate
+while pressure persists, recovering toward 1.0 once the queue drains —
+with the same gain/step-clamp scheme as
+:class:`repro.insitu.adaptive.AdaptiveConfig`, and for the same reason
+(unclamped multiplicative steps limit-cycle). Shedding decisions draw
+from a seeded generator, so a run's shed set is reproducible.
+
+Every shed is counted — on the controller, on the supervisor's
+observability registry (``runtime.shard<i>.shed``) and in the merged
+:class:`repro.runtime.merge.RuntimeResult` — load shedding is an explicit
+degraded mode, never silent loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["AdmissionConfig", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Settings for :class:`AdmissionController`.
+
+    Attributes:
+        min_admit_rate: Floor of the admit rate — even under total
+            overload, this fraction of records is still admitted so the
+            shard keeps making (degraded) progress.
+        gain: Multiplicative step aggressiveness under pressure (same
+            role as :attr:`repro.insitu.adaptive.AdaptiveConfig.gain`).
+        max_step: Per-window rate change clamp, ``[1/max_step, max_step]``
+            (same role as ``AdaptiveConfig.max_step``).
+        window: Queue-put attempts per controller adjustment.
+        seed: Seeds the shedding coin flips (reproducible shed sets).
+    """
+
+    min_admit_rate: float = 0.05
+    gain: float = 0.5
+    max_step: float = 1.4
+    window: int = 64
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.min_admit_rate <= 1.0):
+            raise ValueError("min_admit_rate must be in (0, 1]")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        if self.max_step <= 1.0:
+            raise ValueError("max_step must exceed 1")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+
+class AdmissionController:
+    """Multiplicative admit-rate controller driven by queue pressure."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.admit_rate = 1.0
+        self.admitted = 0
+        self.shed = 0
+        self._rng = random.Random(self.config.seed)
+        self._window_attempts = 0
+        self._window_blocked = 0
+
+    def observe_put(self, blocked: bool) -> None:
+        """Record one queue-put attempt; ``blocked`` when the queue was full.
+
+        Every ``window`` attempts the admit rate adjusts: pressure in the
+        window shrinks it (more pressure, bigger step, clamped), a
+        pressure-free window grows it back toward 1.0.
+        """
+        self._window_attempts += 1
+        if blocked:
+            self._window_blocked += 1
+        if self._window_attempts < self.config.window:
+            return
+        pressure = self._window_blocked / self._window_attempts
+        self._window_attempts = 0
+        self._window_blocked = 0
+        if pressure > 0.0:
+            factor = (1.0 - pressure) ** self.config.gain
+            factor = max(factor, 1.0 / self.config.max_step)
+        else:
+            factor = self.config.max_step
+        self.admit_rate = min(
+            1.0, max(self.config.min_admit_rate, self.admit_rate * factor)
+        )
+
+    def admit(self) -> bool:
+        """Decide one record's admission; sheds with rate ``1 - admit_rate``."""
+        if self.admit_rate >= 1.0 or self._rng.random() < self.admit_rate:
+            self.admitted += 1
+            return True
+        self.shed += 1
+        return False

@@ -1,0 +1,114 @@
+"""Worker process lifecycle: spawn, watch, restart.
+
+:class:`WorkerPool` owns the multiprocessing context and the live
+:class:`WorkerHandle` per shard. Workers are created *lazily* — a shard
+that routes no records never costs a process (the pool is elastic in the
+shard dimension), and a dead worker is replaced by a fresh incarnation
+with new queues, resuming from its shard's latest checkpoint.
+
+The pool is spawn-safe: it works under the ``spawn`` start method (fresh
+interpreter per worker, everything shipped by pickle) as well as the
+platform default.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import replace
+
+from repro.runtime.worker import WorkerSpec, worker_main
+
+__all__ = ["WorkerHandle", "WorkerPool"]
+
+
+class WorkerHandle:
+    """One live worker incarnation: its process and its private queues."""
+
+    def __init__(self, spec: WorkerSpec, process, in_queue, out_queue, incarnation: int) -> None:
+        self.spec = spec
+        self.process = process
+        self.in_queue = in_queue
+        self.out_queue = out_queue
+        #: 0 for the first spawn, +1 per restart.
+        self.incarnation = incarnation
+
+    @property
+    def shard_id(self) -> int:
+        return self.spec.shard_id
+
+    def is_alive(self) -> bool:
+        """Liveness health-check (the supervisor polls this)."""
+        return self.process.is_alive()
+
+    @property
+    def exitcode(self) -> int | None:
+        return self.process.exitcode
+
+    def terminate(self) -> None:
+        """Kill the process and release its queue resources."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5.0)
+        for q in (self.in_queue, self.out_queue):
+            q.cancel_join_thread()
+            q.close()
+
+
+class WorkerPool:
+    """Creates and replaces shard workers over one multiprocessing context.
+
+    Args:
+        queue_capacity: Bound of each shard's input queue, in batches —
+            this is the backpressure buffer: a full queue blocks the
+            feeder, it never grows.
+        start_method: ``"spawn"``, ``"fork"``, ``"forkserver"`` or
+            ``None`` for the platform default. All worker code is
+            spawn-safe.
+    """
+
+    def __init__(self, queue_capacity: int = 8, start_method: str | None = None) -> None:
+        if queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        self.queue_capacity = queue_capacity
+        self._ctx = multiprocessing.get_context(start_method)
+        #: Live handle per shard id (replaced on restart) — exposed so
+        #: chaos tests can find and hard-kill a running worker.
+        self.handles: dict[int, WorkerHandle] = {}
+
+    def spawn(self, spec: WorkerSpec) -> WorkerHandle:
+        """Start one worker for ``spec`` with fresh bounded queues."""
+        previous = self.handles.get(spec.shard_id)
+        incarnation = previous.incarnation + 1 if previous is not None else 0
+        return self._start(spec, incarnation)
+
+    def restart(self, dead: WorkerHandle) -> WorkerHandle:
+        """Replace a dead worker with a resuming incarnation.
+
+        The replacement gets *fresh* queues (batches stranded in the dead
+        worker's queue are replayed by the feeder from the checkpoint
+        offset instead — never delivered twice), resumes from the shard's
+        latest checkpoint, and has any one-shot chaos crash cleared.
+        """
+        dead.terminate()
+        spec = replace(dead.spec, resume=True, crash_after_records=None)
+        return self._start(spec, dead.incarnation + 1)
+
+    def _start(self, spec: WorkerSpec, incarnation: int) -> WorkerHandle:
+        in_queue = self._ctx.Queue(maxsize=self.queue_capacity)
+        out_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(spec, in_queue, out_queue),
+            name=f"repro-shard-{spec.shard_id}-gen{incarnation}",
+            daemon=True,
+        )
+        process.start()
+        handle = WorkerHandle(spec, process, in_queue, out_queue, incarnation)
+        self.handles[spec.shard_id] = handle
+        return handle
+
+    def shutdown(self) -> None:
+        """Terminate every live worker (normal runs end with none alive)."""
+        for handle in self.handles.values():
+            handle.terminate()
+        self.handles.clear()

@@ -1,0 +1,85 @@
+"""Stable key-based shard routing.
+
+The runtime scales the pipeline out the way MillWheel/Flink-lineage
+systems do: records are routed by a key (the entity id) so all of one
+key's records land on the same shard, where per-key operator state
+(dedup, synopses tracks, per-entity detectors) lives unsplit.
+
+Routing must be a pure function of the key — the parent process, every
+worker, and every *restarted* worker have to agree on the assignment, and
+two runs of the same stream must shard identically regardless of
+``PYTHONHASHSEED``. :class:`ShardRouter` therefore routes with
+:func:`repro.hashing.stable_hash` (CRC-32), never builtin
+``hash()``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.hashing import stable_shard
+from repro.model.reports import PositionReport
+
+T = TypeVar("T")
+
+__all__ = ["ShardRouter", "entity_key"]
+
+
+def entity_key(report: PositionReport) -> str:
+    """The default routing key: the report's entity id."""
+    return report.entity_id
+
+
+class ShardRouter:
+    """Routes values onto ``n_shards`` buckets by a stable key hash.
+
+    Args:
+        n_shards: Number of shards (worker slots).
+        key_fn: Extracts the routing key from a value; defaults to
+            :func:`entity_key` for position reports.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        key_fn: Callable[[T], object] = entity_key,
+    ) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = n_shards
+        self.key_fn = key_fn
+
+    def shard_of_key(self, key: object) -> int:
+        """The shard a key routes to."""
+        return stable_shard(key, self.n_shards)
+
+    def route(self, value: T) -> int:
+        """The shard a value routes to (via its extracted key)."""
+        return self.shard_of_key(self.key_fn(value))
+
+    def partition(self, values: Iterable[T]) -> list[list[T]]:
+        """Split a stream into per-shard substreams, order-preserving.
+
+        Every value lands in exactly one substream; concatenating the
+        substreams re-yields every input value (the router is total), and
+        within a shard the original arrival order is preserved.
+        """
+        shards: list[list[T]] = [[] for __ in range(self.n_shards)]
+        for value in values:
+            shards[self.route(value)].append(value)
+        return shards
+
+    def reshard(self, n_shards: int) -> "ShardRouter":
+        """A router over a different shard count, same key function.
+
+        Elasticity hook: scaling a job to a new worker count builds the
+        resharded router; keys redistribute but the partition stays total
+        and deterministic.
+        """
+        return ShardRouter(n_shards, key_fn=self.key_fn)
+
+    def skew(self, values: Sequence[T]) -> float:
+        """Routing skew over a sample: max/mean records per shard."""
+        counts = [len(part) for part in self.partition(values)]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        return max(counts) / mean if mean > 0 else 1.0

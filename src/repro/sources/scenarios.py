@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.hashing import stable_hash
 from repro.geo.geodesy import destination_point
 from repro.geo.polygon import Polygon
 from repro.model.points import Domain
@@ -311,7 +312,7 @@ def rendezvous_scenario(seed: int = 13) -> ScriptedScenario:
             lons.append(lon)
             lats.append(lat)
         hold_until = t + 900.0
-        rng = np.random.default_rng(seed + hash(entity_id) % 100)
+        rng = np.random.default_rng(seed + stable_hash(entity_id) % 100)
         while t < hold_until:
             t += 10.0
             lon, lat = destination_point(lon, lat, float(rng.uniform(0, 360)), 1.5)

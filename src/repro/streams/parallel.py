@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+from repro.hashing import stable_shard
 from repro.streams.operators import Operator
 from repro.streams.records import Record
 
@@ -83,7 +84,11 @@ class ParallelKeyedRunner:
         self.tasks = [operator_factory() for __ in range(n_tasks)]
 
     def _route(self, value: Any) -> int:
-        return hash(self.key_fn(value)) % self.n_tasks
+        # Stable (PYTHONHASHSEED-independent) routing, shared with the
+        # real runtime's ShardRouter: the same key lands on the same task
+        # in every interpreter, so simulated and real shard assignments
+        # agree run-to-run.
+        return stable_shard(self.key_fn(value), self.n_tasks)
 
     def run(self, records: Iterable[Record]) -> tuple[list[Record], ParallelRunReport]:
         """Process all records; returns outputs and the cost report.

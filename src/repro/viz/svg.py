@@ -12,6 +12,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.hashing import stable_hash
 from repro.geo.bbox import BBox
 from repro.geo.grid import GeoGrid
 from repro.geo.polygon import Polygon
@@ -83,7 +84,11 @@ class SvgMap:
         if len(trajectory) == 0:
             return
         if color is None:
-            color = _TRAJECTORY_COLORS[hash(trajectory.entity_id) % len(_TRAJECTORY_COLORS)]
+            # Stable hash: the same entity draws the same color in every
+            # run and process (builtin hash() is salted per interpreter).
+            color = _TRAJECTORY_COLORS[
+                stable_hash(trajectory.entity_id) % len(_TRAJECTORY_COLORS)
+            ]
         points = " ".join(
             f"{x},{y}"
             for x, y in (

@@ -1,0 +1,27 @@
+"""Shared fixtures for the multi-process runtime suite."""
+
+import pytest
+
+from repro.core.pipeline import PipelineSpec
+from repro.sources.generators import MaritimeTrafficGenerator
+
+
+@pytest.fixture(scope="session")
+def runtime_sample():
+    return MaritimeTrafficGenerator(seed=77).generate(
+        n_vessels=8, max_duration_s=2400.0
+    )
+
+
+@pytest.fixture(scope="session")
+def runtime_reports(runtime_sample):
+    return sorted(runtime_sample.reports, key=lambda r: r.t)
+
+
+@pytest.fixture(scope="session")
+def runtime_spec(runtime_sample):
+    return PipelineSpec(
+        bbox=runtime_sample.world.bbox,
+        registry=runtime_sample.registry,
+        zones=tuple(runtime_sample.world.zones),
+    )

@@ -1,0 +1,184 @@
+"""Backpressure: bounded queues, admission control, shed accounting."""
+
+import queue as queue_mod
+
+import pytest
+
+from repro.runtime.backpressure import AdmissionConfig, AdmissionController
+from repro.runtime.supervisor import RuntimeConfig, Supervisor
+
+
+class TestAdmissionController:
+    def test_starts_wide_open(self):
+        controller = AdmissionController()
+        assert controller.admit_rate == 1.0
+        assert all(controller.admit() for __ in range(100))
+        assert controller.admitted == 100
+        assert controller.shed == 0
+
+    def test_pressure_lowers_rate(self):
+        controller = AdmissionController(AdmissionConfig(window=8))
+        for __ in range(8):
+            controller.observe_put(blocked=True)
+        assert controller.admit_rate < 1.0
+
+    def test_step_is_clamped(self):
+        config = AdmissionConfig(window=4, max_step=1.4)
+        controller = AdmissionController(config)
+        for __ in range(4):
+            controller.observe_put(blocked=True)
+        # One fully-blocked window can shrink the rate by at most 1/max_step.
+        assert controller.admit_rate == pytest.approx(1.0 / config.max_step)
+
+    def test_sustained_pressure_hits_floor_not_zero(self):
+        config = AdmissionConfig(window=4, min_admit_rate=0.05)
+        controller = AdmissionController(config)
+        for __ in range(400):
+            controller.observe_put(blocked=True)
+        assert controller.admit_rate == config.min_admit_rate
+        admitted = sum(controller.admit() for __ in range(2000))
+        # Degraded progress continues even under total overload.
+        assert admitted > 0
+
+    def test_recovers_when_pressure_clears(self):
+        config = AdmissionConfig(window=4)
+        controller = AdmissionController(config)
+        for __ in range(40):
+            controller.observe_put(blocked=True)
+        depressed = controller.admit_rate
+        assert depressed < 1.0
+        for __ in range(400):
+            controller.observe_put(blocked=False)
+        assert controller.admit_rate == 1.0
+        assert controller.admit_rate > depressed
+
+    def test_shedding_is_seeded(self):
+        def decisions(seed):
+            controller = AdmissionController(AdmissionConfig(window=4, seed=seed))
+            for __ in range(12):
+                controller.observe_put(blocked=True)
+            return [controller.admit() for __ in range(200)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_accounting_is_exact(self):
+        controller = AdmissionController(AdmissionConfig(window=4))
+        for __ in range(20):
+            controller.observe_put(blocked=True)
+        outcomes = [controller.admit() for __ in range(500)]
+        assert controller.admitted == sum(outcomes)
+        assert controller.shed == len(outcomes) - sum(outcomes)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(min_admit_rate=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_step=1.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(window=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(gain=-1.0)
+
+
+class TestBoundedQueues:
+    def test_input_queue_never_exceeds_capacity(self, runtime_spec, tmp_path):
+        """A stalled worker's queue fills to its bound, then puts block."""
+        from repro.runtime.pool import WorkerPool
+        from repro.runtime.worker import WorkerSpec
+
+        capacity = 2
+        pool = WorkerPool(queue_capacity=capacity)
+        spec = WorkerSpec(
+            shard_id=0,
+            pipeline=runtime_spec,
+            checkpoint_dir=str(tmp_path / "shard-000"),
+            service_time_s=30.0,  # effectively stalls after the first record
+        )
+        try:
+            handle = pool.spawn(spec)
+            kind, __, __ = handle.out_queue.get(timeout=30.0)
+            assert kind == "ready"
+            accepted = 0
+            saw_full = False
+            for __ in range(capacity + 5):
+                try:
+                    handle.in_queue.put([f"batch-{accepted}"], timeout=0.25)
+                    accepted += 1
+                except queue_mod.Full:
+                    saw_full = True
+                    break
+            assert saw_full, "bounded queue never reported Full"
+            # The bound: capacity in the queue plus at most one batch
+            # already pulled into the worker.
+            assert accepted <= capacity + 1
+        finally:
+            pool.shutdown()
+
+
+class TestAdaptiveShedding:
+    @pytest.fixture(scope="class")
+    def shed_run(self, runtime_spec, runtime_reports):
+        config = RuntimeConfig(
+            n_workers=2,
+            batch_size=8,
+            queue_capacity=2,
+            checkpoint_interval=10_000,
+            shed_policy="adaptive",
+            admission=AdmissionConfig(window=8, seed=11),
+            put_timeout_s=0.01,
+            service_time_s=0.004,  # slow downstream → queues fill → shed
+        )
+        supervisor = Supervisor(runtime_spec, config)
+        result = supervisor.run(runtime_reports)
+        return supervisor, result
+
+    def test_overloaded_run_sheds(self, shed_run):
+        __, result = shed_run
+        assert result.shed_total > 0
+        for shard in result.shards:
+            assert shard.final_admit_rate < 1.0
+
+    def test_shed_accounting_is_exact(self, shed_run, runtime_reports):
+        """Every routed record is either processed or counted as shed."""
+        __, result = shed_run
+        assert sum(s.records_routed for s in result.shards) == len(runtime_reports)
+        for shard in result.shards:
+            assert shard.result.reports_in == shard.records_routed - shard.shed
+        assert result.reports_in == len(runtime_reports) - result.shed_total
+
+    def test_shed_counts_land_in_obs(self, shed_run):
+        """Shedding is an explicit degraded mode: visible in the registry."""
+        supervisor, result = shed_run
+        snapshot = supervisor.metrics.as_dict()
+        for shard in result.shards:
+            name = f"runtime.shard{shard.shard_id}"
+            assert snapshot["counters"][f"{name}.shed"] == shard.shed
+            assert (
+                snapshot["counters"][f"{name}.admitted"]
+                == shard.records_routed - shard.shed
+            )
+            assert snapshot["gauges"][f"{name}.admit_rate"] == pytest.approx(
+                shard.final_admit_rate
+            )
+        assert result.metrics["counters"]["runtime.shard0.shed"] == result.shards[0].shed
+
+    def test_admit_rate_never_below_floor(self, shed_run):
+        config = AdmissionConfig()
+        __, result = shed_run
+        for shard in result.shards:
+            assert shard.final_admit_rate >= config.min_admit_rate
+
+    def test_block_policy_is_lossless(self, runtime_spec, runtime_reports):
+        """The default policy trades latency, never records."""
+        subset = runtime_reports[:300]
+        config = RuntimeConfig(
+            n_workers=2,
+            batch_size=16,
+            queue_capacity=1,
+            checkpoint_interval=10_000,
+            service_time_s=0.002,
+        )
+        result = Supervisor(runtime_spec, config).run(subset)
+        assert result.shed_total == 0
+        assert result.reports_in == len(subset)

@@ -1,0 +1,110 @@
+"""Multi-process runs vs the single-process pipeline, elasticity, spawn."""
+
+import pytest
+
+from repro.model.reports import PositionReport
+from repro.runtime import RuntimeConfig, Supervisor
+
+
+@pytest.fixture(scope="module")
+def single_process(runtime_spec, runtime_reports):
+    return runtime_spec.build().run(runtime_reports)
+
+
+@pytest.fixture(scope="module")
+def two_worker(runtime_spec, runtime_reports):
+    config = RuntimeConfig(n_workers=2, checkpoint_interval=500)
+    supervisor = Supervisor(runtime_spec, config)
+    return supervisor, supervisor.run(runtime_reports)
+
+
+class TestShardInvariantCounts:
+    """What sharding must preserve: per-record counts and losslessness.
+
+    Event counts are *not* compared across worker counts — event-time
+    clocks and cross-entity detectors are per-shard, so those streams
+    legitimately differ between n=1 and n=2 (see docs/runtime.md).
+    """
+
+    def test_every_record_processed_exactly_once(
+        self, single_process, two_worker, runtime_reports
+    ):
+        __, merged = two_worker
+        assert merged.reports_in == single_process.reports_in == len(runtime_reports)
+        assert merged.reports_clean == single_process.reports_clean
+        assert merged.reports_kept == single_process.reports_kept
+
+    def test_no_loss_no_restarts_in_a_calm_run(self, two_worker):
+        __, merged = two_worker
+        assert merged.dead_letter_count == 0
+        assert merged.shed_total == 0
+        assert merged.restarts_total == 0
+
+    def test_summary_shape(self, two_worker):
+        __, merged = two_worker
+        summary = merged.summary()
+        assert summary["n_workers"] == 2.0
+        assert summary["reports_in"] == float(merged.reports_in)
+        assert merged.as_dict()["kind"] == "runtime"
+
+    def test_repeat_run_is_byte_identical(self, runtime_spec, runtime_reports):
+        config = RuntimeConfig(n_workers=2, checkpoint_interval=500)
+        first = Supervisor(runtime_spec, config).run(runtime_reports)
+        second = Supervisor(runtime_spec, config).run(runtime_reports)
+        assert first.deterministic_bytes() == second.deterministic_bytes()
+        assert first.deterministic_digest() == second.deterministic_digest()
+
+
+class TestMergedObservability:
+    def test_aggregate_and_per_worker_namespaces(self, two_worker):
+        supervisor, merged = two_worker
+        counters = merged.metrics["counters"]
+        # Aggregate namespace: totals comparable with a 1-process run.
+        assert counters["cep.simple_events"] == len(merged.simple_events)
+        # Per-worker namespace via the same prefix-merge API.
+        per_worker = [
+            counters[f"worker{s.shard_id}.store.triples"] for s in merged.shards
+        ]
+        assert sum(per_worker) == counters["store.triples"]
+        assert merged.metrics["gauges"]["runtime.throughput_rps"] > 0
+
+    def test_supervisor_side_shard_counters(self, two_worker, runtime_reports):
+        supervisor, merged = two_worker
+        counters = supervisor.metrics.as_dict()["counters"]
+        routed = [
+            counters[f"runtime.shard{s.shard_id}.routed"] for s in merged.shards
+        ]
+        assert sum(routed) == len(runtime_reports)
+
+
+class TestElasticity:
+    def test_idle_shards_never_spawn(self, runtime_spec):
+        """A 2-entity stream on 8 shards costs at most 2 processes."""
+        reports = [
+            PositionReport(entity_id=eid, t=float(i * 10), lon=24.5, lat=37.5)
+            for i in range(40)
+            for eid in ("ONLY-A", "ONLY-B")
+        ]
+        config = RuntimeConfig(n_workers=8, checkpoint_interval=10_000)
+        supervisor = Supervisor(runtime_spec, config)
+        result = supervisor.run(reports)
+        occupied = {supervisor.router.shard_of_key(e) for e in ("ONLY-A", "ONLY-B")}
+        assert result.workers_spawned == len(occupied)
+        assert {s.shard_id for s in result.shards} == occupied
+        assert result.reports_in == len(reports)
+
+
+class TestSpawnStartMethod:
+    def test_spawn_workers_agree_with_default(
+        self, runtime_spec, runtime_reports, single_process
+    ):
+        """Everything ships by pickle: spawn (fresh interpreter) works."""
+        subset = runtime_reports[:400]
+        config = RuntimeConfig(
+            n_workers=1, checkpoint_interval=10_000, start_method="spawn"
+        )
+        result = Supervisor(runtime_spec, config).run(subset)
+        baseline = runtime_spec.build().run(subset)
+        assert result.reports_in == baseline.reports_in == 400
+        assert result.reports_clean == baseline.reports_clean
+        assert result.reports_kept == baseline.reports_kept
