@@ -1,0 +1,260 @@
+"""One-command benchmark runner with a standardized schema and a gate.
+
+Runs the micro-batch throughput arms (E2) and the multi-process runtime
+arms (E2b) and writes one ``BENCH_<experiment>.json`` per experiment in
+the shared ``bench.v1`` schema::
+
+    {
+      "schema": "bench.v1",
+      "experiment": "e2_micro_batch",
+      "workload": {"generator", "seed", "n_vessels", "max_duration_s", "records"},
+      "arms": [
+        {"name", "batch_size", "workers", "dispatch",
+         "records_per_s", "p50_ms", "p95_ms", "p99_ms", "wall_s"},
+        ...
+      ]
+    }
+
+``--check`` compares against a committed baseline
+(``benchmarks/baselines/BENCH_baseline.json`` by default) and fails on a
+>25% regression. Absolute records/s is machine-bound and noisy across
+hosts, so the gate is deliberately *scale-free*: it compares the
+batch-256 / batch-1 throughput **ratio** (the quantity the micro-batch
+path is supposed to deliver) against the baseline's ratio, plus the
+batch path against the same run's per-record path. Both arms of each
+ratio run on the same machine in the same job, so host speed cancels;
+each arm already reports the minimum of ``--repeats`` runs (noise floor
+convention). The absolute latency budgets stay with the dedicated
+``latency-slo`` CI job.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.run_all --quick
+    PYTHONPATH=src python -m benchmarks.run_all --quick --check
+    PYTHONPATH=src python -m benchmarks.run_all --quick --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from benchmarks.bench_e2_latency import emit_batch_table, measure_batch_arms
+from benchmarks.bench_e2b_runtime import (
+    DEFAULT_SERVICE_S,
+    check_invariants,
+    collect as collect_runtime,
+    make_workload,
+)
+from benchmarks.conftest import RESULTS_DIR
+from repro.sources.generators import MaritimeTrafficGenerator
+
+SCHEMA = "bench.v1"
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines", "BENCH_baseline.json")
+#: A current ratio may undershoot its baseline ratio by at most this much.
+REGRESSION_TOLERANCE = 0.25
+#: Batch sizes benched; 1 and 256 anchor the regression ratio.
+BATCH_SIZES = (1, 64, 256)
+
+
+def e2_workload(quick: bool):
+    params = {
+        "generator": "maritime",
+        "seed": 101,
+        "n_vessels": 6 if quick else 12,
+        "max_duration_s": 3600.0 if quick else 2 * 3600.0,
+    }
+    sample = MaritimeTrafficGenerator(seed=params["seed"]).generate(
+        n_vessels=params["n_vessels"], max_duration_s=params["max_duration_s"]
+    )
+    params["records"] = len(sample.reports)
+    return sample, params
+
+
+def run_e2_micro_batch(quick: bool, repeats: int) -> dict:
+    """The batch-size arms of E2, in the ``bench.v1`` shape."""
+    sample, workload = e2_workload(quick)
+    arms = measure_batch_arms(sample, batch_sizes=BATCH_SIZES, repeats=repeats)
+    emit_batch_table(arms)
+    if len({arm["deterministic_digest"] for arm in arms.values()}) != 1:
+        raise AssertionError("batch arms computed divergent results")
+    return {
+        "schema": SCHEMA,
+        "experiment": "e2_micro_batch",
+        "quick": quick,
+        "repeats": repeats,
+        "workload": workload,
+        "arms": [
+            {
+                "name": name,
+                "batch_size": arm["batch_size"],
+                "workers": 1,
+                "dispatch": "record" if arm["batch_size"] is None else "batch",
+                "records_per_s": arm["records_per_s"],
+                "p50_ms": arm["p50_ms"],
+                "p95_ms": arm["p95_ms"],
+                "p99_ms": arm["p99_ms"],
+                "wall_s": arm["wall_s"],
+            }
+            for name, arm in arms.items()
+        ],
+    }
+
+
+def run_e2b_runtime(quick: bool, out_dir: str) -> dict:
+    """The worker-count × dispatch arms of E2b, in the ``bench.v1`` shape."""
+    spec, reports = make_workload(smoke=quick)
+    worker_counts = (1, 2) if quick else (1, 2, 4)
+    report, rows = collect_runtime(
+        spec,
+        reports,
+        worker_counts,
+        DEFAULT_SERVICE_S,
+        out_dir=out_dir,
+        dispatch_modes=(True, False),
+    )
+    failures = check_invariants(rows)
+    if failures:
+        raise AssertionError("; ".join(failures))
+    arms = []
+    for key, arm in report["arms"].items():
+        workers, __, dispatch = str(key).partition("/")
+        summary = arm["summary"]
+        wall_s = arm["wall_s"]
+        arms.append(
+            {
+                "name": str(key),
+                "batch_size": None,
+                "workers": int(workers),
+                "dispatch": dispatch or "batch",
+                "records_per_s": summary["reports_in"] / wall_s if wall_s > 0 else 0.0,
+                # Per-stage latency lives in the worker registries; the
+                # runtime experiment measures wall/throughput only.
+                "p50_ms": None,
+                "p95_ms": None,
+                "p99_ms": None,
+                "wall_s": wall_s,
+                "speedup_vs_1": arm["speedup_vs_1"],
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "experiment": "e2b_runtime",
+        "quick": quick,
+        "workload": {
+            "generator": "maritime",
+            "seed": 101,
+            "n_vessels": 8 if quick else 16,
+            "max_duration_s": 1800.0 if quick else 3600.0,
+            "records": len(reports),
+            "service_time_s": DEFAULT_SERVICE_S,
+        },
+        "arms": arms,
+    }
+
+
+def _arm(report: dict, name: str) -> dict:
+    for arm in report["arms"]:
+        if arm["name"] == name:
+            return arm
+    raise KeyError(f"no arm {name!r} in {report['experiment']}")
+
+
+def batch_ratio(report: dict) -> float:
+    """Throughput(batch 256) / throughput(batch 1) — the gated quantity."""
+    return _arm(report, "batch256")["records_per_s"] / _arm(report, "batch1")["records_per_s"]
+
+
+def check_regression(current: dict, baseline: dict) -> list[str]:
+    """Scale-free regression gates; returns human-readable failures."""
+    failures = []
+    current_ratio = batch_ratio(current)
+    baseline_ratio = batch_ratio(baseline)
+    floor = baseline_ratio * (1.0 - REGRESSION_TOLERANCE)
+    if current_ratio < floor:
+        failures.append(
+            f"batch256/batch1 throughput ratio {current_ratio:.2f}x fell below "
+            f"{floor:.2f}x (baseline {baseline_ratio:.2f}x - {REGRESSION_TOLERANCE:.0%})"
+        )
+    # The batch path must also not regress against the per-record path
+    # measured in the *same* run (pure within-run comparison).
+    record_rps = _arm(current, "record")["records_per_s"]
+    batch_rps = _arm(current, "batch256")["records_per_s"]
+    if batch_rps < record_rps * (1.0 - REGRESSION_TOLERANCE):
+        failures.append(
+            f"batch256 ({batch_rps:.0f} rec/s) slower than the per-record "
+            f"path ({record_rps:.0f} rec/s) beyond the "
+            f"{REGRESSION_TOLERANCE:.0%} tolerance"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=0,
+        help="runs per arm, minimum reported (default: 2 quick, 3 full)",
+    )
+    parser.add_argument("--out-dir", default=RESULTS_DIR)
+    parser.add_argument(
+        "--skip-runtime",
+        action="store_true",
+        help="skip the multi-process E2b arms (fastest signal)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on >25%% ratio regression vs the committed baseline",
+    )
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="(re)write the baseline file from this run's measurements",
+    )
+    args = parser.parse_args()
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    reports = [run_e2_micro_batch(args.quick, repeats)]
+    if not args.skip_runtime:
+        reports.append(run_e2b_runtime(args.quick, args.out_dir))
+
+    for report in reports:
+        path = os.path.join(args.out_dir, f"BENCH_{report['experiment']}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {path}")
+
+    micro = reports[0]
+    print(f"\nbatch256 vs batch1 throughput: {batch_ratio(micro):.2f}x")
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(micro, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {args.baseline}")
+
+    if args.check:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_regression(micro, baseline)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}")
+            return 1
+        print(
+            f"regression gate OK (baseline ratio {batch_ratio(baseline):.2f}x, "
+            f"tolerance {REGRESSION_TOLERANCE:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,14 +11,27 @@ per episode, not one per report.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass
 
-from repro.geo.bbox import BBox
+import numpy as np
+
 from repro.geo.cpa import cpa_tcpa
-from repro.geo.geodesy import haversine_m
+from repro.geo.geodesy import haversine_m, haversine_m_arrays
 from repro.geo.polygon import Polygon
 from repro.model.events import ComplexEvent, EventSeverity, SimpleEvent
 from repro.model.reports import PositionReport
+
+#: Below this many live candidates the scalar distance loop beats the
+#: numpy round-trip; at or above it, distances are computed in one
+#: vectorised kernel call.
+_VECTOR_MIN_CANDIDATES = 16
+
+#: Conservative metres per degree of latitude. Great-circle distance is
+#: bounded below by the meridian arc, ``EARTH_RADIUS_M * |Δlat_rad|`` ≈
+#: ``111194.93 m/deg``; using a floor a little under that keeps the
+#: bound strict through floating-point rounding, so a pair rejected on
+#: latitude separation alone is provably outside any radius the exact
+#: haversine would have admitted.
+_METERS_PER_DEG_LAT_FLOOR = 111194.0
 
 
 def _pair_key(a: str, b: str) -> tuple[str, str]:
@@ -66,23 +79,41 @@ class CollisionRiskDetector:
         """Feed one report; returns any collision-risk events raised."""
         events: list[ComplexEvent] = []
         if report.speed is not None and report.heading is not None:
-            for other_id, other in self._latest.items():
-                if other_id == report.entity_id:
-                    continue
-                if report.t - other.t > self.staleness_s:
-                    continue
-                if other.speed is None or other.heading is None:
-                    continue
-                if (
-                    haversine_m(report.lon, report.lat, other.lon, other.lat)
-                    > self.candidate_radius_m
-                ):
-                    continue
+            for other in self._candidates(report):
                 event = self._check_pair(report, other)
                 if event is not None:
                     events.append(event)
         self._latest[report.entity_id] = report
         return events
+
+    def _candidates(self, report: PositionReport) -> list[PositionReport]:
+        """Fresh, kinematics-bearing entities within the candidate radius.
+
+        Preserves insertion (= first-seen) order. With enough live
+        entities the distance prefilter runs through the vectorised
+        haversine kernel in one call instead of one scalar call per
+        entity.
+        """
+        radius = self.candidate_radius_m
+        others = [
+            other
+            for other_id, other in self._latest.items()
+            if other_id != report.entity_id
+            and report.t - other.t <= self.staleness_s
+            and other.speed is not None
+            and other.heading is not None
+            and abs(report.lat - other.lat) * _METERS_PER_DEG_LAT_FLOOR <= radius
+        ]
+        if len(others) >= _VECTOR_MIN_CANDIDATES:
+            lons = np.fromiter((o.lon for o in others), dtype=np.float64, count=len(others))
+            lats = np.fromiter((o.lat for o in others), dtype=np.float64, count=len(others))
+            distances = haversine_m_arrays(report.lon, report.lat, lons, lats)
+            return [o for o, d in zip(others, distances) if d <= self.candidate_radius_m]
+        return [
+            o
+            for o in others
+            if haversine_m(report.lon, report.lat, o.lon, o.lat) <= self.candidate_radius_m
+        ]
 
     def _check_pair(
         self, report: PositionReport, other: PositionReport
@@ -201,6 +232,81 @@ class RendezvousDetector:
         return out
 
 
+def _push_min(dq: deque[tuple[int, float]], idx: int, value: float) -> None:
+    while dq and dq[-1][1] >= value:
+        dq.pop()
+    dq.append((idx, value))
+
+
+def _push_max(dq: deque[tuple[int, float]], idx: int, value: float) -> None:
+    while dq and dq[-1][1] <= value:
+        dq.pop()
+    dq.append((idx, value))
+
+
+class _LoiterWindow:
+    """Sliding position window with O(1)-amortized extrema and path length.
+
+    The naive loitering check rescans the whole window per report —
+    ``BBox.from_points`` over every position plus a fresh haversine per
+    consecutive pair — which profiling showed dominating detector time.
+    This keeps, alongside the report deque, a deque of consecutive
+    segment distances (computed once, at append) and four monotonic
+    ``(index, value)`` deques tracking the window min/max of lon/lat.
+
+    The extrema are the exact same floats a min/max rescan would produce,
+    and :meth:`travelled` folds the same per-segment haversine values in
+    the same left-to-right order as the original ``sum`` over pairs — so
+    the fast path is bit-identical to the rescan it replaces.
+    """
+
+    __slots__ = ("reports", "_segs", "_lon_min", "_lon_max", "_lat_min", "_lat_max", "_start", "_next")
+
+    def __init__(self) -> None:
+        self.reports: deque[PositionReport] = deque()
+        self._segs: deque[float] = deque()
+        self._lon_min: deque[tuple[int, float]] = deque()
+        self._lon_max: deque[tuple[int, float]] = deque()
+        self._lat_min: deque[tuple[int, float]] = deque()
+        self._lat_max: deque[tuple[int, float]] = deque()
+        self._start = 0
+        self._next = 0
+
+    def append(self, report: PositionReport) -> None:
+        if self.reports:
+            prev = self.reports[-1]
+            self._segs.append(haversine_m(prev.lon, prev.lat, report.lon, report.lat))
+        idx = self._next
+        self._next = idx + 1
+        self.reports.append(report)
+        _push_min(self._lon_min, idx, report.lon)
+        _push_max(self._lon_max, idx, report.lon)
+        _push_min(self._lat_min, idx, report.lat)
+        _push_max(self._lat_max, idx, report.lat)
+
+    def popleft(self) -> None:
+        self.reports.popleft()
+        if self._segs:
+            self._segs.popleft()
+        self._start += 1
+        for dq in (self._lon_min, self._lon_max, self._lat_min, self._lat_max):
+            if dq and dq[0][0] < self._start:
+                dq.popleft()
+
+    def bounds(self) -> tuple[float, float, float, float]:
+        """``(min_lon, min_lat, max_lon, max_lat)`` of the window."""
+        return (
+            self._lon_min[0][1],
+            self._lat_min[0][1],
+            self._lon_max[0][1],
+            self._lat_max[0][1],
+        )
+
+    def travelled(self) -> float:
+        """Total along-track distance, left-to-right over the segments."""
+        return sum(self._segs)
+
+
 class LoiteringDetector:
     """An entity dwelling slowly inside a small area for a long time.
 
@@ -221,15 +327,16 @@ class LoiteringDetector:
         self.min_duration_s = min_duration_s
         self.max_speed_mps = max_speed_mps
         self.refractory_s = refractory_s
-        self._window: dict[str, deque[PositionReport]] = defaultdict(deque)
+        self._window: dict[str, _LoiterWindow] = defaultdict(_LoiterWindow)
         self._last_alert: dict[str, float] = {}
 
     def process(self, report: PositionReport) -> list[ComplexEvent]:
         """Feed one report; returns any loitering events raised."""
-        window = self._window[report.entity_id]
-        window.append(report)
+        state = self._window[report.entity_id]
+        state.append(report)
+        window = state.reports
         while window and report.t - window[0].t > self.min_duration_s:
-            window.popleft()
+            state.popleft()
         if not window or window[-1].t - window[0].t < self.min_duration_s * 0.95:
             return []
 
@@ -237,15 +344,12 @@ class LoiteringDetector:
         if last is not None and report.t - last < self.refractory_s:
             return []
 
-        box = BBox.from_points((r.lon, r.lat) for r in window)
-        diagonal = haversine_m(box.min_lon, box.min_lat, box.max_lon, box.max_lat)
+        min_lon, min_lat, max_lon, max_lat = state.bounds()
+        diagonal = haversine_m(min_lon, min_lat, max_lon, max_lat)
         if diagonal > 2.0 * self.radius_m:
             return []
         duration = window[-1].t - window[0].t
-        travelled = sum(
-            haversine_m(a.lon, a.lat, b.lon, b.lat)
-            for a, b in zip(window, list(window)[1:])
-        )
+        travelled = state.travelled()
         if duration <= 0 or travelled / duration > self.max_speed_mps:
             return []
 

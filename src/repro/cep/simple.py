@@ -23,13 +23,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.geo.geodesy import haversine_m
+import numpy as np
+
+from repro.geo.geodesy import haversine_m, haversine_m_arrays
 from repro.geo.grid import GeoGrid, GridIndex
 from repro.geo.polygon import Polygon
+from repro.geo.zone_index import ZoneIndex
 from repro.model.entities import EntityRegistry
 from repro.model.events import EventSeverity, SimpleEvent
 from repro.model.reports import PositionReport
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: Below this many proximity candidates the scalar loop beats the numpy
+#: round-trip; at or above it, distances come from one vectorised call.
+_VECTOR_MIN_CANDIDATES = 16
+
+#: Conservative metres per degree of latitude (strict lower bound on
+#: great-circle distance via the meridian arc — see
+#: :data:`repro.cep.detectors._METERS_PER_DEG_LAT_FLOOR`).
+_METERS_PER_DEG_LAT_FLOOR = 111194.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,6 +94,7 @@ class SimpleEventExtractor:
         registry: EntityRegistry | None = None,
         grid: GeoGrid | None = None,
         metrics: "MetricsRegistry | None" = None,
+        zone_index: ZoneIndex | None = None,
     ) -> None:
         self.config = config or SimpleEventConfig()
         self.zones = list(zones)
@@ -93,6 +106,10 @@ class SimpleEventExtractor:
         # Latest position per entity for proximity checks.
         self._latest: dict[str, PositionReport] = {}
         self._grid = grid
+        if zone_index is not None and len(zone_index) != len(self.zones):
+            raise ValueError("zone_index must index exactly the extractor's zones")
+        self._zone_index = zone_index
+        self._zone_pos = {zone.name: i for i, zone in enumerate(self.zones)}
 
     def process(self, report: PositionReport) -> list[SimpleEvent]:
         """Derive the simple events triggered by one report."""
@@ -196,7 +213,25 @@ class SimpleEventExtractor:
     def _zone_events(
         self, report: PositionReport, state: _EntityState, events: list[SimpleEvent]
     ) -> None:
-        for zone in self.zones:
+        zones: Iterable[Polygon] = self.zones
+        index = self._zone_index
+        if index is not None:
+            # Prefiltered scan: exact-test only zones whose bbox cells
+            # cover the point, plus zones the entity is currently inside
+            # (an exit must still be noticed). A zone in neither group is
+            # provably not containing the point and not in state.zones,
+            # so skipping it emits nothing and mutates nothing — identical
+            # to the full scan. Sorted indices preserve zone order.
+            candidate = index.candidate_indices(report.lon, report.lat)
+            if state.zones:
+                pos = self._zone_pos
+                indices = sorted(
+                    set(candidate).union(pos[name] for name in state.zones)
+                )
+            else:
+                indices = list(candidate)
+            zones = (self.zones[i] for i in indices)
+        for zone in zones:
             inside = zone.contains(report.lon, report.lat)
             was_inside = zone.name in state.zones
             if inside and not was_inside:
@@ -212,22 +247,42 @@ class SimpleEventExtractor:
 
     def _proximity_events(self, report: PositionReport, events: list[SimpleEvent]) -> None:
         radius = self.config.proximity_radius_m
-        for other_id, other in self._candidates(report):
-            if other_id == report.entity_id:
-                continue
-            if report.t - other.t > self.config.proximity_staleness_s:
-                continue
-            distance = haversine_m(report.lon, report.lat, other.lon, other.lat)
-            if distance <= radius:
-                events.append(
-                    self._event(
-                        "proximity",
-                        report,
-                        severity=EventSeverity.ADVISORY,
-                        other=other_id,
-                        distance_m=distance,
-                    )
+        fresh = [
+            (other_id, other)
+            for other_id, other in self._candidates(report)
+            if other_id != report.entity_id
+            and report.t - other.t <= self.config.proximity_staleness_s
+            and abs(report.lat - other.lat) * _METERS_PER_DEG_LAT_FLOOR <= radius
+        ]
+        if len(fresh) >= _VECTOR_MIN_CANDIDATES:
+            n = len(fresh)
+            lons = np.fromiter((o.lon for __, o in fresh), dtype=np.float64, count=n)
+            lats = np.fromiter((o.lat for __, o in fresh), dtype=np.float64, count=n)
+            distances = haversine_m_arrays(report.lon, report.lat, lons, lats)
+            hits = [
+                (other_id, float(d))
+                for (other_id, __), d in zip(fresh, distances)
+                if d <= radius
+            ]
+        else:
+            hits = [
+                (other_id, distance)
+                for other_id, other in fresh
+                if (
+                    distance := haversine_m(report.lon, report.lat, other.lon, other.lat)
                 )
+                <= radius
+            ]
+        for other_id, distance in hits:
+            events.append(
+                self._event(
+                    "proximity",
+                    report,
+                    severity=EventSeverity.ADVISORY,
+                    other=other_id,
+                    distance_m=distance,
+                )
+            )
 
     def _candidates(self, report: PositionReport) -> list[tuple[str, PositionReport]]:
         """Entities that could be within the proximity radius.

@@ -19,11 +19,13 @@ store/query layer for follow-up analysis.
 from __future__ import annotations
 
 import copy
+import hashlib
 import itertools
+import json
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.cep.detectors import (
     CapacityDemandDetector,
@@ -36,6 +38,8 @@ from repro.core.config import PipelineConfig
 from repro.geo.bbox import BBox
 from repro.geo.grid import GeoGrid
 from repro.geo.polygon import Polygon
+from repro.geo.zone_index import PREFILTER_MIN_ZONES, ZoneIndex
+from repro.hashing import stable_hash
 from repro.insitu.filters import DeduplicateFilter, PlausibilityFilter
 from repro.insitu.synopses import SynopsesGenerator
 from repro.model.entities import EntityRegistry
@@ -63,6 +67,20 @@ T = TypeVar("T")
 
 class _DeadLettered(Exception):
     """Internal control flow: the current report exhausted its retries."""
+
+
+def _iter_batches(
+    reports: Iterable[PositionReport], batch_size: int
+) -> Iterator[list[PositionReport]]:
+    """Slice a stream into order-preserving batches of up to ``batch_size``."""
+    batch: list[PositionReport] = []
+    for report in reports:
+        batch.append(report)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 @dataclass
@@ -158,6 +176,48 @@ class PipelineResult:
         benchmarks and tests read one format across tiers.
         """
         return {"kind": "pipeline", "summary": self.summary(), "metrics": self.metrics}
+
+    def deterministic_payload(self) -> dict:
+        """Everything the run's content determines, nothing timing does.
+
+        The batch/per-record differential oracle: wall-clock, latency and
+        backoff values are excluded by construction; counts, the full
+        event streams and the dead-letter ledger are included. Dead
+        letters are sorted (stage-major and record-major execution park
+        them in different orders; the *set* is identical), and
+        ``simulated_backoff_s`` is deliberately absent — the two paths sum
+        the same per-retry delays in different order, which floating-point
+        addition does not preserve bit-for-bit.
+        """
+        return {
+            "reports_in": self.reports_in,
+            "reports_clean": self.reports_clean,
+            "reports_kept": self.reports_kept,
+            "triples_stored": self.triples_stored,
+            "records_recovered": self.records_recovered,
+            "stage_failures": dict(sorted(self.stage_failures.items())),
+            "stage_retries": dict(sorted(self.stage_retries.items())),
+            "simple_events": [
+                [e.event_type, e.entity_id, e.t] for e in self.simple_events
+            ],
+            "complex_events": [
+                [e.event_type, list(e.entity_ids), e.t_start, e.t_end]
+                for e in self.complex_events
+            ],
+            "dead_letters": sorted(
+                [d.stage, d.event_time, d.attempts] for d in self.dead_letters
+            ),
+        }
+
+    def deterministic_bytes(self) -> bytes:
+        """Canonical JSON encoding of :meth:`deterministic_payload`."""
+        return json.dumps(
+            self.deterministic_payload(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    def deterministic_digest(self) -> str:
+        """SHA-256 of :meth:`deterministic_bytes`."""
+        return hashlib.sha256(self.deterministic_bytes()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -263,13 +323,19 @@ class MobilityPipeline:
             for zone in self.zones:
                 self.store.add_document(self.transformer.zone_to_triples(zone))
 
-        # Analytics layer.
+        # Analytics layer. With enough zones, one grid-prefiltered
+        # containment index is shared by the simple-event extractor and
+        # _interlink — both used to linearly scan every polygon per record.
+        self._zone_index = (
+            ZoneIndex(self.zones) if len(self.zones) >= PREFILTER_MIN_ZONES else None
+        )
         self._extractor = SimpleEventExtractor(
             config=self.config.simple_events,
             zones=self.zones,
             registry=self.registry,
             grid=None,
             metrics=self.metrics,
+            zone_index=self._zone_index,
         )
         self._collision = CollisionRiskDetector(
             cpa_threshold_m=self.config.collision_cpa_m,
@@ -335,7 +401,13 @@ class MobilityPipeline:
             )
         else:
             self._injector = None
-        self._retry_rng = random.Random(chaos.seed + 1) if chaos is not None else None
+        # One backoff-jitter RNG per stage (lazily seeded, stable hash of
+        # (seed, stage)): the i-th retry of a given stage draws the same
+        # jitter no matter how other stages' retries interleave, which
+        # keeps record-major and stage-major (micro-batch) execution on
+        # identical draw sequences — same reason the fault injector keeps
+        # per-stage streams.
+        self._retry_rngs: dict[str, random.Random] = {}
         self._record_faulted = False
 
     def _build_partitioner(self):
@@ -388,11 +460,276 @@ class MobilityPipeline:
                 self._flush_latency()
         return new_complex
 
+    def process_batch(self, reports: Sequence[PositionReport]) -> list[ComplexEvent]:
+        """Push a micro-batch through the pipeline, stage-sliced.
+
+        Instead of running all five stages per record, the whole batch is
+        cleaned, then synopsized, then transformed/stored (one bulk
+        :meth:`ParallelRDFStore.add_documents` call), then run through
+        simple-event extraction and the detectors. Per-record span and
+        timing overhead collapses to per-batch: one clock read per stage,
+        one amortized per-record histogram sample per stage per batch.
+
+        Equivalence contract (enforced by the differential suite): the
+        result's :meth:`PipelineResult.deterministic_bytes` — counts,
+        event streams, dead letters, fault/retry accounting — is
+        byte-identical to feeding the same records one at a time through
+        :meth:`process_report`, for any batch size, with or without a
+        chaos config. Store *content* (decoded triples) is identical too;
+        only dictionary ids differ, because the batch path lands event
+        documents after all report documents instead of interleaved.
+        Under chaos, stage bodies run per record (stage-major order) so
+        the per-stage fault and backoff RNG streams line up with the
+        per-record path; without chaos, cleaning runs through the
+        vectorised :meth:`PlausibilityFilter.accept_batch`.
+
+        Returns the new complex events, in the same order the per-record
+        path would emit them.
+        """
+        batch = list(reports)
+        n = len(batch)
+        if n == 0:
+            return []
+        result = self._result
+        obs = self._obs
+        chaos = self._chaos
+        base = result.reports_in
+        result.reports_in += n
+
+        batch_span = NULL_SPAN
+        if obs:
+            every = self._trace_every
+            # Trace the batch when the per-record path would have traced
+            # one of its records: a multiple of trace_every_n in [base, base+n).
+            if every > 0 and ((base + every - 1) // every) * every < base + n:
+                batch_span = self.metrics.span("pipeline.batch", records=n)
+            self._trace_this_record = False
+            pc = time.perf_counter
+            buf = self._lat_buf
+            t_batch = pc()
+            t_prev = t_batch
+
+        # dead[i]: record i exhausted a retry budget somewhere (chaos only);
+        # faulted[i]: record i failed transiently at least once.
+        dead = [False] * n
+        faulted = [False] * n
+
+        with batch_span:
+            # -- clean: dedup + plausibility over the whole batch ------------
+            if chaos is None:
+                survivors = [i for i in range(n) if self._dedup.accept(batch[i])]
+                flags = self._plausibility.accept_batch([batch[i] for i in survivors])
+                active = [i for i, ok in zip(survivors, flags) if ok]
+            else:
+                active = []
+                for i in range(n):
+                    report = batch[i]
+                    self._record_faulted = False
+                    try:
+                        ok = self._stage_call(
+                            "clean",
+                            report,
+                            lambda r=report: self._dedup.accept(r)
+                            and self._plausibility.accept(r),
+                        )
+                    except _DeadLettered:
+                        dead[i] = True
+                        continue
+                    if self._record_faulted:
+                        faulted[i] = True
+                    if ok:
+                        active.append(i)
+            result.reports_clean += len(active)
+            if obs:
+                t_now = pc()
+                buf["clean"].append((t_now - t_prev) / n)
+                t_prev = t_now
+
+            # -- synopses ----------------------------------------------------
+            stage_n = len(active)
+            decisions: list[tuple[int, tuple[Any, bool]]] = []
+            if chaos is None:
+                decisions = list(
+                    zip(active, self._synopses.process_batch([batch[i] for i in active]))
+                )
+            else:
+                for i in active:
+                    report = batch[i]
+                    self._record_faulted = False
+                    try:
+                        pair = self._stage_call(
+                            "synopses", report, lambda r=report: self._synopses.process(r)
+                        )
+                    except _DeadLettered:
+                        dead[i] = True
+                        continue
+                    if self._record_faulted:
+                        faulted[i] = True
+                    decisions.append((i, pair))
+            for __, (__a, keep) in decisions:
+                if keep:
+                    result.reports_kept += 1
+            if obs:
+                t_now = pc()
+                if stage_n:
+                    buf["synopses"].append((t_now - t_prev) / stage_n)
+                t_prev = t_now
+
+            # -- rdf: transform + bulk store ---------------------------------
+            stage_n = 0
+            if self.config.persist_rdf:
+                raw = self.config.persist_raw_reports
+                interlink = self.config.interlink
+                if chaos is None:
+                    docs: list[list] = []
+                    for i, (annotated, keep) in decisions:
+                        report = batch[i]
+                        if keep:
+                            triples = self.transformer.report_to_triples(annotated)
+                            if interlink:
+                                triples.extend(
+                                    self._interlink(report, triples[0].s, doc_sink=docs)
+                                )
+                        elif raw:
+                            triples = self.transformer.report_to_triples(report)
+                        else:
+                            continue
+                        docs.append(triples)
+                        result.triples_stored += len(triples)
+                        stage_n += 1
+                    if docs:
+                        self.store.add_documents(docs)
+                else:
+                    still: list[tuple[int, tuple[Any, bool]]] = []
+                    for i, (annotated, keep) in decisions:
+                        report = batch[i]
+                        if not keep and not raw:
+                            still.append((i, (annotated, keep)))
+                            continue
+                        self._record_faulted = False
+                        try:
+                            if keep:
+                                added = self._stage_call(
+                                    "rdf",
+                                    report,
+                                    lambda a=annotated, r=report: self._store_report_doc(
+                                        a, r, interlink=interlink
+                                    ),
+                                )
+                            else:
+                                added = self._stage_call(
+                                    "rdf",
+                                    report,
+                                    lambda r=report: self._store_report_doc(
+                                        r, r, interlink=False
+                                    ),
+                                )
+                        except _DeadLettered:
+                            dead[i] = True
+                            continue
+                        if self._record_faulted:
+                            faulted[i] = True
+                        result.triples_stored += added
+                        stage_n += 1
+                        still.append((i, (annotated, keep)))
+                    decisions = still
+                if obs:
+                    t_now = pc()
+                    if stage_n:
+                        buf["rdf"].append((t_now - t_prev) / stage_n)
+                    t_prev = t_now
+
+            # -- simple events -----------------------------------------------
+            stage_n = len(decisions)
+            per_record_events: list[tuple[int, list[SimpleEvent]]] = []
+            if chaos is None:
+                for i, __pair in decisions:
+                    events = self._extractor.process(batch[i])
+                    result.simple_events.extend(events)
+                    per_record_events.append((i, events))
+            else:
+                for i, __pair in decisions:
+                    report = batch[i]
+                    self._record_faulted = False
+                    try:
+                        events = self._stage_call(
+                            "events", report, lambda r=report: self._extractor.process(r)
+                        )
+                    except _DeadLettered:
+                        dead[i] = True
+                        continue
+                    if self._record_faulted:
+                        faulted[i] = True
+                    result.simple_events.extend(events)
+                    per_record_events.append((i, events))
+            if obs:
+                t_now = pc()
+                if stage_n:
+                    buf["events"].append((t_now - t_prev) / stage_n)
+                t_prev = t_now
+
+            # -- detectors + bulk event persistence --------------------------
+            stage_n = len(per_record_events)
+            out: list[ComplexEvent] = []
+            event_docs: list[list] = []
+            persist = self.config.persist_rdf
+            for i, simple_events in per_record_events:
+                report = batch[i]
+                if chaos is None:
+                    new_complex = self._run_detectors(report, simple_events)
+                else:
+                    self._record_faulted = False
+                    try:
+                        new_complex = self._stage_call(
+                            "detectors",
+                            report,
+                            lambda r=report, e=simple_events: self._run_detectors(r, e),
+                        )
+                    except _DeadLettered:
+                        dead[i] = True
+                        continue
+                    if self._record_faulted:
+                        faulted[i] = True
+                # Complex-event persistence sits outside the fault scope on
+                # the per-record path too, so bulk-landing the documents
+                # after the loop is safe under chaos as well.
+                for event in new_complex:
+                    result.complex_events.append(event)
+                    if persist:
+                        triples = self.transformer.event_to_triples(event)
+                        event_docs.append(triples)
+                        result.triples_stored += len(triples)
+                out.extend(new_complex)
+            if event_docs:
+                self.store.add_documents(event_docs)
+
+        if chaos is not None:
+            for i in range(n):
+                if faulted[i] and not dead[i]:
+                    result.records_recovered += 1
+        if obs:
+            t_now = pc()
+            if stage_n:
+                buf["detectors"].append((t_now - t_prev) / stage_n)
+            buf["end_to_end"].append((t_now - t_batch) / n)
+            if (base // 4096) != (result.reports_in // 4096):
+                self._flush_latency()
+        return out
+
     def _span(self, name: str, records: int = 0):
         """A child span when the current record is being traced, else a no-op."""
         if self._trace_this_record:
             return self.metrics.span(name, records=records)
         return NULL_SPAN
+
+    def _retry_rng_for(self, stage: str) -> random.Random:
+        """The per-stage backoff-jitter RNG stream (lazily created)."""
+        rng = self._retry_rngs.get(stage)
+        if rng is None:
+            seed = self._chaos.seed if self._chaos is not None else 0
+            rng = random.Random(stable_hash((seed, "retry", stage)))
+            self._retry_rngs[stage] = rng
+        return rng
 
     def _stage_call(self, stage: str, report: PositionReport, fn: Callable[[], T]) -> T:
         """Run one stage body under the chaos retry policy.
@@ -428,7 +765,9 @@ class MobilityPipeline:
                     )
                     self.metrics.counter(f"pipeline.{stage}.dead_letters").inc()
                     raise _DeadLettered(stage) from exc
-                result.simulated_backoff_s += policy.backoff_s(attempt, self._retry_rng)
+                result.simulated_backoff_s += policy.backoff_s(
+                    attempt, self._retry_rng_for(stage)
+                )
                 result.stage_retries[stage] = result.stage_retries.get(stage, 0) + 1
                 self.metrics.counter(f"pipeline.{stage}.retries").inc()
                 attempt += 1
@@ -561,23 +900,43 @@ class MobilityPipeline:
             self.metrics.counter("cep.complex_events").inc(len(new_complex))
         return new_complex
 
-    def _interlink(self, report: PositionReport, node) -> list:
-        """Online integration: zone containment + weather enrichment links."""
+    def _interlink(
+        self, report: PositionReport, node, doc_sink: list | None = None
+    ) -> list:
+        """Online integration: zone containment + weather enrichment links.
+
+        Containment goes through the shared :class:`ZoneIndex` when one
+        was built (same containing zones, same order, without the linear
+        polygon scan). ``doc_sink`` is the micro-batch hook: when given,
+        a newly seen weather cell's document is appended there (for one
+        bulk insert at stage end) instead of being stored immediately;
+        the accounting is identical either way.
+        """
         from repro.rdf import vocabulary as V
         from repro.rdf.terms import Triple
         from repro.rdf.transform import weather_iri, zone_iri
 
         links = []
-        for zone in self.zones:
-            if zone.contains(report.lon, report.lat):
-                links.append(Triple(node, V.PROP_WITHIN_ZONE, zone_iri(zone.name)))
+        if self._zone_index is not None:
+            containing: Iterable[Polygon] = self._zone_index.containing(
+                report.lon, report.lat
+            )
+        else:
+            containing = (
+                z for z in self.zones if z.contains(report.lon, report.lat)
+            )
+        for zone in containing:
+            links.append(Triple(node, V.PROP_WITHIN_ZONE, zone_iri(zone.name)))
         if self.weather is not None:
             cell = self.weather.observation_at(report.lon, report.lat, report.t)
             cell_key = (cell.cell_id, cell.t_start)
             if cell_key not in self._stored_weather_cells:
                 self._stored_weather_cells.add(cell_key)
                 weather_doc = self.transformer.weather_to_triples(cell)
-                self.store.add_document(weather_doc)
+                if doc_sink is None:
+                    self.store.add_document(weather_doc)
+                else:
+                    doc_sink.append(weather_doc)
                 self._result.triples_stored += len(weather_doc)
             links.append(
                 Triple(node, V.PROP_HAS_WEATHER, weather_iri(cell.cell_id, cell.t_start))
@@ -589,6 +948,22 @@ class MobilityPipeline:
         run_started = time.perf_counter()
         for report in reports:
             self.process_report(report)
+        return self._finalize(run_started)
+
+    def run_batched(
+        self, reports: Iterable[PositionReport], batch_size: int = 256
+    ) -> PipelineResult:
+        """Like :meth:`run`, pushing micro-batches through :meth:`process_batch`.
+
+        Content-equivalent to :meth:`run` for any ``batch_size`` (see the
+        :meth:`process_batch` contract); the batch size only trades
+        per-record overhead against buffering.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        run_started = time.perf_counter()
+        for batch in _iter_batches(reports, batch_size):
+            self.process_batch(batch)
         return self._finalize(run_started)
 
     def _finalize(self, run_started: float) -> PipelineResult:
@@ -649,7 +1024,7 @@ class MobilityPipeline:
         "_end_to_end",
         "_result",
         "_injector",
-        "_retry_rng",
+        "_retry_rngs",
     )
 
     def snapshot(self) -> dict[str, Any]:
@@ -722,18 +1097,60 @@ class MobilityPipeline:
                 )
         return self._finalize(run_started)
 
+    def run_batches_with_checkpoints(
+        self,
+        batches: Iterable[Sequence[PositionReport]],
+        checkpoint_store: CheckpointStore,
+        checkpoint_interval: int,
+        start_offset: int = 0,
+    ) -> PipelineResult:
+        """Micro-batch counterpart of :meth:`run_with_checkpoints`.
+
+        A checkpoint is taken at the first batch boundary at or past each
+        multiple of ``checkpoint_interval`` (batches are not split), with
+        the checkpoint's ``source_offset`` recording the exact record
+        offset reached. A resume re-batches the stream suffix from that
+        offset — safe because :meth:`process_batch` results are invariant
+        to how the stream is sliced into batches.
+        """
+        if checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be positive")
+        run_started = time.perf_counter()
+        offset = start_offset
+        boundary = offset // checkpoint_interval
+        for batch in batches:
+            batch = list(batch)
+            if not batch:
+                continue
+            self.process_batch(batch)
+            offset += len(batch)
+            if offset // checkpoint_interval > boundary:
+                boundary = offset // checkpoint_interval
+                checkpoint_store.save(
+                    Checkpoint(
+                        checkpoint_id=checkpoint_store.next_id(),
+                        source_offset=offset,
+                        states=self.snapshot(),
+                    )
+                )
+        return self._finalize(run_started)
+
     def resume_from_checkpoint(
         self,
         checkpoint_store: CheckpointStore,
         reports: "ReplayLog[PositionReport] | Sequence[PositionReport]",
         checkpoint_interval: int | None = None,
+        batch_size: int | None = None,
     ) -> PipelineResult:
         """Recover from the latest checkpoint and replay the source suffix.
 
         ``reports`` must be the same full source the crashed run consumed
         (ideally a :class:`ReplayLog`); the prefix up to the checkpoint's
         offset is skipped, which deduplicates replayed records. Pass
-        ``checkpoint_interval`` to keep checkpointing during the replay.
+        ``checkpoint_interval`` to keep checkpointing during the replay,
+        and ``batch_size`` to replay through the micro-batch path (the
+        suffix is re-batched from the checkpoint offset — batch-slicing
+        invariance makes the result independent of where the crash fell).
         The returned result's counts match an uninterrupted run (wall-time
         and latency *values* cover only the resumed suffix).
         """
@@ -745,6 +1162,20 @@ class MobilityPipeline:
             suffix: Iterable[PositionReport] = reports.read(checkpoint.source_offset)
         else:
             suffix = itertools.islice(iter(reports), checkpoint.source_offset, None)
+        if batch_size is not None:
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+            if checkpoint_interval is not None:
+                return self.run_batches_with_checkpoints(
+                    _iter_batches(suffix, batch_size),
+                    checkpoint_store,
+                    checkpoint_interval,
+                    start_offset=checkpoint.source_offset,
+                )
+            run_started = time.perf_counter()
+            for batch in _iter_batches(suffix, batch_size):
+                self.process_batch(batch)
+            return self._finalize(run_started)
         if checkpoint_interval is not None:
             return self.run_with_checkpoints(
                 suffix,

@@ -21,6 +21,7 @@ from repro.geo.geodesy import (
 from repro.geo.bbox import BBox
 from repro.geo.polygon import Polygon, point_in_polygon
 from repro.geo.grid import GeoGrid, GridIndex
+from repro.geo.zone_index import ZoneIndex, PREFILTER_MIN_ZONES
 from repro.geo.rtree import RTree, RTreeEntry
 from repro.geo.quadtree import QuadTree
 from repro.geo.hilbert import hilbert_d2xy, hilbert_xy2d
@@ -44,6 +45,8 @@ __all__ = [
     "point_in_polygon",
     "GeoGrid",
     "GridIndex",
+    "ZoneIndex",
+    "PREFILTER_MIN_ZONES",
     "RTree",
     "RTreeEntry",
     "QuadTree",

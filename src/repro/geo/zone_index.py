@@ -1,0 +1,96 @@
+"""Grid-prefiltered zone containment.
+
+Zone containment used to be a linear scan: every consumer (``_interlink``,
+zone entry/exit events, sector counting) asked every :class:`Polygon`
+whether it contains the point — O(zones) exact tests per record, silently
+quadratic-ish for large zone sets. A :class:`ZoneIndex` rasterizes each
+zone's bounding box onto a :class:`GeoGrid` once at build time, so a
+containment query exact-tests only the polygons whose bbox intersects the
+point's cell.
+
+Exactness argument: :meth:`GeoGrid.cell_of` clamps a point to the border
+cells and :meth:`GeoGrid.cells_intersecting` clamps a bbox's cell range
+the same way. Clamping is monotonic, so a point inside a zone's bbox
+always lands in a cell inside the zone's clamped cell range — the
+candidate set is a superset of the containing zones, and the exact
+``Polygon.contains`` test (which starts with its own bbox fast-reject)
+filters it down. Candidates are returned in original zone order, so event
+emission order is unchanged versus the linear scan.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.geo.polygon import Polygon
+
+__all__ = ["ZoneIndex", "PREFILTER_MIN_ZONES"]
+
+#: Below this many zones a linear scan beats the index (cell lookup +
+#: candidate list handling cost more than a handful of bbox rejects);
+#: callers use it to decide whether to build an index at all.
+PREFILTER_MIN_ZONES = 8
+
+
+class ZoneIndex:
+    """A static grid index over zone polygons for point containment.
+
+    Args:
+        zones: The polygons to index. Order is preserved: candidate and
+            containment queries yield zones in this order.
+        nx, ny: Grid resolution over the union of the zone bboxes.
+    """
+
+    def __init__(self, zones: Iterable[Polygon], nx: int = 64, ny: int = 64) -> None:
+        self.zones: tuple[Polygon, ...] = tuple(zones)
+        self._grid: GeoGrid | None = None
+        self._cells: dict[tuple[int, int], tuple[int, ...]] = {}
+        if not self.zones:
+            return
+        union = self.zones[0].bbox
+        for zone in self.zones[1:]:
+            union = union.union(zone.bbox)
+        # A degenerate union (all zones on one line) still needs a grid
+        # with positive area; padding only loosens the prefilter.
+        if union.width <= 0.0 or union.height <= 0.0:
+            union = BBox(
+                union.min_lon - 1e-9,
+                union.min_lat - 1e-9,
+                union.max_lon + 1e-9,
+                union.max_lat + 1e-9,
+            )
+        self._grid = GeoGrid(bbox=union, nx=nx, ny=ny)
+        cells: dict[tuple[int, int], list[int]] = {}
+        for idx, zone in enumerate(self.zones):
+            for cell in self._grid.cells_intersecting(zone.bbox):
+                cells.setdefault(cell, []).append(idx)
+        # Indices were appended in ascending zone order per cell already.
+        self._cells = {cell: tuple(idxs) for cell, idxs in cells.items()}
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def candidate_indices(self, lon: float, lat: float) -> tuple[int, ...]:
+        """Zone indices whose bbox cell range covers the point's cell.
+
+        Ascending (= original zone order); a superset of the indices of
+        zones actually containing the point.
+        """
+        if self._grid is None:
+            return ()
+        return self._cells.get(self._grid.cell_of(lon, lat), ())
+
+    def candidates(self, lon: float, lat: float) -> list[Polygon]:
+        """Candidate polygons for the point, in original zone order."""
+        zones = self.zones
+        return [zones[i] for i in self.candidate_indices(lon, lat)]
+
+    def containing(self, lon: float, lat: float) -> Iterator[Polygon]:
+        """Yield exactly the zones containing the point, in zone order."""
+        zones = self.zones
+        for i in self.candidate_indices(lon, lat):
+            zone = zones[i]
+            if zone.contains(lon, lat):
+                yield zone

@@ -21,7 +21,7 @@ from __future__ import annotations
 import copy
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.geo.geodesy import destination_point, haversine_m
 from repro.insitu.critical import AnnotatedReport, CriticalPointDetector, CriticalPointType
@@ -124,6 +124,18 @@ class SynopsesGenerator:
                 report=report, speed=report.speed, heading=report.heading
             )
         return (annotated, keep)
+
+    def process_batch(
+        self, reports: Sequence[PositionReport]
+    ) -> list[tuple[AnnotatedReport, bool]]:
+        """Decide a batch of reports, in order; one call per batch.
+
+        The decision recurrence is inherently sequential per entity
+        (dead-reckoning projects from the last *kept* report), so this is
+        a plain loop — it exists so the micro-batch pipeline stage has a
+        single entry point per batch rather than per record.
+        """
+        return [self.process(report) for report in reports]
 
     def publish_metrics(self) -> None:
         """Top the registry up to the current seen/kept totals.

@@ -159,25 +159,7 @@ class RuntimeResult:
         return {
             "n_workers": self.n_workers,
             "shards": [
-                {
-                    "shard_id": s.shard_id,
-                    "reports_in": s.result.reports_in,
-                    "reports_clean": s.result.reports_clean,
-                    "reports_kept": s.result.reports_kept,
-                    "triples_stored": s.result.triples_stored,
-                    "simple_events": [
-                        [e.event_type, e.entity_id, e.t]
-                        for e in s.result.simple_events
-                    ],
-                    "complex_events": [
-                        [e.event_type, list(e.entity_ids), e.t_start, e.t_end]
-                        for e in s.result.complex_events
-                    ],
-                    "dead_letters": [
-                        [d.stage, d.event_time, d.attempts]
-                        for d in s.result.dead_letters
-                    ],
-                }
+                {"shard_id": s.shard_id, **s.result.deterministic_payload()}
                 for s in self.shards
             ],
         }

@@ -90,6 +90,9 @@ class RuntimeConfig:
             first incarnation die after ``n`` records
             (:class:`repro.streams.chaos.CrashInjector` inside the
             worker).
+        batch_execute: Workers process each queue batch through the
+            pipeline's stage-sliced micro-batch hot path (default) rather
+            than record at a time; run content is identical either way.
     """
 
     n_workers: int = 2
@@ -107,6 +110,7 @@ class RuntimeConfig:
     max_restarts_per_shard: int = 3
     service_time_s: float = 0.0
     crash_after: Mapping[int, int] | None = None
+    batch_execute: bool = True
 
     def __post_init__(self) -> None:
         if self.n_workers <= 0:
@@ -346,6 +350,7 @@ class Supervisor:
                     resume=config.resume,
                     crash_after_records=crash_after,
                     service_time_s=config.service_time_s,
+                    batch_execute=config.batch_execute,
                 )
                 runners.append(
                     _ShardRunner(self.pool, spec, records, config, self.metrics)

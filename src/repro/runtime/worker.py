@@ -61,6 +61,11 @@ class WorkerSpec:
             the worker. ``0.0`` disables it; benchmarks use it to model
             the distributed deployment's I/O-bound regime and tests use
             it to provoke backpressure.
+        batch_execute: Feed each dequeued batch through the pipeline's
+            stage-sliced :meth:`~repro.core.pipeline.MobilityPipeline.process_batch`
+            hot path (the default) instead of record-at-a-time. Results
+            are content-identical either way (the process_batch
+            equivalence contract); checkpoints land on batch boundaries.
     """
 
     shard_id: int
@@ -71,6 +76,7 @@ class WorkerSpec:
     resume: bool = False
     crash_after_records: int | None = None
     service_time_s: float = 0.0
+    batch_execute: bool = True
 
     def __post_init__(self) -> None:
         if self.shard_id < 0:
@@ -101,6 +107,63 @@ def _drain(in_queue, service_time_s: float) -> Iterator[PositionReport]:
             yield report
 
 
+def _drain_batches(in_queue, service_time_s: float) -> Iterator[list[PositionReport]]:
+    """Yield whole queue batches until :data:`EOS` (micro-batch dispatch).
+
+    The modeled downstream service time is paid once per batch
+    (``service_time_s × len(batch)``) — the same total wait as the
+    per-record path, without a syscall per record.
+    """
+    parent = multiprocessing.parent_process()
+    while True:
+        try:
+            item = in_queue.get(timeout=1.0)
+        except queue_mod.Empty:
+            if parent is not None and not parent.is_alive():
+                raise SystemExit(1) from None
+            continue
+        if item is EOS:
+            return
+        if service_time_s > 0.0:
+            time.sleep(service_time_s * len(item))
+        yield list(item)
+
+
+class _BatchCrashInjector:
+    """Record-granular :class:`CrashInjector` semantics over batches.
+
+    Yields exactly ``crash_after`` *records* (slicing the batch the limit
+    falls inside), then raises :class:`InjectedCrash` when the next batch
+    is requested — so a worker crashing "after N records" dies at the
+    same record offset whether it executes per record or per batch. Like
+    :class:`CrashInjector`, no crash fires when the stream ends exactly
+    at the limit.
+    """
+
+    def __init__(self, batches: Iterator[list[PositionReport]], crash_after: int) -> None:
+        if crash_after < 0:
+            raise ValueError("crash_after must be >= 0")
+        self._batches = batches
+        self.crash_after = crash_after
+        self.delivered = 0
+
+    def __iter__(self) -> Iterator[list[PositionReport]]:
+        for batch in self._batches:
+            if self.delivered >= self.crash_after:
+                raise InjectedCrash(
+                    f"injected crash after {self.delivered} records"
+                )
+            remaining = self.crash_after - self.delivered
+            if len(batch) > remaining:
+                self.delivered += remaining
+                yield batch[:remaining]
+                raise InjectedCrash(
+                    f"injected crash after {self.delivered} records"
+                )
+            self.delivered += len(batch)
+            yield batch
+
+
 def worker_main(spec: WorkerSpec, in_queue, out_queue) -> None:
     """Process entry point: build, maybe restore, consume, report.
 
@@ -125,16 +188,29 @@ def worker_main(spec: WorkerSpec, in_queue, out_queue) -> None:
             start_offset = checkpoint.source_offset
     out_queue.put(("ready", spec.shard_id, start_offset))
 
-    records: Iterator[PositionReport] = _drain(in_queue, spec.service_time_s)
-    if spec.crash_after_records is not None:
-        records = iter(CrashInjector(records, spec.crash_after_records))
     try:
-        result = pipeline.run_with_checkpoints(
-            records,
-            store,
-            spec.checkpoint_interval,
-            start_offset=start_offset,
-        )
+        if spec.batch_execute:
+            batches = _drain_batches(in_queue, spec.service_time_s)
+            if spec.crash_after_records is not None:
+                batches = iter(
+                    _BatchCrashInjector(batches, spec.crash_after_records)
+                )
+            result = pipeline.run_batches_with_checkpoints(
+                batches,
+                store,
+                spec.checkpoint_interval,
+                start_offset=start_offset,
+            )
+        else:
+            records: Iterator[PositionReport] = _drain(in_queue, spec.service_time_s)
+            if spec.crash_after_records is not None:
+                records = iter(CrashInjector(records, spec.crash_after_records))
+            result = pipeline.run_with_checkpoints(
+                records,
+                store,
+                spec.checkpoint_interval,
+                start_offset=start_offset,
+            )
     except InjectedCrash:
         raise SystemExit(CHAOS_EXIT_CODE) from None
     out_queue.put(("result", spec.shard_id, result, pipeline.metrics))

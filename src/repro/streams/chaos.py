@@ -133,12 +133,19 @@ class CrashInjector:
 
 
 class TransientFaultInjector:
-    """Seeded coin-flip fault source.
+    """Seeded coin-flip fault source with one stream per stage.
 
     Each :meth:`maybe_fail` call raises :class:`TransientFault` with
     probability ``fail_prob`` (optionally only for the named stages).
-    Deterministic for a fixed seed and call sequence, so chaos tests are
-    reproducible.
+    Every stage name draws from its own RNG stream (seeded from a stable
+    hash of ``(seed, stage)``), so the i-th execution of a given stage
+    sees the same draw no matter how calls to *other* stages interleave.
+    That makes fault assignment invariant between record-major execution
+    (stage A, B, C of record 1, then of record 2, ...) and stage-major
+    micro-batch execution (stage A of every record, then stage B, ...) —
+    the property the pipeline's batch/per-record differential relies on.
+    Deterministic for a fixed seed and per-stage call sequence, so chaos
+    tests are reproducible.
     """
 
     def __init__(
@@ -151,14 +158,24 @@ class TransientFaultInjector:
             raise ValueError("fail_prob must be in [0, 1]")
         self.fail_prob = fail_prob
         self.stages = frozenset(stages) if stages is not None else None
-        self._rng = random.Random(seed)
+        self._seed = seed
+        self._rngs: dict[str, random.Random] = {}
         self.faults_injected = 0
+
+    def _stage_rng(self, stage: str) -> random.Random:
+        rng = self._rngs.get(stage)
+        if rng is None:
+            from repro.hashing import stable_hash
+
+            rng = random.Random(stable_hash((self._seed, "fault", stage)))
+            self._rngs[stage] = rng
+        return rng
 
     def maybe_fail(self, stage: str) -> None:
         """Raise a :class:`TransientFault` for this stage execution, or not."""
         if self.stages is not None and stage not in self.stages:
             return
-        if self._rng.random() < self.fail_prob:
+        if self._stage_rng(stage).random() < self.fail_prob:
             self.faults_injected += 1
             raise TransientFault(f"injected transient fault in stage {stage!r}")
 

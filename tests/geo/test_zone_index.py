@@ -1,0 +1,184 @@
+"""ZoneIndex exactness: the grid prefilter must be invisible.
+
+The index only pays off if it never changes an answer, so the oracle is
+the linear scan it replaces: for arbitrary polygons and query points,
+``containing()`` yields exactly the zones whose ``contains()`` is true,
+in original zone order, and the candidate set is always a superset of
+the containing set (the clamping-monotonicity argument from the module
+docstring, checked empirically here).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.polygon import Polygon
+from repro.geo.zone_index import PREFILTER_MIN_ZONES, ZoneIndex
+
+coord = st.tuples(
+    st.floats(min_value=-30.0, max_value=30.0, allow_nan=False),
+    st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+)
+
+
+@st.composite
+def polygons(draw):
+    """Arbitrary (possibly self-intersecting) rings; ray-casting copes."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    ring = tuple(draw(coord) for _ in range(n))
+    return Polygon(name=f"z{draw(st.integers(min_value=0, max_value=10**6))}", ring=ring)
+
+
+@st.composite
+def zone_sets(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    zones = [draw(polygons()) for _ in range(n)]
+    # Names must only be distinct enough for debugging; the index works
+    # positionally, so collisions are harmless.
+    return zones
+
+
+class TestContainmentOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(zones=zone_sets(), point=coord)
+    def test_containing_equals_linear_scan(self, zones, point):
+        lon, lat = point
+        index = ZoneIndex(zones)
+        expected = [z for z in zones if z.contains(lon, lat)]
+        assert list(index.containing(lon, lat)) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(zones=zone_sets(), point=coord)
+    def test_candidates_are_a_superset_in_order(self, zones, point):
+        lon, lat = point
+        index = ZoneIndex(zones)
+        candidate_ids = index.candidate_indices(lon, lat)
+        assert list(candidate_ids) == sorted(candidate_ids)
+        containing = {i for i, z in enumerate(zones) if z.contains(lon, lat)}
+        assert containing <= set(candidate_ids)
+
+    @settings(max_examples=50, deadline=None)
+    @given(zones=zone_sets(), point=coord)
+    def test_candidates_matches_candidate_indices(self, zones, point):
+        lon, lat = point
+        index = ZoneIndex(zones)
+        assert index.candidates(lon, lat) == [
+            zones[i] for i in index.candidate_indices(lon, lat)
+        ]
+
+
+class TestEdgeCases:
+    def test_empty_index(self):
+        index = ZoneIndex([])
+        assert len(index) == 0
+        assert index.candidate_indices(0.0, 0.0) == ()
+        assert list(index.containing(0.0, 0.0)) == []
+
+    def test_degenerate_union_one_point_zones(self):
+        """All zones collapse to one point: the padded grid still works."""
+        zone = Polygon("dot", ((5.0, 5.0), (5.0, 5.0), (5.0, 5.0)))
+        index = ZoneIndex([zone, zone])
+        assert list(index.containing(5.0, 5.0)) == [z for z in (zone, zone) if z.contains(5.0, 5.0)]
+        assert list(index.containing(6.0, 5.0)) == []
+
+    def test_point_far_outside_union(self):
+        zones = [Polygon.rectangle(f"r{i}", BBox(i, 0.0, i + 0.5, 1.0)) for i in range(10)]
+        index = ZoneIndex(zones)
+        assert list(index.containing(500.0, 500.0)) == []
+        assert list(index.containing(-500.0, -500.0)) == []
+
+    def test_overlapping_zones_preserve_order(self):
+        a = Polygon.rectangle("a", BBox(0.0, 0.0, 2.0, 2.0))
+        b = Polygon.rectangle("b", BBox(1.0, 1.0, 3.0, 3.0))
+        c = Polygon.rectangle("c", BBox(0.5, 0.5, 2.5, 2.5))
+        index = ZoneIndex([a, b, c])
+        assert [z.name for z in index.containing(1.5, 1.5)] == ["a", "b", "c"]
+
+    def test_min_zones_constant_sane(self):
+        assert PREFILTER_MIN_ZONES >= 2
+
+
+class TestExtractorParity:
+    def test_zone_events_with_and_without_index(self):
+        """The extractor emits the same event stream either way."""
+        from repro.cep.simple import SimpleEventExtractor
+        from repro.sources.generators import MaritimeTrafficGenerator
+
+        sample = MaritimeTrafficGenerator(seed=55).generate(
+            n_vessels=4, max_duration_s=1800.0
+        )
+        bbox = sample.world.bbox
+        lon_step = (bbox.max_lon - bbox.min_lon) / 4.0
+        zones = list(sample.world.zones) + [
+            Polygon.rectangle(
+                f"strip{i}",
+                BBox(bbox.min_lon + i * lon_step, bbox.min_lat, bbox.min_lon + (i + 1) * lon_step, bbox.max_lat),
+            )
+            for i in range(4)
+        ]
+        reports = sorted(sample.reports, key=lambda r: r.t)
+
+        plain = SimpleEventExtractor(zones=zones)
+        indexed = SimpleEventExtractor(zones=zones, zone_index=ZoneIndex(zones))
+        events_plain = [e for r in reports for e in plain.process(r)]
+        events_indexed = [e for r in reports for e in indexed.process(r)]
+        assert [
+            (e.event_type, e.entity_id, e.t, e.attributes) for e in events_indexed
+        ] == [(e.event_type, e.entity_id, e.t, e.attributes) for e in events_plain]
+        assert any(e.event_type.startswith("zone_") for e in events_plain)
+
+    def test_index_length_mismatch_rejected(self):
+        from repro.cep.simple import SimpleEventExtractor
+
+        a = Polygon.rectangle("a", BBox(0.0, 0.0, 1.0, 1.0))
+        b = Polygon.rectangle("b", BBox(2.0, 2.0, 3.0, 3.0))
+        with pytest.raises(ValueError):
+            SimpleEventExtractor(zones=[a, b], zone_index=ZoneIndex([a]))
+
+
+class TestKernelParity:
+    """The vectorized haversine must track the scalar one to a few ulp.
+
+    Not bitwise: numpy may dispatch SIMD transcendental kernels whose
+    results differ from libm's by 1-2 ulp. Consumers that make decisions
+    from batch values either share the kernel on both paths or recompute
+    near decision boundaries (``_BOUNDARY_MARGIN``), so a small ulp bound
+    is the correct contract — and this test enforces it stays small.
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        lon1=st.floats(min_value=-180.0, max_value=180.0, allow_nan=False),
+        lat1=st.floats(min_value=-85.0, max_value=85.0, allow_nan=False),
+        lon2=st.floats(min_value=-180.0, max_value=180.0, allow_nan=False),
+        lat2=st.floats(min_value=-85.0, max_value=85.0, allow_nan=False),
+    )
+    def test_array_kernel_within_4_ulp_of_scalar(self, lon1, lat1, lon2, lat2):
+        import numpy as np
+
+        from repro.geo.geodesy import haversine_m, haversine_m_arrays
+
+        scalar = haversine_m(lon1, lat1, lon2, lat2)
+        vector = float(
+            haversine_m_arrays(
+                np.array([lon1]), np.array([lat1]), np.array([lon2]), np.array([lat2])
+            )[0]
+        )
+        tolerance = 4 * math.ulp(max(scalar, vector, 1.0))
+        assert abs(vector - scalar) <= tolerance
+
+    def test_scalar_broadcast_matches_arrays(self):
+        import numpy as np
+
+        from repro.geo.geodesy import haversine_m_arrays
+
+        lons = np.array([10.0, 11.0, 12.0])
+        lats = np.array([50.0, 51.0, 52.0])
+        broadcast = haversine_m_arrays(10.5, 50.5, lons, lats)
+        explicit = haversine_m_arrays(
+            np.full(3, 10.5), np.full(3, 50.5), lons, lats
+        )
+        assert np.array_equal(broadcast, explicit)

@@ -1,0 +1,246 @@
+"""Batch/per-record differential: the stage-sliced path must be invisible.
+
+:meth:`MobilityPipeline.process_batch` reorders work (stage-major instead
+of record-major) and lands RDF documents in bulk, so this suite pins the
+equivalence contract from every angle the contract names:
+
+- ``deterministic_bytes()`` equality across batch sizes {1, 7, 256} —
+  including a batch of 1, which still executes the stage-sliced code;
+- decoded store contents as multisets (dictionary ids may differ between
+  the paths because documents land in a different order, content not);
+- content-derived metrics counters (timing histograms are exempt);
+- the same equivalences under chaos injection (per-stage fault RNG
+  streams make the draw sequences ordering-invariant);
+- a crash mid-stream, checkpointed at batch boundaries, resumed with a
+  *different* batch size — still byte-identical to an uninterrupted
+  per-record run.
+
+The workload carries >= PREFILTER_MIN_ZONES zones so the grid-backed
+:class:`~repro.geo.zone_index.ZoneIndex` prefilter is exercised, not
+bypassed.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import MobilityPipeline
+from repro.geo.bbox import BBox
+from repro.geo.polygon import Polygon
+from repro.geo.zone_index import PREFILTER_MIN_ZONES
+from repro.runtime.worker import _BatchCrashInjector
+from repro.sources.generators import MaritimeTrafficGenerator
+from repro.streams.chaos import ChaosConfig, InjectedCrash, RetryPolicy
+from repro.streams.checkpoint import InMemoryCheckpointStore
+from repro.streams.replay import ReplayLog
+
+BATCH_SIZES = (1, 7, 256)
+
+CHAOS = dict(fail_prob=0.2, seed=13, retry=RetryPolicy(max_retries=5, base_delay_s=0.001))
+
+
+def _extra_zones(bbox: BBox) -> list[Polygon]:
+    """Tile part of the world with rectangles to push past the prefilter gate."""
+    zones = []
+    lon_step = (bbox.max_lon - bbox.min_lon) / 3.0
+    lat_step = (bbox.max_lat - bbox.min_lat) / 2.0
+    for i in range(3):
+        for j in range(2):
+            zones.append(
+                Polygon.rectangle(
+                    f"tile_{i}{j}",
+                    BBox(
+                        bbox.min_lon + i * lon_step,
+                        bbox.min_lat + j * lat_step,
+                        bbox.min_lon + (i + 1) * lon_step,
+                        bbox.min_lat + (j + 1) * lat_step,
+                    ),
+                )
+            )
+    return zones
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return MaritimeTrafficGenerator(seed=91).generate(n_vessels=6, max_duration_s=2400.0)
+
+
+@pytest.fixture(scope="module")
+def reports(sample):
+    return sorted(sample.reports, key=lambda r: r.t)
+
+
+@pytest.fixture(scope="module")
+def zones(sample):
+    zones = list(sample.world.zones) + _extra_zones(sample.world.bbox)
+    assert len(zones) >= PREFILTER_MIN_ZONES
+    return zones
+
+
+def _pipeline(sample, zones, **kwargs):
+    return MobilityPipeline(
+        bbox=sample.world.bbox,
+        registry=sample.registry,
+        zones=zones,
+        **kwargs,
+    )
+
+
+def _store_contents(pipeline) -> Counter:
+    """Decoded triples as a multiset — insertion order and ids erased."""
+    return Counter(pipeline.store.match())
+
+
+def _batches(reports, size):
+    for start in range(0, len(reports), size):
+        yield list(reports[start : start + size])
+
+
+@pytest.fixture(scope="module")
+def per_record(sample, reports, zones):
+    pipeline = _pipeline(sample, zones)
+    return pipeline, pipeline.run(reports)
+
+
+@pytest.fixture(scope="module")
+def per_record_chaotic(sample, reports, zones):
+    pipeline = _pipeline(sample, zones, chaos=ChaosConfig(**CHAOS))
+    return pipeline, pipeline.run(reports)
+
+
+class TestBatchEqualsPerRecord:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_deterministic_bytes_identical(self, sample, reports, zones, per_record, batch_size):
+        __, expected = per_record
+        pipeline = _pipeline(sample, zones)
+        actual = pipeline.run_batched(reports, batch_size=batch_size)
+        assert actual.deterministic_bytes() == expected.deterministic_bytes()
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_store_contents_identical(self, sample, reports, zones, per_record, batch_size):
+        base_pipeline, __ = per_record
+        pipeline = _pipeline(sample, zones)
+        pipeline.run_batched(reports, batch_size=batch_size)
+        assert _store_contents(pipeline) == _store_contents(base_pipeline)
+
+    def test_complex_events_identical(self, sample, reports, zones, per_record):
+        __, expected = per_record
+        pipeline = _pipeline(sample, zones)
+        actual = pipeline.run_batched(reports, batch_size=64)
+        assert [
+            (e.event_type, e.entity_ids, e.t_start, e.t_end, e.attributes)
+            for e in actual.complex_events
+        ] == [
+            (e.event_type, e.entity_ids, e.t_start, e.t_end, e.attributes)
+            for e in expected.complex_events
+        ]
+
+    def test_content_counters_identical(self, sample, reports, zones, per_record):
+        """Every content-derived counter agrees; only timing may differ.
+
+        Read-path counters (``store.match_calls`` etc.) are excluded:
+        other tests in this module query the shared baseline store.
+        """
+
+        def ingest_counters(pipeline):
+            return {
+                k: v
+                for k, v in pipeline.metrics.counters().items()
+                if k not in ("store.match_calls", "store.partition_scans")
+            }
+
+        base_pipeline, __ = per_record
+        pipeline = _pipeline(sample, zones)
+        pipeline.run_batched(reports, batch_size=64)
+        assert ingest_counters(pipeline) == ingest_counters(base_pipeline)
+
+    def test_prefilter_active(self, sample, zones):
+        """The workload actually exercises the zone index (not bypassed)."""
+        pipeline = _pipeline(sample, zones)
+        assert pipeline._zone_index is not None
+        assert len(pipeline._zone_index) == len(zones)
+
+
+class TestBatchEqualsPerRecordUnderChaos:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_deterministic_bytes_identical(
+        self, sample, reports, zones, per_record_chaotic, batch_size
+    ):
+        __, expected = per_record_chaotic
+        pipeline = _pipeline(sample, zones, chaos=ChaosConfig(**CHAOS))
+        actual = pipeline.run_batched(reports, batch_size=batch_size)
+        assert actual.deterministic_bytes() == expected.deterministic_bytes()
+
+    def test_chaos_is_actually_firing(self, per_record_chaotic):
+        __, expected = per_record_chaotic
+        assert sum(expected.stage_failures.values()) > 0
+
+    def test_recovery_accounting_identical(self, sample, reports, zones, per_record_chaotic):
+        __, expected = per_record_chaotic
+        pipeline = _pipeline(sample, zones, chaos=ChaosConfig(**CHAOS))
+        actual = pipeline.run_batched(reports, batch_size=32)
+        assert actual.records_recovered == expected.records_recovered
+        assert actual.dead_letter_count == expected.dead_letter_count
+        assert actual.stage_failures == expected.stage_failures
+        assert actual.stage_retries == expected.stage_retries
+
+
+class TestBatchCrashRestartDifferential:
+    def _crash_and_resume(self, sample, reports, zones, chaos=None):
+        kwargs = {"chaos": chaos} if chaos else {}
+        store = InMemoryCheckpointStore()
+        crashed = _pipeline(sample, zones, **kwargs)
+        crash_after = len(reports) * 2 // 3
+        with pytest.raises(InjectedCrash):
+            crashed.run_batches_with_checkpoints(
+                iter(_BatchCrashInjector(_batches(reports, 64), crash_after)),
+                store,
+                checkpoint_interval=200,
+            )
+        # The crash cost real progress: it fired past the last barrier.
+        assert 0 < store.latest().source_offset < crash_after
+        fresh = _pipeline(sample, zones, **kwargs)
+        # Resume with a *different* batch size: equivalence must not
+        # depend on batch boundaries lining up across incarnations.
+        result = fresh.resume_from_checkpoint(store, ReplayLog(reports), batch_size=37)
+        return fresh, result
+
+    def test_resumed_batch_run_matches_uninterrupted_per_record(
+        self, sample, reports, zones, per_record
+    ):
+        base_pipeline, expected = per_record
+        fresh, actual = self._crash_and_resume(sample, reports, zones)
+        assert actual.deterministic_bytes() == expected.deterministic_bytes()
+        assert _store_contents(fresh) == _store_contents(base_pipeline)
+
+    def test_resumed_chaotic_batch_run_matches_uninterrupted_per_record(
+        self, sample, reports, zones, per_record_chaotic
+    ):
+        base_pipeline, expected = per_record_chaotic
+        fresh, actual = self._crash_and_resume(sample, reports, zones, chaos=ChaosConfig(**CHAOS))
+        assert actual.deterministic_bytes() == expected.deterministic_bytes()
+        assert _store_contents(fresh) == _store_contents(base_pipeline)
+
+
+class TestBatchProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        start=st.integers(min_value=0, max_value=400),
+        length=st.integers(min_value=0, max_value=120),
+        batch_size=st.integers(min_value=1, max_value=17),
+    )
+    def test_any_slice_any_batch_size(self, sample, reports, zones, start, length, batch_size):
+        window = reports[start : start + length]
+        expected = _pipeline(sample, zones).run(window)
+        actual = _pipeline(sample, zones).run_batched(window, batch_size=batch_size)
+        assert actual.deterministic_bytes() == expected.deterministic_bytes()
+
+    def test_empty_stream(self, sample, zones):
+        result = _pipeline(sample, zones).run_batched([], batch_size=8)
+        assert result.reports_in == 0
+
+    def test_batch_size_must_be_positive(self, sample, reports, zones):
+        with pytest.raises(ValueError):
+            _pipeline(sample, zones).run_batched(reports, batch_size=0)

@@ -133,7 +133,11 @@ class TestChaosDegradedMode:
             sample,
             chaos=ChaosConfig(
                 fail_prob=0.25,
-                seed=5,
+                # Seed chosen so this fault-rate/retry-budget combination
+                # actually exhausts a few retry budgets under the
+                # injector's per-stage RNG streams (the assertions below
+                # need a non-empty dead-letter queue).
+                seed=8,
                 retry=RetryPolicy(max_retries=5, base_delay_s=0.001),
             ),
         )
