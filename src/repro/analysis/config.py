@@ -1,0 +1,91 @@
+"""Linter configuration: rule path scopes and reasoned allowlists.
+
+Two knobs, both path-based (posix module paths relative to the scan
+root, e.g. ``repro/core/pipeline.py``):
+
+- **scopes** restrict where a rule *applies at all* — e.g. D2 (unseeded
+  RNG) only polices the deterministic pipeline paths, because a seeded
+  demo script elsewhere is nobody's contract.
+- **allowlists** exempt matching paths from a rule *with a recorded
+  reason* — e.g. D3 permits :mod:`repro.obs` itself to read the clock.
+  Every entry must carry a non-empty reason; construction fails
+  otherwise, so the "every suppression has a reason" guarantee holds
+  for config entries exactly as it does for inline comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """One allowlisted path pattern for one rule, with its rationale."""
+
+    pattern: str  # fnmatch pattern over the module path
+    reason: str
+
+    def __post_init__(self) -> None:
+        if not self.reason.strip():
+            raise ValueError(
+                f"allowlist entry {self.pattern!r} must carry a reason string"
+            )
+
+    def matches(self, path: str) -> bool:
+        return fnmatchcase(path, self.pattern)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Scopes and allowlists consumed by the engine.
+
+    Attributes:
+        scopes: rule id → path patterns the rule is confined to. A rule
+            absent from the mapping applies everywhere scanned.
+        allowlists: rule id → reasoned path exemptions.
+    """
+
+    scopes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    allowlists: dict[str, tuple[AllowEntry, ...]] = field(default_factory=dict)
+
+    def in_scope(self, rule_id: str, path: str) -> bool:
+        patterns = self.scopes.get(rule_id)
+        if not patterns:
+            return True
+        return any(fnmatchcase(path, pat) for pat in patterns)
+
+    def allowlisted(self, rule_id: str, path: str) -> "AllowEntry | None":
+        for entry in self.allowlists.get(rule_id, ()):
+            if entry.matches(path):
+                return entry
+        return None
+
+
+#: The in-tree policy `python -m repro.analysis` runs with.
+DEFAULT_CONFIG = AnalysisConfig(
+    scopes={
+        # Unseeded RNG only matters where byte-identical replay is the
+        # contract: the pipeline, the multi-process runtime, the stream
+        # operators, event recognition and the in-situ layer.
+        "D2": (
+            "repro/core/*",
+            "repro/runtime/*",
+            "repro/streams/*",
+            "repro/cep/*",
+            "repro/insitu/*",
+        ),
+    },
+    allowlists={
+        "D3": (
+            AllowEntry(
+                pattern="repro/obs/clock.py",
+                reason=(
+                    "the sanctioned clock boundary: the one module allowed "
+                    "to read time.perf_counter; all measurement code imports "
+                    "repro.obs.clock.monotonic from here"
+                ),
+            ),
+        ),
+    },
+)

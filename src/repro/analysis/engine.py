@@ -1,0 +1,202 @@
+"""The linter engine: file discovery, rule dispatch, suppression triage.
+
+Findings end up in one of three buckets:
+
+- **open** — unsuppressed violations; any of these makes the run fail;
+- **suppressed** — matched by a reasoned inline ``lint: allow`` comment;
+- **allowlisted** — the module path is exempted for that rule in the
+  :class:`~repro.analysis.config.AnalysisConfig` (reason recorded).
+
+The engine also polices the suppressions themselves: an ``allow``
+without a reason is an **S1** finding (and suppresses nothing); an
+``allow`` that matched no finding is an **S2** finding, so a fixed
+violation cannot leave its suppression behind.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.classindex import ClassIndex
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.rules.base import Rule
+from repro.analysis.source import ParsedModule, parse_module
+
+JSON_SCHEMA_VERSION = "repro.analysis.v1"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one linter run produced."""
+
+    root: str
+    files: list[str] = field(default_factory=list)
+    open_findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    allowlisted: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.open_findings and not self.errors
+
+    def as_dict(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "root": self.root,
+            "files_scanned": len(self.files),
+            "counts": {
+                "open": len(self.open_findings),
+                "suppressed": len(self.suppressed),
+                "allowlisted": len(self.allowlisted),
+            },
+            "findings": [f.as_dict() for f in self.open_findings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+            "allowlisted": [f.as_dict() for f in self.allowlisted],
+            "errors": list(self.errors),
+        }
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+        else:
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+
+
+def _module_path(abspath: str, root: str) -> str:
+    """Stable posix path for scoping: prefer the ``repro/…`` suffix."""
+    posix = abspath.replace(os.sep, "/")
+    marker = "/repro/"
+    idx = posix.rfind(marker)
+    if idx >= 0:
+        return posix[idx + 1 :]
+    rel = os.path.relpath(abspath, root)
+    return rel.replace(os.sep, "/")
+
+
+def _sort_key(finding: Finding) -> tuple:
+    return (finding.path, finding.line, finding.rule, finding.detail)
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    config: AnalysisConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> AnalysisResult:
+    """Lint ``paths`` (files or directory trees) and triage the findings."""
+    config = config if config is not None else DEFAULT_CONFIG
+    rules = tuple(rules) if rules is not None else ALL_RULES
+    active_ids = {rule.rule_id for rule in rules}
+    root = os.path.abspath(paths[0] if paths else ".")
+    result = AnalysisResult(root=root)
+
+    modules: list[ParsedModule] = []
+    index = ClassIndex()
+    for abspath in _iter_py_files([os.path.abspath(p) for p in paths]):
+        rel = _module_path(abspath, root)
+        try:
+            with open(abspath, "r", encoding="utf-8") as fh:
+                text = fh.read()
+            module = parse_module(abspath, rel, text)
+        except (OSError, SyntaxError, ValueError) as exc:
+            result.errors.append(f"{rel}: {exc}")
+            continue
+        modules.append(module)
+        index.add_module(rel, module.tree)
+        result.files.append(rel)
+
+    for module in modules:
+        raw: list[Finding] = []
+        for rule in rules:
+            if not config.in_scope(rule.rule_id, module.path):
+                continue
+            entry = config.allowlisted(rule.rule_id, module.path)
+            found = list(rule.check(module, index))
+            if entry is not None:
+                result.allowlisted.extend(
+                    Finding(
+                        rule=f.rule,
+                        path=f.path,
+                        line=f.line,
+                        col=f.col,
+                        message=f.message,
+                        detail=f.detail,
+                        reason=entry.reason,
+                    )
+                    for f in found
+                )
+                continue
+            raw.extend(found)
+
+        for f in raw:
+            suppression = next(
+                (
+                    s
+                    for s in module.suppressions
+                    if s.matches(f.rule, f.line, f.detail)
+                ),
+                None,
+            )
+            if suppression is None:
+                result.open_findings.append(f)
+            else:
+                suppression.used = True
+                result.suppressed.append(
+                    Finding(
+                        rule=f.rule,
+                        path=f.path,
+                        line=f.line,
+                        col=f.col,
+                        message=f.message,
+                        detail=f.detail,
+                        reason=suppression.reason,
+                    )
+                )
+
+        for s in module.suppressions:
+            if not s.reason:
+                result.open_findings.append(
+                    Finding(
+                        rule="S1",
+                        path=module.path,
+                        line=s.line,
+                        message=(
+                            f"suppression allow[{s.rule}] carries no reason; "
+                            "reasonless suppressions are inert — state why "
+                            "the hit is acceptable"
+                        ),
+                        detail=s.rule,
+                    )
+                )
+            elif not s.used and s.rule in active_ids:
+                result.open_findings.append(
+                    Finding(
+                        rule="S2",
+                        path=module.path,
+                        line=s.line,
+                        message=(
+                            f"suppression allow[{s.rule}"
+                            + (f":{s.detail}" if s.detail else "")
+                            + "] matches no finding; delete the stale comment"
+                        ),
+                        detail=s.rule,
+                    )
+                )
+
+    result.open_findings.sort(key=_sort_key)
+    result.suppressed.sort(key=_sort_key)
+    result.allowlisted.sort(key=_sort_key)
+    return result

@@ -1,0 +1,60 @@
+"""The linter's finding model and its JSON wire format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule id (``D1``, ``C1``, ``S2``…).
+        path: Module path relative to the scan root, posix-style.
+        line: 1-based source line the finding anchors to.
+        col: 0-based column.
+        message: Human-readable statement of the violation.
+        detail: Optional machine-matchable discriminator (e.g. the field
+            name a snapshot misses); ``allow[C1:field]`` suppressions
+            match against it.
+        reason: Why the finding is tolerated — set only on suppressed or
+            allowlisted findings, quoting the suppression comment or the
+            allowlist entry.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int = 0
+    message: str = ""
+    detail: str = ""
+    reason: str = ""
+
+    def located(self) -> str:
+        """``path:line`` anchor for terminal output."""
+        return f"{self.path}:{self.line}"
+
+    def as_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+
+@dataclass
+class RuleInfo:
+    """Registry metadata for one rule (used by ``--list-rules`` and docs)."""
+
+    rule_id: str
+    title: str
+    protects: str = ""
+    scopes: tuple[str, ...] = field(default_factory=tuple)

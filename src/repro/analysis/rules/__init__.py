@@ -1,0 +1,30 @@
+"""Rule registry."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.contracts import SnapshotCoverageRule
+from repro.analysis.rules.determinism import (
+    BuiltinHashRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from repro.analysis.rules.naming import MetricNameRule
+from repro.analysis.rules.pickle_safety import PickleSafetyRule
+
+#: Every shipped rule, in reporting order.
+ALL_RULES: tuple[Rule, ...] = (
+    BuiltinHashRule(),
+    UnseededRngRule(),
+    WallClockRule(),
+    SnapshotCoverageRule(),
+    PickleSafetyRule(),
+    MetricNameRule(),
+)
+
+
+def rule_ids() -> list[str]:
+    return [rule.rule_id for rule in ALL_RULES]
+
+
+__all__ = ["Rule", "ALL_RULES", "rule_ids"]

@@ -1,0 +1,109 @@
+"""Rule interface and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+
+class Rule:
+    """One checkable invariant.
+
+    Subclasses set ``rule_id``/``title``/``protects`` and implement
+    :meth:`check`, yielding findings for one module. Rules are pure
+    functions of the parsed source — suppression and allowlisting happen
+    in the engine, so a rule never needs to know about either.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    #: Which contract the rule protects (shown by ``--list-rules``).
+    protects: str = ""
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: "ParsedModule",
+        node: ast.AST,
+        message: str,
+        detail: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            detail=detail,
+        )
+
+
+class ImportMap:
+    """Resolves names in one module back to the modules they came from.
+
+    Tracks ``import x [as y]`` and ``from x import a [as b]`` so a rule
+    can ask "what dotted origin does this call expression have?" —
+    e.g. ``perf_counter()`` after ``from time import perf_counter``
+    resolves to ``time.perf_counter``, and ``np.random.default_rng``
+    after ``import numpy as np`` resolves to ``numpy.random.default_rng``.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: dict[str, str] = {}  # local alias -> module dotted path
+        self.names: dict[str, str] = {}  # local name -> origin dotted path
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve_call(self, func: ast.expr) -> str:
+        """Dotted origin of a call target, or ``""`` when unresolvable."""
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return ""
+        head = node.id
+        if head in self.modules:
+            parts.append(self.modules[head])
+        elif head in self.names:
+            parts.append(self.names[head])
+        else:
+            parts.append(head)
+        return ".".join(reversed(parts))
+
+
+def self_attr_base(node: ast.expr) -> str | None:
+    """The ``self`` attribute a nested access chain is rooted at.
+
+    ``self._panes[k].append`` → ``_panes``; ``self._gen.config`` →
+    ``_gen``; returns ``None`` for chains not rooted at ``self``.
+    """
+    while True:
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return node.attr
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        else:
+            return None

@@ -1,0 +1,192 @@
+"""C1: snapshot/restore coverage for checkpointable state.
+
+The PR 1 recovery contract — crash-resume byte-identical to an
+uninterrupted run — holds only if every operator's ``snapshot()``
+captures *all* of its mutable state and ``restore()`` reinstates all of
+it. A field added to an operator but forgotten in either method is
+invisible to every unit test that doesn't crash at exactly the right
+record; this rule makes the omission a lint error instead.
+
+What counts as **mutable state**: a field assigned in ``__init__`` and
+then written again outside it — rebound, aug-assigned, item-assigned,
+deleted, or mutated through a known container method
+(:data:`repro.analysis.classindex.MUTATOR_METHODS`). Config captured at
+construction and never touched again is not state and is not required
+in snapshots.
+
+Checked shapes:
+
+- a class defining both methods must reference each mutable field in
+  both (``self.field`` anywhere in the body, including tuple unpacking);
+- a class using :class:`repro.streams.checkpoint.StatefulMixin` must
+  list each mutable field in its literal ``_STATE_FIELDS`` tuple;
+- a class defining one method without the other is always wrong;
+- a class deriving from ``Operator`` with mutable state of its own must
+  define the pair, use the mixin, or inherit a ``snapshot`` that
+  demonstrably covers its fields — the stateless ``Operator`` default
+  (``return None``) covers nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.classindex import ClassInfo, referenced_self_attrs
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+#: Root base class of the operator protocol (repro.streams.operators).
+_OPERATOR_ROOT = "Operator"
+#: The dict-shaped checkpoint helper (repro.streams.checkpoint).
+_STATEFUL_MIXIN = "StatefulMixin"
+
+
+def _uses_dynamic_state(func: ast.FunctionDef) -> bool:
+    """Snapshot/restore driven by ``getattr(self, name)`` over a field list."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("getattr", "setattr")
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id == "self"
+        ):
+            return True
+    return False
+
+
+class SnapshotCoverageRule(Rule):
+    rule_id = "C1"
+    title = "snapshot()/restore() must cover every mutable field"
+    protects = "PR 1/3: crash-resume byte-identical to an uninterrupted run"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        for info in index.by_module.get(module.path, ()):
+            yield from self._check_class(module, index, info)
+
+    def _check_class(
+        self, module: "ParsedModule", index: "ClassIndex", info: ClassInfo
+    ) -> Iterable[Finding]:
+        has_snapshot = "snapshot" in info.methods
+        has_restore = "restore" in info.methods
+        if has_snapshot != has_restore:
+            present, missing = (
+                ("snapshot", "restore") if has_snapshot else ("restore", "snapshot")
+            )
+            yield self.finding(
+                module,
+                info.methods[present],
+                f"{info.name} defines {present}() without {missing}(): "
+                "the checkpoint protocol requires the pair",
+                detail=info.name,
+            )
+            return
+        mixin_fields = self._mixin_fields(index, info)
+        if has_snapshot:
+            yield from self._check_pair_coverage(module, info)
+        elif mixin_fields is not None:
+            for field in sorted(info.stateful_fields):
+                if field not in mixin_fields:
+                    yield self.finding(
+                        module,
+                        info.node,
+                        f"{info.name}._STATE_FIELDS omits mutable field "
+                        f"{field!r}; its state would vanish on restore",
+                        detail=field,
+                    )
+        else:
+            yield from self._check_operator_without_pair(module, index, info)
+
+    def _mixin_fields(
+        self, index: "ClassIndex", info: ClassInfo
+    ) -> "tuple[str, ...] | None":
+        """Combined ``_STATE_FIELDS`` when the class uses the mixin."""
+        chain = [info] + index.ancestors(info)
+        if not any(c.name == _STATEFUL_MIXIN for c in chain):
+            return None
+        fields: list[str] = []
+        for c in chain:
+            fields.extend(c.state_fields_literal)
+        return tuple(fields)
+
+    def _check_pair_coverage(
+        self, module: "ParsedModule", info: ClassInfo
+    ) -> Iterable[Finding]:
+        snapshot = info.methods["snapshot"]
+        restore = info.methods["restore"]
+        if not isinstance(snapshot, ast.FunctionDef) or not isinstance(
+            restore, ast.FunctionDef
+        ):
+            return
+        # A getattr/setattr loop covers exactly the fields its driving
+        # literal (_STATE_FIELDS / _STATEFUL_COMPONENTS) names — the
+        # union with directly-referenced attrs handles mixed shapes.
+        covered_snapshot = referenced_self_attrs(snapshot) | set(
+            info.state_fields_literal
+        )
+        covered_restore = referenced_self_attrs(restore) | set(
+            info.state_fields_literal
+        )
+        for field in sorted(info.stateful_fields):
+            if field not in covered_snapshot:
+                yield self.finding(
+                    module,
+                    snapshot,
+                    f"{info.name}.snapshot() never references mutable field "
+                    f"{field!r}; a checkpoint would silently drop it",
+                    detail=field,
+                )
+            if field not in covered_restore:
+                yield self.finding(
+                    module,
+                    restore,
+                    f"{info.name}.restore() never references mutable field "
+                    f"{field!r}; resume would keep stale in-memory state",
+                    detail=field,
+                )
+
+    def _check_operator_without_pair(
+        self, module: "ParsedModule", index: "ClassIndex", info: ClassInfo
+    ) -> Iterable[Finding]:
+        if not info.stateful_fields:
+            return
+        if not index.derives_from(info, _OPERATOR_ROOT):
+            return
+        # Nearest ancestor that defines snapshot decides coverage.
+        provider: ClassInfo | None = None
+        for ancestor in index.ancestors(info):
+            if "snapshot" in ancestor.methods:
+                provider = ancestor
+                break
+        if provider is None or provider.name == _OPERATOR_ROOT:
+            yield self.finding(
+                module,
+                info.node,
+                f"operator {info.name} has mutable state "
+                f"({', '.join(sorted(info.stateful_fields))}) but no "
+                "snapshot()/restore(); checkpoints would lose its state",
+                detail=info.name,
+            )
+            return
+        snapshot = provider.methods["snapshot"]
+        if not isinstance(snapshot, ast.FunctionDef) or _uses_dynamic_state(snapshot):
+            return
+        covered = referenced_self_attrs(snapshot) | set(
+            provider.state_fields_literal
+        )
+        for field in sorted(info.stateful_fields):
+            if field not in covered:
+                yield self.finding(
+                    module,
+                    info.node,
+                    f"operator {info.name} adds mutable field {field!r} but "
+                    f"inherits snapshot() from {provider.name}, which does "
+                    "not capture it",
+                    detail=field,
+                )

@@ -1,0 +1,146 @@
+"""Determinism rules: stable hashing, seeded RNG, clock discipline.
+
+These protect the PR 3 contract (identical output under any
+``PYTHONHASHSEED``, across worker processes) and the PR 1/4 contract
+(crash-resume and batch runs byte-identical to an uninterrupted
+per-record run). All three invariants die silently: the code works on
+every developer machine and diverges only between *runs*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import ImportMap, Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+
+class BuiltinHashRule(Rule):
+    """D1: builtin ``hash()`` is salted per interpreter — never in src/."""
+
+    rule_id = "D1"
+    title = "builtin hash() is PYTHONHASHSEED-salted; use repro.hashing"
+    protects = "PR 3: identical routing/seeding across processes and runs"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "builtin hash() is salted per interpreter "
+                    "(PYTHONHASHSEED); use repro.hashing.stable_hash",
+                )
+
+
+#: ``random``-module functions that draw from the *global*, unseeded RNG.
+_GLOBAL_RNG_SAFE = frozenset({"Random", "SystemRandom", "seed", "getstate", "setstate"})
+
+
+class UnseededRngRule(Rule):
+    """D2: every RNG in a deterministic path must be explicitly seeded."""
+
+    rule_id = "D2"
+    title = "unseeded RNG in a deterministic path"
+    protects = "PR 1/3/4: byte-identical replay, chaos injection and shedding"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve_call(node.func)
+            if origin in ("random.Random", "numpy.random.default_rng"):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{origin}() without a seed draws OS entropy; "
+                        "pass an explicit seed (derive per-stream seeds "
+                        "via repro.hashing.stable_hash)",
+                        detail=origin,
+                    )
+            elif origin.startswith("random."):
+                name = origin.split(".", 1)[1]
+                if "." not in name and name not in _GLOBAL_RNG_SAFE:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"module-level {origin}() uses the shared unseeded "
+                        "global RNG; construct random.Random(seed) instead",
+                        detail=origin,
+                    )
+            elif origin.startswith("numpy.random.") and origin.count(".") == 2:
+                name = origin.rsplit(".", 1)[1]
+                if name not in ("default_rng", "Generator", "SeedSequence"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"legacy global {origin}() is unseeded shared state; "
+                        "use numpy.random.default_rng(seed)",
+                        detail=origin,
+                    )
+
+
+#: Call origins that read wall or monotonic clocks.
+_CLOCK_ORIGINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "datetime.datetime.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """D3: clock reads live in ``repro.obs``; everything else imports them.
+
+    A raw ``time.time()`` in a pipeline stage ends up inside payloads or
+    control flow and breaks run-to-run equivalence; latency measurement
+    is legitimate but must flow through :func:`repro.obs.clock.monotonic`
+    so the one allowlisted module is also the one place instrumentation
+    cost is accounted.
+    """
+
+    rule_id = "D3"
+    title = "wall-clock read outside repro.obs"
+    protects = "PR 1/2/4: deterministic payloads; one accounted clock boundary"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        imports = ImportMap(module.tree)
+        # References, not calls: `pc = time.perf_counter` smuggles the
+        # clock past a call-only check, so any mention of a banned
+        # origin — called, aliased, passed as a default factory — counts.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            origin = imports.resolve_call(node)
+            if origin in _CLOCK_ORIGINS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{origin} outside repro.obs: use "
+                    "repro.obs.clock.monotonic() for measurement; "
+                    "deterministic paths must not read clocks at all",
+                    detail=origin,
+                )

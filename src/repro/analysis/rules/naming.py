@@ -1,0 +1,73 @@
+"""O1: metric and span names follow the repro.obs dotted convention.
+
+One registry serves every tier (PR 2), and its exporters key series by
+name — ``pipeline.clean``, ``store.triples``, ``runtime.shard3.fed``.
+A stray ``Pipeline-Clean`` or ``events count`` still records fine but
+silently forks the namespace: dashboards, SLO budgets and cross-worker
+prefix-merges all match on exact strings. Names must be dotted
+lowercase ``[a-z0-9_]`` segments; f-string name builders are checked on
+their literal fragments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+#: Registry methods whose first argument is a metric/span name.
+_NAMED_INSTRUMENTS = frozenset(
+    {"counter", "gauge", "histogram", "latency_histogram", "span"}
+)
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+#: Valid characters for the literal fragments of an f-string name.
+_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+
+class MetricNameRule(Rule):
+    rule_id = "O1"
+    title = "metric/span name literal breaks the dotted-lowercase convention"
+    protects = "PR 2: one namespace across exporters, SLO budgets, merges"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _NAMED_INSTRUMENTS
+                and node.args
+            ):
+                continue
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                if not _NAME_RE.match(name_arg.value):
+                    yield self.finding(
+                        module,
+                        name_arg,
+                        f"metric/span name {name_arg.value!r} does not match "
+                        "the dotted-lowercase convention "
+                        "(^[a-z0-9_]+(\\.[a-z0-9_]+)*$)",
+                        detail=name_arg.value,
+                    )
+            elif isinstance(name_arg, ast.JoinedStr):
+                for piece in name_arg.values:
+                    if (
+                        isinstance(piece, ast.Constant)
+                        and isinstance(piece.value, str)
+                        and not _FRAGMENT_RE.match(piece.value)
+                    ):
+                        yield self.finding(
+                            module,
+                            name_arg,
+                            f"metric/span name fragment {piece.value!r} "
+                            "contains characters outside [a-z0-9_.]",
+                            detail=piece.value,
+                        )

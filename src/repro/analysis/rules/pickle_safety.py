@@ -1,0 +1,104 @@
+"""P1: nothing unpicklable may flow into the multi-process specs.
+
+``PipelineSpec`` and ``WorkerSpec`` are shipped to worker processes by
+pickling (spawn-safe by design, see :mod:`repro.runtime.worker`). A
+lambda or a function defined inside another function cannot be pickled;
+passing one compiles fine and every single-process test passes, then
+the first real ``WorkerPool`` run dies at spawn time. This rule rejects
+the pattern at the call site: arguments to spec construction must be
+data or module-level callables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+#: Constructors whose arguments must pickle (spawned across processes).
+_SPEC_NAMES = frozenset({"PipelineSpec", "WorkerSpec"})
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _local_unpicklables(scope: ast.AST) -> dict[str, str]:
+    """Names bound to lambdas or nested ``def``s inside one function scope."""
+    out: dict[str, str] = {}
+    for stmt in ast.walk(scope):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)) and stmt is not scope:
+            out[stmt.name] = "function defined inside another function"
+        elif isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Lambda):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = "name bound to a lambda"
+    return out
+
+
+class PickleSafetyRule(Rule):
+    rule_id = "P1"
+    title = "unpicklable callable passed into PipelineSpec/WorkerSpec"
+    protects = "PR 3: specs are pickled to spawned worker processes"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        # Walk function scopes so closure-bound names can be resolved;
+        # module level gets an empty local map (top-level defs pickle).
+        yield from self._check_scope(module, module.tree, {})
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(module, node, _local_unpicklables(node))
+
+    def _check_scope(
+        self, module: "ParsedModule", scope: ast.AST, local_bad: dict
+    ) -> Iterable[Finding]:
+        for node in self._direct_calls(scope):
+            if _call_name(node.func) not in _SPEC_NAMES:
+                continue
+            spec = _call_name(node.func)
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                yield from self._check_value(module, spec, value, local_bad)
+
+    def _direct_calls(self, scope: ast.AST) -> Iterable[ast.Call]:
+        """Calls in this scope, not descending into nested functions."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_value(
+        self, module: "ParsedModule", spec: str, value: ast.expr, local_bad: dict
+    ) -> Iterable[Finding]:
+        if isinstance(value, ast.Lambda):
+            yield self.finding(
+                module,
+                value,
+                f"lambda passed into {spec}(): specs are pickled to spawned "
+                "workers and lambdas cannot be pickled; use a module-level "
+                "function",
+                detail="lambda",
+            )
+        elif isinstance(value, ast.Name) and value.id in local_bad:
+            yield self.finding(
+                module,
+                value,
+                f"{value.id!r} ({local_bad[value.id]}) passed into {spec}(): "
+                "specs are pickled to spawned workers; use a module-level "
+                "function",
+                detail=value.id,
+            )

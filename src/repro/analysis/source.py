@@ -1,0 +1,105 @@
+"""Parsed source modules and inline-suppression extraction.
+
+A suppression is a comment of the form::
+
+    # lint: allow[D1] short reason why this hit is acceptable
+    # lint: allow[C1:field_name] reason scoped to one finding detail
+
+placed on the offending line or on the line directly above it. The
+reason is **mandatory** — a reasonless ``allow`` does not suppress and
+is itself reported (rule ``S1``); an ``allow`` that matches no finding
+is reported too (rule ``S2``), so stale suppressions cannot linger.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow\[(?P<rule>[A-Z]\d+)(?::(?P<detail>[A-Za-z0-9_.*-]+))?\]"
+    r"[ \t]*(?P<reason>[^#\n]*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``lint: allow`` comment."""
+
+    rule: str
+    detail: str
+    reason: str
+    line: int
+    used: bool = False
+
+    def matches(self, rule: str, line: int, detail: str) -> bool:
+        """Whether this suppression covers a finding.
+
+        Covers the comment's own line and the line below it (so a
+        standalone comment shields the statement it precedes). A
+        suppression with a detail only covers findings carrying that
+        exact detail; without one it covers any finding of the rule.
+        """
+        if self.rule != rule or not self.reason:
+            return False
+        if line not in (self.line, self.line + 1):
+            return False
+        return self.detail in ("", detail)
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: str  # module path relative to the scan root, posix-style
+    abspath: str
+    text: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+
+def parse_suppressions(text: str) -> list[Suppression]:
+    """Extract every ``lint: allow`` comment with its line number.
+
+    Only real ``COMMENT`` tokens count — the same directive quoted in a
+    docstring or string literal is prose, not a suppression.
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out
+    for token in tokens:
+        if token.type != tokenize.COMMENT or "lint:" not in token.string:
+            continue
+        match = _ALLOW_RE.search(token.string)
+        if match is None:
+            continue
+        out.append(
+            Suppression(
+                rule=match.group("rule"),
+                detail=match.group("detail") or "",
+                reason=(match.group("reason") or "").strip(),
+                line=token.start[0],
+            )
+        )
+    return out
+
+
+def parse_module(abspath: str, rel_path: str, text: str) -> ParsedModule:
+    """Parse one file into the shared per-module analysis input."""
+    tree = ast.parse(text, filename=abspath)
+    return ParsedModule(
+        path=rel_path,
+        abspath=abspath,
+        text=text,
+        tree=tree,
+        suppressions=parse_suppressions(text),
+    )

@@ -23,7 +23,6 @@ import hashlib
 import itertools
 import json
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
 
@@ -43,6 +42,7 @@ from repro.hashing import stable_hash
 from repro.insitu.filters import DeduplicateFilter, PlausibilityFilter
 from repro.insitu.synopses import SynopsesGenerator
 from repro.model.entities import EntityRegistry
+from repro.obs.clock import monotonic
 from repro.model.events import ComplexEvent, SimpleEvent
 from repro.model.points import Domain
 from repro.model.reports import PositionReport
@@ -439,7 +439,7 @@ class MobilityPipeline:
             )
             if self._trace_this_record:
                 record_span = self.metrics.span("pipeline.record", records=1)
-            record_started = time.perf_counter()
+            record_started = monotonic()
         self._record_faulted = False
         with record_span:
             try:
@@ -447,7 +447,7 @@ class MobilityPipeline:
             except _DeadLettered:
                 if obs:
                     self._lat_buf["end_to_end"].append(
-                        time.perf_counter() - record_started
+                        monotonic() - record_started
                     )
                 return []
         if self._record_faulted:
@@ -504,7 +504,7 @@ class MobilityPipeline:
             if every > 0 and ((base + every - 1) // every) * every < base + n:
                 batch_span = self.metrics.span("pipeline.batch", records=n)
             self._trace_this_record = False
-            pc = time.perf_counter
+            pc = monotonic
             buf = self._lat_buf
             t_batch = pc()
             t_prev = t_batch
@@ -783,7 +783,7 @@ class MobilityPipeline:
         # read per stage (inter-stage bookkeeping is charged to the
         # following stage).
         if obs:
-            pc = time.perf_counter
+            pc = monotonic
             buf = self._lat_buf
             t_prev = t_start
 
@@ -945,7 +945,7 @@ class MobilityPipeline:
 
     def run(self, reports: Iterable[PositionReport]) -> PipelineResult:
         """Process a whole (event-time ordered) stream and finalize."""
-        run_started = time.perf_counter()
+        run_started = monotonic()
         for report in reports:
             self.process_report(report)
         return self._finalize(run_started)
@@ -961,7 +961,7 @@ class MobilityPipeline:
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        run_started = time.perf_counter()
+        run_started = monotonic()
         for batch in _iter_batches(reports, batch_size):
             self.process_batch(batch)
         return self._finalize(run_started)
@@ -977,7 +977,7 @@ class MobilityPipeline:
                     triples = self.transformer.event_to_triples(event)
                     self.store.add_document(triples)
                     self._result.triples_stored += len(triples)
-        self._result.wall_time_s = time.perf_counter() - run_started
+        self._result.wall_time_s = monotonic() - run_started
         self._flush_latency()
         self._result.stage_latency = {
             stage: hist.summary() for stage, hist in self._latency.items()
@@ -1027,6 +1027,7 @@ class MobilityPipeline:
         "_retry_rngs",
     )
 
+    # lint: allow[C1] per-record transients (_trace_this_record, _record_faulted, _record_end) are dead at the record-boundary barrier; _lat_buf is drained into the checkpointed registry by _flush_latency() below
     def snapshot(self) -> dict[str, Any]:
         """Deep-copy every stateful component into a checkpoint payload.
 
@@ -1044,6 +1045,7 @@ class MobilityPipeline:
             {name: getattr(self, name) for name in self._STATEFUL_COMPONENTS}
         )
 
+    # lint: allow[C1] per-record transients (_trace_this_record, _record_faulted, _record_end) are reinitialized per record; resume always starts at a record boundary
     def restore(self, states: dict[str, Any]) -> None:
         """Reinstate a :meth:`snapshot` payload on a compatibly-built pipeline.
 
@@ -1082,7 +1084,7 @@ class MobilityPipeline:
         """
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint_interval must be positive")
-        run_started = time.perf_counter()
+        run_started = monotonic()
         offset = start_offset
         for report in reports:
             self.process_report(report)
@@ -1115,7 +1117,7 @@ class MobilityPipeline:
         """
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint_interval must be positive")
-        run_started = time.perf_counter()
+        run_started = monotonic()
         offset = start_offset
         boundary = offset // checkpoint_interval
         for batch in batches:
@@ -1172,7 +1174,7 @@ class MobilityPipeline:
                     checkpoint_interval,
                     start_offset=checkpoint.source_offset,
                 )
-            run_started = time.perf_counter()
+            run_started = monotonic()
             for batch in _iter_batches(suffix, batch_size):
                 self.process_batch(batch)
             return self._finalize(run_started)
@@ -1183,7 +1185,7 @@ class MobilityPipeline:
                 checkpoint_interval,
                 start_offset=checkpoint.source_offset,
             )
-        run_started = time.perf_counter()
+        run_started = monotonic()
         for report in suffix:
             self.process_report(report)
         return self._finalize(run_started)

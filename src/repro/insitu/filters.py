@@ -7,7 +7,6 @@ records no downstream component should ever see.
 
 from __future__ import annotations
 
-import copy
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -15,6 +14,7 @@ import numpy as np
 from repro.geo.geodesy import haversine_m, haversine_m_arrays
 from repro.model.entities import EntityRegistry
 from repro.model.reports import PositionReport
+from repro.streams.checkpoint import StatefulMixin
 
 #: Entity groups smaller than this go through the scalar path — the numpy
 #: round-trip costs more than three haversine calls.
@@ -29,7 +29,7 @@ _CHAIN_MIN_GROUP = 4
 _BOUNDARY_MARGIN = 1e-9
 
 
-class PlausibilityFilter:
+class PlausibilityFilter(StatefulMixin):
     """Rejects physically impossible reports.
 
     A report is rejected when the implied speed from the entity's previous
@@ -39,6 +39,8 @@ class PlausibilityFilter:
     rejected too (the stream layer handles bounded lateness; an entity's
     *own* history must stay ordered for kinematic checks to make sense).
     """
+
+    _STATE_FIELDS = ("_last", "rejected")
 
     def __init__(
         self,
@@ -150,21 +152,14 @@ class PlausibilityFilter:
     def __call__(self, report: PositionReport) -> bool:
         return self.accept(report)
 
-    def snapshot(self) -> dict:
-        """Capture per-entity filter state for a checkpoint."""
-        return {"last": dict(self._last), "rejected": self.rejected}
 
-    def restore(self, state: dict) -> None:
-        """Reinstate state captured by :meth:`snapshot`."""
-        self._last = dict(state["last"])
-        self.rejected = state["rejected"]
-
-
-class DeduplicateFilter:
+class DeduplicateFilter(StatefulMixin):
     """Drops exact duplicates: same entity, timestamp and position.
 
     Keeps a bounded per-entity memory of recent (t, lon, lat) keys.
     """
+
+    _STATE_FIELDS = ("_seen", "dropped")
 
     def __init__(self, memory: int = 64) -> None:
         if memory <= 0:
@@ -187,15 +182,6 @@ class DeduplicateFilter:
 
     def __call__(self, report: PositionReport) -> bool:
         return self.accept(report)
-
-    def snapshot(self) -> dict:
-        """Capture duplicate-memory state for a checkpoint."""
-        return {"seen": copy.deepcopy(self._seen), "dropped": self.dropped}
-
-    def restore(self, state: dict) -> None:
-        """Reinstate state captured by :meth:`snapshot`."""
-        self._seen = copy.deepcopy(state["seen"])
-        self.dropped = state["dropped"]
 
 
 def clean_reports(

@@ -1,0 +1,36 @@
+"""The one sanctioned clock in the codebase.
+
+Everything deterministic in this system — crash-resume, batch/record
+equivalence, cross-worker merges — forbids reading clocks in data
+paths; everything observable — latency histograms, spans, SLO gates —
+requires reading them constantly. This module is the boundary between
+the two: measurement code imports :func:`monotonic` from here, and the
+contract linter (rule D3, ``docs/static-analysis.md``) flags any direct
+``time.time()`` / ``time.perf_counter()`` / ``datetime.now()`` call
+anywhere else in ``src/``. One allowlisted module instead of dozens of
+per-call exemptions, and grep-for-importers enumerates every piece of
+code capable of observing wall time.
+
+The reading is :func:`time.perf_counter` — the highest-resolution
+monotonic clock Python offers. It has no defined epoch: values are only
+meaningful as differences within one process, which is exactly the
+shape a latency measurement needs and a record payload must never
+contain.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Seconds on a monotonic, high-resolution, process-local clock.
+
+    Use for interval measurement (``t1 - t0``) feeding latency
+    histograms, span durations, deadlines and backpressure waits. Never
+    persist raw values or let them reach record payloads: the clock's
+    zero point is arbitrary and differs across processes.
+    """
+    return time.perf_counter()

@@ -20,13 +20,13 @@ a reusable null context — so instrumented code needs no ``if`` guards.
 from __future__ import annotations
 
 import random
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
+from repro.obs.clock import monotonic
 from repro.obs.tracing import NULL_SPAN, Span, SpanRecord, Tracer
 
 __all__ = [
@@ -260,11 +260,11 @@ class OperatorMetrics:
     def mark_start(self) -> None:
         """Record wall-clock start of processing."""
         if self._started_at is None:
-            self._started_at = time.perf_counter()
+            self._started_at = monotonic()
 
     def mark_end(self) -> None:
         """Record wall-clock end of processing."""
-        self._ended_at = time.perf_counter()
+        self._ended_at = monotonic()
 
     def throughput_rps(self) -> float:
         """Records-in per wall-clock second over the run."""
@@ -296,11 +296,11 @@ class _Timer:
         self._started = 0.0
 
     def __enter__(self) -> "_Timer":
-        self._started = time.perf_counter()
+        self._started = monotonic()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
-        self._hist.record(time.perf_counter() - self._started)
+    def __exit__(self, *exc_info: object) -> bool:
+        self._hist.record(monotonic() - self._started)
         return False
 
 

@@ -45,7 +45,7 @@ class SLOBudget:
 
     def caps(self) -> list[tuple[str, float]]:
         """The configured ``(summary key, cap)`` pairs."""
-        out = []
+        out: list[tuple[str, float]] = []
         for key, cap in (("p50_ms", self.p50_ms), ("p95_ms", self.p95_ms), ("p99_ms", self.p99_ms)):
             if cap is not None:
                 out.append((key, cap))

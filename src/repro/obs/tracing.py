@@ -13,7 +13,7 @@ silently lost.
 
 from __future__ import annotations
 
-import time
+from repro.obs.clock import monotonic
 from dataclasses import dataclass
 
 
@@ -73,11 +73,11 @@ class Span:
 
     def __enter__(self) -> "Span":
         self._tracer._enter(self)
-        self._start = time.perf_counter()
+        self._start = monotonic()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
-        ended = time.perf_counter()
+    def __exit__(self, *exc_info: object) -> bool:
+        ended = monotonic()
         self._tracer._exit(self, ended - self._start)
         return False
 
@@ -99,7 +99,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
 
@@ -124,10 +124,10 @@ class Tracer:
         self._spans: list[SpanRecord] = []
         self._stack: list[Span] = []
         self._next_id = 0
-        self._epoch = time.perf_counter()
+        self._epoch = monotonic()
         self.dropped = 0
 
-    def span(self, name: str, records: int = 0):
+    def span(self, name: str, records: int = 0) -> "Span | _NullSpan":
         """Open a span named ``name``; children of the active span nest."""
         if not self.enabled:
             return NULL_SPAN
@@ -188,4 +188,4 @@ class Tracer:
         self._stack.clear()
         self._next_id = 0
         self.dropped = 0
-        self._epoch = time.perf_counter()
+        self._epoch = monotonic()

@@ -17,7 +17,6 @@ to the sequential sum, giving the simulated speedup of experiment E4.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
@@ -25,6 +24,7 @@ from repro.geo.bbox import BBox
 from repro.geo.geodesy import haversine_m
 from repro.model.trajectory import Trajectory
 from repro.model.points import Domain
+from repro.obs.clock import monotonic
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.query.ast import (
     CompareFilter,
@@ -180,10 +180,10 @@ class QueryExecutor:
         ``report.total_s`` covers the whole call, so phase times account
         for the total (see :meth:`ExecutionReport.phase_times`).
         """
-        total_started = time.perf_counter()
+        total_started = monotonic()
         report = ExecutionReport(partitions_total=self.store.n_partitions)
         with self.metrics.span("query.execute") as root_span:
-            plan_started = time.perf_counter()
+            plan_started = monotonic()
             with self.metrics.span("query.plan"):
                 star_var = query.is_subject_star()
                 ordered = order_patterns(query.patterns, estimator=self._estimator)
@@ -192,7 +192,7 @@ class QueryExecutor:
                     if star_var is not None
                     else None
                 )
-            report.plan_s = time.perf_counter() - plan_started
+            report.plan_s = monotonic() - plan_started
             with self.metrics.span("query.scan") as scan_span:
                 if star_var is not None and partitions is not None:
                     rows = self._execute_partition_local(
@@ -201,7 +201,7 @@ class QueryExecutor:
                 else:
                     rows = self._execute_global(query, ordered, report)
                 scan_span.add_records(len(rows))
-            post_started = time.perf_counter()
+            post_started = monotonic()
             with self.metrics.span("query.postprocess"):
                 if query.order_by is not None:
                     rows = self._apply_order(rows, query.order_by)
@@ -224,10 +224,10 @@ class QueryExecutor:
                 projected = [
                     {v: row[v] for v in query.select if v in row} for row in rows
                 ]
-            report.postprocess_s = time.perf_counter() - post_started
+            report.postprocess_s = monotonic() - post_started
             report.n_results = len(projected)
             root_span.add_records(len(projected))
-        report.total_s = time.perf_counter() - total_started
+        report.total_s = monotonic() - total_started
         self._record_query_metrics(report)
         return (projected, report)
 
@@ -239,10 +239,10 @@ class QueryExecutor:
         """
         from repro.query.parser import parse_query
 
-        parse_started = time.perf_counter()
+        parse_started = monotonic()
         with self.metrics.span("query.parse"):
             query = parse_query(text)
-        parse_s = time.perf_counter() - parse_started
+        parse_s = monotonic() - parse_started
         rows, report = self.execute(query)
         report.parse_s = parse_s
         report.total_s += parse_s
@@ -415,11 +415,11 @@ class QueryExecutor:
         report.pruning_ratio = 1.0 - (len(partitions) / max(1, self.store.n_partitions))
         rows: list[Bindings] = []
         for idx in partitions:
-            started = time.perf_counter()
+            started = monotonic()
             for row in self._join(ordered, {}, partitions=(idx,)):
                 if self._passes_filters(row, query.filters):
                     rows.append(row)
-            report.per_partition_s.append(time.perf_counter() - started)
+            report.per_partition_s.append(monotonic() - started)
         report.sequential_s = sum(report.per_partition_s)
         longest = max(report.per_partition_s, default=0.0)
         report.makespan_s = longest + COORDINATION_OVERHEAD_S * max(1, len(partitions))
@@ -433,13 +433,13 @@ class QueryExecutor:
     ) -> list[Bindings]:
         report.strategy = "global"
         report.partitions_scanned = self.store.n_partitions
-        started = time.perf_counter()
+        started = monotonic()
         rows = [
             row
             for row in self._join(ordered, {}, partitions=None)
             if self._passes_filters(row, query.filters)
         ]
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         report.per_partition_s = [elapsed]
         report.sequential_s = elapsed
         report.makespan_s = elapsed + COORDINATION_OVERHEAD_S * self.store.n_partitions

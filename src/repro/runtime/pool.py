@@ -14,9 +14,15 @@ platform default.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.process
 from dataclasses import replace
+from typing import TYPE_CHECKING, Any
 
 from repro.runtime.worker import WorkerSpec, worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.process import BaseProcess
+    from multiprocessing.queues import Queue as MPQueue
 
 __all__ = ["WorkerHandle", "WorkerPool"]
 
@@ -24,7 +30,14 @@ __all__ = ["WorkerHandle", "WorkerPool"]
 class WorkerHandle:
     """One live worker incarnation: its process and its private queues."""
 
-    def __init__(self, spec: WorkerSpec, process, in_queue, out_queue, incarnation: int) -> None:
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        process: "BaseProcess",
+        in_queue: "MPQueue[Any]",
+        out_queue: "MPQueue[Any]",
+        incarnation: int,
+    ) -> None:
         self.spec = spec
         self.process = process
         self.in_queue = in_queue

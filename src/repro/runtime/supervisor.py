@@ -33,12 +33,12 @@ import queue as queue_mod
 import shutil
 import tempfile
 import threading
-import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
-from repro.core.pipeline import PipelineSpec
+from repro.core.pipeline import PipelineResult, PipelineSpec
 from repro.model.reports import PositionReport
+from repro.obs.clock import monotonic
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.backpressure import AdmissionConfig, AdmissionController
 from repro.runtime.merge import ResultMerger, RuntimeResult, ShardOutcome
@@ -199,7 +199,9 @@ class _ShardRunner(threading.Thread):
 
     # -- one incarnation ----------------------------------------------------
 
-    def _run_incarnation(self, handle: WorkerHandle):
+    def _run_incarnation(
+        self, handle: WorkerHandle
+    ) -> "tuple[PipelineResult, MetricsRegistry]":
         start_offset = self._await_ready(handle)
         pos = start_offset
         while True:
@@ -231,7 +233,7 @@ class _ShardRunner(threading.Thread):
         self._admitted.extend(batch)
         return batch
 
-    def _put(self, handle: WorkerHandle, item) -> None:
+    def _put(self, handle: WorkerHandle, item: Any) -> None:
         """Enqueue with backpressure: block while full, health-check, retry."""
         while True:
             try:
@@ -248,14 +250,14 @@ class _ShardRunner(threading.Thread):
 
     def _await_ready(self, handle: WorkerHandle) -> int:
         """Wait for the incarnation's ready message; returns its offset."""
-        deadline = time.monotonic() + self._config.ready_timeout_s
+        deadline = monotonic() + self._config.ready_timeout_s
         while True:
             try:
                 kind, __, start_offset = handle.out_queue.get(timeout=0.1)
             except queue_mod.Empty:
                 if not handle.is_alive():
                     raise _WorkerDied from None
-                if time.monotonic() > deadline:
+                if monotonic() > deadline:
                     raise ShardFailedError(
                         f"shard {handle.shard_id} never reported ready"
                     ) from None
@@ -263,7 +265,9 @@ class _ShardRunner(threading.Thread):
             if kind == "ready":
                 return start_offset
 
-    def _await_result(self, handle: WorkerHandle):
+    def _await_result(
+        self, handle: WorkerHandle
+    ) -> "tuple[PipelineResult, MetricsRegistry]":
         """Wait for the final result; a death before it arrives restarts."""
         grace_deadline: float | None = None
         while True:
@@ -279,8 +283,8 @@ class _ShardRunner(threading.Thread):
                     if handle.exitcode != 0:
                         raise _WorkerDied from None
                     if grace_deadline is None:
-                        grace_deadline = time.monotonic() + 10.0
-                    elif time.monotonic() > grace_deadline:
+                        grace_deadline = monotonic() + 10.0
+                    elif monotonic() > grace_deadline:
                         raise _WorkerDied from None
                 continue
             if message is not None and message[0] == "result":
@@ -321,7 +325,7 @@ class Supervisor:
         restart budget; otherwise every routed (and admitted) record was
         processed exactly once, crashes notwithstanding.
         """
-        started = time.perf_counter()
+        started = monotonic()
         substreams = self.router.partition(reports)
         config = self.config
         checkpoint_root = config.checkpoint_dir or tempfile.mkdtemp(
@@ -371,5 +375,5 @@ class Supervisor:
         return merger.merge(
             outcomes,
             n_workers=config.n_workers,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=monotonic() - started,
         )

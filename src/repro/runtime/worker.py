@@ -23,12 +23,15 @@ import multiprocessing
 import queue as queue_mod
 import time
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.pipeline import PipelineSpec
 from repro.model.reports import PositionReport
 from repro.streams.chaos import CrashInjector, InjectedCrash
 from repro.streams.checkpoint import FileCheckpointStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.queues import Queue as MPQueue
 
 __all__ = ["WorkerSpec", "worker_main", "EOS", "CHAOS_EXIT_CODE"]
 
@@ -85,7 +88,7 @@ class WorkerSpec:
             raise ValueError("checkpoint_interval must be positive")
 
 
-def _drain(in_queue, service_time_s: float) -> Iterator[PositionReport]:
+def _drain(in_queue: "MPQueue[Any]", service_time_s: float) -> Iterator[PositionReport]:
     """Yield records from batched queue items until :data:`EOS`.
 
     Polls with a timeout so a worker orphaned by a dead parent exits
@@ -107,7 +110,7 @@ def _drain(in_queue, service_time_s: float) -> Iterator[PositionReport]:
             yield report
 
 
-def _drain_batches(in_queue, service_time_s: float) -> Iterator[list[PositionReport]]:
+def _drain_batches(in_queue: "MPQueue[Any]", service_time_s: float) -> Iterator[list[PositionReport]]:
     """Yield whole queue batches until :data:`EOS` (micro-batch dispatch).
 
     The modeled downstream service time is paid once per batch
@@ -164,7 +167,9 @@ class _BatchCrashInjector:
             yield batch
 
 
-def worker_main(spec: WorkerSpec, in_queue, out_queue) -> None:
+def worker_main(
+    spec: WorkerSpec, in_queue: "MPQueue[Any]", out_queue: "MPQueue[Any]"
+) -> None:
     """Process entry point: build, maybe restore, consume, report.
 
     Protocol on ``out_queue``:

@@ -16,13 +16,13 @@ and EXPERIMENTS.md says so.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
 
 from repro.geo.bbox import BBox
+from repro.obs.clock import monotonic
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.rdf import vocabulary as V
 from repro.rdf.terms import Literal, Term, Triple
@@ -125,13 +125,13 @@ class ParallelRDFStore:
         stability), regardless of key drift.
         """
         obs = self._obs
-        insert_started = time.perf_counter() if obs else 0.0
+        insert_started = monotonic() if obs else 0.0
         partition_idx, ids = self._encode_document(triples)
         self.partitions[partition_idx].add_triples(ids)
         if obs:
             self._docs_counter.inc()
             self._triples_counter.inc(len(ids))
-            self._add_latency.record(time.perf_counter() - insert_started)
+            self._add_latency.record(monotonic() - insert_started)
         return partition_idx
 
     def add_documents(self, documents: Iterable[Iterable[Triple]]) -> int:
@@ -147,7 +147,7 @@ class ParallelRDFStore:
         document sample per batch rather than one sample per document.
         """
         obs = self._obs
-        insert_started = time.perf_counter() if obs else 0.0
+        insert_started = monotonic() if obs else 0.0
         per_partition: dict[int, list[tuple[int, int, int]]] = {}
         n_docs = 0
         n_triples = 0
@@ -162,7 +162,7 @@ class ParallelRDFStore:
             self._docs_counter.inc(n_docs)
             self._triples_counter.inc(n_triples)
             self._add_latency.record(
-                (time.perf_counter() - insert_started) / n_docs
+                (monotonic() - insert_started) / n_docs
             )
         return n_docs
 

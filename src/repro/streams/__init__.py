@@ -44,6 +44,7 @@ from repro.streams.checkpoint import (
     CheckpointStore,
     FileCheckpointStore,
     InMemoryCheckpointStore,
+    StatefulMixin,
 )
 from repro.streams.chaos import (
     ChaosConfig,
@@ -84,6 +85,7 @@ __all__ = [
     "ParallelKeyedRunner",
     "ParallelRunReport",
     "Checkpoint",
+    "StatefulMixin",
     "CheckpointStore",
     "FileCheckpointStore",
     "InMemoryCheckpointStore",

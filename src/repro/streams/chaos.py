@@ -106,6 +106,19 @@ class DeadLetterQueue:
             out[letter.stage] = out.get(letter.stage, 0) + 1
         return out
 
+    def snapshot(self) -> list[DeadLetter]:
+        """Copy the parked letters for a checkpoint (letters are frozen)."""
+        return list(self._items)
+
+    def restore(self, state: list[DeadLetter]) -> None:
+        """Replace the contents **in place**, preserving queue identity.
+
+        Operators snapshot a shared DLQ independently; restoring in
+        place (rather than rebinding) keeps every sharer attached to the
+        same queue object.
+        """
+        self._items[:] = state
+
 
 class CrashInjector:
     """Iterable wrapper that raises :class:`InjectedCrash` mid-stream.
@@ -297,6 +310,8 @@ class RetryingOperator(Operator):
             "retries": self.retries,
             "recovered": self.recovered,
             "total_backoff_s": self.total_backoff_s,
+            "dlq": self.dlq.snapshot(),
+            "rng": self._rng.getstate(),
         }
 
     def restore(self, state: Any) -> None:
@@ -305,3 +320,8 @@ class RetryingOperator(Operator):
         self.retries = state["retries"]
         self.recovered = state["recovered"]
         self.total_backoff_s = state["total_backoff_s"]
+        # Restored in place so a DLQ shared between operators keeps its
+        # identity; every sharer snapshots the same full contents, so the
+        # last restore wins with an identical list.
+        self.dlq.restore(state["dlq"])
+        self._rng.setstate(state["rng"])

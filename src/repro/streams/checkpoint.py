@@ -22,10 +22,55 @@ produces outputs and counts identical to an uninterrupted run.
 
 from __future__ import annotations
 
+import copy
 import os
 import pickle
 from dataclasses import dataclass
 from typing import Any
+
+
+class StatefulMixin:
+    """Dict-shaped ``snapshot()``/``restore()`` from one field list.
+
+    Most stateful components implement the checkpoint protocol as the
+    same boilerplate: deep-copy N named fields into a dict, read the
+    same N fields back out. Inherit this mixin and declare the fields
+    once instead::
+
+        class DeduplicateFilter(StatefulMixin):
+            _STATE_FIELDS = ("_seen", "dropped")
+
+    The contract linter's snapshot-coverage rule (C1, see
+    ``docs/static-analysis.md``) understands ``_STATE_FIELDS`` and
+    verifies the literal names every mutable field — so forgetting to
+    list a new field is a lint error, exactly as forgetting it in a
+    hand-written ``snapshot()`` would be.
+
+    Payloads are self-contained (deep-copied both ways) and restore
+    refuses a payload missing any declared field, so a renamed field
+    cannot silently restore to nothing.
+    """
+
+    #: Names of every mutable attribute this object must checkpoint.
+    _STATE_FIELDS: tuple[str, ...] = ()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deep-copy every declared field into a checkpoint payload."""
+        return {
+            field: copy.deepcopy(getattr(self, field))
+            for field in self._STATE_FIELDS
+        }
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Reinstate a payload captured by :meth:`snapshot`."""
+        missing = [field for field in self._STATE_FIELDS if field not in state]
+        if missing:
+            raise KeyError(
+                f"checkpoint payload for {type(self).__name__} is missing "
+                f"state fields: {missing}"
+            )
+        for field in self._STATE_FIELDS:
+            setattr(self, field, copy.deepcopy(state[field]))
 
 
 @dataclass(frozen=True)
@@ -139,7 +184,7 @@ class FileCheckpointStore(CheckpointStore):
             return pickle.load(fh)
 
     def checkpoint_ids(self) -> list[int]:
-        ids = []
+        ids: list[int] = []
         for name in os.listdir(self._dir):
             if name.startswith(self._PREFIX) and name.endswith(self._SUFFIX):
                 ids.append(int(name[len(self._PREFIX) : -len(self._SUFFIX)]))

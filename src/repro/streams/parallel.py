@@ -11,11 +11,11 @@ has (experiment E2b).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.hashing import stable_shard
+from repro.obs.clock import monotonic
 from repro.streams.operators import Operator
 from repro.streams.records import Record
 
@@ -107,14 +107,14 @@ class ParallelKeyedRunner:
             task_idx = self._route(record.value)
             report.records_in += 1
             report.per_task_records[task_idx] += 1
-            started = time.perf_counter()
+            started = monotonic()
             produced = list(self.tasks[task_idx].process(record))
-            report.per_task_s[task_idx] += time.perf_counter() - started
+            report.per_task_s[task_idx] += monotonic() - started
             outputs.extend(produced)
         for task_idx, task in enumerate(self.tasks):
-            started = time.perf_counter()
+            started = monotonic()
             produced = list(task.on_end())
-            report.per_task_s[task_idx] += time.perf_counter() - started
+            report.per_task_s[task_idx] += monotonic() - started
             outputs.extend(produced)
         report.records_out = len(outputs)
         report.sequential_s = sum(report.per_task_s)

@@ -16,6 +16,7 @@ from __future__ import annotations
 import time
 from typing import Any, Generic, Iterable, Iterator, TypeVar
 
+from repro.obs.clock import monotonic
 from repro.streams.records import Record
 
 T = TypeVar("T")
@@ -63,7 +64,7 @@ def replay(
     timed_values: Iterable[tuple[float, Any]],
     speedup: float = 60.0,
     max_sleep_s: float = 1.0,
-    clock=time.monotonic,
+    clock=monotonic,
     sleep=time.sleep,
 ) -> Iterator[Record]:
     """Yield records paced so event time advances ``speedup``× wall time.

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 import copy
 import itertools
-import time
 from typing import Any, Iterable, Iterator
 
+from repro.obs.clock import monotonic
 from repro.obs.metrics import LatencyHistogram, MetricsRegistry, OperatorMetrics
 from repro.obs.tracing import NULL_SPAN
 from repro.streams.checkpoint import Checkpoint, CheckpointStore
@@ -154,11 +154,11 @@ class StreamRunner:
         )
         with run_span:
             for record in records:
-                ingest_started = time.perf_counter() if self.track_latency else 0.0
+                ingest_started = monotonic() if self.track_latency else 0.0
                 for source in self.topology._sources:
                     self._push_record(source, record)
                 if self.track_latency:
-                    self.end_to_end_latency.record(time.perf_counter() - ingest_started)
+                    self.end_to_end_latency.record(monotonic() - ingest_started)
                 count += 1
                 if count % self.watermark_interval == 0:
                     wm = self._wm_gen.observe(record.event_time)
@@ -243,9 +243,9 @@ class StreamRunner:
     def _push_record(self, stage: _Stage, record: Record) -> None:
         stage.metrics.records_in.inc()
         if self.track_latency:
-            started = time.perf_counter()
+            started = monotonic()
             outputs = list(stage.operator.process(record))
-            stage.metrics.processing_latency.record(time.perf_counter() - started)
+            stage.metrics.processing_latency.record(monotonic() - started)
         else:
             outputs = list(stage.operator.process(record))
         stage.metrics.records_out.inc(len(outputs))

@@ -1,0 +1,36 @@
+"""Shared fixture helper: write a source tree, run the linter over it."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths
+
+
+@pytest.fixture
+def lint(tmp_path):
+    """Write ``files`` (relpath → source) under a tmp tree and lint it.
+
+    Paths containing a ``repro/`` segment land in rule scopes exactly as
+    in-repo modules do (the engine keys scopes on the ``repro/…``
+    suffix). An empty ``config`` applies no scopes or allowlists, so
+    every rule sees every fixture file unless the test opts into the
+    default policy.
+    """
+
+    calls = iter(range(1000))
+
+    def run(files, rules=None, config=AnalysisConfig()):
+        root = tmp_path / f"tree{next(calls)}"
+        for rel, text in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text))
+        return analyze_paths([str(root)], config=config, rules=rules)
+
+    return run
+
+
+def open_rules(result):
+    """The rule ids of a result's open findings, with multiplicity."""
+    return [f.rule for f in result.open_findings]

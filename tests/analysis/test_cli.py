@@ -1,0 +1,139 @@
+"""CLI surface: exit codes, human rendering, and the JSON report schema."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.engine import JSON_SCHEMA_VERSION
+
+
+@pytest.fixture
+def tree(tmp_path):
+    def write(files):
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(text)
+        return str(tmp_path)
+
+    return write
+
+
+def test_clean_tree_exits_zero(tree, capsys):
+    root = tree({"mod.py": "def f(x):\n    return x\n"})
+    assert main([root]) == 0
+    out = capsys.readouterr().out
+    assert "1 files scanned: 0 open, 0 suppressed, 0 allowlisted" in out
+
+
+def test_open_finding_exits_one(tree, capsys):
+    root = tree({"mod.py": "def f(x):\n    return hash(x)\n"})
+    assert main([root]) == 1
+    out = capsys.readouterr().out
+    assert "[D1]" in out
+    assert "mod.py:2:" in out
+
+
+def test_unknown_rule_id_exits_two(tree, capsys):
+    root = tree({"mod.py": "x = 1\n"})
+    assert main([root, "--rules", "D1,ZZ9"]) == 2
+    assert "ZZ9" in capsys.readouterr().err
+
+
+def test_rule_selection_runs_only_those(tree):
+    root = tree({"mod.py": "def f(x):\n    return hash(x)\n"})
+    assert main([root, "--rules", "D3"]) == 0
+    assert main([root, "--rules", "D1"]) == 1
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("D1", "D2", "D3", "C1", "P1", "O1", "S1", "S2"):
+        assert rule_id in out
+
+
+def test_show_suppressed_prints_reasons(tree, capsys):
+    root = tree(
+        {
+            "mod.py": (
+                "def f(x):\n"
+                "    return hash(x)  # lint: allow[D1] fixture reason text\n"
+            )
+        }
+    )
+    assert main([root, "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    assert "suppressed: fixture reason text" in out
+
+
+class TestJsonReport:
+    def run_json(self, root, capsys, *extra):
+        code = main([root, "--json", *extra])
+        return code, json.loads(capsys.readouterr().out)
+
+    def test_schema_shape(self, tree, capsys):
+        root = tree(
+            {
+                "mod.py": (
+                    "import time\n\n"
+                    "def f(x):\n"
+                    "    return hash(x), time.time()"
+                    "  # lint: allow[D1] fixture\n"
+                )
+            }
+        )
+        code, report = self.run_json(root, capsys)
+        assert code == 1
+        assert set(report) == {
+            "version",
+            "root",
+            "files_scanned",
+            "counts",
+            "findings",
+            "suppressed",
+            "allowlisted",
+            "errors",
+        }
+        assert report["version"] == JSON_SCHEMA_VERSION
+        assert report["files_scanned"] == 1
+        assert report["counts"] == {"open": 1, "suppressed": 1, "allowlisted": 0}
+        (finding,) = report["findings"]
+        # Empty detail/reason are omitted from the wire format.
+        assert {"rule", "path", "line", "col", "message"} <= set(finding)
+        assert set(finding) <= {
+            "rule",
+            "path",
+            "line",
+            "col",
+            "message",
+            "detail",
+            "reason",
+        }
+        assert finding["rule"] == "D3"
+        assert finding["path"] == "mod.py"
+        assert isinstance(finding["line"], int) and finding["line"] > 0
+        (suppressed,) = report["suppressed"]
+        assert suppressed["rule"] == "D1"
+        assert suppressed["reason"] == "fixture"
+
+    def test_clean_report_counts(self, tree, capsys):
+        root = tree({"mod.py": "x = 1\n"})
+        code, report = self.run_json(root, capsys)
+        assert code == 0
+        assert report["counts"] == {"open": 0, "suppressed": 0, "allowlisted": 0}
+        assert report["findings"] == []
+        assert report["errors"] == []
+
+    def test_report_is_deterministic(self, tree, capsys):
+        root = tree(
+            {
+                "b.py": "def f(x):\n    return hash(x)\n",
+                "a.py": "def g(x):\n    return hash(x)\n",
+            }
+        )
+        _, first = self.run_json(root, capsys)
+        _, second = self.run_json(root, capsys)
+        assert first == second
+        assert [f["path"] for f in first["findings"]] == ["a.py", "b.py"]

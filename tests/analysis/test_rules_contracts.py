@@ -1,0 +1,280 @@
+"""C1 snapshot-coverage shapes: pairs, mixin, operators, suppression."""
+
+from tests.analysis.conftest import open_rules
+
+_MIXIN = """\
+class StatefulMixin:
+    _STATE_FIELDS = ()
+
+    def snapshot(self):
+        return {f: getattr(self, f) for f in self._STATE_FIELDS}
+
+    def restore(self, state):
+        for f in self._STATE_FIELDS:
+            setattr(self, f, state[f])
+"""
+
+_OPERATOR = """\
+class Operator:
+    def snapshot(self):
+        return None
+
+    def restore(self, state):
+        return None
+"""
+
+
+class TestPairCoverage:
+    def test_snapshot_dropping_mutable_field(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                class Counter:
+                    def __init__(self):
+                        self.count = 0
+                        self.seen = {}
+
+                    def feed(self, key):
+                        self.count += 1
+                        self.seen[key] = True
+
+                    def snapshot(self):
+                        return {"seen": dict(self.seen)}
+
+                    def restore(self, state):
+                        self.seen = dict(state["seen"])
+                """
+            }
+        )
+        # count is missing from both methods: one finding each.
+        assert open_rules(result) == ["C1", "C1"]
+        assert {f.detail for f in result.open_findings} == {"count"}
+
+    def test_full_pair_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                class Counter:
+                    def __init__(self):
+                        self.count = 0
+
+                    def feed(self):
+                        self.count += 1
+
+                    def snapshot(self):
+                        return {"count": self.count}
+
+                    def restore(self, state):
+                        self.count = state["count"]
+                """
+            }
+        )
+        assert result.ok
+
+    def test_config_fields_are_not_state(self, lint):
+        # Assigned in __init__, never mutated after: not required.
+        result = lint(
+            {
+                "mod.py": """\
+                class Op:
+                    def __init__(self, size):
+                        self.size = size
+                        self.buf = []
+
+                    def feed(self, x):
+                        self.buf.append(x)
+
+                    def snapshot(self):
+                        return list(self.buf)
+
+                    def restore(self, state):
+                        self.buf = list(state)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_snapshot_without_restore(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                class Op:
+                    def snapshot(self):
+                        return None
+                """
+            }
+        )
+        assert open_rules(result) == ["C1"]
+        assert "without restore()" in result.open_findings[0].message
+
+    def test_dynamic_loop_checked_against_driving_literal(self, lint):
+        # A getattr loop covers exactly what _STATEFUL_COMPONENTS names;
+        # a mutable field outside the literal is still a finding.
+        result = lint(
+            {
+                "mod.py": """\
+                class Pipe:
+                    _STATEFUL_COMPONENTS = ("buf",)
+
+                    def __init__(self):
+                        self.buf = []
+                        self.count = 0
+
+                    def feed(self, x):
+                        self.buf.append(x)
+                        self.count += 1
+
+                    def snapshot(self):
+                        return {n: getattr(self, n) for n in self._STATEFUL_COMPONENTS}
+
+                    def restore(self, state):
+                        for n in self._STATEFUL_COMPONENTS:
+                            setattr(self, n, state[n])
+                """
+            }
+        )
+        assert open_rules(result) == ["C1", "C1"]
+        assert {f.detail for f in result.open_findings} == {"count"}
+
+
+class TestStatefulMixin:
+    def test_omitted_field_is_flagged(self, lint):
+        result = lint(
+            {
+                "mixin.py": _MIXIN,
+                "mod.py": """\
+                from mixin import StatefulMixin
+
+                class Dedup(StatefulMixin):
+                    _STATE_FIELDS = ("seen",)
+
+                    def __init__(self):
+                        self.seen = {}
+                        self.dropped = 0
+
+                    def feed(self, key):
+                        if key in self.seen:
+                            self.dropped += 1
+                        self.seen[key] = True
+                """,
+            }
+        )
+        assert open_rules(result) == ["C1"]
+        assert result.open_findings[0].detail == "dropped"
+        assert "_STATE_FIELDS omits" in result.open_findings[0].message
+
+    def test_complete_field_list_is_clean(self, lint):
+        result = lint(
+            {
+                "mixin.py": _MIXIN,
+                "mod.py": """\
+                from mixin import StatefulMixin
+
+                class Dedup(StatefulMixin):
+                    _STATE_FIELDS = ("seen", "dropped")
+
+                    def __init__(self):
+                        self.seen = {}
+                        self.dropped = 0
+
+                    def feed(self, key):
+                        if key in self.seen:
+                            self.dropped += 1
+                        self.seen[key] = True
+                """,
+            }
+        )
+        assert result.ok
+
+
+class TestOperatorWithoutPair:
+    def test_stateful_operator_missing_pair(self, lint):
+        result = lint(
+            {
+                "ops.py": _OPERATOR,
+                "mod.py": """\
+                from ops import Operator
+
+                class Summer(Operator):
+                    def __init__(self):
+                        self.total = 0
+
+                    def process(self, x):
+                        self.total += x
+                """,
+            }
+        )
+        assert open_rules(result) == ["C1"]
+        assert "no snapshot()/restore()" in result.open_findings[0].message
+
+    def test_stateless_operator_is_clean(self, lint):
+        result = lint(
+            {
+                "ops.py": _OPERATOR,
+                "mod.py": """\
+                from ops import Operator
+
+                class Doubler(Operator):
+                    def __init__(self, factor):
+                        self.factor = factor
+
+                    def process(self, x):
+                        return x * self.factor
+                """,
+            }
+        )
+        assert result.ok
+
+    def test_inherited_snapshot_not_covering_new_field(self, lint):
+        result = lint(
+            {
+                "ops.py": _OPERATOR,
+                "mod.py": """\
+                from ops import Operator
+
+                class Base(Operator):
+                    def __init__(self):
+                        self.buf = []
+
+                    def process(self, x):
+                        self.buf.append(x)
+
+                    def snapshot(self):
+                        return list(self.buf)
+
+                    def restore(self, state):
+                        self.buf = list(state)
+
+                class Child(Base):
+                    def __init__(self):
+                        super().__init__()
+                        self.extra = 0
+
+                    def process(self, x):
+                        self.extra += 1
+                        self.buf.append(x)
+                """,
+            }
+        )
+        assert open_rules(result) == ["C1"]
+        assert result.open_findings[0].detail == "extra"
+
+    def test_suppression_on_class_line(self, lint):
+        result = lint(
+            {
+                "ops.py": _OPERATOR,
+                "mod.py": """\
+                from ops import Operator
+
+                # lint: allow[C1] fixture: transient not worth checkpointing
+                class Summer(Operator):
+                    def __init__(self):
+                        self.total = 0
+
+                    def process(self, x):
+                        self.total += x
+                """,
+            }
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["C1"]

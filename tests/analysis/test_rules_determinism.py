@@ -1,0 +1,203 @@
+"""D1/D2/D3: positive, negative and suppressed fixtures per rule."""
+
+from repro.analysis import DEFAULT_CONFIG
+
+from tests.analysis.conftest import open_rules
+
+
+class TestBuiltinHash:
+    def test_flags_builtin_hash_call(self, lint):
+        result = lint({"mod.py": "def f(x):\n    return hash(x) % 8\n"})
+        assert open_rules(result) == ["D1"]
+        assert "PYTHONHASHSEED" in result.open_findings[0].message
+
+    def test_stable_hash_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                from repro.hashing import stable_hash
+
+                def f(x):
+                    return stable_hash(x) % 8
+                """
+            }
+        )
+        assert result.ok
+
+    def test_method_named_hash_is_clean(self, lint):
+        result = lint({"mod.py": "def f(h, x):\n    return h.hash(x)\n"})
+        assert result.ok
+
+    def test_suppression_with_reason(self, lint):
+        result = lint(
+            {
+                "mod.py": (
+                    "def f(x):\n"
+                    "    return hash(x)  # lint: allow[D1] fixture exercising"
+                    " the suppressed bucket\n"
+                )
+            }
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["D1"]
+        assert "fixture" in result.suppressed[0].reason
+
+
+class TestUnseededRng:
+    def test_flags_unseeded_random(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                import random
+
+                RNG = random.Random()
+                """
+            }
+        )
+        assert open_rules(result) == ["D2"]
+
+    def test_flags_unseeded_default_rng_via_alias(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                import numpy as np
+
+                RNG = np.random.default_rng()
+                """
+            }
+        )
+        assert open_rules(result) == ["D2"]
+
+    def test_flags_global_random_function(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                from random import shuffle
+
+                def f(items):
+                    shuffle(items)
+                """
+            }
+        )
+        assert open_rules(result) == ["D2"]
+
+    def test_seeded_rngs_are_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                import random
+
+                import numpy as np
+
+                RNG = random.Random(1234)
+                NP_RNG = np.random.default_rng(seed=1234)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_default_scope_ignores_paths_outside_pipeline(self, lint):
+        source = "import random\n\nRNG = random.Random()\n"
+        scoped = lint({"repro/core/mod.py": source}, config=DEFAULT_CONFIG)
+        assert open_rules(scoped) == ["D2"]
+        unscoped = lint({"repro/viz/mod.py": source}, config=DEFAULT_CONFIG)
+        assert unscoped.ok
+
+    def test_suppression_covers_next_line(self, lint):
+        result = lint(
+            {
+                "mod.py": (
+                    "import random\n\n"
+                    "# lint: allow[D2] fixture for line-below coverage\n"
+                    "RNG = random.Random()\n"
+                )
+            }
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["D2"]
+
+
+class TestWallClock:
+    def test_flags_time_call(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+            }
+        )
+        assert open_rules(result) == ["D3"]
+
+    def test_flags_aliased_reference_without_call(self, lint):
+        # `pc = time.perf_counter` smuggles the clock past call-only
+        # detection; the rule is reference-based for exactly this case.
+        result = lint(
+            {
+                "mod.py": """\
+                from time import perf_counter
+
+                def f():
+                    pc = perf_counter
+                    return pc
+                """
+            }
+        )
+        assert "D3" in open_rules(result)
+
+    def test_flags_datetime_now(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                from datetime import datetime
+
+                def stamp():
+                    return datetime.now()
+                """
+            }
+        )
+        assert open_rules(result) == ["D3"]
+
+    def test_sanctioned_monotonic_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                from repro.obs.clock import monotonic
+
+                def f():
+                    return monotonic()
+                """
+            }
+        )
+        assert result.ok
+
+    def test_time_sleep_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                import time
+
+                def f():
+                    time.sleep(0.1)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_default_allowlist_covers_clock_module(self, lint):
+        result = lint(
+            {
+                "repro/obs/clock.py": """\
+                import time
+
+                def monotonic():
+                    return time.perf_counter()
+                """
+            },
+            config=DEFAULT_CONFIG,
+        )
+        assert result.ok
+        assert [f.rule for f in result.allowlisted] == ["D3"]
+        assert "sanctioned clock boundary" in result.allowlisted[0].reason

@@ -1,0 +1,138 @@
+"""P1 (pickle safety) and O1 (metric naming) fixtures."""
+
+from tests.analysis.conftest import open_rules
+
+
+class TestPickleSafety:
+    def test_flags_lambda_argument(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def build():
+                    return PipelineSpec(source=lambda: [])
+                """
+            }
+        )
+        assert open_rules(result) == ["P1"]
+        assert "lambda" in result.open_findings[0].message
+
+    def test_flags_nested_function_by_name(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def build():
+                    def source():
+                        return []
+
+                    return WorkerSpec(source=source)
+                """
+            }
+        )
+        assert open_rules(result) == ["P1"]
+        assert result.open_findings[0].detail == "source"
+
+    def test_module_level_function_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def source():
+                    return []
+
+                def build():
+                    return PipelineSpec(source=source)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_lambda_into_other_calls_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def f(items):
+                    return sorted(items, key=lambda x: x[0])
+                """
+            }
+        )
+        assert result.ok
+
+    def test_suppression_with_reason(self, lint):
+        result = lint(
+            {
+                "mod.py": (
+                    "def build():\n"
+                    "    # lint: allow[P1] fixture: single-process test"
+                    " harness never pickles this spec\n"
+                    "    return PipelineSpec(source=lambda: [])\n"
+                )
+            }
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["P1"]
+
+
+class TestMetricNaming:
+    def test_flags_non_dotted_name(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def instrument(metrics):
+                    return metrics.counter("Pipeline-Clean")
+                """
+            }
+        )
+        assert open_rules(result) == ["O1"]
+        assert result.open_findings[0].detail == "Pipeline-Clean"
+
+    def test_flags_bad_fstring_fragment(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def instrument(metrics, shard):
+                    return metrics.gauge(f"runtime shard {shard}.rate")
+                """
+            }
+        )
+        assert open_rules(result) == ["O1"]
+
+    def test_dotted_lowercase_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def instrument(metrics, shard):
+                    metrics.counter("pipeline.clean")
+                    metrics.latency_histogram("store.insert_ms")
+                    metrics.gauge(f"runtime.shard{shard}.admit_rate")
+                    with metrics.span("ingest.parse"):
+                        pass
+                """
+            }
+        )
+        assert result.ok
+
+    def test_unrelated_method_names_ignored(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def f(widget):
+                    return widget.span("NOT A METRIC -- wait, yes it is?")
+                """
+            }
+        )
+        # `span` is a named instrument regardless of receiver: the rule
+        # is name-based on purpose, and this one is correctly flagged.
+        assert open_rules(result) == ["O1"]
+
+    def test_suppression_with_reason(self, lint):
+        result = lint(
+            {
+                "mod.py": (
+                    "def instrument(metrics):\n"
+                    '    return metrics.counter("Legacy Name")'
+                    "  # lint: allow[O1] fixture: frozen external"
+                    " dashboard key\n"
+                )
+            }
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["O1"]

@@ -1,0 +1,81 @@
+"""The linter self-hosts: src/ is clean, and mutations are caught.
+
+The mutation tests are the proof the self-lint result is meaningful:
+they re-introduce the exact defect classes the rules exist for into
+copies of real modules and assert the run turns red.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+from repro.analysis.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_is_clean():
+    result = analyze_paths([str(REPO_SRC)])
+    assert result.errors == []
+    assert result.open_findings == [], "\n".join(
+        f"{f.located()}: [{f.rule}] {f.message}" for f in result.open_findings
+    )
+    assert result.ok
+
+
+def test_every_suppression_in_src_carries_a_reason():
+    result = analyze_paths([str(REPO_SRC)])
+    for finding in result.suppressed + result.allowlisted:
+        assert finding.reason.strip(), finding
+
+
+def _copy_tree(tmp_path, rel_sources):
+    for rel in rel_sources:
+        dest = tmp_path / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text((REPO_SRC / rel).read_text())
+    return tmp_path
+
+
+class TestMutations:
+    def test_dropping_a_state_field_turns_the_run_red(self, tmp_path):
+        root = _copy_tree(
+            tmp_path, ["repro/insitu/filters.py", "repro/streams/checkpoint.py"]
+        )
+        target = root / "repro/insitu/filters.py"
+        mutated = target.read_text().replace(
+            '_STATE_FIELDS = ("_seen", "dropped")', '_STATE_FIELDS = ("_seen",)'
+        )
+        assert mutated != target.read_text(), "mutation site moved; update test"
+        target.write_text(mutated)
+        assert main([str(root)]) == 1
+        result = analyze_paths([str(root)])
+        assert any(
+            f.rule == "C1" and f.detail == "dropped" for f in result.open_findings
+        )
+
+    def test_unmutated_copies_stay_green(self, tmp_path):
+        root = _copy_tree(
+            tmp_path, ["repro/insitu/filters.py", "repro/streams/checkpoint.py"]
+        )
+        assert main([str(root)]) == 0
+
+    def test_introducing_builtin_hash_turns_the_run_red(self, tmp_path):
+        root = _copy_tree(tmp_path, ["repro/streams/checkpoint.py"])
+        target = root / "repro/streams/checkpoint.py"
+        target.write_text(
+            target.read_text() + "\n\ndef _bucket(key):\n    return hash(key) % 8\n"
+        )
+        assert main([str(root)]) == 1
+        result = analyze_paths([str(root)])
+        assert [f.rule for f in result.open_findings] == ["D1"]
+
+    def test_introducing_wall_clock_read_turns_the_run_red(self, tmp_path):
+        root = _copy_tree(tmp_path, ["repro/streams/checkpoint.py"])
+        target = root / "repro/streams/checkpoint.py"
+        target.write_text(
+            target.read_text()
+            + "\n\nimport time\n\ndef _stamp():\n    return time.time()\n"
+        )
+        assert main([str(root)]) == 1
+        result = analyze_paths([str(root)])
+        assert [f.rule for f in result.open_findings] == ["D3"]
