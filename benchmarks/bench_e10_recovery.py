@@ -19,7 +19,7 @@ import pytest
 
 from benchmarks.conftest import emit_table
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import MobilityPipeline
+from repro.core.pipeline import CheckpointOptions, MobilityPipeline
 from repro.streams.chaos import CrashInjector, InjectedCrash
 from repro.streams.checkpoint import InMemoryCheckpointStore
 from repro.streams.replay import ReplayLog
@@ -43,8 +43,8 @@ def test_e10_checkpoint_overhead(maritime_fleet):
 
     for interval in (2000, 500, 100):
         store = InMemoryCheckpointStore(retain=2)
-        result = _fresh_pipeline(maritime_fleet).run_with_checkpoints(
-            reports, store, checkpoint_interval=interval
+        result = _fresh_pipeline(maritime_fleet).run(
+            reports, checkpoints=CheckpointOptions(store=store, interval=interval)
         )
         n_checkpoints = len(reports) // interval
         overhead = (result.wall_time_s / baseline.wall_time_s - 1.0) * 100.0
@@ -69,13 +69,16 @@ def test_e10_recovery_cost(maritime_fleet):
     store = InMemoryCheckpointStore(retain=2)
     crashed = _fresh_pipeline(maritime_fleet)
     with pytest.raises(InjectedCrash):
-        crashed.run_with_checkpoints(
-            CrashInjector(reports, crash_at), store, checkpoint_interval=interval
+        crashed.run(
+            CrashInjector(reports, crash_at),
+            checkpoints=CheckpointOptions(store=store, interval=interval),
         )
 
     resumed_pipeline = _fresh_pipeline(maritime_fleet)
     started = time.perf_counter()
-    resumed = resumed_pipeline.resume_from_checkpoint(store, ReplayLog(reports))
+    resumed = resumed_pipeline.run(
+        ReplayLog(reports), checkpoints=CheckpointOptions(store=store, resume=True)
+    )
     resume_wall_s = time.perf_counter() - started
 
     offset = store.latest().source_offset

@@ -35,7 +35,7 @@ import time
 
 from benchmarks.conftest import RESULTS_DIR, emit_table
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import MobilityPipeline
+from repro.core.pipeline import BatchOptions, MobilityPipeline
 from repro.obs import (
     DEFAULT_E2_BUDGETS,
     JsonLinesExporter,
@@ -53,6 +53,8 @@ OVERHEAD_BLOCKS = 4
 #: Registry seed — fixed so reservoirs (hence percentiles) compare
 #: run-to-run on identical sample streams.
 REGISTRY_SEED = 2017
+#: Batch size of the native-RecordBatch-source arm of the batch bench.
+NATIVE_BATCH_SIZE = 256
 
 
 def _pipeline(sample, metrics, trace_every_n=100):
@@ -140,8 +142,8 @@ def measure_overhead(sample, repeats=OVERHEAD_REPEATS, max_blocks=OVERHEAD_BLOCK
 def measure_batch_arms(sample, batch_sizes=(1, 64, 256), repeats=3, trace_every_n=100):
     """Throughput/latency of the stage-sliced batch path per batch size.
 
-    Runs the whole stream through :meth:`MobilityPipeline.run_batched`
-    once per batch size (plus a ``record`` arm on the classic per-record
+    Runs the whole stream through :meth:`MobilityPipeline.run` with
+    ``BatchOptions`` once per batch size (plus a ``record`` arm on the classic per-record
     path) and reports each arm's *minimum* wall time — the noise-floor
     convention of :func:`measure_overhead`. The same noise discipline
     applies: arms are interleaved round-robin (``repeats`` rounds, each
@@ -159,6 +161,10 @@ def measure_batch_arms(sample, batch_sizes=(1, 64, 256), repeats=3, trace_every_
     """
     reports = list(sample.reports)
     named = [("record", None)] + [(f"batch{size}", size) for size in batch_sizes]
+    # Native columnar emission: the source yields RecordBatch instances
+    # (column construction happens inside the timed run, exactly like the
+    # batch arms pay from_reports inside process_batch).
+    named.append(("recordbatch", "native"))
 
     def run_once(batch_size):
         metrics = MetricsRegistry(seed=REGISTRY_SEED)
@@ -167,8 +173,10 @@ def measure_batch_arms(sample, batch_sizes=(1, 64, 256), repeats=3, trace_every_
         started = time.perf_counter()
         if batch_size is None:
             result = pipeline.run(reports)
+        elif batch_size == "native":
+            result = pipeline.run(sample.record_batches(NATIVE_BATCH_SIZE))
         else:
-            result = pipeline.run_batched(reports, batch_size=batch_size)
+            result = pipeline.run(reports, batch=BatchOptions(size=batch_size))
         return time.perf_counter() - started, metrics, result
 
     best = {name: None for name, __ in named}
@@ -192,7 +200,7 @@ def measure_batch_arms(sample, batch_sizes=(1, 64, 256), repeats=3, trace_every_
         best_wall, metrics, result = best[name]
         end_to_end = metrics.histogram_summaries()["pipeline.end_to_end"]
         arms[name] = {
-            "batch_size": batch_size,
+            "batch_size": NATIVE_BATCH_SIZE if batch_size == "native" else batch_size,
             "wall_s": best_wall,
             "records_per_s": len(reports) / best_wall if best_wall > 0 else 0.0,
             "p50_ms": end_to_end["p50_ms"],

@@ -24,8 +24,12 @@ path is supposed to deliver) against the baseline's ratio, plus the
 batch path against the same run's per-record path. Both arms of each
 ratio run on the same machine in the same job, so host speed cancels;
 each arm already reports the minimum of ``--repeats`` runs (noise floor
-convention). The absolute latency budgets stay with the dedicated
-``latency-slo`` CI job.
+convention). A third gate holds the columnar RecordBatch core to its
+headline win: batch-256 throughput must stay at least
+``COLUMNAR_SPEEDUP_FLOOR`` times the archived pre-columnar baseline's
+(``BENCH_baseline_pre_columnar.json``) — absolute by design, see
+:func:`check_columnar_speedup`. The absolute latency budgets stay with
+the dedicated ``latency-slo`` CI job.
 
 Usage::
 
@@ -52,8 +56,19 @@ from repro.sources.generators import MaritimeTrafficGenerator
 
 SCHEMA = "bench.v1"
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines", "BENCH_baseline.json")
+#: The baseline archived when the columnar RecordBatch core landed — the
+#: last measurement of the old row-at-a-time batch path. The columnar
+#: gate compares against this, permanently.
+PRE_COLUMNAR_BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "BENCH_baseline_pre_columnar.json"
+)
 #: A current ratio may undershoot its baseline ratio by at most this much.
 REGRESSION_TOLERANCE = 0.25
+#: The batch-256 arm must sustain at least this many times the archived
+#: pre-columnar baseline's batch-256 throughput (the columnar core's
+#: headline speedup; see :func:`check_columnar_speedup` on why this one
+#: gate is absolute).
+COLUMNAR_SPEEDUP_FLOOR = 3.0
 #: Batch sizes benched; 1 and 256 anchor the regression ratio.
 BATCH_SIZES = (1, 64, 256)
 
@@ -90,7 +105,11 @@ def run_e2_micro_batch(quick: bool, repeats: int) -> dict:
                 "name": name,
                 "batch_size": arm["batch_size"],
                 "workers": 1,
-                "dispatch": "record" if arm["batch_size"] is None else "batch",
+                "dispatch": (
+                    "record"
+                    if arm["batch_size"] is None
+                    else "columnar" if name == "recordbatch" else "batch"
+                ),
                 "records_per_s": arm["records_per_s"],
                 "p50_ms": arm["p50_ms"],
                 "p95_ms": arm["p95_ms"],
@@ -166,6 +185,15 @@ def batch_ratio(report: dict) -> float:
     return _arm(report, "batch256")["records_per_s"] / _arm(report, "batch1")["records_per_s"]
 
 
+def normalized_batch256(report: dict) -> float:
+    """Throughput(batch 256) / throughput(record) — host speed cancels.
+
+    The per-record path is untouched by the columnar work, so this ratio
+    isolates what the batch path gained, comparable across machines.
+    """
+    return _arm(report, "batch256")["records_per_s"] / _arm(report, "record")["records_per_s"]
+
+
 def check_regression(current: dict, baseline: dict) -> list[str]:
     """Scale-free regression gates; returns human-readable failures."""
     failures = []
@@ -188,6 +216,29 @@ def check_regression(current: dict, baseline: dict) -> list[str]:
             f"{REGRESSION_TOLERANCE:.0%} tolerance"
         )
     return failures
+
+
+def check_columnar_speedup(current: dict, pre_columnar: dict) -> list[str]:
+    """The columnar core must hold its >=3x win over the archived row path.
+
+    Deliberately an *absolute* throughput comparison —
+    ``batch256_now >= 3 * batch256_pre_columnar`` — the one exception to
+    the scale-free convention: the pre-columnar baseline is frozen, so a
+    ratio re-measured against today's (also-optimized) scalar path would
+    quietly move the goalposts. Valid as long as the gate runs on the
+    same hardware class that produced the archive; the 25%-tolerance
+    ratio gates absorb ordinary machine variance.
+    """
+    now = _arm(current, "batch256")["records_per_s"]
+    then = _arm(pre_columnar, "batch256")["records_per_s"]
+    floor = COLUMNAR_SPEEDUP_FLOOR * then
+    if now < floor:
+        return [
+            f"columnar batch256 throughput {now:.0f} rec/s fell below "
+            f"{floor:.0f} rec/s ({COLUMNAR_SPEEDUP_FLOOR:.0f}x the "
+            f"pre-columnar baseline's {then:.0f} rec/s)"
+        ]
+    return []
 
 
 def main() -> int:
@@ -245,13 +296,25 @@ def main() -> int:
         with open(args.baseline, encoding="utf-8") as fh:
             baseline = json.load(fh)
         failures = check_regression(micro, baseline)
+        columnar_note = ""
+        if os.path.exists(PRE_COLUMNAR_BASELINE_PATH):
+            with open(PRE_COLUMNAR_BASELINE_PATH, encoding="utf-8") as fh:
+                pre_columnar = json.load(fh)
+            failures.extend(check_columnar_speedup(micro, pre_columnar))
+            speedup = _arm(micro, "batch256")["records_per_s"] / _arm(
+                pre_columnar, "batch256"
+            )["records_per_s"]
+            columnar_note = (
+                f"; columnar speedup {speedup:.2f}x vs pre-columnar "
+                f"(floor {COLUMNAR_SPEEDUP_FLOOR:.0f}x)"
+            )
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}")
             return 1
         print(
             f"regression gate OK (baseline ratio {batch_ratio(baseline):.2f}x, "
-            f"tolerance {REGRESSION_TOLERANCE:.0%})"
+            f"tolerance {REGRESSION_TOLERANCE:.0%}{columnar_note})"
         )
     return 0
 

@@ -22,6 +22,13 @@ Quickstart::
     result = pipeline.run(sample.reports)
     print(result.compression_ratio, result.end_to_end["p95_ms"])
 
+    # Columnar micro-batches (same results, batch-at-a-time hot path;
+    # a pipeline instance consumes one stream — build a fresh one per run):
+    result = fresh_pipeline.run(sample.record_batches(256))
+
+The stable import surface is this module's ``__all__``; see
+``docs/api.md`` for the API reference and the deprecation policy.
+
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 reproduced experiment results.
 """
@@ -68,7 +75,18 @@ from repro.cep import (
     PatternEngine,
     PatternForecaster,
 )
-from repro.core import MobilityPipeline, PipelineConfig, PipelineResult
+from repro.core import (
+    BatchOptions,
+    CheckpointOptions,
+    MobilityPipeline,
+    PipelineConfig,
+    PipelineResult,
+    RecordBatch,
+    ResultSchema,
+    load_result_document,
+    recordbatches,
+    result_document,
+)
 
 __version__ = "1.0.0"
 
@@ -113,5 +131,12 @@ __all__ = [
     "MobilityPipeline",
     "PipelineConfig",
     "PipelineResult",
+    "BatchOptions",
+    "CheckpointOptions",
+    "RecordBatch",
+    "recordbatches",
+    "ResultSchema",
+    "result_document",
+    "load_result_document",
     "__version__",
 ]

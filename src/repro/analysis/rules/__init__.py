@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.analysis.rules.base import Rule
 from repro.analysis.rules.contracts import SnapshotCoverageRule
+from repro.analysis.rules.deprecation import DeprecatedApiRule
 from repro.analysis.rules.determinism import (
     BuiltinHashRule,
     UnseededRngRule,
@@ -20,6 +21,7 @@ ALL_RULES: tuple[Rule, ...] = (
     SnapshotCoverageRule(),
     PickleSafetyRule(),
     MetricNameRule(),
+    DeprecatedApiRule(),
 )
 
 

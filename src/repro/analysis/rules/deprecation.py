@@ -1,0 +1,102 @@
+"""O2: no new code on deprecated imports or run-family entry points.
+
+Deprecations only work if the tree stops feeding them: a
+``DeprecationWarning`` at runtime is easy to miss in a benchmark or a
+worker process, and every fresh caller of a shim extends its life. This
+rule flags, at lint time,
+
+- imports of deprecated modules (``repro.streams.metrics`` — moved to
+  :mod:`repro.obs`), and
+- calls to the deprecated ``MobilityPipeline`` run-family methods
+  (``run_batched``, ``run_with_checkpoints``,
+  ``run_batches_with_checkpoints``, ``resume_from_checkpoint``) — all
+  collapsed into the unified :meth:`~repro.core.pipeline.MobilityPipeline.run`.
+
+Method calls are matched by attribute name (the linter is per-module and
+untyped); the names are specific enough that a false positive is far
+likelier to be a real migration target than an unrelated API. Where a
+call is legitimate — e.g. a test pinning the shim's behaviour — suppress
+it with a reasoned inline comment::
+
+    # lint: allow[O2] pins the deprecated shim's warning contract
+
+A reasonless ``allow`` suppresses nothing (rule S1), so every surviving
+caller of a deprecated entry point carries its own justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+#: Deprecated module → its replacement (flagged on any import form).
+DEPRECATED_MODULES: dict[str, str] = {
+    "repro.streams.metrics": "repro.obs",
+}
+
+#: Deprecated method name → the unified-run spelling that replaces it.
+DEPRECATED_ENTRYPOINTS: dict[str, str] = {
+    "run_batched": "run(reports, batch=BatchOptions(size=...))",
+    "run_with_checkpoints": "run(reports, checkpoints=CheckpointOptions(...))",
+    "run_batches_with_checkpoints": (
+        "run(recordbatches(batches), checkpoints=CheckpointOptions(...))"
+    ),
+    "resume_from_checkpoint": (
+        "run(reports, checkpoints=CheckpointOptions(..., resume=True))"
+    ),
+}
+
+
+class DeprecatedApiRule(Rule):
+    rule_id = "O2"
+    title = "import or call of a deprecated module/entry point"
+    protects = "PR 6: deprecated shims shrink instead of growing callers"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    replacement = DEPRECATED_MODULES.get(alias.name)
+                    if replacement is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of deprecated module {alias.name!r}; "
+                            f"use {replacement}",
+                            detail=alias.name,
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                targets = [node.module] + [
+                    f"{node.module}.{alias.name}" for alias in node.names
+                ]
+                for dotted in targets:
+                    replacement = DEPRECATED_MODULES.get(dotted)
+                    if replacement is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import from deprecated module {dotted!r}; "
+                            f"use {replacement}",
+                            detail=dotted,
+                        )
+                        break
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in DEPRECATED_ENTRYPOINTS
+            ):
+                name = node.func.attr
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to deprecated entry point {name!r}; use "
+                    f"{DEPRECATED_ENTRYPOINTS[name]}",
+                    detail=name,
+                )

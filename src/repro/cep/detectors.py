@@ -10,7 +10,7 @@ per episode, not one per report.
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import defaultdict
 
 import numpy as np
 
@@ -85,6 +85,17 @@ class CollisionRiskDetector:
                     events.append(event)
         self._latest[report.entity_id] = report
         return events
+
+    def note_position(self, report: PositionReport) -> None:
+        """Track a position without running pair checks.
+
+        For callers that already proved :meth:`process` would raise no
+        event for this report (no kinematics, or no candidate could pass
+        the freshness/latitude prefilter): the only state effect of
+        :meth:`process` is then the latest-position write, which this
+        performs verbatim.
+        """
+        self._latest[report.entity_id] = report
 
     def _candidates(self, report: PositionReport) -> list[PositionReport]:
         """Fresh, kinematics-bearing entities within the candidate radius.
@@ -232,79 +243,9 @@ class RendezvousDetector:
         return out
 
 
-def _push_min(dq: deque[tuple[int, float]], idx: int, value: float) -> None:
-    while dq and dq[-1][1] >= value:
-        dq.pop()
-    dq.append((idx, value))
-
-
-def _push_max(dq: deque[tuple[int, float]], idx: int, value: float) -> None:
-    while dq and dq[-1][1] <= value:
-        dq.pop()
-    dq.append((idx, value))
-
-
-class _LoiterWindow:
-    """Sliding position window with O(1)-amortized extrema and path length.
-
-    The naive loitering check rescans the whole window per report —
-    ``BBox.from_points`` over every position plus a fresh haversine per
-    consecutive pair — which profiling showed dominating detector time.
-    This keeps, alongside the report deque, a deque of consecutive
-    segment distances (computed once, at append) and four monotonic
-    ``(index, value)`` deques tracking the window min/max of lon/lat.
-
-    The extrema are the exact same floats a min/max rescan would produce,
-    and :meth:`travelled` folds the same per-segment haversine values in
-    the same left-to-right order as the original ``sum`` over pairs — so
-    the fast path is bit-identical to the rescan it replaces.
-    """
-
-    __slots__ = ("reports", "_segs", "_lon_min", "_lon_max", "_lat_min", "_lat_max", "_start", "_next")
-
-    def __init__(self) -> None:
-        self.reports: deque[PositionReport] = deque()
-        self._segs: deque[float] = deque()
-        self._lon_min: deque[tuple[int, float]] = deque()
-        self._lon_max: deque[tuple[int, float]] = deque()
-        self._lat_min: deque[tuple[int, float]] = deque()
-        self._lat_max: deque[tuple[int, float]] = deque()
-        self._start = 0
-        self._next = 0
-
-    def append(self, report: PositionReport) -> None:
-        if self.reports:
-            prev = self.reports[-1]
-            self._segs.append(haversine_m(prev.lon, prev.lat, report.lon, report.lat))
-        idx = self._next
-        self._next = idx + 1
-        self.reports.append(report)
-        _push_min(self._lon_min, idx, report.lon)
-        _push_max(self._lon_max, idx, report.lon)
-        _push_min(self._lat_min, idx, report.lat)
-        _push_max(self._lat_max, idx, report.lat)
-
-    def popleft(self) -> None:
-        self.reports.popleft()
-        if self._segs:
-            self._segs.popleft()
-        self._start += 1
-        for dq in (self._lon_min, self._lon_max, self._lat_min, self._lat_max):
-            if dq and dq[0][0] < self._start:
-                dq.popleft()
-
-    def bounds(self) -> tuple[float, float, float, float]:
-        """``(min_lon, min_lat, max_lon, max_lat)`` of the window."""
-        return (
-            self._lon_min[0][1],
-            self._lat_min[0][1],
-            self._lon_max[0][1],
-            self._lat_max[0][1],
-        )
-
-    def travelled(self) -> float:
-        """Total along-track distance, left-to-right over the segments."""
-        return sum(self._segs)
+#: Compact a loitering window's backing lists once this many expired
+#: records accumulate at the front (and they are at least half the list).
+_LOITER_COMPACT_MIN = 256
 
 
 class LoiteringDetector:
@@ -314,6 +255,20 @@ class LoiteringDetector:
     window spans at least ``min_duration_s``, fits inside a circle of
     ``radius_m`` and the average speed stays below ``max_speed_mps``, a
     ``loitering`` event fires (once per ``refractory_s``).
+
+    The window is stored column-wise: parallel ``t``/``lon``/``lat``
+    lists per entity with a logical start index, compacted periodically.
+    Entities that are actually moving are dismissed by a *blocking pair*
+    shortcut: when the window's latitude span alone exceeds the diagonal
+    budget, the latest-starting suffix whose latitude span still exceeds
+    it is located, and every report until that suffix's head expires from
+    the window is skipped without touching the window again — the
+    diagonal check would provably reject each of them (the meridian arc
+    ``Δlat · _METERS_PER_DEG_LAT_FLOOR`` is a strict lower bound on the
+    haversine diagonal). Bounds, diagonal, duration and travelled
+    distance are computed with the same expressions, fold order and
+    floats as a naive whole-window rescan, so decisions and event
+    payloads are bit-identical to it.
     """
 
     def __init__(
@@ -327,43 +282,179 @@ class LoiteringDetector:
         self.min_duration_s = min_duration_s
         self.max_speed_mps = max_speed_mps
         self.refractory_s = refractory_s
-        self._window: dict[str, _LoiterWindow] = defaultdict(_LoiterWindow)
+        self._t: dict[str, list[float]] = {}
+        self._lon: dict[str, list[float]] = {}
+        self._lat: dict[str, list[float]] = {}
+        self._start: dict[str, int] = {}
+        self._block_until: dict[str, float] = {}
         self._last_alert: dict[str, float] = {}
 
     def process(self, report: PositionReport) -> list[ComplexEvent]:
         """Feed one report; returns any loitering events raised."""
-        state = self._window[report.entity_id]
-        state.append(report)
-        window = state.reports
-        while window and report.t - window[0].t > self.min_duration_s:
-            state.popleft()
-        if not window or window[-1].t - window[0].t < self.min_duration_s * 0.95:
+        eid = report.entity_id
+        tl = self._t.get(eid)
+        if tl is None:
+            tl = self._t[eid] = []
+            lonl = self._lon[eid] = []
+            latl = self._lat[eid] = []
+            self._start[eid] = 0
+        else:
+            lonl = self._lon[eid]
+            latl = self._lat[eid]
+        t = report.t
+        tl.append(t)
+        lonl.append(report.lon)
+        latl.append(report.lat)
+        dur = self.min_duration_s
+        start = self._start[eid]
+        while t - tl[start] > dur:
+            start += 1
+        if start >= _LOITER_COMPACT_MIN and start * 2 >= len(tl):
+            del tl[:start]
+            del lonl[:start]
+            del latl[:start]
+            start = 0
+        self._start[eid] = start
+        span = t - tl[start]
+        if span < dur * 0.95:
             return []
+        event = self._evaluate(eid, tl, lonl, latl, start, t, span)
+        return [] if event is None else [event]
 
-        last = self._last_alert.get(report.entity_id)
-        if last is not None and report.t - last < self.refractory_s:
-            return []
+    def process_positions(
+        self,
+        entity_id: str,
+        ts: list[float],
+        lons: list[float],
+        lats: list[float],
+    ) -> list[tuple[int, ComplexEvent]]:
+        """Feed one entity's in-order positions; sparse ``(index, event)`` list.
 
-        min_lon, min_lat, max_lon, max_lat = state.bounds()
+        Exact bulk equivalent of one :meth:`process` call per position —
+        same state evolution, bit-identical events — with the per-entity
+        window columns and config gates hoisted out of the per-record
+        path. Events are returned tagged with the index of the position
+        that raised them so a caller interleaving several detectors can
+        reconstruct per-record emission order.
+        """
+        eid = entity_id
+        tl = self._t.get(eid)
+        if tl is None:
+            tl = self._t[eid] = []
+            lonl = self._lon[eid] = []
+            latl = self._lat[eid] = []
+            self._start[eid] = 0
+        else:
+            lonl = self._lon[eid]
+            latl = self._lat[eid]
+        dur = self.min_duration_s
+        # Same two floats, same product as the scalar gate.
+        near = dur * 0.95
+        refractory = self.refractory_s
+        last_alert = self._last_alert
+        block_until = self._block_until
+        start = self._start[eid]
+        t_append = tl.append
+        lon_append = lonl.append
+        lat_append = latl.append
+        out: list[tuple[int, ComplexEvent]] = []
+        for k, t in enumerate(ts):
+            t_append(t)
+            lon_append(lons[k])
+            lat_append(lats[k])
+            while t - tl[start] > dur:
+                start += 1
+            if start >= _LOITER_COMPACT_MIN and start * 2 >= len(tl):
+                del tl[:start]
+                del lonl[:start]
+                del latl[:start]
+                start = 0
+            span = t - tl[start]
+            if span < near:
+                continue
+            # The refractory and block gates are re-checked (and the
+            # block state maintained) inside _evaluate; testing them
+            # here first just skips the call for suppressed records.
+            last = last_alert.get(eid)
+            if last is not None and t - last < refractory:
+                continue
+            block = block_until.get(eid)
+            if block is not None and t <= block:
+                continue
+            event = self._evaluate(eid, tl, lonl, latl, start, t, span)
+            if event is not None:
+                out.append((k, event))
+        self._start[eid] = start
+        return out
+
+    def _evaluate(
+        self,
+        eid: str,
+        tl: list[float],
+        lonl: list[float],
+        latl: list[float],
+        start: int,
+        t: float,
+        span: float,
+    ) -> ComplexEvent | None:
+        """Window-qualified alert decision (refractory/block/geometry)."""
+        last = self._last_alert.get(eid)
+        if last is not None and t - last < self.refractory_s:
+            return None
+        block = self._block_until.get(eid)
+        if block is not None and t <= block:
+            return None
+
+        lat_w = latl[start:]
+        min_lat = min(lat_w)
+        max_lat = max(lat_w)
+        two_r = 2.0 * self.radius_m
+        if (max_lat - min_lat) * _METERS_PER_DEG_LAT_FLOOR > two_r:
+            # Moving entity: find the latest-starting suffix whose
+            # latitude span alone blows the budget and skip every report
+            # until its head leaves the window.
+            run_min = run_max = lat_w[-1]
+            blk = start
+            for k in range(len(lat_w) - 2, -1, -1):
+                v = lat_w[k]
+                if v < run_min:
+                    run_min = v
+                elif v > run_max:
+                    run_max = v
+                if (run_max - run_min) * _METERS_PER_DEG_LAT_FLOOR > two_r:
+                    blk = start + k
+                    break
+            self._block_until[eid] = tl[blk] + self.min_duration_s
+            return None
+
+        lon_w = lonl[start:]
+        min_lon = min(lon_w)
+        max_lon = max(lon_w)
         diagonal = haversine_m(min_lon, min_lat, max_lon, max_lat)
-        if diagonal > 2.0 * self.radius_m:
-            return []
-        duration = window[-1].t - window[0].t
-        travelled = state.travelled()
+        if diagonal > two_r:
+            return None
+        duration = span
+        travelled = 0.0
+        px = lon_w[0]
+        py = lat_w[0]
+        for k in range(1, len(lon_w)):
+            qx = lon_w[k]
+            qy = lat_w[k]
+            travelled += haversine_m(px, py, qx, qy)
+            px = qx
+            py = qy
         if duration <= 0 or travelled / duration > self.max_speed_mps:
-            return []
+            return None
 
-        self._last_alert[report.entity_id] = report.t
-        return [
-            ComplexEvent(
-                event_type="loitering",
-                entity_ids=(report.entity_id,),
-                t_start=window[0].t,
-                t_end=report.t,
-                severity=EventSeverity.WARNING,
-                attributes={"area_diagonal_m": diagonal, "duration_s": duration},
-            )
-        ]
+        self._last_alert[eid] = t
+        return ComplexEvent(
+            event_type="loitering",
+            entity_ids=(eid,),
+            t_start=tl[start],
+            t_end=t,
+            severity=EventSeverity.WARNING,
+            attributes={"area_diagonal_m": diagonal, "duration_s": duration},
+        )
 
 
 class CapacityDemandDetector:

@@ -128,6 +128,19 @@ class SimpleEventExtractor:
             self._events_counter.inc(len(events))
         return events
 
+    def advance_quiet(self, report: PositionReport) -> None:
+        """Record a report that provably raises no event: state catch-up only.
+
+        The columnar pipeline walk calls this for reports its conservative
+        guards cleared — such a report's only effect in :meth:`process`
+        is updating ``state.last`` and the latest-position map (stop state
+        and zone membership are untouched by a non-event report), so this
+        is exactly the residue of a full :meth:`process` call.
+        """
+        state = self._states.setdefault(report.entity_id, _EntityState())
+        state.last = report
+        self._latest[report.entity_id] = report
+
     def process_all(self, reports: Iterable[PositionReport]) -> list[SimpleEvent]:
         """Batch helper over an event-time-ordered report sequence."""
         out: list[SimpleEvent] = []

@@ -13,13 +13,34 @@ latency requirements (i.e. in ms)" claim is measurable (experiment E2/E7).
 
 from repro.core.config import PipelineConfig
 from repro.hashing import stable_hash, stable_shard
-from repro.core.pipeline import MobilityPipeline, PipelineResult, PipelineSpec
+from repro.core.pipeline import (
+    BatchOptions,
+    CheckpointOptions,
+    MobilityPipeline,
+    PipelineResult,
+    PipelineSpec,
+)
+from repro.core.recordbatch import RecordBatch, recordbatches
+from repro.core.results import (
+    RESULT_SCHEMA_VERSION,
+    ResultSchema,
+    load_result_document,
+    result_document,
+)
 
 __all__ = [
+    "BatchOptions",
+    "CheckpointOptions",
     "PipelineConfig",
     "MobilityPipeline",
     "PipelineResult",
     "PipelineSpec",
+    "RecordBatch",
+    "recordbatches",
+    "RESULT_SCHEMA_VERSION",
+    "ResultSchema",
+    "load_result_document",
+    "result_document",
     "stable_hash",
     "stable_shard",
 ]

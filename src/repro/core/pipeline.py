@@ -19,12 +19,14 @@ store/query layer for follow-up analysis.
 from __future__ import annotations
 
 import copy
-import hashlib
 import itertools
-import json
+import math
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence, TypeVar
+
+import numpy as np
 
 from repro.cep.detectors import (
     CapacityDemandDetector,
@@ -32,9 +34,12 @@ from repro.cep.detectors import (
     LoiteringDetector,
     RendezvousDetector,
 )
-from repro.cep.simple import SimpleEventExtractor
+from repro.cep.simple import _METERS_PER_DEG_LAT_FLOOR, SimpleEventExtractor
 from repro.core.config import PipelineConfig
+from repro.core.recordbatch import RecordBatch, recordbatches
+from repro.core.results import canonical_bytes, digest_of
 from repro.geo.bbox import BBox
+from repro.geo.geodesy import EARTH_RADIUS_M, haversine_m_arrays
 from repro.geo.grid import GeoGrid
 from repro.geo.polygon import Polygon
 from repro.geo.zone_index import PREFILTER_MIN_ZONES, ZoneIndex
@@ -64,9 +69,124 @@ from repro.streams.replay import ReplayLog
 
 T = TypeVar("T")
 
+#: Below this many records the columnar path's array set-up costs more
+#: than it saves; such batches run through the stage-sliced scalar path.
+_COLUMNAR_MIN_BATCH = 16
+
+_DEG2RAD = math.pi / 180.0
+
+
+def _cpa_may_fire(
+    lon1, lat1, spd1, hdg1,
+    lon2, lat2, spd2, hdg2,
+    cpa_threshold_m: float,
+    tcpa_threshold_s: float,
+) -> np.ndarray:
+    """Conservative vectorized pre-check of the 2-D CPA/TCPA thresholds.
+
+    Mirrors :func:`repro.geo.cpa.cpa_tcpa` (midpoint tangent plane, same
+    3600 s horizon clamp) with margins that dominate the vector-vs-scalar
+    float spread, so ``False`` proves the exact scalar check cannot fire:
+
+    - CPA distance banded by 1 m. The clamped vertex is the constrained
+      minimum of the separation parabola, and the vectorized separation
+      differs from the scalar one by well under a millimetre at these
+      scales, so a scalar CPA under the threshold keeps the vector CPA
+      under ``threshold + 1``.
+    - TCPA banded by 1 s — valid only while ``dv2`` is not tiny (the
+      vertex position is ``ε/dv2``-conditioned), so pairs with relative
+      speed under ~3 cm/s skip the TCPA cut entirely: their separation
+      barely changes over the horizon and the distance band already
+      decides them (this also covers the scalar ``dv2 < 1e-12``
+      constant-separation branch, which reports TCPA 0).
+
+    Only valid when every current-record altitude is ``None``: that forces
+    the scalar computation 2-D and its fire condition to the maritime
+    branch for any other/seed altitude.
+    """
+    k = _DEG2RAD * EARTH_RADIUS_M
+    dx = (lon1 - lon2) * k * np.cos(np.radians((lat1 + lat2) / 2.0))
+    dy = (lat1 - lat2) * k
+    th1 = np.radians(hdg1)
+    th2 = np.radians(hdg2)
+    dvx = spd1 * np.sin(th1) - spd2 * np.sin(th2)
+    dvy = spd1 * np.cos(th1) - spd2 * np.cos(th2)
+    dv2 = dvx * dvx + dvy * dvy
+    tcpa = -(dx * dvx + dy * dvy) / np.where(dv2 > 0.0, dv2, 1.0)
+    tcpa = np.clip(tcpa, 0.0, 3600.0)
+    tcpa = np.where(dv2 < 1e-12, 0.0, tcpa)
+    cx = dx + dvx * tcpa
+    cy = dy + dvy * tcpa
+    lim = cpa_threshold_m + 1.0
+    return (cx * cx + cy * cy <= lim * lim) & (
+        (tcpa <= tcpa_threshold_s + 1.0) | (dv2 < 1e-3)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BatchOptions:
+    """Micro-batching options for :meth:`MobilityPipeline.run`.
+
+    Attributes:
+        size: Records per micro-batch when the source is a plain report
+            stream. Ignored for sources that already emit
+            :class:`RecordBatch` instances (those arrive pre-sliced).
+    """
+
+    size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("batch size must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class CheckpointOptions:
+    """Checkpoint/resume options for :meth:`MobilityPipeline.run`.
+
+    Attributes:
+        store: Where checkpoints are saved to and resumed from.
+        interval: Save a checkpoint every this many records (at the first
+            batch boundary past each multiple when batching). ``None``
+            saves nothing — only meaningful together with ``resume``.
+        resume: Restore the store's latest checkpoint before processing
+            and skip the source prefix it already covers. The source must
+            then be the *full* stream the interrupted run consumed
+            (ideally a :class:`~repro.streams.replay.ReplayLog`).
+        start_offset: Absolute offset of the source's first record
+            (non-zero when the caller already trimmed the stream).
+            Ignored with ``resume`` — the checkpoint knows its offset.
+    """
+
+    store: CheckpointStore
+    interval: int | None = None
+    resume: bool = False
+    start_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        if self.interval is None and not self.resume:
+            raise ValueError(
+                "CheckpointOptions needs an interval, resume=True, or both"
+            )
+        if self.start_offset < 0:
+            raise ValueError("start_offset must be non-negative")
+
 
 class _DeadLettered(Exception):
     """Internal control flow: the current report exhausted its retries."""
+
+
+def _flatten_records(
+    source: "Iterable[PositionReport | RecordBatch]",
+) -> Iterator[PositionReport]:
+    """Record-level view of a source that may emit RecordBatches."""
+    for item in source:
+        if isinstance(item, RecordBatch):
+            yield from item.reports
+        else:
+            yield item
 
 
 def _iter_batches(
@@ -211,13 +331,11 @@ class PipelineResult:
 
     def deterministic_bytes(self) -> bytes:
         """Canonical JSON encoding of :meth:`deterministic_payload`."""
-        return json.dumps(
-            self.deterministic_payload(), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
+        return canonical_bytes(self.deterministic_payload())
 
     def deterministic_digest(self) -> str:
         """SHA-256 of :meth:`deterministic_bytes`."""
-        return hashlib.sha256(self.deterministic_bytes()).hexdigest()
+        return digest_of(self.deterministic_payload())
 
 
 @dataclass(frozen=True)
@@ -490,6 +608,18 @@ class MobilityPipeline:
         n = len(batch)
         if n == 0:
             return []
+        if (
+            self._chaos is None
+            and n >= _COLUMNAR_MIN_BATCH
+            and type(self._synopses) is SynopsesGenerator
+        ):
+            # Columnar fast path: same decisions, array-at-a-time. Chaos
+            # needs per-record stage-major execution for RNG-stream
+            # alignment, and the adaptive generator re-tunes thresholds
+            # record-by-record, so both stay on the scalar stage loop.
+            return self._process_recordbatch(
+                RecordBatch.from_reports(batch, offset=self._result.reports_in)
+            )
         result = self._result
         obs = self._obs
         chaos = self._chaos
@@ -716,6 +846,482 @@ class MobilityPipeline:
                 self._flush_latency()
         return out
 
+    def process_recordbatch(self, rb: RecordBatch) -> list[ComplexEvent]:
+        """Push one columnar :class:`RecordBatch` through the pipeline.
+
+        The native entry point for sources that emit batches directly:
+        no per-record work happens until the RDF/store boundary. Falls
+        back to :meth:`process_batch` whenever the columnar path cannot
+        run (chaos config, tiny batch, adaptive synopses), so callers
+        never need to pick a path themselves.
+        """
+        if (
+            self._chaos is None
+            and len(rb) >= _COLUMNAR_MIN_BATCH
+            and type(self._synopses) is SynopsesGenerator
+        ):
+            return self._process_recordbatch(rb)
+        return self.process_batch(list(rb.reports))
+
+    def _process_recordbatch(self, rb: RecordBatch) -> list[ComplexEvent]:
+        """Columnar core: clean, synopsize, store and detect over arrays.
+
+        Equivalence contract (same as :meth:`process_batch`, enforced by
+        the differential suite): every decision — filter accepts,
+        synopses keeps, events, detector fires, counters — is identical
+        to the per-record path. The strategy throughout is *exact
+        conservative guards*: cheap vectorized or cached-scalar checks
+        prove most records can take no branch that emits an event or
+        mutates non-trivial state; only the flagged remainder replays
+        through the unchanged scalar components, after lazily syncing
+        the per-entity state those components read.
+
+        Observability: stage samples land on the same histograms, except
+        that simple-event extraction and detection run as one fused walk
+        whose time is recorded under ``pipeline.detectors`` (the
+        ``events`` histogram receives no columnar samples).
+        """
+        n = len(rb)
+        result = self._result
+        obs = self._obs
+        base = result.reports_in
+        result.reports_in += n
+
+        batch_span = NULL_SPAN
+        if obs:
+            every = self._trace_every
+            if every > 0 and ((base + every - 1) // every) * every < base + n:
+                batch_span = self.metrics.span("pipeline.batch", records=n)
+            self._trace_this_record = False
+            pc = monotonic
+            buf = self._lat_buf
+            t_batch = pc()
+            t_prev = t_batch
+
+        with batch_span:
+            # -- clean: columnar dedup + plausibility ------------------------
+            mask = self._plausibility.accept_recordbatch(
+                rb, self._dedup.accept_recordbatch(rb)
+            )
+            active = np.flatnonzero(mask)
+            result.reports_clean += int(active.size)
+            if obs:
+                t_now = pc()
+                buf["clean"].append((t_now - t_prev) / n)
+                t_prev = t_now
+
+            # -- synopses: chord-walk keep/drop ------------------------------
+            stage_n = int(active.size)
+            decisions = self._synopses.process_recordbatch(rb, mask)
+            active_l = active.tolist()
+            for p in active_l:
+                if decisions[p][1]:
+                    result.reports_kept += 1
+            if obs:
+                t_now = pc()
+                if stage_n:
+                    buf["synopses"].append((t_now - t_prev) / stage_n)
+                t_prev = t_now
+
+            # Zone containment, one vectorized ray-cast per zone over the
+            # whole batch — shared by interlinking (exact containment per
+            # kept record) and the zone entry/exit guard below.
+            zones = self.zones
+            n_zones = len(zones)
+            inside_cols = (
+                [z.contains_batch(rb.lon, rb.lat) for z in zones] if n_zones else []
+            )
+
+            reports = rb.reports
+
+            # -- rdf: transform + bulk store ---------------------------------
+            stage_n = 0
+            if self.config.persist_rdf:
+                raw = self.config.persist_raw_reports
+                interlink = self.config.interlink
+                docs: list[list] = []
+                for p in active_l:
+                    annotated, keep = decisions[p]
+                    if keep:
+                        triples = self.transformer.report_to_triples(annotated)
+                        if interlink:
+                            containing = [
+                                zones[zi]
+                                for zi in range(n_zones)
+                                if inside_cols[zi][p]
+                            ]
+                            triples.extend(
+                                self._interlink(
+                                    reports[p],
+                                    triples[0].s,
+                                    doc_sink=docs,
+                                    containing=containing,
+                                )
+                            )
+                    elif raw:
+                        triples = self.transformer.report_to_triples(reports[p])
+                    else:
+                        continue
+                    docs.append(triples)
+                    result.triples_stored += len(triples)
+                    stage_n += 1
+                if docs:
+                    self.store.add_documents(docs)
+                if obs:
+                    t_now = pc()
+                    if stage_n:
+                        buf["rdf"].append((t_now - t_prev) / stage_n)
+                    t_prev = t_now
+
+            # -- simple events + detectors: one guarded walk -----------------
+            ex = self._extractor
+            ex_states = ex._states
+            ex_latest = ex._latest
+            cfg = ex.config
+            gap_th = cfg.gap_threshold_s
+            stop_sp = cfg.stop_speed_mps
+            # Same two config floats, same single multiply as the scalar
+            # Schmitt trigger — the cached product is float-identical.
+            stop_hi = stop_sp * cfg.stop_hysteresis
+            prox_stale = cfg.proximity_staleness_s
+            prox_rad = cfg.proximity_radius_m
+            coll = self._collision
+            coll_latest = coll._latest
+            loit = self._loitering
+            rdv = self._rendezvous
+            rdv_pairs = rdv._pair_since
+            cap = self._capacity
+            hot = self._hotspots
+            persist = self.config.persist_rdf
+
+            codes_l = rb.entity_codes.tolist()
+            t_l = rb.t.tolist()
+            vocab = rb.vocabulary
+            n_codes = len(vocab)
+
+            # Anomaly ceiling per entity: the identical `max_speed *
+            # factor` product the scalar check computes, one registry
+            # lookup per entity instead of one per record.
+            if ex.registry is not None:
+                factor = cfg.speed_anomaly_factor
+                ceilings: list[float | None] = []
+                for eid in vocab:
+                    ent = ex.registry.get_or_none(eid)
+                    ceilings.append(
+                        None if ent is None else ent.max_speed_mps * factor
+                    )
+            else:
+                ceilings = [None] * n_codes
+
+            # Which records *must* run a scalar component, decided
+            # entirely up front with vectorized exact-or-conservative
+            # guards: `ex_int` (simple-event extraction) and `coll_int`
+            # (collision pair checks). Everything else provably emits
+            # nothing and only advances per-entity latest state, applied
+            # lazily through `pending`.
+            ex_int = np.zeros(n, dtype=bool)
+            coll_int = np.zeros(n, dtype=bool)
+            # Loitering is strictly per-entity (window, refractory and
+            # block state are all keyed by entity), so it runs bulk per
+            # segment here; events come back tagged with the position
+            # that raised them and are re-interleaved by the walk below
+            # in exact per-record order.
+            loit_map: dict[int, ComplexEvent] = {}
+
+            # Zone entry/exit + gap + stop + anomaly guards, per segment.
+            for code, eid, seg in rb.segments():
+                pos = seg[mask[seg]]
+                m = pos.size
+                if m == 0:
+                    continue
+                t_seg = rb.t[pos]
+                spd_seg = rb.speed[pos]
+                loit_hits = loit.process_positions(
+                    eid,
+                    t_seg.tolist(),
+                    rb.lon[pos].tolist(),
+                    rb.lat[pos].tolist(),
+                )
+                if loit_hits:
+                    pos_l = pos.tolist()
+                    for k, levent in loit_hits:
+                        loit_map[pos_l[k]] = levent
+                st = ex_states.get(eid)
+                has_prev = st is not None and st.last is not None
+                # Zone guard: membership of each zone evolves only at
+                # containment transitions along the entity's active
+                # records (seeded from pre-batch state.zones), so exactly
+                # the transition records can emit zone events or mutate
+                # state.zones.
+                if n_zones:
+                    member = st.zones if st is not None else ()
+                    for zi in range(n_zones):
+                        vals = inside_cols[zi][pos]
+                        if bool(vals[0]) != (zones[zi].name in member):
+                            ex_int[pos[0]] = True
+                        if m > 1:
+                            hits = pos[1:][vals[1:] != vals[:-1]]
+                            if hits.size:
+                                ex_int[hits] = True
+                # Gap guard: exact — same float subtraction and compare.
+                flag = np.zeros(m, dtype=bool)
+                if m > 1:
+                    flag[1:] = (t_seg[1:] - t_seg[:-1]) > gap_th
+                if has_prev:
+                    flag[0] = (t_seg[0] - st.last.t) > gap_th
+                # Anomaly guard: exact vector replica of the scalar
+                # compare (NaN speeds compare False, like `is None`).
+                ceiling = ceilings[code]
+                if ceiling is not None:
+                    flag |= spd_seg > ceiling
+                # Stop guard: simulate the Schmitt trigger exactly. With
+                # real speeds the stop state toggles *only* on records
+                # this marks, so the simulated state stays in lockstep
+                # with the scalar path. A NaN speed (derived distance/dt
+                # speed, unknown here) is marked whenever a previous
+                # report exists and degrades the simulation to a
+                # conservative superset: while the state is unknown,
+                # every record that could toggle either way is marked.
+                sim = st.stopped if st is not None else False
+                unknown = False
+                stop_idx = []
+                for k, s in enumerate(spd_seg.tolist()):
+                    if s != s:
+                        if k > 0 or has_prev:
+                            stop_idx.append(k)
+                            unknown = True
+                        continue
+                    if unknown:
+                        if s < stop_sp or s >= stop_hi:
+                            stop_idx.append(k)
+                    elif sim:
+                        if s >= stop_hi:
+                            stop_idx.append(k)
+                            sim = False
+                    elif s < stop_sp:
+                        stop_idx.append(k)
+                        sim = True
+                if stop_idx:
+                    flag[stop_idx] = True
+                ex_int[pos[flag]] = True
+
+            # Proximity and collision guards: one as-of pair join over
+            # the active records. For each record and each other entity,
+            # the other's position "as of" that record is its latest
+            # earlier active record in the batch, or its pre-batch
+            # latest-map entry. The masks replicate the freshness +
+            # latitude-band prefilters of `_proximity_events` /
+            # `_candidates` exactly (same floats, same IEEE compares),
+            # band the exact-distance cut by 1e-9 relative (vector vs
+            # scalar haversine ulp spread), and — for collision — add a
+            # conservative vectorized CPA/TCPA pre-check with metre/
+            # millisecond margins. A record left unmasked provably takes
+            # no event-emitting branch.
+            A = active
+            nA = len(active_l)
+            codesA = rb.entity_codes[A]
+            tA = rb.t[A]
+            latA = rb.lat[A]
+            lonA = rb.lon[A]
+            spdA = rb.speed[A]
+            hdgA = rb.heading[A]
+            kinA = ~(np.isnan(spdA) | np.isnan(hdgA))
+            # All-None current altitudes force the scalar CPA 2-D and its
+            # fire condition to the maritime branch (see _cpa_may_fire).
+            use_cpa = bool(np.isnan(rb.alt).all())
+            batch_ids = frozenset(vocab)
+            coll_stale = coll.staleness_s
+            coll_rad = coll.candidate_radius_m
+            cpa_thr = coll.cpa_threshold_m
+            tcpa_thr = coll.tcpa_threshold_s
+            prox_may = np.zeros(nA, dtype=bool)
+            coll_may = np.zeros(nA, dtype=bool)
+            idx_all = np.arange(nA)
+            rows_of = [np.flatnonzero(codesA == c) for c in range(n_codes)]
+            for c2 in range(n_codes):
+                rows2 = rows_of[c2]
+                j = np.searchsorted(rows2, idx_all) - 1
+                has = j >= 0
+                src = rows2[np.maximum(j, 0)]
+                notself = codesA != c2
+                o = ex_latest.get(vocab[c2])
+                T2 = np.where(has, tA[src], o.t if o is not None else -np.inf)
+                LAT2 = np.where(has, latA[src], o.lat if o is not None else 0.0)
+                LON2 = np.where(has, lonA[src], o.lon if o is not None else 0.0)
+                cand = (
+                    notself
+                    & ((tA - T2) <= prox_stale)
+                    & (np.abs(latA - LAT2) * _METERS_PER_DEG_LAT_FLOOR <= prox_rad)
+                )
+                if cand.any():
+                    d = haversine_m_arrays(lonA, latA, LON2, LAT2)
+                    prox_may |= cand & (d <= prox_rad * (1.0 + 1e-9))
+                oc = coll_latest.get(vocab[c2])
+                ckin = (
+                    oc is not None
+                    and oc.speed is not None
+                    and oc.heading is not None
+                )
+                T2 = np.where(has, tA[src], oc.t if ckin else -np.inf)
+                LAT2 = np.where(has, latA[src], oc.lat if ckin else 0.0)
+                LON2 = np.where(has, lonA[src], oc.lon if ckin else 0.0)
+                KIN2 = np.where(has, kinA[src], ckin)
+                cand = (
+                    notself
+                    & kinA
+                    & KIN2
+                    & ((tA - T2) <= coll_stale)
+                    & (np.abs(latA - LAT2) * _METERS_PER_DEG_LAT_FLOOR <= coll_rad)
+                )
+                if cand.any():
+                    d = haversine_m_arrays(lonA, latA, LON2, LAT2)
+                    cand &= d <= coll_rad * (1.0 + 1e-9)
+                    if use_cpa and cand.any():
+                        SPD2 = np.where(has, spdA[src], oc.speed if ckin else 0.0)
+                        HDG2 = np.where(has, hdgA[src], oc.heading if ckin else 0.0)
+                        cand &= _cpa_may_fire(
+                            lonA, latA, spdA, hdgA,
+                            LON2, LAT2, SPD2, HDG2,
+                            cpa_thr, tcpa_thr,
+                        )
+                    coll_may |= cand
+            # Latest-map entries outside the batch are frozen during it:
+            # one constant column each.
+            for oid, o in ex_latest.items():
+                if oid in batch_ids:
+                    continue
+                cand = ((tA - o.t) <= prox_stale) & (
+                    np.abs(latA - o.lat) * _METERS_PER_DEG_LAT_FLOOR <= prox_rad
+                )
+                if cand.any():
+                    d = haversine_m_arrays(lonA, latA, o.lon, o.lat)
+                    prox_may |= cand & (d <= prox_rad * (1.0 + 1e-9))
+            for oid, o in coll_latest.items():
+                if oid in batch_ids or o.speed is None or o.heading is None:
+                    continue
+                cand = (
+                    kinA
+                    & ((tA - o.t) <= coll_stale)
+                    & (np.abs(latA - o.lat) * _METERS_PER_DEG_LAT_FLOOR <= coll_rad)
+                )
+                if cand.any():
+                    d = haversine_m_arrays(lonA, latA, o.lon, o.lat)
+                    cand &= d <= coll_rad * (1.0 + 1e-9)
+                    if use_cpa and cand.any():
+                        cand &= _cpa_may_fire(
+                            lonA, latA, spdA, hdgA,
+                            o.lon, o.lat, o.speed, o.heading,
+                            cpa_thr, tcpa_thr,
+                        )
+                    coll_may |= cand
+            ex_int[A] |= prox_may
+            coll_int[A] = coll_may
+            ex_l = ex_int.tolist()
+            coll_l = coll_int.tolist()
+
+            stage_n = nA
+            out: list[ComplexEvent] = []
+            event_docs: list[list] = []
+            # Latest unsynced record per code. Flushed (in first-
+            # appearance order, preserving dict insertion order of new
+            # entities) before every scalar component call and at batch
+            # end; a flush is the exact state residue of the scalar call
+            # for a no-event record, and re-flushing after a scalar call
+            # is idempotent.
+            pending: dict[int, int] = {}
+
+            def _flush_pending() -> None:
+                for c2, p2 in pending.items():
+                    r2 = reports[p2]
+                    eid2 = r2.entity_id
+                    st2 = ex_states.get(eid2)
+                    if st2 is None:
+                        ex.advance_quiet(r2)
+                    else:
+                        st2.last = r2
+                        ex_latest[eid2] = r2
+                    coll_latest[eid2] = r2
+                pending.clear()
+
+            loit_get = loit_map.get
+            rdv_process = rdv.process
+            rdv_tick = rdv.tick
+            for p in active_l:
+                r = reports[p]
+                if ex_l[p]:
+                    if pending:
+                        _flush_pending()
+                    events = ex.process(r)
+                    result.simple_events.extend(events)
+                else:
+                    events = ()
+                if coll_l[p]:
+                    if pending:
+                        _flush_pending()
+                    cev = coll.process(r)
+                else:
+                    cev = ()
+                pending[codes_l[p]] = p
+
+                # --- remaining detectors, in _run_detectors order -------
+                new_complex = list(cev) if cev else None
+                lev = loit_get(p)
+                if lev is not None:
+                    if new_complex is None:
+                        new_complex = [lev]
+                    else:
+                        new_complex.append(lev)
+                if events:
+                    if new_complex is None:
+                        new_complex = []
+                    for event in events:
+                        new_complex.extend(rdv_process(event))
+                    new_complex.extend(rdv_tick(t_l[p]))
+                elif rdv_pairs:
+                    # tick() with no co-stopped pairs is a pure no-op.
+                    ticked = rdv_tick(t_l[p])
+                    if ticked:
+                        if new_complex is None:
+                            new_complex = ticked
+                        else:
+                            new_complex.extend(ticked)
+                if cap is not None:
+                    if new_complex is None:
+                        new_complex = []
+                    new_complex.extend(cap.process(r))
+                if hot is not None:
+                    if new_complex is None:
+                        new_complex = []
+                    new_complex.extend(hot.process(r))
+                if new_complex:
+                    if obs:
+                        # Created lazily, exactly like _run_detectors: a
+                        # run with no complex events never registers it.
+                        self.metrics.counter("cep.complex_events").inc(
+                            len(new_complex)
+                        )
+                    for event in new_complex:
+                        result.complex_events.append(event)
+                        if persist:
+                            triples = self.transformer.event_to_triples(event)
+                            event_docs.append(triples)
+                            result.triples_stored += len(triples)
+                    out.extend(new_complex)
+
+            if pending:
+                _flush_pending()
+            if event_docs:
+                self.store.add_documents(event_docs)
+
+        if obs:
+            t_now = pc()
+            if stage_n:
+                buf["detectors"].append((t_now - t_prev) / stage_n)
+            buf["end_to_end"].append((t_now - t_batch) / n)
+            if (base // 4096) != (result.reports_in // 4096):
+                self._flush_latency()
+        return out
+
     def _span(self, name: str, records: int = 0):
         """A child span when the current record is being traced, else a no-op."""
         if self._trace_this_record:
@@ -901,30 +1507,35 @@ class MobilityPipeline:
         return new_complex
 
     def _interlink(
-        self, report: PositionReport, node, doc_sink: list | None = None
+        self,
+        report: PositionReport,
+        node,
+        doc_sink: list | None = None,
+        containing: "Sequence[Polygon] | None" = None,
     ) -> list:
         """Online integration: zone containment + weather enrichment links.
 
         Containment goes through the shared :class:`ZoneIndex` when one
         was built (same containing zones, same order, without the linear
-        polygon scan). ``doc_sink`` is the micro-batch hook: when given,
-        a newly seen weather cell's document is appended there (for one
-        bulk insert at stage end) instead of being stored immediately;
-        the accounting is identical either way.
+        polygon scan); the columnar path passes ``containing`` precomputed
+        from one bulk ray-cast per zone, which yields the identical zone
+        list. ``doc_sink`` is the micro-batch hook: when given, a newly
+        seen weather cell's document is appended there (for one bulk
+        insert at stage end) instead of being stored immediately; the
+        accounting is identical either way.
         """
         from repro.rdf import vocabulary as V
         from repro.rdf.terms import Triple
         from repro.rdf.transform import weather_iri, zone_iri
 
         links = []
-        if self._zone_index is not None:
-            containing: Iterable[Polygon] = self._zone_index.containing(
-                report.lon, report.lat
-            )
-        else:
-            containing = (
-                z for z in self.zones if z.contains(report.lon, report.lat)
-            )
+        if containing is None:
+            if self._zone_index is not None:
+                containing = self._zone_index.containing(report.lon, report.lat)
+            else:
+                containing = (
+                    z for z in self.zones if z.contains(report.lon, report.lat)
+                )
         for zone in containing:
             links.append(Triple(node, V.PROP_WITHIN_ZONE, zone_iri(zone.name)))
         if self.weather is not None:
@@ -943,28 +1554,113 @@ class MobilityPipeline:
             )
         return links
 
-    def run(self, reports: Iterable[PositionReport]) -> PipelineResult:
-        """Process a whole (event-time ordered) stream and finalize."""
+    def run(
+        self,
+        source: "Iterable[PositionReport] | Iterable[RecordBatch]",
+        *,
+        batch: BatchOptions | None = None,
+        checkpoints: CheckpointOptions | None = None,
+    ) -> PipelineResult:
+        """Process one (event-time ordered) source end to end and finalize.
+
+        The single run entry point. ``source`` is either a plain report
+        stream or a stream of :class:`RecordBatch` instances (native
+        columnar emission — e.g.
+        :meth:`~repro.sources.generators.TrafficSample.record_batches`);
+        the two keyword groups select the execution mode:
+
+        - ``batch``: slice a report stream into micro-batches of
+          ``batch.size`` and push them through :meth:`process_batch`
+          (RecordBatch sources are already sliced and always run
+          batched). Content-equivalent to the record-at-a-time path for
+          any size — batching only trades per-record overhead against
+          buffering.
+        - ``checkpoints``: save a checkpoint every ``interval`` records
+          (at the first batch boundary past each multiple when batching),
+          and/or ``resume`` from the store's latest checkpoint, skipping
+          the source prefix it covers. Resuming re-batches the remaining
+          suffix, which is safe under batch-slicing invariance; a
+          RecordBatch source is flattened to its record view for the
+          skip.
+
+        Replaces the deprecated ``run_batched``, ``run_with_checkpoints``,
+        ``run_batches_with_checkpoints`` and ``resume_from_checkpoint``.
+        """
         run_started = monotonic()
-        for report in reports:
+        offset = 0
+        cp_store: CheckpointStore | None = None
+        cp_interval: int | None = None
+        if checkpoints is not None:
+            cp_store = checkpoints.store
+            cp_interval = checkpoints.interval
+            offset = checkpoints.start_offset
+            if checkpoints.resume:
+                checkpoint = cp_store.latest()
+                if checkpoint is None:
+                    raise ValueError("no checkpoint to resume from")
+                self.restore(checkpoint.states)
+                offset = checkpoint.source_offset
+                if isinstance(source, ReplayLog):
+                    source = source.read(offset)
+                else:
+                    source = itertools.islice(
+                        _flatten_records(source), offset, None
+                    )
+        stream = iter(source)
+        first = next(stream, None)
+        if first is None:
+            return self._finalize(run_started)
+
+        def save(at_offset: int) -> None:
+            cp_store.save(
+                Checkpoint(
+                    checkpoint_id=cp_store.next_id(),
+                    source_offset=at_offset,
+                    states=self.snapshot(),
+                )
+            )
+
+        if isinstance(first, RecordBatch) or batch is not None:
+            if isinstance(first, RecordBatch):
+                batches: Iterable[Any] = itertools.chain((first,), stream)
+                process: Callable[[Any], list[ComplexEvent]] = (
+                    self.process_recordbatch
+                )
+            else:
+                batches = _iter_batches(
+                    itertools.chain((first,), stream), batch.size
+                )
+                process = self.process_batch
+            boundary = offset // cp_interval if cp_interval else 0
+            for b in batches:
+                if len(b) == 0:
+                    continue
+                process(b)
+                offset += len(b)
+                if cp_interval and offset // cp_interval > boundary:
+                    boundary = offset // cp_interval
+                    save(offset)
+            return self._finalize(run_started)
+        for report in itertools.chain((first,), stream):
             self.process_report(report)
+            offset += 1
+            if cp_interval and offset % cp_interval == 0:
+                save(offset)
         return self._finalize(run_started)
 
     def run_batched(
         self, reports: Iterable[PositionReport], batch_size: int = 256
     ) -> PipelineResult:
-        """Like :meth:`run`, pushing micro-batches through :meth:`process_batch`.
-
-        Content-equivalent to :meth:`run` for any ``batch_size`` (see the
-        :meth:`process_batch` contract); the batch size only trades
-        per-record overhead against buffering.
-        """
+        """Deprecated alias for ``run(reports, batch=BatchOptions(size))``."""
+        warnings.warn(
+            "MobilityPipeline.run_batched is deprecated; use "
+            "run(reports, batch=BatchOptions(size=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        run_started = monotonic()
-        for batch in _iter_batches(reports, batch_size):
-            self.process_batch(batch)
-        return self._finalize(run_started)
+        return self.run(reports, batch=BatchOptions(size=batch_size))
 
     def _finalize(self, run_started: float) -> PipelineResult:
         """Flush windowed detectors and summarize the run."""
@@ -1074,30 +1770,24 @@ class MobilityPipeline:
         checkpoint_interval: int,
         start_offset: int = 0,
     ) -> PipelineResult:
-        """Like :meth:`run`, saving a checkpoint every N reports.
-
-        If the source raises mid-stream (a crash), the checkpoints already
-        saved allow :meth:`resume_from_checkpoint` on a *fresh* pipeline to
-        finish the run with results identical to an uninterrupted one.
-        ``start_offset`` is the absolute offset of the first report in
-        ``reports`` (non-zero only on resume).
-        """
+        """Deprecated alias for ``run(reports, checkpoints=...)``."""
+        warnings.warn(
+            "MobilityPipeline.run_with_checkpoints is deprecated; use "
+            "run(reports, checkpoints=CheckpointOptions(store=..., "
+            "interval=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint_interval must be positive")
-        run_started = monotonic()
-        offset = start_offset
-        for report in reports:
-            self.process_report(report)
-            offset += 1
-            if offset % checkpoint_interval == 0:
-                checkpoint_store.save(
-                    Checkpoint(
-                        checkpoint_id=checkpoint_store.next_id(),
-                        source_offset=offset,
-                        states=self.snapshot(),
-                    )
-                )
-        return self._finalize(run_started)
+        return self.run(
+            reports,
+            checkpoints=CheckpointOptions(
+                store=checkpoint_store,
+                interval=checkpoint_interval,
+                start_offset=start_offset,
+            ),
+        )
 
     def run_batches_with_checkpoints(
         self,
@@ -1106,36 +1796,31 @@ class MobilityPipeline:
         checkpoint_interval: int,
         start_offset: int = 0,
     ) -> PipelineResult:
-        """Micro-batch counterpart of :meth:`run_with_checkpoints`.
+        """Deprecated alias for ``run(recordbatches(batches), checkpoints=...)``.
 
-        A checkpoint is taken at the first batch boundary at or past each
-        multiple of ``checkpoint_interval`` (batches are not split), with
-        the checkpoint's ``source_offset`` recording the exact record
-        offset reached. A resume re-batches the stream suffix from that
-        offset — safe because :meth:`process_batch` results are invariant
-        to how the stream is sliced into batches.
+        The pre-sliced batches are wrapped as :class:`RecordBatch`
+        instances (offsets running from ``start_offset``) and pushed
+        through the unified entry point; checkpoints land at the first
+        batch boundary at or past each multiple of the interval, exactly
+        as before.
         """
+        warnings.warn(
+            "MobilityPipeline.run_batches_with_checkpoints is deprecated; "
+            "use run(recordbatches(batches), "
+            "checkpoints=CheckpointOptions(store=..., interval=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if checkpoint_interval <= 0:
             raise ValueError("checkpoint_interval must be positive")
-        run_started = monotonic()
-        offset = start_offset
-        boundary = offset // checkpoint_interval
-        for batch in batches:
-            batch = list(batch)
-            if not batch:
-                continue
-            self.process_batch(batch)
-            offset += len(batch)
-            if offset // checkpoint_interval > boundary:
-                boundary = offset // checkpoint_interval
-                checkpoint_store.save(
-                    Checkpoint(
-                        checkpoint_id=checkpoint_store.next_id(),
-                        source_offset=offset,
-                        states=self.snapshot(),
-                    )
-                )
-        return self._finalize(run_started)
+        return self.run(
+            recordbatches(batches, start_offset=start_offset),
+            checkpoints=CheckpointOptions(
+                store=checkpoint_store,
+                interval=checkpoint_interval,
+                start_offset=start_offset,
+            ),
+        )
 
     def resume_from_checkpoint(
         self,
@@ -1144,51 +1829,25 @@ class MobilityPipeline:
         checkpoint_interval: int | None = None,
         batch_size: int | None = None,
     ) -> PipelineResult:
-        """Recover from the latest checkpoint and replay the source suffix.
-
-        ``reports`` must be the same full source the crashed run consumed
-        (ideally a :class:`ReplayLog`); the prefix up to the checkpoint's
-        offset is skipped, which deduplicates replayed records. Pass
-        ``checkpoint_interval`` to keep checkpointing during the replay,
-        and ``batch_size`` to replay through the micro-batch path (the
-        suffix is re-batched from the checkpoint offset — batch-slicing
-        invariance makes the result independent of where the crash fell).
-        The returned result's counts match an uninterrupted run (wall-time
-        and latency *values* cover only the resumed suffix).
-        """
-        checkpoint = checkpoint_store.latest()
-        if checkpoint is None:
-            raise ValueError("no checkpoint to resume from")
-        self.restore(checkpoint.states)
-        if isinstance(reports, ReplayLog):
-            suffix: Iterable[PositionReport] = reports.read(checkpoint.source_offset)
-        else:
-            suffix = itertools.islice(iter(reports), checkpoint.source_offset, None)
-        if batch_size is not None:
-            if batch_size <= 0:
-                raise ValueError("batch_size must be positive")
-            if checkpoint_interval is not None:
-                return self.run_batches_with_checkpoints(
-                    _iter_batches(suffix, batch_size),
-                    checkpoint_store,
-                    checkpoint_interval,
-                    start_offset=checkpoint.source_offset,
-                )
-            run_started = monotonic()
-            for batch in _iter_batches(suffix, batch_size):
-                self.process_batch(batch)
-            return self._finalize(run_started)
-        if checkpoint_interval is not None:
-            return self.run_with_checkpoints(
-                suffix,
-                checkpoint_store,
-                checkpoint_interval,
-                start_offset=checkpoint.source_offset,
-            )
-        run_started = monotonic()
-        for report in suffix:
-            self.process_report(report)
-        return self._finalize(run_started)
+        """Deprecated alias for ``run(reports, checkpoints=...resume=True)``."""
+        warnings.warn(
+            "MobilityPipeline.resume_from_checkpoint is deprecated; use "
+            "run(reports, checkpoints=CheckpointOptions(store=..., "
+            "resume=True))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        return self.run(
+            reports,
+            batch=BatchOptions(size=batch_size) if batch_size is not None else None,
+            checkpoints=CheckpointOptions(
+                store=checkpoint_store,
+                interval=checkpoint_interval,
+                resume=True,
+            ),
+        )
 
     @property
     def result(self) -> PipelineResult:

@@ -1,0 +1,129 @@
+"""The shared result schema every tier's run report implements.
+
+Three classes tell the story of a run —
+:class:`~repro.core.pipeline.PipelineResult` (one pipeline),
+:class:`~repro.query.executor.ExecutionReport` (one query) and
+:class:`~repro.runtime.merge.RuntimeResult` (one multi-process run).
+They historically converged on the same trio of methods; this module
+makes the contract explicit as the :class:`ResultSchema` protocol and
+adds a versioned on-disk envelope around it:
+
+- ``summary()``: flat numeric summary (floats only — plot/table ready);
+- ``as_dict()``: ``{"kind", "summary", "metrics"}`` — the common
+  observability report shape, ``metrics`` being the registry snapshot;
+- ``deterministic_payload()`` / ``deterministic_bytes()`` /
+  ``deterministic_digest()``: everything the run's *content* determines
+  and nothing timing does, canonically JSON-encoded and hashed — the
+  differential-testing oracle (two execution strategies computed the
+  same thing iff their digests match).
+
+:func:`result_document` wraps any :class:`ResultSchema` into a
+self-verifying document (schema version + content digest);
+:func:`load_result_document` is its inverse and recomputes the digest,
+so a result that survived serialization provably survived unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "ResultSchema",
+    "canonical_bytes",
+    "digest_of",
+    "result_document",
+    "load_result_document",
+]
+
+#: Version of the result-document envelope. Bump on any change to the
+#: envelope keys or to the canonical encoding (which would change every
+#: digest); readers reject versions they do not know.
+RESULT_SCHEMA_VERSION = 1
+
+
+@runtime_checkable
+class ResultSchema(Protocol):
+    """What every run report exposes, regardless of tier."""
+
+    metrics: dict
+
+    def summary(self) -> dict[str, float]:
+        """Flat numeric summary of the run."""
+        ...
+
+    def as_dict(self) -> dict:
+        """``{"kind", "summary", "metrics"}`` — the common report shape."""
+        ...
+
+    def deterministic_payload(self) -> dict:
+        """Content-determined fields only — no wall-clock, no latency."""
+        ...
+
+    def deterministic_bytes(self) -> bytes:
+        """Canonical JSON encoding of :meth:`deterministic_payload`."""
+        ...
+
+    def deterministic_digest(self) -> str:
+        """SHA-256 hex digest of :meth:`deterministic_bytes`."""
+        ...
+
+
+def canonical_bytes(payload: Any) -> bytes:
+    """The one canonical JSON encoding digests are computed over.
+
+    Key-sorted, separator-minimal UTF-8 — byte-stable across Python
+    versions and dict insertion orders, so equal payloads always hash
+    equal.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def digest_of(payload: Any) -> str:
+    """SHA-256 hex digest of a payload's canonical encoding."""
+    return hashlib.sha256(canonical_bytes(payload)).hexdigest()
+
+
+def result_document(result: ResultSchema) -> dict:
+    """A self-verifying, versioned document for one run report.
+
+    The envelope carries the common report shape plus the deterministic
+    payload and its digest, so a reader can both consume the numbers and
+    verify the content hash without the producing class on its path.
+    """
+    doc = dict(result.as_dict())
+    doc["schema_version"] = RESULT_SCHEMA_VERSION
+    doc["deterministic"] = result.deterministic_payload()
+    doc["digest"] = result.deterministic_digest()
+    return doc
+
+
+def load_result_document(data: "str | bytes | dict") -> dict:
+    """Parse and verify a :func:`result_document` envelope.
+
+    Accepts the JSON text/bytes or an already-parsed dict. Raises
+    :class:`ValueError` when the schema version is unknown, required keys
+    are missing, or the embedded digest does not match the deterministic
+    payload (i.e. the document was corrupted or hand-edited).
+    """
+    doc = json.loads(data) if isinstance(data, (str, bytes)) else data
+    if not isinstance(doc, dict):
+        raise ValueError("result document must be a JSON object")
+    version = doc.get("schema_version")
+    if version != RESULT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported result schema version: {version!r} "
+            f"(supported: {RESULT_SCHEMA_VERSION})"
+        )
+    missing = [k for k in ("kind", "summary", "deterministic", "digest") if k not in doc]
+    if missing:
+        raise ValueError(f"result document missing keys: {missing}")
+    expected = digest_of(doc["deterministic"])
+    if doc["digest"] != expected:
+        raise ValueError(
+            "result document digest mismatch: "
+            f"document says {doc['digest'][:12]}…, payload hashes to {expected[:12]}…"
+        )
+    return doc

@@ -40,6 +40,23 @@ def haversine_m_arrays(
     return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
 
 
+def sphere_unit_vectors(
+    lons: np.ndarray, lats: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unit 3-vectors of lon/lat columns on the unit sphere.
+
+    Returns ``(x, y, z)`` with ``x = cos(lat)cos(lon)``,
+    ``y = cos(lat)sin(lon)``, ``z = sin(lat)``. The chord length between
+    two such vectors is ``2 sin(d / 2R)`` of their great-circle distance
+    ``d`` — a monotonic proxy that lets batch kernels compare distances
+    against a threshold without evaluating ``asin`` per pair.
+    """
+    phi = np.radians(lats)
+    lam = np.radians(lons)
+    cphi = np.cos(phi)
+    return cphi * np.cos(lam), cphi * np.sin(lam), np.sin(phi)
+
+
 def distance_3d_m(
     lon1: float,
     lat1: float,

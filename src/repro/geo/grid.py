@@ -15,6 +15,23 @@ from repro.geo.bbox import BBox
 from repro.geo.geodesy import haversine_m
 
 
+def _clamped_index(offset: float, step: float, n: int) -> int:
+    """Truncate ``offset / step`` to an index clamped into ``[0, n)``.
+
+    Clamps in float space *before* the integer conversion: a degenerate
+    grid (subnormal extent) can overflow the division to ±inf, which
+    ``int()`` refuses — the border-cell clamping semantics must survive
+    that. For finite quotients the result is identical to truncating
+    first and clamping after.
+    """
+    q = offset / step
+    if q <= 0.0:
+        return 0
+    if q >= n:
+        return n - 1
+    return int(q)
+
+
 @dataclass(frozen=True, slots=True)
 class GeoGrid:
     """A uniform nx × ny grid over a bounding box.
@@ -51,10 +68,8 @@ class GeoGrid:
 
     def cell_of(self, lon: float, lat: float) -> tuple[int, int]:
         """Grid coordinates of the cell containing (clamping) a point."""
-        ix = int((lon - self.bbox.min_lon) / self.cell_width)
-        iy = int((lat - self.bbox.min_lat) / self.cell_height)
-        ix = min(max(ix, 0), self.nx - 1)
-        iy = min(max(iy, 0), self.ny - 1)
+        ix = _clamped_index(lon - self.bbox.min_lon, self.cell_width, self.nx)
+        iy = _clamped_index(lat - self.bbox.min_lat, self.cell_height, self.ny)
         return (ix, iy)
 
     def cell_id(self, lon: float, lat: float) -> int:
@@ -75,14 +90,10 @@ class GeoGrid:
 
     def cells_intersecting(self, query: BBox) -> Iterator[tuple[int, int]]:
         """Yield (ix, iy) of every cell whose box intersects ``query``."""
-        lo_x = int((query.min_lon - self.bbox.min_lon) / self.cell_width)
-        hi_x = int((query.max_lon - self.bbox.min_lon) / self.cell_width)
-        lo_y = int((query.min_lat - self.bbox.min_lat) / self.cell_height)
-        hi_y = int((query.max_lat - self.bbox.min_lat) / self.cell_height)
-        lo_x = min(max(lo_x, 0), self.nx - 1)
-        hi_x = min(max(hi_x, 0), self.nx - 1)
-        lo_y = min(max(lo_y, 0), self.ny - 1)
-        hi_y = min(max(hi_y, 0), self.ny - 1)
+        lo_x = _clamped_index(query.min_lon - self.bbox.min_lon, self.cell_width, self.nx)
+        hi_x = _clamped_index(query.max_lon - self.bbox.min_lon, self.cell_width, self.nx)
+        lo_y = _clamped_index(query.min_lat - self.bbox.min_lat, self.cell_height, self.ny)
+        hi_y = _clamped_index(query.max_lat - self.bbox.min_lat, self.cell_height, self.ny)
         for iy in range(lo_y, hi_y + 1):
             for ix in range(lo_x, hi_x + 1):
                 yield (ix, iy)

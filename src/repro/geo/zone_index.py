@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.geo.bbox import BBox
 from repro.geo.grid import GeoGrid
 from repro.geo.polygon import Polygon
@@ -94,3 +96,20 @@ class ZoneIndex:
             zone = zones[i]
             if zone.contains(lon, lat):
                 yield zone
+
+    def locate_batch(self, lons: np.ndarray, lats: np.ndarray) -> list[tuple[int, ...]]:
+        """Containing zone indices per point, for coordinate columns.
+
+        ``out[k]`` lists the indices of every zone containing point ``k``,
+        ascending (= original zone order) — exactly the indices
+        :meth:`containing` would yield, because ``Polygon.contains_batch``
+        is decision-identical to ``Polygon.contains`` and the grid
+        prefilter only ever removes zones whose exact test is False.
+        """
+        n = len(lons)
+        out: list[tuple[int, ...]] = [() for _ in range(n)]
+        for idx, zone in enumerate(self.zones):
+            hits = zone.contains_batch(lons, lats)
+            for k in np.flatnonzero(hits):
+                out[k] += (idx,)
+        return out

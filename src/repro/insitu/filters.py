@@ -7,7 +7,7 @@ records no downstream component should ever see.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -15,6 +15,9 @@ from repro.geo.geodesy import haversine_m, haversine_m_arrays
 from repro.model.entities import EntityRegistry
 from repro.model.reports import PositionReport
 from repro.streams.checkpoint import StatefulMixin
+
+if TYPE_CHECKING:
+    from repro.core.recordbatch import RecordBatch
 
 #: Entity groups smaller than this go through the scalar path — the numpy
 #: round-trip costs more than three haversine calls.
@@ -149,6 +152,58 @@ class PlausibilityFilter(StatefulMixin):
                 out[i] = True
         return out
 
+    def accept_recordbatch(self, rb: "RecordBatch", mask: np.ndarray) -> np.ndarray:
+        """Columnar :meth:`accept` over the batch positions where ``mask``.
+
+        Per entity segment, the whole accepted-chain recurrence collapses
+        to three vector checks when nothing can be rejected: no speed
+        field above the ceiling (NaN compares False, matching the scalar
+        ``is None`` guard), strictly increasing timestamps including the
+        link to the entity's pre-batch state, and every implied speed
+        below ``ceiling * (1 - _BOUNDARY_MARGIN)``. Any segment that
+        fails a check — or lands inside the ulp boundary band — replays
+        through the scalar :meth:`accept`, so decisions, the ``rejected``
+        counter and per-entity state stay bit-identical to the per-record
+        path.
+        """
+        out = np.zeros(len(rb), dtype=bool)
+        reports = rb.reports
+        for _code, entity_id, seg in rb.segments():
+            pos = seg[mask[seg]]
+            n = pos.size
+            if n == 0:
+                continue
+            if n < _CHAIN_MIN_GROUP:
+                for p in pos.tolist():
+                    out[p] = self.accept(reports[p])
+                continue
+            ceiling = self._ceiling(entity_id)
+            if np.any(rb.speed[pos] > ceiling):
+                for p in pos.tolist():
+                    out[p] = self.accept(reports[p])
+                continue
+            t_seg = rb.t[pos]
+            lons = rb.lon[pos]
+            lats = rb.lat[pos]
+            last = self._last.get(entity_id)
+            if last is not None:
+                t_seg = np.concatenate(((last.t,), t_seg))
+                lons = np.concatenate(((last.lon,), lons))
+                lats = np.concatenate(((last.lat,), lats))
+            dts = np.diff(t_seg)
+            if np.any(dts <= 0):
+                for p in pos.tolist():
+                    out[p] = self.accept(reports[p])
+                continue
+            implied = haversine_m_arrays(lons[:-1], lats[:-1], lons[1:], lats[1:]) / dts
+            if np.any(implied >= ceiling * (1.0 - _BOUNDARY_MARGIN)):
+                for p in pos.tolist():
+                    out[p] = self.accept(reports[p])
+                continue
+            out[pos] = True
+            self._last[entity_id] = reports[pos[-1]]
+        return out
+
     def __call__(self, report: PositionReport) -> bool:
         return self.accept(report)
 
@@ -179,6 +234,43 @@ class DeduplicateFilter(StatefulMixin):
         if len(recent) > self._memory:
             del recent[: len(recent) - self._memory]
         return True
+
+    def accept_recordbatch(self, rb: "RecordBatch") -> np.ndarray:
+        """Columnar :meth:`accept` over a whole batch.
+
+        A key can only repeat if its timestamp repeats, so one vector
+        check per entity segment — no timestamp shared with the entity's
+        recent-key memory and no timestamp repeated inside the segment —
+        proves every record is fresh. Suspicious segments (a timestamp
+        collision, which may still differ in lon/lat) replay through the
+        scalar :meth:`accept`; clean segments bulk-append their keys with
+        a single end trim, which leaves the same final memory as the
+        per-record trims.
+        """
+        out = np.zeros(len(rb), dtype=bool)
+        reports = rb.reports
+        for _code, entity_id, pos in rb.segments():
+            if pos.size == 0:
+                continue
+            t_seg = rb.t[pos]
+            recent = self._seen.setdefault(entity_id, [])
+            suspicious = np.unique(t_seg).size < t_seg.size
+            if not suspicious and recent:
+                recent_t = np.fromiter(
+                    (k[0] for k in recent), dtype=np.float64, count=len(recent)
+                )
+                suspicious = bool(np.isin(t_seg, recent_t).any())
+            if suspicious:
+                for p in pos.tolist():
+                    out[p] = self.accept(reports[p])
+                continue
+            out[pos] = True
+            recent.extend(
+                zip(t_seg.tolist(), rb.lon[pos].tolist(), rb.lat[pos].tolist())
+            )
+            if len(recent) > self._memory:
+                del recent[: len(recent) - self._memory]
+        return out
 
     def __call__(self, report: PositionReport) -> bool:
         return self.accept(report)

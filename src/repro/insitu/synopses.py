@@ -21,11 +21,22 @@ from __future__ import annotations
 import copy
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
-from repro.geo.geodesy import destination_point, haversine_m
+import numpy as np
+
+from repro.geo.geodesy import (
+    EARTH_RADIUS_M,
+    destination_point,
+    haversine_m,
+    heading_difference_deg,
+    sphere_unit_vectors,
+)
 from repro.insitu.critical import AnnotatedReport, CriticalPointDetector, CriticalPointType
 from repro.model.reports import PositionReport
+
+if TYPE_CHECKING:
+    from repro.core.recordbatch import RecordBatch
 from repro.model.trajectory import Trajectory
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.streams.operators import KeyedProcessOperator
@@ -76,6 +87,39 @@ class _KeptState:
     report: PositionReport
     speed: float | None
     heading: float | None
+
+
+def _anchor_basis(
+    lon: float, lat: float, speed: float | None, heading: float | None, radius: float
+) -> tuple[float, float, float, bool, float, float, float, float]:
+    """Unit position vector and motion basis of a dead-reckoning anchor.
+
+    Returns ``(ax, ay, az, have_kin, bx, by, bz, c)``: the anchor's unit
+    3-vector, whether kinematics are available, the unit tangent vector in
+    the heading direction (``cos(bearing)·north + sin(bearing)·east``) and
+    the angular rate ``speed / radius``. Dead-reckoning ``dt`` seconds is
+    then the great-circle rotation ``a·cos(c·dt) + b·sin(c·dt)`` — the
+    same mathematical point :func:`destination_point` computes, differing
+    only in floating-point route.
+    """
+    phi = math.radians(lat)
+    lam = math.radians(lon)
+    cphi = math.cos(phi)
+    sphi = math.sin(phi)
+    clam = math.cos(lam)
+    slam = math.sin(lam)
+    ax = cphi * clam
+    ay = cphi * slam
+    az = sphi
+    if speed is None or heading is None:
+        return (ax, ay, az, False, 0.0, 0.0, 0.0, 0.0)
+    beta = math.radians(heading)
+    cb = math.cos(beta)
+    sb = math.sin(beta)
+    bx = cb * (-sphi * clam) + sb * (-slam)
+    by = cb * (-sphi * slam) + sb * clam
+    bz = cb * cphi
+    return (ax, ay, az, True, bx, by, bz, speed / radius)
 
 
 class SynopsesGenerator:
@@ -136,6 +180,195 @@ class SynopsesGenerator:
         single entry point per batch rather than per record.
         """
         return [self.process(report) for report in reports]
+
+    def process_recordbatch(
+        self, rb: "RecordBatch", active_mask: np.ndarray
+    ) -> list[tuple[AnnotatedReport | None, bool] | None]:
+        """Columnar keep/drop walk over a batch's active positions.
+
+        Decision-identical to calling :meth:`process` per active record in
+        stream order, by construction:
+
+        * A conservative guard re-evaluates every *exact* arithmetic
+          condition of :class:`CriticalPointDetector` (gap ``dt``, stop
+          thresholds, turn angle, speed-change ratio — all raw-field
+          float ops identical to the scalar ones) and sends any record
+          that could fire a critical point, derive a missing field, or
+          mutate reference state through the scalar :meth:`process`. The
+          guard ignores the ``enabled`` ablation subset, which only ever
+          adds scalar calls, never skips a fire.
+        * Provably boring records decide keep/drop on the unit-sphere
+          *chord* of the dead-reckoning error — monotonically equivalent
+          to the haversine distance — against a band of half-width
+          ``1e-6`` relative (plus an absolute floor) around the chord
+          threshold. The scalar and chord routes agree far inside the
+          band (their floating-point routes differ by ~1e-11 relative);
+          records landing inside it replay through :meth:`process`.
+
+        Per-entity detector/seen state is synced lazily (once per scalar
+        call and at segment end), so the observable state after the batch
+        matches the per-record path exactly. Returns a position-indexed
+        list: ``(annotated, True)`` for keeps, ``(None, False)`` for
+        drops, ``None`` at inactive positions.
+        """
+        det = self._detector
+        states = det._states
+        gap_th = det.gap_threshold_s
+        stop_sp = det.stop_speed_mps
+        turn_th = det.turn_threshold_deg
+        sc_ratio = det.speed_change_ratio
+        max_sil = self.config.max_silence_s
+        thr = self.config.dr_error_threshold_m
+        radius = EARTH_RADIUS_M
+        # Chord threshold: d > thr on the sphere iff chord² > (2 sin(thr/2R))²
+        # while thr stays below the antipode (always, for real configs).
+        use_chord = thr < math.pi * radius
+        cu = 2.0 * math.sin(thr / (2.0 * radius)) if use_chord else 0.0
+        cu2 = cu * cu
+        # Band half-width: relative term for the chord-vs-haversine ulp
+        # spread, a linear term bounding the destination_point-vs-rotation
+        # route difference (≲1e-8 m ≈ 1.6e-15 chord units, ×60 headroom),
+        # and an absolute floor for thr → 0.
+        eps = cu2 * 1e-6 + cu * 1e-13 + 1e-29
+        hi = cu2 + eps
+        lo = cu2 - eps
+
+        reports = rb.reports
+        t_l = rb.t.tolist()
+        spd_l = rb.speed.tolist()
+        hdg_l = rb.heading.tolist()
+        lon_l = rb.lon.tolist()
+        lat_l = rb.lat.tolist()
+        ux, uy, uz = sphere_unit_vectors(rb.lon, rb.lat)
+        x_l = ux.tolist()
+        y_l = uy.tolist()
+        z_l = uz.tolist()
+        out: list[tuple[AnnotatedReport | None, bool] | None] = [None] * len(reports)
+        nseen = 0
+
+        for _code, eid, seg in rb.segments():
+            pos = seg[active_mask[seg]].tolist()
+            if not pos:
+                continue
+            st = states.get(eid)
+            if st is None or st.last is None:
+                last_t = None
+                stopped = False
+                ref_h = None
+                ref_s = None
+            else:
+                last_t = st.last.t
+                stopped = st.stopped
+                ref_h = st.prev_heading
+                ref_s = st.ref_speed
+            ks = self._last_kept.get(eid)
+            if ks is None:
+                anchor_t = None
+                ax = ay = az = bx = by = bz = c = 0.0
+                have_kin = False
+            else:
+                anchor_t = ks.report.t
+                ax, ay, az, have_kin, bx, by, bz, c = _anchor_basis(
+                    ks.report.lon, ks.report.lat, ks.speed, ks.heading, radius
+                )
+            pend = -1
+            for p in pos:
+                t = t_l[p]
+                spd = spd_l[p]
+                hdg = hdg_l[p]
+                # Conservative superset of every detector fire / state write
+                # (`spd != spd` is the NaN ↔ scalar None-derivation guard).
+                if last_t is None:
+                    interesting = True
+                else:
+                    dt = t - last_t
+                    if dt > gap_th or spd != spd:
+                        interesting = True
+                    elif (spd >= stop_sp) if stopped else (spd < stop_sp):
+                        interesting = True
+                    elif hdg != hdg or ref_h is None:
+                        interesting = True
+                    elif (not stopped) and heading_difference_deg(hdg, ref_h) >= turn_th:
+                        interesting = True
+                    elif ref_s is None:
+                        interesting = True
+                    elif ref_s > stop_sp and abs(spd - ref_s) / ref_s >= sc_ratio:
+                        interesting = True
+                    else:
+                        interesting = False
+                decide_scalar = interesting
+                keep = False
+                if not interesting:
+                    if anchor_t is None:
+                        keep = True
+                    else:
+                        dta = t - anchor_t
+                        if dta >= max_sil:
+                            keep = True
+                        elif not use_chord:
+                            decide_scalar = True
+                        else:
+                            if have_kin:
+                                th_ = c * dta
+                                cth = math.cos(th_)
+                                sth = math.sin(th_)
+                                px = ax * cth + bx * sth
+                                py = ay * cth + by * sth
+                                pz = az * cth + bz * sth
+                            else:
+                                px = ax
+                                py = ay
+                                pz = az
+                            dx = px - x_l[p]
+                            dy = py - y_l[p]
+                            dz = pz - z_l[p]
+                            ch2 = dx * dx + dy * dy + dz * dz
+                            if ch2 > hi:
+                                keep = True
+                            elif ch2 >= lo:
+                                decide_scalar = True
+                if decide_scalar:
+                    if pend >= 0:
+                        r_prev = reports[pend]
+                        st.last = r_prev
+                        self._last_seen[eid] = r_prev
+                        pend = -1
+                    annotated, keep = self.process(reports[p])
+                    out[p] = (annotated, keep)
+                    st = states[eid]
+                    last_t = t
+                    stopped = st.stopped
+                    ref_h = st.prev_heading
+                    ref_s = st.ref_speed
+                    if keep:
+                        ks = self._last_kept[eid]
+                        anchor_t = t
+                        ax, ay, az, have_kin, bx, by, bz, c = _anchor_basis(
+                            lon_l[p], lat_l[p], ks.speed, ks.heading, radius
+                        )
+                    continue
+                nseen += 1
+                r = reports[p]
+                if keep:
+                    self.kept += 1
+                    self._last_kept[eid] = _KeptState(
+                        report=r, speed=r.speed, heading=r.heading
+                    )
+                    out[p] = (AnnotatedReport(report=r), True)
+                    anchor_t = t
+                    ax, ay, az, have_kin, bx, by, bz, c = _anchor_basis(
+                        lon_l[p], lat_l[p], r.speed, r.heading, radius
+                    )
+                else:
+                    out[p] = (None, False)
+                last_t = t
+                pend = p
+            if pend >= 0:
+                r_prev = reports[pend]
+                st.last = r_prev
+                self._last_seen[eid] = r_prev
+        self.seen += nseen
+        return out
 
     def publish_metrics(self) -> None:
         """Top the registry up to the current seen/kept totals.

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
+from repro.core.results import canonical_bytes, digest_of
 from repro.geo.bbox import BBox
 from repro.geo.geodesy import haversine_m
 from repro.model.trajectory import Trajectory
@@ -135,6 +136,30 @@ class ExecutionReport:
         :meth:`repro.core.pipeline.PipelineResult.as_dict`.
         """
         return {"kind": "query", "summary": self.summary(), "metrics": self.metrics}
+
+    def deterministic_payload(self) -> dict:
+        """Everything the query's content determines, nothing timing does.
+
+        Result count, partition accounting and the chosen strategy are
+        functions of store content + query; every ``*_s`` field is wall
+        time and is excluded, so the same query over the same store
+        digests identically however slowly it ran.
+        """
+        return {
+            "n_results": self.n_results,
+            "partitions_total": self.partitions_total,
+            "partitions_scanned": self.partitions_scanned,
+            "pruning_ratio": self.pruning_ratio,
+            "strategy": self.strategy,
+        }
+
+    def deterministic_bytes(self) -> bytes:
+        """Canonical JSON encoding of :meth:`deterministic_payload`."""
+        return canonical_bytes(self.deterministic_payload())
+
+    def deterministic_digest(self) -> str:
+        """SHA-256 of :meth:`deterministic_bytes`."""
+        return digest_of(self.deterministic_payload())
 
 
 class QueryExecutor:

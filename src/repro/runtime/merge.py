@@ -17,11 +17,10 @@ checkpoint must produce bytes identical to an uninterrupted run.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 
 from repro.core.pipeline import PipelineResult
+from repro.core.results import canonical_bytes, digest_of
 from repro.model.events import ComplexEvent, SimpleEvent
 from repro.obs.metrics import MetricsRegistry
 
@@ -166,13 +165,11 @@ class RuntimeResult:
 
     def deterministic_bytes(self) -> bytes:
         """Canonical JSON encoding of :meth:`deterministic_payload`."""
-        return json.dumps(
-            self.deterministic_payload(), sort_keys=True, separators=(",", ":")
-        ).encode("utf-8")
+        return canonical_bytes(self.deterministic_payload())
 
     def deterministic_digest(self) -> str:
         """SHA-256 of :meth:`deterministic_bytes` (the differential oracle)."""
-        return hashlib.sha256(self.deterministic_bytes()).hexdigest()
+        return digest_of(self.deterministic_payload())
 
 
 class ResultMerger:

@@ -10,7 +10,8 @@ so a crash loses at most one interval of work: the supervisor respawns
 the shard with ``resume=True``, the fresh incarnation restores the latest
 snapshot, reports the restored offset back (the ``ready`` message), and
 the feeder replays exactly the unprocessed suffix — offset-replay dedup,
-same contract as :meth:`MobilityPipeline.resume_from_checkpoint`.
+same contract as :meth:`MobilityPipeline.run` with
+``CheckpointOptions(resume=True)``.
 
 Everything here is spawn-safe: the entry point is a module-level
 function, the spec is immutable data, and no state is inherited from the
@@ -25,7 +26,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.core.pipeline import PipelineSpec
+from repro.core.pipeline import CheckpointOptions, PipelineSpec
+from repro.core.recordbatch import recordbatches
 from repro.model.reports import PositionReport
 from repro.streams.chaos import CrashInjector, InjectedCrash
 from repro.streams.checkpoint import FileCheckpointStore
@@ -200,21 +202,25 @@ def worker_main(
                 batches = iter(
                     _BatchCrashInjector(batches, spec.crash_after_records)
                 )
-            result = pipeline.run_batches_with_checkpoints(
-                batches,
-                store,
-                spec.checkpoint_interval,
-                start_offset=start_offset,
+            result = pipeline.run(
+                recordbatches(batches, start_offset=start_offset),
+                checkpoints=CheckpointOptions(
+                    store=store,
+                    interval=spec.checkpoint_interval,
+                    start_offset=start_offset,
+                ),
             )
         else:
             records: Iterator[PositionReport] = _drain(in_queue, spec.service_time_s)
             if spec.crash_after_records is not None:
                 records = iter(CrashInjector(records, spec.crash_after_records))
-            result = pipeline.run_with_checkpoints(
+            result = pipeline.run(
                 records,
-                store,
-                spec.checkpoint_interval,
-                start_offset=start_offset,
+                checkpoints=CheckpointOptions(
+                    store=store,
+                    interval=spec.checkpoint_interval,
+                    start_offset=start_offset,
+                ),
             )
     except InjectedCrash:
         raise SystemExit(CHAOS_EXIT_CODE) from None

@@ -9,9 +9,11 @@ truth, noisy streams, entity metadata and the world itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
+from repro.core.recordbatch import RecordBatch
 from repro.model.entities import Aircraft, EntityRegistry, Vessel
 from repro.model.points import Domain
 from repro.model.reports import PositionReport, ReportSource
@@ -49,6 +51,22 @@ class TrafficSample:
     def n_entities(self) -> int:
         """Number of entities in the sample."""
         return len(self.truth)
+
+    def record_batches(self, batch_size: int = 256) -> "Iterator[RecordBatch]":
+        """Native columnar emission of :attr:`reports`.
+
+        Yields consecutive :class:`~repro.core.recordbatch.RecordBatch`
+        slices of the event-time-ordered report stream, offsets running
+        from zero — ready to feed straight into
+        ``MobilityPipeline.run(sample.record_batches())``.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        reports = self.reports
+        for start in range(0, len(reports), batch_size):
+            yield RecordBatch.from_reports(
+                reports[start : start + batch_size], offset=start
+            )
 
 
 _VESSEL_TYPES = ("cargo", "tanker", "passenger", "fishing")

@@ -1,0 +1,108 @@
+"""O2 (deprecated imports and entry points) fixtures."""
+
+from tests.analysis.conftest import open_rules
+
+
+class TestDeprecatedImports:
+    def test_flags_plain_import(self, lint):
+        result = lint({"mod.py": "import repro.streams.metrics\n"})
+        assert open_rules(result) == ["O2"]
+        assert "repro.obs" in result.open_findings[0].message
+
+    def test_flags_from_import_of_module(self, lint):
+        result = lint({"mod.py": "from repro.streams import metrics\n"})
+        assert open_rules(result) == ["O2"]
+        assert result.open_findings[0].detail == "repro.streams.metrics"
+
+    def test_flags_from_import_of_name(self, lint):
+        result = lint({"mod.py": "from repro.streams.metrics import Counter\n"})
+        assert open_rules(result) == ["O2"]
+
+    def test_new_home_is_clean(self, lint):
+        result = lint({"mod.py": "from repro.obs import Counter\n"})
+        assert result.ok
+
+
+class TestDeprecatedEntrypoints:
+    def test_flags_run_batched_call(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def go(pipeline, reports):
+                    return pipeline.run_batched(reports, batch_size=64)
+                """
+            }
+        )
+        assert open_rules(result) == ["O2"]
+        assert result.open_findings[0].detail == "run_batched"
+        assert "BatchOptions" in result.open_findings[0].message
+
+    def test_flags_every_run_family_method(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def go(p, reports, store):
+                    p.run_with_checkpoints(reports, store, 10)
+                    p.run_batches_with_checkpoints([reports], store, 10)
+                    p.resume_from_checkpoint(store, reports)
+                """
+            }
+        )
+        assert open_rules(result) == ["O2", "O2", "O2"]
+        assert [f.detail for f in result.open_findings] == [
+            "run_with_checkpoints",
+            "run_batches_with_checkpoints",
+            "resume_from_checkpoint",
+        ]
+
+    def test_unified_run_is_clean(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def go(p, reports, store, options):
+                    return p.run(reports, batch=options)
+                """
+            }
+        )
+        assert result.ok
+
+    def test_method_definition_is_not_a_call(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                class MobilityPipeline:
+                    def run_batched(self, reports, batch_size=256):
+                        return self.run(reports)
+                """
+            }
+        )
+        assert result.ok
+
+
+class TestSuppression:
+    def test_reasoned_suppression_holds(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def pin_shim(pipeline, reports):
+                    # lint: allow[O2] pins the deprecated shim's warning contract
+                    return pipeline.run_batched(reports)
+                """
+            }
+        )
+        assert result.ok
+        assert [f.rule for f in result.suppressed] == ["O2"]
+        assert result.suppressed[0].reason
+
+    def test_reasonless_suppression_does_not_hold(self, lint):
+        result = lint(
+            {
+                "mod.py": """\
+                def pin_shim(pipeline, reports):
+                    # lint: allow[O2]
+                    return pipeline.run_batched(reports)
+                """
+            }
+        )
+        assert not result.ok
+        assert sorted(open_rules(result)) == ["O2", "S1"]

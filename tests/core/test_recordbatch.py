@@ -1,0 +1,158 @@
+"""RecordBatch edge cases and the dict↔columnar round-trip property.
+
+The columnar hot path trusts this structure completely — segment layout,
+NaN encoding of optional fields, offsets — so the degenerate shapes
+(empty, singleton, one entity, all-None optionals) and a generative
+round-trip are pinned here, independent of any pipeline.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.recordbatch import RecordBatch, recordbatches
+from repro.model.reports import PositionReport
+
+
+def _report(eid="v1", t=0.0, lon=0.0, lat=0.0, **kw):
+    return PositionReport(entity_id=eid, t=t, lon=lon, lat=lat, **kw)
+
+
+class TestEdgeCases:
+    def test_empty_batch(self):
+        batch = RecordBatch.empty(offset=7)
+        assert len(batch) == 0
+        assert batch.n_entities == 0
+        assert batch.offset == 7
+        assert batch.to_reports() == ()
+        assert list(batch.segments()) == []
+        assert batch.t.shape == (0,)
+
+    def test_single_record(self):
+        batch = RecordBatch.from_reports([_report(t=5.0, speed=3.0)])
+        assert len(batch) == 1
+        assert batch.n_entities == 1
+        assert batch.vocabulary == ("v1",)
+        assert batch.t[0] == 5.0
+        assert batch.speed[0] == 3.0
+        [(code, eid, positions)] = batch.segments()
+        assert (code, eid) == (0, "v1")
+        assert positions.tolist() == [0]
+
+    def test_all_one_entity_is_one_segment_in_stream_order(self):
+        reports = [_report(t=float(i), lon=float(i)) for i in range(10)]
+        batch = RecordBatch.from_reports(reports)
+        assert batch.n_entities == 1
+        assert batch.positions_of(0).tolist() == list(range(10))
+
+    def test_vocabulary_is_first_seen_order(self):
+        batch = RecordBatch.from_reports(
+            [_report("b"), _report("a"), _report("b"), _report("c")]
+        )
+        assert batch.vocabulary == ("b", "a", "c")
+        assert batch.positions_of(0).tolist() == [0, 2]
+        assert batch.positions_of(1).tolist() == [1]
+        assert batch.positions_of(2).tolist() == [3]
+
+    def test_none_optionals_become_nan(self):
+        batch = RecordBatch.from_reports([_report()])
+        assert math.isnan(batch.speed[0])
+        assert math.isnan(batch.heading[0])
+        assert math.isnan(batch.alt[0])
+        # NaN never compares true — the vector analogue of `is None` skips.
+        assert not (batch.speed > 0).any()
+
+    def test_implausible_values_survive_verbatim(self):
+        # The batch is a faithful transport: validation lives in
+        # PositionReport; extreme-but-legal values pass through untouched.
+        r = _report(t=-1e12, lon=180.0, lat=-90.0, speed=1e9, heading=359.999)
+        batch = RecordBatch.from_reports([r])
+        assert batch.t[0] == -1e12
+        assert batch.lon[0] == 180.0
+        assert batch.lat[0] == -90.0
+        assert batch.speed[0] == 1e9
+        assert batch.to_reports() == (r,)
+
+    def test_slice_shifts_offset(self):
+        reports = [_report(t=float(i)) for i in range(8)]
+        batch = RecordBatch.from_reports(reports, offset=100)
+        part = batch.slice(3, 6)
+        assert part.offset == 103
+        assert part.reports == tuple(reports[3:6])
+
+    def test_columns_are_float64(self):
+        batch = RecordBatch.from_reports([_report(speed=1.0)])
+        for column in (batch.t, batch.lon, batch.lat, batch.speed,
+                       batch.heading, batch.alt):
+            assert column.dtype == np.float64
+        assert batch.entity_codes.dtype == np.int32
+
+
+_ENTITY_IDS = st.sampled_from(["a", "b", "c", "d"])
+_COORD = st.floats(-180.0, 180.0, allow_nan=False)
+_OPTIONAL = st.none() | st.floats(0.0, 1e4, allow_nan=False)
+_HEADING = st.none() | st.floats(0.0, 359.999, allow_nan=False)
+
+
+_REPORTS = st.lists(
+    st.builds(
+        PositionReport,
+        entity_id=_ENTITY_IDS,
+        t=st.floats(0.0, 1e6, allow_nan=False),
+        lon=_COORD,
+        lat=st.floats(-90.0, 90.0, allow_nan=False),
+        alt=_OPTIONAL,
+        speed=_OPTIONAL,
+        heading=_HEADING,
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestRoundTripProperties:
+    @given(reports=_REPORTS)
+    @settings(max_examples=150, deadline=None)
+    def test_reports_round_trip_exactly(self, reports):
+        batch = RecordBatch.from_reports(reports)
+        assert batch.to_reports() == tuple(reports)
+
+    @given(reports=_REPORTS)
+    @settings(max_examples=150, deadline=None)
+    def test_segments_partition_the_batch(self, reports):
+        batch = RecordBatch.from_reports(reports)
+        seen: list[int] = []
+        for code, entity_id, positions in batch.segments():
+            expected = [
+                i for i, r in enumerate(reports) if r.entity_id == entity_id
+            ]
+            assert positions.tolist() == expected  # stream order per entity
+            seen.extend(positions.tolist())
+        assert sorted(seen) == list(range(len(reports)))
+
+    @given(reports=_REPORTS, start=st.integers(0, 40), length=st.integers(0, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_slice_equals_rebuild(self, reports, start, length):
+        batch = RecordBatch.from_reports(reports, offset=11)
+        part = batch.slice(start, start + length)
+        rebuilt = RecordBatch.from_reports(
+            reports[start : start + length], offset=11 + start
+        )
+        assert part.reports == rebuilt.reports
+        assert part.offset == rebuilt.offset
+        assert part.vocabulary == rebuilt.vocabulary
+
+    @given(reports=_REPORTS, size=st.integers(1, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_recordbatches_cover_the_stream(self, reports, size):
+        slices = [reports[i : i + size] for i in range(0, len(reports), size)]
+        batches = list(recordbatches(slices, start_offset=3))
+        flattened = [r for b in batches for r in b.reports]
+        assert flattened == reports
+        offset = 3
+        for batch in batches:
+            assert batch.offset == offset
+            offset += len(batch)
