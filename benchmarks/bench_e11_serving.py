@@ -1,0 +1,390 @@
+"""E11 — serving-tier load: latency SLOs under concurrent clients + ingest.
+
+The datAcron architecture promises an *always-on* analytics surface:
+operational clients query latest states, forecasts and spatial ranges
+while the ingest stream keeps running. This benchmark stands up a warm
+sharded :class:`~repro.serving.runtime.ServingRuntime`, fronts it with
+the admission-controlled :class:`~repro.serving.app.ServingApp`, and
+drives three seeded arms of the closed-loop harness
+(:mod:`repro.serving.loadgen`):
+
+- **closed** — hundreds of concurrent closed-loop clients (>= 200 even
+  in ``--quick``) with a writer arm ingesting batches mid-run; every
+  Nth request per client runs the cached-vs-fresh digest differential.
+- **open** — the same request volume on a seeded Poisson arrival
+  schedule (the arrival model that exposes queueing collapse).
+- **overload** — a deliberately tiny admission capacity, proving the
+  per-client controller sheds deterministically with 429s instead of
+  queueing without bound.
+
+Gates (all must hold; the process exits non-zero otherwise):
+
+1. server-side per-endpoint p50/p99 against
+   :data:`repro.obs.slo.DEFAULT_SERVING_BUDGETS` (the E11 SLO);
+2. zero digest mismatches between cached and fresh executions under
+   concurrent ingest;
+3. cache hit rate of the closed arm at or above ``CACHE_HIT_FLOOR``;
+4. the overload arm actually sheds (and every shed is a 429 counted on
+   the registry).
+
+Artifacts: ``benchmarks/results/e11_serving.txt`` (table) and
+``benchmarks/results/BENCH_e11_serving.json`` (the ``bench.v1`` report
+CI uploads). ``--write-baseline`` refreshes
+``benchmarks/baselines/BENCH_baseline_e11.json``.
+
+Standalone::
+
+    PYTHONPATH=src python -m benchmarks.bench_e11_serving --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+
+from benchmarks.conftest import RESULTS_DIR, emit_table
+from repro.core.pipeline import PipelineSpec
+from repro.obs.slo import DEFAULT_SERVING_BUDGETS, SLOChecker
+from repro.runtime.backpressure import AdmissionConfig
+from repro.serving import (
+    AdmissionPolicyConfig,
+    LoadConfig,
+    LoadReport,
+    ServingApp,
+    ServingConfig,
+    ServingRuntime,
+    Workload,
+    run_load,
+)
+from repro.sources.generators import MaritimeTrafficGenerator
+
+SCHEMA = "bench.v1"
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "baselines", "BENCH_baseline_e11.json"
+)
+#: Closed-arm cache hit rate must not fall below this (the workload is
+#: seeded and repetitive by construction; a healthy cache stays well
+#: above it even with the writer arm invalidating mid-run).
+CACHE_HIT_FLOOR = 0.25
+#: Modeled downstream service wait per request (same role as E2b's
+#: per-record service time): what makes concurrency real in one process.
+SERVICE_TIME_S = 0.001
+#: Textual queries in the request mix (valid under repro.query's grammar).
+QUERIES = (
+    "SELECT ?o WHERE { ?n dac:ofMovingObject ?o . }",
+    "SELECT DISTINCT ?o WHERE { ?n dac:ofMovingObject ?o . }",
+    "SELECT ?t WHERE { ?n time:inSeconds ?t . } ORDER BY ?t LIMIT 25",
+)
+
+
+def build_serving(quick: bool):
+    """A warm runtime + the reports held back for the writer arm."""
+    n_vessels = 10 if quick else 24
+    duration = 1800.0 if quick else 3600.0
+    sample = MaritimeTrafficGenerator(seed=211).generate(
+        n_vessels=n_vessels, max_duration_s=duration
+    )
+    reports = sorted(sample.reports, key=lambda r: r.t)
+    spec = PipelineSpec(
+        bbox=sample.world.bbox,
+        registry=sample.registry,
+        zones=tuple(sample.world.zones),
+    )
+    runtime = ServingRuntime(spec, ServingConfig(n_shards=4))
+    warm = len(reports) * 2 // 3
+    runtime.ingest(reports[:warm])
+    bbox = sample.world.bbox
+    workload = Workload(
+        entity_ids=tuple(runtime.entity_ids()),
+        bbox=(bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat),
+        queries=QUERIES,
+    )
+    return runtime, workload, reports[warm:], {
+        "generator": "maritime",
+        "seed": 211,
+        "n_vessels": n_vessels,
+        "max_duration_s": duration,
+        "records": len(reports),
+        "warm_records": warm,
+    }
+
+
+def writer_batches(held_back, n_batches: int, size: int):
+    return [
+        held_back[i * size : (i + 1) * size]
+        for i in range(n_batches)
+        if held_back[i * size : (i + 1) * size]
+    ]
+
+
+def run_closed_arm(runtime, workload, held_back, quick: bool) -> LoadReport:
+    app = ServingApp(runtime, service_time_s=SERVICE_TIME_S)
+    config = LoadConfig(
+        clients=200 if quick else 1000,
+        requests_per_client=6 if quick else 10,
+        mode="closed",
+        seed=2017,
+        verify_every=8,
+    )
+    return asyncio.run(
+        run_load(
+            app,
+            workload,
+            config,
+            writer_batches=writer_batches(held_back, 6, 60 if quick else 200),
+        )
+    )
+
+
+def run_open_arm(runtime, workload, quick: bool) -> LoadReport:
+    app = ServingApp(runtime, service_time_s=SERVICE_TIME_S)
+    config = LoadConfig(
+        clients=200 if quick else 1000,
+        requests_per_client=6 if quick else 10,
+        mode="open",
+        seed=2018,
+        arrival_rate_rps=2000.0,
+        verify_every=8,
+    )
+    return asyncio.run(run_load(app, workload, config))
+
+
+def run_overload_arm(runtime, workload) -> LoadReport:
+    """Tiny admission capacity + aggressive controller window: the point
+    is deterministic shedding, not throughput."""
+    app = ServingApp(
+        runtime,
+        admission=AdmissionPolicyConfig(
+            capacity=4, controller=AdmissionConfig(window=4, seed=2019)
+        ),
+        service_time_s=0.004,
+    )
+    config = LoadConfig(
+        clients=64, requests_per_client=8, mode="closed", seed=2019, verify_every=0
+    )
+    return asyncio.run(run_load(app, workload, config))
+
+
+def _headline(report: LoadReport) -> dict:
+    """The arm's bench.v1 latency columns: the state endpoint (the
+    headline interactive lookup), falling back to the slowest endpoint
+    if the mix somehow skipped it."""
+    summary = report.latency.get("state")
+    if summary is None and report.latency:
+        summary = max(report.latency.values(), key=lambda s: s["p99_ms"])
+    return summary or {"p50_ms": None, "p95_ms": None, "p99_ms": None}
+
+
+def arm_record(name: str, report: LoadReport) -> dict:
+    headline = _headline(report)
+    return {
+        "name": name,
+        "batch_size": None,
+        "workers": 4,
+        "dispatch": report.mode,
+        "records_per_s": report.requests_per_s,
+        "p50_ms": headline["p50_ms"],
+        "p95_ms": headline["p95_ms"],
+        "p99_ms": headline["p99_ms"],
+        "wall_s": report.wall_s,
+        "clients": report.clients,
+        "requests": report.requests,
+        "statuses": {str(k): v for k, v in report.statuses.items()},
+        "shed": report.shed,
+        "verify_pairs": report.verify_pairs,
+        "digest_mismatches": report.digest_mismatches,
+        "ingest_reports": report.ingest_reports,
+        "endpoints": report.latency,
+    }
+
+
+def collect(quick: bool, out_dir: str = RESULTS_DIR) -> tuple[dict, list[str]]:
+    """Run all arms, emit artifacts, evaluate every gate."""
+    runtime, workload, held_back, workload_meta = build_serving(quick)
+    closed = run_closed_arm(runtime, workload, held_back, quick)
+    closed_hit_rate = runtime.cache_hit_rate()
+    open_loop = run_open_arm(runtime, workload, quick)
+    overload = run_overload_arm(runtime, workload)
+
+    failures: list[str] = []
+
+    # Gate 1: server-side endpoint latencies against the E11 SLO budgets.
+    checker = SLOChecker(DEFAULT_SERVING_BUDGETS)
+    slo = checker.report(runtime.metrics)
+    failures.extend(
+        f"SLO: {v['metric']} {v['percentile']} {v['observed_ms']:.2f} ms "
+        f"over budget {v['budget_ms']:.2f} ms"
+        for v in slo["violations"]
+    )
+
+    # Gate 2: the cache never served what a fresh execution disowns.
+    for name, report in (("closed", closed), ("open", open_loop)):
+        if report.verify_pairs == 0:
+            failures.append(f"{name} arm ran no digest differentials")
+        if report.digest_mismatches:
+            failures.append(
+                f"{name} arm: {report.digest_mismatches} cached-vs-fresh "
+                "digest mismatches under concurrent ingest"
+            )
+
+    # Gate 3: the result cache pulled its weight on the repetitive mix.
+    if closed_hit_rate < CACHE_HIT_FLOOR:
+        failures.append(
+            f"closed-arm cache hit rate {closed_hit_rate:.2f} below the "
+            f"{CACHE_HIT_FLOOR:.2f} floor"
+        )
+
+    # Gate 4: overload sheds, and every shed is a counted 429.
+    if overload.shed == 0:
+        failures.append("overload arm shed nothing at capacity 4")
+    counted_429 = runtime.metrics.counter("serving.responses.429").value
+    if counted_429 != overload.shed:
+        failures.append(
+            f"obs counter serving.responses.429 = {counted_429} but the "
+            f"overload arm observed {overload.shed} sheds"
+        )
+
+    rows = []
+    for name, report in (
+        ("closed", closed),
+        ("open", open_loop),
+        ("overload", overload),
+    ):
+        headline = _headline(report)
+        rows.append(
+            [
+                name,
+                report.clients,
+                report.requests,
+                report.shed,
+                report.ingest_reports,
+                headline["p50_ms"] or 0.0,
+                headline["p95_ms"] or 0.0,
+                headline["p99_ms"] or 0.0,
+                report.requests_per_s,
+                report.wall_s,
+            ]
+        )
+    emit_table(
+        "e11_serving",
+        "E11 (serving): seeded load over the warm sharded runtime "
+        f"(state-endpoint client latency, cache hit rate {closed_hit_rate:.2f})",
+        ["arm", "clients", "requests", "shed", "ingested",
+         "p50_ms", "p95_ms", "p99_ms", "req_per_s", "wall_s"],
+        rows,
+    )
+
+    bench = {
+        "schema": SCHEMA,
+        "experiment": "e11_serving",
+        "quick": quick,
+        "workload": workload_meta,
+        "arms": [
+            arm_record("closed", closed),
+            arm_record("open", open_loop),
+            arm_record("overload", overload),
+        ],
+        "cache_hit_rate": closed_hit_rate,
+        "slo": slo,
+        "server_histograms": {
+            name: summary
+            for name, summary in runtime.metrics.histogram_summaries().items()
+            if name.startswith("serving.request.")
+        },
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_e11_serving.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return bench, failures
+
+
+def check_serving_regression(current: dict, baseline: dict) -> list[str]:
+    """Scale-free regression gates against the committed E11 baseline.
+
+    Host throughput cancels out of both gated quantities: the cache hit
+    rate is a pure workload property, and the shed behavior of the
+    overload arm is seeded. The absolute latency budgets already gate in
+    :func:`collect` via the SLO checker.
+    """
+    failures = []
+    tolerance = 0.25
+    floor = baseline["cache_hit_rate"] * (1.0 - tolerance)
+    if current["cache_hit_rate"] < floor:
+        failures.append(
+            f"cache hit rate {current['cache_hit_rate']:.2f} fell below "
+            f"{floor:.2f} (baseline {baseline['cache_hit_rate']:.2f} - "
+            f"{tolerance:.0%})"
+        )
+    def overload_shed(report):
+        for arm in report["arms"]:
+            if arm["name"] == "overload":
+                return arm["shed"]
+        return 0
+    if overload_shed(baseline) > 0 and overload_shed(current) == 0:
+        failures.append("overload arm stopped shedding (baseline shed > 0)")
+    return failures
+
+
+def test_e11_serving_quick_gates():
+    """The full gate battery at quick scale (>= 200 concurrent clients)."""
+    bench, failures = collect(quick=True)
+    assert not failures, "\n".join(failures)
+    closed = bench["arms"][0]
+    assert closed["clients"] >= 200
+    assert closed["digest_mismatches"] == 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI scale (200 clients)")
+    parser.add_argument("--out-dir", default=RESULTS_DIR)
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also gate scale-free quantities against the committed baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="(re)write the committed E11 baseline from this run",
+    )
+    args = parser.parse_args()
+
+    bench, failures = collect(args.quick, out_dir=args.out_dir)
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {args.baseline}")
+
+    if args.check and os.path.exists(args.baseline):
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures.extend(check_serving_regression(bench, baseline))
+
+    closed = bench["arms"][0]
+    print(
+        f"\nE11 closed loop: {closed['clients']} clients, "
+        f"{closed['requests']} requests at {closed['records_per_s']:.0f} req/s, "
+        f"state p99 {closed['p99_ms']:.2f} ms, "
+        f"cache hit rate {bench['cache_hit_rate']:.2f}, "
+        f"{closed['digest_mismatches']} digest mismatches"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}")
+        return 1
+    print("E11 serving gates: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

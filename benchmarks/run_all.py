@@ -1,8 +1,9 @@
 """One-command benchmark runner with a standardized schema and a gate.
 
-Runs the micro-batch throughput arms (E2) and the multi-process runtime
-arms (E2b) and writes one ``BENCH_<experiment>.json`` per experiment in
-the shared ``bench.v1`` schema::
+Runs the micro-batch throughput arms (E2), the multi-process runtime
+arms (E2b) and the serving-tier load arms (E11) and writes one
+``BENCH_<experiment>.json`` per experiment in the shared ``bench.v1``
+schema::
 
     {
       "schema": "bench.v1",
@@ -44,6 +45,11 @@ import argparse
 import json
 import os
 
+from benchmarks.bench_e11_serving import (
+    BASELINE_PATH as E11_BASELINE_PATH,
+    check_serving_regression,
+    collect as collect_serving,
+)
 from benchmarks.bench_e2_latency import emit_batch_table, measure_batch_arms
 from benchmarks.bench_e2b_runtime import (
     DEFAULT_SERVICE_S,
@@ -257,6 +263,11 @@ def main() -> int:
         help="skip the multi-process E2b arms (fastest signal)",
     )
     parser.add_argument(
+        "--skip-serving",
+        action="store_true",
+        help="skip the serving-tier E11 load arms",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="fail on >25%% ratio regression vs the committed baseline",
@@ -274,6 +285,13 @@ def main() -> int:
     reports = [run_e2_micro_batch(args.quick, repeats)]
     if not args.skip_runtime:
         reports.append(run_e2b_runtime(args.quick, args.out_dir))
+    serving = None
+    serving_failures: list[str] = []
+    if not args.skip_serving:
+        # collect() writes its own BENCH_e11_serving.json and evaluates
+        # the E11 gate battery (SLO budgets, digest equality, cache hit
+        # rate, overload shedding).
+        serving, serving_failures = collect_serving(args.quick, out_dir=args.out_dir)
 
     for report in reports:
         path = os.path.join(args.out_dir, f"BENCH_{report['experiment']}.json")
@@ -291,11 +309,21 @@ def main() -> int:
             json.dump(micro, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote baseline {args.baseline}")
+        if serving is not None:
+            with open(E11_BASELINE_PATH, "w", encoding="utf-8") as fh:
+                json.dump(serving, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote baseline {E11_BASELINE_PATH}")
 
     if args.check:
         with open(args.baseline, encoding="utf-8") as fh:
             baseline = json.load(fh)
         failures = check_regression(micro, baseline)
+        failures.extend(serving_failures)
+        if serving is not None and os.path.exists(E11_BASELINE_PATH):
+            with open(E11_BASELINE_PATH, encoding="utf-8") as fh:
+                e11_baseline = json.load(fh)
+            failures.extend(check_serving_regression(serving, e11_baseline))
         columnar_note = ""
         if os.path.exists(PRE_COLUMNAR_BASELINE_PATH):
             with open(PRE_COLUMNAR_BASELINE_PATH, encoding="utf-8") as fh:
@@ -316,6 +344,12 @@ def main() -> int:
             f"regression gate OK (baseline ratio {batch_ratio(baseline):.2f}x, "
             f"tolerance {REGRESSION_TOLERANCE:.0%}{columnar_note})"
         )
+    elif serving_failures:
+        # The E11 gate battery (SLO, digest equality, cache hit rate,
+        # shedding) is absolute — it fails the run even without --check.
+        for failure in serving_failures:
+            print(f"FAIL {failure}")
+        return 1
     return 0
 
 

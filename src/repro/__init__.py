@@ -87,6 +87,12 @@ from repro.core import (
     recordbatches,
     result_document,
 )
+from repro.serving import (
+    ServingApp,
+    ServingConfig,
+    ServingResponse,
+    ServingRuntime,
+)
 
 __version__ = "1.0.0"
 
@@ -138,5 +144,9 @@ __all__ = [
     "ResultSchema",
     "result_document",
     "load_result_document",
+    "ServingRuntime",
+    "ServingConfig",
+    "ServingResponse",
+    "ServingApp",
     "__version__",
 ]

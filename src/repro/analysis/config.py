@@ -67,13 +67,16 @@ DEFAULT_CONFIG = AnalysisConfig(
     scopes={
         # Unseeded RNG only matters where byte-identical replay is the
         # contract: the pipeline, the multi-process runtime, the stream
-        # operators, event recognition and the in-situ layer.
+        # operators, event recognition, the in-situ layer — and the
+        # serving tier, whose admission decisions and load-harness
+        # request streams are seeded by design.
         "D2": (
             "repro/core/*",
             "repro/runtime/*",
             "repro/streams/*",
             "repro/cep/*",
             "repro/insitu/*",
+            "repro/serving/*",
         ),
     },
     allowlists={

@@ -536,6 +536,18 @@ class MobilityPipeline:
             return GridPartitioner(self.grid, n)
         return HilbertPartitioner(self.grid, n)
 
+    @property
+    def live_result(self) -> "PipelineResult":
+        """The run-in-progress result (a live view, not a copy).
+
+        Counters and event streams update as records are processed;
+        latency summaries and ``metrics`` are only populated at finalize
+        time. The always-on serving tier (:mod:`repro.serving`) reads
+        this between ingest batches — a pipeline that never "finishes"
+        still has to account for what it has done so far.
+        """
+        return self._result
+
     # -- processing -------------------------------------------------------------
 
     def process_report(self, report: PositionReport) -> list[ComplexEvent]:
@@ -1142,7 +1154,15 @@ class MobilityPipeline:
                 rows2 = rows_of[c2]
                 j = np.searchsorted(rows2, idx_all) - 1
                 has = j >= 0
-                src = rows2[np.maximum(j, 0)]
+                # An entity can be in the batch vocabulary with zero
+                # *active* rows (every record masked, e.g. dropped as
+                # out-of-order on re-ingest); `has` is then all-False and
+                # every np.where below takes its fallback, so src only
+                # needs to be indexable.
+                if rows2.size:
+                    src = rows2[np.maximum(j, 0)]
+                else:
+                    src = np.zeros(nA, dtype=np.intp)
                 notself = codesA != c2
                 o = ex_latest.get(vocab[c2])
                 T2 = np.where(has, tA[src], o.t if o is not None else -np.inf)

@@ -29,6 +29,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.slo import (
     DEFAULT_E2_BUDGETS,
+    DEFAULT_SERVING_BUDGETS,
     SLOBudget,
     SLOChecker,
     SLOViolation,
@@ -55,4 +56,5 @@ __all__ = [
     "SLOViolation",
     "SLOViolationError",
     "DEFAULT_E2_BUDGETS",
+    "DEFAULT_SERVING_BUDGETS",
 ]

@@ -18,6 +18,7 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "DEFAULT_E2_BUDGETS",
+    "DEFAULT_SERVING_BUDGETS",
     "SLOBudget",
     "SLOChecker",
     "SLOViolation",
@@ -140,4 +141,22 @@ DEFAULT_E2_BUDGETS: tuple[SLOBudget, ...] = (
     SLOBudget("pipeline.events", p50_ms=2.0, p99_ms=10.0, required=True),
     SLOBudget("pipeline.detectors", p50_ms=5.0, p99_ms=25.0, required=True),
     SLOBudget("pipeline.end_to_end", p50_ms=10.0, p99_ms=50.0, required=True),
+)
+
+
+#: Per-endpoint serving-tier budgets (experiment E11): server-side
+#: handling time of each ``repro.serving`` read endpoint, measured on the
+#: warm runtime under the closed-loop load harness. Entity-scoped
+#: lookups (state/forecast) are routed to one shard and must stay
+#: interactive; fan-out reads (range/query) scan every shard's store in
+#: pure Python and get proportionally wider caps. As with E2, caps carry
+#: generous headroom over the measured numbers so the CI gate catches
+#: order-of-magnitude regressions without flaking on machine noise.
+DEFAULT_SERVING_BUDGETS: tuple[SLOBudget, ...] = (
+    SLOBudget("serving.request.state", p50_ms=5.0, p99_ms=25.0, required=True),
+    SLOBudget("serving.request.forecast", p50_ms=10.0, p99_ms=50.0, required=True),
+    SLOBudget("serving.request.trajectory", p50_ms=50.0, p99_ms=250.0),
+    SLOBudget("serving.request.range", p50_ms=100.0, p99_ms=500.0, required=True),
+    SLOBudget("serving.request.query", p50_ms=200.0, p99_ms=1000.0),
+    SLOBudget("serving.request.events", p50_ms=5.0, p99_ms=25.0),
 )

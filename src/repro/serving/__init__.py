@@ -1,0 +1,80 @@
+"""repro.serving — always-on query/forecast serving over the warm pipeline.
+
+The batch tier (``repro.core``, ``repro.runtime``) answers "process this
+stream and emit results"; this package answers the datAcron operational
+question — "what is vessel X doing *right now*, and where will it be in
+ten minutes?" — while ingest keeps running. It is the reproduction's
+serving tier:
+
+- :class:`ServingRuntime` — N entity-sharded in-process pipelines behind
+  one queryable facade: per-entity latest state / forecast / trajectory,
+  spatial range and textual queries (fan-out + merge), an event log.
+- :class:`ResultCache` — LRU/TTL result cache with versioned-tag
+  invalidation (``entity:<id>``, ``cell:<grid-cell>``, ``global``)
+  driven by ingest, so a cache hit is digest-identical to a fresh
+  execution.
+- :class:`RequestRouter` — the same CRC-32 entity routing as ingest, so
+  entity-scoped requests touch exactly one shard.
+- :class:`AdmissionPolicy` — deterministic per-client admission reusing
+  :class:`repro.runtime.backpressure.AdmissionController`; overload
+  sheds with 429-style responses.
+- :class:`ServingApp` / :class:`ServingHTTPServer` — the asyncio request
+  surface and a stdlib JSON-over-HTTP gateway with an NDJSON event
+  stream.
+- :func:`run_load` — the seeded closed/open-loop load harness behind
+  benchmark E11.
+
+See ``docs/serving.md`` for the architecture walk-through.
+"""
+
+from repro.serving.admission import AdmissionPolicy, AdmissionPolicyConfig
+from repro.serving.app import EventSubscription, ServingApp
+from repro.serving.cache import (
+    GLOBAL_TAG,
+    CacheConfig,
+    CachedEntry,
+    ResultCache,
+    cell_tag,
+    entity_tag,
+)
+from repro.serving.loadgen import (
+    LoadConfig,
+    LoadReport,
+    RequestMix,
+    Workload,
+    run_load,
+)
+from repro.serving.routing import RequestRouter, RouteDecision
+from repro.serving.runtime import (
+    ENDPOINTS,
+    ServingConfig,
+    ServingResponse,
+    ServingRuntime,
+)
+from repro.serving.server import ServingHTTPServer, serve
+
+__all__ = [
+    "ENDPOINTS",
+    "ServingConfig",
+    "ServingResponse",
+    "ServingRuntime",
+    "ServingApp",
+    "EventSubscription",
+    "ServingHTTPServer",
+    "serve",
+    "CacheConfig",
+    "CachedEntry",
+    "ResultCache",
+    "GLOBAL_TAG",
+    "entity_tag",
+    "cell_tag",
+    "RequestRouter",
+    "RouteDecision",
+    "AdmissionPolicy",
+    "AdmissionPolicyConfig",
+    "LoadConfig",
+    "LoadReport",
+    "RequestMix",
+    "Workload",
+    "run_load",
+]

@@ -1,0 +1,135 @@
+"""Per-client admission control at the serving ingress.
+
+The runtime's ingest boundary already sheds load with the E9c
+multiplicative controller
+(:class:`repro.runtime.backpressure.AdmissionController`); the serving
+tier reuses the exact same controller **per client**: each client id
+gets its own admit-rate state, driven by the server's saturation signal
+(in-flight requests at or above capacity plays the role a full shard
+queue plays at ingest). A greedy client under overload is throttled on
+its own controller while a light client's admit rate stays near 1.0 —
+per-client fairness without a scheduler.
+
+Shed requests surface as 429-style responses, never silent drops, and
+are accounted twice: on the shedding client's controller and on the
+registry (``serving.admission.admitted`` / ``serving.admission.shed``
+counters, ``serving.admission.clients`` gauge).
+
+Each controller's shedding coin flips are seeded from the policy seed
+and the client id via :func:`repro.hashing.stable_hash`, so a given
+observation sequence (the test's "seeded overload") sheds an identical
+request set on every run, independent of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hashing import stable_hash
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.runtime.backpressure import AdmissionConfig, AdmissionController
+
+__all__ = ["AdmissionPolicy", "AdmissionPolicyConfig"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AdmissionPolicyConfig:
+    """Settings for :class:`AdmissionPolicy`.
+
+    Attributes:
+        capacity: In-flight requests at which the server counts as
+            saturated; at or above it every observation registers
+            pressure on the requesting client's controller.
+        controller: The per-client controller recipe; its ``seed`` is
+            the policy seed each client's RNG seed is derived from.
+        max_clients: Safety valve on per-client state growth — beyond
+            this many distinct client ids, new clients share one
+            overflow controller (id cardinality must not exhaust
+            memory).
+    """
+
+    capacity: int = 64
+    controller: AdmissionConfig = dataclasses.field(default_factory=AdmissionConfig)
+    max_clients: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.max_clients <= 0:
+            raise ValueError("max_clients must be positive")
+
+
+#: Client id every client beyond ``max_clients`` is folded onto.
+_OVERFLOW_CLIENT = "\x00overflow"
+
+
+class AdmissionPolicy:
+    """Per-client E9c admission controllers behind one admit decision."""
+
+    def __init__(
+        self,
+        config: AdmissionPolicyConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if config is not None and not isinstance(config, AdmissionPolicyConfig):
+            # Fail at construction, not as a per-request 500: passing an
+            # AdmissionPolicy (or anything else) where the config belongs
+            # otherwise only explodes on the first try_admit.
+            raise TypeError(
+                f"config must be AdmissionPolicyConfig, got {type(config).__name__}"
+            )
+        self.config = config or AdmissionPolicyConfig()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._controllers: dict[str, AdmissionController] = {}
+
+    def controller(self, client_id: str) -> AdmissionController:
+        """This client's controller (created seeded on first sight)."""
+        if (
+            client_id not in self._controllers
+            and len(self._controllers) >= self.config.max_clients
+        ):
+            client_id = _OVERFLOW_CLIENT
+        controller = self._controllers.get(client_id)
+        if controller is None:
+            seed = stable_hash((self.config.controller.seed, client_id))
+            controller = AdmissionController(
+                dataclasses.replace(self.config.controller, seed=seed)
+            )
+            self._controllers[client_id] = controller
+            self.metrics.gauge("serving.admission.clients").set(
+                float(len(self._controllers))
+            )
+        return controller
+
+    def try_admit(self, client_id: str, in_flight: int) -> bool:
+        """Admit or shed one request from ``client_id``.
+
+        ``in_flight`` is the server's current concurrent-request count;
+        at or above :attr:`AdmissionPolicyConfig.capacity` the
+        observation registers pressure (exactly as a full queue does at
+        the ingest boundary). The decision draws from the client's
+        seeded controller, so a fixed observation sequence yields a
+        fixed shed set.
+        """
+        controller = self.controller(client_id)
+        controller.observe_put(blocked=in_flight >= self.config.capacity)
+        admitted = controller.admit()
+        if admitted:
+            self.metrics.counter("serving.admission.admitted").inc()
+        else:
+            self.metrics.counter("serving.admission.shed").inc()
+        return admitted
+
+    def admit_rate(self, client_id: str) -> float:
+        """The client's current admit rate (1.0 for unseen clients)."""
+        if client_id not in self._controllers:
+            return 1.0
+        return self._controllers[client_id].admit_rate
+
+    def shed_total(self) -> int:
+        """Requests shed across all clients so far."""
+        return sum(c.shed for c in self._controllers.values())
+
+    def admitted_total(self) -> int:
+        """Requests admitted across all clients so far."""
+        return sum(c.admitted for c in self._controllers.values())

@@ -1,0 +1,198 @@
+"""The asyncio facade over the serving runtime.
+
+:class:`~repro.serving.runtime.ServingRuntime` is synchronous and
+deterministic; :class:`ServingApp` is what concurrent clients actually
+talk to. It adds the three things concurrency demands:
+
+- **admission control** — every request passes the per-client
+  :class:`~repro.serving.admission.AdmissionPolicy` *before* any work
+  happens, with the app's live in-flight count as the saturation
+  signal. A shed request returns a 429-style
+  :class:`~repro.serving.runtime.ServingResponse` immediately (no
+  execution, no cache read) and is visible in the
+  ``serving.admission.shed`` counter.
+- **in-flight accounting** — requests hold an in-flight slot across
+  their full await span (including the modeled downstream
+  ``service_time_s``), so sustained overload genuinely saturates the
+  capacity signal the controllers react to.
+- **event subscriptions** — subscribers get a bounded
+  :class:`asyncio.Queue` fed on every ingest; the HTTP tier streams it
+  as NDJSON chunks. A subscriber that stops draining is disconnected
+  when its queue overflows (slow consumers must not grow server
+  memory).
+
+``service_time_s`` models the downstream I/O a production deployment
+would await per request (remote store round trip) — the same role
+``WorkerSpec.service_time_s`` plays in the E2b runtime benchmarks. It
+is what lets a single-process load harness exhibit real queueing: with
+it at 0 the synchronous execution never overlaps and admission never
+sees pressure.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Mapping, Sequence
+
+from repro.core.results import digest_of
+from repro.model.reports import PositionReport
+from repro.serving.admission import AdmissionPolicy, AdmissionPolicyConfig
+from repro.serving.runtime import ServingResponse, ServingRuntime
+
+__all__ = ["ServingApp", "EventSubscription"]
+
+#: Events a subscriber may buffer before it is considered stuck and cut.
+_SUBSCRIBER_QUEUE_LIMIT = 4096
+
+
+class EventSubscription:
+    """One live event stream: a bounded queue fed by every ingest."""
+
+    def __init__(self, app: "ServingApp") -> None:
+        self._app = app
+        self.queue: "asyncio.Queue[dict | None]" = asyncio.Queue(
+            maxsize=_SUBSCRIBER_QUEUE_LIMIT
+        )
+        self.closed = False
+
+    def close(self) -> None:
+        """Detach from the app; the stream ends after drained events."""
+        if not self.closed:
+            self.closed = True
+            self._app._subscribers.discard(self)
+            try:
+                self.queue.put_nowait(None)
+            except asyncio.QueueFull:
+                pass
+
+    async def __aiter__(self) -> AsyncIterator[dict]:
+        while True:
+            event = await self.queue.get()
+            if event is None:
+                return
+            yield event
+
+
+class ServingApp:
+    """Admission-controlled async request surface over one runtime."""
+
+    def __init__(
+        self,
+        runtime: ServingRuntime,
+        admission: AdmissionPolicyConfig | None = None,
+        service_time_s: float = 0.0,
+    ) -> None:
+        if service_time_s < 0:
+            raise ValueError("service_time_s must be >= 0")
+        self.runtime = runtime
+        self.admission = AdmissionPolicy(admission, metrics=runtime.metrics)
+        self.service_time_s = service_time_s
+        self.in_flight = 0
+        self._subscribers: set[EventSubscription] = set()
+
+    # -- requests ----------------------------------------------------------
+
+    def _shed_response(self, endpoint: str, client_id: str) -> ServingResponse:
+        payload = {
+            "error": "overloaded, request shed",
+            "client_id": client_id,
+            "retry": True,
+        }
+        return ServingResponse(
+            status=429, endpoint=endpoint, payload=payload, digest=digest_of(payload)
+        )
+
+    async def request(
+        self,
+        endpoint: str,
+        params: Mapping[str, object] | None = None,
+        *,
+        client_id: str = "anon",
+        bypass_cache: bool = False,
+    ) -> ServingResponse:
+        """Serve one read; may shed with a 429-style response instead."""
+        if not self.admission.try_admit(client_id, self.in_flight):
+            self.runtime.metrics.counter("serving.responses.429").inc()
+            return self._shed_response(endpoint, client_id)
+        self.in_flight += 1
+        try:
+            if self.service_time_s > 0.0:
+                await asyncio.sleep(self.service_time_s)
+            return self.runtime.handle(endpoint, params, bypass_cache=bypass_cache)
+        finally:
+            self.in_flight -= 1
+
+    def verify(
+        self, endpoint: str, params: Mapping[str, object] | None = None
+    ) -> tuple[ServingResponse, ServingResponse]:
+        """One cached-path and one cache-bypassing execution, atomically.
+
+        Both run synchronously back to back with no await point, so no
+        ingest can interleave between them: if the cache is correct,
+        their digests must match — the differential the load harness
+        and the E11 bench assert under concurrent ingest.
+        """
+        cached = self.runtime.handle(endpoint, params)
+        fresh = self.runtime.handle(endpoint, params, bypass_cache=True)
+        return (cached, fresh)
+
+    # -- ingest ------------------------------------------------------------
+
+    async def ingest(
+        self, reports: Sequence[PositionReport], *, client_id: str = "ingest"
+    ) -> dict:
+        """Ingest a batch (admission-exempt) and fan events to subscribers.
+
+        Ingest is the system's own data plane, not a client read — it
+        bypasses per-client admission (the runtime's *ingress* shedding
+        already lives in ``repro.runtime.backpressure`` for the batch
+        tier) but still occupies an in-flight slot so heavy ingest
+        pressures the read path's saturation signal.
+        """
+        self.in_flight += 1
+        try:
+            if self.service_time_s > 0.0:
+                await asyncio.sleep(self.service_time_s)
+            before = self.runtime.event_seq()
+            summary = self.runtime.ingest(reports)
+            if self._subscribers and summary["new_events"]:
+                backlog = self.runtime.handle(
+                    "events",
+                    {"since": before, "limit": summary["new_events"]},
+                    bypass_cache=True,
+                )
+                for subscription in tuple(self._subscribers):
+                    for event in backlog.payload["events"]:
+                        try:
+                            subscription.queue.put_nowait(event)
+                        except asyncio.QueueFull:
+                            subscription.close()
+                            break
+            return summary
+        finally:
+            self.in_flight -= 1
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, since: int | None = None) -> EventSubscription:
+        """Open a live event stream, optionally backfilled from ``since``.
+
+        Backfill events (already-logged sequence numbers >= ``since``)
+        are enqueued immediately; everything ingested later follows.
+        """
+        subscription = EventSubscription(self)
+        if since is not None:
+            backlog = self.runtime.handle(
+                "events", {"since": since}, bypass_cache=True
+            )
+            for event in backlog.payload["events"]:
+                try:
+                    subscription.queue.put_nowait(event)
+                except asyncio.QueueFull:
+                    break
+        self._subscribers.add(subscription)
+        return subscription
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)

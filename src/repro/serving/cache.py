@@ -1,0 +1,187 @@
+"""Result caching for the serving tier: LRU + TTL + tagged invalidation.
+
+A serving layer that recomputes every spatiotemporal query from the
+store on every request wastes its warmth: most operational dashboards
+re-ask the same handful of questions between ingest ticks. The
+:class:`ResultCache` memoizes finished responses under three expiry
+regimes, any of which retires an entry:
+
+- **LRU capacity** — at most ``max_entries`` live entries; the least
+  recently *read* entry is evicted first.
+- **TTL** — entries older than ``ttl_s`` are expired on lookup (the
+  caller supplies "now" from :func:`repro.obs.clock.monotonic`; the
+  cache itself never reads a clock, keeping rule D3's boundary intact).
+- **Tag invalidation** — the correctness mechanism. Every entry carries
+  the *invalidation tags* its payload depends on (``entity:<id>`` for
+  per-entity lookups, ``cell:<grid-cell>`` for spatial ranges,
+  ``global`` for anything store-wide); ingest bumps the version of every
+  tag it touches, and a lookup whose recorded tag versions are no longer
+  current misses. Versioned tags make invalidation O(tags-touched) per
+  ingest instead of O(entries), and make "invalidate then re-read" and
+  "re-read then notice staleness" indistinguishable — which is exactly
+  the property the hypothesis suite in
+  ``tests/serving/test_cache_invalidation.py`` leans on.
+
+Every outcome is accounted on the registry: ``serving.cache.hit``,
+``.miss``, ``.expired``, ``.invalidated``, ``.evicted`` counters and the
+``serving.cache.entries`` gauge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+__all__ = ["CacheConfig", "CachedEntry", "ResultCache", "GLOBAL_TAG"]
+
+#: The tag carried by results that depend on the whole store (textual
+#: queries, event-log reads). Every ingest invalidates it.
+GLOBAL_TAG = "global"
+
+
+@dataclass(frozen=True, slots=True)
+class CacheConfig:
+    """Capacity and freshness knobs for :class:`ResultCache`.
+
+    Attributes:
+        max_entries: LRU capacity; ``0`` disables caching entirely
+            (every lookup misses, nothing is stored).
+        ttl_s: Age past which an entry expires regardless of tags;
+            ``None`` disables time-based expiry (tags still apply).
+    """
+
+    max_entries: int = 1024
+    ttl_s: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        if self.ttl_s is not None and self.ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None)")
+
+
+@dataclass(slots=True)
+class CachedEntry:
+    """One memoized response and the freshness evidence it was filled with.
+
+    Attributes:
+        value: The cached payload (opaque to the cache).
+        tags: Invalidation tags the payload depends on.
+        tag_versions: Version of each tag at fill time; a lookup
+            revalidates these against the cache's current versions.
+        filled_at: Monotonic fill time (TTL anchor).
+    """
+
+    value: Any
+    tags: tuple[str, ...]
+    tag_versions: tuple[int, ...]
+    filled_at: float
+
+
+class ResultCache:
+    """LRU/TTL cache with versioned-tag invalidation (see module docs)."""
+
+    def __init__(
+        self,
+        config: CacheConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or CacheConfig()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._entries: "OrderedDict[str, CachedEntry]" = OrderedDict()
+        self._tag_versions: dict[str, int] = {}
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _version(self, tag: str) -> int:
+        return self._tag_versions.get(tag, 0)
+
+    def get(self, key: str, now: float) -> Any | None:
+        """The live cached value for ``key``, or ``None`` on any miss.
+
+        A hit requires the entry to be within TTL *and* every recorded
+        tag version to still be current; a stale entry is dropped on the
+        spot and the reason (``expired`` vs ``invalidated``) counted.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.metrics.counter("serving.cache.miss").inc()
+            return None
+        ttl = self.config.ttl_s
+        if ttl is not None and now - entry.filled_at > ttl:
+            del self._entries[key]
+            self.metrics.counter("serving.cache.expired").inc()
+            self.metrics.counter("serving.cache.miss").inc()
+            self._publish_size()
+            return None
+        for tag, version in zip(entry.tags, entry.tag_versions):
+            if self._version(tag) != version:
+                del self._entries[key]
+                self.metrics.counter("serving.cache.invalidated").inc()
+                self.metrics.counter("serving.cache.miss").inc()
+                self._publish_size()
+                return None
+        self._entries.move_to_end(key)
+        self.metrics.counter("serving.cache.hit").inc()
+        return entry.value
+
+    def put(self, key: str, value: Any, tags: set[str], now: float) -> None:
+        """Memoize ``value`` under ``key``, pinned to current tag versions."""
+        if self.config.max_entries == 0:
+            return
+        ordered = tuple(sorted(tags))
+        self._entries[key] = CachedEntry(
+            value=value,
+            tags=ordered,
+            tag_versions=tuple(self._version(tag) for tag in ordered),
+            filled_at=now,
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.config.max_entries:
+            self._entries.popitem(last=False)
+            self.metrics.counter("serving.cache.evicted").inc()
+        self._publish_size()
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_tags(self, tags: set[str]) -> None:
+        """Retire every entry depending on any of ``tags`` (lazily).
+
+        Bumps tag versions; stale entries are physically dropped on
+        their next lookup. Ingest calls this with the entity/cell tags
+        of the admitted batch plus :data:`GLOBAL_TAG`.
+        """
+        for tag in tags:
+            self._tag_versions[tag] = self._version(tag) + 1
+
+    def invalidate_entity(self, entity_id: str) -> None:
+        """Explicit per-entity invalidation (`entity:<id>` tag)."""
+        self.invalidate_tags({entity_tag(entity_id)})
+
+    def invalidate_zone(self, cell_id: int) -> None:
+        """Explicit per-zone invalidation (`cell:<grid cell>` tag)."""
+        self.invalidate_tags({cell_tag(cell_id)})
+
+    def clear(self) -> None:
+        """Drop every entry (tag versions survive — they only grow)."""
+        self._entries.clear()
+        self._publish_size()
+
+    def _publish_size(self) -> None:
+        self.metrics.gauge("serving.cache.entries").set(float(len(self._entries)))
+
+
+def entity_tag(entity_id: str) -> str:
+    """The invalidation tag of one entity's derived results."""
+    return f"entity:{entity_id}"
+
+
+def cell_tag(cell_id: int) -> str:
+    """The invalidation tag of one grid cell's spatial results."""
+    return f"cell:{cell_id}"

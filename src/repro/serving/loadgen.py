@@ -1,0 +1,314 @@
+"""Closed- and open-loop load generation against a :class:`ServingApp`.
+
+The serving tier's claim is not "it answers queries" but "it answers
+them under hundreds of concurrent clients while ingest keeps running".
+This module is the harness that checks the claim — in-process, seeded,
+deterministic in its request sequence:
+
+- **closed loop** — ``clients`` asyncio tasks, each a think-time client:
+  issue a request, await the response, repeat. Offered load adapts to
+  service capacity (the classic closed-loop property), so it measures
+  latency *at sustainable throughput*.
+- **open loop** — requests arrive on a seeded exponential
+  (Poisson-process) schedule regardless of completions, the arrival
+  model that exposes queueing collapse: when the server falls behind,
+  latency grows without bound instead of the workload politely backing
+  off.
+
+Every client's request stream is seeded from
+:func:`repro.hashing.stable_hash` of ``(seed, client)``, so two runs of
+the same config issue the same requests in the same per-client order.
+A seeded **writer arm** ingests record batches concurrently, exercising
+cache invalidation under load, and every ``verify_every``-th request per
+client runs the cached-vs-bypass differential
+(:meth:`ServingApp.verify`) — the report counts any digest mismatch,
+and the E11 gate requires zero.
+
+Client-observed latencies land per endpoint both in the returned
+:class:`LoadReport` and on the registry as ``serving.client.<endpoint>``
+histograms (server-side time is already in ``serving.request.*``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.hashing import stable_hash
+from repro.model.reports import PositionReport
+from repro.obs.clock import monotonic
+from repro.obs.metrics import LatencyHistogram
+from repro.serving.app import ServingApp
+
+__all__ = ["LoadConfig", "LoadReport", "RequestMix", "Workload", "run_load"]
+
+
+@dataclass(frozen=True, slots=True)
+class RequestMix:
+    """Endpoint weights of the simulated operational traffic.
+
+    Defaults model a monitoring deployment: mostly per-entity state
+    polls and forecasts, a steady trickle of spatial ranges, event-log
+    tails and ad-hoc textual queries.
+    """
+
+    state: float = 0.40
+    forecast: float = 0.20
+    trajectory: float = 0.05
+    range: float = 0.10
+    query: float = 0.05
+    events: float = 0.20
+
+    def weighted(self) -> tuple[tuple[str, float], ...]:
+        pairs = (
+            ("state", self.state),
+            ("forecast", self.forecast),
+            ("trajectory", self.trajectory),
+            ("range", self.range),
+            ("query", self.query),
+            ("events", self.events),
+        )
+        if any(w < 0 for __, w in pairs) or sum(w for __, w in pairs) <= 0:
+            raise ValueError("mix weights must be non-negative and sum > 0")
+        return pairs
+
+    def pick(self, rng: random.Random) -> str:
+        """One endpoint, drawn by weight from the client's seeded RNG."""
+        pairs = self.weighted()
+        total = sum(w for __, w in pairs)
+        draw = rng.random() * total
+        for endpoint, weight in pairs:
+            draw -= weight
+            if draw < 0:
+                return endpoint
+        return pairs[-1][0]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """What the generated requests draw on (entities, space, queries).
+
+    Attributes:
+        entity_ids: Ids entity-scoped requests pick from (usually
+            :meth:`ServingRuntime.entity_ids` of the warm runtime).
+        bbox: World bounds; range requests sample sub-boxes inside it.
+        queries: Textual query pool for the ``query`` endpoint.
+        horizons_s: Forecast lead times sampled uniformly.
+    """
+
+    entity_ids: tuple[str, ...]
+    bbox: tuple[float, float, float, float]
+    queries: tuple[str, ...] = ()
+    horizons_s: tuple[float, ...] = (300.0, 600.0, 1800.0)
+
+    def __post_init__(self) -> None:
+        if not self.entity_ids:
+            raise ValueError("workload needs at least one entity id")
+
+    def make_request(
+        self, rng: random.Random, mix: RequestMix
+    ) -> tuple[str, dict]:
+        """One (endpoint, params) draw from the client's seeded RNG."""
+        endpoint = mix.pick(rng)
+        if endpoint == "query" and not self.queries:
+            endpoint = "state"
+        if endpoint in ("state", "forecast", "trajectory"):
+            entity_id = rng.choice(self.entity_ids)
+            if endpoint == "forecast":
+                return (
+                    "forecast",
+                    {
+                        "entity_id": entity_id,
+                        "horizon_s": rng.choice(self.horizons_s),
+                    },
+                )
+            return (endpoint, {"entity_id": entity_id})
+        if endpoint == "range":
+            min_lon, min_lat, max_lon, max_lat = self.bbox
+            # A random sub-box covering ~1/16 of each axis, snapped to a
+            # coarse lattice so concurrent clients actually repeat each
+            # other's ranges (that repetition is what a result cache is
+            # for; fully random boxes would never hit).
+            width = (max_lon - min_lon) / 4.0
+            height = (max_lat - min_lat) / 4.0
+            ix = rng.randrange(4)
+            iy = rng.randrange(4)
+            lo_lon = min_lon + ix * width
+            lo_lat = min_lat + iy * height
+            return ("range", {"bbox": [lo_lon, lo_lat, lo_lon + width, lo_lat + height]})
+        if endpoint == "query":
+            return ("query", {"query": rng.choice(self.queries)})
+        return ("events", {"since": 0, "limit": 50})
+
+
+@dataclass(frozen=True, slots=True)
+class LoadConfig:
+    """One load-harness arm.
+
+    Attributes:
+        clients: Concurrent simulated clients (closed loop: one task
+            each; open loop: the client-id cardinality requests rotate
+            over).
+        requests_per_client: Requests each closed-loop client issues;
+            open loop issues ``clients * requests_per_client`` total.
+        mode: ``"closed"`` or ``"open"``.
+        seed: Master seed every per-client stream derives from.
+        think_time_s: Closed-loop pause between a response and the next
+            request.
+        arrival_rate_rps: Open-loop Poisson arrival rate.
+        verify_every: Run the cached-vs-bypass digest differential on
+            every Nth request per client (0 disables).
+        mix: Endpoint weights.
+    """
+
+    clients: int = 200
+    requests_per_client: int = 20
+    mode: str = "closed"
+    seed: int = 2017
+    think_time_s: float = 0.0
+    arrival_rate_rps: float = 2000.0
+    verify_every: int = 16
+    mix: RequestMix = field(default_factory=RequestMix)
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0 or self.requests_per_client <= 0:
+            raise ValueError("clients and requests_per_client must be positive")
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.arrival_rate_rps <= 0:
+            raise ValueError("arrival_rate_rps must be positive")
+        if self.verify_every < 0:
+            raise ValueError("verify_every must be >= 0")
+
+
+@dataclass
+class LoadReport:
+    """What one load run observed, client-side.
+
+    ``latency`` maps endpoint → p50/p95/p99 summary of client-observed
+    latency (admission wait + modeled service time + handling);
+    ``statuses`` counts responses by HTTP-style status, so sheds (429)
+    are first-class numbers, not log lines.
+    """
+
+    mode: str = "closed"
+    clients: int = 0
+    requests: int = 0
+    wall_s: float = 0.0
+    latency: dict[str, dict[str, float]] = field(default_factory=dict)
+    statuses: dict[int, int] = field(default_factory=dict)
+    shed: int = 0
+    verify_pairs: int = 0
+    digest_mismatches: int = 0
+    ingest_batches: int = 0
+    ingest_reports: int = 0
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "clients": self.clients,
+            "requests": self.requests,
+            "wall_s": self.wall_s,
+            "requests_per_s": self.requests_per_s,
+            "latency": self.latency,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "shed": self.shed,
+            "verify_pairs": self.verify_pairs,
+            "digest_mismatches": self.digest_mismatches,
+            "ingest_batches": self.ingest_batches,
+            "ingest_reports": self.ingest_reports,
+        }
+
+
+async def run_load(
+    app: ServingApp,
+    workload: Workload,
+    config: LoadConfig,
+    writer_batches: Sequence[Sequence[PositionReport]] = (),
+    writer_interval_s: float = 0.0,
+) -> LoadReport:
+    """Drive one load arm against the app; see the module docs."""
+    report = LoadReport(mode=config.mode, clients=config.clients)
+    histograms: dict[str, LatencyHistogram] = {}
+    lock_free_counts: dict[int, int] = {}
+
+    async def one_request(client: int, index: int, rng: random.Random) -> None:
+        endpoint, params = workload.make_request(rng, config.mix)
+        client_id = f"client-{client}"
+        started = monotonic()
+        response = await app.request(endpoint, params, client_id=client_id)
+        elapsed = monotonic() - started
+        hist = histograms.get(endpoint)
+        if hist is None:
+            hist = histograms[endpoint] = LatencyHistogram(
+                seed=stable_hash((config.seed, "hist", endpoint))
+            )
+        hist.record(elapsed)
+        app.runtime.metrics.histogram(f"serving.client.{endpoint}").record(elapsed)
+        lock_free_counts[response.status] = (
+            lock_free_counts.get(response.status, 0) + 1
+        )
+        report.requests += 1
+        if response.status == 429:
+            report.shed += 1
+        if (
+            config.verify_every
+            and response.ok
+            and index % config.verify_every == 0
+        ):
+            cached, fresh = app.verify(endpoint, params)
+            report.verify_pairs += 1
+            if cached.status == fresh.status and cached.digest != fresh.digest:
+                report.digest_mismatches += 1
+
+    async def closed_client(client: int) -> None:
+        rng = random.Random(stable_hash((config.seed, "client", client)))
+        for index in range(config.requests_per_client):
+            await one_request(client, index, rng)
+            if config.think_time_s > 0.0:
+                await asyncio.sleep(config.think_time_s)
+
+    async def open_arrivals() -> None:
+        arrival_rng = random.Random(stable_hash((config.seed, "arrivals")))
+        total = config.clients * config.requests_per_client
+        pending: list[asyncio.Task] = []
+        for index in range(total):
+            await asyncio.sleep(
+                arrival_rng.expovariate(config.arrival_rate_rps)
+            )
+            client = index % config.clients
+            rng = random.Random(stable_hash((config.seed, "open", index)))
+            pending.append(
+                asyncio.ensure_future(one_request(client, index, rng))
+            )
+        await asyncio.gather(*pending)
+
+    async def writer() -> None:
+        for batch in writer_batches:
+            await app.ingest(list(batch))
+            report.ingest_batches += 1
+            report.ingest_reports += len(batch)
+            await asyncio.sleep(writer_interval_s)
+
+    started = monotonic()
+    tasks: list = [asyncio.ensure_future(writer())] if writer_batches else []
+    if config.mode == "closed":
+        tasks.extend(
+            asyncio.ensure_future(closed_client(client))
+            for client in range(config.clients)
+        )
+    else:
+        tasks.append(asyncio.ensure_future(open_arrivals()))
+    await asyncio.gather(*tasks)
+    report.wall_s = monotonic() - started
+    report.statuses = dict(sorted(lock_free_counts.items()))
+    report.latency = {
+        endpoint: hist.summary() for endpoint, hist in sorted(histograms.items())
+    }
+    return report

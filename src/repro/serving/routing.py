@@ -1,0 +1,71 @@
+"""Partition-aware request routing for the serving tier.
+
+Ingest shards records by entity key through
+:class:`repro.runtime.sharding.ShardRouter`, so all state derived from
+one entity — latest position, trajectory history, its RDF document —
+lives on exactly one shard. The request router applies the *same* stable
+CRC-32 routing to reads: an entity-scoped request (state, forecast,
+trajectory) is planned onto the one shard that owns the entity, while
+spatial and textual queries fan out over every shard and merge.
+
+Keeping the read path and the write path on one router is what makes
+the locality provable: the test suite asserts that the shard a request
+lands on is the shard ingest routed the entity's records to, for any
+entity id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.sharding import ShardRouter
+
+__all__ = ["RouteDecision", "RequestRouter"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouteDecision:
+    """Where one request executes.
+
+    Attributes:
+        kind: ``"entity"`` (single-shard, key-routed) or ``"fanout"``
+            (every shard evaluates, results merge).
+        shards: The shard indices the request touches, ascending.
+    """
+
+    kind: str
+    shards: tuple[int, ...]
+
+    @property
+    def single(self) -> bool:
+        """True when the request touches exactly one shard."""
+        return len(self.shards) == 1
+
+
+class RequestRouter:
+    """Plans requests onto shards with the ingest-identical key hash."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self._router: ShardRouter = ShardRouter(n_shards)
+
+    @property
+    def n_shards(self) -> int:
+        return self._router.n_shards
+
+    def shard_for_entity(self, entity_id: str) -> int:
+        """The shard owning an entity's state (ingest-identical routing)."""
+        return self._router.shard_of_key(entity_id)
+
+    def all_shards(self) -> tuple[int, ...]:
+        """Every shard index, ascending (the fan-out set)."""
+        return tuple(range(self._router.n_shards))
+
+    def plan(self, entity_id: str | None) -> RouteDecision:
+        """Single-shard plan for an entity-scoped request, else fan-out."""
+        if entity_id is not None:
+            return RouteDecision(
+                kind="entity", shards=(self.shard_for_entity(entity_id),)
+            )
+        return RouteDecision(kind="fanout", shards=self.all_shards())

@@ -1,0 +1,350 @@
+"""JSON-over-HTTP serving endpoint on stdlib asyncio — no dependencies.
+
+A deliberately small HTTP/1.1 implementation over
+:func:`asyncio.start_server`: request-line + headers + Content-Length
+body parsing, keep-alive connections, chunked transfer for the event
+stream. FastAPI/uvicorn would be nicer, but the repo's hard rule is
+stdlib + numpy only; the protocol surface here is small enough that a
+direct implementation is clearer than a framework shim (and this is the
+exact split the datAcron architecture expects: an always-on gateway in
+front of the warm analytics state).
+
+Routes (all responses JSON unless noted):
+
+====================================  =======================================
+``GET  /healthz``                     liveness probe
+``GET  /metrics``                     Prometheus text of the registry
+``GET  /stats``                       registry snapshot (JSON)
+``POST /v1/query``                    body ``{"query": "<text>"}``
+``GET  /v1/entities/<id>/state``      latest position of one entity
+``GET  /v1/entities/<id>/forecast``   ``?horizon_s=600``
+``GET  /v1/entities/<id>/trajectory`` stored (synopsis) trajectory
+``POST /v1/range``                    body ``{"bbox": [...], "t_from", "t_to"}``
+``POST /v1/ingest``                   body ``{"reports": [...]}``
+``GET  /v1/events``                   ``?since=0&limit=100`` (cursor read)
+``GET  /v1/events/stream``            ``?since=0`` chunked NDJSON stream
+====================================  =======================================
+
+Clients identify themselves with the ``X-Client-Id`` header (default
+``anon``); the per-client admission policy sheds with real ``429``
+status codes. Read responses carry ``X-Cache: hit|miss`` and
+``X-Result-Digest`` headers, so cache behavior is observable from any
+HTTP client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.model.points import Domain
+from repro.model.reports import PositionReport
+from repro.obs.export import PrometheusTextExporter
+from repro.serving.app import ServingApp
+from repro.serving.runtime import ServingResponse
+
+__all__ = ["ServingHTTPServer", "serve"]
+
+#: Largest accepted request body; bigger requests get a 413.
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _report_from_json(doc: dict) -> PositionReport:
+    """A PositionReport from its ingest-body JSON shape."""
+    return PositionReport(
+        entity_id=str(doc["entity_id"]),
+        t=float(doc["t"]),
+        lon=float(doc["lon"]),
+        lat=float(doc["lat"]),
+        alt=None if doc.get("alt") is None else float(doc["alt"]),
+        speed=None if doc.get("speed") is None else float(doc["speed"]),
+        heading=None if doc.get("heading") is None else float(doc["heading"]),
+        domain=Domain[doc["domain"].upper()] if "domain" in doc else Domain.MARITIME,
+    )
+
+
+class _HttpRequest:
+    """One parsed request: method, path, query params, headers, body."""
+
+    __slots__ = ("method", "path", "params", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str],
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.params = params
+        self.headers = headers
+        self.body = body
+
+    @property
+    def client_id(self) -> str:
+        return self.headers.get("x-client-id", "anon")
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        doc = json.loads(self.body.decode("utf-8"))
+        if not isinstance(doc, dict):
+            raise ValueError("request body must be a JSON object")
+        return doc
+
+
+class ServingHTTPServer:
+    """The always-on HTTP gateway over one :class:`ServingApp`."""
+
+    def __init__(
+        self, app: ServingApp, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 picks a free one)."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- connection handling ----------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                if request.path == "/v1/events/stream":
+                    await self._stream_events(request, writer)
+                    return
+                response, headers = await self._dispatch(request)
+                await self._write_json(writer, response, headers)
+                if request.headers.get("connection", "keep-alive") == "close":
+                    return
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> "_HttpRequest | None":
+        try:
+            request_line = await reader.readline()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed request line: {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, __, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        if length > _MAX_BODY_BYTES:
+            raise ValueError("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        params = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        return _HttpRequest(method, split.path, params, headers, body)
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest
+    ) -> tuple[tuple[int, object], dict[str, str]]:
+        """Route one request; returns ``((status, body), extra headers)``."""
+        try:
+            return await self._route(request)
+        except (KeyError, TypeError, ValueError) as exc:
+            return ((400, {"error": str(exc)}), {})
+        except Exception as exc:  # pragma: no cover - defensive boundary
+            return ((500, {"error": f"internal error: {exc}"}), {})
+
+    async def _route(
+        self, request: _HttpRequest
+    ) -> tuple[tuple[int, object], dict[str, str]]:
+        app = self.app
+        method, path = request.method, request.path
+        if method == "GET" and path == "/healthz":
+            return ((200, {"ok": True, "in_flight": app.in_flight}), {})
+        if method == "GET" and path == "/metrics":
+            text = PrometheusTextExporter().render(app.runtime.metrics)
+            return ((200, text), {"Content-Type": "text/plain; charset=utf-8"})
+        if method == "GET" and path == "/stats":
+            return ((200, app.runtime.metrics.as_dict()), {})
+        if method == "POST" and path == "/v1/ingest":
+            body = request.json()
+            reports = [_report_from_json(doc) for doc in body.get("reports", [])]
+            summary = await app.ingest(reports, client_id=request.client_id)
+            return ((200, summary), {})
+        served = await self._serve_read(request)
+        if served is None:
+            return ((404, {"error": f"no route {method} {path}"}), {})
+        return served
+
+    async def _serve_read(
+        self, request: _HttpRequest
+    ) -> "tuple[tuple[int, object], dict[str, str]] | None":
+        """Map HTTP surface onto :meth:`ServingApp.request` endpoints."""
+        method, path = request.method, request.path
+        endpoint: str | None = None
+        params: dict[str, object] = {}
+        if method == "POST" and path == "/v1/query":
+            endpoint, params = "query", {"query": request.json()["query"]}
+        elif method == "POST" and path == "/v1/range":
+            body = request.json()
+            endpoint = "range"
+            params = {"bbox": body["bbox"]}
+            for bound in ("t_from", "t_to"):
+                if bound in body:
+                    params[bound] = body[bound]
+        elif method == "GET" and path == "/v1/events":
+            endpoint = "events"
+            params = {
+                "since": int(request.params.get("since", "0")),
+                "limit": int(request.params.get("limit", "1000")),
+            }
+        elif method == "GET" and path.startswith("/v1/entities/"):
+            rest = path[len("/v1/entities/") :]
+            entity_id, __, verb = rest.partition("/")
+            if entity_id and verb in ("state", "forecast", "trajectory"):
+                endpoint = verb
+                params = {"entity_id": entity_id}
+                if verb == "forecast" and "horizon_s" in request.params:
+                    params["horizon_s"] = float(request.params["horizon_s"])
+        if endpoint is None:
+            return None
+        response = await self.app.request(
+            endpoint, params, client_id=request.client_id
+        )
+        return self._render(response)
+
+    @staticmethod
+    def _render(
+        response: ServingResponse,
+    ) -> tuple[tuple[int, object], dict[str, str]]:
+        headers = {
+            "X-Cache": "hit" if response.cached else "miss",
+            "X-Result-Digest": response.digest,
+            "X-Shards": ",".join(str(s) for s in response.shards),
+        }
+        return ((response.status, response.as_dict()), headers)
+
+    # -- wire encoding -----------------------------------------------------
+
+    async def _write_json(
+        self,
+        writer: asyncio.StreamWriter,
+        response: tuple[int, object],
+        extra_headers: dict[str, str],
+    ) -> None:
+        status, body = response
+        if isinstance(body, str):
+            payload = body.encode("utf-8")
+        else:
+            payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        headers = {
+            "Content-Type": "application/json; charset=utf-8",
+            **extra_headers,
+            "Content-Length": str(len(payload)),
+        }
+        writer.write(_head(status, headers) + payload)
+        await writer.drain()
+
+    async def _stream_events(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        """Chunked NDJSON event subscription (one JSON event per line).
+
+        ``?since=N`` backfills from the event log first; ``?count=N``
+        closes the stream after N events (handy for scripted clients —
+        without it the stream runs until the client disconnects).
+        """
+        since = int(request.params.get("since", str(self.app.runtime.event_seq())))
+        count = int(request.params["count"]) if "count" in request.params else None
+        subscription = self.app.subscribe(since=since)
+        headers = {
+            "Content-Type": "application/x-ndjson; charset=utf-8",
+            "Transfer-Encoding": "chunked",
+        }
+        writer.write(_head(200, headers))
+        await writer.drain()
+        sent = 0
+        try:
+            async for event in subscription:
+                line = json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+                writer.write(b"%x\r\n" % len(line) + line + b"\r\n")
+                await writer.drain()
+                sent += 1
+                if count is not None and sent >= count:
+                    break
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            subscription.close()
+
+
+def _head(status: int, headers: dict[str, str]) -> bytes:
+    reason = _STATUS_TEXT.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def serve(
+    app: ServingApp, host: str = "127.0.0.1", port: int = 8080
+) -> ServingHTTPServer:
+    """Start a server and return it (callers own the lifecycle)."""
+    server = ServingHTTPServer(app, host=host, port=port)
+    await server.start()
+    return server

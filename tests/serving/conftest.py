@@ -1,0 +1,49 @@
+"""Shared serving-tier fixtures: a warm sharded runtime over real traffic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import PipelineSpec
+from repro.serving import ServingConfig, ServingRuntime
+from repro.sources.generators import MaritimeTrafficGenerator, TrafficSample
+
+N_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def serving_sample() -> TrafficSample:
+    """Deterministic maritime traffic the serving tests ingest."""
+    generator = MaritimeTrafficGenerator(seed=29)
+    return generator.generate(n_vessels=8, max_duration_s=1200.0)
+
+
+@pytest.fixture(scope="module")
+def serving_reports(serving_sample):
+    return sorted(serving_sample.reports, key=lambda r: r.t)
+
+
+@pytest.fixture(scope="module")
+def serving_spec(serving_sample) -> PipelineSpec:
+    return PipelineSpec(
+        bbox=serving_sample.world.bbox,
+        config=PipelineConfig(),
+        registry=serving_sample.registry,
+        zones=tuple(serving_sample.world.zones),
+    )
+
+
+def build_runtime(
+    spec: PipelineSpec, n_shards: int = N_SHARDS, **config_kwargs
+) -> ServingRuntime:
+    """A fresh runtime (tests that mutate state build their own)."""
+    return ServingRuntime(spec, ServingConfig(n_shards=n_shards, **config_kwargs))
+
+
+@pytest.fixture()
+def warm_runtime(serving_spec, serving_reports) -> ServingRuntime:
+    """A fresh runtime with the first half of the sample ingested."""
+    runtime = build_runtime(serving_spec)
+    runtime.ingest(serving_reports[: len(serving_reports) // 2])
+    return runtime

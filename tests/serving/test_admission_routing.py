@@ -1,0 +1,185 @@
+"""Routing and admission: one shard per entity, deterministic shedding.
+
+Routing — entity-scoped requests must land on exactly the shard the
+stable CRC-32 key routing assigns (the same routing ingest used), so a
+request never scans shards that cannot own the entity.
+
+Admission — the per-client policy must shed *deterministically* under a
+scripted ("seeded") overload: same config + same observation sequence →
+the identical admit/shed decision sequence, with every outcome visible
+on the registry. The asyncio app surfaces sheds as 429 responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.hashing import stable_shard
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.backpressure import AdmissionConfig
+from repro.serving import (
+    AdmissionPolicy,
+    AdmissionPolicyConfig,
+    RequestRouter,
+    ServingApp,
+)
+
+from tests.serving.conftest import N_SHARDS, build_runtime
+
+#: Aggressive controller for tests: tiny window so the admit rate decays
+#: within a few observations instead of the production default 64.
+FAST_DECAY = AdmissionConfig(window=4, seed=99)
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_entity_plan_is_single_stable_shard(self):
+        router = RequestRouter(N_SHARDS)
+        for entity_id in ("V0001", "V0002", "FLT123", "x"):
+            decision = router.plan(entity_id)
+            assert decision.single
+            assert decision.shards == (stable_shard(entity_id, N_SHARDS),)
+
+    def test_fanout_plan_covers_every_shard(self):
+        decision = RequestRouter(N_SHARDS).plan(None)
+        assert not decision.single
+        assert decision.shards == tuple(range(N_SHARDS))
+
+    def test_entity_requests_land_on_owning_shard(self, warm_runtime):
+        """The response's shard set is exactly the router-assigned shard,
+        and that shard (alone) holds the entity's state."""
+        for entity_id in warm_runtime.entity_ids():
+            expected = stable_shard(entity_id, N_SHARDS)
+            for endpoint in ("state", "forecast", "trajectory"):
+                response = warm_runtime.handle(
+                    endpoint, {"entity_id": entity_id}, bypass_cache=True
+                )
+                assert response.shards == (expected,), (
+                    f"{endpoint} for {entity_id} touched {response.shards}, "
+                    f"router owns it to shard {expected}"
+                )
+            owners = [
+                shard_id
+                for shard_id, latest in enumerate(warm_runtime._latest)
+                if entity_id in latest
+            ]
+            assert owners == [expected]
+
+    def test_fanout_requests_touch_every_shard(self, warm_runtime):
+        bbox = warm_runtime.shards[0].grid.bbox
+        response = warm_runtime.handle(
+            "range",
+            {"bbox": [bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat]},
+            bypass_cache=True,
+        )
+        assert response.shards == tuple(range(N_SHARDS))
+
+
+# ---------------------------------------------------------------------------
+# Admission policy determinism
+# ---------------------------------------------------------------------------
+
+
+def _scripted_overload(policy: AdmissionPolicy, n: int = 120) -> list[bool]:
+    """Drive one client with every observation saturated; capacity=1 and
+    in_flight=5 means each observation registers pressure."""
+    return [policy.try_admit("greedy", in_flight=5) for __ in range(n)]
+
+
+class TestAdmissionDeterminism:
+    def _policy(self, registry=None) -> AdmissionPolicy:
+        config = AdmissionPolicyConfig(capacity=1, controller=FAST_DECAY)
+        return AdmissionPolicy(config, metrics=registry)
+
+    def test_identical_decision_sequence_across_runs(self):
+        first = _scripted_overload(self._policy())
+        second = _scripted_overload(self._policy())
+        assert first == second
+        assert False in first, "sustained overload must shed something"
+        assert True in first, "min_admit_rate keeps degraded progress"
+
+    def test_admit_rate_decays_under_pressure_and_floors(self):
+        policy = self._policy()
+        _scripted_overload(policy, n=400)
+        rate = policy.admit_rate("greedy")
+        assert rate <= 0.1
+        assert rate >= FAST_DECAY.min_admit_rate
+
+    def test_per_client_isolation(self):
+        policy = self._policy()
+        _scripted_overload(policy, n=200)  # greedy client saturates
+        light = [policy.try_admit("light", in_flight=0) for __ in range(50)]
+        assert all(light), "an unpressured client must not inherit the shed"
+        assert policy.admit_rate("light") == 1.0
+        assert policy.admit_rate("greedy") < 0.2
+
+    def test_decisions_independent_of_other_clients_interleaving(self):
+        """Client A's decision stream depends only on A's observations."""
+        solo = self._policy()
+        solo_decisions = [solo.try_admit("a", in_flight=5) for __ in range(60)]
+        mixed = self._policy()
+        mixed_decisions = []
+        for i in range(60):
+            mixed_decisions.append(mixed.try_admit("a", in_flight=5))
+            mixed.try_admit(f"noise-{i % 7}", in_flight=0)
+        assert solo_decisions == mixed_decisions
+
+    def test_registry_accounts_every_decision(self):
+        registry = MetricsRegistry()
+        policy = self._policy(registry)
+        decisions = _scripted_overload(policy, n=150)
+        admitted = registry.counter("serving.admission.admitted").value
+        shed = registry.counter("serving.admission.shed").value
+        assert admitted == sum(decisions)
+        assert shed == len(decisions) - sum(decisions)
+        assert policy.admitted_total() == admitted
+        assert policy.shed_total() == shed
+
+    def test_overflow_clients_share_one_controller(self):
+        policy = AdmissionPolicy(
+            AdmissionPolicyConfig(capacity=1, controller=FAST_DECAY, max_clients=2)
+        )
+        policy.try_admit("a", in_flight=0)
+        policy.try_admit("b", in_flight=0)
+        assert policy.controller("c") is policy.controller("d")
+        assert policy.controller("a") is not policy.controller("b")
+
+
+# ---------------------------------------------------------------------------
+# App-level 429 shedding
+# ---------------------------------------------------------------------------
+
+
+def test_app_sheds_with_429_under_concurrent_overload(warm_runtime):
+    app = ServingApp(
+        warm_runtime,
+        admission=AdmissionPolicyConfig(capacity=2, controller=FAST_DECAY),
+        service_time_s=0.002,
+    )
+    entity_id = warm_runtime.entity_ids()[0]
+
+    async def flood():
+        return await asyncio.gather(
+            *(
+                app.request("state", {"entity_id": entity_id}, client_id="flood")
+                for __ in range(150)
+            )
+        )
+
+    responses = asyncio.run(flood())
+    statuses = [r.status for r in responses]
+    assert statuses.count(429) > 0, "sustained overload must produce 429s"
+    assert statuses.count(200) > 0, "min admit rate keeps serving some"
+    registry = warm_runtime.metrics
+    assert (
+        registry.counter("serving.responses.429").value == statuses.count(429)
+    )
+    shed_responses = [r for r in responses if r.status == 429]
+    for response in shed_responses:
+        assert response.payload["retry"] is True
+        assert response.digest  # sheds are digest-stamped too
+    assert app.in_flight == 0

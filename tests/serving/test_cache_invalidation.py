@@ -1,0 +1,210 @@
+"""The cache-correctness contract: a hit is indistinguishable from a miss.
+
+Two layers of evidence:
+
+- unit tests of :class:`ResultCache` pin each expiry regime in isolation
+  (LRU order, TTL with an injected clock, versioned-tag invalidation,
+  the ``max_entries=0`` kill switch) and the precision claim — ingest
+  touching entity B must not evict entity A's cached state;
+- a hypothesis property drives a real sharded :class:`ServingRuntime`
+  through arbitrary interleavings of ingest batches, explicit
+  invalidations, cache clears and reads, and after **every** read
+  compares the (possibly cached) response against a cache-bypassing
+  fresh execution: digests must match. That is the serving tier's core
+  promise — the cache can never serve a result a fresh execution would
+  not produce.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serving import GLOBAL_TAG, CacheConfig, ResultCache, cell_tag, entity_tag
+
+from tests.serving.conftest import build_runtime
+
+# ---------------------------------------------------------------------------
+# ResultCache unit behavior
+# ---------------------------------------------------------------------------
+
+
+class TestResultCacheUnit:
+    def test_miss_then_hit(self):
+        cache = ResultCache(CacheConfig(max_entries=4, ttl_s=None))
+        assert cache.get("k", now=0.0) is None
+        cache.put("k", "v", {entity_tag("A")}, now=0.0)
+        assert cache.get("k", now=1.0) == "v"
+        assert len(cache) == 1
+
+    def test_lru_evicts_least_recently_read(self):
+        cache = ResultCache(CacheConfig(max_entries=2, ttl_s=None))
+        cache.put("a", 1, set(), now=0.0)
+        cache.put("b", 2, set(), now=0.0)
+        assert cache.get("a", now=0.0) == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3, set(), now=0.0)
+        assert cache.get("b", now=0.0) is None
+        assert cache.get("a", now=0.0) == 1
+        assert cache.get("c", now=0.0) == 3
+
+    def test_ttl_expiry_uses_injected_now(self):
+        cache = ResultCache(CacheConfig(max_entries=4, ttl_s=10.0))
+        cache.put("k", "v", set(), now=100.0)
+        assert cache.get("k", now=109.0) == "v"
+        assert cache.get("k", now=110.5) is None
+        assert len(cache) == 0
+
+    def test_tag_invalidation_retires_exactly_tagged_entries(self):
+        cache = ResultCache(CacheConfig(max_entries=8, ttl_s=None))
+        cache.put("a", 1, {entity_tag("A")}, now=0.0)
+        cache.put("b", 2, {entity_tag("B")}, now=0.0)
+        cache.put("g", 3, {GLOBAL_TAG}, now=0.0)
+        cache.invalidate_entity("A")
+        assert cache.get("a", now=0.0) is None
+        assert cache.get("b", now=0.0) == 2
+        assert cache.get("g", now=0.0) == 3
+        cache.invalidate_tags({GLOBAL_TAG})
+        assert cache.get("g", now=0.0) is None
+
+    def test_put_after_invalidation_is_live_at_new_version(self):
+        cache = ResultCache(CacheConfig(max_entries=8, ttl_s=None))
+        cache.put("a", 1, {cell_tag(7)}, now=0.0)
+        cache.invalidate_zone(7)
+        cache.put("a", 2, {cell_tag(7)}, now=0.0)
+        assert cache.get("a", now=0.0) == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(CacheConfig(max_entries=0, ttl_s=None))
+        cache.put("k", "v", set(), now=0.0)
+        assert cache.get("k", now=0.0) is None
+        assert len(cache) == 0
+
+    def test_counters_account_every_outcome(self):
+        registry = MetricsRegistry()
+        cache = ResultCache(CacheConfig(max_entries=1, ttl_s=5.0), registry)
+        cache.get("k", now=0.0)  # miss
+        cache.put("k", 1, {entity_tag("A")}, now=0.0)
+        cache.get("k", now=1.0)  # hit
+        cache.invalidate_entity("A")
+        cache.get("k", now=1.0)  # invalidated -> miss
+        cache.put("k", 2, set(), now=0.0)
+        cache.get("k", now=20.0)  # expired -> miss
+        cache.put("k", 3, set(), now=20.0)
+        cache.put("k2", 4, set(), now=20.0)  # evicts "k"
+        assert registry.counter("serving.cache.hit").value == 1
+        assert registry.counter("serving.cache.miss").value == 3
+        assert registry.counter("serving.cache.invalidated").value == 1
+        assert registry.counter("serving.cache.expired").value == 1
+        assert registry.counter("serving.cache.evicted").value == 1
+
+
+# ---------------------------------------------------------------------------
+# Runtime-level precision: unrelated ingest must not invalidate
+# ---------------------------------------------------------------------------
+
+
+def test_ingest_of_other_entity_keeps_unrelated_state_cached(
+    serving_spec, serving_reports
+):
+    runtime = build_runtime(serving_spec)
+    half = len(serving_reports) // 2
+    runtime.ingest(serving_reports[:half])
+    ids = runtime.entity_ids()
+    target, other = ids[0], ids[1]
+
+    first = runtime.handle("state", {"entity_id": target})
+    assert first.status == 200 and not first.cached
+    assert runtime.handle("state", {"entity_id": target}).cached
+
+    other_reports = [r for r in serving_reports[half:] if r.entity_id == other]
+    assert other_reports, "sample must keep producing for the other entity"
+    runtime.ingest(other_reports[:20])
+
+    still = runtime.handle("state", {"entity_id": target})
+    assert still.cached and still.digest == first.digest
+    # The ingested entity's cached state (if any) must reflect new data.
+    refreshed = runtime.handle("state", {"entity_id": other}, bypass_cache=True)
+    assert refreshed.payload["t"] == max(r.t for r in other_reports[:20])
+
+
+def test_ingest_invalidates_served_entity_state(serving_spec, serving_reports):
+    runtime = build_runtime(serving_spec)
+    half = len(serving_reports) // 2
+    runtime.ingest(serving_reports[:half])
+    target = runtime.entity_ids()[0]
+    stale = runtime.handle("state", {"entity_id": target})
+    newer = [r for r in serving_reports[half:] if r.entity_id == target]
+    assert newer
+    runtime.ingest(newer[:10])
+    fresh = runtime.handle("state", {"entity_id": target})
+    assert not fresh.cached
+    assert fresh.payload["t"] > stale.payload["t"]
+
+
+# ---------------------------------------------------------------------------
+# The hypothesis differential: cached == fresh under any interleaving
+# ---------------------------------------------------------------------------
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("ingest"), st.integers(0, 7)),
+        st.tuples(st.just("read"), st.integers(0, 9)),
+        st.tuples(st.just("invalidate"), st.integers(0, 7)),
+        st.tuples(st.just("clear"), st.just(0)),
+    ),
+    min_size=4,
+    max_size=25,
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(ops=_OPS, seed=st.integers(0, 3))
+def test_cached_equals_fresh_after_any_interleaving(
+    serving_spec, serving_reports, ops, seed
+):
+    """After any ingest/invalidate/clear/read schedule, a (possibly
+    cached) response is digest-identical to a cache-bypassing fresh
+    execution of the same request — the cache is semantically invisible."""
+    runtime = build_runtime(serving_spec, n_shards=2)
+    chunk = max(1, len(serving_reports) // 8)
+    chunks = [
+        serving_reports[i * chunk : (i + 1) * chunk] for i in range(8)
+    ]
+    runtime.ingest(chunks[seed])  # warm start so entity reads can be 200s
+    bbox = serving_spec.bbox
+
+    def read_request(idx: int):
+        ids = runtime.entity_ids()
+        entity = ids[idx % len(ids)] if ids else "absent"
+        return [
+            ("state", {"entity_id": entity}),
+            ("forecast", {"entity_id": entity, "horizon_s": 120.0}),
+            ("trajectory", {"entity_id": entity}),
+            (
+                "range",
+                {
+                    "bbox": [bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat]
+                },
+            ),
+            ("events", {"since": 0, "limit": 50}),
+        ][idx % 5]
+
+    for op, arg in ops:
+        if op == "ingest":
+            runtime.ingest(chunks[arg])
+        elif op == "invalidate":
+            ids = runtime.entity_ids()
+            if ids:
+                runtime.cache.invalidate_entity(ids[arg % len(ids)])
+        elif op == "clear":
+            runtime.cache.clear()
+        else:
+            endpoint, params = read_request(arg)
+            served = runtime.handle(endpoint, params)
+            fresh = runtime.handle(endpoint, params, bypass_cache=True)
+            assert served.status == fresh.status
+            assert served.digest == fresh.digest, (
+                f"{endpoint} served a result fresh execution disowns "
+                f"(cached={served.cached})"
+            )

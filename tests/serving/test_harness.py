@@ -1,0 +1,144 @@
+"""Load-harness tests: concurrency with ingest, digest equality, determinism.
+
+The E11 bench gates on what these tests pin at small scale:
+
+- a closed-loop run over a warm runtime with a concurrent writer arm
+  finishes with **zero** cached-vs-fresh digest mismatches;
+- the seeded request sequence is reproducible — two runs of the same
+  config against identically-warmed runtimes issue the identical
+  request multiset and get the identical status counts;
+- the open-loop arm delivers its full scheduled request count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serving import (
+    LoadConfig,
+    RequestMix,
+    ServingApp,
+    Workload,
+    run_load,
+)
+
+from tests.serving.conftest import build_runtime
+
+_QUERIES = (
+    "SELECT ?o WHERE { ?n dac:ofMovingObject ?o . }",
+    "SELECT ?t WHERE { ?n time:inSeconds ?t . } ORDER BY ?t LIMIT 20",
+)
+
+
+def _workload(runtime, spec) -> Workload:
+    bbox = spec.bbox
+    return Workload(
+        entity_ids=tuple(runtime.entity_ids()),
+        bbox=(bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat),
+        queries=_QUERIES,
+    )
+
+
+def _batches(reports, start, n_batches=4, size=40):
+    return [
+        reports[start + i * size : start + (i + 1) * size]
+        for i in range(n_batches)
+    ]
+
+
+def test_closed_loop_with_concurrent_ingest_has_no_mismatch(
+    serving_spec, serving_reports
+):
+    runtime = build_runtime(serving_spec)
+    half = len(serving_reports) // 2
+    runtime.ingest(serving_reports[:half])
+    app = ServingApp(runtime, service_time_s=0.0005)
+    config = LoadConfig(
+        clients=40, requests_per_client=6, seed=7, verify_every=3
+    )
+    report = asyncio.run(
+        run_load(
+            app,
+            _workload(runtime, serving_spec),
+            config,
+            writer_batches=_batches(serving_reports, half),
+        )
+    )
+    assert report.requests == 240
+    assert report.ingest_batches == 4
+    assert report.verify_pairs > 0
+    assert report.digest_mismatches == 0, (
+        "cache served content a fresh execution disowns"
+    )
+    assert set(report.statuses) == {200}
+    assert report.wall_s > 0 and report.requests_per_s > 0
+    # Client-observed latencies landed both in the report and registry.
+    assert report.latency
+    summaries = runtime.metrics.histogram_summaries()
+    for endpoint, summary in report.latency.items():
+        assert summary["count"] >= 1
+        assert summaries[f"serving.client.{endpoint}"]["count"] == summary["count"]
+    # A repeated seeded mix against a cache must actually hit it.
+    assert runtime.cache_hit_rate() > 0.0
+
+
+def test_request_sequence_is_reproducible(serving_spec, serving_reports):
+    def run_once():
+        runtime = build_runtime(serving_spec, n_shards=2)
+        runtime.ingest(serving_reports[: len(serving_reports) // 2])
+        app = ServingApp(runtime)
+        report = asyncio.run(
+            run_load(
+                app,
+                _workload(runtime, serving_spec),
+                LoadConfig(clients=20, requests_per_client=5, seed=11),
+            )
+        )
+        counts = {
+            endpoint: summary["count"]
+            for endpoint, summary in report.latency.items()
+        }
+        return counts, report.statuses
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+def test_open_loop_delivers_scheduled_arrivals(serving_spec, serving_reports):
+    runtime = build_runtime(serving_spec, n_shards=2)
+    runtime.ingest(serving_reports[: len(serving_reports) // 2])
+    app = ServingApp(runtime)
+    config = LoadConfig(
+        clients=10,
+        requests_per_client=4,
+        mode="open",
+        seed=3,
+        arrival_rate_rps=5000.0,
+        verify_every=0,
+    )
+    report = asyncio.run(
+        run_load(app, _workload(runtime, serving_spec), config)
+    )
+    assert report.mode == "open"
+    assert report.requests == 40
+    assert set(report.statuses) == {200}
+
+
+def test_mix_weights_respected_in_aggregate(serving_spec, serving_reports):
+    """A state-only mix issues only state requests (weight 0 endpoints
+    never fire)."""
+    runtime = build_runtime(serving_spec, n_shards=2)
+    runtime.ingest(serving_reports[:200])
+    app = ServingApp(runtime)
+    mix = RequestMix(
+        state=1.0, forecast=0.0, trajectory=0.0, range=0.0, query=0.0, events=0.0
+    )
+    report = asyncio.run(
+        run_load(
+            app,
+            _workload(runtime, serving_spec),
+            LoadConfig(clients=8, requests_per_client=5, seed=1, mix=mix),
+        )
+    )
+    assert list(report.latency) == ["state"]

@@ -1,0 +1,254 @@
+"""Socket-level tests of the stdlib HTTP gateway.
+
+Real TCP round trips against an ephemeral-port server: routing, JSON
+bodies, cache/digest headers, 404/400 mapping, ingest POSTs, the
+chunked NDJSON event stream, and 429 shedding surfaced over HTTP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runtime.backpressure import AdmissionConfig
+from repro.serving import AdmissionPolicyConfig, ServingApp, serve
+
+from tests.serving.conftest import build_runtime
+
+
+async def _http(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    headers: dict | None = None,
+) -> tuple[int, dict[str, str], bytes]:
+    """One request on its own connection; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    lines = [f"{method} {path} HTTP/1.1", "Host: test", "Connection: close"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if payload:
+        lines.append(f"Content-Length: {len(payload)}")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, __, body_bytes = raw.partition(b"\r\n\r\n")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status = int(head_lines[0].split()[1])
+    response_headers = {}
+    for line in head_lines[1:]:
+        name, __, value = line.partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    return status, response_headers, body_bytes
+
+
+@pytest.fixture()
+def served(serving_spec, serving_reports):
+    """A running server over a warm runtime; yields (server, runtime)."""
+    runtime = build_runtime(serving_spec)
+    runtime.ingest(serving_reports[: len(serving_reports) // 2])
+    app = ServingApp(runtime)
+
+    async def start():
+        return await serve(app, port=0)
+
+    loop = asyncio.new_event_loop()
+    server = loop.run_until_complete(start())
+    try:
+        yield loop, server, runtime
+    finally:
+        loop.run_until_complete(server.stop())
+        loop.close()
+
+
+def test_health_metrics_and_stats(served):
+    loop, server, runtime = served
+    status, __, body = loop.run_until_complete(
+        _http(server.port, "GET", "/healthz")
+    )
+    assert status == 200 and json.loads(body)["ok"] is True
+    status, headers, body = loop.run_until_complete(
+        _http(server.port, "GET", "/metrics")
+    )
+    assert status == 200
+    assert headers["content-type"].startswith("text/plain")
+    assert b"serving_requests" in body or b"serving_ingest" in body
+    status, __, body = loop.run_until_complete(
+        _http(server.port, "GET", "/stats")
+    )
+    assert status == 200
+    assert "counters" in json.loads(body) or json.loads(body)
+
+
+def test_entity_reads_and_cache_headers(served):
+    loop, server, runtime = served
+    entity_id = runtime.entity_ids()[0]
+    path = f"/v1/entities/{entity_id}/state"
+    status, first_headers, body = loop.run_until_complete(
+        _http(server.port, "GET", path)
+    )
+    assert status == 200
+    assert first_headers["x-cache"] == "miss"
+    first = json.loads(body)
+    assert first["payload"]["entity_id"] == entity_id
+    status, second_headers, body = loop.run_until_complete(
+        _http(server.port, "GET", path)
+    )
+    assert second_headers["x-cache"] == "hit"
+    assert second_headers["x-result-digest"] == first_headers["x-result-digest"]
+    assert json.loads(body)["digest"] == first["digest"]
+    assert second_headers["x-shards"] == first_headers["x-shards"]
+
+
+def test_forecast_query_range_routes(served):
+    loop, server, runtime = served
+    entity_id = runtime.entity_ids()[0]
+    status, __, body = loop.run_until_complete(
+        _http(
+            server.port,
+            "GET",
+            f"/v1/entities/{entity_id}/forecast?horizon_s=120",
+        )
+    )
+    assert status == 200
+    assert json.loads(body)["payload"]["horizon_s"] == 120.0
+    status, __, body = loop.run_until_complete(
+        _http(
+            server.port,
+            "POST",
+            "/v1/query",
+            {"query": "SELECT ?o WHERE { ?n dac:ofMovingObject ?o . }"},
+        )
+    )
+    assert status == 200 and json.loads(body)["payload"]["n_results"] > 0
+    bbox = runtime.shards[0].grid.bbox
+    status, __, body = loop.run_until_complete(
+        _http(
+            server.port,
+            "POST",
+            "/v1/range",
+            {"bbox": [bbox.min_lon, bbox.min_lat, bbox.max_lon, bbox.max_lat]},
+        )
+    )
+    assert status == 200 and json.loads(body)["payload"]["n_results"] > 0
+
+
+def test_error_mapping(served):
+    loop, server, __ = served
+    status, __h, body = loop.run_until_complete(
+        _http(server.port, "GET", "/nope")
+    )
+    assert status == 404 and "no route" in json.loads(body)["error"]
+    status, __h, __b = loop.run_until_complete(
+        _http(server.port, "POST", "/v1/query", {"query": "garbage"})
+    )
+    assert status == 400
+    status, __h, __b = loop.run_until_complete(
+        _http(server.port, "POST", "/v1/query", {"wrong_key": 1})
+    )
+    assert status == 400
+    status, __h, __b = loop.run_until_complete(
+        _http(server.port, "GET", "/v1/entities/UNKNOWN/state")
+    )
+    assert status == 404
+
+
+def test_ingest_roundtrip_refreshes_state(served):
+    loop, server, runtime = served
+    doc = {
+        "reports": [
+            {
+                "entity_id": "HTTPV1",
+                "t": 5000.0,
+                "lon": runtime.shards[0].grid.bbox.min_lon + 0.01,
+                "lat": runtime.shards[0].grid.bbox.min_lat + 0.01,
+                "speed": 4.5,
+            }
+        ]
+    }
+    status, __, body = loop.run_until_complete(
+        _http(server.port, "POST", "/v1/ingest", doc)
+    )
+    assert status == 200 and json.loads(body)["reports"] == 1
+    status, __, body = loop.run_until_complete(
+        _http(server.port, "GET", "/v1/entities/HTTPV1/state")
+    )
+    assert status == 200
+    assert json.loads(body)["payload"]["t"] == 5000.0
+
+
+def test_event_stream_chunked_ndjson(served):
+    loop, server, runtime = served
+    total = runtime.event_seq()
+    assert total >= 2
+
+    async def stream():
+        reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+        writer.write(
+            b"GET /v1/events/stream?since=0&count=2 HTTP/1.1\r\nHost: t\r\n\r\n"
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout=10)
+        writer.close()
+        return raw
+
+    raw = loop.run_until_complete(stream())
+    head, __, body = raw.partition(b"\r\n\r\n")
+    assert b"200 OK" in head
+    assert b"application/x-ndjson" in head
+    assert b"Transfer-Encoding: chunked" in head
+    # De-chunk: every other CRLF-delimited token is a payload line.
+    events = []
+    rest = body
+    while rest and not rest.startswith(b"0\r\n"):
+        size_text, __, rest = rest.partition(b"\r\n")
+        size = int(size_text, 16)
+        chunk, rest = rest[:size], rest[size + 2 :]
+        events.append(json.loads(chunk))
+    assert len(events) == 2
+    assert [e["seq"] for e in events] == [0, 1]
+
+
+def test_http_429_shedding_under_overload(serving_spec, serving_reports):
+    runtime = build_runtime(serving_spec)
+    runtime.ingest(serving_reports[:200])
+    app = ServingApp(
+        runtime,
+        admission=AdmissionPolicyConfig(
+            capacity=2, controller=AdmissionConfig(window=4, seed=5)
+        ),
+        service_time_s=0.003,
+    )
+    entity_id = runtime.entity_ids()[0]
+
+    async def flood():
+        server = await serve(app, port=0)
+        try:
+            results = await asyncio.gather(
+                *(
+                    _http(
+                        server.port,
+                        "GET",
+                        f"/v1/entities/{entity_id}/state",
+                        headers={"X-Client-Id": "greedy"},
+                    )
+                    for __ in range(120)
+                )
+            )
+        finally:
+            await server.stop()
+        return results
+
+    results = asyncio.run(flood())
+    statuses = [status for status, __, __b in results]
+    assert statuses.count(429) > 0
+    assert statuses.count(200) > 0
+    assert (
+        runtime.metrics.counter("serving.responses.429").value
+        == statuses.count(429)
+    )
