@@ -77,6 +77,9 @@ DEFAULT_CONFIG = AnalysisConfig(
             "repro/cep/*",
             "repro/insitu/*",
             "repro/serving/*",
+            # The RDF layer sits on the deterministic ingest path: the
+            # compiled emitter's id assignment must replay bit-identically.
+            "repro/rdf/*",
         ),
     },
     allowlists={

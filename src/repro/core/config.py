@@ -29,6 +29,11 @@ class PipelineConfig:
             weather source is attached) ``dac:hasWeatherCondition`` links
             to their weather cell, whose document is stored on first
             reference.
+        compiled_rdf_emitter: Use the id-level compiled RDF emitter on
+            the columnar path (probe-verified against the transformer at
+            build time; falls back to the object path on any mismatch or
+            when a weather source is attached). Off forces the object
+            path everywhere — the ablation arm for differential tests.
         adaptive_keep_rate: When set (e.g. 0.05), the synopses threshold
             floats to hold this keep-rate target (load shedding) instead
             of staying fixed.
@@ -51,6 +56,7 @@ class PipelineConfig:
     persist_rdf: bool = True
     persist_raw_reports: bool = False
     interlink: bool = False
+    compiled_rdf_emitter: bool = True
     collision_cpa_m: float = 1_000.0
     collision_tcpa_s: float = 1_200.0
     loitering_radius_m: float = 1_000.0

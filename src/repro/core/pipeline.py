@@ -54,6 +54,7 @@ from repro.model.reports import PositionReport
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_SPAN
 from repro.query.executor import QueryExecutor
+from repro.rdf.emitter import CompiledReportEmitter
 from repro.rdf.transform import RdfTransformer
 from repro.store.parallel import ParallelRDFStore
 from repro.sources.weather import WeatherGridSource
@@ -507,6 +508,11 @@ class MobilityPipeline:
                 "clean", "synopses", "rdf", "events", "detectors", "end_to_end"
             )
         }
+        # Raw (un-normalized) wall-clock accumulated per stage at the same
+        # boundaries that feed the latency buffers — the ground truth for
+        # "which stage dominates" time-share artifacts. Zero when the
+        # registry is disabled (same hot-path discipline as _lat_buf).
+        self._stage_wall: dict[str, float] = {stage: 0.0 for stage in self._lat_buf}
         self._trace_this_record = False
         self._record_end = 0.0
         self._result = PipelineResult()
@@ -527,6 +533,29 @@ class MobilityPipeline:
         # per-stage streams.
         self._retry_rngs: dict[str, random.Random] = {}
         self._record_faulted = False
+
+        # Compiled id-level RDF emission (columnar path only). Built
+        # last: probe verification failure must be observable on the
+        # metrics registry configured above.
+        self._emitter = self._build_emitter()
+
+    def _build_emitter(self) -> CompiledReportEmitter | None:
+        """The compiled emitter, or ``None`` when the object path must run.
+
+        ``None`` when persistence is off, the config disables the
+        emitter, or — the graceful-fallback contract — the probe-set
+        self-verification against ``report_to_triples`` fails (counted
+        on ``rdf.emitter.fallback``; the transformer stays authoritative
+        and the object path takes over everywhere).
+        """
+        if not (self.config.persist_rdf and self.config.compiled_rdf_emitter):
+            return None
+        emitter = CompiledReportEmitter(self.transformer, self.store.dictionary)
+        if not emitter.engaged:
+            if self._obs:
+                self.metrics.counter("rdf.emitter.fallback").inc()
+            return None
+        return emitter
 
     def _build_partitioner(self):
         n = self.config.n_partitions
@@ -576,9 +605,9 @@ class MobilityPipeline:
                 new_complex = self._process_stages(report, record_started)
             except _DeadLettered:
                 if obs:
-                    self._lat_buf["end_to_end"].append(
-                        monotonic() - record_started
-                    )
+                    elapsed = monotonic() - record_started
+                    self._lat_buf["end_to_end"].append(elapsed)
+                    self._stage_wall["end_to_end"] += elapsed
                 return []
         if self._record_faulted:
             result.records_recovered += 1
@@ -586,6 +615,7 @@ class MobilityPipeline:
             # _process_stages leaves its final clock read in _record_end,
             # so closing the end-to-end sample costs no extra read.
             self._lat_buf["end_to_end"].append(self._record_end - record_started)
+            self._stage_wall["end_to_end"] += self._record_end - record_started
             if result.reports_in % 4096 == 0:
                 self._flush_latency()
         return new_complex
@@ -648,6 +678,7 @@ class MobilityPipeline:
             self._trace_this_record = False
             pc = monotonic
             buf = self._lat_buf
+            wall = self._stage_wall
             t_batch = pc()
             t_prev = t_batch
 
@@ -685,6 +716,7 @@ class MobilityPipeline:
             if obs:
                 t_now = pc()
                 buf["clean"].append((t_now - t_prev) / n)
+                wall["clean"] += t_now - t_prev
                 t_prev = t_now
 
             # -- synopses ----------------------------------------------------
@@ -715,6 +747,7 @@ class MobilityPipeline:
                 t_now = pc()
                 if stage_n:
                     buf["synopses"].append((t_now - t_prev) / stage_n)
+                wall["synopses"] += t_now - t_prev
                 t_prev = t_now
 
             # -- rdf: transform + bulk store ---------------------------------
@@ -779,6 +812,7 @@ class MobilityPipeline:
                     t_now = pc()
                     if stage_n:
                         buf["rdf"].append((t_now - t_prev) / stage_n)
+                    wall["rdf"] += t_now - t_prev
                     t_prev = t_now
 
             # -- simple events -----------------------------------------------
@@ -808,6 +842,7 @@ class MobilityPipeline:
                 t_now = pc()
                 if stage_n:
                     buf["events"].append((t_now - t_prev) / stage_n)
+                wall["events"] += t_now - t_prev
                 t_prev = t_now
 
             # -- detectors + bulk event persistence --------------------------
@@ -853,7 +888,9 @@ class MobilityPipeline:
             t_now = pc()
             if stage_n:
                 buf["detectors"].append((t_now - t_prev) / stage_n)
+            wall["detectors"] += t_now - t_prev
             buf["end_to_end"].append((t_now - t_batch) / n)
+            wall["end_to_end"] += t_now - t_batch
             if (base // 4096) != (result.reports_in // 4096):
                 self._flush_latency()
         return out
@@ -907,6 +944,7 @@ class MobilityPipeline:
             self._trace_this_record = False
             pc = monotonic
             buf = self._lat_buf
+            wall = self._stage_wall
             t_batch = pc()
             t_prev = t_batch
 
@@ -920,6 +958,7 @@ class MobilityPipeline:
             if obs:
                 t_now = pc()
                 buf["clean"].append((t_now - t_prev) / n)
+                wall["clean"] += t_now - t_prev
                 t_prev = t_now
 
             # -- synopses: chord-walk keep/drop ------------------------------
@@ -933,6 +972,7 @@ class MobilityPipeline:
                 t_now = pc()
                 if stage_n:
                     buf["synopses"].append((t_now - t_prev) / stage_n)
+                wall["synopses"] += t_now - t_prev
                 t_prev = t_now
 
             # Zone containment, one vectorized ray-cast per zone over the
@@ -951,38 +991,77 @@ class MobilityPipeline:
             if self.config.persist_rdf:
                 raw = self.config.persist_raw_reports
                 interlink = self.config.interlink
-                docs: list[list] = []
-                for p in active_l:
-                    annotated, keep = decisions[p]
-                    if keep:
-                        triples = self.transformer.report_to_triples(annotated)
-                        if interlink:
-                            containing = [
-                                zones[zi]
-                                for zi in range(n_zones)
-                                if inside_cols[zi][p]
-                            ]
-                            triples.extend(
-                                self._interlink(
-                                    reports[p],
-                                    triples[0].s,
-                                    doc_sink=docs,
-                                    containing=containing,
+                # Compiled id-level emission: the emitter (probe-verified
+                # against report_to_triples at build) assembles id triples
+                # straight from the columns — vectorized st-keys over the
+                # whole batch, interned constant/literal ids — and the
+                # store routes them by key without decoding a term. The
+                # weather interlink keeps the object path (its first-sight
+                # document logic lives in _interlink).
+                em = self._emitter if self.weather is None else None
+                if em is not None:
+                    keys = (
+                        em.st_keys(rb.lon, rb.lat, rb.t) if active_l else None
+                    )
+                    keys_l = keys.tolist() if keys is not None else None
+                    id_docs: list = []
+                    emit = em.emit_ids
+                    p_within = em.prop_within_zone_id
+                    zone_id_of = em.zone_id
+                    for p in active_l:
+                        annotated, keep = decisions[p]
+                        key = keys_l[p] if keys_l is not None else None
+                        if keep:
+                            sid, ids = emit(annotated, key)
+                            if interlink:
+                                for zi in range(n_zones):
+                                    if inside_cols[zi][p]:
+                                        ids.append(
+                                            (sid, p_within, zone_id_of(zones[zi].name))
+                                        )
+                        elif raw:
+                            sid, ids = emit(reports[p], key)
+                        else:
+                            continue
+                        id_docs.append((sid, ids, key, True))
+                        result.triples_stored += len(ids)
+                        stage_n += 1
+                    if id_docs:
+                        self.store.add_id_documents(id_docs)
+                else:
+                    docs: list[list] = []
+                    for p in active_l:
+                        annotated, keep = decisions[p]
+                        if keep:
+                            triples = self.transformer.report_to_triples(annotated)
+                            if interlink:
+                                containing = [
+                                    zones[zi]
+                                    for zi in range(n_zones)
+                                    if inside_cols[zi][p]
+                                ]
+                                triples.extend(
+                                    self._interlink(
+                                        reports[p],
+                                        triples[0].s,
+                                        doc_sink=docs,
+                                        containing=containing,
+                                    )
                                 )
-                            )
-                    elif raw:
-                        triples = self.transformer.report_to_triples(reports[p])
-                    else:
-                        continue
-                    docs.append(triples)
-                    result.triples_stored += len(triples)
-                    stage_n += 1
-                if docs:
-                    self.store.add_documents(docs)
+                        elif raw:
+                            triples = self.transformer.report_to_triples(reports[p])
+                        else:
+                            continue
+                        docs.append(triples)
+                        result.triples_stored += len(triples)
+                        stage_n += 1
+                    if docs:
+                        self.store.add_documents(docs)
                 if obs:
                     t_now = pc()
                     if stage_n:
                         buf["rdf"].append((t_now - t_prev) / stage_n)
+                    wall["rdf"] += t_now - t_prev
                     t_prev = t_now
 
             # -- simple events + detectors: one guarded walk -----------------
@@ -1148,63 +1227,106 @@ class MobilityPipeline:
             tcpa_thr = coll.tcpa_threshold_s
             prox_may = np.zeros(nA, dtype=bool)
             coll_may = np.zeros(nA, dtype=bool)
-            idx_all = np.arange(nA)
-            rows_of = [np.flatnonzero(codesA == c) for c in range(n_codes)]
-            for c2 in range(n_codes):
-                rows2 = rows_of[c2]
-                j = np.searchsorted(rows2, idx_all) - 1
-                has = j >= 0
-                # An entity can be in the batch vocabulary with zero
-                # *active* rows (every record masked, e.g. dropped as
-                # out-of-order on re-ingest); `has` is then all-False and
-                # every np.where below takes its fallback, so src only
-                # needs to be indexable.
-                if rows2.size:
-                    src = rows2[np.maximum(j, 0)]
-                else:
-                    src = np.zeros(nA, dtype=np.intp)
-                notself = codesA != c2
-                o = ex_latest.get(vocab[c2])
-                T2 = np.where(has, tA[src], o.t if o is not None else -np.inf)
-                LAT2 = np.where(has, latA[src], o.lat if o is not None else 0.0)
-                LON2 = np.where(has, lonA[src], o.lon if o is not None else 0.0)
-                cand = (
-                    notself
-                    & ((tA - T2) <= prox_stale)
-                    & (np.abs(latA - LAT2) * _METERS_PER_DEG_LAT_FLOOR <= prox_rad)
+            # One 2-D as-of join for every code at once: src2[c, i] is
+            # the latest active row of code c at or before row i (-1 when
+            # none). A row's own code resolves to itself and is masked by
+            # `notself2`, so everywhere the join is consumed src2 points
+            # at a *strictly earlier* row — exactly the per-code
+            # searchsorted join this replaces, at ~n_codes fewer numpy
+            # dispatches per batch. Distances and the CPA pre-check run
+            # on the candidate pairs only; the 1e-9 bands already absorb
+            # elementwise-kernel ulp spread, which covers subset-vs-full
+            # evaluation too.
+            idx_row = np.arange(nA)
+            eye = codesA[None, :] == np.arange(n_codes)[:, None]
+            src2 = np.maximum.accumulate(np.where(eye, idx_row[None, :], -1), axis=1)
+            has2 = src2 >= 0
+            notself2 = ~eye
+            # Pre-batch fallback columns per code. An entity can be in
+            # the batch vocabulary with zero *active* rows (every record
+            # masked, e.g. dropped as out-of-order on re-ingest); its
+            # join column is then all-fallback. -inf timestamps make the
+            # staleness check unsatisfiable where no state exists.
+            fp_t = np.full(n_codes, -np.inf)
+            fp_lat = np.zeros(n_codes)
+            fp_lon = np.zeros(n_codes)
+            fc_t = np.full(n_codes, -np.inf)
+            fc_lat = np.zeros(n_codes)
+            fc_lon = np.zeros(n_codes)
+            fc_spd = np.zeros(n_codes)
+            fc_hdg = np.zeros(n_codes)
+            fc_kin = np.zeros(n_codes, dtype=bool)
+            for c2, eid2 in enumerate(vocab):
+                o = ex_latest.get(eid2)
+                if o is not None:
+                    fp_t[c2] = o.t
+                    fp_lat[c2] = o.lat
+                    fp_lon[c2] = o.lon
+                oc = coll_latest.get(eid2)
+                if oc is not None and oc.speed is not None and oc.heading is not None:
+                    fc_t[c2] = oc.t
+                    fc_lat[c2] = oc.lat
+                    fc_lon[c2] = oc.lon
+                    fc_spd[c2] = oc.speed
+                    fc_hdg[c2] = oc.heading
+                    fc_kin[c2] = True
+            # src2 == -1 wraps to the last row under fancy indexing —
+            # harmless, np.where discards it where has2 is False.
+            t_src = tA[src2]
+            lat_src = latA[src2]
+            T2 = np.where(has2, t_src, fp_t[:, None])
+            LAT2 = np.where(has2, lat_src, fp_lat[:, None])
+            cand = (
+                notself2
+                & ((tA[None, :] - T2) <= prox_stale)
+                & (np.abs(latA[None, :] - LAT2) * _METERS_PER_DEG_LAT_FLOOR <= prox_rad)
+            )
+            if cand.any():
+                rows, cols = np.nonzero(cand)
+                hs = has2[rows, cols]
+                ss = src2[rows, cols]
+                d = haversine_m_arrays(
+                    lonA[cols],
+                    latA[cols],
+                    np.where(hs, lonA[ss], fp_lon[rows]),
+                    LAT2[rows, cols],
                 )
-                if cand.any():
-                    d = haversine_m_arrays(lonA, latA, LON2, LAT2)
-                    prox_may |= cand & (d <= prox_rad * (1.0 + 1e-9))
-                oc = coll_latest.get(vocab[c2])
-                ckin = (
-                    oc is not None
-                    and oc.speed is not None
-                    and oc.heading is not None
-                )
-                T2 = np.where(has, tA[src], oc.t if ckin else -np.inf)
-                LAT2 = np.where(has, latA[src], oc.lat if ckin else 0.0)
-                LON2 = np.where(has, lonA[src], oc.lon if ckin else 0.0)
-                KIN2 = np.where(has, kinA[src], ckin)
-                cand = (
-                    notself
-                    & kinA
-                    & KIN2
-                    & ((tA - T2) <= coll_stale)
-                    & (np.abs(latA - LAT2) * _METERS_PER_DEG_LAT_FLOOR <= coll_rad)
-                )
-                if cand.any():
-                    d = haversine_m_arrays(lonA, latA, LON2, LAT2)
-                    cand &= d <= coll_rad * (1.0 + 1e-9)
-                    if use_cpa and cand.any():
-                        SPD2 = np.where(has, spdA[src], oc.speed if ckin else 0.0)
-                        HDG2 = np.where(has, hdgA[src], oc.heading if ckin else 0.0)
-                        cand &= _cpa_may_fire(
-                            lonA, latA, spdA, hdgA,
-                            LON2, LAT2, SPD2, HDG2,
-                            cpa_thr, tcpa_thr,
-                        )
-                    coll_may |= cand
+                hit = d <= prox_rad * (1.0 + 1e-9)
+                if hit.any():
+                    prox_may[cols[hit]] = True
+            T2 = np.where(has2, t_src, fc_t[:, None])
+            LAT2 = np.where(has2, lat_src, fc_lat[:, None])
+            KIN2 = np.where(has2, kinA[src2], fc_kin[:, None])
+            cand = (
+                notself2
+                & kinA[None, :]
+                & KIN2
+                & ((tA[None, :] - T2) <= coll_stale)
+                & (np.abs(latA[None, :] - LAT2) * _METERS_PER_DEG_LAT_FLOOR <= coll_rad)
+            )
+            if cand.any():
+                rows, cols = np.nonzero(cand)
+                hs = has2[rows, cols]
+                ss = src2[rows, cols]
+                LON2 = np.where(hs, lonA[ss], fc_lon[rows])
+                LAT2s = LAT2[rows, cols]
+                d = haversine_m_arrays(lonA[cols], latA[cols], LON2, LAT2s)
+                near = d <= coll_rad * (1.0 + 1e-9)
+                if use_cpa and near.any():
+                    rows = rows[near]
+                    cols = cols[near]
+                    hs = hs[near]
+                    ss = ss[near]
+                    fire = _cpa_may_fire(
+                        lonA[cols], latA[cols], spdA[cols], hdgA[cols],
+                        LON2[near], LAT2s[near],
+                        np.where(hs, spdA[ss], fc_spd[rows]),
+                        np.where(hs, hdgA[ss], fc_hdg[rows]),
+                        cpa_thr, tcpa_thr,
+                    )
+                    coll_may[cols[fire]] = True
+                elif not use_cpa:
+                    coll_may[cols[near]] = True
             # Latest-map entries outside the batch are frozen during it:
             # one constant column each.
             for oid, o in ex_latest.items():
@@ -1337,7 +1459,9 @@ class MobilityPipeline:
             t_now = pc()
             if stage_n:
                 buf["detectors"].append((t_now - t_prev) / stage_n)
+            wall["detectors"] += t_now - t_prev
             buf["end_to_end"].append((t_now - t_batch) / n)
+            wall["end_to_end"] += t_now - t_batch
             if (base // 4096) != (result.reports_in // 4096):
                 self._flush_latency()
         return out
@@ -1411,6 +1535,7 @@ class MobilityPipeline:
         if obs:
             pc = monotonic
             buf = self._lat_buf
+            wall = self._stage_wall
             t_prev = t_start
 
         with self._span("pipeline.clean", records=1):
@@ -1422,6 +1547,7 @@ class MobilityPipeline:
         if obs:
             t_now = pc()
             buf["clean"].append(t_now - t_prev)
+            wall["clean"] += t_now - t_prev
             t_prev = t_now
         if not ok:
             return []
@@ -1434,6 +1560,7 @@ class MobilityPipeline:
         if obs:
             t_now = pc()
             buf["synopses"].append(t_now - t_prev)
+            wall["synopses"] += t_now - t_prev
             t_prev = t_now
 
         if keep:
@@ -1450,6 +1577,7 @@ class MobilityPipeline:
                 if obs:
                     t_now = pc()
                     buf["rdf"].append(t_now - t_prev)
+                    wall["rdf"] += t_now - t_prev
                     t_prev = t_now
         elif self.config.persist_rdf and self.config.persist_raw_reports:
             with self._span("pipeline.rdf", records=1):
@@ -1461,6 +1589,7 @@ class MobilityPipeline:
             if obs:
                 t_now = pc()
                 buf["rdf"].append(t_now - t_prev)
+                wall["rdf"] += t_now - t_prev
                 t_prev = t_now
 
         with self._span("pipeline.events", records=1):
@@ -1471,6 +1600,7 @@ class MobilityPipeline:
         if obs:
             t_now = pc()
             buf["events"].append(t_now - t_prev)
+            wall["events"] += t_now - t_prev
             t_prev = t_now
 
         with self._span("pipeline.detectors", records=1):
@@ -1480,6 +1610,7 @@ class MobilityPipeline:
         if obs:
             t_now = pc()
             buf["detectors"].append(t_now - t_prev)
+            wall["detectors"] += t_now - t_prev
             self._record_end = t_now
 
         for event in new_complex:
@@ -1707,6 +1838,17 @@ class MobilityPipeline:
             self._result.metrics = self.metrics.as_dict()
         return self._result
 
+    def stage_wall_seconds(self) -> dict[str, float]:
+        """Cumulative wall-clock seconds spent per stage since construction.
+
+        Raw (un-normalized) elapsed time accumulated at the same stage
+        boundaries that feed the latency histograms, on every ingest path
+        (per-record, stage-sliced batch, columnar). ``end_to_end`` is the
+        total pipeline wall, so per-stage shares are directly comparable
+        across batch sizes. All zeros when the registry is disabled.
+        """
+        return dict(self._stage_wall)
+
     def _flush_latency(self) -> None:
         """Land the buffered per-record samples on the registry histograms."""
         if not self._obs:
@@ -1741,6 +1883,7 @@ class MobilityPipeline:
         "_result",
         "_injector",
         "_retry_rngs",
+        "_stage_wall",
     )
 
     # lint: allow[C1] per-record transients (_trace_this_record, _record_faulted, _record_end) are dead at the record-boundary barrier; _lat_buf is drained into the checkpointed registry by _flush_latency() below
@@ -1782,6 +1925,10 @@ class MobilityPipeline:
         self._trace_every = self.config.trace_every_n if self._obs else 0
         for buf in self._lat_buf.values():
             buf.clear()
+        # The emitter's interning caches are bound to the *replaced*
+        # store's dictionary; rebuild (and re-verify) against the
+        # restored one. Derived state only — nothing to checkpoint.
+        self._emitter = self._build_emitter()
 
     def run_with_checkpoints(
         self,

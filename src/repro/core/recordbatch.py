@@ -75,31 +75,35 @@ class RecordBatch:
         """Build the columnar view of a report sequence."""
         rs = tuple(reports)
         n = len(rs)
-        codes = np.empty(n, dtype=np.int32)
         vocab: dict[str, int] = {}
-        for i, r in enumerate(rs):
-            code = vocab.setdefault(r.entity_id, len(vocab))
-            codes[i] = code
+        sd = vocab.setdefault
+        codes = np.fromiter(
+            (sd(r.entity_id, len(vocab)) for r in rs), dtype=np.int32, count=n
+        )
         order = np.argsort(codes, kind="stable").astype(np.int64, copy=False)
         bounds = np.searchsorted(codes[order], np.arange(len(vocab) + 1))
         # t/lon/lat are required report fields; only the optional columns
-        # pay the None→NaN test.
+        # pay the None→NaN test. fromiter fills the columns without the
+        # intermediate list an array(listcomp) build would allocate.
         return cls(
             reports=rs,
-            t=np.array([r.t for r in rs], dtype=np.float64),
-            lon=np.array([r.lon for r in rs], dtype=np.float64),
-            lat=np.array([r.lat for r in rs], dtype=np.float64),
-            speed=np.array(
-                [_NAN if (v := r.speed) is None else v for r in rs],
-                dtype=np.float64,
+            t=np.fromiter((r.t for r in rs), np.float64, count=n),
+            lon=np.fromiter((r.lon for r in rs), np.float64, count=n),
+            lat=np.fromiter((r.lat for r in rs), np.float64, count=n),
+            speed=np.fromiter(
+                (_NAN if (v := r.speed) is None else v for r in rs),
+                np.float64,
+                count=n,
             ),
-            heading=np.array(
-                [_NAN if (v := r.heading) is None else v for r in rs],
-                dtype=np.float64,
+            heading=np.fromiter(
+                (_NAN if (v := r.heading) is None else v for r in rs),
+                np.float64,
+                count=n,
             ),
-            alt=np.array(
-                [_NAN if (v := r.alt) is None else v for r in rs],
-                dtype=np.float64,
+            alt=np.fromiter(
+                (_NAN if (v := r.alt) is None else v for r in rs),
+                np.float64,
+                count=n,
             ),
             entity_codes=codes,
             vocabulary=tuple(vocab),

@@ -155,53 +155,85 @@ class PlausibilityFilter(StatefulMixin):
     def accept_recordbatch(self, rb: "RecordBatch", mask: np.ndarray) -> np.ndarray:
         """Columnar :meth:`accept` over the batch positions where ``mask``.
 
-        Per entity segment, the whole accepted-chain recurrence collapses
-        to three vector checks when nothing can be rejected: no speed
-        field above the ceiling (NaN compares False, matching the scalar
-        ``is None`` guard), strictly increasing timestamps including the
-        link to the entity's pre-batch state, and every implied speed
-        below ``ceiling * (1 - _BOUNDARY_MARGIN)``. Any segment that
-        fails a check — or lands inside the ulp boundary band — replays
-        through the scalar :meth:`accept`, so decisions, the ``rejected``
-        counter and per-entity state stay bit-identical to the per-record
-        path.
+        The whole accepted-chain recurrence collapses to vector checks
+        computed over *all* entity segments at once: no speed field above
+        the per-entity ceiling (NaN compares False, matching the scalar
+        ``is None`` guard), strictly increasing timestamps, and every
+        implied speed below ``ceiling * (1 - _BOUNDARY_MARGIN)``, with
+        segment-boundary pairs masked out of the chain; the single link
+        to each entity's pre-batch state is decided with the scalar
+        kernel directly, so it needs no band. Any segment that fails a
+        check — or lands inside the ulp boundary band — replays through
+        the scalar :meth:`accept`, so decisions, the ``rejected`` counter
+        and per-entity state stay bit-identical to the per-record path.
         """
         out = np.zeros(len(rb), dtype=bool)
         reports = rb.reports
-        for _code, entity_id, seg in rb.segments():
-            pos = seg[mask[seg]]
-            n = pos.size
-            if n == 0:
+        ordered = rb.order
+        act = ordered[mask[ordered]]
+        if act.size == 0:
+            return out
+        codes_act = rb.entity_codes[act]
+        vocab = rb.vocabulary
+        n_codes = len(vocab)
+        ceil_by_code = np.fromiter(
+            (self._ceiling(eid) for eid in vocab), np.float64, count=n_codes
+        )
+        # ok[c] stays True only while the all-accept proof holds for
+        # segment c; anything else replays that segment scalar.
+        ok = np.ones(n_codes, dtype=bool)
+        spd_viol = rb.speed[act] > ceil_by_code[codes_act]
+        if spd_viol.any():
+            ok[codes_act[spd_viol]] = False
+        t_act = rb.t[act]
+        lon_act = rb.lon[act]
+        lat_act = rb.lat[act]
+        boundary = codes_act[1:] != codes_act[:-1]
+        dts = np.diff(t_act)
+        chain = ~boundary
+        bad_dt = (dts <= 0) & chain
+        if bad_dt.any():
+            ok[codes_act[1:][bad_dt]] = False
+        with np.errstate(divide="ignore", invalid="ignore"):
+            implied = (
+                haversine_m_arrays(lon_act[:-1], lat_act[:-1], lon_act[1:], lat_act[1:])
+                / dts
+            )
+        banded = (implied >= ceil_by_code[codes_act[1:]] * (1.0 - _BOUNDARY_MARGIN)) & chain
+        if banded.any():
+            ok[codes_act[1:][banded]] = False
+        # Segment bounds within `act` (codes_act is sorted by code).
+        seg_bounds = np.searchsorted(codes_act, np.arange(n_codes + 1))
+        heads = seg_bounds[:-1]
+        tails = seg_bounds[1:]
+        sizes = tails - heads
+        ok &= sizes >= _CHAIN_MIN_GROUP
+        act_l = act.tolist()
+        for c in range(n_codes):
+            size = sizes[c]
+            if size == 0:
                 continue
-            if n < _CHAIN_MIN_GROUP:
-                for p in pos.tolist():
+            lo, hi = heads[c], tails[c]
+            accept_all = bool(ok[c])
+            if accept_all:
+                last = self._last.get(vocab[c])
+                if last is not None:
+                    # The link to the pre-batch state, decided with the
+                    # scalar kernel directly (exact — no boundary band).
+                    head = reports[act_l[lo]]
+                    dt0 = head.t - last.t
+                    accept_all = (
+                        dt0 > 0
+                        and haversine_m(last.lon, last.lat, head.lon, head.lat) / dt0
+                        <= ceil_by_code[c]
+                    )
+            if accept_all:
+                seg = act[lo:hi]
+                out[seg] = True
+                self._last[vocab[c]] = reports[seg[-1]]
+            else:
+                for p in act_l[lo:hi]:
                     out[p] = self.accept(reports[p])
-                continue
-            ceiling = self._ceiling(entity_id)
-            if np.any(rb.speed[pos] > ceiling):
-                for p in pos.tolist():
-                    out[p] = self.accept(reports[p])
-                continue
-            t_seg = rb.t[pos]
-            lons = rb.lon[pos]
-            lats = rb.lat[pos]
-            last = self._last.get(entity_id)
-            if last is not None:
-                t_seg = np.concatenate(((last.t,), t_seg))
-                lons = np.concatenate(((last.lon,), lons))
-                lats = np.concatenate(((last.lat,), lats))
-            dts = np.diff(t_seg)
-            if np.any(dts <= 0):
-                for p in pos.tolist():
-                    out[p] = self.accept(reports[p])
-                continue
-            implied = haversine_m_arrays(lons[:-1], lats[:-1], lons[1:], lats[1:]) / dts
-            if np.any(implied >= ceiling * (1.0 - _BOUNDARY_MARGIN)):
-                for p in pos.tolist():
-                    out[p] = self.accept(reports[p])
-                continue
-            out[pos] = True
-            self._last[entity_id] = reports[pos[-1]]
         return out
 
     def __call__(self, report: PositionReport) -> bool:
@@ -238,36 +270,34 @@ class DeduplicateFilter(StatefulMixin):
     def accept_recordbatch(self, rb: "RecordBatch") -> np.ndarray:
         """Columnar :meth:`accept` over a whole batch.
 
-        A key can only repeat if its timestamp repeats, so one vector
+        A key can only repeat if its timestamp repeats, so one freshness
         check per entity segment — no timestamp shared with the entity's
         recent-key memory and no timestamp repeated inside the segment —
-        proves every record is fresh. Suspicious segments (a timestamp
-        collision, which may still differ in lon/lat) replay through the
-        scalar :meth:`accept`; clean segments bulk-append their keys with
-        a single end trim, which leaves the same final memory as the
-        per-record trims.
+        proves every record is fresh. Timestamps are compared through a
+        Python set (timestamps are validated finite, so set equality is
+        float equality, the same comparison :meth:`accept`'s key tuples
+        use). Suspicious segments (a timestamp collision, which may still
+        differ in lon/lat) replay through the scalar :meth:`accept`;
+        clean segments bulk-append their keys with a single end trim,
+        which leaves the same final memory as the per-record trims.
         """
         out = np.zeros(len(rb), dtype=bool)
         reports = rb.reports
         for _code, entity_id, pos in rb.segments():
             if pos.size == 0:
                 continue
-            t_seg = rb.t[pos]
+            t_list = rb.t[pos].tolist()
             recent = self._seen.setdefault(entity_id, [])
-            suspicious = np.unique(t_seg).size < t_seg.size
+            t_set = set(t_list)
+            suspicious = len(t_set) < len(t_list)
             if not suspicious and recent:
-                recent_t = np.fromiter(
-                    (k[0] for k in recent), dtype=np.float64, count=len(recent)
-                )
-                suspicious = bool(np.isin(t_seg, recent_t).any())
+                suspicious = any(key[0] in t_set for key in recent)
             if suspicious:
                 for p in pos.tolist():
                     out[p] = self.accept(reports[p])
                 continue
             out[pos] = True
-            recent.extend(
-                zip(t_seg.tolist(), rb.lon[pos].tolist(), rb.lat[pos].tolist())
-            )
+            recent.extend(zip(t_list, rb.lon[pos].tolist(), rb.lat[pos].tolist()))
             if len(recent) > self._memory:
                 del recent[: len(recent) - self._memory]
         return out

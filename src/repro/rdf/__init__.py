@@ -10,6 +10,8 @@ components to a common representation". This package provides:
 - :mod:`repro.rdf.transform` — transformers from every source record type
   and analytics result to triples (and back, for positions).
 - :mod:`repro.rdf.ntriples` — N-Triples serialization and parsing.
+- :mod:`repro.rdf.emitter` — the compiled id-level emitter the columnar
+  ingest path uses to assemble dictionary-encoded triples directly.
 """
 
 from repro.rdf.terms import IRI, Literal, BlankNode, Triple, Term

@@ -1,0 +1,457 @@
+"""Compiled id-level RDF emission for the columnar hot path.
+
+:class:`CompiledReportEmitter` is built *from* an
+:class:`~repro.rdf.transform.RdfTransformer` and assembles ``(s, p, o)``
+integer id triples directly against a
+:class:`~repro.store.dictionary.TermDictionary` — no intermediate
+:class:`~repro.rdf.terms.Triple` or repeated :class:`~repro.rdf.terms.Literal`
+objects on the per-record path:
+
+- every constant term (predicates, the semantic-node class) is encoded
+  into a dictionary id once, at bind time;
+- ``(value, datatype)`` literals take an interning fast path that
+  constructs the canonical :class:`Literal` only on first sight, so the
+  terms the dictionary stores — and therefore everything ``decode()``
+  returns — are exactly what the object path would have stored;
+- the spatio-temporal key is computed vectorised over whole lon/lat/t
+  columns (:meth:`CompiledReportEmitter.st_keys`), bit-identical to the
+  scalar :meth:`RdfTransformer.st_key`;
+- node/entity/zone IRIs are interned by their string parts, minting the
+  IRI object once per distinct subject.
+
+The transformer stays the single source of truth for the triple shape:
+at construction the emitter replays a canonical probe set (optional-field
+combinations, critical-point annotations, bucket/grid edge coordinates)
+through both itself and :meth:`RdfTransformer.report_to_triples` on
+scratch dictionaries and refuses to engage (``engaged = False``) on any
+decoded mismatch — callers then fall back to the object path. A shape
+change in the transformer can therefore never silently diverge the
+compiled path; it degrades it to the slow-but-authoritative one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.insitu.critical import AnnotatedReport, CriticalPointType
+from repro.model.points import Domain
+from repro.model.reports import PositionReport, ReportSource
+from repro.rdf import vocabulary as V
+from repro.rdf.terms import IRI, Literal, Triple
+from repro.rdf.transform import (
+    _TIME_BUCKET_BITS,
+    _TIME_BUCKET_MASK,
+    RdfTransformer,
+    entity_iri,
+    zone_iri,
+)
+from repro.store.dictionary import TermDictionary
+
+if TYPE_CHECKING:
+    from repro.geo.grid import GeoGrid
+
+__all__ = ["CompiledReportEmitter", "IdTriple", "IdDocument"]
+
+#: One dictionary-encoded statement.
+IdTriple = tuple[int, int, int]
+#: One pre-encoded subject document for
+#: :meth:`~repro.store.parallel.ParallelRDFStore.add_id_documents`:
+#: ``(subject_id, id_triples, st_key or None, is_position_doc)``.
+IdDocument = tuple[int, list[IdTriple], "int | None", bool]
+
+_NODE_NS = V.UNIPI.base + "node/"
+
+# ``t // bucket`` quotients at or beyond 2**62 cannot round-trip through
+# int64; the vector kernel refuses them (scalar fallback) instead of
+# silently wrapping where Python's unbounded ints would not.
+_MAX_BUCKET_QUOTIENT = float(2**62)
+
+
+class _IdAssembler:
+    """The compiled emission core, bound to one term dictionary.
+
+    All interning state lives here so that probe verification can run
+    the *identical* code path against a scratch dictionary before the
+    emitter is allowed anywhere near the store's real one.
+    """
+
+    __slots__ = (
+        "_dict",
+        "p_type",
+        "c_node",
+        "p_ofmo",
+        "p_lon",
+        "p_lat",
+        "p_ts",
+        "p_source",
+        "p_alt",
+        "p_speed",
+        "p_heading",
+        "p_vrate",
+        "p_node_type",
+        "p_st_key",
+        "p_within_zone",
+        "_doubles",
+        "_longs",
+        "_sources",
+        "_node_types",
+        "_entities",
+        "_zones",
+    )
+
+    def __init__(self, dictionary: TermDictionary) -> None:
+        self._dict = dictionary
+        encode = dictionary.encode
+        self.p_type = encode(V.PROP_TYPE)
+        self.c_node = encode(V.CLASS_SEMANTIC_NODE)
+        self.p_ofmo = encode(V.PROP_OF_MOVING_OBJECT)
+        self.p_lon = encode(V.PROP_LON)
+        self.p_lat = encode(V.PROP_LAT)
+        self.p_ts = encode(V.PROP_TIMESTAMP)
+        self.p_source = encode(V.PROP_SOURCE)
+        self.p_alt = encode(V.PROP_ALT)
+        self.p_speed = encode(V.PROP_SPEED)
+        self.p_heading = encode(V.PROP_HEADING)
+        self.p_vrate = encode(V.PROP_VERTICAL_RATE)
+        self.p_node_type = encode(V.PROP_NODE_TYPE)
+        self.p_st_key = encode(V.PROP_ST_KEY)
+        self.p_within_zone = encode(V.PROP_WITHIN_ZONE)
+        self._doubles: dict[float, int] = {}
+        self._longs: dict[int, int] = {}
+        self._sources: dict[ReportSource, int] = {}
+        self._node_types: dict[CriticalPointType, int] = {}
+        self._entities: dict[str, tuple[int, str]] = {}
+        self._zones: dict[str, int] = {}
+
+    # -- interned term ids --------------------------------------------------
+
+    def double_id(self, value: float) -> int:
+        """Id of ``Literal(value, xsd:double)``, minted on first sight."""
+        tid = self._doubles.get(value)
+        if tid is None:
+            tid = self._dict.encode(Literal(value, V.XSD_DOUBLE))
+            self._doubles[value] = tid
+        return tid
+
+    def long_id(self, value: int) -> int:
+        """Id of ``Literal(value, xsd:long)``, minted on first sight."""
+        tid = self._longs.get(value)
+        if tid is None:
+            tid = self._dict.encode(Literal(value, V.XSD_LONG))
+            self._longs[value] = tid
+        return tid
+
+    def source_id(self, source: ReportSource) -> int:
+        tid = self._sources.get(source)
+        if tid is None:
+            tid = self._dict.encode(Literal(source.value, V.XSD_STRING))
+            self._sources[source] = tid
+        return tid
+
+    def node_type_id(self, critical: CriticalPointType) -> int:
+        tid = self._node_types.get(critical)
+        if tid is None:
+            tid = self._dict.encode(Literal(critical.value, V.XSD_STRING))
+            self._node_types[critical] = tid
+        return tid
+
+    def zone_id(self, name: str) -> int:
+        """Id of a zone's IRI (already in the dictionary for stored zones)."""
+        tid = self._zones.get(name)
+        if tid is None:
+            tid = self._dict.encode(zone_iri(name))
+            self._zones[name] = tid
+        return tid
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(
+        self, item: PositionReport | AnnotatedReport, st_key: int | None
+    ) -> tuple[int, list[IdTriple]]:
+        """Id triples of one (possibly annotated) report.
+
+        Triple order is exactly :meth:`RdfTransformer.report_to_triples`'s;
+        ``st_key`` must be the precomputed key (``None`` without a grid).
+        Returns ``(subject_id, id_triples)``.
+        """
+        if isinstance(item, AnnotatedReport):
+            report = item.report
+            critical: Sequence[CriticalPointType] = item.critical
+        else:
+            report = item
+            critical = ()
+        entry = self._entities.get(report.entity_id)
+        if entry is None:
+            eid = report.entity_id
+            entry = (self._dict.encode(entity_iri(eid)), f"{_NODE_NS}{eid}/")
+            self._entities[eid] = entry
+        obj_id, node_prefix = entry
+        t = report.t
+        s = self._dict.encode(IRI(f"{node_prefix}{t:.3f}"))
+        double_id = self.double_id
+        ids = [
+            (s, self.p_type, self.c_node),
+            (s, self.p_ofmo, obj_id),
+            (s, self.p_lon, double_id(report.lon)),
+            (s, self.p_lat, double_id(report.lat)),
+            (s, self.p_ts, double_id(t)),
+            (s, self.p_source, self.source_id(report.source)),
+        ]
+        if report.alt is not None:
+            ids.append((s, self.p_alt, double_id(report.alt)))
+        if report.speed is not None:
+            ids.append((s, self.p_speed, double_id(report.speed)))
+        if report.heading is not None:
+            ids.append((s, self.p_heading, double_id(report.heading)))
+        if report.vertical_rate is not None:
+            ids.append((s, self.p_vrate, double_id(report.vertical_rate)))
+        for c in critical:
+            ids.append((s, self.p_node_type, self.node_type_id(c)))
+        if st_key is not None:
+            ids.append((s, self.p_st_key, self.long_id(st_key)))
+        return s, ids
+
+
+class CompiledReportEmitter:
+    """Assembles report documents as id triples, verified against the
+    transformer on construction.
+
+    Args:
+        transformer: The authoritative triple shape. Its ``st_grid`` /
+            ``time_bucket_s`` configure the vectorised key kernel.
+        dictionary: The store dictionary ids are assigned against.
+            Constants bind into it only once verification has passed.
+        verify: Run the probe-set self-verification (default). Only
+            tests should disable it.
+
+    Attributes:
+        engaged: ``True`` when probe verification passed and the compiled
+            path may be used; ``False`` demands the object-path fallback.
+    """
+
+    def __init__(
+        self,
+        transformer: RdfTransformer,
+        dictionary: TermDictionary,
+        verify: bool = True,
+    ) -> None:
+        self.transformer = transformer
+        self._grid: GeoGrid | None = transformer.st_grid
+        self._bucket_s = transformer.time_bucket_s
+        self.engaged = self._verify() if verify else True
+        self._live = _IdAssembler(dictionary) if self.engaged else None
+
+    # -- vectorised spatio-temporal key -------------------------------------
+
+    def st_keys(
+        self, lon: np.ndarray, lat: np.ndarray, t: np.ndarray
+    ) -> np.ndarray | None:
+        """Vectorised :meth:`RdfTransformer.st_key` over aligned columns.
+
+        Returns int64 keys, or ``None`` when the transformer has no grid
+        (the E8 ablation — no key triples are emitted then). Exactness
+        contract, pinned by the probe set and the hypothesis suite:
+        every element equals the scalar ``st_key`` call bit for bit.
+        """
+        grid = self._grid
+        if grid is None:
+            return None
+        bbox = grid.bbox
+        # GeoGrid._clamped_index semantics: truncate the float quotient,
+        # clamping in float space (q <= 0 -> 0, q >= n -> n-1). trunc()
+        # of a quotient in (0, n) equals int() truncation; clip() covers
+        # both border clamps including the +/-inf overflow of degenerate
+        # grids.
+        qx = np.clip(np.trunc((lon - bbox.min_lon) / grid.cell_width), 0, grid.nx - 1)
+        qy = np.clip(np.trunc((lat - bbox.min_lat) / grid.cell_height), 0, grid.ny - 1)
+        cell = qy.astype(np.int64) * grid.nx + qx.astype(np.int64)
+        quotient = np.floor_divide(t, self._bucket_s)
+        if quotient.size and np.max(np.abs(quotient)) >= _MAX_BUCKET_QUOTIENT:
+            # Out of int64 range: replay through the scalar kernel, whose
+            # Python ints do not overflow.
+            st_key = self.transformer.st_key
+            return np.array(
+                [st_key(float(x), float(y), float(tt)) for x, y, tt in zip(lon, lat, t)],
+                dtype=np.int64,
+            )
+        bucket = quotient.astype(np.int64) & _TIME_BUCKET_MASK
+        return (cell << _TIME_BUCKET_BITS) | bucket
+
+    # -- compiled emission --------------------------------------------------
+
+    def emit_ids(
+        self, item: PositionReport | AnnotatedReport, st_key: int | None
+    ) -> tuple[int, list[IdTriple]]:
+        """Id triples of one report document (see :meth:`_IdAssembler.emit`)."""
+        live = self._live
+        if live is None:
+            raise RuntimeError("emitter is not engaged (probe verification failed)")
+        return live.emit(item, st_key)
+
+    @property
+    def prop_within_zone_id(self) -> int:
+        """Dictionary id of ``dac:withinZone`` (interlink zone links)."""
+        live = self._live
+        if live is None:
+            raise RuntimeError("emitter is not engaged (probe verification failed)")
+        return live.p_within_zone
+
+    def zone_id(self, name: str) -> int:
+        """Dictionary id of a zone IRI (interlink zone links)."""
+        live = self._live
+        if live is None:
+            raise RuntimeError("emitter is not engaged (probe verification failed)")
+        return live.zone_id(name)
+
+    # -- probe-set self-verification ----------------------------------------
+
+    def _probe_reports(self) -> list[PositionReport | AnnotatedReport]:
+        """Canonical probe set covering every emission branch.
+
+        Coordinates probe the grid's interior, exact cell boundaries and
+        out-of-bbox clamping; timestamps probe bucket boundaries and the
+        negative-bucket mask; the optional-field sweep covers all 16
+        alt/speed/heading/vertical_rate combinations; annotated probes
+        cover none/one/many critical-point node types and both report
+        sources seen in practice.
+        """
+        grid = self._grid
+        if grid is not None:
+            bbox = grid.bbox
+            lons = [
+                (bbox.min_lon + bbox.max_lon) / 2.0,
+                bbox.min_lon,
+                bbox.min_lon + grid.cell_width,  # exact cell boundary
+                bbox.max_lon + 1.0,  # clamped to the border cell
+            ]
+            lats = [
+                (bbox.min_lat + bbox.max_lat) / 2.0,
+                bbox.min_lat,
+                bbox.min_lat + grid.cell_height,
+                bbox.max_lat + 1.0,
+            ]
+        else:
+            lons = [0.0, -10.0, 10.0, 45.5]
+            lats = [0.0, -5.0, 5.0, 22.25]
+        bucket = self._bucket_s
+        times = [0.0, bucket, bucket * 1.5, bucket - 1e-9, -1.5, 123456789.125]
+        sources = list(ReportSource)[:2] or [ReportSource.SYNTHETIC]
+        probes: list[PositionReport | AnnotatedReport] = []
+        optional = [None, 12.5]
+        for combo in range(16):
+            probes.append(
+                PositionReport(
+                    entity_id=f"probe-{combo}",
+                    t=times[combo % len(times)],
+                    lon=min(180.0, max(-180.0, lons[combo % len(lons)])),
+                    lat=min(90.0, max(-90.0, lats[combo % len(lats)])),
+                    alt=optional[combo & 1],
+                    speed=optional[(combo >> 1) & 1],
+                    heading=None if (combo >> 2) & 1 == 0 else 187.5,
+                    vertical_rate=optional[(combo >> 3) & 1],
+                    source=sources[combo % len(sources)],
+                    domain=Domain.MARITIME if combo % 2 else Domain.AVIATION,
+                )
+            )
+        base = probes[0]
+        kinds = list(CriticalPointType)
+        probes.append(AnnotatedReport(report=base, critical=()))
+        probes.append(AnnotatedReport(report=base, critical=(kinds[0],)))
+        probes.append(AnnotatedReport(report=base, critical=tuple(kinds[:3])))
+        # A duplicate re-exercises every interning hit path.
+        probes.append(probes[1])
+        return probes
+
+    def _verify(self) -> bool:
+        """Replay the probe set through both paths on scratch dictionaries.
+
+        Compares *decoded* triples, so any divergence — shape, order,
+        term identity, key value — disqualifies the compiled path. Any
+        exception disqualifies it too: the emitter must never trade
+        correctness for speed.
+        """
+        try:
+            transformer = self.transformer
+            probes = self._probe_reports()
+            scratch = TermDictionary()
+            assembler = _IdAssembler(scratch)
+            grid = self._grid
+            for item in probes:
+                report = item.report if isinstance(item, AnnotatedReport) else item
+                expected = transformer.report_to_triples(item)
+                if grid is not None:
+                    keys = self.st_keys(
+                        np.array([report.lon]),
+                        np.array([report.lat]),
+                        np.array([report.t]),
+                    )
+                    assert keys is not None
+                    key: int | None = int(keys[0])
+                    if key != transformer.st_key(report.lon, report.lat, report.t):
+                        return False
+                else:
+                    key = None
+                __, ids = assembler.emit(item, key)
+                decode = scratch.decode
+                got = [Triple(decode(s), decode(p), decode(o)) for s, p, o in ids]  # type: ignore[arg-type]
+                if got != expected:
+                    return False
+            # The interlink zone-link shape, against the object path's.
+            name = "probe/zone"
+            link = Triple(expected[0].s, V.PROP_WITHIN_ZONE, zone_iri(name))
+            sid = scratch.encode(expected[0].s)
+            lid = (sid, assembler.p_within_zone, assembler.zone_id(name))
+            got_link = Triple(
+                scratch.decode(lid[0]),  # type: ignore[arg-type]
+                scratch.decode(lid[1]),  # type: ignore[arg-type]
+                scratch.decode(lid[2]),
+            )
+            if got_link != link:
+                return False
+            # The vector key kernel over a dense coordinate/time sweep.
+            if grid is not None:
+                return self._verify_key_kernel()
+            return True
+        except Exception:
+            return False
+
+    def _verify_key_kernel(self) -> bool:
+        """Dense sweep: vectorised keys equal scalar keys element-wise."""
+        grid = self._grid
+        assert grid is not None
+        bbox = grid.bbox
+        margin_x = grid.cell_width / 3.0
+        margin_y = grid.cell_height / 3.0
+        lons = np.linspace(bbox.min_lon - margin_x, bbox.max_lon + margin_x, 9)
+        lats = np.linspace(bbox.min_lat - margin_y, bbox.max_lat + margin_y, 9)
+        bucket = self._bucket_s
+        times = np.array(
+            [0.0, bucket * 0.999, bucket, bucket * 7.25, -bucket * 3.5, 1e9]
+        )
+        lon_g, lat_g = np.meshgrid(lons, lats)
+        lon_f = np.repeat(lon_g.ravel(), times.size)
+        lat_f = np.repeat(lat_g.ravel(), times.size)
+        t_f = np.tile(times, lon_g.size)
+        keys = self.st_keys(lon_f, lat_f, t_f)
+        assert keys is not None
+        st_key = self.transformer.st_key
+        expected = [
+            st_key(float(x), float(y), float(tt))
+            for x, y, tt in zip(lon_f, lat_f, t_f)
+        ]
+        return keys.tolist() == expected
+
+
+def decode_id_documents(
+    dictionary: TermDictionary, documents: Iterable[IdDocument]
+) -> list[list[Triple]]:
+    """Decode emitted id documents back to triples (test/debug helper)."""
+    decode = dictionary.decode
+    out: list[list[Triple]] = []
+    for __sid, ids, __key, __pos in documents:
+        out.append(
+            [Triple(decode(s), decode(p), decode(o)) for s, p, o in ids]  # type: ignore[arg-type]
+        )
+    return out

@@ -14,7 +14,7 @@ geometry. Experiment E8 ablates it.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.geo.grid import GeoGrid
 from repro.geo.polygon import Polygon
@@ -223,7 +223,7 @@ def parse_position_node(triples: Iterable[Triple]) -> PositionReport:
         by_pred.setdefault(triple.p.value, []).append(triple)
         subject = triple.s
 
-    def value(prop: IRI, default=None):
+    def value(prop: IRI, default: Any = None) -> Any:
         items = by_pred.get(prop.value)
         if not items:
             return default
@@ -245,10 +245,11 @@ def parse_position_node(triples: Iterable[Triple]) -> PositionReport:
         alt=None if alt is None else float(alt),
         speed=_opt_float(value(V.PROP_SPEED)),
         heading=_opt_float(value(V.PROP_HEADING)),
+        vertical_rate=_opt_float(value(V.PROP_VERTICAL_RATE)),
         source=ReportSource(source),
         domain=Domain.AVIATION if alt is not None else Domain.MARITIME,
     )
 
 
-def _opt_float(value) -> float | None:
+def _opt_float(value: Any) -> float | None:
     return None if value is None else float(value)

@@ -8,6 +8,8 @@ dict preserves the semantics).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.rdf.terms import Term
 
 
@@ -37,6 +39,26 @@ class TermDictionary:
         self._by_term[term] = new_id
         self._by_id.append(term)
         return new_id
+
+    def encode_many(self, terms: Iterable[Term]) -> list[int]:
+        """Bulk :meth:`encode`: one id list for a term sequence.
+
+        First-sight id assignment happens in iteration order, exactly as
+        if :meth:`encode` were called per term — the bulk form only drops
+        the per-term method dispatch on the ingest hot path.
+        """
+        by_term = self._by_term
+        by_id = self._by_id
+        out: list[int] = []
+        append = out.append
+        for term in terms:
+            existing = by_term.get(term)
+            if existing is None:
+                existing = len(by_id)
+                by_term[term] = existing
+                by_id.append(term)
+            append(existing)
+        return out
 
     def try_encode(self, term: Term) -> int | None:
         """Id of a term, or ``None`` if the term was never seen.

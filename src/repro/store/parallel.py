@@ -110,10 +110,15 @@ class ParallelRDFStore:
         subject = doc[0].s
         if any(t.s != subject for t in doc):
             raise ValueError("a document must contain a single subject")
-        encode = self.dictionary.encode
-        subject_id = encode(subject)
+        subject_id = self.dictionary.encode(subject)
         partition_idx = self._place(doc, subject_id)
-        ids = [(subject_id, encode(t.p), encode(t.o)) for t in doc]
+        # One bulk encode over the interleaved (p, o, p, o, ...) stream:
+        # identical first-sight id assignment order to per-term encode().
+        flat = self.dictionary.encode_many(
+            term for triple in doc for term in (triple.p, triple.o)
+        )
+        pairs = iter(flat)
+        ids = [(subject_id, p, o) for p, o in zip(pairs, pairs)]
         return partition_idx, ids
 
     def add_document(self, triples: Iterable[Triple]) -> int:
@@ -164,6 +169,58 @@ class ParallelRDFStore:
             self._add_latency.record(
                 (monotonic() - insert_started) / n_docs
             )
+        return n_docs
+
+    def add_id_documents(
+        self,
+        documents: Iterable[tuple[int, list[tuple[int, int, int]], int | None, bool]],
+    ) -> int:
+        """Bulk-insert pre-encoded subject documents (the compiled path).
+
+        Each document is ``(subject_id, id_triples, st_key, is_position)``
+        as assembled by :class:`~repro.rdf.emitter.CompiledReportEmitter`
+        against this store's :attr:`dictionary`. Placement mirrors the
+        object path's :meth:`_place` exactly — routed by the supplied
+        spatio-temporal key when the partitioner uses one, by subject
+        hash otherwise, placement-stable per subject — without decoding a
+        single term. A keyless position document under a spatial
+        partitioner still voids :meth:`partitions_for_bbox` pruning, and
+        the ``store.documents`` / ``store.triples`` counters and the one
+        amortized ``store.add_document`` sample behave exactly like
+        :meth:`add_documents`.
+        """
+        obs = self._obs
+        insert_started = monotonic() if obs else 0.0
+        per_partition: dict[int, list[tuple[int, int, int]]] = {}
+        n_docs = 0
+        n_triples = 0
+        placed = self._subject_partition
+        partitioner = self.partitioner
+        uses_key = partitioner.uses_spatial_key
+        for subject_id, ids, st_key, is_position in documents:
+            if not ids:
+                raise ValueError("empty document")
+            partition_idx = placed.get(subject_id)
+            if partition_idx is None:
+                if uses_key and st_key is not None:
+                    partition_idx = partitioner.partition_for_key(st_key)
+                else:
+                    partition_idx = partitioner.partition_for_subject(subject_id)
+                    if uses_key and is_position:
+                        self._spatial_pruning_sound = False
+                placed[subject_id] = partition_idx
+            bucket = per_partition.get(partition_idx)
+            if bucket is None:
+                per_partition[partition_idx] = bucket = []
+            bucket.extend(ids)
+            n_docs += 1
+            n_triples += len(ids)
+        for partition_idx, ids in per_partition.items():
+            self.partitions[partition_idx].add_triples(ids)
+        if obs and n_docs:
+            self._docs_counter.inc(n_docs)
+            self._triples_counter.inc(n_triples)
+            self._add_latency.record((monotonic() - insert_started) / n_docs)
         return n_docs
 
     @staticmethod

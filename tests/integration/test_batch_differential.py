@@ -224,6 +224,94 @@ class TestBatchCrashRestartDifferential:
         assert _store_contents(fresh) == _store_contents(base_pipeline)
 
 
+class TestCompiledEmitterDifferential:
+    """The compiled id-level RDF emitter must be observationally invisible.
+
+    The columnar path (``run(reports, batch=BatchOptions(size=...))``)
+    assembles id triples through :class:`CompiledReportEmitter`; with
+    ``compiled_rdf_emitter=False`` the same path goes through
+    ``report_to_triples`` + ``add_documents``. Both ablation arms must
+    produce byte-identical results and multiset-identical decoded store
+    contents — on maritime and aviation (optional alt/vertical_rate
+    fields) workloads alike.
+    """
+
+    def test_emitter_engaged_in_columnar_runs(self, sample, zones):
+        pipeline = _pipeline(sample, zones)
+        assert pipeline._emitter is not None
+        assert pipeline._emitter.engaged
+
+    def test_ablation_arm_disables_emitter(self, sample, zones):
+        from repro.core.config import PipelineConfig
+
+        pipeline = _pipeline(
+            sample, zones, config=PipelineConfig(compiled_rdf_emitter=False)
+        )
+        assert pipeline._emitter is None
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_ablation_differential(self, sample, reports, zones, batch_size):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import BatchOptions
+
+        compiled = _pipeline(sample, zones)
+        fallback = _pipeline(
+            sample, zones, config=PipelineConfig(compiled_rdf_emitter=False)
+        )
+        got = compiled.run(reports, batch=BatchOptions(size=batch_size))
+        want = fallback.run(reports, batch=BatchOptions(size=batch_size))
+        assert got.deterministic_bytes() == want.deterministic_bytes()
+        assert _store_contents(compiled) == _store_contents(fallback)
+
+    def test_aviation_optional_fields_differential(self):
+        from repro.core.config import PipelineConfig
+        from repro.core.pipeline import BatchOptions
+        from repro.sources.generators import AviationTrafficGenerator
+
+        from dataclasses import replace
+
+        air = AviationTrafficGenerator(seed=7)
+        air_sample = air.generate(n_flights=4)
+        air_reports = sorted(air_sample.reports, key=lambda r: r.t)[:600]
+        # The generator reports altitude but not climb rate; graft a
+        # vertical_rate onto every third record so the emitter's
+        # optional-field branch actually runs in this differential.
+        air_reports = [
+            replace(r, vertical_rate=2.5) if i % 3 == 0 else r
+            for i, r in enumerate(air_reports)
+        ]
+        assert any(r.alt is not None for r in air_reports)
+        assert any(r.vertical_rate is not None for r in air_reports)
+        zones = list(air_sample.world.sectors)
+        compiled = _pipeline(air_sample, zones)
+        fallback = _pipeline(
+            air_sample, zones, config=PipelineConfig(compiled_rdf_emitter=False)
+        )
+        per_record = _pipeline(air_sample, zones)
+        got = compiled.run(air_reports, batch=BatchOptions(size=64))
+        want = fallback.run(air_reports, batch=BatchOptions(size=64))
+        base = per_record.run(air_reports)
+        assert got.deterministic_bytes() == want.deterministic_bytes()
+        assert got.deterministic_bytes() == base.deterministic_bytes()
+        assert _store_contents(compiled) == _store_contents(fallback)
+        assert _store_contents(compiled) == _store_contents(per_record)
+
+    def test_stage_wall_accumulates_on_columnar_path(self, sample, reports, zones):
+        from repro.core.pipeline import BatchOptions
+        from repro.obs import MetricsRegistry
+
+        pipeline = _pipeline(sample, zones, metrics=MetricsRegistry(seed=5))
+        pipeline.run(reports[:300], batch=BatchOptions(size=64))
+        wall = pipeline.stage_wall_seconds()
+        assert wall["end_to_end"] > 0
+        assert wall["rdf"] > 0
+        # Stage walls nest inside the end-to-end wall.
+        assert (
+            wall["clean"] + wall["synopses"] + wall["rdf"] + wall["detectors"]
+            <= wall["end_to_end"]
+        )
+
+
 class TestBatchProperties:
     @settings(max_examples=15, deadline=None)
     @given(

@@ -1,0 +1,292 @@
+"""Compiled id-level emitter: round-trip equivalence with the transformer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BBox
+from repro.geo.grid import GeoGrid
+from repro.insitu.critical import AnnotatedReport, CriticalPointType
+from repro.model.reports import Domain, PositionReport, ReportSource
+from repro.rdf import vocabulary as V
+from repro.rdf.emitter import CompiledReportEmitter
+from repro.rdf.terms import Triple
+from repro.rdf.transform import RdfTransformer
+from repro.store.dictionary import TermDictionary
+from repro.store.parallel import ParallelRDFStore
+from repro.store.partition import GridPartitioner, HashPartitioner
+
+WORLD = BBox(22.0, 35.0, 29.0, 41.0)
+
+
+def make_grid():
+    return GeoGrid(bbox=WORLD, nx=16, ny=16)
+
+
+def make_emitter(st_grid="default", time_bucket_s=3600.0):
+    grid = make_grid() if st_grid == "default" else st_grid
+    transformer = RdfTransformer(st_grid=grid, time_bucket_s=time_bucket_s)
+    dictionary = TermDictionary()
+    emitter = CompiledReportEmitter(transformer, dictionary)
+    return transformer, dictionary, emitter
+
+
+# Optional fields cycle through present/absent; t is bounded so the
+# vectorised key kernel stays on its fast path (the overflow fallback has
+# its own test below). Coordinates deliberately overshoot the grid bbox on
+# both sides to probe the clamping branches.
+def report_strategy():
+    return st.builds(
+        lambda e, t, lon, lat, alt, speed, heading, vrate, src, dom: PositionReport(
+            entity_id=f"V{e}",
+            t=t,
+            lon=lon,
+            lat=lat,
+            alt=alt,
+            speed=speed,
+            heading=heading,
+            vertical_rate=vrate,
+            source=src,
+            domain=dom,
+        ),
+        e=st.integers(0, 4),
+        t=st.floats(-1e6, 1e9, allow_nan=False),
+        lon=st.floats(20.0, 31.0, allow_nan=False),
+        lat=st.floats(33.0, 43.0, allow_nan=False),
+        alt=st.none() | st.floats(0.0, 12_000.0, allow_nan=False),
+        speed=st.none() | st.floats(0.0, 300.0, allow_nan=False),
+        heading=st.none() | st.floats(0.0, 359.99, allow_nan=False),
+        vrate=st.none() | st.floats(-50.0, 50.0, allow_nan=False),
+        src=st.sampled_from(list(ReportSource)),
+        dom=st.sampled_from(list(Domain)),
+    )
+
+
+def item_strategy():
+    """A report, possibly annotated with critical-point types."""
+    critical = st.lists(
+        st.sampled_from(list(CriticalPointType)), max_size=3, unique=True
+    )
+    return report_strategy() | st.builds(
+        lambda r, c: AnnotatedReport(report=r, critical=tuple(c)),
+        r=report_strategy(),
+        c=critical,
+    )
+
+
+def decoded(dictionary, ids):
+    decode = dictionary.decode
+    return [Triple(decode(s), decode(p), decode(o)) for s, p, o in ids]
+
+
+def emit_decoded(transformer, dictionary, emitter, item):
+    report = item.report if isinstance(item, AnnotatedReport) else item
+    keys = emitter.st_keys(
+        np.array([report.lon]), np.array([report.lat]), np.array([report.t])
+    )
+    key = int(keys[0]) if keys is not None else None
+    __, ids = emitter.emit_ids(item, key)
+    return decoded(dictionary, ids)
+
+
+class TestRoundTrip:
+    """Decoded compiled output == report_to_triples, triple for triple."""
+
+    @given(items=st.lists(item_strategy(), min_size=1, max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_decoded_equals_transformer(self, items):
+        transformer, dictionary, emitter = make_emitter()
+        assert emitter.engaged
+        for item in items:
+            expected = transformer.report_to_triples(item)
+            assert emit_decoded(transformer, dictionary, emitter, item) == expected
+
+    @given(items=st.lists(item_strategy(), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_decoded_equals_transformer_without_grid(self, items):
+        # The E8 ablation: no grid, no st-key triples.
+        transformer, dictionary, emitter = make_emitter(st_grid=None)
+        assert emitter.engaged
+        assert emitter.st_keys(np.zeros(1), np.zeros(1), np.zeros(1)) is None
+        for item in items:
+            expected = transformer.report_to_triples(item)
+            assert all(t.p != V.PROP_ST_KEY for t in expected)
+            assert emit_decoded(transformer, dictionary, emitter, item) == expected
+
+    def test_duplicate_reports_reuse_interned_ids(self):
+        transformer, dictionary, emitter = make_emitter()
+        report = PositionReport(entity_id="V1", t=60.0, lon=24.0, lat=37.0)
+        keys = emitter.st_keys(
+            np.array([report.lon]), np.array([report.lat]), np.array([report.t])
+        )
+        first = emitter.emit_ids(report, int(keys[0]))
+        second = emitter.emit_ids(report, int(keys[0]))
+        assert first == second
+
+
+class TestStKeys:
+    """The vectorised key kernel against the scalar st_key."""
+
+    @given(
+        lon=st.lists(st.floats(20.0, 31.0, allow_nan=False), min_size=1, max_size=64),
+        t=st.floats(-1e9, 1e9, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scalar(self, lon, t):
+        transformer, __, emitter = make_emitter()
+        lons = np.array(lon)
+        lats = np.linspace(33.0, 43.0, len(lon))
+        ts = np.linspace(t, t + 7200.0, len(lon))
+        keys = emitter.st_keys(lons, lats, ts)
+        expected = [
+            transformer.st_key(float(x), float(y), float(tt))
+            for x, y, tt in zip(lons, lats, ts)
+        ]
+        assert keys.tolist() == expected
+
+    def test_overflow_quotient_falls_back_to_scalar(self):
+        # |t // bucket| >= 2**62 cannot round-trip through int64; the
+        # kernel must replay through the scalar path (Python ints).
+        transformer, __, emitter = make_emitter(time_bucket_s=1e-3)
+        t = 2.0**63
+        keys = emitter.st_keys(np.array([24.0]), np.array([37.0]), np.array([t]))
+        assert int(keys[0]) == transformer.st_key(24.0, 37.0, t)
+
+
+class TestProbeVerification:
+    """A transformer shape change must demote the emitter, never diverge."""
+
+    def test_lying_transformer_refuses_to_engage(self):
+        class ReorderedTransformer(RdfTransformer):
+            def report_to_triples(self, item):
+                return list(reversed(super().report_to_triples(item)))
+
+        transformer = ReorderedTransformer(st_grid=make_grid())
+        emitter = CompiledReportEmitter(transformer, TermDictionary())
+        assert not emitter.engaged
+        with pytest.raises(RuntimeError):
+            emitter.emit_ids(PositionReport(entity_id="V1", t=0.0, lon=24.0, lat=37.0), None)
+        with pytest.raises(RuntimeError):
+            emitter.zone_id("z")
+
+    def test_extra_triple_refuses_to_engage(self):
+        class PaddedTransformer(RdfTransformer):
+            def report_to_triples(self, item):
+                triples = super().report_to_triples(item)
+                return triples + [Triple(triples[0].s, V.PROP_NAME, triples[0].o)]
+
+        emitter = CompiledReportEmitter(
+            PaddedTransformer(st_grid=make_grid()), TermDictionary()
+        )
+        assert not emitter.engaged
+
+    def test_probe_failure_leaves_store_dictionary_untouched(self):
+        class ReorderedTransformer(RdfTransformer):
+            def report_to_triples(self, item):
+                return list(reversed(super().report_to_triples(item)))
+
+        dictionary = TermDictionary()
+        CompiledReportEmitter(ReorderedTransformer(st_grid=make_grid()), dictionary)
+        # Verification runs on scratch dictionaries only.
+        assert len(dictionary) == 0
+
+    def test_healthy_transformer_engages(self):
+        __, __, emitter = make_emitter()
+        assert emitter.engaged
+
+
+def all_triples(store):
+    found = []
+    for partition in store.partitions:
+        for s, p, o in partition.match(None, None, None):
+            found.append(
+                Triple(
+                    store.dictionary.decode(s),
+                    store.dictionary.decode(p),
+                    store.dictionary.decode(o),
+                )
+            )
+    return found
+
+
+class TestStoreRouting:
+    """add_id_documents mirrors add_documents: placement, pruning, contents."""
+
+    @given(reports=st.lists(report_strategy(), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_routing_equivalent_to_object_path(self, reports):
+        # Per-partition placement is only comparable across stores for a
+        # key-routed partitioner: hash routing keys on the subject's
+        # *dictionary id*, and the emitter's pre-bound constants shift id
+        # assignment, so hash stores compare as whole-store multisets.
+        grid = make_grid()
+        for make_part, per_partition in (
+            (lambda: GridPartitioner(grid, 4), True),
+            (lambda: HashPartitioner(4), False),
+        ):
+            obj_store = ParallelRDFStore(make_part())
+            id_store = ParallelRDFStore(make_part())
+            transformer = RdfTransformer(st_grid=grid)
+            emitter = CompiledReportEmitter(transformer, id_store.dictionary)
+            assert emitter.engaged
+
+            obj_store.add_documents(
+                [transformer.report_to_triples(r) for r in reports]
+            )
+            docs = []
+            for r in reports:
+                keys = emitter.st_keys(
+                    np.array([r.lon]), np.array([r.lat]), np.array([r.t])
+                )
+                sid, ids = emitter.emit_ids(r, int(keys[0]))
+                docs.append((sid, ids, int(keys[0]), True))
+            id_store.add_id_documents(docs)
+
+            assert len(obj_store) == len(id_store)
+            if per_partition:
+                for i in range(obj_store.n_partitions):
+                    assert sorted(map(repr, all_triples_of(obj_store, i))) == sorted(
+                        map(repr, all_triples_of(id_store, i))
+                    )
+            else:
+                assert sorted(map(repr, all_triples(obj_store))) == sorted(
+                    map(repr, all_triples(id_store))
+                )
+            assert (
+                obj_store._spatial_pruning_sound == id_store._spatial_pruning_sound
+            )
+
+    def test_keyless_position_doc_voids_pruning(self):
+        grid = make_grid()
+        store = ParallelRDFStore(GridPartitioner(grid, 4))
+        transformer = RdfTransformer(st_grid=grid)
+        emitter = CompiledReportEmitter(transformer, store.dictionary)
+        report = PositionReport(entity_id="V1", t=0.0, lon=24.0, lat=37.0)
+        sid, ids = emitter.emit_ids(report, None)
+        assert store._spatial_pruning_sound
+        store.add_id_documents([(sid, ids, None, True)])
+        assert not store._spatial_pruning_sound
+
+    def test_keyless_non_position_doc_keeps_pruning(self):
+        grid = make_grid()
+        store = ParallelRDFStore(GridPartitioner(grid, 4))
+        transformer = RdfTransformer(st_grid=grid)
+        emitter = CompiledReportEmitter(transformer, store.dictionary)
+        sid = store.dictionary.encode(V.CLASS_ZONE)
+        link = (sid, emitter.prop_within_zone_id, emitter.zone_id("z1"))
+        store.add_id_documents([(sid, [link], None, False)])
+        assert store._spatial_pruning_sound
+
+    def test_empty_id_document_rejected(self):
+        store = ParallelRDFStore(HashPartitioner(2))
+        with pytest.raises(ValueError):
+            store.add_id_documents([(1, [], None, False)])
+
+
+def all_triples_of(store, partition_idx):
+    decode = store.dictionary.decode
+    return [
+        Triple(decode(s), decode(p), decode(o))
+        for s, p, o in store.partitions[partition_idx].match(None, None, None)
+    ]
