@@ -21,11 +21,21 @@ Rules (see ``docs/static-analysis.md`` for rationale and examples):
 - **D3** — no wall-clock reads (``time.time``, ``perf_counter``,
   ``datetime.now``…) outside ``repro.obs``; measurement code uses
   :func:`repro.obs.clock.monotonic`.
+- **D4** — *whole-program*: no deterministic-scope function may reach a
+  nondeterminism source (clock, unseeded RNG, ``hash``, ``os.environ``)
+  **transitively**, at any call depth; findings print the full call
+  chain down to the source (:mod:`repro.analysis.dataflow`).
+- **D5** — *whole-program*: no unordered ``set``/``dict`` iteration may
+  flow into persisted or emitted output (``snapshot()`` payloads,
+  canonical digests, RDF emission) — wrap in ``sorted(...)``.
 - **C1** — snapshot coverage: every class with a ``snapshot``/
   ``restore`` pair must reference each mutable field in both; stateful
   operators must define (or correctly inherit) the pair.
 - **P1** — pickle safety: no lambdas / nested functions flowing into
   ``PipelineSpec`` / ``WorkerSpec`` construction (workers are spawned).
+- **P2** — *whole-program*: no module-level mutable global may be
+  mutated by code reachable from a worker entrypoint (fork/spawn
+  divergence: each worker mutates its own module copy).
 - **O1** — metric and span name literals follow the dotted-lowercase
   convention of :mod:`repro.obs`.
 - **O2** — no imports of deprecated modules or calls to deprecated
@@ -44,22 +54,32 @@ line (or the line above)::
 or path-allowlisted in :data:`repro.analysis.config.DEFAULT_CONFIG`
 (every entry carries a reason string). The CLI —
 ``python -m repro.analysis src/`` — exits non-zero on any unsuppressed
-finding and emits human or ``--json`` output; the ``static-analysis``
-CI job runs it next to mypy over the typed core.
+finding and emits human or ``--json`` output (``--graph`` attaches the
+taint-graph artifact, ``--cache``/``--changed`` enable the incremental
+cache); the ``static-analysis`` CI job runs it next to mypy over the
+typed core.
+
+The static rules have a dynamic twin:
+:func:`repro.analysis.sanitizer.determinism_sanitizer` patches ambient
+clock/RNG entry points to raise inside the differential suites, proving
+at runtime what D4 claims statically.
 """
 
 from repro.analysis.config import AllowEntry, AnalysisConfig, DEFAULT_CONFIG
 from repro.analysis.engine import AnalysisResult, analyze_paths
 from repro.analysis.findings import Finding
 from repro.analysis.rules import ALL_RULES, rule_ids
+from repro.analysis.sanitizer import DeterminismViolation, determinism_sanitizer
 
 __all__ = [
     "AllowEntry",
     "AnalysisConfig",
     "AnalysisResult",
     "DEFAULT_CONFIG",
+    "DeterminismViolation",
     "Finding",
     "ALL_RULES",
+    "determinism_sanitizer",
     "rule_ids",
     "analyze_paths",
 ]

@@ -1,0 +1,636 @@
+"""Project-wide call graph with module-qualified resolution.
+
+The per-line rules (D1–D3) see one module at a time; the taint rules
+(D4/D5/P2, :mod:`repro.analysis.dataflow`) need to know *who calls
+whom* across the whole tree: a clock read two frames deep in a helper
+is invisible to a syntactic check but one reverse-BFS away on this
+graph.
+
+Functions are identified by a **qualified name**::
+
+    repro/core/pipeline.py::MobilityPipeline.process
+    repro/hashing.py::stable_hash
+
+Resolution is deliberately conservative — an attribute call whose
+receiver type cannot be inferred simply produces no edge (taint then
+under-approximates, never false-fires). What *is* resolved:
+
+- module-local functions and methods (``helper()``, ``self.m()``),
+- imports, including relative ones and one-hop package re-exports
+  (``from repro.analysis import analyze_paths`` reaches
+  ``engine.analyze_paths`` through the package ``__init__``),
+- constructor calls (``ClassName(...)`` → ``ClassName.__init__``),
+- attribute calls on receivers whose class is inferable from a
+  constructor assignment, a parameter annotation, or an ``__init__``
+  field (``self._dedup.process()``), including container element types
+  (``self._controllers[cid].admit()`` through ``dict[str, C]``),
+- inherited methods, via the shared :class:`~repro.analysis.classindex.ClassIndex`.
+
+Everything the builder produces is sorted, so the graph — and every
+finding derived from it — is independent of the order modules were
+scanned in (pinned by a hypothesis test).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex, ClassInfo
+    from repro.analysis.source import ParsedModule
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "TypeRef",
+    "build_call_graph",
+    "dotted_name",
+]
+
+#: Container constructors whose results are dict-shaped.
+_DICT_CALLS = frozenset({"dict", "defaultdict", "OrderedDict", "Counter", "ChainMap"})
+#: Container constructors whose results are set-shaped (iteration order
+#: depends on the interpreter's hash salt).
+_SET_CALLS = frozenset({"set", "frozenset"})
+_LIST_CALLS = frozenset({"list", "deque"})
+
+
+def dotted_name(module_path: str) -> str:
+    """Dotted import name of a posix module path (``a/b/__init__.py`` → ``a.b``)."""
+    path = module_path[:-3] if module_path.endswith(".py") else module_path
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    return path.replace("/", ".")
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A coarse inferred type: enough to resolve methods and spot sets.
+
+    ``kind`` is one of ``object`` (a project class, named in ``cls``),
+    ``dict``/``set``/``list`` (containers, element/value type in
+    ``elem``), or ``unknown``.
+    """
+
+    kind: str = "unknown"
+    cls: str = ""
+    elem: "TypeRef | None" = None
+
+    @property
+    def is_unordered(self) -> bool:
+        return self.kind == "set"
+
+
+UNKNOWN = TypeRef()
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, anchored to its source line."""
+
+    callee: str  # qualified name of the resolved project function
+    line: int
+    col: int = 0
+
+
+@dataclass
+class FunctionNode:
+    """One project function (or method) in the call graph."""
+
+    qname: str
+    module_path: str
+    name: str  # bare function name
+    cls: str  # enclosing class name, "" for module-level functions
+    lineno: int
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    calls: tuple[CallSite, ...] = ()
+
+    @property
+    def display(self) -> str:
+        """``Class.method`` / ``function`` — how chains print the node."""
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+
+class _ModuleScope:
+    """Per-module name resolution: imports (incl. relative) and globals."""
+
+    def __init__(self, module: "ParsedModule") -> None:
+        self.path = module.path
+        self.dotted = dotted_name(module.path)
+        self.is_package = module.path.endswith("/__init__.py")
+        self.modules: dict[str, str] = {}  # alias -> dotted module
+        self.names: dict[str, str] = {}  # local name -> dotted origin
+        self.global_types: dict[str, TypeRef] = {}
+        self.functions: set[str] = set()  # top-level function names
+        self.classes: set[str] = set()  # top-level class names
+        for stmt in module.tree.body:
+            self._bind_top(stmt)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.modules[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.names[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+    def _bind_top(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.functions.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            self.classes.add(stmt.name)
+
+    def _import_base(self, node: ast.ImportFrom) -> str | None:
+        """Absolute dotted base of an import-from, resolving relativity."""
+        if node.level == 0:
+            return node.module
+        package = self.dotted if self.is_package else self.dotted.rpartition(".")[0]
+        parts = package.split(".") if package else []
+        up = node.level - 1
+        if up > len(parts):
+            return None
+        if up:
+            parts = parts[:-up]
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts) if parts else None
+
+    def resolve_reference(self, node: ast.expr) -> str:
+        """Dotted origin of a name/attribute chain, or ``""``.
+
+        Mirrors :meth:`repro.analysis.rules.base.ImportMap.resolve_call`
+        but additionally understands relative imports.
+        """
+        parts: list[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return ""
+        head = cursor.id
+        if head in self.modules:
+            parts.append(self.modules[head])
+        elif head in self.names:
+            parts.append(self.names[head])
+        else:
+            parts.append(head)
+        return ".".join(reversed(parts))
+
+
+class CallGraph:
+    """All project functions and the resolved call edges between them."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionNode] = {}
+        self.scopes: dict[str, _ModuleScope] = {}  # module path -> scope
+        self.by_dotted: dict[str, str] = {}  # dotted module name -> path
+        self._index: "ClassIndex | None" = None
+        self._field_types: dict[tuple[str, str], dict[str, TypeRef]] = {}
+
+    # ---------------------------------------------------------------- build
+
+    def add_module(self, module: "ParsedModule", index: "ClassIndex") -> None:
+        self._index = index
+        scope = _ModuleScope(module)
+        self.scopes[module.path] = scope
+        self.by_dotted[scope.dotted] = module.path
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module.path, stmt, cls="")
+            elif isinstance(stmt, ast.ClassDef):
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._add_function(module.path, item, cls=stmt.name)
+        scope.global_types.update(self._module_global_types(module, scope))
+
+    def _add_function(
+        self, module_path: str, node: ast.AST, cls: str
+    ) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        qname = qualified_name(module_path, cls, name)
+        self.functions[qname] = FunctionNode(
+            qname=qname,
+            module_path=module_path,
+            name=name,
+            cls=cls,
+            lineno=getattr(node, "lineno", 1),
+            node=node,
+        )
+
+    def _module_global_types(
+        self, module: "ParsedModule", scope: _ModuleScope
+    ) -> dict[str, TypeRef]:
+        out: dict[str, TypeRef] = {}
+        for stmt in module.tree.body:
+            targets: list[ast.expr]
+            value: ast.expr | None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+                ann = self._type_from_annotation(stmt.annotation)
+                if isinstance(stmt.target, ast.Name) and ann.kind != "unknown":
+                    out[stmt.target.id] = ann
+                    continue
+            else:
+                continue
+            if value is None:
+                continue
+            inferred = self._type_from_value(value, scope, {})
+            if inferred.kind == "unknown":
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = inferred
+        return out
+
+    def resolve_edges(self) -> None:
+        """Second pass: resolve every call in every function body."""
+        for qname in sorted(self.functions):
+            fn = self.functions[qname]
+            scope = self.scopes[fn.module_path]
+            local_types = self._local_types(fn, scope)
+            calls: list[CallSite] = []
+            seen: set[tuple[str, int]] = set()
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = self._resolve_call(node.func, fn, scope, local_types)
+                if callee is None:
+                    continue
+                key = (callee, node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                calls.append(CallSite(callee, node.lineno, node.col_offset))
+            fn.calls = tuple(sorted(calls, key=lambda c: (c.callee, c.line, c.col)))
+
+    # ---------------------------------------------------------- type model
+
+    def _type_from_annotation(self, ann: ast.expr | None) -> TypeRef:
+        if ann is None:
+            return UNKNOWN
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return UNKNOWN
+        if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+            left = self._type_from_annotation(ann.left)
+            return left if left.kind != "unknown" else self._type_from_annotation(ann.right)
+        if isinstance(ann, ast.Subscript):
+            base = self._annotation_head(ann.value)
+            if base in ("Optional", "Final", "ClassVar", "Annotated"):
+                inner = ann.slice
+                if isinstance(inner, ast.Tuple) and inner.elts:
+                    inner = inner.elts[0]
+                return self._type_from_annotation(inner)
+            if base == "Union":
+                if isinstance(ann.slice, ast.Tuple) and ann.slice.elts:
+                    return self._type_from_annotation(ann.slice.elts[0])
+                return UNKNOWN
+            elems: list[ast.expr]
+            if isinstance(ann.slice, ast.Tuple):
+                elems = list(ann.slice.elts)
+            else:
+                elems = [ann.slice]
+            if base in ("dict", "Dict", "defaultdict", "DefaultDict", "Mapping", "MutableMapping"):
+                value_t = self._type_from_annotation(elems[1]) if len(elems) > 1 else UNKNOWN
+                return TypeRef("dict", elem=value_t)
+            if base in ("set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"):
+                return TypeRef("set", elem=self._type_from_annotation(elems[0]))
+            if base in ("list", "List", "tuple", "Tuple", "Sequence", "Iterable", "Iterator", "deque"):
+                return TypeRef("list", elem=self._type_from_annotation(elems[0]))
+            return UNKNOWN
+        head = self._annotation_head(ann)
+        if head in ("dict", "Dict"):
+            return TypeRef("dict")
+        if head in ("set", "Set", "frozenset", "FrozenSet"):
+            return TypeRef("set")
+        if head in ("list", "List", "tuple", "Tuple"):
+            return TypeRef("list")
+        if head in ("None", "Any", ""):
+            return UNKNOWN
+        return TypeRef("object", cls=head)
+
+    def _annotation_head(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return ""
+
+    def _type_from_value(
+        self,
+        value: ast.expr,
+        scope: _ModuleScope,
+        local_types: dict[str, TypeRef],
+    ) -> TypeRef:
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return TypeRef("dict")
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return TypeRef("set")
+        if isinstance(value, (ast.List, ast.ListComp, ast.GeneratorExp)):
+            return TypeRef("list")
+        if isinstance(value, ast.Call):
+            head = self._annotation_head(value.func)
+            if head in _DICT_CALLS:
+                return TypeRef("dict")
+            if head in _SET_CALLS:
+                return TypeRef("set")
+            if head in _LIST_CALLS:
+                return TypeRef("list")
+            if head == "sorted":
+                return TypeRef("list")
+            cls = self._class_of_constructor(value.func, scope)
+            if cls is not None:
+                return TypeRef("object", cls=cls)
+            return UNKNOWN
+        if isinstance(value, ast.Name):
+            if value.id in local_types:
+                return local_types[value.id]
+            return scope.global_types.get(value.id, UNKNOWN)
+        if isinstance(value, ast.IfExp):
+            then = self._type_from_value(value.body, scope, local_types)
+            return then if then.kind != "unknown" else self._type_from_value(
+                value.orelse, scope, local_types
+            )
+        return UNKNOWN
+
+    def _class_of_constructor(
+        self, func: ast.expr, scope: _ModuleScope
+    ) -> str | None:
+        """Class name when ``func`` refers to an indexed project class."""
+        index = self._index
+        if index is None:
+            return None
+        head = self._annotation_head(func)
+        if not head:
+            return None
+        if index.lookup(head) is not None:
+            return head
+        return None
+
+    def field_types(self, module_path: str, cls: str) -> dict[str, TypeRef]:
+        """Inferred ``self.<field>`` types for one class (cached)."""
+        key = (module_path, cls)
+        cached = self._field_types.get(key)
+        if cached is not None:
+            return cached
+        out: dict[str, TypeRef] = {}
+        index = self._index
+        info = index.lookup(cls) if index is not None else None
+        if info is not None and index is not None:
+            for owner in [info, *index.ancestors(info)]:
+                scope = self.scopes.get(owner.module_path)
+                if scope is None:
+                    continue
+                self._collect_field_types(owner, scope, out)
+        self._field_types[key] = out
+        return out
+
+    def _collect_field_types(
+        self, info: "ClassInfo", scope: _ModuleScope, out: dict[str, TypeRef]
+    ) -> None:
+        init = info.methods.get("__init__")
+        if not isinstance(init, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        param_types: dict[str, TypeRef] = {}
+        for arg in [*init.args.posonlyargs, *init.args.args, *init.args.kwonlyargs]:
+            param_types[arg.arg] = self._type_from_annotation(arg.annotation)
+        for stmt in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            ann: TypeRef = UNKNOWN
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                ann = self._type_from_annotation(stmt.annotation)
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            name = target.attr
+            if name in out:
+                continue
+            if ann.kind != "unknown":
+                out[name] = ann
+                continue
+            if isinstance(value, ast.Name) and value.id in param_types:
+                inferred = param_types[value.id]
+            elif value is not None:
+                inferred = self._type_from_value(value, scope, {})
+            else:
+                inferred = UNKNOWN
+            if inferred.kind != "unknown":
+                out[name] = inferred
+
+    def _local_types(
+        self, fn: FunctionNode, scope: _ModuleScope
+    ) -> dict[str, TypeRef]:
+        """Types of parameters and single-shape local assignments."""
+        out: dict[str, TypeRef] = {}
+        node = fn.node
+        args = node.args  # type: ignore[attr-defined]
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            ref = self._type_from_annotation(arg.annotation)
+            if ref.kind != "unknown":
+                out[arg.arg] = ref
+        for stmt in ast.walk(node):
+            target = None
+            value = None
+            ann = UNKNOWN
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                ann = self._type_from_annotation(stmt.annotation)
+            if target is None or not isinstance(target, ast.Name):
+                continue
+            if ann.kind == "unknown" and value is not None:
+                ann = self._type_from_value(value, scope, out)
+            existing = out.get(target.id)
+            if existing is not None and existing != ann:
+                out[target.id] = UNKNOWN
+            elif ann.kind != "unknown":
+                out[target.id] = ann
+        return out
+
+    # ---------------------------------------------------------- resolution
+
+    def _resolve_call(
+        self,
+        func: ast.expr,
+        fn: FunctionNode,
+        scope: _ModuleScope,
+        local_types: dict[str, TypeRef],
+    ) -> str | None:
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in scope.functions:
+                return qualified_name(fn.module_path, "", name)
+            if name in scope.classes:
+                return self._constructor(name)
+            origin = scope.names.get(name)
+            if origin is not None:
+                return self._resolve_origin(origin, set())
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        receiver = self._receiver_type(func.value, fn, scope, local_types)
+        if receiver.kind == "object" and receiver.cls:
+            return self._method(receiver.cls, func.attr)
+        origin = scope.resolve_reference(func)
+        if origin:
+            return self._resolve_origin(origin, set())
+        return None
+
+    def _receiver_type(
+        self,
+        node: ast.expr,
+        fn: FunctionNode,
+        scope: _ModuleScope,
+        local_types: dict[str, TypeRef],
+    ) -> TypeRef:
+        """Type of the expression a method is called on."""
+        if isinstance(node, ast.Name):
+            if node.id == "self" and fn.cls:
+                return TypeRef("object", cls=fn.cls)
+            local = local_types.get(node.id)
+            if local is not None:
+                return local
+            ref = scope.global_types.get(node.id, UNKNOWN)
+            if ref.kind != "unknown":
+                return ref
+            if node.id in scope.classes:
+                # ClassName.method(...) — treat as the class itself.
+                return TypeRef("object", cls=node.id)
+            origin = scope.names.get(node.id)
+            if origin is not None:
+                tail = origin.rsplit(".", 1)[-1]
+                if self._index is not None and self._index.lookup(tail) is not None:
+                    return TypeRef("object", cls=tail)
+            return UNKNOWN
+        if isinstance(node, ast.Attribute):
+            base = self._receiver_type(node.value, fn, scope, local_types)
+            if base.kind == "object" and base.cls:
+                fields = self.field_types_for(base.cls)
+                return fields.get(node.attr, UNKNOWN)
+            return UNKNOWN
+        if isinstance(node, ast.Subscript):
+            base = self._receiver_type(node.value, fn, scope, local_types)
+            if base.kind in ("dict", "list", "set") and base.elem is not None:
+                return base.elem
+            return UNKNOWN
+        if isinstance(node, ast.Call):
+            head = self._annotation_head(node.func)
+            cls = self._class_of_constructor(node.func, scope)
+            if cls is not None and head == cls:
+                return TypeRef("object", cls=cls)
+            return UNKNOWN
+        return UNKNOWN
+
+    def field_types_for(self, cls: str) -> dict[str, TypeRef]:
+        index = self._index
+        info = index.lookup(cls) if index is not None else None
+        if info is None:
+            return {}
+        return self.field_types(info.module_path, cls)
+
+    def _method(self, cls: str, method: str) -> str | None:
+        """Resolve ``cls.method`` through the class index, honoring MRO."""
+        index = self._index
+        if index is None:
+            return None
+        info = index.lookup(cls)
+        if info is None:
+            return None
+        for owner in [info, *index.ancestors(info)]:
+            if method in owner.methods:
+                return qualified_name(owner.module_path, owner.name, method)
+        return None
+
+    def _constructor(self, cls: str) -> str | None:
+        return self._method(cls, "__init__")
+
+    def _resolve_origin(self, origin: str, visited: set[str]) -> str | None:
+        """Map a dotted origin onto a project function, if it is one."""
+        if origin in visited:
+            return None
+        visited.add(origin)
+        parts = origin.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            module_path = self.by_dotted.get(prefix)
+            if module_path is None:
+                continue
+            rest = parts[split:]
+            return self._resolve_in_module(module_path, rest, visited)
+        return None
+
+    def _resolve_in_module(
+        self, module_path: str, rest: Sequence[str], visited: set[str]
+    ) -> str | None:
+        scope = self.scopes.get(module_path)
+        if scope is None:
+            return None
+        if len(rest) == 1:
+            symbol = rest[0]
+            if symbol in scope.functions:
+                return qualified_name(module_path, "", symbol)
+            if symbol in scope.classes:
+                return self._constructor(symbol)
+            # Package re-export: the __init__ imported it from elsewhere.
+            reexport = scope.names.get(symbol)
+            if reexport is not None:
+                return self._resolve_origin(reexport, visited)
+            return None
+        if len(rest) == 2 and rest[0] in scope.classes:
+            return self._method(rest[0], rest[1])
+        return None
+
+    # ------------------------------------------------------------- queries
+
+    def reverse_edges(self) -> dict[str, list[tuple[str, CallSite]]]:
+        """callee qname → sorted list of (caller qname, call site)."""
+        out: dict[str, list[tuple[str, CallSite]]] = {}
+        for qname in sorted(self.functions):
+            for site in self.functions[qname].calls:
+                out.setdefault(site.callee, []).append((qname, site))
+        return out
+
+    def iter_functions(self) -> Iterator[FunctionNode]:
+        for qname in sorted(self.functions):
+            yield self.functions[qname]
+
+
+def qualified_name(module_path: str, cls: str, name: str) -> str:
+    inner = f"{cls}.{name}" if cls else name
+    return f"{module_path}::{inner}"
+
+
+def build_call_graph(
+    modules: Iterable["ParsedModule"], index: "ClassIndex"
+) -> CallGraph:
+    """Build and edge-resolve the call graph for ``modules``."""
+    graph = CallGraph()
+    for module in sorted(modules, key=lambda m: m.path):
+        graph.add_module(module, index)
+    graph.resolve_edges()
+    return graph

@@ -11,6 +11,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.analysis.cache import DEFAULT_CACHE_PATH
 from repro.analysis.config import DEFAULT_CONFIG
 from repro.analysis.engine import AnalysisResult, analyze_paths
 from repro.analysis.rules import ALL_RULES, rule_ids
@@ -46,6 +47,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--show-suppressed",
         action="store_true",
         help="also print suppressed and allowlisted hits with their reasons",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help=(
+            "attach the taint-graph artifact (call edges, sources, taint "
+            "chains, sink contexts) to the --json report"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "reuse per-file findings from the incremental cache "
+            f"(default file: {DEFAULT_CACHE_PATH}); output is "
+            "byte-identical to an uncached run"
+        ),
+    )
+    parser.add_argument(
+        "--cache-file",
+        metavar="PATH",
+        default=DEFAULT_CACHE_PATH,
+        help="cache file location (implies nothing by itself; see --cache)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only files whose content changed since the cached run "
+            "(per-file rules only; implies --cache)"
+        ),
     )
     return parser
 
@@ -92,11 +124,25 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"unknown rule ids: {', '.join(unknown)}", file=sys.stderr)
             return 2
         rules = [rule for rule in ALL_RULES if rule.rule_id in wanted]
-    result = analyze_paths(args.paths, config=DEFAULT_CONFIG, rules=rules)
+    cache_path = args.cache_file if (args.cache or args.changed) else None
+    result = analyze_paths(
+        args.paths,
+        config=DEFAULT_CONFIG,
+        rules=rules,
+        cache_path=cache_path,
+        changed_only=args.changed,
+        want_graph=args.graph,
+    )
     if args.json:
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
     else:
         print(_render_human(result, args.show_suppressed))
+        if result.cache_status:
+            print(
+                f"cache: {result.cache_status} "
+                f"({result.cache_file_hits} file hits)",
+                file=sys.stderr,
+            )
     return 0 if result.ok else 1
 
 

@@ -80,6 +80,40 @@ DEFAULT_CONFIG = AnalysisConfig(
             # The RDF layer sits on the deterministic ingest path: the
             # compiled emitter's id assignment must replay bit-identically.
             "repro/rdf/*",
+            # These three feed the deterministic digests (trajectory
+            # forecasts, link resolutions, parsed reports) even though
+            # they are not pipeline tiers themselves.
+            "repro/forecasting/*",
+            "repro/linkage/*",
+            "repro/sources/*",
+        ),
+        # The deterministic scopes the taint engine defends: D4 reports
+        # call chains *from* these paths, and ProgramModel treats them as
+        # the frontier where transitive nondeterminism becomes a defect.
+        "D4": (
+            "repro/core/*",
+            "repro/runtime/*",
+            "repro/streams/*",
+            "repro/cep/*",
+            "repro/insitu/*",
+            "repro/serving/*",
+            "repro/rdf/*",
+            # The triple store persists what the RDF layer emits; its
+            # partition routing and posting lists are replayed state.
+            "repro/store/*",
+        ),
+        # Unordered iteration only matters where the order reaches bytes
+        # two runs must agree on — the same deterministic tiers, whose
+        # snapshots, digests, and emitted triples are the sinks.
+        "D5": (
+            "repro/core/*",
+            "repro/runtime/*",
+            "repro/streams/*",
+            "repro/cep/*",
+            "repro/insitu/*",
+            "repro/serving/*",
+            "repro/rdf/*",
+            "repro/store/*",
         ),
     },
     allowlists={

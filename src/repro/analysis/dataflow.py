@@ -1,0 +1,563 @@
+"""Interprocedural nondeterminism taint analysis.
+
+Built on the :mod:`repro.analysis.callgraph`, this module computes the
+three whole-program facts the D4/D5/P2 rules report on:
+
+- **taint** — which functions can reach a nondeterminism *source* (a
+  wall-clock read, an unseeded RNG, builtin ``hash``, ``os.environ`` /
+  ``os.urandom`` / ``uuid4`` / ``secrets``), and through which call
+  chain. Taint never crosses a **barrier** module (``repro/obs/*`` —
+  the sanctioned measurement boundary): a span reading the clock is the
+  accounted exception, not a leak.
+- **sink contexts** — which functions feed *persisted or emitted*
+  output: ``snapshot()`` checkpoint payloads, canonical result
+  payloads/digests, RDF emission — together with the chain from the
+  sink root. Unordered iteration inside a sink context is how a hash
+  seed leaks into bytes that two runs must agree on.
+- **worker-reachable mutable globals** — module-level mutable objects
+  mutated by code reachable from the multiprocess entrypoints
+  (``worker_main``, ``*Spec.build``): each forked/spawned worker
+  mutates its own copy and silently diverges from the parent.
+
+All traversals run over sorted names, so results are independent of
+module scan order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.analysis.callgraph import CallGraph, FunctionNode, build_call_graph
+from repro.analysis.classindex import MUTATOR_METHODS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.source import ParsedModule
+
+__all__ = [
+    "DEFAULT_BARRIERS",
+    "GlobalMutation",
+    "ProgramModel",
+    "SinkContext",
+    "TaintInfo",
+    "TaintSource",
+]
+
+#: Modules taint does not propagate out of: the observability layer is
+#: the one sanctioned consumer of the clock (D3 allowlists its clock
+#: module), so reaching a source *through* it is the accounted
+#: measurement path, not a determinism leak.
+DEFAULT_BARRIERS: tuple[str, ...] = ("repro/obs/*",)
+
+#: Wall/monotonic clock origins (mirrors rule D3).
+CLOCK_ORIGINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "datetime.datetime.today",
+    }
+)
+
+#: Process-environment and entropy reads no syntactic rule covers.
+ENV_ORIGINS = frozenset(
+    {
+        "os.environ",
+        "os.getenv",
+        "os.environb",
+        "os.urandom",
+        "os.getrandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbits",
+        "secrets.randbelow",
+        "secrets.choice",
+    }
+)
+
+#: ``random``-module names that are safe at module level (mirrors D2).
+_GLOBAL_RNG_SAFE = frozenset({"Random", "SystemRandom", "seed", "getstate", "setstate"})
+
+#: Function names whose return value is persisted or emitted verbatim —
+#: the roots sink-context propagation starts from. Functions in
+#: ``repro/rdf/*`` are roots wholesale (triple emission order is the
+#: store's input order).
+SINK_ROOT_NAMES = frozenset(
+    {
+        "snapshot",
+        "deterministic_payload",
+        "canonical_payload",
+        "result_document",
+        "as_dict",
+        "summary",
+        "stats",
+    }
+)
+
+_SINK_ROOT_MODULE_PATTERNS: tuple[str, ...] = ("repro/rdf/*",)
+
+#: Worker entrypoint function names (module-level spawn targets).
+_ENTRYPOINT_NAMES = frozenset({"worker_main"})
+
+_SPEC_NAMES = frozenset({"PipelineSpec", "WorkerSpec"})
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One direct nondeterminism source inside one function."""
+
+    kind: str  # "clock" | "rng" | "hash" | "env"
+    origin: str  # dotted origin, e.g. "time.time"
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class TaintInfo:
+    """Taint of one function: the chain of qnames down to the source.
+
+    ``chain`` starts at the function itself and ends at the function
+    that contains ``source`` directly.
+    """
+
+    chain: tuple[str, ...]
+    source: TaintSource
+
+
+@dataclass(frozen=True)
+class SinkContext:
+    """Why a function's output is persisted: the chain from a sink root."""
+
+    chain: tuple[str, ...]  # root → … → this function
+
+
+@dataclass(frozen=True)
+class GlobalMutation:
+    """One worker-reachable mutation of a module-level mutable global."""
+
+    module_path: str
+    name: str
+    def_line: int
+    mutator: str  # qname of the mutating function
+    mutation_line: int
+    entry_chain: tuple[str, ...]  # entrypoint → … → mutator
+
+
+def _matches_any(path: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatchcase(path, pat) for pat in patterns)
+
+
+class ProgramModel:
+    """Whole-program facts shared by the D4/D5/P2 rules.
+
+    Built once per engine run after every module is parsed; each rule's
+    ``check(module)`` then just reads its precomputed slice. Scope
+    patterns come from the run's :class:`AnalysisConfig` (rule D4's
+    scope doubles as "the deterministic paths"), so fixture trees see
+    the same semantics as ``src/``.
+    """
+
+    def __init__(
+        self,
+        modules: Sequence["ParsedModule"],
+        index: "ClassIndex",
+        config: "AnalysisConfig",
+        barriers: Sequence[str] = DEFAULT_BARRIERS,
+    ) -> None:
+        self.modules = sorted(modules, key=lambda m: m.path)
+        self.index = index
+        self.config = config
+        self.barriers = tuple(barriers)
+        self.graph: CallGraph = build_call_graph(self.modules, index)
+        self._sources: dict[str, tuple[TaintSource, ...]] = {}
+        self._detect_sources()
+        self.taint: dict[str, TaintInfo] = self._propagate_taint()
+        self.sinks: dict[str, SinkContext] = self._propagate_sinks()
+        self.mutations: tuple[GlobalMutation, ...] = self._worker_global_mutations()
+
+    # ------------------------------------------------------------- scopes
+
+    def in_deterministic_scope(self, path: str) -> bool:
+        """Whether a module is on a byte-identity contract path (D4 scope)."""
+        return self.config.in_scope("D4", path)
+
+    def is_barrier(self, path: str) -> bool:
+        return _matches_any(path, self.barriers)
+
+    # ------------------------------------------------------------ sources
+
+    def direct_sources(self, qname: str) -> tuple[TaintSource, ...]:
+        return self._sources.get(qname, ())
+
+    def _detect_sources(self) -> None:
+        for fn in self.graph.iter_functions():
+            scope = self.graph.scopes[fn.module_path]
+            found: list[TaintSource] = []
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.Attribute, ast.Name)):
+                    origin = scope.resolve_reference(node)
+                    kind = self._reference_kind(origin)
+                    if kind is not None:
+                        found.append(
+                            TaintSource(kind, origin, fn.module_path, node.lineno)
+                        )
+                if isinstance(node, ast.Call):
+                    source = self._call_source(node, fn)
+                    if source is not None:
+                        found.append(source)
+            if found:
+                deduped = sorted(set(found), key=lambda s: (s.line, s.kind, s.origin))
+                self._sources[fn.qname] = tuple(deduped)
+
+    def _reference_kind(self, origin: str) -> str | None:
+        if origin in CLOCK_ORIGINS:
+            return "clock"
+        if origin in ENV_ORIGINS:
+            return "env"
+        return None
+
+    def _call_source(self, node: ast.Call, fn: FunctionNode) -> TaintSource | None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            return TaintSource("hash", "hash", fn.module_path, node.lineno)
+        origin = self.graph.scopes[fn.module_path].resolve_reference(func)
+        if origin in ("random.Random", "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                return TaintSource("rng", origin, fn.module_path, node.lineno)
+            return None
+        if origin.startswith("random."):
+            name = origin.split(".", 1)[1]
+            if "." not in name and name not in _GLOBAL_RNG_SAFE:
+                return TaintSource("rng", origin, fn.module_path, node.lineno)
+        elif origin.startswith("numpy.random.") and origin.count(".") == 2:
+            name = origin.rsplit(".", 1)[1]
+            if name not in ("default_rng", "Generator", "SeedSequence"):
+                return TaintSource("rng", origin, fn.module_path, node.lineno)
+        return None
+
+    # ---------------------------------------------------------- taint BFS
+
+    def _propagate_taint(self) -> dict[str, TaintInfo]:
+        taint: dict[str, TaintInfo] = {}
+        frontier: list[str] = []
+        for qname in sorted(self._sources):
+            fn = self.graph.functions[qname]
+            if self.is_barrier(fn.module_path):
+                continue
+            source = self._sources[qname][0]
+            taint[qname] = TaintInfo(chain=(qname,), source=source)
+            frontier.append(qname)
+        reverse = self.graph.reverse_edges()
+        while frontier:
+            next_frontier: list[str] = []
+            for qname in sorted(frontier):
+                info = taint[qname]
+                for caller, _site in reverse.get(qname, ()):
+                    if caller in taint:
+                        continue
+                    if self.is_barrier(self.graph.functions[caller].module_path):
+                        continue
+                    taint[caller] = TaintInfo(
+                        chain=(caller, *info.chain), source=info.source
+                    )
+                    next_frontier.append(caller)
+            frontier = next_frontier
+        return taint
+
+    # ----------------------------------------------------------- sink BFS
+
+    def _is_sink_root(self, fn: FunctionNode) -> bool:
+        if fn.name in SINK_ROOT_NAMES:
+            return True
+        return _matches_any(fn.module_path, _SINK_ROOT_MODULE_PATTERNS)
+
+    def _propagate_sinks(self) -> dict[str, SinkContext]:
+        sinks: dict[str, SinkContext] = {}
+        frontier: list[str] = []
+        for fn in self.graph.iter_functions():
+            if self.is_barrier(fn.module_path):
+                continue
+            if self._is_sink_root(fn):
+                sinks[fn.qname] = SinkContext(chain=(fn.qname,))
+                frontier.append(fn.qname)
+        while frontier:
+            next_frontier: list[str] = []
+            for qname in sorted(frontier):
+                context = sinks[qname]
+                for site in self.graph.functions[qname].calls:
+                    callee = site.callee
+                    if callee in sinks or callee not in self.graph.functions:
+                        continue
+                    if self.is_barrier(self.graph.functions[callee].module_path):
+                        continue
+                    sinks[callee] = SinkContext(chain=(*context.chain, callee))
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return sinks
+
+    # -------------------------------------------------------- P2 analysis
+
+    def _mutable_globals(self, module: "ParsedModule") -> dict[str, int]:
+        """Module-level names bound to mutable containers → def line."""
+        out: dict[str, int] = {}
+        scope = self.graph.scopes[module.path]
+        for stmt in module.tree.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            ref = self.graph._type_from_value(value, scope, {})
+            if ref.kind not in ("dict", "set", "list"):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # __all__ and friends: interpreter conventions
+                out.setdefault(name, stmt.lineno)
+        return out
+
+    def _entrypoints(self) -> list[str]:
+        """Worker entrypoints: spawn targets and spec build methods."""
+        entries: set[str] = set()
+        for fn in self.graph.iter_functions():
+            if not fn.cls and fn.name in _ENTRYPOINT_NAMES:
+                entries.add(fn.qname)
+            if fn.cls.endswith("Spec") and fn.name == "build":
+                entries.add(fn.qname)
+        # Callables handed into spec constructors are shipped to workers.
+        for fn in self.graph.iter_functions():
+            scope = self.graph.scopes[fn.module_path]
+            local_types = self.graph._local_types(fn, scope)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                head = self.graph._annotation_head(node.func)
+                if head not in _SPEC_NAMES:
+                    continue
+                for value in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if isinstance(value, (ast.Name, ast.Attribute)):
+                        target = self.graph._resolve_call(
+                            value, fn, scope, local_types
+                        )
+                        if target is not None:
+                            entries.add(target)
+        return sorted(entries)
+
+    def _reachable_from_entrypoints(self) -> dict[str, tuple[str, ...]]:
+        """qname → chain (entrypoint → … → qname) for reachable functions."""
+        chains: dict[str, tuple[str, ...]] = {}
+        frontier: list[str] = []
+        for entry in self._entrypoints():
+            if entry in self.graph.functions and entry not in chains:
+                chains[entry] = (entry,)
+                frontier.append(entry)
+        while frontier:
+            next_frontier: list[str] = []
+            for qname in sorted(frontier):
+                chain = chains[qname]
+                for site in self.graph.functions[qname].calls:
+                    callee = site.callee
+                    if callee in chains or callee not in self.graph.functions:
+                        continue
+                    chains[callee] = (*chain, callee)
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return chains
+
+    def _worker_global_mutations(self) -> tuple[GlobalMutation, ...]:
+        reachable = self._reachable_from_entrypoints()
+        out: list[GlobalMutation] = []
+        by_path = {m.path: m for m in self.modules}
+        for path in sorted(by_path):
+            module = by_path[path]
+            globals_here = self._mutable_globals(module)
+            if not globals_here:
+                continue
+            for fn in self.graph.iter_functions():
+                if fn.module_path != path or fn.qname not in reachable:
+                    continue
+                for name, line in sorted(_mutated_globals(fn).items()):
+                    if name not in globals_here:
+                        continue
+                    out.append(
+                        GlobalMutation(
+                            module_path=path,
+                            name=name,
+                            def_line=globals_here[name],
+                            mutator=fn.qname,
+                            mutation_line=line,
+                            entry_chain=reachable[fn.qname],
+                        )
+                    )
+        # One finding per (module, global): keep the shortest entry chain.
+        best: dict[tuple[str, str], GlobalMutation] = {}
+        for mutation in out:
+            key = (mutation.module_path, mutation.name)
+            prior = best.get(key)
+            if prior is None or len(mutation.entry_chain) < len(prior.entry_chain):
+                best[key] = mutation
+        return tuple(best[k] for k in sorted(best))
+
+    # ------------------------------------------------------------ exports
+
+    def display(self, qname: str) -> str:
+        """``module.py::fn`` shortened to ``fn``/``Cls.fn`` with its module."""
+        fn = self.graph.functions.get(qname)
+        if fn is None:
+            return qname
+        return f"{fn.display} ({fn.module_path}:{fn.lineno})"
+
+    def chain_text(self, chain: Sequence[str]) -> str:
+        """Human chain: ``a → b → c`` using bare display names."""
+        parts = []
+        for qname in chain:
+            fn = self.graph.functions.get(qname)
+            parts.append(fn.display if fn is not None else qname)
+        return " → ".join(parts)
+
+    def graph_json(self) -> dict:
+        """The taint-graph artifact (``--json --graph``): every function,
+        its resolved call edges, direct sources, taint chain and sink
+        context — sorted and reproducible byte-for-byte."""
+        functions = []
+        for fn in self.graph.iter_functions():
+            taint = self.taint.get(fn.qname)
+            sink = self.sinks.get(fn.qname)
+            entry: dict = {
+                "qname": fn.qname,
+                "path": fn.module_path,
+                "line": fn.lineno,
+                "calls": [site.callee for site in fn.calls],
+            }
+            sources = self.direct_sources(fn.qname)
+            if sources:
+                entry["sources"] = [
+                    {"kind": s.kind, "origin": s.origin, "line": s.line}
+                    for s in sources
+                ]
+            if taint is not None:
+                entry["taint"] = {
+                    "chain": list(taint.chain),
+                    "source": {
+                        "kind": taint.source.kind,
+                        "origin": taint.source.origin,
+                        "path": taint.source.path,
+                        "line": taint.source.line,
+                    },
+                }
+            if sink is not None:
+                entry["sink_chain"] = list(sink.chain)
+            functions.append(entry)
+        return {
+            "barriers": list(self.barriers),
+            "deterministic_scopes": sorted(self.config.scopes.get("D4", ())),
+            "functions": functions,
+        }
+
+    # ----------------------------------------------------------- per-file
+
+    def functions_in(self, path: str) -> Iterator[FunctionNode]:
+        for fn in self.graph.iter_functions():
+            if fn.module_path == path:
+                yield fn
+
+
+def _mutated_globals(fn: FunctionNode) -> dict[str, int]:
+    """Names a function mutates that are not locally bound → first line."""
+    node = fn.node
+    local: set[str] = set()
+    declared_global: set[str] = set()
+    args = node.args  # type: ignore[attr-defined]
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]:
+        local.add(arg.arg)
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Global):
+            declared_global.update(stmt.names)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    local.add(target.id)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(stmt.target):
+                if isinstance(name_node, ast.Name):
+                    local.add(name_node.id)
+        elif isinstance(stmt, ast.comprehension):
+            for name_node in ast.walk(stmt.target):
+                if isinstance(name_node, ast.Name):
+                    local.add(name_node.id)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    for name_node in ast.walk(item.optional_vars):
+                        if isinstance(name_node, ast.Name):
+                            local.add(name_node.id)
+    local -= declared_global
+
+    out: dict[str, int] = {}
+
+    def note(name: str, line: int) -> None:
+        if name not in local:
+            out.setdefault(name, line)
+
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Call):
+            func = stmt.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+                and isinstance(func.value, ast.Name)
+            ):
+                note(func.value.id, stmt.lineno)
+        elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    note(target.value.id, stmt.lineno)
+                elif isinstance(target, ast.Name) and target.id in declared_global:
+                    out.setdefault(target.id, stmt.lineno)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    note(target.value.id, stmt.lineno)
+    return out

@@ -12,14 +12,22 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.naming import MetricNameRule
 from repro.analysis.rules.pickle_safety import PickleSafetyRule
+from repro.analysis.rules.taint import (
+    TransitiveNondeterminismRule,
+    UnorderedIterationRule,
+    WorkerGlobalRule,
+)
 
 #: Every shipped rule, in reporting order.
 ALL_RULES: tuple[Rule, ...] = (
     BuiltinHashRule(),
     UnseededRngRule(),
     WallClockRule(),
+    TransitiveNondeterminismRule(),
+    UnorderedIterationRule(),
     SnapshotCoverageRule(),
     PickleSafetyRule(),
+    WorkerGlobalRule(),
     MetricNameRule(),
     DeprecatedApiRule(),
 )

@@ -25,6 +25,17 @@ class Rule:
     title: str = ""
     #: Which contract the rule protects (shown by ``--list-rules``).
     protects: str = ""
+    #: Whole-program rules additionally receive a
+    #: :class:`~repro.analysis.dataflow.ProgramModel` via :meth:`prepare`
+    #: before any ``check`` call; the engine builds the model once per run.
+    whole_program: bool = False
+    #: True when ``check`` reads state from *other* modules (the class
+    #: index, the program model) — such findings cannot be cached per
+    #: file on that file's content hash alone.
+    cross_module: bool = False
+
+    def prepare(self, program: object) -> None:
+        """Receive the whole-program model (no-op for local rules)."""
 
     def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
         raise NotImplementedError

@@ -65,6 +65,9 @@ class SnapshotCoverageRule(Rule):
     rule_id = "C1"
     title = "snapshot()/restore() must cover every mutable field"
     protects = "PR 1/3: crash-resume byte-identical to an uninterrupted run"
+    # Inherited snapshot/restore resolve through the class index, so a
+    # finding here can change when a *base class* in another file does.
+    cross_module = True
 
     def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
         for info in index.by_module.get(module.path, ()):

@@ -1,0 +1,329 @@
+"""Whole-program taint rules: D4, D5, P2.
+
+Unlike the syntactic rules, these consume the
+:class:`~repro.analysis.dataflow.ProgramModel` the engine builds after
+parsing every module — a call graph plus interprocedural taint,
+sink-context and worker-reachability facts. The engine calls
+:meth:`Rule.prepare` once with the model; ``check(module)`` then only
+reads the precomputed slice for that module, so per-module dispatch,
+scoping, suppression and allowlisting behave exactly as for D1–D3.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.callgraph import FunctionNode, TypeRef
+from repro.analysis.dataflow import ProgramModel
+from repro.analysis.findings import Finding
+from repro.analysis.rules.base import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.classindex import ClassIndex
+    from repro.analysis.source import ParsedModule
+
+#: Iteration wrappers that make order immaterial: ``sorted`` imposes an
+#: order; ``min``/``max``/``any``/``all``/``len`` are order-free folds;
+#: rebuilding a ``set``/``frozenset`` stays unordered data. ``sum`` is
+#: deliberately *not* here: float addition is order-sensitive.
+_ORDER_FREE_WRAPPERS = frozenset(
+    {"sorted", "min", "max", "any", "all", "len", "set", "frozenset"}
+)
+
+#: Calls that realize an iterable into an ordered result.
+_ORDERING_CALLS = frozenset({"list", "tuple", "sum"})
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+#: Source-kind → human phrasing for D4 messages.
+_KIND_TEXT = {
+    "clock": "a wall-clock read",
+    "rng": "an unseeded RNG",
+    "hash": "builtin hash()",
+    "env": "a process-environment read",
+}
+
+
+class WholeProgramRule(Rule):
+    """Base for rules that need the :class:`ProgramModel`."""
+
+    whole_program = True
+    cross_module = True
+
+    def __init__(self) -> None:
+        self._program: ProgramModel | None = None
+
+    def prepare(self, program: ProgramModel) -> None:
+        self._program = program
+
+    @property
+    def program(self) -> ProgramModel:
+        if self._program is None:  # pragma: no cover - engine always prepares
+            raise RuntimeError(f"{self.rule_id}: prepare() was not called")
+        return self._program
+
+
+class TransitiveNondeterminismRule(WholeProgramRule):
+    """D4: a deterministic-path function reaches nondeterminism transitively.
+
+    D1–D3 flag a source written *on the line*; D4 flags the call chain —
+    a clock read two helpers deep, an unseeded RNG in a utility module
+    the pipeline calls into. The finding prints the full chain down to
+    the source so the fix site is obvious. Taint never crosses the
+    ``repro.obs`` barrier: measurement through the sanctioned clock
+    boundary is accounted, not leaked.
+    """
+
+    rule_id = "D4"
+    title = "transitively-reachable nondeterminism in a deterministic path"
+    protects = "PR 1/3/4: byte-identity holds through every helper, not just top frames"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        program = self.program
+        for fn in program.functions_in(module.path):
+            # Direct env-kind sources: no syntactic rule covers them, so
+            # D4 reports them at depth zero.
+            for source in program.direct_sources(fn.qname):
+                if source.kind == "env":
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=source.line,
+                        message=(
+                            f"{fn.display} reads {source.origin} — "
+                            "a process-environment value in a deterministic "
+                            "path; two runs (or two workers) see different "
+                            "values. Thread the value through config/spec "
+                            "instead"
+                        ),
+                        detail=source.origin,
+                    )
+            yield from self._transitive_findings(program, module, fn)
+
+    def _transitive_findings(
+        self, program: ProgramModel, module: "ParsedModule", fn: FunctionNode
+    ) -> Iterator[Finding]:
+        for site in fn.calls:
+            callee = program.graph.functions.get(site.callee)
+            if callee is None:
+                continue
+            info = program.taint.get(site.callee)
+            if info is None:
+                continue
+            # When the callee is itself a deterministic-path function
+            # with no direct source, *it* carries the finding nearer the
+            # source — reporting here too would duplicate every chain
+            # once per caller.
+            if (
+                program.in_deterministic_scope(callee.module_path)
+                and not program.direct_sources(site.callee)
+            ):
+                continue
+            source = info.source
+            chain = program.chain_text((fn.qname, *info.chain))
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=site.line,
+                col=site.col,
+                message=(
+                    f"{fn.display} reaches {_KIND_TEXT.get(source.kind, source.kind)} "
+                    f"({source.origin}, {source.path}:{source.line}) through the "
+                    f"call chain {chain}; deterministic paths must not reach "
+                    "nondeterminism at any depth"
+                ),
+                detail=f"{callee.name}->{source.origin}",
+            )
+
+
+class UnorderedIterationRule(WholeProgramRule):
+    """D5: unordered-iteration order flowing into persisted/emitted output.
+
+    Inside a *sink context* — ``snapshot()`` checkpoint payloads,
+    canonical result payloads/digests, aggregate summaries, RDF emission,
+    and everything they call — iterating a ``set`` leaks the interpreter's
+    hash salt into bytes two runs must agree on, and iterating a mutable
+    ``dict`` leaks insertion history that a crash-resumed run can rebuild
+    in a different order. Wrap the iterable in ``sorted(...)`` or fold
+    order-insensitively (``min``/``max``/``any``/``all``).
+    """
+
+    rule_id = "D5"
+    title = "unordered iteration flowing into persisted/emitted output"
+    protects = "PR 1/3/6: snapshot/digest/RDF bytes independent of hash salt and history"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        program = self.program
+        for fn in program.functions_in(module.path):
+            sink = program.sinks.get(fn.qname)
+            if sink is None:
+                continue
+            root = program.graph.functions.get(sink.chain[0])
+            root_text = root.display if root is not None else sink.chain[0]
+            chain_text = program.chain_text(sink.chain)
+            scope = program.graph.scopes[fn.module_path]
+            local_types = program.graph._local_types(fn, scope)
+            for expr, desc, kind in _unordered_iterations(
+                program, fn, local_types
+            ):
+                if kind == "set":
+                    message = (
+                        f"iteration over {desc} (a set: order follows the "
+                        "interpreter's hash salt) flows into "
+                        f"{root_text}() output — wrap it in sorted(...) "
+                        f"(sink chain: {chain_text})"
+                    )
+                else:
+                    message = (
+                        f"iteration order of {desc} (a dict: insertion order, "
+                        "which a resumed run can rebuild differently) flows "
+                        f"into {root_text}() output — iterate sorted keys "
+                        f"(sink chain: {chain_text})"
+                    )
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=expr.lineno,
+                    col=expr.col_offset,
+                    message=message,
+                    detail=desc,
+                )
+
+
+def _unordered_iterations(
+    program: ProgramModel,
+    fn: FunctionNode,
+    local_types: dict[str, TypeRef],
+) -> Iterator[tuple[ast.expr, str, str]]:
+    """Yield (iter-expr, description, "set"/"dict") for unordered iterations."""
+    seen: set[tuple[int, int]] = set()
+
+    def classify(expr: ast.expr) -> None:
+        key = (expr.lineno, expr.col_offset)
+        if key in seen:
+            return
+        # sorted(...) / min(...) / any(...)… impose or ignore order.
+        if isinstance(expr, ast.Call):
+            head = _head_name(expr.func)
+            if head in _ORDER_FREE_WRAPPERS:
+                return
+        ref, desc = _iterable_type(program, fn, expr, local_types)
+        if ref.kind == "set":
+            seen.add(key)
+            yield_buffer.append((expr, desc, "set"))
+        elif ref.kind == "dict":
+            seen.add(key)
+            yield_buffer.append((expr, desc, "dict"))
+
+    yield_buffer: list[tuple[ast.expr, str, str]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            classify(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                classify(gen.iter)
+        elif isinstance(node, ast.Call):
+            head = _head_name(node.func)
+            if head in _ORDERING_CALLS and len(node.args) == 1:
+                arg = node.args[0]
+                # Generator args are handled by the comprehension walk.
+                if not isinstance(arg, ast.GeneratorExp):
+                    classify(arg)
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and len(node.args) == 1
+                and not isinstance(node.args[0], ast.GeneratorExp)
+            ):
+                classify(node.args[0])
+    yield from yield_buffer
+
+
+def _head_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _iterable_type(
+    program: ProgramModel,
+    fn: FunctionNode,
+    expr: ast.expr,
+    local_types: dict[str, TypeRef],
+) -> tuple[TypeRef, str]:
+    """Inferred type of an iteration target plus a printable description."""
+    graph = program.graph
+    scope = graph.scopes[fn.module_path]
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        if expr.func.attr in _DICT_VIEWS and not expr.args:
+            base_ref, base_desc = _iterable_type(
+                program, fn, expr.func.value, local_types
+            )
+            if base_ref.kind == "dict":
+                return base_ref, f"{base_desc}.{expr.func.attr}()"
+            return TypeRef(), base_desc
+    receiver = graph._receiver_type(expr, fn, scope, local_types)
+    if receiver.kind != "unknown":
+        return receiver, _describe(expr)
+    inferred = graph._type_from_value(expr, scope, local_types)
+    return inferred, _describe(expr)
+
+
+def _describe(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        inner = _describe(expr.value)
+        return f"{inner}.{expr.attr}" if inner else expr.attr
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(expr, ast.Call):
+        head = _head_name(expr.func)
+        return f"{head}(...)" if head else "a call result"
+    if isinstance(expr, ast.Subscript):
+        return _describe(expr.value) + "[...]"
+    return "the iterable"
+
+
+class WorkerGlobalRule(WholeProgramRule):
+    """P2: module-level mutable globals reachable from worker entrypoints.
+
+    A module-level ``dict``/``list``/``set`` mutated by code that a
+    spawned worker executes is fork/spawn divergence in waiting: each
+    worker process mutates its *own copy* of the module, the parent sees
+    none of it, and merged results silently disagree with a
+    single-process run. State belongs on the pipeline (checkpointed) or
+    in the spec (shipped explicitly).
+    """
+
+    rule_id = "P2"
+    title = "mutable module global reachable from a worker entrypoint"
+    protects = "PR 3: workers share nothing implicitly; all state is spec or checkpoint"
+
+    def check(self, module: "ParsedModule", index: "ClassIndex") -> Iterable[Finding]:
+        program = self.program
+        for mutation in program.mutations:
+            if mutation.module_path != module.path:
+                continue
+            mutator = program.graph.functions.get(mutation.mutator)
+            mutator_text = (
+                mutator.display if mutator is not None else mutation.mutator
+            )
+            chain = program.chain_text(mutation.entry_chain)
+            yield Finding(
+                rule=self.rule_id,
+                path=module.path,
+                line=mutation.def_line,
+                message=(
+                    f"module-level mutable global {mutation.name!r} is mutated "
+                    f"by {mutator_text} ({mutation.module_path}:"
+                    f"{mutation.mutation_line}), reachable from a worker "
+                    f"entrypoint via {chain}; each spawned worker mutates its "
+                    "own module copy and diverges — move the state onto the "
+                    "pipeline/spec or make the global immutable"
+                ),
+                detail=mutation.name,
+            )

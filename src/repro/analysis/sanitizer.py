@@ -1,0 +1,207 @@
+"""Runtime determinism sanitizer: the dynamic half of the taint engine.
+
+The static rules (D1–D5) prove no *source-level* path from the
+deterministic tiers to a clock or RNG; this context manager proves the
+same claim at runtime. Inside it, every module-level wall-clock read
+(``time.time``, ``time.monotonic``, …), every module-level draw from
+the global ``random`` generator, and ``datetime.datetime.now`` /
+``datetime.date.today`` raise :class:`DeterminismViolation` — except
+when the *caller* is the sanctioned measurement boundary
+(``repro.obs``), identified by frame inspection exactly as the D3
+allowlist identifies it by path.
+
+Used by the differential/chaos suites: running a byte-identity arm
+under the sanitizer shows the replayed bytes were produced without
+touching ambient nondeterminism, not merely that two runs happened to
+agree.
+
+What is deliberately **not** patched:
+
+- ``time.sleep`` — it affects wall duration, never produced bytes; the
+  runtime's backoff paths may sleep without breaking determinism.
+- seeded generator *instances* (``random.Random(seed)``) — drawing from
+  an explicitly seeded stream is the sanctioned way to randomize.
+- ``from datetime import datetime`` bindings taken **before** the
+  sanitizer entered — C-level types cannot be patched in place, so only
+  the module attributes are swapped. Rule D3 catches those statically.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime_module
+import random as _random_module
+import sys
+import time as _time_module
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+__all__ = ["DeterminismViolation", "determinism_sanitizer"]
+
+
+class DeterminismViolation(RuntimeError):
+    """A deterministic-path arm touched ambient nondeterminism."""
+
+
+#: Callers allowed to reach the real clock: the observability layer is
+#: the accounted measurement boundary (mirrors the D3/D4 barrier).
+DEFAULT_ALLOWED_CALLERS: tuple[str, ...] = ("repro.obs",)
+
+#: Module-level clock reads patched on :mod:`time`.
+_TIME_FUNCS: tuple[str, ...] = (
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+)
+
+#: Module-level draws from the *global* (unseeded) random generator.
+_RANDOM_FUNCS: tuple[str, ...] = (
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "getrandbits",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gammavariate",
+    "gauss",
+    "lognormvariate",
+    "normalvariate",
+    "vonmisesvariate",
+    "paretovariate",
+    "weibullvariate",
+)
+
+
+def _caller_allowed(allowed: Sequence[str]) -> bool:
+    """Whether the frame that called the patched function is sanctioned.
+
+    Frame 0 is this helper, frame 1 the guard wrapper, frame 2 the
+    caller of the patched function.
+    """
+    frame = sys._getframe(2)
+    name = frame.f_globals.get("__name__", "")
+    return any(name == p or name.startswith(p + ".") for p in allowed)
+
+
+def _guard(
+    qualname: str,
+    original: Callable,
+    allowed: Sequence[str],
+    hint: str,
+) -> Callable:
+    def guarded(*args, **kwargs):
+        if allowed and _caller_allowed(allowed):
+            return original(*args, **kwargs)
+        caller = sys._getframe(1).f_globals.get("__name__", "<unknown>")
+        raise DeterminismViolation(
+            f"{qualname}() called from {caller!r} under the determinism "
+            f"sanitizer; {hint}"
+        )
+
+    guarded.__name__ = getattr(original, "__name__", qualname)
+    return guarded
+
+
+def _raising_datetime(allowed: Sequence[str]) -> type:
+    real = _datetime_module.datetime
+
+    class SanitizedDatetime(real):  # type: ignore[misc, valid-type]
+        @classmethod
+        def now(cls, tz=None):
+            if allowed and _caller_allowed(allowed):
+                return real.now(tz)
+            raise DeterminismViolation(
+                "datetime.datetime.now() under the determinism sanitizer; "
+                "timestamps on deterministic paths must come from the "
+                "replayed stream, not the wall clock"
+            )
+
+        @classmethod
+        def utcnow(cls):
+            raise DeterminismViolation(
+                "datetime.datetime.utcnow() under the determinism sanitizer"
+            )
+
+        @classmethod
+        def today(cls):
+            raise DeterminismViolation(
+                "datetime.datetime.today() under the determinism sanitizer"
+            )
+
+    return SanitizedDatetime
+
+
+def _raising_date(allowed: Sequence[str]) -> type:
+    real = _datetime_module.date
+
+    class SanitizedDate(real):  # type: ignore[misc, valid-type]
+        @classmethod
+        def today(cls):
+            raise DeterminismViolation(
+                "datetime.date.today() under the determinism sanitizer"
+            )
+
+    return SanitizedDate
+
+
+@contextmanager
+def determinism_sanitizer(
+    allowed_callers: Sequence[str] = DEFAULT_ALLOWED_CALLERS,
+) -> Iterator[None]:
+    """Raise on ambient clock/RNG use for the duration of the block.
+
+    ``allowed_callers`` are dotted module prefixes whose calls pass
+    through to the real functions (default: ``repro.obs``, the
+    measurement boundary). Pass ``()`` to allow nothing.
+    """
+    saved: list[tuple[object, str, object]] = []
+
+    def patch(owner: object, name: str, replacement: object) -> None:
+        saved.append((owner, name, getattr(owner, name)))
+        setattr(owner, name, replacement)
+
+    clock_hint = (
+        "deterministic paths must not read clocks — route measurement "
+        "through repro.obs.clock"
+    )
+    rng_hint = (
+        "draws must come from an explicitly seeded random.Random(seed) "
+        "instance, never the global generator"
+    )
+    try:
+        for name in _TIME_FUNCS:
+            original = getattr(_time_module, name, None)
+            if original is None:  # pragma: no cover - platform-dependent
+                continue
+            patch(
+                _time_module,
+                name,
+                _guard(f"time.{name}", original, allowed_callers, clock_hint),
+            )
+        for name in _RANDOM_FUNCS:
+            original = getattr(_random_module, name, None)
+            if original is None:  # pragma: no cover - version-dependent
+                continue
+            # No caller is sanctioned to draw from the global stream.
+            patch(
+                _random_module,
+                name,
+                _guard(f"random.{name}", original, (), rng_hint),
+            )
+        patch(_datetime_module, "datetime", _raising_datetime(allowed_callers))
+        patch(_datetime_module, "date", _raising_date(allowed_callers))
+        yield
+    finally:
+        for owner, name, original in reversed(saved):
+            setattr(owner, name, original)

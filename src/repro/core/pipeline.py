@@ -1853,7 +1853,8 @@ class MobilityPipeline:
         """Land the buffered per-record samples on the registry histograms."""
         if not self._obs:
             return
-        for stage, buf in self._lat_buf.items():
+        for stage in sorted(self._lat_buf):
+            buf = self._lat_buf[stage]
             if not buf:
                 continue
             hist = self._end_to_end if stage == "end_to_end" else self._latency[stage]

@@ -104,10 +104,17 @@ def horizon_sweep(
     predictors: Sequence[Predictor],
     trajectories: Sequence[Trajectory],
     horizons_s: Sequence[float],
-    **kwargs,
+    min_history_s: float = 600.0,
+    cuts_per_trajectory: int = 3,
 ) -> dict[str, list[HorizonErrors]]:
     """Evaluate several predictors on the same data; keyed by model name."""
     return {
-        predictor.name: evaluate_predictor(predictor, trajectories, horizons_s, **kwargs)
+        predictor.name: evaluate_predictor(
+            predictor,
+            trajectories,
+            horizons_s,
+            min_history_s=min_history_s,
+            cuts_per_trajectory=cuts_per_trajectory,
+        )
         for predictor in predictors
     }

@@ -128,8 +128,10 @@ class AdmissionPolicy:
 
     def shed_total(self) -> int:
         """Requests shed across all clients so far."""
-        return sum(c.shed for c in self._controllers.values())
+        return sum(self._controllers[cid].shed for cid in sorted(self._controllers))
 
     def admitted_total(self) -> int:
         """Requests admitted across all clients so far."""
-        return sum(c.admitted for c in self._controllers.values())
+        return sum(
+            self._controllers[cid].admitted for cid in sorted(self._controllers)
+        )

@@ -20,7 +20,7 @@ from repro.model.reports import PositionReport, ReportSource
 from repro.model.trajectory import Trajectory
 from repro.sources.kinematics import FlightProfile, simulate_route
 from repro.sources.noise import DeliveryModel, SensorModel
-from repro.sources.world import AviationWorld, MaritimeWorld
+from repro.sources.world import AviationWorld, MaritimeWorld, RouteSpec
 
 
 @dataclass
@@ -101,7 +101,7 @@ class MaritimeTrafficGenerator:
             self._network = RouteNetwork.from_world(self.world)
         self._rng = np.random.default_rng(seed)
 
-    def _pick_route(self):
+    def _pick_route(self) -> RouteSpec:
         if self._network is not None:
             return self._network.random_voyage(self._rng, min_legs=2)
         return self.world.routes[int(self._rng.integers(len(self.world.routes)))]

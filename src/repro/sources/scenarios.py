@@ -237,7 +237,7 @@ def aviation_near_miss_scenario(
     speed = 220.0  # m/s
     approach_m = 150_000.0
 
-    def straight_flight(entity_id, bearing_in, alt):
+    def straight_flight(entity_id: str, bearing_in: float, alt: float) -> Trajectory:
         start_lon, start_lat = destination_point(
             cross_lon, cross_lat, (bearing_in + 180.0) % 360.0, approach_m
         )

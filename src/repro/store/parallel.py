@@ -350,6 +350,7 @@ class ParallelRDFStore:
         """Balance statistics for experiment E4."""
         triples = tuple(len(p) for p in self.partitions)
         subjects: list[int] = [0] * self.n_partitions
+        # lint: allow[D5] integer bucket counting is commutative — every iteration order yields the same subjects_per_partition tuple
         for partition_idx in self._subject_partition.values():
             subjects[partition_idx] += 1
         mean = float(np.mean(triples)) if triples else 0.0

@@ -1,0 +1,171 @@
+"""Incremental cache: byte-identity, hit/miss tiers, --changed mode."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_paths
+from repro.analysis.config import AllowEntry
+
+
+def _write_tree(root, files):
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    return root
+
+
+TREE = {
+    "pkg/__init__.py": "",
+    "pkg/clean.py": "def double(x):\n    return x * 2\n",
+    "pkg/dirty.py": "def f(x):\n    return hash(x)\n",
+    "pkg/timed.py": "import time\n\ndef g():\n    return time.time()\n",
+}
+
+
+@pytest.fixture
+def tree(tmp_path):
+    return _write_tree(tmp_path / "tree", dict(TREE))
+
+
+@pytest.fixture
+def cache_file(tmp_path):
+    return str(tmp_path / "lint-cache.json")
+
+
+class TestByteIdentity:
+    def test_warm_run_emits_byte_identical_json(self, tree, cache_file):
+        cold = analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        warm = analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        cold_bytes = json.dumps(cold.as_dict(), indent=2, sort_keys=True)
+        warm_bytes = json.dumps(warm.as_dict(), indent=2, sort_keys=True)
+        assert cold_bytes == warm_bytes
+        assert cold.cache_status == "cold"
+        assert warm.cache_status == "hit"
+
+    def test_full_hit_reports_every_file_as_hit(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        warm = analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        assert warm.cache_file_hits == len(TREE)
+        assert warm.files == sorted(TREE)
+
+    def test_cache_telemetry_stays_out_of_the_report(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        warm = analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        report = warm.as_dict()
+        assert "cache_status" not in report
+        assert "cache_file_hits" not in report
+
+
+class TestInvalidation:
+    def test_editing_one_file_reuses_the_rest(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        (tree / "pkg/clean.py").write_text(
+            "def double(x):\n    return hash(x)\n"
+        )
+        partial = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert partial.cache_status == "partial"
+        assert partial.cache_file_hits == len(TREE) - 1
+        # The edit's new finding is live, not a stale cached view.
+        assert any(
+            f.rule == "D1" and f.path == "pkg/clean.py"
+            for f in partial.open_findings
+        )
+
+    def test_fixed_finding_disappears_on_warm_run(self, tree, cache_file):
+        first = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert any(f.path == "pkg/dirty.py" for f in first.open_findings)
+        (tree / "pkg/dirty.py").write_text("def f(x):\n    return x\n")
+        second = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert not any(f.path == "pkg/dirty.py" for f in second.open_findings)
+
+    def test_config_change_invalidates_everything(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        other = AnalysisConfig(
+            allowlists={
+                "D1": (AllowEntry(pattern="pkg/*", reason="fixture policy swap"),)
+            }
+        )
+        rerun = analyze_paths([str(tree)], config=other, cache_path=cache_file)
+        assert rerun.cache_status == "cold"
+        # And the new policy is honored, not the cached triage.
+        assert any(f.path == "pkg/dirty.py" for f in rerun.allowlisted)
+
+    def test_deleted_file_drops_out(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        (tree / "pkg/dirty.py").unlink()
+        rerun = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert "pkg/dirty.py" not in rerun.files
+        assert not any(f.path == "pkg/dirty.py" for f in rerun.open_findings)
+        # A second run over the shrunk tree is a clean full hit again.
+        warm = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert warm.cache_status == "hit"
+
+    def test_corrupt_cache_file_is_ignored(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        with open(cache_file, "w", encoding="utf-8") as fh:
+            fh.write("{ not json")
+        rerun = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert rerun.cache_status == "cold"
+        assert rerun.files == sorted(TREE)
+
+
+class TestChangedMode:
+    def test_changed_mode_lints_only_edited_files(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        (tree / "pkg/clean.py").write_text(
+            "def double(x):\n    return hash(x)\n"
+        )
+        changed = analyze_paths(
+            [str(tree)],
+            config=AnalysisConfig(),
+            cache_path=cache_file,
+            changed_only=True,
+        )
+        assert changed.files == ["pkg/clean.py"]
+        assert [f.path for f in changed.open_findings] == ["pkg/clean.py"]
+
+    def test_changed_mode_with_no_edits_lints_nothing(self, tree, cache_file):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        changed = analyze_paths(
+            [str(tree)],
+            config=AnalysisConfig(),
+            cache_path=cache_file,
+            changed_only=True,
+        )
+        assert changed.files == []
+        assert changed.ok
+
+    def test_changed_mode_updates_cache_for_next_full_run(
+        self, tree, cache_file
+    ):
+        analyze_paths([str(tree)], config=AnalysisConfig(), cache_path=cache_file)
+        (tree / "pkg/clean.py").write_text(
+            "def double(x):\n    return x + x\n"
+        )
+        analyze_paths(
+            [str(tree)],
+            config=AnalysisConfig(),
+            cache_path=cache_file,
+            changed_only=True,
+        )
+        # The full run after a changed-mode run reuses every file entry;
+        # only the cross-module pass re-runs (project hash moved).
+        full = analyze_paths(
+            [str(tree)], config=AnalysisConfig(), cache_path=cache_file
+        )
+        assert full.cache_file_hits == len(TREE)

@@ -112,4 +112,6 @@ class TestEngineBasics:
         assert [f.rule for f in first.open_findings] == ["D1", "D3", "D1"]
 
     def test_rule_ids_cover_documented_set(self):
-        assert set(rule_ids()) == {"D1", "D2", "D3", "C1", "P1", "O1", "O2"}
+        assert set(rule_ids()) == {
+            "D1", "D2", "D3", "D4", "D5", "C1", "P1", "P2", "O1", "O2",
+        }

@@ -1,0 +1,110 @@
+"""Runtime determinism sanitizer: patching, allowlist, restoration."""
+
+import datetime
+import random
+import time
+
+import pytest
+
+from repro.analysis.sanitizer import DeterminismViolation, determinism_sanitizer
+
+
+class TestClockGuards:
+    def test_wall_clock_raises(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match="time.time"):
+                time.time()
+
+    def test_monotonic_and_perf_counter_raise(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation):
+                time.monotonic()
+            with pytest.raises(DeterminismViolation):
+                time.perf_counter()
+
+    def test_obs_clock_is_allowlisted(self):
+        from repro.obs.clock import monotonic
+
+        with determinism_sanitizer():
+            # repro.obs.clock reads time.perf_counter at call time; the
+            # frame-inspection allowlist lets the measurement boundary
+            # through while everything else raises.
+            assert isinstance(monotonic(), float)
+
+    def test_empty_allowlist_blocks_even_obs(self):
+        from repro.obs.clock import monotonic
+
+        with determinism_sanitizer(allowed_callers=()):
+            with pytest.raises(DeterminismViolation):
+                monotonic()
+
+    def test_sleep_is_not_patched(self):
+        with determinism_sanitizer():
+            time.sleep(0)  # must not raise: duration is not produced bytes
+
+
+class TestRngGuards:
+    def test_global_random_raises(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match="seeded"):
+                random.random()
+
+    def test_global_shuffle_raises(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation):
+                random.shuffle([1, 2, 3])
+
+    def test_seeded_instance_still_works(self):
+        with determinism_sanitizer():
+            rng = random.Random(42)
+            assert rng.random() == random.Random(42).random()
+
+
+class TestDatetimeGuards:
+    def test_datetime_now_raises(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation, match="wall clock"):
+                datetime.datetime.now()
+
+    def test_date_today_raises(self):
+        with determinism_sanitizer():
+            with pytest.raises(DeterminismViolation):
+                datetime.date.today()
+
+    def test_explicit_construction_still_works(self):
+        with determinism_sanitizer():
+            stamp = datetime.datetime(2020, 1, 1, 12, 0, 0)
+            assert stamp.year == 2020
+
+
+class TestRestoration:
+    def test_everything_restored_on_exit(self):
+        originals = (
+            time.time,
+            time.monotonic,
+            random.random,
+            datetime.datetime,
+            datetime.date,
+        )
+        with determinism_sanitizer():
+            assert time.time is not originals[0]
+        assert (
+            time.time,
+            time.monotonic,
+            random.random,
+            datetime.datetime,
+            datetime.date,
+        ) == originals
+
+    def test_restored_even_when_body_raises(self):
+        original = time.time
+        with pytest.raises(RuntimeError, match="boom"):
+            with determinism_sanitizer():
+                raise RuntimeError("boom")
+        assert time.time is original
+
+    def test_clock_usable_after_exit(self):
+        with determinism_sanitizer():
+            pass
+        assert time.time() > 0
+        assert isinstance(datetime.datetime.now(), datetime.datetime)

@@ -79,3 +79,65 @@ class TestMutations:
         assert main([str(root)]) == 1
         result = analyze_paths([str(root)])
         assert [f.rule for f in result.open_findings] == ["D3"]
+
+    def test_transitive_clock_read_turns_the_run_red(self, tmp_path):
+        """D4: the clock is two helpers deep — D3 sees only the bottom frame."""
+        root = _copy_tree(tmp_path, ["repro/streams/checkpoint.py"])
+        target = root / "repro/streams/checkpoint.py"
+        target.write_text(
+            target.read_text()
+            + "\n\nimport time\n"
+            "\n"
+            "def _read_clock():\n"
+            "    return time.time()\n"
+            "\n"
+            "def _indirect_stamp():\n"
+            "    return _read_clock()\n"
+        )
+        assert main([str(root)]) == 1
+        result = analyze_paths([str(root)])
+        d4 = [f for f in result.open_findings if f.rule == "D4"]
+        assert len(d4) == 1
+        assert d4[0].detail == "_read_clock->time.time"
+        assert "_indirect_stamp → _read_clock" in d4[0].message
+
+    def test_set_iterated_into_snapshot_turns_the_run_red(self, tmp_path):
+        root = _copy_tree(tmp_path, ["repro/streams/checkpoint.py"])
+        target = root / "repro/streams/checkpoint.py"
+        target.write_text(
+            target.read_text()
+            + "\n\nclass _MutatedOp:\n"
+            "    def __init__(self):\n"
+            "        self._seen = set()\n"
+            "\n"
+            "    def snapshot(self):\n"
+            '        return {"seen": [s for s in self._seen]}\n'
+            "\n"
+            "    def restore(self, state):\n"
+            '        self._seen = set(state["seen"])\n'
+        )
+        assert main([str(root)]) == 1
+        result = analyze_paths([str(root)])
+        d5 = [f for f in result.open_findings if f.rule == "D5"]
+        assert len(d5) == 1
+        assert d5[0].detail == "self._seen"
+
+    def test_worker_reachable_global_turns_the_run_red(self, tmp_path):
+        root = _copy_tree(tmp_path, ["repro/streams/checkpoint.py"])
+        target = root / "repro/streams/checkpoint.py"
+        target.write_text(
+            target.read_text()
+            + "\n\n_MUTATION_CACHE: dict = {}\n"
+            "\n"
+            "def worker_main(spec):\n"
+            "    _remember(spec)\n"
+            "\n"
+            "def _remember(spec):\n"
+            '    _MUTATION_CACHE["spec"] = spec\n'
+        )
+        assert main([str(root)]) == 1
+        result = analyze_paths([str(root)])
+        p2 = [f for f in result.open_findings if f.rule == "P2"]
+        assert len(p2) == 1
+        assert p2[0].detail == "_MUTATION_CACHE"
+        assert "worker_main → _remember" in p2[0].message

@@ -1,0 +1,445 @@
+"""Whole-program taint rules (D4/D5/P2) and call-graph stability."""
+
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.classindex import ClassIndex
+from repro.analysis.source import parse_module
+
+
+def _findings(result, rule):
+    return [f for f in result.open_findings if f.rule == rule]
+
+
+class TestD4Transitive:
+    TREE = {
+        "repro/pkg/__init__.py": "",
+        "repro/pkg/helpers.py": (
+            "import time\n"
+            "\n"
+            "def inner():\n"
+            "    return time.time()\n"
+            "\n"
+            "def outer():\n"
+            "    return inner()\n"
+        ),
+        "repro/pkg/engine.py": (
+            "from repro.pkg.helpers import outer\n"
+            "\n"
+            "def entry():\n"
+            "    return outer()\n"
+        ),
+    }
+
+    def test_transitive_clock_read_reported_with_chain(self, lint):
+        result = lint(dict(self.TREE))
+        d4 = _findings(result, "D4")
+        assert len(d4) == 1
+        finding = d4[0]
+        assert finding.path == "repro/pkg/helpers.py"
+        assert "outer → inner" in finding.message
+        assert "time.time" in finding.message
+
+    def test_no_avalanche_up_the_chain(self, lint):
+        # entry() calls outer(); outer() already carries the finding, so
+        # entry() must not repeat it once per frame above the source.
+        result = lint(dict(self.TREE))
+        assert not any(
+            f.rule == "D4" and f.path == "repro/pkg/engine.py"
+            for f in result.open_findings
+        )
+
+    def test_env_read_reported_at_depth_zero(self, lint):
+        result = lint(
+            {
+                "repro/pkg/cfg.py": (
+                    "import os\n"
+                    "\n"
+                    "def read_mode():\n"
+                    '    return os.environ.get("MODE", "off")\n'
+                )
+            }
+        )
+        d4 = _findings(result, "D4")
+        assert len(d4) == 1
+        assert d4[0].detail == "os.environ"
+
+    def test_obs_barrier_does_not_leak_taint(self, lint):
+        result = lint(
+            {
+                "repro/obs/spanclock.py": (
+                    "import time\n"
+                    "\n"
+                    "def span_now():\n"
+                    "    return time.perf_counter()\n"
+                ),
+                "repro/pkg/metrics.py": (
+                    "from repro.obs.spanclock import span_now\n"
+                    "\n"
+                    "def observe():\n"
+                    "    return span_now()\n"
+                ),
+            }
+        )
+        # D3 still fires inside the barrier module; D4 must not
+        # propagate the accounted measurement read into callers.
+        assert _findings(result, "D4") == []
+
+    def test_out_of_scope_module_not_reported(self, lint):
+        from repro.analysis.config import DEFAULT_CONFIG
+
+        result = lint(
+            {
+                "repro/viz/plots.py": (
+                    "import time\n"
+                    "\n"
+                    "def _stamp():\n"
+                    "    return time.time()\n"
+                    "\n"
+                    "def render():\n"
+                    "    return _stamp()\n"
+                )
+            },
+            config=DEFAULT_CONFIG,
+        )
+        assert _findings(result, "D4") == []
+
+
+class TestD5UnorderedIteration:
+    def test_set_iterated_into_snapshot_payload(self, lint):
+        result = lint(
+            {
+                "repro/pkg/op.py": (
+                    "class Op:\n"
+                    "    def __init__(self):\n"
+                    "        self._seen = set()\n"
+                    "\n"
+                    "    def snapshot(self):\n"
+                    '        return {"seen": [s for s in self._seen]}\n'
+                    "\n"
+                    "    def restore(self, state):\n"
+                    '        self._seen = set(state["seen"])\n'
+                )
+            }
+        )
+        d5 = _findings(result, "D5")
+        assert len(d5) == 1
+        assert d5[0].detail == "self._seen"
+        assert "hash salt" in d5[0].message
+
+    def test_sorted_wrapper_is_clean(self, lint):
+        result = lint(
+            {
+                "repro/pkg/op.py": (
+                    "class Op:\n"
+                    "    def __init__(self):\n"
+                    "        self._seen = set()\n"
+                    "\n"
+                    "    def snapshot(self):\n"
+                    '        return {"seen": [s for s in sorted(self._seen)]}\n'
+                    "\n"
+                    "    def restore(self, state):\n"
+                    '        self._seen = set(state["seen"])\n'
+                )
+            }
+        )
+        assert _findings(result, "D5") == []
+
+    def test_order_free_folds_are_clean_but_sum_is_not(self, lint):
+        result = lint(
+            {
+                "repro/pkg/op.py": (
+                    "class Op:\n"
+                    "    def __init__(self):\n"
+                    "        self._weights = set()\n"
+                    "\n"
+                    "    def snapshot(self):\n"
+                    "        return {\n"
+                    '            "n": len(self._weights),\n'
+                    '            "hi": max(self._weights),\n'
+                    '            "total": sum(self._weights),\n'
+                    "        }\n"
+                    "\n"
+                    "    def restore(self, state):\n"
+                    "        self._weights = set()\n"
+                )
+            }
+        )
+        d5 = _findings(result, "D5")
+        # float addition is order-sensitive; len/max are not.
+        assert len(d5) == 1
+        assert d5[0].line == 9
+
+    def test_helper_called_from_snapshot_reports_sink_chain(self, lint):
+        result = lint(
+            {
+                "repro/pkg/op.py": (
+                    "class Op:\n"
+                    "    def __init__(self):\n"
+                    "        self._ids = set()\n"
+                    "\n"
+                    "    def snapshot(self):\n"
+                    '        return {"ids": self._collect()}\n'
+                    "\n"
+                    "    def _collect(self):\n"
+                    "        return [i for i in self._ids]\n"
+                    "\n"
+                    "    def restore(self, state):\n"
+                    '        self._ids = set(state["ids"])\n'
+                )
+            }
+        )
+        d5 = _findings(result, "D5")
+        assert len(d5) == 1
+        assert "Op.snapshot → Op._collect" in d5[0].message
+
+    def test_set_iteration_outside_sink_context_is_clean(self, lint):
+        result = lint(
+            {
+                "repro/pkg/op.py": (
+                    "def debug_dump(items: set) -> list:\n"
+                    "    return [i for i in items]\n"
+                )
+            }
+        )
+        assert _findings(result, "D5") == []
+
+    def test_dict_iteration_in_rdf_module_is_a_sink(self, lint):
+        # Everything in repro/rdf/* is a sink root: emission order is
+        # the store's input order.
+        result = lint(
+            {
+                "repro/rdf/emit.py": (
+                    "def emit(fields: dict) -> list:\n"
+                    "    return [f for f in fields]\n"
+                )
+            }
+        )
+        d5 = _findings(result, "D5")
+        assert len(d5) == 1
+        assert "dict" in d5[0].message
+
+
+class TestP2WorkerGlobals:
+    def test_global_mutated_from_worker_entrypoint(self, lint):
+        result = lint(
+            {
+                "repro/pkg/work.py": (
+                    "_CACHE: dict = {}\n"
+                    "\n"
+                    "def worker_main(spec):\n"
+                    "    _seed(spec)\n"
+                    "\n"
+                    "def _seed(spec):\n"
+                    '    _CACHE["spec"] = spec\n'
+                )
+            }
+        )
+        p2 = _findings(result, "P2")
+        assert len(p2) == 1
+        assert p2[0].detail == "_CACHE"
+        assert p2[0].line == 1
+        assert "worker_main → _seed" in p2[0].message
+
+    def test_spec_build_is_an_entrypoint(self, lint):
+        result = lint(
+            {
+                "repro/pkg/spec.py": (
+                    "_REGISTRY: list = []\n"
+                    "\n"
+                    "class JobSpec:\n"
+                    "    def build(self):\n"
+                    "        _REGISTRY.append(self)\n"
+                    "        return self\n"
+                )
+            }
+        )
+        p2 = _findings(result, "P2")
+        assert len(p2) == 1
+        assert p2[0].detail == "_REGISTRY"
+
+    def test_unreached_mutator_is_clean(self, lint):
+        result = lint(
+            {
+                "repro/pkg/work.py": (
+                    "_CACHE: dict = {}\n"
+                    "\n"
+                    "def worker_main(spec):\n"
+                    "    return spec\n"
+                    "\n"
+                    "def _seed(spec):\n"
+                    '    _CACHE["spec"] = spec\n'
+                )
+            }
+        )
+        assert _findings(result, "P2") == []
+
+    def test_immutable_global_is_clean(self, lint):
+        result = lint(
+            {
+                "repro/pkg/work.py": (
+                    '_MODES = ("a", "b")\n'
+                    "\n"
+                    "def worker_main(spec):\n"
+                    "    return _MODES[0]\n"
+                )
+            }
+        )
+        assert _findings(result, "P2") == []
+
+    def test_local_shadow_is_clean(self, lint):
+        result = lint(
+            {
+                "repro/pkg/work.py": (
+                    "_CACHE: dict = {}\n"
+                    "\n"
+                    "def worker_main(spec):\n"
+                    "    _CACHE = {}\n"
+                    '    _CACHE["spec"] = spec\n'
+                    "    return _CACHE\n"
+                )
+            }
+        )
+        assert _findings(result, "P2") == []
+
+    def test_global_statement_rebind_is_flagged(self, lint):
+        result = lint(
+            {
+                "repro/pkg/work.py": (
+                    "_MODE: list = []\n"
+                    "\n"
+                    "def worker_main(spec):\n"
+                    "    _configure()\n"
+                    "\n"
+                    "def _configure():\n"
+                    "    global _MODE\n"
+                    '    _MODE = ["fast"]\n'
+                )
+            }
+        )
+        p2 = _findings(result, "P2")
+        assert len(p2) == 1
+        assert p2[0].detail == "_MODE"
+
+
+GRAPH_FILES = {
+    "repro/pkg/__init__.py": "from repro.pkg.engine import entry\n",
+    "repro/pkg/helpers.py": textwrap.dedent(
+        """
+        import time
+
+
+        class Clocked:
+            def tick(self):
+                return time.time()
+
+
+        def inner():
+            return Clocked().tick()
+
+
+        def outer():
+            return inner()
+        """
+    ),
+    "repro/pkg/engine.py": textwrap.dedent(
+        """
+        from repro.pkg.helpers import Clocked, outer
+
+
+        class Engine:
+            def __init__(self, clock: Clocked):
+                self._clock = clock
+                self._stages: dict[str, Clocked] = {}
+
+            def run(self):
+                self._clock.tick()
+                self._stages["a"].tick()
+                return outer()
+
+
+        def entry():
+            return Engine(Clocked()).run()
+        """
+    ),
+}
+
+
+def _parse_fixture_modules():
+    modules = []
+    index = ClassIndex()
+    for rel, text in GRAPH_FILES.items():
+        modules.append(parse_module(f"/x/{rel}", rel, text))
+    for module in modules:
+        index.add_module(module.path, module.tree)
+    return modules, index
+
+
+def _edges(graph: CallGraph) -> dict:
+    return {
+        q: tuple((s.callee, s.line) for s in fn.calls)
+        for q, fn in graph.functions.items()
+    }
+
+
+class TestCallGraphResolution:
+    def test_resolves_methods_fields_and_container_elements(self):
+        modules, index = _parse_fixture_modules()
+        graph = build_call_graph(modules, index)
+        run = graph.functions["repro/pkg/engine.py::Engine.run"]
+        callees = {s.callee for s in run.calls}
+        assert "repro/pkg/helpers.py::Clocked.tick" in callees  # field + dict elem
+        assert "repro/pkg/helpers.py::outer" in callees  # cross-module import
+
+    def test_resolves_package_reexport(self):
+        modules, index = _parse_fixture_modules()
+        extra = parse_module(
+            "/x/repro/pkg/user.py",
+            "repro/pkg/user.py",
+            "from repro.pkg import entry\n\ndef use():\n    return entry()\n",
+        )
+        graph = build_call_graph([*modules, extra], index)
+        use = graph.functions["repro/pkg/user.py::use"]
+        assert [s.callee for s in use.calls] == ["repro/pkg/engine.py::entry"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(order=st.permutations(sorted(GRAPH_FILES)))
+    def test_resolution_stable_under_module_reordering(self, order):
+        modules, index = _parse_fixture_modules()
+        baseline = _edges(build_call_graph(modules, index))
+
+        by_path = {m.path: m for m in modules}
+        shuffled_index = ClassIndex()
+        for rel in order:
+            shuffled_index.add_module(rel, by_path[rel].tree)
+        graph = CallGraph()
+        for rel in order:
+            graph.add_module(by_path[rel], shuffled_index)
+        graph.resolve_edges()
+
+        assert _edges(graph) == baseline
+
+
+class TestRuleOutputStability:
+    @settings(max_examples=10, deadline=None)
+    @given(order=st.permutations(sorted(GRAPH_FILES)))
+    def test_taint_findings_stable_under_reordering(self, order):
+        import tempfile
+        from pathlib import Path
+
+        from repro.analysis import analyze_paths
+
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "tree"
+            for rel in order:  # write order follows the permutation
+                path = root / rel
+                path.parent.mkdir(parents=True, exist_ok=True)
+                path.write_text(GRAPH_FILES[rel])
+            result = analyze_paths([str(root)], config=AnalysisConfig())
+        keys = [(f.rule, f.path, f.line, f.detail) for f in result.open_findings]
+        assert keys == sorted(set(keys), key=keys.index)  # no duplicates
+        assert any(rule == "D4" for rule, *_ in keys)
